@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+func TestRunHypercube(t *testing.T) {
+	if err := run([]string{"-hypercube", "2", "-clients", "2", "-ops", "10"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunFullyConnected(t *testing.T) {
+	if err := run([]string{"-hypercube", "0", "-clients", "3", "-ops", "5"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

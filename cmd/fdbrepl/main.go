@@ -1,0 +1,112 @@
+// Command fdbrepl is an interactive shell over a functional store: the
+// paper's "stream of transaction requests entered from a terminal".
+//
+// Every line is a query; dot-commands inspect the system:
+//
+//	.help                 this text
+//	.stats                structure-sharing counters
+//	.versions             retained version stream
+//	.at <version> <query> run a read-only query against an old version
+//	.quit                 exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"funcdb"
+	"funcdb/internal/query"
+	"funcdb/internal/trace"
+)
+
+const helpText = `queries:
+  insert (1, "widget", 3) into R      find 1 in R
+  delete 1 from R                     scan R
+  count R                             range 1 9 in R
+  create R [using list|avl|2-3|paged]
+commands:
+  .help  .stats  .versions  .at <version> <query>  .quit`
+
+func main() {
+	store := funcdb.MustOpen(funcdb.WithHistory(0), funcdb.WithOrigin("repl"))
+	fmt.Println("funcdb repl — a functional database (Keller & Lindstrom 1985). .help for help.")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for prompt(); sc.Scan(); prompt() {
+		out, quit := handleLine(store, sc.Text())
+		if out != "" {
+			fmt.Println(out)
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+func prompt() { fmt.Print("fdb> ") }
+
+// handleLine processes one REPL line and returns the output plus whether
+// the session should end.
+func handleLine(store *funcdb.Store, raw string) (out string, quit bool) {
+	line := strings.TrimSpace(raw)
+	switch {
+	case line == "":
+		return "", false
+	case line == ".quit" || line == ".exit":
+		return "", true
+	case line == ".help":
+		return helpText, false
+	case line == ".stats":
+		st := store.Stats()
+		return fmt.Sprintf("created %d  shared %d  visited %d  sharing %.1f%%",
+			st.Created, st.Shared, st.Visited, 100*st.Fraction), false
+	case line == ".versions":
+		var b strings.Builder
+		for i, v := range store.History().All() {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "  version %d: %d tuples in %d relations",
+				v.Version(), v.TotalTuples(), len(v.RelationNames()))
+		}
+		return b.String(), false
+	case strings.HasPrefix(line, ".at "):
+		return execAt(store, strings.TrimPrefix(line, ".at ")), false
+	case strings.HasPrefix(line, "."):
+		return fmt.Sprintf("unknown command %q (.help for help)", line), false
+	default:
+		resp, err := store.Exec(line)
+		if err != nil {
+			return "error: " + err.Error(), false
+		}
+		return resp.String(), false
+	}
+}
+
+// execAt runs a read-only query against a retained version: time travel.
+func execAt(store *funcdb.Store, rest string) string {
+	parts := strings.SplitN(strings.TrimSpace(rest), " ", 2)
+	if len(parts) != 2 {
+		return "usage: .at <version> <query>"
+	}
+	vn, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil {
+		return "bad version: " + err.Error()
+	}
+	db, err := store.History().Version(vn)
+	if err != nil {
+		return err.Error()
+	}
+	tx, err := query.Translate(parts[1])
+	if err != nil {
+		return err.Error()
+	}
+	if !tx.IsReadOnly() {
+		return "only read-only queries can time-travel (the past is immutable)"
+	}
+	resp, _, _ := tx.Apply(nil, db, trace.None)
+	return fmt.Sprintf("@v%d %s", vn, resp)
+}

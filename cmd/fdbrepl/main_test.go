@@ -1,0 +1,119 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"funcdb"
+)
+
+func newStore(t *testing.T) *funcdb.Store {
+	t.Helper()
+	return funcdb.MustOpen(funcdb.WithHistory(0), funcdb.WithOrigin("repl"))
+}
+
+func TestQueryLines(t *testing.T) {
+	store := newStore(t)
+	tests := []struct {
+		line string
+		want string
+	}{
+		{"create R", "create: created"},
+		{`insert (1, "x") into R`, "inserted"},
+		{"find 1 in R", "found"},
+		{"find 2 in R", "not found"},
+		{"count R", "count: 1"},
+		{"delete 1 from R", "deleted"},
+		{"scan R", "0 tuples"},
+	}
+	for _, tc := range tests {
+		out, quit := handleLine(store, tc.line)
+		if quit {
+			t.Fatalf("%q quit the session", tc.line)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%q -> %q, want containing %q", tc.line, out, tc.want)
+		}
+	}
+}
+
+func TestDotCommands(t *testing.T) {
+	store := newStore(t)
+	handleLine(store, "create R")
+	handleLine(store, "insert 1 into R")
+
+	if out, _ := handleLine(store, ".help"); !strings.Contains(out, "queries:") {
+		t.Errorf(".help = %q", out)
+	}
+	if out, _ := handleLine(store, ".stats"); !strings.Contains(out, "created") {
+		t.Errorf(".stats = %q", out)
+	}
+	if out, _ := handleLine(store, ".versions"); !strings.Contains(out, "version 0") || !strings.Contains(out, "version 2") {
+		t.Errorf(".versions = %q", out)
+	}
+	if out, _ := handleLine(store, ".bogus"); !strings.Contains(out, "unknown command") {
+		t.Errorf(".bogus = %q", out)
+	}
+	if _, quit := handleLine(store, ".quit"); !quit {
+		t.Error(".quit did not quit")
+	}
+	if _, quit := handleLine(store, ".exit"); !quit {
+		t.Error(".exit did not quit")
+	}
+	if out, quit := handleLine(store, "   "); out != "" || quit {
+		t.Error("blank line misbehaved")
+	}
+}
+
+func TestTimeTravel(t *testing.T) {
+	store := newStore(t)
+	handleLine(store, "create R")
+	handleLine(store, "insert 1 into R")
+	handleLine(store, "insert 2 into R")
+	handleLine(store, "delete 1 from R")
+
+	// Version 3: after both inserts, before the delete.
+	out, _ := handleLine(store, ".at 3 count R")
+	if !strings.Contains(out, "@v3") || !strings.Contains(out, "2") {
+		t.Errorf(".at 3 count R = %q", out)
+	}
+	// Current version has 1 tuple.
+	out, _ = handleLine(store, "count R")
+	if !strings.Contains(out, "count: 1") {
+		t.Errorf("count = %q", out)
+	}
+}
+
+func TestTimeTravelErrors(t *testing.T) {
+	store := newStore(t)
+	handleLine(store, "create R")
+	cases := []struct {
+		line string
+		want string
+	}{
+		{".at", "unknown command"},
+		{".at 1", "usage:"},
+		{".at x count R", "bad version"},
+		{".at 99 count R", "not retained"},
+		{".at 0 insert 1 into R", "read-only"},
+		{".at 0 garbage query", "query:"},
+	}
+	for _, tc := range cases {
+		out, _ := handleLine(store, tc.line)
+		if !strings.Contains(out, tc.want) {
+			t.Errorf("%q -> %q, want containing %q", tc.line, out, tc.want)
+		}
+	}
+}
+
+func TestErrorsSurface(t *testing.T) {
+	store := newStore(t)
+	out, _ := handleLine(store, "find 1 in NOPE")
+	if !strings.Contains(out, "no such relation") {
+		t.Errorf("unknown relation -> %q", out)
+	}
+	out, _ = handleLine(store, "complete gibberish")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("parse error -> %q", out)
+	}
+}

@@ -1,0 +1,54 @@
+// Streams: the paper's Figure 2-1 program run literally, on an unbounded
+// transaction stream. apply-stream is demand-driven: asking for the first
+// k responses runs exactly k transactions of an infinite stream — "input
+// sequences of unknown or infinite length, called streams, are bona fide
+// data objects."
+package main
+
+import (
+	"fmt"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/lenient"
+	"funcdb/internal/query"
+	"funcdb/internal/relation"
+)
+
+func main() {
+	initial := database.New(relation.RepList, "log")
+
+	// An endless terminal: every demand produces the next query. No 1000th
+	// element exists until someone asks for it.
+	queries := lenient.Generate(func(i int) (string, bool) {
+		if i%3 == 2 {
+			return "count log", true
+		}
+		return fmt.Sprintf("insert (%d, \"event\") into log", i), true
+	})
+
+	// transactions = translate || queries   (apply-to-all, tagged with the
+	// terminal's sequence numbers)
+	seqs := lenient.Generate(func(i int) (int, bool) { return i, true })
+	txns := lenient.ZipWith(func(q string, i int) core.Transaction {
+		tx := query.MustTranslate(q)
+		tx.Origin, tx.Seq = "term", i
+		return tx
+	}, queries, seqs)
+
+	// [responses, new-databases] = apply-stream:[transactions, old-databases]
+	// old-databases = initial-database ^ new-databases
+	responses, dbs := core.ApplyStreamEquations(initial, txns)
+
+	fmt.Println("demanding 9 responses from an infinite transaction stream:")
+	for _, r := range lenient.TakeSlice(responses, 9) {
+		fmt.Printf("  %s\n", r)
+	}
+
+	// The database stream is equally demand-driven; version 6 is the
+	// database after six transactions.
+	versions := lenient.TakeSlice(dbs, 7)
+	v6 := versions[6]
+	fmt.Printf("\nversion 6 of the database stream holds %d tuples\n", v6.TotalTuples())
+	fmt.Println("(the stream continues forever; nothing beyond what was demanded ever ran)")
+}

@@ -1,0 +1,326 @@
+// Package funcdb is a functional (applicative) database engine: the public
+// API of this repository's reproduction of Keller & Lindstrom,
+// "Approaching Distributed Database Implementations through Functional
+// Programming Concepts", Proc. 5th ICDCS, 1985.
+//
+// A Store is a stream of immutable database versions. Every transaction is
+// a function from one version to the next; updates share all untouched
+// structure with their predecessor, old versions remain readable forever
+// (time travel), and concurrency arises implicitly: submitted transactions
+// become futures over per-relation lenient cells, so independent
+// transactions run in parallel and conflicting ones pipeline — with no
+// user-visible locks.
+//
+//	store := funcdb.Open(funcdb.WithRelations("parts"))
+//	resp, err := store.Exec(`insert (1, "widget", 250) into parts`)
+//	future := store.ExecAsync(`find 1 in parts`)
+//	...
+//	resp = future.Force()
+//
+// For the distributed form (the paper's primary-site model over a
+// simulated network), see OpenCluster.
+package funcdb
+
+import (
+	"fmt"
+	"sync"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/lenient"
+	"funcdb/internal/netsim"
+	"funcdb/internal/primarysite"
+	"funcdb/internal/query"
+	"funcdb/internal/relation"
+	"funcdb/internal/topo"
+	"funcdb/internal/value"
+)
+
+// Re-exported core types. The internal packages carry the implementation;
+// these aliases are the supported public surface.
+type (
+	// Transaction is a function from a database version to a response and
+	// a successor version, plus its origin tag and read/write sets.
+	Transaction = core.Transaction
+	// Response is a tagged transaction result.
+	Response = core.Response
+	// Database is one immutable database version.
+	Database = database.Database
+	// History retains the version stream (complete archive or bounded).
+	History = database.History
+	// Item is a scalar data item.
+	Item = value.Item
+	// Tuple is an immutable tuple of items keyed by its first field.
+	Tuple = value.Tuple
+	// Rep selects a relation representation.
+	Rep = relation.Rep
+	// Future is an unresolved response: Force blocks until available.
+	Future = lenient.Cell[core.Response]
+	// SiteID names a site in a cluster.
+	SiteID = netsim.SiteID
+)
+
+// Relation representations.
+const (
+	RepList  = relation.RepList
+	RepAVL   = relation.RepAVL
+	Rep23    = relation.Rep23
+	RepPaged = relation.RepPaged
+)
+
+// Int builds an integer item.
+func Int(v int64) Item { return value.Int(v) }
+
+// Str builds a string item.
+func Str(s string) Item { return value.Str(s) }
+
+// NewTuple builds a tuple.
+func NewTuple(items ...Item) Tuple { return value.NewTuple(items...) }
+
+// Parse translates a symbolic query into a transaction without executing
+// it (the paper's translate function).
+func Parse(q string) (Transaction, error) { return query.Translate(q) }
+
+// config collects Open options.
+type config struct {
+	rep     Rep
+	names   []string
+	data    map[string][]Tuple
+	history int // -1 = disabled, 0 = unbounded archive, n = keep n
+	origin  string
+	initial *database.Database
+}
+
+// Option configures Open.
+type Option func(*cfgError, *config)
+
+// cfgError accumulates option validation problems.
+type cfgError struct{ err error }
+
+// WithRelations declares the store's initial (empty) relations.
+func WithRelations(names ...string) Option {
+	return func(_ *cfgError, c *config) { c.names = append(c.names, names...) }
+}
+
+// WithRepresentation selects the relation representation (default list,
+// the paper's experimental choice).
+func WithRepresentation(rep Rep) Option {
+	return func(_ *cfgError, c *config) { c.rep = rep }
+}
+
+// WithData seeds a relation with initial tuples (implies the relation).
+func WithData(rel string, tuples ...Tuple) Option {
+	return func(_ *cfgError, c *config) {
+		if c.data == nil {
+			c.data = map[string][]Tuple{}
+		}
+		c.data[rel] = append(c.data[rel], tuples...)
+	}
+}
+
+// WithDatabase opens the store at an explicit initial version (overrides
+// WithRelations/WithData).
+func WithDatabase(db *Database) Option {
+	return func(_ *cfgError, c *config) { c.initial = db }
+}
+
+// WithHistory retains database versions: limit 0 keeps every version (a
+// complete archive, Section 3.3), limit n keeps the newest n. Without this
+// option no history is kept. Each retained version is materialized at
+// write time, which serializes the pipeline at every write — use it for
+// interactive stores, not throughput benchmarks.
+func WithHistory(limit int) Option {
+	return func(e *cfgError, c *config) {
+		if limit < 0 {
+			e.err = fmt.Errorf("funcdb: negative history limit %d", limit)
+			return
+		}
+		c.history = limit
+	}
+}
+
+// WithOrigin sets the tag attached to this store's transactions (default
+// "local").
+func WithOrigin(origin string) Option {
+	return func(_ *cfgError, c *config) { c.origin = origin }
+}
+
+// Store is a single-process functional database: one transaction stream,
+// one version stream.
+type Store struct {
+	engine  *core.Engine
+	stats   *eval.Stats
+	history *History
+	origin  string
+
+	mu  sync.Mutex
+	seq int
+}
+
+// Open creates a store.
+func Open(opts ...Option) (*Store, error) {
+	c := config{rep: RepList, history: -1, origin: "local"}
+	var ce cfgError
+	for _, opt := range opts {
+		opt(&ce, &c)
+	}
+	if ce.err != nil {
+		return nil, ce.err
+	}
+
+	initial := c.initial
+	if initial == nil {
+		names := append([]string(nil), c.names...)
+		data := map[string][]value.Tuple{}
+		for _, n := range names {
+			data[n] = nil
+		}
+		for rel, tuples := range c.data {
+			if _, ok := data[rel]; !ok {
+				names = append(names, rel)
+			}
+			data[rel] = tuples
+		}
+		initial = database.FromData(c.rep, names, data)
+	}
+
+	s := &Store{
+		stats:  &eval.Stats{},
+		origin: c.origin,
+	}
+	s.engine = core.NewEngine(initial, core.WithStats(s.stats))
+	if c.history >= 0 {
+		s.history = database.NewHistory(c.history)
+		s.history.Append(initial)
+	}
+	return s, nil
+}
+
+// MustOpen is Open for statically valid configurations; it panics on
+// error.
+func MustOpen(opts ...Option) *Store {
+	s, err := Open(opts...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// nextSeq issues the next per-store sequence number.
+func (s *Store) nextSeq() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.seq
+	s.seq++
+	return seq
+}
+
+// Submit admits a transaction into the store's merged stream and returns
+// its response future. The transaction's Origin/Seq are filled in when
+// empty.
+func (s *Store) Submit(tx Transaction) *Future {
+	if tx.Origin == "" {
+		tx.Origin = s.origin
+	}
+	tx.Seq = s.nextSeq()
+	fut := s.engine.Submit(tx)
+	if s.history != nil && !tx.IsReadOnly() {
+		// Materialize the new version for the archive. This forces the
+		// write (and everything before it), trading pipelining for a
+		// complete, queryable version stream.
+		fut = lenient.Map(fut, func(r Response) Response {
+			if r.Err == nil {
+				s.history.Append(s.engine.Current())
+			}
+			return r
+		})
+		fut.Force()
+	}
+	return fut
+}
+
+// ExecAsync translates and submits a symbolic query, returning the
+// response future.
+func (s *Store) ExecAsync(q string) (*Future, error) {
+	tx, err := query.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.Submit(tx), nil
+}
+
+// Exec translates, submits and waits.
+func (s *Store) Exec(q string) (Response, error) {
+	fut, err := s.ExecAsync(q)
+	if err != nil {
+		return Response{}, err
+	}
+	return fut.Force(), nil
+}
+
+// Current materializes the store's present database version.
+func (s *Store) Current() *Database { return s.engine.Current() }
+
+// Barrier waits for every submitted transaction to finish.
+func (s *Store) Barrier() { s.engine.Barrier() }
+
+// History returns the retained version stream, or nil when history is
+// disabled.
+func (s *Store) History() *History { return s.history }
+
+// SharingStats reports the structure-sharing counters of Section 2.2.
+type SharingStats struct {
+	Created int64
+	Shared  int64
+	Visited int64
+	// Fraction is Shared / (Shared + Created).
+	Fraction float64
+}
+
+// Stats returns the accumulated sharing statistics.
+func (s *Store) Stats() SharingStats {
+	return SharingStats{
+		Created:  s.stats.Created.Load(),
+		Shared:   s.stats.Shared.Load(),
+		Visited:  s.stats.Visited.Load(),
+		Fraction: s.stats.SharingFraction(),
+	}
+}
+
+// ClusterConfig configures the distributed (primary-site) form.
+type ClusterConfig struct {
+	// Sites is the number of network sites.
+	Sites int
+	// Hypercube, when > 0, uses a binary hypercube of that dimension as
+	// the site topology (Sites must be 2^Hypercube); otherwise sites are
+	// fully connected.
+	Hypercube int
+	// Databases maps database names to their initial versions; each gets a
+	// primary site round-robin.
+	Databases map[string]*Database
+}
+
+// Cluster is the distributed store: clients at any site, primary-site
+// coordination, responses routed by origin tag.
+type Cluster = primarysite.Cluster
+
+// Client submits queries from one cluster site.
+type Client = primarysite.Client
+
+// OpenCluster starts a primary-site cluster.
+func OpenCluster(cfg ClusterConfig) (*Cluster, error) {
+	pcfg := primarysite.Config{
+		Sites:     cfg.Sites,
+		Databases: cfg.Databases,
+	}
+	if cfg.Hypercube > 0 {
+		h := topo.NewHypercube(cfg.Hypercube)
+		if h.Size() != cfg.Sites {
+			return nil, fmt.Errorf("funcdb: hypercube(%d) has %d sites, config says %d",
+				cfg.Hypercube, h.Size(), cfg.Sites)
+		}
+		pcfg.Topology = h
+	}
+	return primarysite.New(pcfg)
+}

@@ -1,0 +1,192 @@
+package funcdb_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"funcdb"
+)
+
+func TestOpenAndExec(t *testing.T) {
+	store, err := funcdb.Open(funcdb.WithRelations("R", "S"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := store.Exec(`insert (1, "a") into R`)
+	if err != nil || resp.Err != nil {
+		t.Fatalf("insert: %v %v", err, resp.Err)
+	}
+	resp, err = store.Exec("find 1 in R")
+	if err != nil || !resp.Found {
+		t.Fatalf("find: %v %+v", err, resp)
+	}
+	if _, err := store.Exec("not a query"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+	if got := store.Current().TotalTuples(); got != 1 {
+		t.Errorf("tuples = %d", got)
+	}
+}
+
+func TestOpenWithData(t *testing.T) {
+	store := funcdb.MustOpen(
+		funcdb.WithData("parts", funcdb.NewTuple(funcdb.Int(1), funcdb.Str("bolt"))),
+		funcdb.WithRepresentation(funcdb.RepPaged),
+	)
+	resp, _ := store.Exec("find 1 in parts")
+	if !resp.Found || resp.Tuple.Field(1).AsString() != "bolt" {
+		t.Errorf("find = %+v", resp)
+	}
+}
+
+func TestBadOptions(t *testing.T) {
+	if _, err := funcdb.Open(funcdb.WithHistory(-2)); err == nil {
+		t.Error("negative history accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOpen did not panic")
+		}
+	}()
+	funcdb.MustOpen(funcdb.WithHistory(-2))
+}
+
+func TestExecAsyncPipelines(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	var futures []*funcdb.Future
+	for i := 0; i < 20; i++ {
+		fut, err := store.ExecAsync(`insert ` + funcdb.Int(int64(i)).String() + ` into R`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futures = append(futures, fut)
+	}
+	for _, f := range futures {
+		if resp := f.Force(); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	resp, _ := store.Exec("count R")
+	if resp.Count != 20 {
+		t.Errorf("count = %d", resp.Count)
+	}
+}
+
+func TestHistoryTimeTravel(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"), funcdb.WithHistory(0))
+	for i := 0; i < 5; i++ {
+		if _, err := store.Exec(`insert ` + funcdb.Int(int64(i)).String() + ` into R`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := store.History()
+	if h == nil {
+		t.Fatal("history disabled")
+	}
+	if h.Len() != 6 { // initial + 5 writes
+		t.Fatalf("history kept %d versions", h.Len())
+	}
+	v2, err := h.Version(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.TotalTuples() != 2 {
+		t.Errorf("version 2 has %d tuples", v2.TotalTuples())
+	}
+	// Reads do not create versions.
+	if _, err := store.Exec("count R"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 6 {
+		t.Error("read created a version")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	for i := 0; i < 10; i++ {
+		if _, err := store.Exec(`insert ` + funcdb.Int(int64(i)).String() + ` into R`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	store.Barrier()
+	stats := store.Stats()
+	if stats.Created == 0 {
+		t.Error("no creations recorded")
+	}
+	if stats.Fraction < 0 || stats.Fraction > 1 {
+		t.Errorf("fraction = %v", stats.Fraction)
+	}
+}
+
+func TestParse(t *testing.T) {
+	tx, err := funcdb.Parse("find 1 in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.Rel != "R" {
+		t.Errorf("Rel = %q", tx.Rel)
+	}
+	if _, err := funcdb.Parse("bogus"); err == nil {
+		t.Error("bad query parsed")
+	}
+}
+
+func TestConcurrentStoreUse(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R", "S"))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rel := []string{"R", "S"}[w%2]
+			for i := 0; i < 50; i++ {
+				k := funcdb.Int(int64(w*1000 + i)).String()
+				if _, err := store.Exec("insert " + k + " into " + rel); err != nil {
+					t.Errorf("insert: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	store.Barrier()
+	if got := store.Current().TotalTuples(); got != 8*50 {
+		t.Errorf("tuples = %d, want 400", got)
+	}
+}
+
+func TestOpenCluster(t *testing.T) {
+	cluster, err := funcdb.OpenCluster(funcdb.ClusterConfig{
+		Sites:     8,
+		Hypercube: 3,
+		Databases: map[string]*funcdb.Database{
+			"main": funcdb.MustOpen(funcdb.WithRelations("R")).Current(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+	cl, err := cluster.NewClient(5, "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := cl.Exec("main", "insert 1 into R"); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp := cl.Exec("main", "find 1 in R"); !resp.Found {
+		t.Error("cluster find failed")
+	}
+}
+
+func TestOpenClusterBadHypercube(t *testing.T) {
+	_, err := funcdb.OpenCluster(funcdb.ClusterConfig{
+		Sites:     5,
+		Hypercube: 3,
+		Databases: map[string]*funcdb.Database{"m": funcdb.MustOpen().Current()},
+	})
+	if err == nil || !strings.Contains(err.Error(), "hypercube") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/relation"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+)
+
+func tup(k int64, rest ...string) value.Tuple {
+	items := []value.Item{value.Int(k)}
+	for _, s := range rest {
+		items = append(items, value.Str(s))
+	}
+	return value.NewTuple(items...)
+}
+
+func seedDB() *database.Database {
+	return database.FromData(relation.RepList, []string{"R", "S"}, map[string][]value.Tuple{
+		"R": {tup(1, "a"), tup(2, "b")},
+		"S": {tup(10, "x")},
+	})
+}
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindFind, KindInsert, KindDelete, KindScan, KindCount, KindRange, KindCreate, KindCustom}
+	want := []string{"find", "insert", "delete", "scan", "count", "range", "create", "custom"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("Kind %d = %q, want %q", k, k.String(), want[i])
+		}
+	}
+	if !strings.HasPrefix(Kind(77).String(), "Kind(") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestTransactionMetadata(t *testing.T) {
+	tests := []struct {
+		name     string
+		tx       Transaction
+		readOnly bool
+		reads    int
+		writes   int
+	}{
+		{"find", Find("R", value.Int(1)), true, 1, 0},
+		{"insert", Insert("R", tup(1)), false, 1, 1},
+		{"delete", Delete("R", value.Int(1)), false, 1, 1},
+		{"scan", Scan("R"), true, 1, 0},
+		{"count", Count("R"), true, 1, 0},
+		{"range", Range("R", value.Int(0), value.Int(9)), true, 1, 0},
+		{"create", Create("X", relation.RepList), false, 1, 1},
+		{"custom r/w", Custom(nil, []string{"R"}, []string{"S"}), false, 1, 1},
+		{"custom read-only", Custom(nil, []string{"R", "S"}, nil), true, 2, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.tx.IsReadOnly(); got != tc.readOnly {
+				t.Errorf("IsReadOnly = %v", got)
+			}
+			if got := len(tc.tx.ReadSet()); got != tc.reads {
+				t.Errorf("ReadSet size = %d, want %d", got, tc.reads)
+			}
+			if got := len(tc.tx.WriteSet()); got != tc.writes {
+				t.Errorf("WriteSet size = %d, want %d", got, tc.writes)
+			}
+		})
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Transaction{
+		{Kind: KindInsert},
+		{Kind: KindInsert, Rel: "R"},
+		{Kind: KindFind, Rel: "R"},
+		{Kind: KindDelete},
+		{Kind: KindScan},
+		{Kind: KindCount},
+		{Kind: KindRange, Rel: "R"},
+		{Kind: KindCreate},
+		{Kind: KindCreate, Rel: "X"},
+		{Kind: KindCustom},
+		{Kind: Kind(99)},
+	}
+	for i, tx := range bad {
+		if err := tx.Validate(); err == nil {
+			t.Errorf("case %d: invalid transaction validated: %+v", i, tx)
+		}
+	}
+	good := []Transaction{
+		Insert("R", tup(1)),
+		Find("R", value.Int(1)),
+		Delete("R", value.Int(1)),
+		Scan("R"),
+		Count("R"),
+		Range("R", value.Int(0), value.Int(5)),
+		Create("X", relation.RepAVL),
+		Custom(func(*eval.Ctx, *database.Database, trace.TaskID) (Response, *database.Database, trace.Op) {
+			return Response{}, nil, trace.Op{}
+		}, nil, nil),
+	}
+	for i, tx := range good {
+		if err := tx.Validate(); err != nil {
+			t.Errorf("case %d: %v", i, err)
+		}
+	}
+}
+
+func TestTagging(t *testing.T) {
+	tx := Insert("R", tup(1))
+	tx.Origin, tx.Seq = "alice", 3
+	if tx.Tag() != "alice#3" {
+		t.Errorf("Tag = %q", tx.Tag())
+	}
+	resp, _, _ := tx.Apply(nil, seedDB(), trace.None)
+	if resp.Origin != "alice" || resp.Seq != 3 {
+		t.Errorf("response tag = %s", resp.Tag())
+	}
+}
+
+func TestApplyKinds(t *testing.T) {
+	db := seedDB()
+
+	resp, db2, _ := Find("R", value.Int(1)).Apply(nil, db, trace.None)
+	if !resp.Found || resp.Tuple.Field(1).AsString() != "a" {
+		t.Errorf("find = %+v", resp)
+	}
+	if db2 != db {
+		t.Error("find changed the database")
+	}
+
+	resp, db3, _ := Insert("R", tup(5, "e")).Apply(nil, db, trace.None)
+	if resp.Err != nil || db3 == db || db3.TotalTuples() != db.TotalTuples()+1 {
+		t.Errorf("insert: %+v", resp)
+	}
+
+	resp, db4, _ := Delete("R", value.Int(2)).Apply(nil, db3, trace.None)
+	if !resp.Found || db4.TotalTuples() != db3.TotalTuples()-1 {
+		t.Errorf("delete: %+v", resp)
+	}
+
+	resp, _, _ = Scan("R").Apply(nil, db, trace.None)
+	if resp.Count != 2 || len(resp.Tuples) != 2 {
+		t.Errorf("scan: %+v", resp)
+	}
+
+	resp, _, _ = Count("S").Apply(nil, db, trace.None)
+	if resp.Count != 1 {
+		t.Errorf("count: %+v", resp)
+	}
+
+	resp, _, _ = Range("R", value.Int(1), value.Int(1)).Apply(nil, db, trace.None)
+	if resp.Count != 1 {
+		t.Errorf("range: %+v", resp)
+	}
+
+	resp, db5, _ := Create("T", relation.Rep23).Apply(nil, db, trace.None)
+	if resp.Err != nil || len(db5.RelationNames()) != 3 {
+		t.Errorf("create: %+v", resp)
+	}
+
+	resp, db6, _ := Find("NOPE", value.Int(1)).Apply(nil, db, trace.None)
+	if !errors.Is(resp.Err, database.ErrNoRelation) || db6 != db {
+		t.Errorf("unknown relation: %+v", resp)
+	}
+}
+
+func TestResponseString(t *testing.T) {
+	cases := []struct {
+		resp Response
+		want string
+	}{
+		{Response{Origin: "a", Seq: 1, Kind: KindFind, Found: true, Tuple: tup(1)}, "found"},
+		{Response{Origin: "a", Seq: 1, Kind: KindFind}, "not found"},
+		{Response{Origin: "a", Seq: 2, Kind: KindInsert, Tuple: tup(1)}, "inserted"},
+		{Response{Origin: "a", Seq: 3, Kind: KindDelete, Found: true}, "deleted"},
+		{Response{Origin: "a", Seq: 4, Kind: KindCount, Count: 7}, "7"},
+		{Response{Origin: "a", Seq: 5, Kind: KindScan, Count: 2, Tuples: []value.Tuple{tup(1), tup(2)}}, "2 tuples"},
+		{Response{Origin: "a", Seq: 6, Kind: KindCreate}, "created"},
+		{Response{Origin: "a", Seq: 7, Kind: KindCustom, Note: "moved"}, "moved"},
+		{Response{Origin: "a", Seq: 8, Kind: KindFind, Err: errors.New("boom")}, "error"},
+	}
+	for _, tc := range cases {
+		if got := tc.resp.String(); !strings.Contains(got, tc.want) {
+			t.Errorf("String() = %q, want containing %q", got, tc.want)
+		}
+	}
+}
+
+func TestApplyStreamTracedBasic(t *testing.T) {
+	g := trace.New()
+	ctx := &eval.Ctx{Graph: g}
+	txns := []Transaction{
+		Insert("R", tup(3, "c")),
+		Find("R", value.Int(3)),
+		Insert("S", tup(11, "y")),
+		Find("S", value.Int(11)),
+	}
+	responses, final := ApplyStreamTraced(ctx, seedDB(), txns, TracedOptions{})
+	if len(responses) != 4 {
+		t.Fatalf("%d responses", len(responses))
+	}
+	if !responses[1].Found || !responses[3].Found {
+		t.Error("finds after inserts failed")
+	}
+	if final.TotalTuples() != 5 {
+		t.Errorf("final tuples = %d", final.TotalTuples())
+	}
+	p := g.Analyze()
+	if p.KindCounts[trace.KindMerge] != 4 || p.KindCounts[trace.KindUnfold] != 4 ||
+		p.KindCounts[trace.KindDispatch] != 4 || p.KindCounts[trace.KindRespond] != 4 {
+		t.Errorf("control task counts wrong: %v", p.KindCounts)
+	}
+	if p.MaxWidth < 2 {
+		t.Errorf("MaxWidth = %d: no pipelining in a 4-txn stream", p.MaxWidth)
+	}
+}
+
+func TestStrictAblationCollapsesConcurrency(t *testing.T) {
+	// The leniency ablation: the same workload traced strictly must have
+	// (near) zero overlap, i.e. markedly greater depth.
+	txns := make([]Transaction, 0, 20)
+	for i := int64(0); i < 20; i++ {
+		txns = append(txns, Find("R", value.Int(i%3)))
+	}
+	gLenient := trace.New()
+	ApplyStreamTraced(&eval.Ctx{Graph: gLenient}, seedDB(), txns, TracedOptions{})
+	gStrict := trace.New()
+	ApplyStreamTraced(&eval.Ctx{Graph: gStrict}, seedDB(), txns, TracedOptions{Strict: true})
+
+	lenientPlies := gLenient.Analyze()
+	strictPlies := gStrict.Analyze()
+	if strictPlies.Depth <= lenientPlies.Depth {
+		t.Errorf("strict depth %d not greater than lenient depth %d", strictPlies.Depth, lenientPlies.Depth)
+	}
+	if strictPlies.AvgWidth >= lenientPlies.AvgWidth {
+		t.Errorf("strict avg width %.2f not below lenient %.2f", strictPlies.AvgWidth, lenientPlies.AvgWidth)
+	}
+}
+
+func TestTracedHistoryRecordsVersions(t *testing.T) {
+	h := database.NewHistory(0)
+	txns := []Transaction{
+		Insert("R", tup(7)),
+		Find("R", value.Int(7)), // read-only: no new version
+		Insert("S", tup(20)),
+	}
+	ApplyStreamTraced(nil, seedDB(), txns, TracedOptions{History: h})
+	if h.Len() != 3 { // initial + 2 writes
+		t.Errorf("history kept %d versions, want 3", h.Len())
+	}
+}
+
+func TestEngineMatchesSequential(t *testing.T) {
+	txns := []Transaction{
+		Insert("R", tup(3, "c")),
+		Find("R", value.Int(3)),
+		Delete("R", value.Int(1)),
+		Find("R", value.Int(1)),
+		Insert("S", tup(12, "z")),
+		Count("S"),
+		Scan("R"),
+	}
+	for i := range txns {
+		txns[i].Origin, txns[i].Seq = "t", i
+	}
+	seqResp, seqFinal := ApplySequential(seedDB(), txns)
+	pipResp, pipFinal := ApplyStreamPipelined(seedDB(), txns)
+	if !seqFinal.Equal(pipFinal) {
+		t.Fatal("pipelined final state differs from sequential")
+	}
+	if len(seqResp) != len(pipResp) {
+		t.Fatalf("response counts differ: %d vs %d", len(seqResp), len(pipResp))
+	}
+	for i := range seqResp {
+		if seqResp[i].Found != pipResp[i].Found || seqResp[i].Count != pipResp[i].Count ||
+			!seqResp[i].Tuple.Equal(pipResp[i].Tuple) {
+			t.Errorf("response %d differs: %+v vs %+v", i, seqResp[i], pipResp[i])
+		}
+	}
+}
+
+func TestEngineErrorsSurfaceInResponses(t *testing.T) {
+	e := NewEngine(seedDB())
+	resp := e.Submit(Find("NOPE", value.Int(1))).Force()
+	if !errors.Is(resp.Err, database.ErrNoRelation) {
+		t.Errorf("err = %v", resp.Err)
+	}
+	resp = e.Submit(Transaction{Kind: KindInsert}).Force()
+	if resp.Err == nil {
+		t.Error("invalid transaction produced no error")
+	}
+	resp = e.Submit(Create("R", relation.RepList)).Force()
+	if !errors.Is(resp.Err, database.ErrRelationExists) {
+		t.Errorf("duplicate create err = %v", resp.Err)
+	}
+}
+
+func TestEngineCreateThenUse(t *testing.T) {
+	e := NewEngine(database.New(relation.RepList))
+	if resp := e.Submit(Create("T", relation.RepPaged)).Force(); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp := e.Submit(Insert("T", tup(1))).Force(); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp := e.Submit(Find("T", value.Int(1))).Force(); !resp.Found {
+		t.Error("insert into created relation lost")
+	}
+	if got := e.Current().TotalTuples(); got != 1 {
+		t.Errorf("Current tuples = %d", got)
+	}
+}
+
+func TestEngineCustomTransaction(t *testing.T) {
+	// A transfer between R and S: the classic read-modify-write multi-
+	// relation transaction, with declared read/write sets.
+	transfer := Custom(func(ctx *eval.Ctx, db *database.Database, after trace.TaskID) (Response, *database.Database, trace.Op) {
+		tu, found, _, err := db.Find(ctx, "R", value.Int(1), after)
+		if err != nil || !found {
+			return Response{Err: errors.New("source missing")}, db, trace.Op{}
+		}
+		db1, _, _, err := db.Delete(ctx, "R", value.Int(1), after)
+		if err != nil {
+			return Response{Err: err}, db, trace.Op{}
+		}
+		next, op, err := db1.Insert(ctx, "S", tu, after)
+		if err != nil {
+			return Response{Err: err}, db, trace.Op{}
+		}
+		return Response{Note: "moved"}, next, op
+	}, []string{"R"}, []string{"R", "S"})
+	transfer.Origin = "mover"
+
+	e := NewEngine(seedDB())
+	resp := e.Submit(transfer).Force()
+	if resp.Err != nil || resp.Note != "moved" {
+		t.Fatalf("transfer resp = %+v", resp)
+	}
+	final := e.Current()
+	if _, found, _, _ := final.Find(nil, "R", value.Int(1), trace.None); found {
+		t.Error("tuple still in R")
+	}
+	if _, found, _, _ := final.Find(nil, "S", value.Int(1), trace.None); !found {
+		t.Error("tuple not moved to S")
+	}
+}
+
+func TestEngineCustomPanicIsContained(t *testing.T) {
+	boom := Custom(func(*eval.Ctx, *database.Database, trace.TaskID) (Response, *database.Database, trace.Op) {
+		panic("kaboom")
+	}, []string{"R"}, []string{"R"})
+	e := NewEngine(seedDB())
+	resp := e.Submit(boom).Force()
+	if resp.Err == nil || !strings.Contains(resp.Err.Error(), "kaboom") {
+		t.Errorf("panic not converted to error: %+v", resp)
+	}
+	// The engine must still work, with R's old value intact.
+	if resp := e.Submit(Find("R", value.Int(1)).withTag("x", 1)).Force(); !resp.Found {
+		t.Error("engine broken after contained panic")
+	}
+	e.Barrier()
+}
+
+// withTag is a test helper attaching an origin tag.
+func (t Transaction) withTag(origin string, seq int) Transaction {
+	t.Origin, t.Seq = origin, seq
+	return t
+}
+
+func TestEngineReadsDoNotBlockOnOtherRelations(t *testing.T) {
+	// A slow custom write on R must not delay a read on S.
+	release := make(chan struct{})
+	slow := Custom(func(ctx *eval.Ctx, db *database.Database, after trace.TaskID) (Response, *database.Database, trace.Op) {
+		<-release
+		next, op, _ := db.Insert(ctx, "R", tup(99), after)
+		return Response{}, next, op
+	}, []string{"R"}, []string{"R"})
+
+	e := NewEngine(seedDB())
+	slowResp := e.Submit(slow)
+	fast := e.Submit(Find("S", value.Int(10)))
+	// The fast read must complete while the slow write is still blocked.
+	if resp := fast.Force(); !resp.Found {
+		t.Error("read on S failed")
+	}
+	close(release)
+	if resp := slowResp.Force(); resp.Err != nil {
+		t.Error(resp.Err)
+	}
+	e.Barrier()
+}
+
+func TestEngineSameRelationPipelines(t *testing.T) {
+	// Writes on the same relation are applied in submission order.
+	e := NewEngine(seedDB())
+	for i := 0; i < 10; i++ {
+		e.Submit(Insert("R", tup(int64(100+i))))
+	}
+	scan := e.Submit(Scan("R")).Force()
+	if scan.Count != 12 { // 2 seed + 10 inserts
+		t.Errorf("scan count = %d, want 12", scan.Count)
+	}
+	e.Barrier()
+}
+
+func TestEngineStatsCollected(t *testing.T) {
+	stats := &eval.Stats{}
+	e := NewEngine(seedDB(), WithStats(stats))
+	e.Submit(Insert("R", tup(5))).Force()
+	e.Barrier()
+	if stats.Created.Load() == 0 {
+		t.Error("no allocations recorded")
+	}
+}
+
+// The serializability property (Section 2.4): processing the merged stream
+// through the pipelined engine is equivalent to processing it sequentially,
+// for arbitrary workloads.
+func TestPropertyPipelinedEquivalentToSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		names := []string{"R", "S", "T"}
+		init := database.New(relation.RepList, names...)
+		n := 30 + r.Intn(40)
+		txns := make([]Transaction, 0, n)
+		for i := 0; i < n; i++ {
+			rel := names[r.Intn(len(names))]
+			k := int64(r.Intn(15))
+			var tx Transaction
+			switch r.Intn(4) {
+			case 0:
+				tx = Insert(rel, tup(k, "v"))
+			case 1:
+				tx = Delete(rel, value.Int(k))
+			case 2:
+				tx = Find(rel, value.Int(k))
+			case 3:
+				tx = Count(rel)
+			}
+			tx.Origin, tx.Seq = "cli", i
+			txns = append(txns, tx)
+		}
+		seqResp, seqFinal := ApplySequential(init, txns)
+		pipResp, pipFinal := ApplyStreamPipelined(init, txns)
+		if !seqFinal.Equal(pipFinal) {
+			return false
+		}
+		for i := range seqResp {
+			if seqResp[i].Found != pipResp[i].Found || seqResp[i].Count != pipResp[i].Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTracedEquivalentToSequential(t *testing.T) {
+	// Tracing must never change semantics: same responses, same final
+	// state, regardless of graph recording.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		init := database.New(relation.RepList, "R", "S")
+		n := 20 + r.Intn(20)
+		txns := make([]Transaction, 0, n)
+		for i := 0; i < n; i++ {
+			rel := []string{"R", "S"}[r.Intn(2)]
+			k := int64(r.Intn(10))
+			switch r.Intn(3) {
+			case 0:
+				txns = append(txns, Insert(rel, tup(k)))
+			case 1:
+				txns = append(txns, Delete(rel, value.Int(k)))
+			default:
+				txns = append(txns, Find(rel, value.Int(k)))
+			}
+		}
+		seqResp, seqFinal := ApplySequential(init, txns)
+		g := trace.New()
+		trResp, trFinal := ApplyStreamTraced(&eval.Ctx{Graph: g}, init, txns, TracedOptions{})
+		if !seqFinal.Equal(trFinal) || g.Len() == 0 {
+			return false
+		}
+		for i := range seqResp {
+			if seqResp[i].Found != trResp[i].Found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

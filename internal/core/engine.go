@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/lenient"
+	"funcdb/internal/relation"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+)
+
+// Engine is the runtime (goroutine-backed) form of apply-stream: the
+// database is a directory of per-relation lenient cells, and every
+// submitted transaction becomes a spawned future over exactly the cells it
+// touches.
+//
+// Submit is the serialization point — the pseudo-functional merge. Its
+// mutex is the paper's "momentary 'locking' effect among transactions as
+// transaction streams are merged; this establishes a definite sequence from
+// which concurrent operations are extracted" (Section 2.4). After that
+// moment there are no locks: transactions on different relations run
+// concurrently because they share unchanged cells; transactions on the same
+// relation pipeline because the later one's future forces the earlier one's
+// output cell. Read-only transactions never replace a cell, so they "don't
+// lock out each other" (Section 6).
+type Engine struct {
+	mu     sync.Mutex
+	names  []string // directory membership in creation order
+	cells  map[string]*lenient.Cell[relation.Relation]
+	writes atomic.Int64 // committed write transactions (version counter)
+	stats  *eval.Stats
+	wg     sync.WaitGroup
+}
+
+// EngineOption configures NewEngine.
+type EngineOption func(*Engine)
+
+// WithStats accumulates sharing statistics from all transaction bodies.
+func WithStats(s *eval.Stats) EngineOption {
+	return func(e *Engine) { e.stats = s }
+}
+
+// NewEngine starts an engine over an initial database version.
+func NewEngine(initial *database.Database, opts ...EngineOption) *Engine {
+	e := &Engine{cells: make(map[string]*lenient.Cell[relation.Relation])}
+	for _, opt := range opts {
+		opt(e)
+	}
+	for _, name := range initial.RelationNames() {
+		rel, _ := initial.RelationFast(name)
+		e.names = append(e.names, name)
+		e.cells[name] = lenient.Ready(rel)
+	}
+	e.writes.Store(initial.Version())
+	return e
+}
+
+// ctx returns the eval context used inside transaction bodies (no tracing;
+// optional stats).
+func (e *Engine) ctx() *eval.Ctx {
+	if e.stats == nil {
+		return nil
+	}
+	return &eval.Ctx{Stats: e.stats}
+}
+
+// txnOut is what one transaction future produces.
+type txnOut struct {
+	resp    Response
+	newRels map[string]relation.Relation
+}
+
+// Submit admits tx into the merged stream and returns its response future.
+// The call itself is brief (the merge arbitration); the transaction body
+// runs in its own goroutine, demand-synchronized with its neighbors through
+// the relation cells.
+func (e *Engine) Submit(tx Transaction) *lenient.Cell[Response] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	if err := tx.Validate(); err != nil {
+		return lenient.Ready(Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind, Err: err})
+	}
+
+	switch tx.Kind {
+	case KindCreate:
+		// Directory membership is strict: later transactions must know
+		// which relations exist the moment they are merged. The relation's
+		// contents (empty) are ready immediately anyway.
+		if _, exists := e.cells[tx.Rel]; exists {
+			return lenient.Ready(Response{
+				Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind,
+				Err: fmt.Errorf("%w: %q", database.ErrRelationExists, tx.Rel),
+			})
+		}
+		e.names = append(e.names, tx.Rel)
+		e.cells[tx.Rel] = lenient.Ready(relation.New(tx.Rep))
+		e.writes.Add(1)
+		return lenient.Ready(Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind})
+
+	case KindCustom:
+		return e.submitCustom(tx)
+
+	default:
+		return e.submitBuiltin(tx)
+	}
+}
+
+// submitBuiltin handles the single-relation query kinds.
+func (e *Engine) submitBuiltin(tx Transaction) *lenient.Cell[Response] {
+	in, ok := e.cells[tx.Rel]
+	if !ok {
+		return lenient.Ready(Response{
+			Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind,
+			Err: fmt.Errorf("%w: %q", database.ErrNoRelation, tx.Rel),
+		})
+	}
+
+	ctx := e.ctx()
+	e.wg.Add(1)
+	out := lenient.Spawn(func() txnOut {
+		defer e.wg.Done()
+		rel := in.Force()
+		return applyToRelation(ctx, tx, rel)
+	})
+
+	if !tx.IsReadOnly() {
+		// Replace the cell: later transactions on this relation chain on
+		// this future; all other relations' cells are shared untouched.
+		e.cells[tx.Rel] = lenient.Map(out, func(o txnOut) relation.Relation {
+			if nr, ok := o.newRels[tx.Rel]; ok {
+				return nr
+			}
+			return in.Force() // miss (e.g. delete of absent key): old value
+		})
+		e.writes.Add(1)
+	}
+	return lenient.Map(out, func(o txnOut) Response { return o.resp })
+}
+
+// applyToRelation interprets a built-in transaction against one relation
+// value.
+func applyToRelation(ctx *eval.Ctx, tx Transaction, rel relation.Relation) txnOut {
+	resp := Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind}
+	switch tx.Kind {
+	case KindInsert:
+		nr, _ := rel.Insert(ctx, tx.Tuple, trace.None)
+		resp.Tuple = tx.Tuple
+		return txnOut{resp: resp, newRels: map[string]relation.Relation{tx.Rel: nr}}
+	case KindDelete:
+		nr, found, _ := rel.Delete(ctx, tx.Key, trace.None)
+		resp.Found = found
+		if !found {
+			return txnOut{resp: resp}
+		}
+		return txnOut{resp: resp, newRels: map[string]relation.Relation{tx.Rel: nr}}
+	case KindFind:
+		tu, found, _ := rel.Find(ctx, tx.Key, trace.None)
+		resp.Found, resp.Tuple = found, tu
+		return txnOut{resp: resp}
+	case KindScan:
+		resp.Tuples = rel.Tuples()
+		resp.Count = len(resp.Tuples)
+		return txnOut{resp: resp}
+	case KindCount:
+		resp.Count = rel.Len()
+		return txnOut{resp: resp}
+	case KindRange:
+		rel.Range(ctx, tx.Lo, tx.Hi, trace.None, func(tu value.Tuple) {
+			resp.Tuples = append(resp.Tuples, tu)
+		})
+		resp.Count = len(resp.Tuples)
+		return txnOut{resp: resp}
+	default:
+		resp.Err = fmt.Errorf("core: engine cannot interpret kind %v", tx.Kind)
+		return txnOut{resp: resp}
+	}
+}
+
+// submitCustom handles arbitrary functional bodies with declared read and
+// write sets. An empty declaration means "touches everything" (a full
+// barrier) — correct but unpipelined, so callers should declare sets.
+func (e *Engine) submitCustom(tx Transaction) *lenient.Cell[Response] {
+	touched := unionSorted(tx.Reads, tx.Writes)
+	if len(touched) == 0 {
+		touched = append([]string(nil), e.names...)
+		sort.Strings(touched)
+	}
+	ins := make([]*lenient.Cell[relation.Relation], len(touched))
+	for i, name := range touched {
+		cell, ok := e.cells[name]
+		if !ok {
+			return lenient.Ready(Response{
+				Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind,
+				Err: fmt.Errorf("%w: %q", database.ErrNoRelation, name),
+			})
+		}
+		ins[i] = cell
+	}
+
+	ctx := e.ctx()
+	version := e.writes.Load()
+	e.wg.Add(1)
+	out := lenient.Spawn(func() (o txnOut) {
+		defer e.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				o = txnOut{resp: Response{
+					Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind,
+					Err: fmt.Errorf("core: custom transaction panicked: %v", r),
+				}}
+			}
+		}()
+		rels := make([]relation.Relation, len(ins))
+		for i, c := range ins {
+			rels[i] = c.Force()
+		}
+		view := database.FromRelations(touched, rels, version)
+		resp, next, _ := tx.Custom(ctx, view, trace.None)
+		resp.Origin, resp.Seq = tx.Origin, tx.Seq
+		if resp.Kind == 0 {
+			resp.Kind = KindCustom
+		}
+		newRels := make(map[string]relation.Relation, len(tx.Writes))
+		for _, w := range tx.Writes {
+			if nr, ok := next.RelationFast(w); ok {
+				newRels[w] = nr
+			}
+		}
+		return txnOut{resp: resp, newRels: newRels}
+	})
+
+	for i, name := range touched {
+		if !contains(tx.Writes, name) {
+			continue
+		}
+		in := ins[i]
+		name := name
+		e.cells[name] = lenient.Map(out, func(o txnOut) relation.Relation {
+			if nr, ok := o.newRels[name]; ok {
+				return nr
+			}
+			return in.Force()
+		})
+	}
+	if len(tx.Writes) > 0 {
+		e.writes.Add(1)
+	}
+	return lenient.Map(out, func(o txnOut) Response { return o.resp })
+}
+
+// Barrier blocks until every submitted transaction body has finished.
+func (e *Engine) Barrier() { e.wg.Wait() }
+
+// Current materializes the present database version, forcing every
+// relation cell (a full barrier on the version stream).
+func (e *Engine) Current() *database.Database {
+	e.mu.Lock()
+	names := append([]string(nil), e.names...)
+	cells := make([]*lenient.Cell[relation.Relation], len(names))
+	for i, n := range names {
+		cells[i] = e.cells[n]
+	}
+	version := e.writes.Load()
+	e.mu.Unlock()
+
+	rels := make([]relation.Relation, len(cells))
+	for i, c := range cells {
+		rels[i] = c.Force()
+	}
+	return database.FromRelations(names, rels, version)
+}
+
+// ApplyStreamPipelined runs an already-merged transaction slice through a
+// fresh Engine and returns the responses in merged order plus the final
+// database. It is the batch form of the runtime engine, directly comparable
+// with ApplySequential for the serializability tests.
+func ApplyStreamPipelined(initial *database.Database, txns []Transaction, opts ...EngineOption) ([]Response, *database.Database) {
+	e := NewEngine(initial, opts...)
+	futures := make([]*lenient.Cell[Response], 0, len(txns))
+	for _, tx := range txns {
+		futures = append(futures, e.Submit(tx))
+	}
+	responses := make([]Response, 0, len(futures))
+	for _, f := range futures {
+		responses = append(responses, f.Force())
+	}
+	return responses, e.Current()
+}
+
+// unionSorted merges two name slices into a sorted, deduplicated union.
+func unionSorted(a, b []string) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for _, s := range a {
+		set[s] = struct{}{}
+	}
+	for _, s := range b {
+		set[s] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"funcdb/internal/database"
+	"funcdb/internal/lenient"
+	"funcdb/internal/trace"
+)
+
+// step is one element of the apply-stream recursion: the paper's lenient
+// pair [response, new-database].
+type step struct {
+	resp Response
+	db   *database.Database
+}
+
+// ApplyStreamEquations is the paper's top-level program of Figure 2-1,
+// transcribed onto lenient streams:
+//
+//	old-databases = initial-database ^ new-databases
+//	[responses, new-databases] = apply-stream:[transactions, old-databases]
+//
+// with apply-stream's recursive definition from Section 2.1:
+//
+//	apply-stream:[transactions, databases] =
+//	  if transactions = [] then [[], []]
+//	  else { [response, new-database] =
+//	             (first:transactions):(first:databases),
+//	         [more-responses, more-databases] =
+//	             apply-stream:[rest:transactions, rest:databases],
+//	         RESULT [response ^ more-responses,
+//	                 new-database ^ more-databases] }
+//
+// It returns the response stream and the database stream
+// (initial ^ new-databases). Both are projections of a single memoized
+// recursion, so each transaction runs exactly once however the outputs are
+// demanded — and the recursion is demand-driven: demanding the k-th
+// response runs only the first k transactions, so the transaction stream
+// may be unbounded ("input sequences of unknown or infinite length, called
+// streams, are bona fide data objects"). Constructing the result computes
+// the first element (Go's stream heads are strict); everything further is
+// lazy.
+//
+// This form is the executable specification. ApplySequential — and through
+// the equivalence tests, the traced and pipelined engines — must agree with
+// it on every prefix.
+func ApplyStreamEquations(initial *database.Database, txns *lenient.Stream[Transaction]) (*lenient.Stream[Response], *lenient.Stream[*database.Database]) {
+	steps := unfoldSteps(txns, initial)
+	responses := lenient.ApplyToAll(func(s step) Response { return s.resp }, steps)
+	oldDBs := lenient.FollowedBy(initial, func() *lenient.Stream[*database.Database] {
+		return lenient.ApplyToAll(func(s step) *database.Database { return s.db }, steps)
+	})
+	return responses, oldDBs
+}
+
+// unfoldSteps performs the recursion, threading each new database into the
+// next application. Stream cells memoize, so each step is computed at most
+// once regardless of how many projections traverse it.
+func unfoldSteps(txns *lenient.Stream[Transaction], db *database.Database) *lenient.Stream[step] {
+	if txns.IsEmpty() {
+		return nil
+	}
+	resp, next, _ := txns.First().Apply(nil, db, trace.None)
+	return lenient.FollowedBy(step{resp: resp, db: next}, func() *lenient.Stream[step] {
+		return unfoldSteps(txns.Rest(), next)
+	})
+}

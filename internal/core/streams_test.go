@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/lenient"
+	"funcdb/internal/relation"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+	"math/rand"
+)
+
+func TestEquationsMatchSequential(t *testing.T) {
+	txns := []Transaction{
+		Insert("R", tup(3, "c")),
+		Find("R", value.Int(3)),
+		Delete("R", value.Int(1)),
+		Count("R"),
+		Insert("S", tup(11)),
+	}
+	seqResp, seqFinal := ApplySequential(seedDB(), txns)
+
+	respStream, dbStream := ApplyStreamEquations(seedDB(), lenient.FromSlice(txns))
+	eqResp := lenient.ToSlice(respStream)
+	if len(eqResp) != len(seqResp) {
+		t.Fatalf("%d responses, want %d", len(eqResp), len(seqResp))
+	}
+	for i := range seqResp {
+		if seqResp[i].Found != eqResp[i].Found || seqResp[i].Count != eqResp[i].Count {
+			t.Errorf("response %d differs: %+v vs %+v", i, seqResp[i], eqResp[i])
+		}
+	}
+	dbs := lenient.ToSlice(dbStream)
+	if len(dbs) != len(txns)+1 {
+		t.Fatalf("database stream has %d versions", len(dbs))
+	}
+	if !dbs[len(dbs)-1].Equal(seqFinal) {
+		t.Error("final database differs from sequential")
+	}
+	// The database stream starts with the initial version.
+	if dbs[0].Version() != 0 {
+		t.Errorf("first version = %d", dbs[0].Version())
+	}
+}
+
+func TestEquationsAreDemandDriven(t *testing.T) {
+	// A counting transaction stream: only as many transactions run as
+	// responses are demanded (plus the strict head).
+	var ran atomic.Int32
+	counting := lenient.Generate(func(i int) (Transaction, bool) {
+		if i >= 1000 {
+			return Transaction{}, false
+		}
+		tx := Custom(func(_ *eval.Ctx, db *database.Database, _ trace.TaskID) (Response, *database.Database, trace.Op) {
+			ran.Add(1)
+			return Response{Count: i}, db, trace.Op{}
+		}, nil, nil)
+		tx.Seq = i
+		return tx, true
+	})
+
+	respStream, _ := ApplyStreamEquations(database.New(relation.RepList, "R"), counting)
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("constructing the streams ran %d transactions, want 1 (the strict head)", got)
+	}
+	got := lenient.TakeSlice(respStream, 5)
+	if len(got) != 5 {
+		t.Fatalf("took %d", len(got))
+	}
+	if ran.Load() != 5 {
+		t.Errorf("demanding 5 responses ran %d transactions", ran.Load())
+	}
+	// Each transaction ran exactly once even though two projections share
+	// the recursion: demand the database stream for the same prefix.
+	_, dbStream := ApplyStreamEquations(database.New(relation.RepList, "R"), counting)
+	_ = dbStream
+}
+
+func TestEquationsShareTheRecursion(t *testing.T) {
+	// Demanding BOTH output streams must not re-run transactions.
+	var ran atomic.Int32
+	txns := make([]Transaction, 10)
+	for i := range txns {
+		i := i
+		txns[i] = Custom(func(_ *eval.Ctx, db *database.Database, _ trace.TaskID) (Response, *database.Database, trace.Op) {
+			ran.Add(1)
+			return Response{Count: i}, db, trace.Op{}
+		}, nil, nil)
+	}
+	respStream, dbStream := ApplyStreamEquations(database.New(relation.RepList, "R"), lenient.FromSlice(txns))
+	_ = lenient.ToSlice(respStream)
+	_ = lenient.ToSlice(dbStream)
+	if got := ran.Load(); got != 10 {
+		t.Errorf("transactions ran %d times, want 10 (once each)", got)
+	}
+}
+
+func TestEquationsEmptyStream(t *testing.T) {
+	respStream, dbStream := ApplyStreamEquations(seedDB(), nil)
+	if respStream != nil {
+		t.Error("responses of empty stream not empty")
+	}
+	dbs := lenient.ToSlice(dbStream)
+	if len(dbs) != 1 {
+		t.Fatalf("database stream = %d versions, want 1 (initial)", len(dbs))
+	}
+}
+
+func TestEquationsOldVersionsRemainQueryable(t *testing.T) {
+	txns := []Transaction{
+		Insert("R", tup(5)),
+		Insert("R", tup(6)),
+		Delete("R", value.Int(5)),
+	}
+	_, dbStream := ApplyStreamEquations(seedDB(), lenient.FromSlice(txns))
+	dbs := lenient.ToSlice(dbStream)
+	// dbs[1] is the version after the first insert: key 5 present.
+	if _, found, _, _ := dbs[1].Find(nil, "R", value.Int(5), trace.None); !found {
+		t.Error("version 1 lost key 5")
+	}
+	// dbs[3] is after the delete: key 5 absent, key 6 present.
+	if _, found, _, _ := dbs[3].Find(nil, "R", value.Int(5), trace.None); found {
+		t.Error("version 3 still has key 5")
+	}
+	if _, found, _, _ := dbs[3].Find(nil, "R", value.Int(6), trace.None); !found {
+		t.Error("version 3 lost key 6")
+	}
+}
+
+func TestPropertyEquationsEquivalentToSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		init := database.New(relation.RepList, "R", "S")
+		n := 10 + r.Intn(30)
+		txns := make([]Transaction, 0, n)
+		for i := 0; i < n; i++ {
+			rel := []string{"R", "S"}[r.Intn(2)]
+			k := int64(r.Intn(10))
+			switch r.Intn(3) {
+			case 0:
+				txns = append(txns, Insert(rel, tup(k)))
+			case 1:
+				txns = append(txns, Delete(rel, value.Int(k)))
+			default:
+				txns = append(txns, Find(rel, value.Int(k)))
+			}
+		}
+		seqResp, seqFinal := ApplySequential(init, txns)
+		respStream, dbStream := ApplyStreamEquations(init, lenient.FromSlice(txns))
+		eqResp := lenient.ToSlice(respStream)
+		for i := range seqResp {
+			if seqResp[i].Found != eqResp[i].Found {
+				return false
+			}
+		}
+		dbs := lenient.ToSlice(dbStream)
+		return dbs[len(dbs)-1].Equal(seqFinal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/trace"
+)
+
+// TracedOptions tunes the simulated apply-stream.
+type TracedOptions struct {
+	// Strict disables leniency: transaction k+1's dispatch waits for
+	// transaction k's completion, the way a conventional serially-executed
+	// system would behave. This is the ablation contrasting Section 2.3's
+	// implicit synchronization against strict sequencing; the recorded DAG
+	// collapses to (nearly) a chain.
+	Strict bool
+	// History, when non-nil, records every database version.
+	History *database.History
+}
+
+// ApplyStreamTraced runs the paper's apply-stream equations over an
+// already-merged transaction slice, recording the dataflow DAG through ctx.
+//
+// Per transaction k the simulated evaluator records:
+//
+//   - a merge task (the arbitration admitting the request into the merged
+//     stream; these form a chain — the paper's "momentary locking effect
+//     among transactions as transaction streams are merged");
+//   - an unfold task (one recursive unfolding of apply-stream; also a
+//     chain, since the stream spine is produced in order);
+//   - a dispatch task (the transaction beginning to evaluate);
+//   - the transaction's own visits/constructs (recorded by the database
+//     layer), which depend on the *constructor tasks of the cells they
+//     touch* — this is where pipelining appears: a transaction reading a
+//     version still under construction proceeds one wavefront behind it;
+//   - a respond task depending on the operation's outcome.
+//
+// The returned responses are in merged order; the final database is the
+// last version of the stream.
+func ApplyStreamTraced(ctx *eval.Ctx, initial *database.Database, txns []Transaction, opts TracedOptions) ([]Response, *database.Database) {
+	responses := make([]Response, 0, len(txns))
+	db := initial
+	if opts.History != nil {
+		opts.History.Append(db)
+	}
+	mergeT, unfoldT := trace.None, trace.None
+	prevDone := trace.None
+	for _, tx := range txns {
+		mergeT = ctx.Task(trace.KindMerge, mergeT)
+		unfoldT = ctx.Task(trace.KindUnfold, unfoldT, mergeT)
+		var dispatch trace.TaskID
+		if opts.Strict {
+			// Strict sequencing: wait for the previous transaction to be
+			// fully finished before starting.
+			dispatch = ctx.Task(trace.KindDispatch, unfoldT, prevDone)
+		} else {
+			dispatch = ctx.Task(trace.KindDispatch, unfoldT)
+		}
+		resp, next, op := tx.Apply(ctx, db, dispatch)
+		respond := ctx.Task(trace.KindRespond, op.Done)
+		prevDone = respond
+		responses = append(responses, resp)
+		if next != db && opts.History != nil {
+			opts.History.Append(next)
+		}
+		db = next
+	}
+	return responses, db
+}
+
+// ApplySequential runs the transactions with no tracing and no leniency:
+// the plain sequential reference semantics. Every engine must agree with
+// it; the serializability tests rely on that.
+func ApplySequential(initial *database.Database, txns []Transaction) ([]Response, *database.Database) {
+	return ApplyStreamTraced(nil, initial, txns, TracedOptions{})
+}

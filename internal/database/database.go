@@ -1,0 +1,271 @@
+// Package database implements the functional database object: a persistent
+// directory mapping relation names to persistent relations, plus the
+// update functions of Section 2.2 of the paper:
+//
+//	insert-in-db: databases x relation-names x tuples --> databases
+//
+// A database value is immutable. Updates build a new database that shares
+// every unmodified relation with its predecessor ("DO and D1 both share the
+// relation SO, while D1 and D2 share the relation S1. Thus, a net
+// reconstruction of two relations, rather than four, has taken place").
+// Read-only operations return the receiver itself — "For such transactions,
+// no physical modification is necessary."
+package database
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"funcdb/internal/eval"
+	"funcdb/internal/pmap"
+	"funcdb/internal/relation"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+)
+
+// ErrNoRelation reports a reference to an unknown relation name.
+var ErrNoRelation = errors.New("no such relation")
+
+// ErrRelationExists reports creating a relation that already exists.
+var ErrRelationExists = errors.New("relation already exists")
+
+// Database is one immutable database version.
+type Database struct {
+	dir     pmap.Map[relation.Relation]
+	version int64
+	ready   trace.TaskID
+}
+
+// New returns version 0 of a database with the named (empty) relations, all
+// using representation rep.
+func New(rep relation.Rep, names ...string) *Database {
+	db := &Database{}
+	for _, n := range names {
+		db.dir, _ = db.dir.Set(nil, n, relation.New(rep), trace.None)
+	}
+	return db
+}
+
+// FromData builds version 0 with initial contents. names fixes the
+// directory order (and must cover every key of data).
+func FromData(rep relation.Rep, names []string, data map[string][]value.Tuple) *Database {
+	db := &Database{}
+	for _, n := range names {
+		db.dir, _ = db.dir.Set(nil, n, relation.FromTuples(rep, data[n]), trace.None)
+	}
+	if len(names) != len(data) {
+		panic(fmt.Sprintf("database: FromData got %d names for %d relations", len(names), len(data)))
+	}
+	return db
+}
+
+// FromRelations assembles a database view directly from relation values
+// (untraced), preserving the given directory order. It is used by the
+// pipelined engine to materialize versions from per-relation futures and
+// by custom transactions to build scoped views.
+func FromRelations(names []string, rels []relation.Relation, version int64) *Database {
+	if len(names) != len(rels) {
+		panic(fmt.Sprintf("database: FromRelations got %d names for %d relations", len(names), len(rels)))
+	}
+	db := &Database{version: version}
+	for i, n := range names {
+		db.dir, _ = db.dir.Set(nil, n, rels[i], trace.None)
+	}
+	return db
+}
+
+// Version returns the version number (0 for the initial database, +1 per
+// update).
+func (db *Database) Version() int64 { return db.version }
+
+// Ready returns the task at which this version's directory became available
+// (None for pre-existing versions).
+func (db *Database) Ready() trace.TaskID { return db.ready }
+
+// RelationNames returns the relation names in sorted order.
+func (db *Database) RelationNames() []string {
+	names := db.dir.Names()
+	sort.Strings(names)
+	return names
+}
+
+// RelationFast returns a relation without recording trace tasks, for
+// reporting and validation.
+func (db *Database) RelationFast(name string) (relation.Relation, bool) {
+	return db.dir.GetFast(name)
+}
+
+// TotalTuples returns the number of tuples across all relations.
+func (db *Database) TotalTuples() int {
+	n := 0
+	for _, name := range db.dir.Names() {
+		rel, _ := db.dir.GetFast(name)
+		n += rel.Len()
+	}
+	return n
+}
+
+// lookup resolves a relation with directory tracing.
+func (db *Database) lookup(ctx *eval.Ctx, name string, after trace.TaskID) (relation.Relation, trace.TaskID, error) {
+	rel, ok, step := db.dir.Get(ctx, name, after)
+	if !ok {
+		return nil, step, fmt.Errorf("%w: %q", ErrNoRelation, name)
+	}
+	return rel, step, nil
+}
+
+// withUpdated builds the successor database with one relation replaced. The
+// directory rebuild starts as soon as the new relation exists as an object
+// (relReady), not when the update completes.
+func (db *Database) withUpdated(ctx *eval.Ctx, name string, rel relation.Relation, relReady trace.TaskID) (*Database, trace.TaskID) {
+	dir, op := db.dir.Set(ctx, name, rel, relReady)
+	return &Database{dir: dir, version: db.version + 1, ready: op.Ready}, op.Ready
+}
+
+// Insert adds tuple t to relation name, returning the successor database.
+func (db *Database) Insert(ctx *eval.Ctx, name string, t value.Tuple, after trace.TaskID) (*Database, trace.Op, error) {
+	rel, step, err := db.lookup(ctx, name, after)
+	if err != nil {
+		return db, trace.Op{Done: step}, err
+	}
+	newRel, op := rel.Insert(ctx, t, step)
+	next, ready := db.withUpdated(ctx, name, newRel, op.Ready)
+	return next, trace.Op{Ready: ready, Done: op.Done}, nil
+}
+
+// Find looks key up in relation name. The database is unchanged (and the
+// receiver is the result database, shared in its entirety).
+func (db *Database) Find(ctx *eval.Ctx, name string, key value.Item, after trace.TaskID) (value.Tuple, bool, trace.TaskID, error) {
+	rel, step, err := db.lookup(ctx, name, after)
+	if err != nil {
+		return value.Tuple{}, false, step, err
+	}
+	tu, found, done := rel.Find(ctx, key, step)
+	return tu, found, done, nil
+}
+
+// Delete removes key from relation name, returning the successor database
+// and whether a tuple was removed. A miss still returns a (shared) valid
+// database.
+func (db *Database) Delete(ctx *eval.Ctx, name string, key value.Item, after trace.TaskID) (*Database, bool, trace.Op, error) {
+	rel, step, err := db.lookup(ctx, name, after)
+	if err != nil {
+		return db, false, trace.Op{Done: step}, err
+	}
+	newRel, found, op := rel.Delete(ctx, key, step)
+	if !found {
+		// Nothing removed: the old database remains the current version.
+		return db, false, trace.Op{Done: op.Done}, nil
+	}
+	next, ready := db.withUpdated(ctx, name, newRel, op.Ready)
+	return next, true, trace.Op{Ready: ready, Done: op.Done}, nil
+}
+
+// Count returns the cardinality of relation name.
+func (db *Database) Count(ctx *eval.Ctx, name string, after trace.TaskID) (int, trace.TaskID, error) {
+	rel, step, err := db.lookup(ctx, name, after)
+	if err != nil {
+		return 0, step, err
+	}
+	// Counting demands the whole relation: one visit per tuple for the
+	// list; tree representations still enumerate (an honest functional
+	// count; cached cardinalities would be a different design).
+	n := 0
+	done := rel.Range(ctx, minItem(), maxItem(), step, func(value.Tuple) { n++ })
+	return n, done, nil
+}
+
+// Scan returns the full contents of relation name in key order.
+func (db *Database) Scan(ctx *eval.Ctx, name string, after trace.TaskID) ([]value.Tuple, trace.TaskID, error) {
+	rel, step, err := db.lookup(ctx, name, after)
+	if err != nil {
+		return nil, step, err
+	}
+	var out []value.Tuple
+	done := rel.Range(ctx, minItem(), maxItem(), step, func(tu value.Tuple) { out = append(out, tu) })
+	return out, done, nil
+}
+
+// RangeScan returns the tuples of relation name with lo <= key <= hi.
+func (db *Database) RangeScan(ctx *eval.Ctx, name string, lo, hi value.Item, after trace.TaskID) ([]value.Tuple, trace.TaskID, error) {
+	rel, step, err := db.lookup(ctx, name, after)
+	if err != nil {
+		return nil, step, err
+	}
+	var out []value.Tuple
+	done := rel.Range(ctx, lo, hi, step, func(tu value.Tuple) { out = append(out, tu) })
+	return out, done, nil
+}
+
+// CreateRelation returns a successor database with a new empty relation.
+func (db *Database) CreateRelation(ctx *eval.Ctx, name string, rep relation.Rep, after trace.TaskID) (*Database, trace.Op, error) {
+	if _, exists := db.dir.GetFast(name); exists {
+		return db, trace.Op{Done: after}, fmt.Errorf("%w: %q", ErrRelationExists, name)
+	}
+	dir, op := db.dir.Set(ctx, name, relation.New(rep), after)
+	next := &Database{dir: dir, version: db.version + 1, ready: op.Ready}
+	return next, op, nil
+}
+
+// ReplaceRelation returns a successor database with relation name bound to
+// rel. It is the building block for custom (multi-operation) transactions.
+func (db *Database) ReplaceRelation(ctx *eval.Ctx, name string, rel relation.Relation, relReady trace.TaskID) (*Database, trace.Op, error) {
+	if _, exists := db.dir.GetFast(name); !exists {
+		return db, trace.Op{}, fmt.Errorf("%w: %q", ErrNoRelation, name)
+	}
+	next, ready := db.withUpdated(ctx, name, rel, relReady)
+	return next, trace.Op{Ready: ready, Done: ready}, nil
+}
+
+// Relation resolves a relation with directory tracing, for custom
+// transactions that operate on relations directly.
+func (db *Database) Relation(ctx *eval.Ctx, name string, after trace.TaskID) (relation.Relation, trace.TaskID, error) {
+	return db.lookup(ctx, name, after)
+}
+
+// Equal reports whether two database versions have identical logical
+// contents (same relations, same tuples).
+func (db *Database) Equal(other *Database) bool {
+	a, b := db.RelationNames(), other.RelationNames()
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+		ra, _ := db.dir.GetFast(a[i])
+		rb, _ := other.dir.GetFast(a[i])
+		ta, tb := ra.Tuples(), rb.Tuples()
+		if len(ta) != len(tb) {
+			return false
+		}
+		for j := range ta {
+			if !ta[j].Equal(tb[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SharedRelationsWith counts relations physically shared (identical values)
+// between two versions — the paper's "net reconstruction of two relations,
+// rather than four" measurement.
+func (db *Database) SharedRelationsWith(other *Database) int {
+	n := 0
+	for _, name := range db.dir.Names() {
+		ra, ok1 := db.dir.GetFast(name)
+		rb, ok2 := other.dir.GetFast(name)
+		if ok1 && ok2 && ra == rb {
+			n++
+		}
+	}
+	return n
+}
+
+// minItem and maxItem bound the key space for full scans.
+func minItem() value.Item { return value.MinKey() }
+
+func maxItem() value.Item { return value.MaxKey() }

@@ -1,0 +1,385 @@
+package database
+
+import (
+	"errors"
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"funcdb/internal/eval"
+	"funcdb/internal/relation"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+)
+
+func tup(k int64, rest ...string) value.Tuple {
+	items := []value.Item{value.Int(k)}
+	for _, s := range rest {
+		items = append(items, value.Str(s))
+	}
+	return value.NewTuple(items...)
+}
+
+func TestNewDatabase(t *testing.T) {
+	db := New(relation.RepList, "R", "S")
+	if db.Version() != 0 {
+		t.Errorf("Version = %d", db.Version())
+	}
+	names := db.RelationNames()
+	if len(names) != 2 || names[0] != "R" || names[1] != "S" {
+		t.Errorf("RelationNames = %v", names)
+	}
+	if db.TotalTuples() != 0 {
+		t.Errorf("TotalTuples = %d", db.TotalTuples())
+	}
+}
+
+func TestFromData(t *testing.T) {
+	db := FromData(relation.RepList, []string{"R", "S"}, map[string][]value.Tuple{
+		"R": {tup(1), tup(2)},
+		"S": {tup(3)},
+	})
+	if db.TotalTuples() != 3 {
+		t.Errorf("TotalTuples = %d", db.TotalTuples())
+	}
+	r, ok := db.RelationFast("R")
+	if !ok || r.Len() != 2 {
+		t.Errorf("R missing or wrong size")
+	}
+}
+
+func TestFromDataMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	FromData(relation.RepList, []string{"R"}, map[string][]value.Tuple{"R": nil, "S": nil})
+}
+
+func TestInsertProducesNewVersionSharingOthers(t *testing.T) {
+	// The paper's D0/D1/D2 example: updating R shares S; updating S next
+	// shares the new R.
+	d0 := FromData(relation.RepList, []string{"R", "S"}, map[string][]value.Tuple{
+		"R": {tup(1)},
+		"S": {tup(2)},
+	})
+	d1, _, err := d0.Insert(nil, "R", tup(10), trace.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := d1.Insert(nil, "S", tup(20), trace.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d0.Version() != 0 || d1.Version() != 1 || d2.Version() != 2 {
+		t.Errorf("versions = %d,%d,%d", d0.Version(), d1.Version(), d2.Version())
+	}
+	// D0 and D1 share S0; D1 and D2 share R1.
+	if n := d1.SharedRelationsWith(d0); n != 1 {
+		t.Errorf("d1 shares %d relations with d0, want 1 (S)", n)
+	}
+	if n := d2.SharedRelationsWith(d1); n != 1 {
+		t.Errorf("d2 shares %d relations with d1, want 1 (R)", n)
+	}
+	// Old versions are unchanged.
+	if d0.TotalTuples() != 2 || d1.TotalTuples() != 3 || d2.TotalTuples() != 4 {
+		t.Errorf("tuple counts = %d,%d,%d", d0.TotalTuples(), d1.TotalTuples(), d2.TotalTuples())
+	}
+}
+
+func TestFindIsReadOnly(t *testing.T) {
+	db := FromData(relation.RepList, []string{"R"}, map[string][]value.Tuple{"R": {tup(1, "x")}})
+	got, found, _, err := db.Find(nil, "R", value.Int(1), trace.None)
+	if err != nil || !found || got.Field(1).AsString() != "x" {
+		t.Errorf("Find = %v, %v, %v", got, found, err)
+	}
+	_, found, _, err = db.Find(nil, "R", value.Int(2), trace.None)
+	if err != nil || found {
+		t.Errorf("Find(2) = %v, %v", found, err)
+	}
+}
+
+func TestUnknownRelationErrors(t *testing.T) {
+	db := New(relation.RepList, "R")
+	if _, _, err := db.Insert(nil, "X", tup(1), trace.None); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("Insert err = %v", err)
+	}
+	if _, _, _, err := db.Find(nil, "X", value.Int(1), trace.None); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("Find err = %v", err)
+	}
+	if _, _, _, err := db.Delete(nil, "X", value.Int(1), trace.None); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("Delete err = %v", err)
+	}
+	if _, _, err := db.Count(nil, "X", trace.None); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("Count err = %v", err)
+	}
+	if _, _, err := db.Scan(nil, "X", trace.None); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("Scan err = %v", err)
+	}
+	if _, _, err := db.RangeScan(nil, "X", value.Int(0), value.Int(1), trace.None); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("RangeScan err = %v", err)
+	}
+	if _, _, err := db.ReplaceRelation(nil, "X", relation.New(relation.RepList), trace.None); !errors.Is(err, ErrNoRelation) {
+		t.Errorf("ReplaceRelation err = %v", err)
+	}
+}
+
+func TestDeleteMissReturnsSameVersion(t *testing.T) {
+	db := FromData(relation.RepList, []string{"R"}, map[string][]value.Tuple{"R": {tup(1)}})
+	next, found, _, err := db.Delete(nil, "R", value.Int(99), trace.None)
+	if err != nil || found {
+		t.Fatalf("Delete = %v, %v", found, err)
+	}
+	if next != db {
+		t.Error("miss delete produced a new database version")
+	}
+	next, found, _, err = db.Delete(nil, "R", value.Int(1), trace.None)
+	if err != nil || !found {
+		t.Fatalf("Delete(1) = %v, %v", found, err)
+	}
+	if next == db || next.Version() != 1 {
+		t.Error("hit delete did not produce a new version")
+	}
+}
+
+func TestCountScanRange(t *testing.T) {
+	db := FromData(relation.RepList, []string{"R"}, map[string][]value.Tuple{
+		"R": {tup(1), tup(2), tup(3), tup(4)},
+	})
+	n, _, err := db.Count(nil, "R", trace.None)
+	if err != nil || n != 4 {
+		t.Errorf("Count = %d, %v", n, err)
+	}
+	all, _, err := db.Scan(nil, "R", trace.None)
+	if err != nil || len(all) != 4 {
+		t.Errorf("Scan = %v, %v", all, err)
+	}
+	some, _, err := db.RangeScan(nil, "R", value.Int(2), value.Int(3), trace.None)
+	if err != nil || len(some) != 2 {
+		t.Errorf("RangeScan = %v, %v", some, err)
+	}
+}
+
+func TestCreateRelation(t *testing.T) {
+	db := New(relation.RepList, "R")
+	db2, _, err := db.CreateRelation(nil, "S", relation.RepAVL, trace.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.Version() != 1 || len(db2.RelationNames()) != 2 {
+		t.Errorf("create failed: v%d %v", db2.Version(), db2.RelationNames())
+	}
+	if _, _, err := db2.CreateRelation(nil, "S", relation.RepAVL, trace.None); !errors.Is(err, ErrRelationExists) {
+		t.Errorf("duplicate create err = %v", err)
+	}
+	// Old version does not see the new relation.
+	if len(db.RelationNames()) != 1 {
+		t.Error("old version gained a relation")
+	}
+}
+
+func TestReplaceRelation(t *testing.T) {
+	db := New(relation.RepList, "R")
+	nr := relation.FromTuples(relation.RepList, []value.Tuple{tup(5)})
+	db2, _, err := db.ReplaceRelation(nil, "R", nr, trace.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.TotalTuples() != 1 || db.TotalTuples() != 0 {
+		t.Error("ReplaceRelation leaked into old version")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromData(relation.RepList, []string{"R"}, map[string][]value.Tuple{"R": {tup(1)}})
+	b := FromData(relation.RepList, []string{"R"}, map[string][]value.Tuple{"R": {tup(1)}})
+	c := FromData(relation.RepList, []string{"R"}, map[string][]value.Tuple{"R": {tup(2)}})
+	d := FromData(relation.RepList, []string{"S"}, map[string][]value.Tuple{"S": {tup(1)}})
+	if !a.Equal(b) {
+		t.Error("equal databases reported unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("unequal databases reported equal")
+	}
+}
+
+func TestTracedInsertRecordsDirectoryAndRelationWork(t *testing.T) {
+	g := trace.New()
+	ctx := &eval.Ctx{Graph: g}
+	db := FromData(relation.RepList, []string{"R", "S"}, map[string][]value.Tuple{
+		"R": {tup(1), tup(2)},
+		"S": {tup(3)},
+	})
+	next, op, err := db.Insert(ctx, "R", tup(5), trace.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() == 0 {
+		t.Fatal("no tasks recorded")
+	}
+	if op.Ready == trace.None || op.Done == trace.None {
+		t.Errorf("op = %+v", op)
+	}
+	if next.Ready() == trace.None {
+		t.Error("new version has no ready task")
+	}
+	p := g.Analyze()
+	if p.KindCounts[trace.KindDirectory] == 0 {
+		t.Error("no directory tasks recorded")
+	}
+	if p.KindCounts[trace.KindVisit] == 0 || p.KindCounts[trace.KindConstruct] == 0 {
+		t.Error("no relation work recorded")
+	}
+}
+
+func TestPropertyDatabaseMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		names := []string{"R", "S", "T"}
+		db := New(relation.RepList, names...)
+		model := map[string]map[int64]bool{"R": {}, "S": {}, "T": {}}
+		for i := 0; i < 100; i++ {
+			name := names[r.Intn(len(names))]
+			k := int64(r.Intn(20))
+			switch r.Intn(3) {
+			case 0:
+				var err error
+				db, _, err = db.Insert(nil, name, tup(k), trace.None)
+				if err != nil {
+					return false
+				}
+				model[name][k] = true
+			case 1:
+				var found bool
+				var err error
+				db, found, _, err = db.Delete(nil, name, value.Int(k), trace.None)
+				if err != nil || found != model[name][k] {
+					return false
+				}
+				delete(model[name], k)
+			case 2:
+				_, found, _, err := db.Find(nil, name, value.Int(k), trace.None)
+				if err != nil || found != model[name][k] {
+					return false
+				}
+			}
+		}
+		for _, name := range names {
+			n, _, err := db.Count(nil, name, trace.None)
+			if err != nil || n != len(model[name]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryArchiveMode(t *testing.T) {
+	h := NewHistory(0)
+	db := New(relation.RepList, "R")
+	h.Append(db)
+	for i := 0; i < 10; i++ {
+		var err error
+		db, _, err = db.Insert(nil, "R", tup(int64(i)), trace.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Append(db)
+	}
+	if h.Len() != 11 {
+		t.Errorf("archive kept %d versions", h.Len())
+	}
+	if h.Dropped() != 0 {
+		t.Errorf("archive dropped %d", h.Dropped())
+	}
+	// Time travel: version 5 has exactly 5 tuples.
+	v5, err := h.Version(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v5.TotalTuples() != 5 {
+		t.Errorf("version 5 has %d tuples", v5.TotalTuples())
+	}
+	if h.Latest().TotalTuples() != 10 {
+		t.Errorf("latest has %d tuples", h.Latest().TotalTuples())
+	}
+}
+
+func TestHistoryBoundedRetention(t *testing.T) {
+	h := NewHistory(3)
+	db := New(relation.RepList, "R")
+	h.Append(db)
+	for i := 0; i < 10; i++ {
+		var err error
+		db, _, err = db.Insert(nil, "R", tup(int64(i)), trace.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Append(db)
+	}
+	if h.Len() != 3 {
+		t.Errorf("kept %d versions, want 3", h.Len())
+	}
+	if h.Dropped() != 8 {
+		t.Errorf("dropped %d, want 8", h.Dropped())
+	}
+	if _, err := h.Version(2); err == nil {
+		t.Error("dropped version still retrievable")
+	}
+	if _, err := h.Version(10); err != nil {
+		t.Errorf("latest version lost: %v", err)
+	}
+	all := h.All()
+	if len(all) != 3 || all[0].Version() != 8 {
+		t.Errorf("All = %d versions starting at %d", len(all), all[0].Version())
+	}
+}
+
+func TestDroppedVersionsAreCollectable(t *testing.T) {
+	// Section 3.3: "garbage collection must be used to reclaim data, the
+	// access to which is dropped." With bounded retention the Go GC is that
+	// collector: a version dropped from the history (and referenced nowhere
+	// else) becomes unreachable and is reclaimed.
+	h := NewHistory(1)
+	collected := make(chan struct{})
+	func() {
+		db := New(relation.RepList, "R")
+		runtime.SetFinalizer(db, func(*Database) { close(collected) })
+		h.Append(db)
+		next, _, err := db.Insert(nil, "R", tup(1), trace.None)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Append(next) // limit 1: db (version 0) is dropped here
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		case <-deadline:
+			t.Fatal("dropped version was never collected")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestHistoryEmptyAndNegative(t *testing.T) {
+	h := NewHistory(1)
+	if h.Latest() != nil {
+		t.Error("empty history has a latest version")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative limit did not panic")
+		}
+	}()
+	NewHistory(-1)
+}

@@ -1,0 +1,97 @@
+package database
+
+import (
+	"fmt"
+	"sync"
+)
+
+// History retains the stream of database versions produced by transaction
+// processing. Section 3.3 of the paper discusses the space cost of the
+// functional approach: "there is reason to believe that some applications
+// will permit 'complete archives' to be constructed ... For others, garbage
+// collection must be used to reclaim data, the access to which is dropped."
+//
+// History models both policies: with Limit == 0 it is a complete archive
+// (every version remains reachable); with Limit == n only the newest n
+// versions stay reachable and older ones are released to Go's garbage
+// collector — which reclaims exactly the cells not shared by surviving
+// versions, the functional analogue of the paper's GC. It is safe for
+// concurrent use.
+type History struct {
+	mu       sync.Mutex
+	limit    int
+	versions []*Database
+	dropped  int64
+}
+
+// NewHistory returns a history retaining at most limit versions (0 = keep
+// everything: a complete archive).
+func NewHistory(limit int) *History {
+	if limit < 0 {
+		panic("database: negative history limit")
+	}
+	return &History{limit: limit}
+}
+
+// Append records a new version.
+func (h *History) Append(db *Database) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.versions = append(h.versions, db)
+	if h.limit > 0 && len(h.versions) > h.limit {
+		over := len(h.versions) - h.limit
+		// Release references so the Go GC can reclaim unshared structure.
+		for i := 0; i < over; i++ {
+			h.versions[i] = nil
+		}
+		h.versions = append(h.versions[:0:0], h.versions[over:]...)
+		h.dropped += int64(over)
+	}
+}
+
+// Len returns the number of retained versions.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.versions)
+}
+
+// Dropped returns how many versions have been released.
+func (h *History) Dropped() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// Latest returns the newest retained version, or nil when empty.
+func (h *History) Latest() *Database {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.versions) == 0 {
+		return nil
+	}
+	return h.versions[len(h.versions)-1]
+}
+
+// Version returns the database with the given version number, if retained.
+// This is the time-travel read the version stream makes free: any retained
+// version can be queried exactly like the current one.
+func (h *History) Version(v int64) (*Database, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := len(h.versions) - 1; i >= 0; i-- {
+		if h.versions[i] != nil && h.versions[i].Version() == v {
+			return h.versions[i], nil
+		}
+	}
+	return nil, fmt.Errorf("database: version %d not retained (dropped %d, kept %d)", v, h.dropped, len(h.versions))
+}
+
+// All returns the retained versions oldest-first.
+func (h *History) All() []*Database {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Database, len(h.versions))
+	copy(out, h.versions)
+	return out
+}

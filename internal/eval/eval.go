@@ -1,0 +1,101 @@
+// Package eval carries the per-execution context threaded through every
+// operation of the functional engine: the optional dataflow tracer and the
+// structure-sharing statistics.
+//
+// A nil *Ctx (or a Ctx with a nil Graph) runs the engine untraced at full
+// speed; the persistent data structures behave identically either way. This
+// is how the same code serves both the "runtime" engine used by examples
+// and wall-clock benchmarks, and the "simulated" engine whose recorded task
+// graph reproduces the paper's Rediflow measurements.
+package eval
+
+import (
+	"sync/atomic"
+
+	"funcdb/internal/trace"
+)
+
+// Stats counts structure-sharing effects during execution, supporting the
+// paper's Section 2.2 claim that full logical reconstruction needs only
+// partial physical reconstruction. Counters are atomic so the pipelined
+// engine can update them from concurrent transactions.
+type Stats struct {
+	// Created counts cells/nodes/pages newly allocated by updates.
+	Created atomic.Int64
+	// Shared counts cells/nodes/pages reused (shared) from the previous
+	// version instead of being copied.
+	Shared atomic.Int64
+	// Visited counts cells/nodes/pages inspected by searches.
+	Visited atomic.Int64
+}
+
+// SharingFraction returns Shared / (Shared + Created): the fraction of the
+// result structure that was reused from the input structure. It returns 0
+// when nothing was allocated or shared.
+func (s *Stats) SharingFraction() float64 {
+	if s == nil {
+		return 0
+	}
+	sh, cr := s.Shared.Load(), s.Created.Load()
+	if sh+cr == 0 {
+		return 0
+	}
+	return float64(sh) / float64(sh+cr)
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Created.Store(0)
+	s.Shared.Store(0)
+	s.Visited.Store(0)
+}
+
+// Ctx is the execution context. The zero value (and nil) disable tracing
+// and statistics.
+type Ctx struct {
+	// Graph, when non-nil, records one unit task per primitive operation.
+	Graph *trace.Graph
+	// Stats, when non-nil, accumulates sharing counters.
+	Stats *Stats
+}
+
+// Task records a unit task on the context's graph (no-op when untraced).
+func (c *Ctx) Task(kind trace.Kind, deps ...trace.TaskID) trace.TaskID {
+	if c == nil {
+		return trace.None
+	}
+	return c.Graph.Task(kind, deps...)
+}
+
+// Join returns a single task handle standing for all of deps (no-op when
+// untraced).
+func (c *Ctx) Join(deps ...trace.TaskID) trace.TaskID {
+	if c == nil {
+		return trace.None
+	}
+	return c.Graph.Join(deps...)
+}
+
+// Created notes n allocations.
+func (c *Ctx) Created(n int64) {
+	if c != nil && c.Stats != nil {
+		c.Stats.Created.Add(n)
+	}
+}
+
+// SharedN notes n reused structures.
+func (c *Ctx) SharedN(n int64) {
+	if c != nil && c.Stats != nil {
+		c.Stats.Shared.Add(n)
+	}
+}
+
+// VisitedN notes n inspected structures.
+func (c *Ctx) VisitedN(n int64) {
+	if c != nil && c.Stats != nil {
+		c.Stats.Visited.Add(n)
+	}
+}

@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"sync"
+	"testing"
+
+	"funcdb/internal/trace"
+)
+
+func TestNilCtxIsInert(t *testing.T) {
+	var c *Ctx
+	if id := c.Task(trace.KindVisit); id != trace.None {
+		t.Errorf("nil ctx Task = %d", id)
+	}
+	if id := c.Join(1, 2); id != trace.None {
+		t.Errorf("nil ctx Join = %d", id)
+	}
+	// Counter methods must not panic on nil.
+	c.Created(1)
+	c.SharedN(1)
+	c.VisitedN(1)
+}
+
+func TestCtxWithoutGraphStillCounts(t *testing.T) {
+	stats := &Stats{}
+	c := &Ctx{Stats: stats}
+	if id := c.Task(trace.KindVisit); id != trace.None {
+		t.Errorf("graphless Task = %d", id)
+	}
+	c.Created(2)
+	c.SharedN(3)
+	c.VisitedN(5)
+	if stats.Created.Load() != 2 || stats.Shared.Load() != 3 || stats.Visited.Load() != 5 {
+		t.Errorf("counters = %d/%d/%d", stats.Created.Load(), stats.Shared.Load(), stats.Visited.Load())
+	}
+}
+
+func TestCtxWithGraphRecords(t *testing.T) {
+	g := trace.New()
+	c := &Ctx{Graph: g}
+	a := c.Task(trace.KindVisit)
+	b := c.Task(trace.KindConstruct, a)
+	if a == trace.None || b == trace.None {
+		t.Error("tasks not recorded")
+	}
+	if got := c.Join(a, b); got == trace.None {
+		t.Error("join not recorded")
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d", g.Len())
+	}
+}
+
+func TestSharingFraction(t *testing.T) {
+	var nilStats *Stats
+	if f := nilStats.SharingFraction(); f != 0 {
+		t.Errorf("nil stats fraction = %v", f)
+	}
+	s := &Stats{}
+	if f := s.SharingFraction(); f != 0 {
+		t.Errorf("empty stats fraction = %v", f)
+	}
+	s.Created.Store(1)
+	s.Shared.Store(3)
+	if f := s.SharingFraction(); f != 0.75 {
+		t.Errorf("fraction = %v, want 0.75", f)
+	}
+}
+
+func TestStatsReset(t *testing.T) {
+	s := &Stats{}
+	s.Created.Store(5)
+	s.Shared.Store(5)
+	s.Visited.Store(5)
+	s.Reset()
+	if s.Created.Load() != 0 || s.Shared.Load() != 0 || s.Visited.Load() != 0 {
+		t.Error("Reset incomplete")
+	}
+	var nilStats *Stats
+	nilStats.Reset() // must not panic
+}
+
+func TestStatsConcurrentUpdates(t *testing.T) {
+	stats := &Stats{}
+	c := &Ctx{Stats: stats}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Created(1)
+				c.SharedN(1)
+				c.VisitedN(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if stats.Created.Load() != 8000 {
+		t.Errorf("Created = %d", stats.Created.Load())
+	}
+}

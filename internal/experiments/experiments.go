@@ -1,0 +1,406 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section 4), plus the ablations listed in DESIGN.md. The same
+// drivers back cmd/fdbsim and the repository-level benchmarks, so the
+// printed tables and the bench metrics cannot diverge.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/merge"
+	"funcdb/internal/relation"
+	"funcdb/internal/sched"
+	"funcdb/internal/topo"
+	"funcdb/internal/trace"
+	"funcdb/internal/workload"
+)
+
+// PaperRelationCounts is the paper's column order: 5, 3, 1 relations.
+var PaperRelationCounts = []int{5, 3, 1}
+
+// PaperUpdatePcts is the paper's row order.
+var PaperUpdatePcts = []int{0, 4, 7, 14, 24, 38}
+
+// DefaultSeed keeps every published number regenerable.
+const DefaultSeed = 1985
+
+// Cell is one (update%, relations) measurement.
+type Cell struct {
+	UpdatePct int
+	Relations int
+
+	// Mode 1 (Table I).
+	MaxPly int
+	AvgPly float64
+	Work   int
+	Depth  int
+
+	// Mode 2 (Tables II and III).
+	Speedup    float64
+	Efficiency float64
+}
+
+// Grid is a full table of cells, indexed [updatePct][relations].
+type Grid struct {
+	Title string
+	Cells map[int]map[int]Cell
+}
+
+// Get returns the cell for (updatePct, relations).
+func (g Grid) Get(pct, rels int) Cell { return g.Cells[pct][rels] }
+
+// traceCell builds and traces one workload cell, returning the recorded
+// graph and its analysis.
+func traceCell(pct, rels int, seed int64) (*trace.Graph, trace.Plies, error) {
+	spec := workload.DefaultPaper(rels, pct, seed)
+	txns, err := spec.TransactionStream()
+	if err != nil {
+		return nil, trace.Plies{}, fmt.Errorf("experiments: workload: %w", err)
+	}
+	g := trace.New()
+	core.ApplyStreamTraced(&eval.Ctx{Graph: g}, spec.InitialDatabase(relation.RepList), txns, core.TracedOptions{})
+	return g, g.Analyze(), nil
+}
+
+// CellI measures one (update%, relations) cell of Table I.
+func CellI(pct, rels int, seed int64) (Cell, error) {
+	_, plies, err := traceCell(pct, rels, seed)
+	if err != nil {
+		return Cell{}, err
+	}
+	return Cell{
+		UpdatePct: pct,
+		Relations: rels,
+		MaxPly:    plies.MaxWidth,
+		AvgPly:    plies.AvgWidth,
+		Work:      plies.Work,
+		Depth:     plies.Depth,
+	}, nil
+}
+
+// CellSpeedup measures one cell of a mode-2 table under cfg.
+func CellSpeedup(pct, rels int, cfg SpeedupConfig) (Cell, error) {
+	cfg = cfg.defaulted()
+	g, plies, err := traceCell(pct, rels, cfg.Seed)
+	if err != nil {
+		return Cell{}, err
+	}
+	res := sched.Schedule(g, sched.Config{
+		Topo:     cfg.Topo,
+		HopDelay: cfg.HopDelay,
+		Policy:   cfg.Policy,
+		Seed:     cfg.Seed,
+	})
+	return Cell{
+		UpdatePct:  pct,
+		Relations:  rels,
+		MaxPly:     plies.MaxWidth,
+		AvgPly:     plies.AvgWidth,
+		Work:       res.Work,
+		Depth:      plies.Depth,
+		Speedup:    res.Speedup,
+		Efficiency: res.Efficiency,
+	}, nil
+}
+
+// TableI reproduces "Table I: Maximum and Average Degree of Concurrency":
+// mode-1 ply analysis over the full experiment grid.
+func TableI(seed int64) (Grid, error) {
+	grid := Grid{Title: "Table I: Maximum and Average Degree of Concurrency (ply width)", Cells: map[int]map[int]Cell{}}
+	for _, pct := range PaperUpdatePcts {
+		grid.Cells[pct] = map[int]Cell{}
+		for _, rels := range PaperRelationCounts {
+			_, plies, err := traceCell(pct, rels, seed)
+			if err != nil {
+				return Grid{}, err
+			}
+			grid.Cells[pct][rels] = Cell{
+				UpdatePct: pct,
+				Relations: rels,
+				MaxPly:    plies.MaxWidth,
+				AvgPly:    plies.AvgWidth,
+				Work:      plies.Work,
+				Depth:     plies.Depth,
+			}
+		}
+	}
+	return grid, nil
+}
+
+// SpeedupConfig parameterizes the mode-2 tables.
+type SpeedupConfig struct {
+	Topo     topo.Topology
+	HopDelay int
+	Policy   sched.Policy
+	Seed     int64
+}
+
+// defaulted fills in the paper-equivalent defaults: unit hop delay and the
+// Rediflow pressure-diffusion placement.
+func (c SpeedupConfig) defaulted() SpeedupConfig {
+	if c.HopDelay == 0 {
+		c.HopDelay = 1
+	}
+	if c.Policy == 0 {
+		c.Policy = sched.PolicyPressure
+	}
+	if c.Seed == 0 {
+		c.Seed = DefaultSeed
+	}
+	return c
+}
+
+// SpeedupTable schedules the same recorded DAGs on a PE topology: Table II
+// with an 8-node hypercube, Table III with a 27-node 3x3x3 mesh.
+func SpeedupTable(title string, cfg SpeedupConfig) (Grid, error) {
+	cfg = cfg.defaulted()
+	grid := Grid{Title: title, Cells: map[int]map[int]Cell{}}
+	for _, pct := range PaperUpdatePcts {
+		grid.Cells[pct] = map[int]Cell{}
+		for _, rels := range PaperRelationCounts {
+			g, plies, err := traceCell(pct, rels, cfg.Seed)
+			if err != nil {
+				return Grid{}, err
+			}
+			res := sched.Schedule(g, sched.Config{
+				Topo:     cfg.Topo,
+				HopDelay: cfg.HopDelay,
+				Policy:   cfg.Policy,
+				Seed:     cfg.Seed,
+			})
+			grid.Cells[pct][rels] = Cell{
+				UpdatePct:  pct,
+				Relations:  rels,
+				MaxPly:     plies.MaxWidth,
+				AvgPly:     plies.AvgWidth,
+				Work:       res.Work,
+				Depth:      plies.Depth,
+				Speedup:    res.Speedup,
+				Efficiency: res.Efficiency,
+			}
+		}
+	}
+	return grid, nil
+}
+
+// TableII reproduces "Table II: Speedup, 8-node hypercube".
+func TableII(seed int64) (Grid, error) {
+	return SpeedupTable("Table II: Speedup, 8-node binary hypercube", SpeedupConfig{
+		Topo: topo.NewHypercube(3),
+		Seed: seed,
+	})
+}
+
+// TableIII reproduces "Table III: Speedup, 27 node Euclidean cube".
+func TableIII(seed int64) (Grid, error) {
+	return SpeedupTable("Table III: Speedup, 27-node Euclidean cube (3x3x3)", SpeedupConfig{
+		Topo: topo.NewMesh3D(3, 3, 3),
+		Seed: seed,
+	})
+}
+
+// FormatPlyGrid renders a mode-1 grid in the paper's layout.
+func FormatPlyGrid(g Grid) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", g.Title)
+	fmt.Fprintf(&b, "percent                number of relations\n")
+	fmt.Fprintf(&b, "updates  %14s %14s %14s\n", "5", "3", "1")
+	fmt.Fprintf(&b, "         %14s %14s %14s\n", "max    avg", "max    avg", "max    avg")
+	for _, pct := range PaperUpdatePcts {
+		fmt.Fprintf(&b, "%5d%%  ", pct)
+		for _, rels := range PaperRelationCounts {
+			c := g.Get(pct, rels)
+			fmt.Fprintf(&b, "  %5d %6.1f ", c.MaxPly, c.AvgPly)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatSpeedupGrid renders a mode-2 grid in the paper's layout.
+func FormatSpeedupGrid(g Grid) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", g.Title)
+	fmt.Fprintf(&b, "percent     number of relations\n")
+	fmt.Fprintf(&b, "updates  %8s %8s %8s\n", "5", "3", "1")
+	for _, pct := range PaperUpdatePcts {
+		fmt.Fprintf(&b, "%5d%%  ", pct)
+		for _, rels := range PaperRelationCounts {
+			fmt.Fprintf(&b, " %8.1f", g.Get(pct, rels).Speedup)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LeniencyAblation compares lenient and strict tracing of one workload
+// cell: the quantified form of Section 2.3's implicit-synchronization
+// claim.
+type LeniencyAblation struct {
+	Lenient trace.Plies
+	Strict  trace.Plies
+}
+
+// RunLeniencyAblation traces one cell both ways.
+func RunLeniencyAblation(pct, rels int, seed int64) (LeniencyAblation, error) {
+	spec := workload.DefaultPaper(rels, pct, seed)
+	txns, err := spec.TransactionStream()
+	if err != nil {
+		return LeniencyAblation{}, err
+	}
+	gl := trace.New()
+	core.ApplyStreamTraced(&eval.Ctx{Graph: gl}, spec.InitialDatabase(relation.RepList), txns, core.TracedOptions{})
+	gs := trace.New()
+	core.ApplyStreamTraced(&eval.Ctx{Graph: gs}, spec.InitialDatabase(relation.RepList), txns, core.TracedOptions{Strict: true})
+	return LeniencyAblation{Lenient: gl.Analyze(), Strict: gs.Analyze()}, nil
+}
+
+// RepresentationAblation measures ply concurrency and allocation for each
+// relation representation on the same workload.
+type RepresentationAblation struct {
+	Rep     relation.Rep
+	Plies   trace.Plies
+	Created int64
+	Shared  int64
+}
+
+// RunRepresentationAblation traces one workload cell per representation.
+func RunRepresentationAblation(pct, rels int, seed int64) ([]RepresentationAblation, error) {
+	spec := workload.DefaultPaper(rels, pct, seed)
+	txns, err := spec.TransactionStream()
+	if err != nil {
+		return nil, err
+	}
+	var out []RepresentationAblation
+	for _, rep := range []relation.Rep{relation.RepList, relation.RepAVL, relation.Rep23, relation.RepPaged} {
+		g := trace.New()
+		stats := &eval.Stats{}
+		core.ApplyStreamTraced(&eval.Ctx{Graph: g, Stats: stats}, spec.InitialDatabase(rep), txns, core.TracedOptions{})
+		out = append(out, RepresentationAblation{
+			Rep:     rep,
+			Plies:   g.Analyze(),
+			Created: stats.Created.Load(),
+			Shared:  stats.Shared.Load(),
+		})
+	}
+	return out, nil
+}
+
+// PlacementAblation compares scheduler placement policies on one cell's
+// DAG (Ablation D: the load-management question of paper reference [14]).
+type PlacementAblation struct {
+	Policy sched.Policy
+	Result sched.Result
+}
+
+// RunPlacementAblation schedules one cell's DAG under every policy.
+func RunPlacementAblation(pct, rels int, tp topo.Topology, seed int64) ([]PlacementAblation, error) {
+	g, _, err := traceCell(pct, rels, seed)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlacementAblation
+	for _, pol := range []sched.Policy{
+		sched.PolicyPressure, sched.PolicyBestFit, sched.PolicyLocality,
+		sched.PolicyRoundRobin, sched.PolicyRandom,
+	} {
+		res := sched.Schedule(g, sched.Config{Topo: tp, HopDelay: 1, Policy: pol, Seed: seed})
+		out = append(out, PlacementAblation{Policy: pol, Result: res})
+	}
+	return out, nil
+}
+
+// DynamicAblation compares static list scheduling against the dynamic
+// work-diffusion simulation of one cell's DAG — the two readings of
+// Rediflow's execution model (paper [14]).
+type DynamicAblation struct {
+	Static  sched.Result
+	Dynamic sched.Result
+}
+
+// RunDynamicAblation schedules one cell both ways.
+func RunDynamicAblation(pct, rels int, tp topo.Topology, seed int64) (DynamicAblation, error) {
+	g, _, err := traceCell(pct, rels, seed)
+	if err != nil {
+		return DynamicAblation{}, err
+	}
+	cfg := sched.Config{Topo: tp, HopDelay: 1, Policy: sched.PolicyPressure, Seed: seed}
+	return DynamicAblation{
+		Static:  sched.Schedule(g, cfg),
+		Dynamic: sched.ScheduleDynamic(g, cfg),
+	}, nil
+}
+
+// MergeOrderAblation compares the arrival-order merge against the
+// relation-grouped merge (Section 2.4's "judicious ordering" future work,
+// Ablation E).
+type MergeOrderAblation struct {
+	Arrival trace.Plies
+	Grouped trace.Plies
+}
+
+// RunMergeOrderAblation builds per-client streams, merges them both ways,
+// and traces both merged streams.
+func RunMergeOrderAblation(pct, rels, clients int, seed int64) (MergeOrderAblation, error) {
+	spec := workload.DefaultPaper(rels, pct, seed)
+	txns, err := spec.TransactionStream()
+	if err != nil {
+		return MergeOrderAblation{}, err
+	}
+	// Deal the stream to clients round-robin (preserving order within each
+	// client), then re-merge two ways.
+	streams := make([][]core.Transaction, clients)
+	for i, tx := range txns {
+		c := i % clients
+		tx.Origin = fmt.Sprintf("cli%d", c)
+		tx.Seq = len(streams[c])
+		streams[c] = append(streams[c], tx)
+	}
+	arrival := merge.Interleave(seed, streams...)
+	grouped := merge.InterleaveByKey(func(tx core.Transaction) string { return tx.Rel }, streams...)
+
+	ga := trace.New()
+	core.ApplyStreamTraced(&eval.Ctx{Graph: ga}, spec.InitialDatabase(relation.RepList), arrival, core.TracedOptions{})
+	gg := trace.New()
+	core.ApplyStreamTraced(&eval.Ctx{Graph: gg}, spec.InitialDatabase(relation.RepList), grouped, core.TracedOptions{})
+	return MergeOrderAblation{Arrival: ga.Analyze(), Grouped: gg.Analyze()}, nil
+}
+
+// ScaleSweep measures speedup for one workload cell across machine sizes —
+// the machine-scaling view the paper implies between Tables II and III.
+type ScalePoint struct {
+	PEs     int
+	Speedup float64
+}
+
+// RunHypercubeScaleSweep schedules a cell's DAG on hypercubes of dimension
+// 0..maxDim.
+func RunHypercubeScaleSweep(pct, rels, maxDim int, seed int64) ([]ScalePoint, error) {
+	g, _, err := traceCell(pct, rels, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ScalePoint, 0, maxDim+1)
+	for d := 0; d <= maxDim; d++ {
+		tp := topo.NewHypercube(d)
+		res := sched.Schedule(g, sched.Config{Topo: tp, HopDelay: 1, Policy: sched.PolicyPressure, Seed: seed})
+		out = append(out, ScalePoint{PEs: tp.Size(), Speedup: res.Speedup})
+	}
+	return out, nil
+}
+
+// Sequential materializes one cell's workload and runs it without tracing,
+// for equivalence checks and benches.
+func Sequential(pct, rels int, seed int64) (*database.Database, []core.Response, error) {
+	spec := workload.DefaultPaper(rels, pct, seed)
+	txns, err := spec.TransactionStream()
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, final := core.ApplySequential(spec.InitialDatabase(relation.RepList), txns)
+	return final, resp, nil
+}

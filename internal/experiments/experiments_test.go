@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"funcdb/internal/sched"
+	"funcdb/internal/topo"
+)
+
+func TestTableIShapes(t *testing.T) {
+	grid, err := TableI(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape 1 (Table I): substantial concurrency everywhere — the paper's
+	// headline claim that "a reasonable degree of concurrency is attainable
+	// from the functional approach" even on a 50-transaction toy.
+	for _, pct := range PaperUpdatePcts {
+		for _, rels := range PaperRelationCounts {
+			c := grid.Get(pct, rels)
+			if c.MaxPly < 5 {
+				t.Errorf("%d%%/%d rels: max ply %d too low", pct, rels, c.MaxPly)
+			}
+			if c.AvgPly < 2 {
+				t.Errorf("%d%%/%d rels: avg ply %.1f too low", pct, rels, c.AvgPly)
+			}
+		}
+	}
+	// Shape 2: with the list representation, fewer relations means longer
+	// scans and deeper pipelines: 1 relation beats 5 on max ply, at every
+	// update percentage (the paper's column ordering 39 > 27 > 25 etc.).
+	for _, pct := range PaperUpdatePcts {
+		if grid.Get(pct, 1).MaxPly <= grid.Get(pct, 5).MaxPly {
+			t.Errorf("%d%%: 1-relation max ply %d not above 5-relation %d",
+				pct, grid.Get(pct, 1).MaxPly, grid.Get(pct, 5).MaxPly)
+		}
+	}
+	// Shape 3: heavy updates reduce average concurrency relative to
+	// read-only (the paper's rows decline from 0%% to 38%%).
+	for _, rels := range PaperRelationCounts {
+		if grid.Get(38, rels).AvgPly >= grid.Get(0, rels).AvgPly {
+			t.Errorf("%d rels: avg ply did not decline with updates (%.1f -> %.1f)",
+				rels, grid.Get(0, rels).AvgPly, grid.Get(38, rels).AvgPly)
+		}
+	}
+}
+
+func TestTableIIandIIIShapes(t *testing.T) {
+	t2, err := TableII(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := TableIII(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range PaperUpdatePcts {
+		for _, rels := range PaperRelationCounts {
+			s2 := t2.Get(pct, rels).Speedup
+			s3 := t3.Get(pct, rels).Speedup
+			// Bounds: speedup within (1, PE count].
+			if s2 <= 1 || s2 > 8 {
+				t.Errorf("Table II %d%%/%d: speedup %.2f out of (1,8]", pct, rels, s2)
+			}
+			if s3 <= 1 || s3 > 27 {
+				t.Errorf("Table III %d%%/%d: speedup %.2f out of (1,27]", pct, rels, s3)
+			}
+		}
+	}
+	// Shape: the 27-node cube beats the 8-node hypercube on the deepest
+	// pipeline (1 relation), as in the paper (8.9 vs 6.2 at 0%).
+	for _, pct := range PaperUpdatePcts {
+		if t3.Get(pct, 1).Speedup <= t2.Get(pct, 1).Speedup {
+			t.Errorf("%d%%: 27-node speedup %.2f not above 8-node %.2f",
+				pct, t3.Get(pct, 1).Speedup, t2.Get(pct, 1).Speedup)
+		}
+	}
+	// Shape: heavy updates cost speedup at 5 relations (paper: 5.6 -> 4.8).
+	if t2.Get(38, 5).Speedup >= t2.Get(0, 5).Speedup {
+		t.Errorf("Table II 5 rels: no decline with updates (%.2f -> %.2f)",
+			t2.Get(0, 5).Speedup, t2.Get(38, 5).Speedup)
+	}
+}
+
+func TestTablesDeterministic(t *testing.T) {
+	a, err := TableI(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TableI(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pct := range PaperUpdatePcts {
+		for _, rels := range PaperRelationCounts {
+			if a.Get(pct, rels) != b.Get(pct, rels) {
+				t.Fatalf("Table I not deterministic at %d%%/%d", pct, rels)
+			}
+		}
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	grid, err := TableI(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatPlyGrid(grid)
+	for _, want := range []string{"Table I", "38%", "max", "avg"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatPlyGrid missing %q:\n%s", want, out)
+		}
+	}
+	t2, err := TableII(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := FormatSpeedupGrid(t2)
+	if !strings.Contains(out2, "hypercube") || !strings.Contains(out2, "0%") {
+		t.Errorf("FormatSpeedupGrid output:\n%s", out2)
+	}
+}
+
+func TestLeniencyAblation(t *testing.T) {
+	res, err := RunLeniencyAblation(14, 3, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strict.Depth <= res.Lenient.Depth {
+		t.Errorf("strict depth %d not above lenient %d", res.Strict.Depth, res.Lenient.Depth)
+	}
+	if res.Strict.AvgWidth >= res.Lenient.AvgWidth {
+		t.Errorf("strict avg %.2f not below lenient %.2f", res.Strict.AvgWidth, res.Lenient.AvgWidth)
+	}
+}
+
+func TestRepresentationAblation(t *testing.T) {
+	res, err := RunRepresentationAblation(14, 3, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("%d representations", len(res))
+	}
+	byRep := map[string]RepresentationAblation{}
+	for _, r := range res {
+		byRep[r.Rep.String()] = r
+	}
+	// Trees allocate less than the list on update-heavy paths ("fewer
+	// nodes need to be modified on insertion").
+	if byRep["avl"].Created >= byRep["list"].Created {
+		t.Errorf("avl created %d >= list %d", byRep["avl"].Created, byRep["list"].Created)
+	}
+	// And do less total work.
+	if byRep["avl"].Plies.Work >= byRep["list"].Plies.Work {
+		t.Errorf("avl work %d >= list work %d", byRep["avl"].Plies.Work, byRep["list"].Plies.Work)
+	}
+}
+
+func TestPlacementAblation(t *testing.T) {
+	res, err := RunPlacementAblation(14, 3, topo.NewHypercube(3), DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPol := map[sched.Policy]sched.Result{}
+	for _, r := range res {
+		byPol[r.Policy] = r.Result
+	}
+	// Locality keeps everything on roughly one PE: speedup near 1 and far
+	// below pressure diffusion.
+	if byPol[sched.PolicyLocality].Speedup >= byPol[sched.PolicyPressure].Speedup {
+		t.Errorf("locality %.2f not below pressure %.2f",
+			byPol[sched.PolicyLocality].Speedup, byPol[sched.PolicyPressure].Speedup)
+	}
+	// Pressure must be competitive with the idealized global scheduler
+	// (within 2x).
+	if byPol[sched.PolicyPressure].Speedup*2 < byPol[sched.PolicyBestFit].Speedup {
+		t.Errorf("pressure %.2f not within 2x of bestfit %.2f",
+			byPol[sched.PolicyPressure].Speedup, byPol[sched.PolicyBestFit].Speedup)
+	}
+}
+
+func TestDynamicAblation(t *testing.T) {
+	res, err := RunDynamicAblation(14, 3, topo.NewHypercube(3), DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Static.Speedup <= 1 || res.Dynamic.Speedup <= 1 {
+		t.Errorf("speedups = %.2f / %.2f", res.Static.Speedup, res.Dynamic.Speedup)
+	}
+	if res.Dynamic.Steals == 0 {
+		t.Error("dynamic run never diffused work")
+	}
+	// Dynamic (no lookahead) should stay within 3x of static.
+	if res.Dynamic.Speedup*3 < res.Static.Speedup {
+		t.Errorf("dynamic %.2f far below static %.2f", res.Dynamic.Speedup, res.Static.Speedup)
+	}
+}
+
+func TestMergeOrderAblation(t *testing.T) {
+	res, err := RunMergeOrderAblation(24, 5, 4, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrival.Work == 0 || res.Grouped.Work == 0 {
+		t.Fatal("empty traces")
+	}
+	// Both orders process the same transactions; work may differ slightly
+	// because scan lengths depend on interleaving, but must be same scale.
+	ratio := float64(res.Grouped.Work) / float64(res.Arrival.Work)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("grouped/arrival work ratio %.2f out of range", ratio)
+	}
+}
+
+func TestHypercubeScaleSweep(t *testing.T) {
+	pts, err := RunHypercubeScaleSweep(4, 1, 5, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].PEs != 1 || pts[5].PEs != 32 {
+		t.Errorf("PE range %d..%d", pts[0].PEs, pts[5].PEs)
+	}
+	// Single PE: speedup exactly 1.
+	if pts[0].Speedup != 1 {
+		t.Errorf("1-PE speedup = %.2f", pts[0].Speedup)
+	}
+	// Speedup grows from 1 PE to 8 PEs.
+	if pts[3].Speedup <= pts[0].Speedup {
+		t.Error("no speedup growth with machine size")
+	}
+}
+
+func TestSequentialDriver(t *testing.T) {
+	final, resp, err := Sequential(14, 3, DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp) != 50 {
+		t.Errorf("%d responses", len(resp))
+	}
+	if final.TotalTuples() < 50 {
+		t.Errorf("final tuples = %d", final.TotalTuples())
+	}
+}
+
+func TestFigure21(t *testing.T) {
+	summary, dot, err := Figure21()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "apply-stream") || !strings.Contains(summary, "max ply") {
+		t.Errorf("summary:\n%s", summary)
+	}
+	if !strings.Contains(dot, "digraph") {
+		t.Error("no DOT output")
+	}
+}
+
+func TestFigure22LogOverN(t *testing.T) {
+	sweep := Figure22Sweep(8, []int{64, 512, 4096})
+	prev := 0.0
+	for i, r := range sweep {
+		if r.CopiedPages > r.TreeHeight+1 {
+			t.Errorf("n=%d: copied %d pages, height %d", r.Tuples, r.CopiedPages, r.TreeHeight)
+		}
+		if r.SharedFraction <= prev && i > 0 {
+			t.Errorf("shared fraction not increasing with n: %.3f then %.3f", prev, r.SharedFraction)
+		}
+		prev = r.SharedFraction
+	}
+	// At 4096 tuples the shared fraction must be overwhelming.
+	if last := sweep[len(sweep)-1]; last.SharedFraction < 0.99 {
+		t.Errorf("shared fraction %.3f < 0.99 at n=4096", last.SharedFraction)
+	}
+	out := FormatFigure22(sweep)
+	if !strings.Contains(out, "shared frac") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestFigure23(t *testing.T) {
+	res, err := Figure23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Merged) != 5 {
+		t.Fatalf("merged stream = %v", res.Merged)
+	}
+	if len(res.Tracks["R"]) != 2 || len(res.Tracks["S"]) != 3 {
+		t.Errorf("tracks = %v", res.Tracks)
+	}
+	// The two tracks overlap: depth strictly below work.
+	if res.Plies.Depth >= res.Plies.Work {
+		t.Errorf("no overlap: depth %d work %d", res.Plies.Depth, res.Plies.Work)
+	}
+	if res.Plies.MaxWidth < 2 {
+		t.Errorf("max ply %d", res.Plies.MaxWidth)
+	}
+	out := FormatFigure23(res)
+	for _, want := range []string{"merged transaction stream", "track R", "track S"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}
+
+func TestFigure31(t *testing.T) {
+	res, err := Figure31()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllSelected {
+		t.Error("choose leaked messages across site tags")
+	}
+	// 12 greets: each needs a request and a reply = 24 messages.
+	if res.Messages != 24 {
+		t.Errorf("medium carried %d messages, want 24", res.Messages)
+	}
+	for site, msgs := range res.PerSite {
+		if len(msgs) != 6 {
+			t.Errorf("site %d chose %d messages, want 6", site, len(msgs))
+		}
+	}
+	out := FormatFigure31(res)
+	if !strings.Contains(out, "choose(medium, site 0)") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestMergeDemoDeliversAll(t *testing.T) {
+	out := MergeDemo()
+	if len(out) != 5 {
+		t.Errorf("MergeDemo = %v", out)
+	}
+}

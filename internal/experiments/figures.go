@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/lenient"
+	"funcdb/internal/merge"
+	"funcdb/internal/netsim"
+	"funcdb/internal/ptree"
+	"funcdb/internal/query"
+	"funcdb/internal/relation"
+	"funcdb/internal/topo"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+)
+
+// Figure21 reproduces Figure 2-1 ("Transaction application in graphical
+// form"): it runs a three-transaction stream through the traced engine and
+// returns both the paper's equations and the recorded dataflow graph in
+// DOT, demonstrating that the implementation *is* the equation system.
+func Figure21() (equations string, dot string, err error) {
+	queries := []string{
+		"insert 15 into R1",
+		"find 15 in R1",
+		"insert 25 into R1",
+	}
+	txns, err := query.TranslateAll("term", queries)
+	if err != nil {
+		return "", "", err
+	}
+	init := database.FromData(relation.RepList, []string{"R1"}, map[string][]value.Tuple{
+		"R1": {value.NewTuple(value.Int(10)), value.NewTuple(value.Int(20))},
+	})
+	g := trace.New()
+	core.ApplyStreamTraced(&eval.Ctx{Graph: g}, init, txns, core.TracedOptions{})
+
+	var b strings.Builder
+	b.WriteString("Figure 2-1: transaction application as a functional program\n\n")
+	b.WriteString("  old-databases = initial-database ^ new-databases\n")
+	b.WriteString("  [responses, new-databases] = apply-stream:[transactions, old-databases]\n\n")
+	fmt.Fprintf(&b, "executed for %d transactions: %v\n", len(txns), queries)
+	p := g.Analyze()
+	fmt.Fprintf(&b, "recorded dataflow graph: %d tasks, depth %d, max ply %d\n", p.Work, p.Depth, p.MaxWidth)
+
+	var dotB strings.Builder
+	if err := g.WriteDOT(&dotB, "figure 2-1"); err != nil {
+		return "", "", err
+	}
+	return b.String(), dotB.String(), nil
+}
+
+// Figure22Result quantifies Figure 2-2 ("Sharing of pages through separate
+// directories"): how many pages one insert copies versus shares.
+type Figure22Result struct {
+	PageCap     int
+	Tuples      int
+	TotalPages  int
+	CopiedPages int
+	SharedPages int
+	TreeHeight  int
+	// SharedFraction is shared/total — the paper's "all but a proportion
+	// (log n)/n can be shared".
+	SharedFraction float64
+}
+
+// Figure22 builds a paged relation of n tuples, performs one insert, and
+// measures the old/new directory sharing of Figure 2-2.
+func Figure22(pageCap, n int) Figure22Result {
+	tuples := make([]value.Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		tuples = append(tuples, value.NewTuple(value.Int(int64(i*2)), value.Str("d")))
+	}
+	tr := ptree.PagedFromTuples(pageCap, tuples)
+	next, _ := tr.Insert(nil, value.NewTuple(value.Int(int64(n)), value.Str("new")), trace.None)
+	shared := next.SharedPagesWith(tr)
+	total := next.PageCount()
+	return Figure22Result{
+		PageCap:        pageCap,
+		Tuples:         n,
+		TotalPages:     total,
+		CopiedPages:    total - shared,
+		SharedPages:    shared,
+		TreeHeight:     tr.Height(),
+		SharedFraction: float64(shared) / float64(total),
+	}
+}
+
+// Figure22Sweep runs Figure22 over growing relations, demonstrating the
+// (log n)/n trend.
+func Figure22Sweep(pageCap int, sizes []int) []Figure22Result {
+	out := make([]Figure22Result, 0, len(sizes))
+	for _, n := range sizes {
+		out = append(out, Figure22(pageCap, n))
+	}
+	return out
+}
+
+// FormatFigure22 renders a sweep as a table.
+func FormatFigure22(results []Figure22Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 2-2: sharing of pages through separate directories\n")
+	b.WriteString("(one insert into a paged relation; old directory left intact)\n\n")
+	fmt.Fprintf(&b, "%8s %8s %8s %8s %8s %10s\n", "tuples", "pages", "height", "copied", "shared", "shared frac")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%8d %8d %8d %8d %8d %9.1f%%\n",
+			r.Tuples, r.TotalPages, r.TreeHeight, r.CopiedPages, r.SharedPages, 100*r.SharedFraction)
+	}
+	return b.String()
+}
+
+// Figure23Result reproduces Figure 2-3: the merge of two transaction
+// streams and the de-facto parallel execution schedule extracted from the
+// merged stream.
+type Figure23Result struct {
+	StreamA []string
+	StreamB []string
+	Merged  []string
+	// Tracks decomposes the merged stream by target relation, the paper's
+	// two-track schedule.
+	Tracks map[string][]string
+	Plies  trace.Plies
+}
+
+// Figure23 runs the paper's exact example:
+//
+//	stream A: insert x into R / find x in R / insert y into S
+//	stream B: insert z into S / find z in S
+//
+// merged in the paper's printed order, and verifies that the R-track and
+// the S-track overlap in the recorded DAG.
+func Figure23() (Figure23Result, error) {
+	streamA := []string{"insert x into R", "find x in R", "insert y into S"}
+	streamB := []string{"insert z into S", "find z in S"}
+	// The paper's printed merged order.
+	mergedQ := []string{
+		"insert x into R",
+		"insert z into S",
+		"find x in R",
+		"insert y into S",
+		"find z in S",
+	}
+	txnsA, err := query.TranslateAll("A", streamA)
+	if err != nil {
+		return Figure23Result{}, err
+	}
+	txnsB, err := query.TranslateAll("B", streamB)
+	if err != nil {
+		return Figure23Result{}, err
+	}
+	byQuery := map[string]core.Transaction{}
+	for _, tx := range append(txnsA, txnsB...) {
+		byQuery[tx.Query] = tx
+	}
+	txns := make([]core.Transaction, 0, len(mergedQ))
+	for _, q := range mergedQ {
+		txns = append(txns, byQuery[q])
+	}
+
+	init := database.FromData(relation.RepList, []string{"R", "S"}, map[string][]value.Tuple{
+		"R": {value.NewTuple(value.Str("a"))},
+		"S": {value.NewTuple(value.Str("b"))},
+	})
+	g := trace.New()
+	responses, _ := core.ApplyStreamTraced(&eval.Ctx{Graph: g}, init, txns, core.TracedOptions{})
+	for _, r := range responses {
+		if r.Err != nil {
+			return Figure23Result{}, fmt.Errorf("experiments: figure 2-3 transaction failed: %w", r.Err)
+		}
+	}
+
+	tracks := map[string][]string{}
+	for _, tx := range txns {
+		tracks[tx.Rel] = append(tracks[tx.Rel], tx.Query)
+	}
+	return Figure23Result{
+		StreamA: streamA,
+		StreamB: streamB,
+		Merged:  mergedQ,
+		Tracks:  tracks,
+		Plies:   g.Analyze(),
+	}, nil
+}
+
+// FormatFigure23 renders the figure as text.
+func FormatFigure23(r Figure23Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 2-3: merging and decomposition of transaction streams\n\n")
+	fmt.Fprintf(&b, "input stream A: %s\n", strings.Join(r.StreamA, " ; "))
+	fmt.Fprintf(&b, "input stream B: %s\n\n", strings.Join(r.StreamB, " ; "))
+	b.WriteString("merged transaction stream:\n")
+	for _, q := range r.Merged {
+		fmt.Fprintf(&b, "  %s\n", q)
+	}
+	b.WriteString("\nde-facto parallel execution schedule (per-relation tracks):\n")
+	rels := make([]string, 0, len(r.Tracks))
+	for rel := range r.Tracks {
+		rels = append(rels, rel)
+	}
+	sort.Strings(rels)
+	for _, rel := range rels {
+		fmt.Fprintf(&b, "  track %s: %s\n", rel, strings.Join(r.Tracks[rel], " -> "))
+	}
+	fmt.Fprintf(&b, "\nrecorded DAG: work %d, depth %d, max ply %d (depth < work: the tracks overlap)\n",
+		r.Plies.Work, r.Plies.Depth, r.Plies.MaxWidth)
+	return b.String()
+}
+
+// Figure31Result reproduces Figure 3-1: the physical network as one large
+// merge, with each site's logical substream selected by choose.
+type Figure31Result struct {
+	Sites       int
+	MediumLog   []string // every message in medium (merge) order
+	PerSite     map[netsim.SiteID][]string
+	Messages    int64
+	Hops        int64
+	AllSelected bool // every medium message chosen by exactly its tag site
+}
+
+// Figure31 runs four sites on a hypercube exchanging tagged messages
+// through the medium and decomposes the medium log with choose.
+func Figure31() (Figure31Result, error) {
+	n := netsim.NewNetwork(4, netsim.WithTopology(topo.NewHypercube(2)))
+	n.EnableTap()
+	defer n.Close()
+
+	sites := make([]*netsim.Site, 4)
+	for i := range sites {
+		sites[i] = netsim.NewSite(n, netsim.SiteID(i))
+		sites[i].RegisterFunc("greet", func(arg any) any {
+			return fmt.Sprintf("ack:%v", arg)
+		})
+		go sites[i].Run()
+	}
+	defer func() {
+		for _, s := range sites {
+			s.Stop()
+		}
+	}()
+
+	// Every site greets every other site via RESULT-ON; the medium merges
+	// all requests and replies.
+	var futures []*lenient.Cell[any]
+	for _, s := range sites {
+		for dst := netsim.SiteID(0); dst < 4; dst++ {
+			if dst == s.MySite() {
+				continue
+			}
+			futures = append(futures, s.ResultOn(dst, "greet", fmt.Sprintf("s%d->s%d", s.MySite(), dst)))
+		}
+	}
+	for _, f := range futures {
+		if v := f.Force(); v == nil {
+			return Figure31Result{}, fmt.Errorf("experiments: figure 3-1 greet lost")
+		}
+	}
+
+	log := n.Tap()
+	res := Figure31Result{
+		Sites:       4,
+		PerSite:     map[netsim.SiteID][]string{},
+		AllSelected: true,
+	}
+	res.Messages, res.Hops = n.Stats()
+	for _, m := range log {
+		res.MediumLog = append(res.MediumLog, fmt.Sprintf("%d->%d %s", m.Src, m.Dst, m.Kind))
+	}
+	chosenTotal := 0
+	for site := netsim.SiteID(0); site < 4; site++ {
+		for _, m := range netsim.Choose(log, site) {
+			if m.Dst != site {
+				res.AllSelected = false
+			}
+			chosenTotal++
+			res.PerSite[site] = append(res.PerSite[site], fmt.Sprintf("%d->%d %s", m.Src, m.Dst, m.Kind))
+		}
+	}
+	if chosenTotal != len(log) {
+		res.AllSelected = false
+	}
+	return res, nil
+}
+
+// FormatFigure31 renders the figure as text.
+func FormatFigure31(r Figure31Result) string {
+	var b strings.Builder
+	b.WriteString("Figure 3-1: site-based substream selection (network as merge/choose)\n\n")
+	fmt.Fprintf(&b, "medium (one large merge): %d messages, %d hops on hypercube(2)\n", r.Messages, r.Hops)
+	for site := netsim.SiteID(0); int(site) < r.Sites; site++ {
+		fmt.Fprintf(&b, "  choose(medium, site %d): %d messages\n", site, len(r.PerSite[site]))
+	}
+	if r.AllSelected {
+		b.WriteString("every message chosen by exactly the site its tag names\n")
+	} else {
+		b.WriteString("TAG SELECTION VIOLATED\n")
+	}
+	return b.String()
+}
+
+// MergeDemo exercises the live channel merge for the figure tooling: it
+// feeds the two Figure 2-3 streams through merge.Merge and returns the
+// arrival-order interleaving (which varies run to run — the operator is
+// not a function).
+func MergeDemo() []string {
+	feed := func(queries []string) <-chan string {
+		ch := make(chan string)
+		go func() {
+			defer close(ch)
+			for _, q := range queries {
+				ch <- q
+			}
+		}()
+		return ch
+	}
+	a := feed([]string{"insert x into R", "find x in R", "insert y into S"})
+	b := feed([]string{"insert z into S", "find z in S"})
+	return merge.Collect(merge.Merge(a, b))
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The paper's published values, transcribed from Tables I-III (Keller &
+// Lindstrom 1985, Section 4). The 7% row of the original prints only two
+// column pairs; missing entries are represented by negative sentinels and
+// rendered as "—".
+
+// PaperCellI is one published Table I entry (max, avg ply).
+type PaperCellI struct {
+	Max, Avg int
+}
+
+// paperTableI[pct][rels].
+var paperTableI = map[int]map[int]PaperCellI{
+	0:  {5: {25, 14}, 3: {27, 15}, 1: {39, 17}},
+	4:  {5: {25, 14}, 3: {28, 15}, 1: {45, 17}},
+	7:  {5: {26, 14}, 3: {46, 15}, 1: {-1, -1}},
+	14: {5: {26, 14}, 3: {29, 13}, 1: {42, 13}},
+	24: {5: {24, 12}, 3: {28, 11}, 1: {36, 9}},
+	38: {5: {24, 10}, 3: {24, 9}, 1: {22, 9}},
+}
+
+// paperTableII[pct][rels]: speedup on the 8-node hypercube.
+var paperTableII = map[int]map[int]float64{
+	0:  {5: 5.6, 3: 5.7, 1: 6.2},
+	4:  {5: 5.6, 3: 5.7, 1: 6.1},
+	7:  {5: 5.6, 3: 5.9, 1: -1},
+	14: {5: 5.4, 3: 5.5, 1: 5.6},
+	24: {5: 5.2, 3: 5.0, 1: 4.7},
+	38: {5: 4.8, 3: 4.6, 1: 4.7},
+}
+
+// paperTableIII[pct][rels]: speedup on the 27-node Euclidean cube.
+var paperTableIII = map[int]map[int]float64{
+	0:  {5: 7.2, 3: 7.6, 1: 8.9},
+	4:  {5: 7.2, 3: 7.6, 1: 8.9},
+	7:  {5: 7.1, 3: -1, 1: 8.9},
+	14: {5: 7.2, 3: 7.6, 1: 7.8},
+	24: {5: 6.8, 3: 6.4, 1: 6.1},
+	38: {5: 6.0, 3: 6.2, 1: 6.0},
+}
+
+// PaperTableI returns the published Table I cell, with ok=false for the
+// entries missing from the original.
+func PaperTableI(pct, rels int) (PaperCellI, bool) {
+	c := paperTableI[pct][rels]
+	return c, c.Max >= 0
+}
+
+// PaperTableII returns the published Table II speedup.
+func PaperTableII(pct, rels int) (float64, bool) {
+	v := paperTableII[pct][rels]
+	return v, v >= 0
+}
+
+// PaperTableIII returns the published Table III speedup.
+func PaperTableIII(pct, rels int) (float64, bool) {
+	v := paperTableIII[pct][rels]
+	return v, v >= 0
+}
+
+// FormatComparisonI renders measured Table I beside the paper's values.
+func FormatComparisonI(g Grid) string {
+	var b strings.Builder
+	b.WriteString("Table I, paper vs measured (max ply / avg ply)\n\n")
+	fmt.Fprintf(&b, "%-8s", "updates")
+	for _, rels := range PaperRelationCounts {
+		fmt.Fprintf(&b, " | %-21s", fmt.Sprintf("%d relations", rels))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for range PaperRelationCounts {
+		fmt.Fprintf(&b, " | %-10s %-10s", "paper", "measured")
+	}
+	b.WriteString("\n")
+	for _, pct := range PaperUpdatePcts {
+		fmt.Fprintf(&b, "%6d%% ", pct)
+		for _, rels := range PaperRelationCounts {
+			c := g.Get(pct, rels)
+			if p, ok := PaperTableI(pct, rels); ok {
+				fmt.Fprintf(&b, " | %3d /%3d  %3d /%5.1f", p.Max, p.Avg, c.MaxPly, c.AvgPly)
+			} else {
+				fmt.Fprintf(&b, " | %-9s %3d /%5.1f", "   —", c.MaxPly, c.AvgPly)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatComparisonSpeedup renders a measured speedup grid beside the
+// published one.
+func FormatComparisonSpeedup(g Grid, paper func(pct, rels int) (float64, bool)) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s, paper vs measured (speedup)\n\n", g.Title)
+	fmt.Fprintf(&b, "%-8s", "updates")
+	for _, rels := range PaperRelationCounts {
+		fmt.Fprintf(&b, " | %-17s", fmt.Sprintf("%d relations", rels))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-8s", "")
+	for range PaperRelationCounts {
+		fmt.Fprintf(&b, " | %-8s %-8s", "paper", "measured")
+	}
+	b.WriteString("\n")
+	for _, pct := range PaperUpdatePcts {
+		fmt.Fprintf(&b, "%6d%% ", pct)
+		for _, rels := range PaperRelationCounts {
+			c := g.Get(pct, rels)
+			if p, ok := paper(pct, rels); ok {
+				fmt.Fprintf(&b, " | %8.1f %8.1f", p, c.Speedup)
+			} else {
+				fmt.Fprintf(&b, " | %8s %8.1f", "—", c.Speedup)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

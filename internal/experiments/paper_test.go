@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPaperLookups(t *testing.T) {
+	c, ok := PaperTableI(0, 1)
+	if !ok || c.Max != 39 || c.Avg != 17 {
+		t.Errorf("PaperTableI(0,1) = %+v, %v", c, ok)
+	}
+	if _, ok := PaperTableI(7, 1); ok {
+		t.Error("missing 7%/1-relation entry reported present")
+	}
+	if v, ok := PaperTableII(38, 5); !ok || v != 4.8 {
+		t.Errorf("PaperTableII(38,5) = %v, %v", v, ok)
+	}
+	if _, ok := PaperTableII(7, 1); ok {
+		t.Error("missing Table II entry reported present")
+	}
+	if v, ok := PaperTableIII(24, 3); !ok || v != 6.4 {
+		t.Errorf("PaperTableIII(24,3) = %v, %v", v, ok)
+	}
+	if _, ok := PaperTableIII(7, 3); ok {
+		t.Error("missing Table III entry reported present")
+	}
+}
+
+func TestComparisonFormatters(t *testing.T) {
+	grid, err := TableI(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatComparisonI(grid)
+	for _, want := range []string{"paper", "measured", "39", "—"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q:\n%s", want, out)
+		}
+	}
+	t2, err := TableII(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := FormatComparisonSpeedup(t2, PaperTableII)
+	for _, want := range []string{"paper", "measured", "6.2", "—"} {
+		if !strings.Contains(out2, want) {
+			t.Errorf("speedup comparison missing %q:\n%s", want, out2)
+		}
+	}
+}

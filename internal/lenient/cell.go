@@ -1,0 +1,103 @@
+// Package lenient implements the paper's "lenient data constructors": data
+// structures that are usable as objects before their components are fully
+// computed.
+//
+// Keller & Lindstrom 1985, Section 1: "Through the use of lenient data
+// constructors ... data structures need not be constructed in their entirety
+// before they are used as components in other structures. ... a lenient
+// tuple constructor creates a tuple which itself is an object, the
+// components of which are made positionally accessible before any of the
+// components are necessarily completely computed."
+//
+// Two constructors are provided:
+//
+//   - Cell[T]: a single lenient component (a future). Lazy cells compute on
+//     first demand; Spawn cells begin computing immediately in their own
+//     goroutine, which is the operational reading of leniency used by the
+//     paper's pipelined transaction processing.
+//   - Stream[T]: the lenient cons-stream built from FollowedBy (the paper's
+//     infix "followed-by" used in the apply-stream equations), with first,
+//     rest, apply-to-all and the usual derived operators.
+package lenient
+
+import "sync"
+
+// Cell is a lenient component: a value of type T that may still be under
+// computation. Force blocks until the value is available. A Cell computes
+// its thunk at most once; Force is safe for concurrent use.
+type Cell[T any] struct {
+	once sync.Once
+	fn   func() T
+	val  T
+}
+
+// Lazy returns a cell that computes fn on first demand (call-by-need).
+func Lazy[T any](fn func() T) *Cell[T] {
+	if fn == nil {
+		panic("lenient: Lazy with nil thunk")
+	}
+	return &Cell[T]{fn: fn}
+}
+
+// Ready returns an already-computed cell holding v.
+func Ready[T any](v T) *Cell[T] {
+	c := &Cell[T]{val: v}
+	c.once.Do(func() {})
+	return c
+}
+
+// Spawn returns a cell whose thunk starts computing immediately in its own
+// goroutine. This is the anticipatory demand of the paper's evaluation
+// mechanism: "many elements of the output sequence are demanded in an
+// anticipatory fashion, to generate as much parallel execution as possible"
+// (Section 2.3). The goroutine's lifetime is bounded by the thunk itself.
+func Spawn[T any](fn func() T) *Cell[T] {
+	c := Lazy(fn)
+	go c.Force()
+	return c
+}
+
+// Force returns the cell's value, computing it if necessary and blocking if
+// another goroutine is already computing it.
+func (c *Cell[T]) Force() T {
+	c.once.Do(func() {
+		c.val = c.fn()
+		c.fn = nil // release the closure and anything it captured
+	})
+	return c.val
+}
+
+// Map returns a lazy cell holding f of c's value.
+func Map[T, U any](c *Cell[T], f func(T) U) *Cell[U] {
+	return Lazy(func() U { return f(c.Force()) })
+}
+
+// Join flattens a cell of a cell.
+func Join[T any](c *Cell[*Cell[T]]) *Cell[T] {
+	return Lazy(func() T { return c.Force().Force() })
+}
+
+// Pair is a lenient 2-tuple: both components are independently demandable.
+// It models the paper's bracketed pairs such as [response, new-database]:
+// a consumer of Second need not wait for First and vice versa.
+type Pair[A, B any] struct {
+	first  *Cell[A]
+	second *Cell[B]
+}
+
+// NewPair builds a lenient pair from two cells.
+func NewPair[A, B any](a *Cell[A], b *Cell[B]) Pair[A, B] {
+	return Pair[A, B]{first: a, second: b}
+}
+
+// First demands and returns the first component.
+func (p Pair[A, B]) First() A { return p.first.Force() }
+
+// Second demands and returns the second component.
+func (p Pair[A, B]) Second() B { return p.second.Force() }
+
+// FirstCell returns the first component's cell without demanding it.
+func (p Pair[A, B]) FirstCell() *Cell[A] { return p.first }
+
+// SecondCell returns the second component's cell without demanding it.
+func (p Pair[A, B]) SecondCell() *Cell[B] { return p.second }

@@ -1,0 +1,239 @@
+package lenient
+
+// Stream is the lenient cons-stream: a head that is available immediately
+// and a tail cell that may still be under computation. A nil *Stream is the
+// empty stream (the paper's []).
+//
+// The paper builds its whole transaction loop from this type: "The symbol ^
+// is the infix form of the lenient stream-building function 'followed-by'
+// which constructs a stream by following the first argument with the second
+// (a stream)." Streams of unknown or infinite length are first-class values;
+// consumers demand elements one at a time, and with Spawned tails the
+// producer runs ahead of the consumer.
+type Stream[T any] struct {
+	head T
+	tail *Cell[*Stream[T]]
+}
+
+// FollowedBy is the paper's `head ^ tail` constructor with a lazily
+// computed tail.
+func FollowedBy[T any](head T, tail func() *Stream[T]) *Stream[T] {
+	return &Stream[T]{head: head, tail: Lazy(tail)}
+}
+
+// FollowedByCell is FollowedBy when the tail cell already exists.
+func FollowedByCell[T any](head T, tail *Cell[*Stream[T]]) *Stream[T] {
+	return &Stream[T]{head: head, tail: tail}
+}
+
+// Cons prepends head to an already-materialized tail.
+func Cons[T any](head T, tail *Stream[T]) *Stream[T] {
+	return &Stream[T]{head: head, tail: Ready(tail)}
+}
+
+// IsEmpty reports whether the stream is the empty stream.
+func (s *Stream[T]) IsEmpty() bool { return s == nil }
+
+// First returns the head. It panics on the empty stream, mirroring the
+// partiality of the paper's first.
+func (s *Stream[T]) First() T {
+	if s == nil {
+		panic("lenient: First of empty stream")
+	}
+	return s.head
+}
+
+// Rest demands and returns the tail. It panics on the empty stream.
+func (s *Stream[T]) Rest() *Stream[T] {
+	if s == nil {
+		panic("lenient: Rest of empty stream")
+	}
+	return s.tail.Force()
+}
+
+// RestCell returns the tail cell without demanding it.
+func (s *Stream[T]) RestCell() *Cell[*Stream[T]] {
+	if s == nil {
+		panic("lenient: RestCell of empty stream")
+	}
+	return s.tail
+}
+
+// FromSlice builds a fully-materialized stream from a slice.
+func FromSlice[T any](items []T) *Stream[T] {
+	var out *Stream[T]
+	for i := len(items) - 1; i >= 0; i-- {
+		out = Cons(items[i], out)
+	}
+	return out
+}
+
+// Generate builds a lazy stream whose i-th element is produced by next(i);
+// the stream ends when next returns ok=false. next is invoked at most once
+// per index, on demand.
+func Generate[T any](next func(i int) (T, bool)) *Stream[T] {
+	var gen func(i int) *Stream[T]
+	gen = func(i int) *Stream[T] {
+		v, ok := next(i)
+		if !ok {
+			return nil
+		}
+		return FollowedBy(v, func() *Stream[T] { return gen(i + 1) })
+	}
+	return gen(0)
+}
+
+// FromChan adapts a channel into a lenient stream; the stream ends when the
+// channel is closed. Each element is pulled from the channel only when the
+// corresponding tail is demanded, so the producer is flow-controlled by the
+// consumer (plus the channel's own buffering).
+func FromChan[T any](ch <-chan T) *Stream[T] {
+	var pull func() *Stream[T]
+	pull = func() *Stream[T] {
+		v, ok := <-ch
+		if !ok {
+			return nil
+		}
+		return FollowedBy(v, pull)
+	}
+	return pull()
+}
+
+// ToSlice materializes the whole stream. It diverges on infinite streams;
+// use TakeSlice for a bounded prefix.
+func ToSlice[T any](s *Stream[T]) []T {
+	var out []T
+	for ; s != nil; s = s.Rest() {
+		out = append(out, s.head)
+	}
+	return out
+}
+
+// TakeSlice materializes at most n elements. It demands no tail beyond the
+// last taken element, so it is safe on expensive or infinite streams.
+func TakeSlice[T any](s *Stream[T], n int) []T {
+	out := make([]T, 0, max(n, 0))
+	for s != nil && len(out) < n {
+		out = append(out, s.head)
+		if len(out) == n {
+			break
+		}
+		s = s.Rest()
+	}
+	return out
+}
+
+// Length counts the elements, demanding the entire stream.
+func Length[T any](s *Stream[T]) int {
+	n := 0
+	for ; s != nil; s = s.Rest() {
+		n++
+	}
+	return n
+}
+
+// ApplyToAll is the paper's `f || stream` operator: it applies f to every
+// element, lazily. (FEL: "transactions = translate || queries".)
+func ApplyToAll[T, U any](f func(T) U, s *Stream[T]) *Stream[U] {
+	if s == nil {
+		return nil
+	}
+	return FollowedBy(f(s.head), func() *Stream[U] {
+		return ApplyToAll(f, s.Rest())
+	})
+}
+
+// ApplyToAllSpawn is ApplyToAll with anticipatory evaluation: each
+// application runs as a spawned future, so independent elements are mapped
+// concurrently ("flooding") while the stream shape is still delivered in
+// order. The returned stream's heads are cells.
+func ApplyToAllSpawn[T, U any](f func(T) U, s *Stream[T]) *Stream[*Cell[U]] {
+	if s == nil {
+		return nil
+	}
+	head := s.head
+	return FollowedBy(Spawn(func() U { return f(head) }), func() *Stream[*Cell[U]] {
+		return ApplyToAllSpawn(f, s.Rest())
+	})
+}
+
+// Filter keeps the elements for which keep returns true, lazily.
+func Filter[T any](keep func(T) bool, s *Stream[T]) *Stream[T] {
+	for ; s != nil; s = s.Rest() {
+		if keep(s.head) {
+			rest := s
+			return FollowedBy(rest.head, func() *Stream[T] {
+				return Filter(keep, rest.Rest())
+			})
+		}
+	}
+	return nil
+}
+
+// Take returns a lazy stream of the first n elements. The source's tail is
+// demanded only when a further element is actually needed, so taking n
+// never computes element n+1.
+func Take[T any](s *Stream[T], n int) *Stream[T] {
+	if s == nil || n <= 0 {
+		return nil
+	}
+	return FollowedBy(s.head, func() *Stream[T] {
+		if n == 1 {
+			return nil
+		}
+		return Take(s.Rest(), n-1)
+	})
+}
+
+// Drop discards the first n elements, demanding them.
+func Drop[T any](s *Stream[T], n int) *Stream[T] {
+	for ; s != nil && n > 0; n-- {
+		s = s.Rest()
+	}
+	return s
+}
+
+// Append concatenates two streams lazily; b's elements are not demanded
+// until a ends. Note that b is already a constructed stream (its head
+// exists); use AppendLazy when even constructing b must wait.
+func Append[T any](a, b *Stream[T]) *Stream[T] {
+	if a == nil {
+		return b
+	}
+	return FollowedBy(a.head, func() *Stream[T] { return Append(a.Rest(), b) })
+}
+
+// AppendLazy concatenates a with a stream that is not even constructed
+// until a is exhausted — needed when building the second stream has
+// observable effects (e.g. a stateful filter shared across both parts).
+func AppendLazy[T any](a *Stream[T], b func() *Stream[T]) *Stream[T] {
+	if a == nil {
+		return b()
+	}
+	return FollowedBy(a.head, func() *Stream[T] { return AppendLazy(a.Rest(), b) })
+}
+
+// ZipWith combines two streams elementwise with f, ending with the shorter.
+func ZipWith[A, B, C any](f func(A, B) C, a *Stream[A], b *Stream[B]) *Stream[C] {
+	if a == nil || b == nil {
+		return nil
+	}
+	return FollowedBy(f(a.head, b.head), func() *Stream[C] {
+		return ZipWith(f, a.Rest(), b.Rest())
+	})
+}
+
+// ForEach demands every element in order, calling visit on each.
+func ForEach[T any](s *Stream[T], visit func(T)) {
+	for ; s != nil; s = s.Rest() {
+		visit(s.head)
+	}
+}
+
+// Fold accumulates the stream left-to-right, demanding every element.
+func Fold[T, A any](s *Stream[T], acc A, f func(A, T) A) A {
+	for ; s != nil; s = s.Rest() {
+		acc = f(acc, s.head)
+	}
+	return acc
+}

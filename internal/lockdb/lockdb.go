@@ -1,0 +1,177 @@
+// Package lockdb is the conventional baseline the paper argues against:
+// a mutable, in-place database protected by explicit locks.
+//
+// Section 2.3: "Conventional methods for accomplishing concurrent updates
+// to a database required the systems programmer to program locks,
+// semaphores, etc. In contrast, the functional approach to updating ...
+// performs all necessary synchronization implicitly."
+//
+// The implementation is deliberately the textbook design: one RWMutex per
+// relation, strict two-phase locking with ordered acquisition (so no
+// deadlock), binary-searched in-place sorted slices. It exists so Ablation
+// C can compare wall-clock throughput and programming model against the
+// functional engine under identical workloads. Note what it cannot do that
+// the functional engine gets for free: no version history, no time-travel
+// reads, readers block writers on the same relation.
+package lockdb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/relation"
+	"funcdb/internal/value"
+)
+
+// lockedRelation is a mutable sorted slice of tuples under a lock.
+type lockedRelation struct {
+	mu     sync.RWMutex
+	tuples []value.Tuple
+}
+
+// find returns the index of key, or insertion position and false.
+func (r *lockedRelation) find(key value.Item) (int, bool) {
+	i := sort.Search(len(r.tuples), func(i int) bool {
+		return r.tuples[i].Key().Compare(key) >= 0
+	})
+	if i < len(r.tuples) && r.tuples[i].Key().Equal(key) {
+		return i, true
+	}
+	return i, false
+}
+
+// DB is a lock-based mutable database.
+type DB struct {
+	mu   sync.RWMutex // guards the directory
+	rels map[string]*lockedRelation
+}
+
+// New builds a lock-based database with the given relation names.
+func New(names ...string) *DB {
+	db := &DB{rels: make(map[string]*lockedRelation, len(names))}
+	for _, n := range names {
+		db.rels[n] = &lockedRelation{}
+	}
+	return db
+}
+
+// FromDatabase copies the contents of a functional database version into a
+// fresh lock-based database, so both baselines start from identical state.
+func FromDatabase(src *database.Database) *DB {
+	db := &DB{rels: map[string]*lockedRelation{}}
+	for _, name := range src.RelationNames() {
+		rel, _ := src.RelationFast(name)
+		db.rels[name] = &lockedRelation{tuples: rel.Tuples()}
+	}
+	return db
+}
+
+// relation resolves a relation under the directory lock.
+func (db *DB) relation(name string) (*lockedRelation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", database.ErrNoRelation, name)
+	}
+	return r, nil
+}
+
+// Exec runs one transaction with strict two-phase locking: all locks are
+// acquired (in name order, writers exclusive) before any data is touched,
+// and released when the operation completes.
+func (db *DB) Exec(tx core.Transaction) core.Response {
+	resp := core.Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind}
+	if err := tx.Validate(); err != nil {
+		resp.Err = err
+		return resp
+	}
+	switch tx.Kind {
+	case core.KindCreate:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if _, exists := db.rels[tx.Rel]; exists {
+			resp.Err = fmt.Errorf("%w: %q", database.ErrRelationExists, tx.Rel)
+			return resp
+		}
+		db.rels[tx.Rel] = &lockedRelation{}
+		return resp
+	case core.KindCustom:
+		resp.Err = fmt.Errorf("lockdb: custom transactions are not supported by the baseline")
+		return resp
+	}
+
+	r, err := db.relation(tx.Rel)
+	if err != nil {
+		resp.Err = err
+		return resp
+	}
+	if tx.IsReadOnly() {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+	} else {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+	}
+
+	switch tx.Kind {
+	case core.KindInsert:
+		i, found := r.find(tx.Tuple.Key())
+		if found {
+			r.tuples[i] = tx.Tuple
+		} else {
+			r.tuples = append(r.tuples, value.Tuple{})
+			copy(r.tuples[i+1:], r.tuples[i:])
+			r.tuples[i] = tx.Tuple
+		}
+		resp.Tuple = tx.Tuple
+	case core.KindDelete:
+		i, found := r.find(tx.Key)
+		resp.Found = found
+		if found {
+			r.tuples = append(r.tuples[:i], r.tuples[i+1:]...)
+		}
+	case core.KindFind:
+		i, found := r.find(tx.Key)
+		resp.Found = found
+		if found {
+			resp.Tuple = r.tuples[i]
+		}
+	case core.KindScan:
+		resp.Tuples = append([]value.Tuple(nil), r.tuples...)
+		resp.Count = len(resp.Tuples)
+	case core.KindCount:
+		resp.Count = len(r.tuples)
+	case core.KindRange:
+		lo, _ := r.find(tx.Lo)
+		for i := lo; i < len(r.tuples) && r.tuples[i].Key().Compare(tx.Hi) <= 0; i++ {
+			resp.Tuples = append(resp.Tuples, r.tuples[i])
+		}
+		resp.Count = len(resp.Tuples)
+	}
+	return resp
+}
+
+// Snapshot copies the current contents into a functional database value
+// for equivalence checks. It locks every relation (shared) for the copy —
+// the baseline has no cheap consistent snapshot, unlike the version stream.
+func (db *DB) Snapshot() *database.Database {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	data := map[string][]value.Tuple{}
+	for _, n := range names {
+		r := db.rels[n]
+		r.mu.RLock()
+		data[n] = append([]value.Tuple(nil), r.tuples...)
+		r.mu.RUnlock()
+	}
+	db.mu.RUnlock()
+	return database.FromData(relation.RepList, names, data)
+}

@@ -1,0 +1,166 @@
+package lockdb
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/relation"
+	"funcdb/internal/value"
+)
+
+func tup(k int64) value.Tuple { return value.NewTuple(value.Int(k), value.Str("v")) }
+
+func TestBasicOps(t *testing.T) {
+	db := New("R")
+	if resp := db.Exec(core.Insert("R", tup(2))); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp := db.Exec(core.Insert("R", tup(1))); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp := db.Exec(core.Find("R", value.Int(1))); !resp.Found {
+		t.Error("find failed")
+	}
+	if resp := db.Exec(core.Count("R")); resp.Count != 2 {
+		t.Errorf("count = %d", resp.Count)
+	}
+	if resp := db.Exec(core.Scan("R")); len(resp.Tuples) != 2 || !resp.Tuples[0].Key().Equal(value.Int(1)) {
+		t.Errorf("scan = %v", resp.Tuples)
+	}
+	if resp := db.Exec(core.Delete("R", value.Int(1))); !resp.Found {
+		t.Error("delete missed")
+	}
+	if resp := db.Exec(core.Find("R", value.Int(1))); resp.Found {
+		t.Error("find after delete")
+	}
+	if resp := db.Exec(core.Range("R", value.Int(0), value.Int(5))); resp.Count != 1 {
+		t.Errorf("range = %d", resp.Count)
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	db := New("R")
+	db.Exec(core.Insert("R", value.NewTuple(value.Int(1), value.Str("old"))))
+	db.Exec(core.Insert("R", value.NewTuple(value.Int(1), value.Str("new"))))
+	resp := db.Exec(core.Find("R", value.Int(1)))
+	if resp.Tuple.Field(1).AsString() != "new" {
+		t.Errorf("tuple = %v", resp.Tuple)
+	}
+	if db.Exec(core.Count("R")).Count != 1 {
+		t.Error("upsert duplicated")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := New("R")
+	if resp := db.Exec(core.Find("X", value.Int(1))); !errors.Is(resp.Err, database.ErrNoRelation) {
+		t.Errorf("err = %v", resp.Err)
+	}
+	if resp := db.Exec(core.Transaction{Kind: core.KindInsert}); resp.Err == nil {
+		t.Error("invalid transaction accepted")
+	}
+	if resp := db.Exec(core.Custom(nil, nil, nil)); resp.Err == nil {
+		t.Error("custom transaction accepted by baseline")
+	}
+	if resp := db.Exec(core.Create("R", relation.RepList)); !errors.Is(resp.Err, database.ErrRelationExists) {
+		t.Errorf("duplicate create err = %v", resp.Err)
+	}
+	if resp := db.Exec(core.Create("S", relation.RepList)); resp.Err != nil {
+		t.Error(resp.Err)
+	}
+}
+
+func TestFromDatabaseAndSnapshot(t *testing.T) {
+	src := database.FromData(relation.RepList, []string{"R", "S"}, map[string][]value.Tuple{
+		"R": {tup(1), tup(2)},
+		"S": {tup(9)},
+	})
+	db := FromDatabase(src)
+	snap := db.Snapshot()
+	if !snap.Equal(src) {
+		t.Error("snapshot differs from source")
+	}
+	db.Exec(core.Insert("R", tup(3)))
+	if snap2 := db.Snapshot(); snap2.TotalTuples() != 4 {
+		t.Errorf("snapshot tuples = %d", snap2.TotalTuples())
+	}
+	// Unlike the functional version stream, the first snapshot was a copy:
+	// it must NOT see the later write (we made it a copy precisely because
+	// the baseline cannot share structure safely).
+	if snap.TotalTuples() != 3 {
+		t.Error("old snapshot mutated")
+	}
+}
+
+func TestMatchesFunctionalEngineSequentially(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		init := database.New(relation.RepList, "R", "S")
+		lk := FromDatabase(init)
+		var txns []core.Transaction
+		for i := 0; i < 60; i++ {
+			rel := []string{"R", "S"}[r.Intn(2)]
+			k := int64(r.Intn(12))
+			switch r.Intn(3) {
+			case 0:
+				txns = append(txns, core.Insert(rel, tup(k)))
+			case 1:
+				txns = append(txns, core.Delete(rel, value.Int(k)))
+			default:
+				txns = append(txns, core.Find(rel, value.Int(k)))
+			}
+		}
+		seqResp, seqFinal := core.ApplySequential(init, txns)
+		for i, tx := range txns {
+			resp := lk.Exec(tx)
+			if resp.Found != seqResp[i].Found {
+				return false
+			}
+		}
+		return lk.Snapshot().Equal(seqFinal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentMixedLoadIsSafe(t *testing.T) {
+	// Run with -race: concurrent readers and writers over shared relations.
+	db := New("R", "S")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				rel := []string{"R", "S"}[r.Intn(2)]
+				k := int64(r.Intn(50))
+				switch r.Intn(3) {
+				case 0:
+					db.Exec(core.Insert(rel, tup(k)))
+				case 1:
+					db.Exec(core.Delete(rel, value.Int(k)))
+				default:
+					db.Exec(core.Find(rel, value.Int(k)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := db.Snapshot()
+	for _, name := range snap.RelationNames() {
+		rel, _ := snap.RelationFast(name)
+		tuples := rel.Tuples()
+		for i := 1; i < len(tuples); i++ {
+			if tuples[i-1].Key().Compare(tuples[i].Key()) >= 0 {
+				t.Fatalf("relation %s out of order after concurrent load", name)
+			}
+		}
+	}
+}

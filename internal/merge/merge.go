@@ -1,0 +1,167 @@
+// Package merge implements the paper's pseudo-functional merge: the one
+// indeterminate operator in the system (Section 2.4).
+//
+// "Informally, a merge has as its input several query streams and its
+// output is an arbitrary interleaving of those streams. ... The order of
+// interleaving can be that in which the merge receives the requests."
+// Processing the merged stream sequentially is the paper's sufficient
+// condition for serializability; all concurrency is recovered downstream by
+// leniency.
+//
+// Three forms are provided:
+//
+//   - Merge: the live, genuinely nondeterministic fan-in over channels
+//     (arrival order), used by the runtime engine and the network
+//     substrate;
+//   - Interleave: a seeded, reproducible interleaving of materialized
+//     streams, used by the experiments so every table is regenerable;
+//   - InterleaveByKey: the "judiciously ordered" merge the paper leaves as
+//     future research ("it is further possible to 'optimize' the
+//     transactions for greater concurrency among relational components by
+//     judiciously ordering the transactions to be merged, so long as the
+//     order of transactions from each individual stream is maintained") —
+//     it groups same-key (same-relation) requests into runs while
+//     preserving every input stream's order. Ablation E measures it.
+package merge
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Merge fans the input channels into one output channel in arrival order.
+// The output closes when every input has closed. Per-input order is
+// preserved; cross-input order is whatever the scheduler delivers — the
+// operator is deliberately not a function.
+func Merge[T any](ins ...<-chan T) <-chan T {
+	out := make(chan T)
+	var wg sync.WaitGroup
+	wg.Add(len(ins))
+	for _, in := range ins {
+		go func(in <-chan T) {
+			defer wg.Done()
+			for v := range in {
+				out <- v
+			}
+		}(in)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// Interleave produces a seeded random interleaving of the given streams,
+// preserving each stream's internal order. The same seed yields the same
+// merged stream, which is how the experiments stay reproducible while still
+// exercising a nontrivial interleaving.
+func Interleave[T any](seed int64, streams ...[]T) []T {
+	r := rand.New(rand.NewSource(seed))
+	idx := make([]int, len(streams))
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]T, 0, total)
+	for len(out) < total {
+		// Choose among non-exhausted streams weighted by remaining length,
+		// which keeps the interleaving roughly proportional.
+		remaining := 0
+		for i, s := range streams {
+			remaining += len(s) - idx[i]
+			_ = s
+		}
+		pick := r.Intn(remaining)
+		for i, s := range streams {
+			left := len(s) - idx[i]
+			if pick < left {
+				out = append(out, s[idx[i]])
+				idx[i]++
+				break
+			}
+			pick -= left
+		}
+	}
+	return out
+}
+
+// RoundRobin interleaves the streams one element at a time, preserving each
+// stream's order: the fully deterministic baseline interleaving.
+func RoundRobin[T any](streams ...[]T) []T {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]T, 0, total)
+	idx := make([]int, len(streams))
+	for len(out) < total {
+		for i, s := range streams {
+			if idx[i] < len(s) {
+				out = append(out, s[idx[i]])
+				idx[i]++
+			}
+		}
+	}
+	return out
+}
+
+// InterleaveByKey merges the streams grouping equal-key elements into
+// maximal runs, while preserving every stream's internal order (only stream
+// heads are ever taken). Keys typically name the relation a transaction
+// targets, so runs pipeline on one relation.
+func InterleaveByKey[T any](key func(T) string, streams ...[]T) []T {
+	idx := make([]int, len(streams))
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]T, 0, total)
+
+	headKey := func(i int) (string, bool) {
+		if idx[i] < len(streams[i]) {
+			return key(streams[i][idx[i]]), true
+		}
+		return "", false
+	}
+
+	current := ""
+	for len(out) < total {
+		took := false
+		// Extend the current run from any stream whose head matches.
+		for i := range streams {
+			for {
+				k, ok := headKey(i)
+				if !ok || k != current {
+					break
+				}
+				out = append(out, streams[i][idx[i]])
+				idx[i]++
+				took = true
+			}
+		}
+		if took {
+			continue
+		}
+		// Start a new run: pick the key of the longest remaining stream's
+		// head (a simple greedy heuristic).
+		best, bestLeft := -1, -1
+		for i, s := range streams {
+			if left := len(s) - idx[i]; left > bestLeft && left > 0 {
+				best, bestLeft = i, left
+			}
+		}
+		k, _ := headKey(best)
+		current = k
+	}
+	return out
+}
+
+// Collect drains a channel into a slice (a test and example helper).
+func Collect[T any](in <-chan T) []T {
+	var out []T
+	for v := range in {
+		out = append(out, v)
+	}
+	return out
+}

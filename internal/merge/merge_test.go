@@ -1,0 +1,202 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// isSubsequence reports whether sub appears within full in order.
+func isSubsequence(sub, full []int) bool {
+	i := 0
+	for _, v := range full {
+		if i < len(sub) && sub[i] == v {
+			i++
+		}
+	}
+	return i == len(sub)
+}
+
+func TestMergeDeliversEverythingOnce(t *testing.T) {
+	mk := func(vals ...int) <-chan int {
+		ch := make(chan int, len(vals))
+		for _, v := range vals {
+			ch <- v
+		}
+		close(ch)
+		return ch
+	}
+	out := Collect(Merge(mk(1, 2, 3), mk(10, 20), mk()))
+	if len(out) != 5 {
+		t.Fatalf("got %d items", len(out))
+	}
+	sorted := append([]int(nil), out...)
+	sort.Ints(sorted)
+	want := []int{1, 2, 3, 10, 20}
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("items = %v", out)
+		}
+	}
+}
+
+func TestMergePreservesPerStreamOrder(t *testing.T) {
+	// Two concurrent producers with disjoint values: each producer's values
+	// must appear in its own order within the merged stream.
+	a := make(chan int)
+	b := make(chan int)
+	go func() {
+		for i := 0; i < 100; i++ {
+			a <- i
+		}
+		close(a)
+	}()
+	go func() {
+		for i := 1000; i < 1100; i++ {
+			b <- i
+		}
+		close(b)
+	}()
+	out := Collect(Merge[int](a, b))
+	if len(out) != 200 {
+		t.Fatalf("got %d items", len(out))
+	}
+	var fromA, fromB []int
+	for _, v := range out {
+		if v < 1000 {
+			fromA = append(fromA, v)
+		} else {
+			fromB = append(fromB, v)
+		}
+	}
+	for i, v := range fromA {
+		if v != i {
+			t.Fatalf("stream A reordered: %v", fromA[:10])
+		}
+	}
+	for i, v := range fromB {
+		if v != 1000+i {
+			t.Fatalf("stream B reordered: %v", fromB[:10])
+		}
+	}
+}
+
+func TestMergeOfNothing(t *testing.T) {
+	out := Collect(Merge[int]())
+	if len(out) != 0 {
+		t.Errorf("merge of no streams = %v", out)
+	}
+}
+
+func TestInterleaveDeterministic(t *testing.T) {
+	s1 := []int{1, 2, 3}
+	s2 := []int{10, 20, 30, 40}
+	a := Interleave(42, s1, s2)
+	b := Interleave(42, s1, s2)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("same seed, different interleavings: %v vs %v", a, b)
+	}
+	c := Interleave(43, s1, s2)
+	// Different seeds *may* coincide, but across this size it's unlikely;
+	// only warn via failure if all of several seeds match.
+	d := Interleave(44, s1, s2)
+	if fmt.Sprint(a) == fmt.Sprint(c) && fmt.Sprint(a) == fmt.Sprint(d) {
+		t.Error("interleaving ignores seed")
+	}
+}
+
+func TestRoundRobin(t *testing.T) {
+	got := RoundRobin([]int{1, 2, 3}, []int{10, 20}, []int{100})
+	want := []int{1, 10, 100, 2, 20, 3}
+	if len(got) != len(want) {
+		t.Fatalf("RoundRobin = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RoundRobin = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInterleaveByKeyGroupsRuns(t *testing.T) {
+	type q struct {
+		rel string
+		id  int
+	}
+	s1 := []q{{"R", 1}, {"S", 2}, {"R", 3}}
+	s2 := []q{{"R", 10}, {"S", 20}}
+	out := InterleaveByKey(func(x q) string { return x.rel }, s1, s2)
+	if len(out) != 5 {
+		t.Fatalf("lost items: %v", out)
+	}
+	// Count key switches; grouping should produce fewer switches than the
+	// worst case.
+	switches := 0
+	for i := 1; i < len(out); i++ {
+		if out[i].rel != out[i-1].rel {
+			switches++
+		}
+	}
+	if switches > 2 {
+		t.Errorf("%d key switches in %v", switches, out)
+	}
+	// Per-stream order: ids from s1 appear as 1,2,3; from s2 as 10,20.
+	var ids1, ids2 []int
+	for _, x := range out {
+		if x.id < 10 {
+			ids1 = append(ids1, x.id)
+		} else {
+			ids2 = append(ids2, x.id)
+		}
+	}
+	if fmt.Sprint(ids1) != "[1 2 3]" || fmt.Sprint(ids2) != "[10 20]" {
+		t.Errorf("stream order broken: %v %v", ids1, ids2)
+	}
+}
+
+func TestPropertyInterleavePreservesStreams(t *testing.T) {
+	f := func(seed int64, n1, n2, n3 uint8) bool {
+		mk := func(base, n int) []int {
+			out := make([]int, n%16)
+			for i := range out {
+				out[i] = base + i
+			}
+			return out
+		}
+		s1, s2, s3 := mk(0, int(n1)), mk(1000, int(n2)), mk(2000, int(n3))
+		out := Interleave(seed, s1, s2, s3)
+		if len(out) != len(s1)+len(s2)+len(s3) {
+			return false
+		}
+		return isSubsequence(s1, out) && isSubsequence(s2, out) && isSubsequence(s3, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInterleaveByKeyPreservesStreams(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rels := []string{"R", "S", "T"}
+		mk := func(base int) []int {
+			out := make([]int, r.Intn(12))
+			for i := range out {
+				out[i] = base + i
+			}
+			return out
+		}
+		s1, s2 := mk(0), mk(1000)
+		key := func(v int) string { return rels[v%3] }
+		out := InterleaveByKey(key, s1, s2)
+		if len(out) != len(s1)+len(s2) {
+			return false
+		}
+		return isSubsequence(s1, out) && isSubsequence(s2, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

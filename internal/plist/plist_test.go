@@ -1,0 +1,375 @@
+package plist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/eval"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+)
+
+func tup(k int64, rest ...string) value.Tuple {
+	items := []value.Item{value.Int(k)}
+	for _, s := range rest {
+		items = append(items, value.Str(s))
+	}
+	return value.NewTuple(items...)
+}
+
+func keysOf(l List) []int64 {
+	var out []int64
+	for _, t := range l.Tuples() {
+		out = append(out, t.Key().AsInt())
+	}
+	return out
+}
+
+func TestEmptyList(t *testing.T) {
+	var l List
+	if !l.IsEmpty() || l.Len() != 0 {
+		t.Error("zero List not empty")
+	}
+	if _, ok, _ := l.Find(nil, value.Int(1), trace.None); ok {
+		t.Error("Find on empty list succeeded")
+	}
+	if got, found, _ := l.Delete(nil, value.Int(1), trace.None); found || got.Len() != 0 {
+		t.Error("Delete on empty list claimed success")
+	}
+	if l.HeadTask() != trace.None {
+		t.Error("empty list HeadTask not None")
+	}
+}
+
+func TestInsertMaintainsSortedOrder(t *testing.T) {
+	var l List
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		l, _ = l.Insert(nil, tup(k), trace.None)
+	}
+	got := keysOf(l)
+	want := []int64{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestInsertReplacesSameKey(t *testing.T) {
+	var l List
+	l, _ = l.Insert(nil, tup(1, "old"), trace.None)
+	l, _ = l.Insert(nil, tup(1, "new"), trace.None)
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d after upsert", l.Len())
+	}
+	got, ok, _ := l.Find(nil, value.Int(1), trace.None)
+	if !ok || got.Field(1).AsString() != "new" {
+		t.Errorf("Find = %v, %v", got, ok)
+	}
+}
+
+func TestFind(t *testing.T) {
+	l := FromTuples([]value.Tuple{tup(1), tup(3), tup(5)})
+	tests := []struct {
+		key  int64
+		want bool
+	}{
+		{0, false}, {1, true}, {2, false}, {3, true}, {4, false}, {5, true}, {6, false},
+	}
+	for _, tc := range tests {
+		got, ok, _ := l.Find(nil, value.Int(tc.key), trace.None)
+		if ok != tc.want {
+			t.Errorf("Find(%d) = %v, want %v", tc.key, ok, tc.want)
+		}
+		if ok && got.Key().AsInt() != tc.key {
+			t.Errorf("Find(%d) returned tuple %v", tc.key, got)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	base := FromTuples([]value.Tuple{tup(1), tup(3), tup(5)})
+	tests := []struct {
+		key       int64
+		found     bool
+		remaining []int64
+	}{
+		{1, true, []int64{3, 5}},
+		{3, true, []int64{1, 5}},
+		{5, true, []int64{1, 3}},
+		{2, false, []int64{1, 3, 5}},
+		{9, false, []int64{1, 3, 5}},
+	}
+	for _, tc := range tests {
+		got, found, _ := base.Delete(nil, value.Int(tc.key), trace.None)
+		if found != tc.found {
+			t.Errorf("Delete(%d) found = %v, want %v", tc.key, found, tc.found)
+		}
+		keys := keysOf(got)
+		if len(keys) != len(tc.remaining) {
+			t.Errorf("Delete(%d) left %v, want %v", tc.key, keys, tc.remaining)
+			continue
+		}
+		for i := range keys {
+			if keys[i] != tc.remaining[i] {
+				t.Errorf("Delete(%d) left %v, want %v", tc.key, keys, tc.remaining)
+			}
+		}
+	}
+}
+
+func TestOldVersionsUnchanged(t *testing.T) {
+	// The heart of the functional approach: updates never disturb prior
+	// versions (Section 2.2: each transaction "conceptually produces a new
+	// instance" while the old one remains).
+	v0 := FromTuples([]value.Tuple{tup(2), tup(4)})
+	v1, _ := v0.Insert(nil, tup(3), trace.None)
+	v2, _, _ := v1.Delete(nil, value.Int(2), trace.None)
+	v3, _ := v2.Insert(nil, tup(2, "back"), trace.None)
+
+	check := func(name string, l List, want []int64) {
+		t.Helper()
+		got := keysOf(l)
+		if len(got) != len(want) {
+			t.Errorf("%s = %v, want %v", name, got, want)
+			return
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s = %v, want %v", name, got, want)
+				return
+			}
+		}
+	}
+	check("v0", v0, []int64{2, 4})
+	check("v1", v1, []int64{2, 3, 4})
+	check("v2", v2, []int64{3, 4})
+	check("v3", v3, []int64{2, 3, 4})
+}
+
+func TestStructureSharing(t *testing.T) {
+	// Inserting at the front shares the entire old list; inserting at the
+	// back shares nothing (full spine copy); middle shares the suffix.
+	mk := func(n int) List {
+		tuples := make([]value.Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			tuples = append(tuples, tup(int64(2*i+10)))
+		}
+		return FromTuples(tuples)
+	}
+	const n = 10
+	tests := []struct {
+		name       string
+		key        int64
+		wantShared int
+	}{
+		{"front insert shares all", 1, n},
+		{"back insert shares none", 99, 0},
+		{"middle insert shares suffix", 19, 5}, // keys 10..28; 19 goes before 20: shares {20,22,24,26,28}
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			base := mk(n)
+			next, _ := base.Insert(nil, tup(tc.key), trace.None)
+			if got := next.SharedCellsWith(base); got != tc.wantShared {
+				t.Errorf("shared cells = %d, want %d", got, tc.wantShared)
+			}
+		})
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	stats := &eval.Stats{}
+	ctx := &eval.Ctx{Stats: stats}
+	base := FromTuples([]value.Tuple{tup(10), tup(20), tup(30), tup(40)})
+
+	// Insert before 30: visits 10,20,30; copies 10,20 + new cell; shares 30,40.
+	_, _ = base.Insert(ctx, tup(25), trace.None)
+	if got := stats.Visited.Load(); got != 3 {
+		t.Errorf("Visited = %d, want 3", got)
+	}
+	if got := stats.Created.Load(); got != 3 {
+		t.Errorf("Created = %d, want 3", got)
+	}
+	if got := stats.Shared.Load(); got != 2 {
+		t.Errorf("Shared = %d, want 2", got)
+	}
+	if f := stats.SharingFraction(); f != 2.0/5.0 {
+		t.Errorf("SharingFraction = %v", f)
+	}
+}
+
+func TestTracedFindProducesVisitChain(t *testing.T) {
+	g := trace.New()
+	ctx := &eval.Ctx{Graph: g}
+	l := FromTuples([]value.Tuple{tup(1), tup(2), tup(3)})
+	_, ok, last := l.Find(ctx, value.Int(3), trace.None)
+	if !ok {
+		t.Fatal("Find failed")
+	}
+	p := g.Analyze()
+	if p.Work != 3 {
+		t.Errorf("Work = %d, want 3 visits", p.Work)
+	}
+	if p.Depth != 3 {
+		t.Errorf("Depth = %d, want 3 (sequential scan)", p.Depth)
+	}
+	if last == trace.None {
+		t.Error("Find returned no final task under tracing")
+	}
+}
+
+func TestTracedInsertWavefront(t *testing.T) {
+	// Build a list traced, then trace a find on the NEW version: the find's
+	// visit of each copied cell must depend on that cell's constructor,
+	// producing a pipeline (depth < sum of both chains).
+	g := trace.New()
+	ctx := &eval.Ctx{Graph: g}
+	base := FromTuples([]value.Tuple{tup(1), tup(2), tup(3), tup(4)})
+	v1, op := base.Insert(ctx, tup(5), trace.None)
+	if op.Ready == trace.None {
+		t.Fatal("traced insert returned no Ready task")
+	}
+	if op.Done == trace.None || op.Done < op.Ready {
+		t.Fatalf("Done task %d should follow Ready task %d", op.Done, op.Ready)
+	}
+	_, ok, _ := v1.Find(ctx, value.Int(5), op.Ready)
+	if !ok {
+		t.Fatal("Find on new version failed")
+	}
+	p := g.Analyze()
+	// Insert: 4 visits + 5 constructs = 9 tasks; find: 5 visits. Work 14.
+	if p.Work != 14 {
+		t.Errorf("Work = %d, want 14", p.Work)
+	}
+	// Max width must exceed 1: the find overlaps the insert's construction.
+	if p.MaxWidth < 2 {
+		t.Errorf("MaxWidth = %d, want >= 2 (pipelining)", p.MaxWidth)
+	}
+	// And depth must be well under work (parallelism exists).
+	if p.Depth >= p.Work {
+		t.Errorf("Depth %d not less than Work %d", p.Depth, p.Work)
+	}
+}
+
+func TestRange(t *testing.T) {
+	l := FromTuples([]value.Tuple{tup(1), tup(3), tup(5), tup(7)})
+	var got []int64
+	l.Range(nil, value.Int(2), value.Int(6), trace.None, func(tu value.Tuple) {
+		got = append(got, tu.Key().AsInt())
+	})
+	want := []int64{3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeleteHeadReturnsSharedSuffix(t *testing.T) {
+	base := FromTuples([]value.Tuple{tup(1), tup(2), tup(3)})
+	next, found, _ := base.Delete(nil, value.Int(1), trace.None)
+	if !found {
+		t.Fatal("Delete(1) not found")
+	}
+	if got := next.SharedCellsWith(base); got != 2 {
+		t.Errorf("shared = %d, want 2 (whole suffix)", got)
+	}
+}
+
+// model-based property test: the persistent list behaves exactly like a
+// sorted map under a random operation sequence, and no historical version
+// is ever disturbed.
+func TestPropertyMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var l List
+		model := map[int64]value.Tuple{}
+		type version struct {
+			list List
+			snap []int64
+		}
+		var history []version
+
+		snapshot := func() []int64 {
+			keys := make([]int64, 0, len(model))
+			for k := range model {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			return keys
+		}
+
+		for op := 0; op < 60; op++ {
+			k := int64(r.Intn(20))
+			switch r.Intn(3) {
+			case 0: // insert
+				tu := tup(k, "v")
+				l, _ = l.Insert(nil, tu, trace.None)
+				model[k] = tu
+			case 1: // delete
+				var found bool
+				l, found, _ = l.Delete(nil, value.Int(k), trace.None)
+				if _, inModel := model[k]; inModel != found {
+					return false
+				}
+				delete(model, k)
+			case 2: // find
+				_, ok, _ := l.Find(nil, value.Int(k), trace.None)
+				if _, inModel := model[k]; inModel != ok {
+					return false
+				}
+			}
+			if l.Len() != len(model) {
+				return false
+			}
+			history = append(history, version{list: l, snap: snapshot()})
+		}
+
+		// Every historical version still matches its snapshot.
+		for _, v := range history {
+			got := keysOf(v.list)
+			if len(got) != len(v.snap) {
+				return false
+			}
+			for i := range got {
+				if got[i] != v.snap[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySharingPlusCreatedCoversResult(t *testing.T) {
+	// For any single insert: created + shared == len(result), i.e. the new
+	// version is exactly "copied prefix + new cell + shared suffix".
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(30)
+		tuples := make([]value.Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			tuples = append(tuples, tup(int64(r.Intn(50))))
+		}
+		base := FromTuples(tuples)
+		stats := &eval.Stats{}
+		ctx := &eval.Ctx{Stats: stats}
+		next, _ := base.Insert(ctx, tup(int64(r.Intn(50))), trace.None)
+		return stats.Created.Load()+stats.Shared.Load() == int64(next.Len())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package pmap implements the persistent association map used for the
+// database directory: the paper's mapping "names --> relations" (Section
+// 2.1).
+//
+// The map is a persistent association list in insertion order. Updating one
+// binding copies the entries in front of it and shares every entry behind
+// it, exactly the "new directory / old directory" picture of Figure 2-2:
+// after an update both directory versions coexist, sharing all unmodified
+// entries. With the handful of relations the paper's experiments use, the
+// association list is the honest functional cost model; tree directories
+// (Section 2.2's (log n)/n argument) are provided by internal/ptree for
+// relations themselves.
+//
+// Like plist, every entry records its constructor task, and lookups record
+// one visit per inspected entry depending on that entry's constructor — so
+// a transaction reading the directory of a version still under construction
+// pipelines behind the transaction building it.
+package pmap
+
+import (
+	"funcdb/internal/eval"
+	"funcdb/internal/trace"
+)
+
+// entry is one immutable directory binding.
+type entry[V any] struct {
+	name string
+	val  V
+	next *entry[V]
+	task trace.TaskID
+}
+
+// Map is a persistent name->V association. The zero Map is empty and ready
+// to use.
+type Map[V any] struct {
+	head *entry[V]
+	size int
+}
+
+// Len returns the number of bindings.
+func (m Map[V]) Len() int { return m.size }
+
+// HeadTask returns the constructor task of the newest directory entry cell,
+// i.e. when this version of the directory became available. None for empty
+// or pre-existing directories.
+func (m Map[V]) HeadTask() trace.TaskID {
+	if m.head == nil {
+		return trace.None
+	}
+	return m.head.task
+}
+
+// FromPairs builds a map untraced from pre-existing bindings; later names
+// win over earlier duplicates.
+func FromPairs[V any](names []string, vals []V) Map[V] {
+	if len(names) != len(vals) {
+		panic("pmap: FromPairs length mismatch")
+	}
+	var m Map[V]
+	for i := range names {
+		m, _ = m.Set(nil, names[i], vals[i], trace.None)
+	}
+	return m
+}
+
+// Get looks name up, recording one visit per inspected entry. It returns
+// the value, whether it was bound, and the final visit task.
+func (m Map[V]) Get(ctx *eval.Ctx, name string, after trace.TaskID) (V, bool, trace.TaskID) {
+	step := after
+	for e := m.head; e != nil; e = e.next {
+		step = ctx.Task(trace.KindDirectory, step, e.task)
+		ctx.VisitedN(1)
+		if e.name == name {
+			return e.val, true, step
+		}
+	}
+	var zero V
+	return zero, false, step
+}
+
+// Names returns binding names in directory order.
+func (m Map[V]) Names() []string {
+	out := make([]string, 0, m.size)
+	for e := m.head; e != nil; e = e.next {
+		out = append(out, e.name)
+	}
+	return out
+}
+
+// Set returns a new map with name bound to val, copying the entries in
+// front of the binding and sharing the rest. A fresh name is prepended (the
+// new directory cell is the only new allocation). Construction is front to
+// back so the new directory's head — the new database version's identity —
+// exists after one task.
+func (m Map[V]) Set(ctx *eval.Ctx, name string, val V, after trace.TaskID) (Map[V], trace.Op) {
+	// Unbound names prepend: one new cell, everything shared.
+	if _, exists := m.lookup(name); !exists {
+		t := ctx.Task(trace.KindDirectory, after)
+		ctx.Created(1)
+		ctx.SharedN(int64(m.size))
+		return Map[V]{
+			head: &entry[V]{name: name, val: val, next: m.head, task: t},
+			size: m.size + 1,
+		}, trace.Op{Ready: t, Done: t}
+	}
+
+	var newHead, prevNew *entry[V]
+	link := func(e *entry[V]) {
+		if prevNew == nil {
+			newHead = e
+		} else {
+			prevNew.next = e
+		}
+		prevNew = e
+	}
+	headTask := trace.None
+	step := after
+	for e := m.head; e != nil; e = e.next {
+		step = ctx.Task(trace.KindDirectory, step, e.task)
+		ctx.VisitedN(1)
+		if e.name == name {
+			step = ctx.Task(trace.KindDirectory, step)
+			if headTask == trace.None {
+				headTask = step
+			}
+			link(&entry[V]{name: name, val: val, next: e.next, task: step})
+			ctx.Created(1)
+			shared := 0
+			for s := e.next; s != nil; s = s.next {
+				shared++
+			}
+			ctx.SharedN(int64(shared))
+			return Map[V]{head: newHead, size: m.size}, trace.Op{Ready: headTask, Done: step}
+		}
+		step = ctx.Task(trace.KindDirectory, step)
+		if headTask == trace.None {
+			headTask = step
+		}
+		link(&entry[V]{name: e.name, val: e.val, task: step})
+		ctx.Created(1)
+	}
+	panic("pmap: unreachable — binding disappeared during Set")
+}
+
+// lookup is the untraced fast path used to decide between prepend and
+// replace.
+func (m Map[V]) lookup(name string) (V, bool) {
+	for e := m.head; e != nil; e = e.next {
+		if e.name == name {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// GetFast is an untraced lookup for engine bookkeeping that must not
+// perturb the recorded task graph (e.g. validation and reporting).
+func (m Map[V]) GetFast(name string) (V, bool) { return m.lookup(name) }
+
+// SharedEntriesWith counts entries physically shared between two versions.
+func (m Map[V]) SharedEntriesWith(other Map[V]) int {
+	set := make(map[*entry[V]]struct{}, other.size)
+	for e := other.head; e != nil; e = e.next {
+		set[e] = struct{}{}
+	}
+	n := 0
+	for e := m.head; e != nil; e = e.next {
+		if _, ok := set[e]; ok {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+package pmap
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/eval"
+	"funcdb/internal/trace"
+)
+
+func TestEmptyMap(t *testing.T) {
+	var m Map[int]
+	if m.Len() != 0 {
+		t.Error("zero map not empty")
+	}
+	if _, ok, _ := m.Get(nil, "x", trace.None); ok {
+		t.Error("Get on empty map succeeded")
+	}
+	if m.HeadTask() != trace.None {
+		t.Error("empty map HeadTask not None")
+	}
+	if names := m.Names(); len(names) != 0 {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSetAndGet(t *testing.T) {
+	var m Map[int]
+	m, _ = m.Set(nil, "R", 1, trace.None)
+	m, _ = m.Set(nil, "S", 2, trace.None)
+	m, _ = m.Set(nil, "T", 3, trace.None)
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for name, want := range map[string]int{"R": 1, "S": 2, "T": 3} {
+		got, ok, _ := m.Get(nil, name, trace.None)
+		if !ok || got != want {
+			t.Errorf("Get(%s) = %d, %v", name, got, ok)
+		}
+	}
+	if _, ok, _ := m.Get(nil, "U", trace.None); ok {
+		t.Error("Get(U) succeeded")
+	}
+}
+
+func TestSetReplacesBinding(t *testing.T) {
+	var m Map[string]
+	m, _ = m.Set(nil, "R", "old", trace.None)
+	m2, _ := m.Set(nil, "R", "new", trace.None)
+	if m2.Len() != 1 {
+		t.Fatalf("Len = %d", m2.Len())
+	}
+	got, _, _ := m2.Get(nil, "R", trace.None)
+	if got != "new" {
+		t.Errorf("Get = %q", got)
+	}
+	// Old version unchanged.
+	old, _, _ := m.Get(nil, "R", trace.None)
+	if old != "old" {
+		t.Errorf("old version Get = %q", old)
+	}
+}
+
+func TestFromPairs(t *testing.T) {
+	m := FromPairs([]string{"a", "b", "a"}, []int{1, 2, 3})
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	got, _, _ := m.Get(nil, "a", trace.None)
+	if got != 3 {
+		t.Errorf("later binding did not win: %d", got)
+	}
+}
+
+func TestFromPairsMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched FromPairs did not panic")
+		}
+	}()
+	FromPairs([]string{"a"}, []int{1, 2})
+}
+
+func TestDirectorySharing(t *testing.T) {
+	// Replacing one binding shares all entries behind it (Figure 2-2's
+	// new/old directory picture).
+	var m Map[int]
+	names := []string{"A", "B", "C", "D", "E"}
+	for i, n := range names {
+		m, _ = m.Set(nil, n, i, trace.None)
+	}
+	// Directory order is reverse insertion (prepend): E D C B A.
+	m2, _ := m.Set(nil, "C", 99, trace.None)
+	if got := m2.SharedEntriesWith(m); got != 2 {
+		t.Errorf("shared entries = %d, want 2 (B and A)", got)
+	}
+	// Prepending a new binding shares everything.
+	m3, _ := m.Set(nil, "F", 6, trace.None)
+	if got := m3.SharedEntriesWith(m); got != 5 {
+		t.Errorf("shared entries after prepend = %d, want 5", got)
+	}
+}
+
+func TestStatsAndTraceTasks(t *testing.T) {
+	g := trace.New()
+	stats := &eval.Stats{}
+	ctx := &eval.Ctx{Graph: g, Stats: stats}
+	var m Map[int]
+	m, op := m.Set(ctx, "R", 1, trace.None)
+	if op.Ready == trace.None || op.Ready != op.Done {
+		t.Errorf("prepend op = %+v", op)
+	}
+	if stats.Created.Load() != 1 {
+		t.Errorf("Created = %d", stats.Created.Load())
+	}
+	m, _ = m.Set(ctx, "S", 2, trace.None)
+	// Replace S (head): visit S, construct; shares R.
+	before := stats.Shared.Load()
+	_, op = m.Set(ctx, "S", 3, trace.None)
+	if stats.Shared.Load()-before != 1 {
+		t.Errorf("Shared delta = %d", stats.Shared.Load()-before)
+	}
+	if op.Ready == trace.None {
+		t.Error("replace op has no Ready")
+	}
+	if g.Len() == 0 {
+		t.Error("no tasks recorded")
+	}
+}
+
+func TestGetRecordsVisits(t *testing.T) {
+	g := trace.New()
+	ctx := &eval.Ctx{Graph: g}
+	m := FromPairs([]string{"A", "B", "C"}, []int{1, 2, 3})
+	// Directory order: C B A; getting A walks 3 entries.
+	_, ok, last := m.Get(ctx, "A", trace.None)
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if g.Len() != 3 {
+		t.Errorf("recorded %d tasks, want 3", g.Len())
+	}
+	if last == trace.None {
+		t.Error("Get returned no task")
+	}
+}
+
+func TestGetFast(t *testing.T) {
+	m := FromPairs([]string{"x"}, []int{7})
+	if v, ok := m.GetFast("x"); !ok || v != 7 {
+		t.Errorf("GetFast = %d, %v", v, ok)
+	}
+	if _, ok := m.GetFast("y"); ok {
+		t.Error("GetFast(y) succeeded")
+	}
+}
+
+func TestPropertyMatchesModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var m Map[int]
+		model := map[string]int{}
+		type version struct {
+			m    Map[int]
+			snap map[string]int
+		}
+		var history []version
+		for i := 0; i < 50; i++ {
+			name := "rel" + strconv.Itoa(r.Intn(8))
+			switch r.Intn(2) {
+			case 0:
+				v := r.Intn(100)
+				m, _ = m.Set(nil, name, v, trace.None)
+				model[name] = v
+			case 1:
+				got, ok, _ := m.Get(nil, name, trace.None)
+				want, inModel := model[name]
+				if ok != inModel || (ok && got != want) {
+					return false
+				}
+			}
+			if m.Len() != len(model) {
+				return false
+			}
+			snap := make(map[string]int, len(model))
+			for k, v := range model {
+				snap[k] = v
+			}
+			history = append(history, version{m: m, snap: snap})
+		}
+		for _, v := range history {
+			if v.m.Len() != len(v.snap) {
+				return false
+			}
+			for name, want := range v.snap {
+				got, ok := v.m.GetFast(name)
+				if !ok || got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+// Package primarycopy implements the paper's *other* distribution model
+// (Section 3.1): "In the primary-copy model, a transaction simply proceeds
+// without initial coordination, all required coordination being done at a
+// 'primary copy' of each database object. (If the database is
+// non-redundant, then each object is its own primary copy.)"
+//
+// The paper defers the general model because multi-object transactions
+// "retain the ability to abort transactions to resolve deadlock", and
+// functional representations of aborts are left "to a future exposition".
+// This package implements exactly the tractable fragment the paper's own
+// experiments inhabit: every built-in query touches one relation
+// (syntactically derivable, Section 2.2), so coordination per object is a
+// per-relation merge and no abort machinery is needed. Each relation is
+// owned by one site running its own engine; transactions go straight to
+// the owner — no central primary, no global bottleneck. Multi-relation
+// custom transactions are rejected with ErrNeedsCoordination: that is the
+// precise boundary of the deferred machinery.
+//
+// The price of skipping global coordination is the absence of a globally
+// consistent snapshot: Current() assembles per-relation versions that were
+// serialized independently. The primary-site model (package primarysite)
+// offers the global version stream; this package offers per-object
+// parallelism. That trade is the paper's contrast between the two models.
+package primarycopy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/lenient"
+	"funcdb/internal/netsim"
+	"funcdb/internal/query"
+	"funcdb/internal/relation"
+	"funcdb/internal/topo"
+)
+
+// ErrNeedsCoordination reports a transaction outside the coordination-free
+// fragment (custom or multi-relation).
+var ErrNeedsCoordination = errors.New("primarycopy: transaction touches multiple objects; the primary-copy model needs abort-based coordination the paper defers")
+
+// DirectorySite hosts the root directory mapping relations to owners.
+const DirectorySite netsim.SiteID = 0
+
+// txnReq is the payload of an "exec" message.
+type txnReq struct {
+	Text   string
+	Origin string
+	Seq    int
+}
+
+// Config describes a primary-copy cluster.
+type Config struct {
+	// Sites is the number of network sites.
+	Sites int
+	// Topology optionally shapes hop accounting.
+	Topology topo.Topology
+	// Initial is the initial database; each of its relations is assigned
+	// an owner site round-robin.
+	Initial *database.Database
+}
+
+// Cluster is a running primary-copy system.
+type Cluster struct {
+	net   *netsim.Network
+	sites []*netsim.Site
+
+	mu      sync.Mutex
+	owner   map[string]netsim.SiteID
+	engines map[string]*core.Engine // keyed by relation; each holds one relation
+}
+
+// New starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Sites < 1 {
+		return nil, errors.New("primarycopy: need at least one site")
+	}
+	if cfg.Initial == nil || len(cfg.Initial.RelationNames()) == 0 {
+		return nil, errors.New("primarycopy: need an initial database with relations")
+	}
+	var opts []netsim.Option
+	if cfg.Topology != nil {
+		opts = append(opts, netsim.WithTopology(cfg.Topology))
+	}
+	c := &Cluster{
+		net:     netsim.NewNetwork(cfg.Sites, opts...),
+		owner:   map[string]netsim.SiteID{},
+		engines: map[string]*core.Engine{},
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		c.sites = append(c.sites, netsim.NewSite(c.net, netsim.SiteID(i)))
+	}
+
+	// Every relation is its own primary copy, owned by one site.
+	for i, name := range cfg.Initial.RelationNames() {
+		site := netsim.SiteID(i % cfg.Sites)
+		rel, _ := cfg.Initial.RelationFast(name)
+		single := database.FromRelations([]string{name}, []relation.Relation{rel}, 0)
+		c.owner[name] = site
+		c.engines[name] = core.NewEngine(single)
+	}
+
+	c.sites[DirectorySite].RegisterFunc("whereis", func(arg any) any {
+		name, _ := arg.(string)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if site, ok := c.owner[name]; ok {
+			return site
+		}
+		return netsim.SiteID(-1)
+	})
+
+	for _, s := range c.sites {
+		s.Register("exec", func(s *netsim.Site, m netsim.Message) any {
+			req, ok := m.Payload.(txnReq)
+			if !ok {
+				return core.Response{Err: errors.New("primarycopy: malformed payload")}
+			}
+			tx, err := query.Translate(req.Text)
+			if err != nil {
+				return core.Response{Origin: req.Origin, Seq: req.Seq, Err: err}
+			}
+			tx.Origin, tx.Seq = req.Origin, req.Seq
+			eng := c.engineFor(tx.Rel, s.MySite())
+			if eng == nil {
+				return core.Response{
+					Origin: req.Origin, Seq: req.Seq,
+					Err: fmt.Errorf("primarycopy: site %d does not own %q", s.MySite(), tx.Rel),
+				}
+			}
+			future := eng.Submit(tx)
+			src, corr := m.Src, m.Corr
+			go func() {
+				_ = c.net.Send(netsim.Message{
+					Src: s.MySite(), Dst: src, Kind: "reply", Corr: corr,
+					Payload: future.Force(),
+				})
+			}()
+			return nil
+		})
+	}
+
+	for _, s := range c.sites {
+		go s.Run()
+	}
+	return c, nil
+}
+
+// engineFor returns the engine for rel if site owns it.
+func (c *Cluster) engineFor(rel string, site netsim.SiteID) *core.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.owner[rel] != site {
+		return nil
+	}
+	return c.engines[rel]
+}
+
+// OwnerOf returns the owner site of a relation.
+func (c *Cluster) OwnerOf(rel string) (netsim.SiteID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.owner[rel]
+	return s, ok
+}
+
+// Network exposes the medium.
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// CurrentRelation materializes one relation's present version — internally
+// consistent, because that relation has a single serializing owner.
+func (c *Cluster) CurrentRelation(name string) (relation.Relation, error) {
+	c.mu.Lock()
+	eng, ok := c.engines[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("primarycopy: unknown relation %q", name)
+	}
+	db := eng.Current()
+	rel, _ := db.RelationFast(name)
+	return rel, nil
+}
+
+// Current assembles a database from every relation's latest version. The
+// assembly is NOT a globally consistent snapshot — relations serialized
+// independently — which is precisely the coordination the primary-copy
+// model trades away; see the package comment.
+func (c *Cluster) Current() *database.Database {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.engines))
+	for n := range c.owner {
+		names = append(names, n)
+	}
+	c.mu.Unlock()
+	sort.Strings(names)
+	rels := make([]relation.Relation, len(names))
+	for i, n := range names {
+		rel, err := c.CurrentRelation(n)
+		if err != nil {
+			rel = relation.New(relation.RepList)
+		}
+		rels[i] = rel
+	}
+	return database.FromRelations(names, rels, 0)
+}
+
+// Shutdown stops all sites and the medium.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	engines := make([]*core.Engine, 0, len(c.engines))
+	for _, e := range c.engines {
+		engines = append(engines, e)
+	}
+	c.mu.Unlock()
+	for _, e := range engines {
+		e.Barrier()
+	}
+	for _, s := range c.sites {
+		s.Stop()
+	}
+	c.net.Close()
+}
+
+// Client submits queries from one site, routing each directly to the
+// owning site of its target relation — "a transaction simply proceeds
+// without initial coordination".
+type Client struct {
+	cluster *Cluster
+	site    *netsim.Site
+	origin  string
+
+	mu    sync.Mutex
+	seq   int
+	where map[string]netsim.SiteID
+}
+
+// NewClient creates a client homed at the given site.
+func (c *Cluster) NewClient(site netsim.SiteID, origin string) (*Client, error) {
+	if int(site) < 0 || int(site) >= len(c.sites) {
+		return nil, fmt.Errorf("primarycopy: no site %d", site)
+	}
+	return &Client{
+		cluster: c,
+		site:    c.sites[site],
+		origin:  origin,
+		where:   map[string]netsim.SiteID{},
+	}, nil
+}
+
+// ExecAsync translates locally (the target relation is syntactically
+// derivable), resolves the owner via the root directory, and submits.
+func (cl *Client) ExecAsync(text string) *lenient.Cell[core.Response] {
+	tx, err := query.Translate(text)
+	if err != nil {
+		return lenient.Ready(core.Response{Origin: cl.origin, Err: err})
+	}
+	if needsCoordination(tx) {
+		return lenient.Ready(core.Response{Origin: cl.origin, Err: ErrNeedsCoordination})
+	}
+	owner, err := cl.lookup(tx.Rel)
+	if err != nil {
+		return lenient.Ready(core.Response{Origin: cl.origin, Err: err})
+	}
+	cl.mu.Lock()
+	seq := cl.seq
+	cl.seq++
+	cl.mu.Unlock()
+
+	raw := cl.site.Call(owner, "exec", txnReq{Text: text, Origin: cl.origin, Seq: seq})
+	return lenient.Map(raw, func(v any) core.Response {
+		if resp, ok := v.(core.Response); ok {
+			return resp
+		}
+		return core.Response{Origin: cl.origin, Seq: seq, Err: errors.New("primarycopy: malformed reply")}
+	})
+}
+
+// Exec submits and waits.
+func (cl *Client) Exec(text string) core.Response {
+	return cl.ExecAsync(text).Force()
+}
+
+// needsCoordination reports whether a transaction falls outside the
+// coordination-free fragment: anything custom or touching more than one
+// primary copy.
+func needsCoordination(tx core.Transaction) bool {
+	return tx.Kind == core.KindCustom || len(tx.ReadSet()) > 1 || len(tx.WriteSet()) > 1
+}
+
+// lookup resolves and caches a relation's owner.
+func (cl *Client) lookup(rel string) (netsim.SiteID, error) {
+	cl.mu.Lock()
+	if s, ok := cl.where[rel]; ok {
+		cl.mu.Unlock()
+		return s, nil
+	}
+	cl.mu.Unlock()
+	v := cl.site.ResultOn(DirectorySite, "whereis", rel).Force()
+	site, ok := v.(netsim.SiteID)
+	if !ok || site < 0 {
+		return 0, fmt.Errorf("primarycopy: relation %q not in root directory", rel)
+	}
+	cl.mu.Lock()
+	cl.where[rel] = site
+	cl.mu.Unlock()
+	return site, nil
+}

@@ -1,0 +1,544 @@
+// Package primarysite implements the paper's primary-site distribution
+// model (Section 3.1) on the netsim substrate: "at every instant of time,
+// some site plays the role of the primary site, through which all
+// transactions must pass for coordination, regardless of origin. This
+// creates a bottleneck which is temporary, in the sense that once a
+// transaction passes through the site, finer grain actions associated with
+// it may be done concurrently."
+//
+// Each database is owned by one primary site running a core.Engine. The
+// medium's arrival order at the primary *is* the merge; the engine's
+// lenient cells recover the concurrency after the momentary serialization.
+// Clients at any site submit symbolic queries; the primary translates,
+// processes, and routes tagged responses back. A root directory site maps
+// database names to their primaries — the paper's site-addressing
+// suggestion ("it could consult the root directory for the overall database
+// to obtain any necessary site values", Section 3.2).
+package primarysite
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/lenient"
+	"funcdb/internal/netsim"
+	"funcdb/internal/query"
+	"funcdb/internal/topo"
+	"funcdb/internal/trace"
+)
+
+// DirectorySite is the fixed site hosting the root directory.
+const DirectorySite netsim.SiteID = 0
+
+// ErrNotPrimary reports a query routed to a site that is not (or no longer)
+// the primary for its database — the signal clients use to refresh their
+// cached root-directory answers after a failover.
+var ErrNotPrimary = errors.New("not the primary site")
+
+// queryReq is the payload of a "query" message.
+type queryReq struct {
+	DB     string
+	Text   string
+	Origin string
+	Seq    int
+}
+
+// Config describes a cluster.
+type Config struct {
+	// Sites is the number of network sites (>= 1).
+	Sites int
+	// Topology optionally shapes hop accounting (defaults to complete).
+	Topology topo.Topology
+	// Databases assigns each database an initial version. Primaries are
+	// assigned round-robin across sites starting after the directory site.
+	Databases map[string]*database.Database
+	// Stats optionally accumulates engine sharing statistics.
+	Stats *eval.Stats
+	// Replicas, when > 0, gives each database that many read replicas on
+	// sites other than its primary. The primary ships each committed
+	// version to the replicas (the functional model makes this a pointer
+	// in-process: versions are immutable, so no copying or invalidation is
+	// needed); clients route read-only queries to the nearest replica via
+	// ExecRO. Reads are eventually consistent but each one observes a
+	// single consistent version — the "replication transparency" the paper
+	// lists as a future opportunity. Shipping materializes each committed
+	// version, which serializes the primary's pipeline per write.
+	Replicas int
+}
+
+// versionShip is the payload announcing a new committed version to a
+// replica.
+type versionShip struct {
+	DB       string
+	Version  int64
+	Snapshot *database.Database
+}
+
+// Cluster is a running primary-site system.
+type Cluster struct {
+	net   *netsim.Network
+	sites []*netsim.Site
+
+	mu       sync.Mutex
+	primary  map[string]netsim.SiteID   // root directory contents
+	replicas map[string][]netsim.SiteID // read replicas per database
+	engines  map[string]*core.Engine    // engines hosted on this process
+	siteDone sync.WaitGroup
+}
+
+// New starts a cluster per cfg.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Sites < 1 {
+		return nil, errors.New("primarysite: need at least one site")
+	}
+	if len(cfg.Databases) == 0 {
+		return nil, errors.New("primarysite: need at least one database")
+	}
+	var opts []netsim.Option
+	if cfg.Topology != nil {
+		opts = append(opts, netsim.WithTopology(cfg.Topology))
+	}
+	if cfg.Replicas >= cfg.Sites {
+		return nil, fmt.Errorf("primarysite: %d replicas need more than %d sites", cfg.Replicas, cfg.Sites)
+	}
+	c := &Cluster{
+		net:      netsim.NewNetwork(cfg.Sites, opts...),
+		primary:  map[string]netsim.SiteID{},
+		replicas: map[string][]netsim.SiteID{},
+		engines:  map[string]*core.Engine{},
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		c.sites = append(c.sites, netsim.NewSite(c.net, netsim.SiteID(i)))
+	}
+
+	// Assign primaries round-robin (deterministically by sorted name), and
+	// replicas on the sites following each primary.
+	names := sortedKeys(cfg.Databases)
+	for i, name := range names {
+		site := netsim.SiteID(1+i) % netsim.SiteID(cfg.Sites)
+		c.primary[name] = site
+		for r := 1; r <= cfg.Replicas; r++ {
+			c.replicas[name] = append(c.replicas[name],
+				(site+netsim.SiteID(r))%netsim.SiteID(cfg.Sites))
+		}
+		var engOpts []core.EngineOption
+		if cfg.Stats != nil {
+			engOpts = append(engOpts, core.WithStats(cfg.Stats))
+		}
+		c.engines[name] = core.NewEngine(cfg.Databases[name], engOpts...)
+	}
+
+	// The root directory lives at the directory site as registered
+	// functions, reachable via the RESULT-ON pragma.
+	c.sites[DirectorySite].RegisterFunc("whereis", func(arg any) any {
+		name, _ := arg.(string)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if site, ok := c.primary[name]; ok {
+			return site
+		}
+		return netsim.SiteID(-1)
+	})
+	c.sites[DirectorySite].RegisterFunc("readset", func(arg any) any {
+		// The sites able to answer read-only queries: primary first, then
+		// replicas.
+		name, _ := arg.(string)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		site, ok := c.primary[name]
+		if !ok {
+			return []netsim.SiteID(nil)
+		}
+		return append([]netsim.SiteID{site}, c.replicas[name]...)
+	})
+
+	// Every site can receive queries for the databases it hosts. The
+	// handler is the merge point: engine submission order is medium arrival
+	// order. The reply is sent when the response future fills, so the site
+	// loop never blocks on transaction bodies. Replica state is owned by
+	// each site's handler closures and only ever touched from that site's
+	// Run loop, so it needs no locking.
+	for _, s := range c.sites {
+		latest := map[string]*database.Database{}
+		for name, reps := range c.replicas {
+			for _, r := range reps {
+				if r == s.MySite() {
+					latest[name] = cfg.Databases[name]
+				}
+			}
+		}
+
+		s.Register("query", func(s *netsim.Site, m netsim.Message) any {
+			req, ok := m.Payload.(queryReq)
+			if !ok {
+				return core.Response{Err: errors.New("primarysite: malformed query payload")}
+			}
+			eng := c.engineAt(req.DB, s.MySite())
+			if eng == nil {
+				return core.Response{
+					Origin: req.Origin, Seq: req.Seq,
+					Err: fmt.Errorf("primarysite: site %d, database %q: %w", s.MySite(), req.DB, ErrNotPrimary),
+				}
+			}
+			tx, err := query.Translate(req.Text)
+			if err != nil {
+				return core.Response{Origin: req.Origin, Seq: req.Seq, Err: err}
+			}
+			tx.Origin, tx.Seq = req.Origin, req.Seq
+			future := eng.Submit(tx)
+			src, corr := m.Src, m.Corr
+			ship := !tx.IsReadOnly() && len(c.replicaSitesOf(req.DB)) > 0
+			go func() {
+				resp := future.Force()
+				if ship && resp.Err == nil {
+					// Ship the committed version to the replicas. Versions
+					// are immutable, so "shipping" is sharing a pointer —
+					// the functional model's free replication.
+					snap := eng.Current()
+					for _, r := range c.replicaSitesOf(req.DB) {
+						_ = c.net.Send(netsim.Message{
+							Src: s.MySite(), Dst: r, Kind: "version",
+							Payload: versionShip{DB: req.DB, Version: snap.Version(), Snapshot: snap},
+						})
+					}
+				}
+				_ = c.net.Send(netsim.Message{
+					Src: s.MySite(), Dst: src, Kind: "reply", Corr: corr,
+					Payload: resp,
+				})
+			}()
+			return nil // reply sent asynchronously above
+		})
+
+		s.Register("version", func(_ *netsim.Site, m netsim.Message) any {
+			ship, ok := m.Payload.(versionShip)
+			if !ok {
+				return nil
+			}
+			if cur, have := latest[ship.DB]; !have || cur.Version() < ship.Version {
+				latest[ship.DB] = ship.Snapshot
+			}
+			return nil
+		})
+
+		s.Register("promote", func(s *netsim.Site, m netsim.Message) any {
+			// Failover (Section 1's "failure transparency" future work):
+			// this replica becomes the primary for the named database,
+			// building a fresh engine from its latest shipped version.
+			//
+			// Because the old primary shipped each version *before*
+			// acknowledging the corresponding write, and inboxes are FIFO,
+			// the promote message (sent after the failure was observed)
+			// arrives behind every shipped version: no acknowledged write
+			// is lost. In-flight unacknowledged requests at the failed
+			// primary are simply retried by clients (at-most-once at the
+			// old primary, whose engine is discarded).
+			name, ok := m.Payload.(string)
+			if !ok {
+				return false
+			}
+			snap, have := latest[name]
+			if !have {
+				return false
+			}
+			eng := core.NewEngine(snap)
+			c.mu.Lock()
+			c.primary[name] = s.MySite()
+			c.engines[name] = eng
+			// Drop this site from the replica set; remaining replicas keep
+			// receiving shipped versions from the new primary.
+			reps := c.replicas[name][:0]
+			for _, r := range c.replicas[name] {
+				if r != s.MySite() {
+					reps = append(reps, r)
+				}
+			}
+			c.replicas[name] = reps
+			c.mu.Unlock()
+			return true
+		})
+
+		s.Register("roquery", func(s *netsim.Site, m netsim.Message) any {
+			req, ok := m.Payload.(queryReq)
+			if !ok {
+				return core.Response{Err: errors.New("primarysite: malformed roquery payload")}
+			}
+			snap, have := latest[req.DB]
+			if !have {
+				return core.Response{
+					Origin: req.Origin, Seq: req.Seq,
+					Err: fmt.Errorf("primarysite: site %d holds no replica of %q", s.MySite(), req.DB),
+				}
+			}
+			tx, err := query.Translate(req.Text)
+			if err != nil {
+				return core.Response{Origin: req.Origin, Seq: req.Seq, Err: err}
+			}
+			if !tx.IsReadOnly() {
+				return core.Response{
+					Origin: req.Origin, Seq: req.Seq,
+					Err: errors.New("primarysite: replicas answer read-only queries; route writes to the primary"),
+				}
+			}
+			tx.Origin, tx.Seq = req.Origin, req.Seq
+			resp, _, _ := tx.Apply(nil, snap, trace.None)
+			resp.Version = snap.Version()
+			return resp
+		})
+	}
+
+	for _, s := range c.sites {
+		s := s
+		c.siteDone.Add(1)
+		go func() {
+			defer c.siteDone.Done()
+			s.Run()
+		}()
+	}
+	return c, nil
+}
+
+// engineAt returns the engine for name if site is its primary.
+func (c *Cluster) engineAt(name string, site netsim.SiteID) *core.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.primary[name] != site {
+		return nil
+	}
+	return c.engines[name]
+}
+
+// replicaSitesOf returns the replica sites of a database.
+func (c *Cluster) replicaSitesOf(name string) []netsim.SiteID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]netsim.SiteID(nil), c.replicas[name]...)
+}
+
+// ReplicasOf returns the replica sites of a database.
+func (c *Cluster) ReplicasOf(name string) []netsim.SiteID { return c.replicaSitesOf(name) }
+
+// PrimaryOf returns the primary site for a database.
+func (c *Cluster) PrimaryOf(name string) (netsim.SiteID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.primary[name]
+	return s, ok
+}
+
+// FailPrimary simulates the loss of a database's primary site and promotes
+// its first replica. The failed engine is discarded (its unacknowledged
+// in-flight work with it — clients retry); every acknowledged write is
+// already at the replica because versions ship before acknowledgements.
+// It returns the new primary. Databases without replicas cannot fail over.
+func (c *Cluster) FailPrimary(name string) (netsim.SiteID, error) {
+	c.mu.Lock()
+	old, ok := c.primary[name]
+	if !ok {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("primarysite: unknown database %q", name)
+	}
+	reps := append([]netsim.SiteID(nil), c.replicas[name]...)
+	if len(reps) == 0 {
+		c.mu.Unlock()
+		return 0, fmt.Errorf("primarysite: database %q has no replicas to promote", name)
+	}
+	// Discard the failed engine so the old primary rejects further queries
+	// ("is not the primary") rather than serving a forked history.
+	delete(c.engines, name)
+	c.primary[name] = -1 // no primary until the promotion lands
+	c.mu.Unlock()
+
+	promoted := c.sites[old] // any live site can issue the promote message
+	v := promoted.Call(reps[0], "promote", name)
+	if okResp, _ := v.Force().(bool); !okResp {
+		return 0, fmt.Errorf("primarysite: promotion of %q at site %d failed", name, reps[0])
+	}
+	return reps[0], nil
+}
+
+// Network exposes the medium (for stats and taps).
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Current materializes the present version of a database.
+func (c *Cluster) Current(name string) (*database.Database, error) {
+	c.mu.Lock()
+	eng, ok := c.engines[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("primarysite: unknown database %q", name)
+	}
+	return eng.Current(), nil
+}
+
+// Shutdown stops all sites and the medium.
+func (c *Cluster) Shutdown() {
+	for _, name := range sortedKeys(c.engines) {
+		c.engines[name].Barrier()
+	}
+	for _, s := range c.sites {
+		s.Stop()
+	}
+	c.siteDone.Wait()
+	c.net.Close()
+}
+
+// Client submits queries from one site. Concurrent use is safe; sequence
+// numbers serialize per client.
+type Client struct {
+	cluster *Cluster
+	site    *netsim.Site
+	origin  string
+
+	mu    sync.Mutex
+	seq   int
+	where map[string]netsim.SiteID // cached root-directory answers
+}
+
+// NewClient creates a client homed at the given site.
+func (c *Cluster) NewClient(site netsim.SiteID, origin string) (*Client, error) {
+	if int(site) < 0 || int(site) >= len(c.sites) {
+		return nil, fmt.Errorf("primarysite: no site %d", site)
+	}
+	return &Client{
+		cluster: c,
+		site:    c.sites[site],
+		origin:  origin,
+		where:   map[string]netsim.SiteID{},
+	}, nil
+}
+
+// Site returns the client's home site (the MY-SITE pragma).
+func (cl *Client) Site() netsim.SiteID { return cl.site.MySite() }
+
+// lookup resolves a database's primary via the root directory, caching the
+// answer.
+func (cl *Client) lookup(db string) (netsim.SiteID, error) {
+	cl.mu.Lock()
+	if s, ok := cl.where[db]; ok {
+		cl.mu.Unlock()
+		return s, nil
+	}
+	cl.mu.Unlock()
+
+	v := cl.site.ResultOn(DirectorySite, "whereis", db).Force()
+	site, ok := v.(netsim.SiteID)
+	if !ok || site < 0 {
+		return 0, fmt.Errorf("primarysite: database %q not in root directory", db)
+	}
+	cl.mu.Lock()
+	cl.where[db] = site
+	cl.mu.Unlock()
+	return site, nil
+}
+
+// ExecAsync submits a symbolic query and returns a future for its tagged
+// response.
+func (cl *Client) ExecAsync(db, text string) *lenient.Cell[core.Response] {
+	primary, err := cl.lookup(db)
+	if err != nil {
+		return lenient.Ready(core.Response{Origin: cl.origin, Err: err})
+	}
+	cl.mu.Lock()
+	seq := cl.seq
+	cl.seq++
+	cl.mu.Unlock()
+
+	raw := cl.site.Call(primary, "query", queryReq{DB: db, Text: text, Origin: cl.origin, Seq: seq})
+	return lenient.Map(raw, func(v any) core.Response {
+		if resp, ok := v.(core.Response); ok {
+			return resp
+		}
+		if err, ok := v.(error); ok {
+			return core.Response{Origin: cl.origin, Seq: seq, Err: err}
+		}
+		return core.Response{Origin: cl.origin, Seq: seq, Err: errors.New("primarysite: malformed reply")}
+	})
+}
+
+// Exec submits a query and waits for the response. A query bounced with
+// ErrNotPrimary (stale routing after a failover) refreshes the cached root
+// directory entry and retries once.
+func (cl *Client) Exec(db, text string) core.Response {
+	resp := cl.ExecAsync(db, text).Force()
+	if errors.Is(resp.Err, ErrNotPrimary) {
+		cl.forget(db)
+		resp = cl.ExecAsync(db, text).Force()
+	}
+	return resp
+}
+
+// forget drops a cached root-directory answer.
+func (cl *Client) forget(db string) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	delete(cl.where, db)
+}
+
+// ExecRO routes a read-only query to the nearest read site (replica or
+// primary, by hop distance from the client). The answer is a consistent
+// snapshot but may trail the primary (eventual consistency); the response's
+// Version field reports the version observed. Writes and non-read queries
+// return an error.
+func (cl *Client) ExecRO(db, text string) core.Response {
+	tx, err := query.Translate(text)
+	if err != nil {
+		return core.Response{Origin: cl.origin, Err: err}
+	}
+	if !tx.IsReadOnly() {
+		return core.Response{Origin: cl.origin, Err: errors.New("primarysite: ExecRO requires a read-only query")}
+	}
+	target, isPrimary, err := cl.nearestReadSite(db)
+	if err != nil {
+		return core.Response{Origin: cl.origin, Err: err}
+	}
+	if isPrimary {
+		return cl.Exec(db, text)
+	}
+	cl.mu.Lock()
+	seq := cl.seq
+	cl.seq++
+	cl.mu.Unlock()
+	raw := cl.site.Call(target, "roquery", queryReq{DB: db, Text: text, Origin: cl.origin, Seq: seq})
+	v := raw.Force()
+	if resp, ok := v.(core.Response); ok {
+		return resp
+	}
+	return core.Response{Origin: cl.origin, Seq: seq, Err: errors.New("primarysite: malformed replica reply")}
+}
+
+// nearestReadSite picks the closest site able to answer reads for db,
+// reporting whether it is the primary.
+func (cl *Client) nearestReadSite(db string) (netsim.SiteID, bool, error) {
+	v := cl.site.ResultOn(DirectorySite, "readset", db).Force()
+	sites, ok := v.([]netsim.SiteID)
+	if !ok || len(sites) == 0 {
+		return 0, false, fmt.Errorf("primarysite: database %q not in root directory", db)
+	}
+	net := cl.cluster.net
+	best, bestHops := sites[0], net.Hops(cl.site.MySite(), sites[0])
+	for _, s := range sites[1:] {
+		if h := net.Hops(cl.site.MySite(), s); h < bestHops {
+			best, bestHops = s, h
+		}
+	}
+	return best, best == sites[0], nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// insertion sort: tiny maps
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

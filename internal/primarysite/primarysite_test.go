@@ -1,0 +1,192 @@
+package primarysite
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"funcdb/internal/database"
+	"funcdb/internal/netsim"
+	"funcdb/internal/relation"
+	"funcdb/internal/topo"
+	"funcdb/internal/value"
+)
+
+func mkCluster(t *testing.T, sites int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Sites: sites,
+		Databases: map[string]*database.Database{
+			"main": database.FromData(relation.RepList, []string{"R", "S"}, map[string][]value.Tuple{
+				"R": {value.NewTuple(value.Int(1), value.Str("seed"))},
+				"S": nil,
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestBadConfigs(t *testing.T) {
+	if _, err := New(Config{Sites: 0}); err == nil {
+		t.Error("zero sites accepted")
+	}
+	if _, err := New(Config{Sites: 2}); err == nil {
+		t.Error("no databases accepted")
+	}
+}
+
+func TestClientQueryRoundTrip(t *testing.T) {
+	c := mkCluster(t, 4)
+	cl, err := c.NewClient(2, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := cl.Exec("main", "find 1 in R"); !resp.Found {
+		t.Errorf("find = %+v", resp)
+	}
+	if resp := cl.Exec("main", `insert (2, "x") into R`); resp.Err != nil {
+		t.Errorf("insert = %+v", resp)
+	}
+	if resp := cl.Exec("main", "find 2 in R"); !resp.Found {
+		t.Errorf("find after insert = %+v", resp)
+	}
+	if resp := cl.Exec("main", "count R"); resp.Count != 2 {
+		t.Errorf("count = %+v", resp)
+	}
+}
+
+func TestResponsesTaggedWithOrigin(t *testing.T) {
+	c := mkCluster(t, 3)
+	cl, _ := c.NewClient(1, "bob")
+	r0 := cl.Exec("main", "find 1 in R")
+	r1 := cl.Exec("main", "count R")
+	if r0.Origin != "bob" || r0.Seq != 0 {
+		t.Errorf("r0 tag = %s", r0.Tag())
+	}
+	if r1.Origin != "bob" || r1.Seq != 1 {
+		t.Errorf("r1 tag = %s", r1.Tag())
+	}
+}
+
+func TestRootDirectoryLookup(t *testing.T) {
+	c, err := New(Config{
+		Sites: 5,
+		Databases: map[string]*database.Database{
+			"inv":   database.New(relation.RepList, "parts"),
+			"sales": database.New(relation.RepList, "orders"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+
+	invSite, ok1 := c.PrimaryOf("inv")
+	salesSite, ok2 := c.PrimaryOf("sales")
+	if !ok1 || !ok2 {
+		t.Fatal("primaries unassigned")
+	}
+	if invSite == salesSite {
+		t.Errorf("both databases on site %d", invSite)
+	}
+	cl, _ := c.NewClient(0, "cli")
+	if resp := cl.Exec("inv", "count parts"); resp.Err != nil {
+		t.Errorf("inv query: %v", resp.Err)
+	}
+	if resp := cl.Exec("sales", "count orders"); resp.Err != nil {
+		t.Errorf("sales query: %v", resp.Err)
+	}
+	if resp := cl.Exec("nope", "count x"); resp.Err == nil {
+		t.Error("unknown database accepted")
+	} else if !strings.Contains(resp.Err.Error(), "root directory") {
+		t.Errorf("err = %v", resp.Err)
+	}
+}
+
+func TestParseErrorsReturnToClient(t *testing.T) {
+	c := mkCluster(t, 2)
+	cl, _ := c.NewClient(0, "cli")
+	if resp := cl.Exec("main", "gibberish"); resp.Err == nil {
+		t.Error("parse error swallowed")
+	}
+}
+
+func TestClientBadSite(t *testing.T) {
+	c := mkCluster(t, 2)
+	if _, err := c.NewClient(9, "x"); err == nil {
+		t.Error("bad site accepted")
+	}
+}
+
+func TestConcurrentClientsSerialize(t *testing.T) {
+	// Many clients hammer one account-like key; the final value must be
+	// one of the written values and every response well-formed (the
+	// serializability smoke test at the cluster level; the strict
+	// equivalence test lives in core).
+	c := mkCluster(t, 4)
+	const clients, each = 3, 25
+	var wg sync.WaitGroup
+	for cli := 0; cli < clients; cli++ {
+		cl, err := c.NewClient(netsim.SiteID(1+cli%3), "cli")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(cl *Client, base int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				k := base*1000 + i
+				if resp := cl.Exec("main", "insert "+itoa(k)+" into S"); resp.Err != nil {
+					t.Errorf("insert: %v", resp.Err)
+				}
+			}
+		}(cl, cli)
+	}
+	wg.Wait()
+	final, err := c.Current("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, _ := final.RelationFast("S")
+	if rel.Len() != clients*each {
+		t.Errorf("S has %d tuples, want %d", rel.Len(), clients*each)
+	}
+}
+
+func TestTopologyHopsCounted(t *testing.T) {
+	c, err := New(Config{
+		Sites:    8,
+		Topology: topo.NewHypercube(3),
+		Databases: map[string]*database.Database{
+			"main": database.New(relation.RepList, "R"),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Shutdown()
+	cl, _ := c.NewClient(7, "far")
+	if resp := cl.Exec("main", "count R"); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	_, hops := c.Network().Stats()
+	if hops == 0 {
+		t.Error("no hops recorded on a hypercube cluster")
+	}
+}
+
+func TestCurrentUnknownDatabase(t *testing.T) {
+	c := mkCluster(t, 2)
+	if _, err := c.Current("nope"); err == nil {
+		t.Error("unknown database materialized")
+	}
+}
+
+// itoa avoids strconv import noise in the test.
+func itoa(v int) string {
+	return value.Int(int64(v)).String()
+}

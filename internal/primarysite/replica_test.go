@@ -1,0 +1,230 @@
+package primarysite
+
+import (
+	"strings"
+	"testing"
+
+	"funcdb/internal/database"
+	"funcdb/internal/relation"
+	"funcdb/internal/topo"
+	"funcdb/internal/value"
+)
+
+func mkReplicated(t *testing.T, sites, replicas int) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Sites:    sites,
+		Topology: topo.NewHypercube(3),
+		Replicas: replicas,
+		Databases: map[string]*database.Database{
+			"main": database.FromData(relation.RepList, []string{"R"}, map[string][]value.Tuple{
+				"R": {value.NewTuple(value.Int(1), value.Str("seed"))},
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Shutdown)
+	return c
+}
+
+func TestReplicaAssignment(t *testing.T) {
+	c := mkReplicated(t, 8, 2)
+	primary, _ := c.PrimaryOf("main")
+	reps := c.ReplicasOf("main")
+	if len(reps) != 2 {
+		t.Fatalf("replicas = %v", reps)
+	}
+	for _, r := range reps {
+		if r == primary {
+			t.Error("replica placed on the primary")
+		}
+	}
+}
+
+func TestTooManyReplicasRejected(t *testing.T) {
+	_, err := New(Config{
+		Sites:    2,
+		Replicas: 2,
+		Databases: map[string]*database.Database{
+			"m": database.New(relation.RepList, "R"),
+		},
+	})
+	if err == nil {
+		t.Error("replicas >= sites accepted")
+	}
+}
+
+func TestReplicaServesInitialVersion(t *testing.T) {
+	c := mkReplicated(t, 8, 2)
+	reps := c.ReplicasOf("main")
+	// A client colocated with a replica reads locally without any write
+	// having happened.
+	cl, err := c.NewClient(reps[0], "reader")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := cl.ExecRO("main", "find 1 in R")
+	if resp.Err != nil || !resp.Found {
+		t.Fatalf("replica read = %+v", resp)
+	}
+}
+
+func TestReadYourWritesThroughMediumOrder(t *testing.T) {
+	// The primary ships versions before replying, and inboxes are FIFO, so
+	// a client that saw its write acknowledged reads its own write from any
+	// replica reached through the medium afterwards.
+	c := mkReplicated(t, 8, 2)
+	reps := c.ReplicasOf("main")
+	cl, err := c.NewClient(reps[0], "writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		k := value.Int(int64(100 + i)).String()
+		if resp := cl.Exec("main", "insert "+k+" into R"); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		resp := cl.ExecRO("main", "find "+k+" in R")
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		if !resp.Found {
+			t.Fatalf("write %d not visible at replica", i)
+		}
+		if resp.Version == 0 {
+			t.Error("replica response missing version")
+		}
+	}
+}
+
+func TestExecRORejectsWrites(t *testing.T) {
+	c := mkReplicated(t, 8, 1)
+	cl, _ := c.NewClient(3, "cli")
+	resp := cl.ExecRO("main", "insert 9 into R")
+	if resp.Err == nil || !strings.Contains(resp.Err.Error(), "read-only") {
+		t.Errorf("err = %v", resp.Err)
+	}
+	if resp := cl.ExecRO("main", "bad query"); resp.Err == nil {
+		t.Error("parse error swallowed")
+	}
+	if resp := cl.ExecRO("nope", "count R"); resp.Err == nil {
+		t.Error("unknown database accepted")
+	}
+}
+
+func TestExecROWithoutReplicasFallsBackToPrimary(t *testing.T) {
+	c := mkCluster(t, 4) // no replicas
+	cl, _ := c.NewClient(2, "cli")
+	resp := cl.ExecRO("main", "find 1 in R")
+	if resp.Err != nil || !resp.Found {
+		t.Fatalf("fallback read = %+v", resp)
+	}
+}
+
+func TestNearestReadSitePrefersColocatedReplica(t *testing.T) {
+	c := mkReplicated(t, 8, 2)
+	reps := c.ReplicasOf("main")
+	cl, err := c.NewClient(reps[1], "near")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, isPrimary, err := cl.nearestReadSite("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isPrimary {
+		t.Error("colocated replica not chosen over remote primary")
+	}
+	if target != reps[1] {
+		t.Errorf("nearest = %d, want %d", target, reps[1])
+	}
+}
+
+func TestFailoverLosesNoAcknowledgedWrite(t *testing.T) {
+	// Failure transparency: versions ship before acknowledgements, so after
+	// promoting a replica, every write the client saw acknowledged is
+	// present in the new primary.
+	c := mkReplicated(t, 8, 2)
+	oldPrimary, _ := c.PrimaryOf("main")
+	cl, err := c.NewClient(5, "writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writes = 25
+	for i := 0; i < writes; i++ {
+		k := value.Int(int64(1000 + i)).String()
+		if resp := cl.Exec("main", "insert "+k+" into R"); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+
+	newPrimary, err := c.FailPrimary("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newPrimary == oldPrimary {
+		t.Fatal("promotion did not move the primary")
+	}
+	if got, _ := c.PrimaryOf("main"); got != newPrimary {
+		t.Errorf("root directory not updated: %d", got)
+	}
+
+	// The client's cached route is stale; Exec must recover transparently.
+	for i := 0; i < writes; i++ {
+		k := value.Int(int64(1000 + i)).String()
+		resp := cl.Exec("main", "find "+k+" in R")
+		if resp.Err != nil {
+			t.Fatalf("post-failover find: %v", resp.Err)
+		}
+		if !resp.Found {
+			t.Fatalf("acknowledged write %d lost in failover", i)
+		}
+	}
+	// And the new primary accepts writes.
+	if resp := cl.Exec("main", "insert 9999 into R"); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp := cl.Exec("main", "find 9999 in R"); !resp.Found {
+		t.Error("write to promoted primary lost")
+	}
+}
+
+func TestFailoverWithoutReplicasFails(t *testing.T) {
+	c := mkCluster(t, 3)
+	if _, err := c.FailPrimary("main"); err == nil {
+		t.Error("failover without replicas succeeded")
+	}
+	if _, err := c.FailPrimary("nope"); err == nil {
+		t.Error("failover of unknown database succeeded")
+	}
+}
+
+func TestReplicaReadsAreConsistentSnapshots(t *testing.T) {
+	// Even if stale, a replica scan never observes a torn state: the count
+	// equals the tuple count of a single version.
+	c := mkReplicated(t, 8, 1)
+	// Home the client on the replica so ExecRO resolves there rather than
+	// falling back to the (equally near) primary.
+	cl, _ := c.NewClient(c.ReplicasOf("main")[0], "cli")
+	for i := 0; i < 20; i++ {
+		k := value.Int(int64(200 + i)).String()
+		if resp := cl.Exec("main", "insert "+k+" into R"); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	resp := cl.ExecRO("main", "scan R")
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	if resp.Count != len(resp.Tuples) {
+		t.Error("torn scan")
+	}
+	// The version stream: scanning version v must show exactly v tuples
+	// beyond the seed... (each insert adds one, version increments by one).
+	want := int(resp.Version) + 1 // seed tuple + one per committed write
+	if resp.Count != want {
+		t.Errorf("scan of version %d has %d tuples, want %d", resp.Version, resp.Count, want)
+	}
+}

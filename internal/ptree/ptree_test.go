@@ -1,0 +1,647 @@
+package ptree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/eval"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+)
+
+func tup(k int64) value.Tuple { return value.NewTuple(value.Int(k), value.Str("v")) }
+
+// tree is the common interface the three structures share, letting the
+// model-based tests run over all of them.
+type tree interface {
+	Len() int
+	Find(ctx *eval.Ctx, key value.Item, after trace.TaskID) (value.Tuple, bool, trace.TaskID)
+	Tuples() []value.Tuple
+}
+
+func keys(ts []value.Tuple) []int64 {
+	out := make([]int64, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.Key().AsInt())
+	}
+	return out
+}
+
+func sortedEqual(got []int64, want map[int64]bool) bool {
+	wantKeys := make([]int64, 0, len(want))
+	for k := range want {
+		wantKeys = append(wantKeys, k)
+	}
+	sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+	if len(got) != len(wantKeys) {
+		return false
+	}
+	for i := range got {
+		if got[i] != wantKeys[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- AVL ---
+
+func TestAVLBasics(t *testing.T) {
+	var tr AVL
+	if tr.Len() != 0 || tr.Height() != 0 || tr.HeadTask() != trace.None {
+		t.Error("zero AVL not empty")
+	}
+	for _, k := range []int64{5, 2, 8, 1, 3, 7, 9, 6, 4} {
+		tr, _ = tr.Insert(nil, tup(k), trace.None)
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", k, err)
+		}
+	}
+	if tr.Len() != 9 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	got := keys(tr.Tuples())
+	for i := int64(1); i <= 9; i++ {
+		if got[i-1] != i {
+			t.Fatalf("Tuples = %v", got)
+		}
+	}
+	for i := int64(1); i <= 9; i++ {
+		if _, ok, _ := tr.Find(nil, value.Int(i), trace.None); !ok {
+			t.Errorf("Find(%d) failed", i)
+		}
+	}
+	if _, ok, _ := tr.Find(nil, value.Int(99), trace.None); ok {
+		t.Error("Find(99) succeeded")
+	}
+}
+
+func TestAVLHeightLogarithmic(t *testing.T) {
+	var tr AVL
+	for i := int64(0); i < 1024; i++ {
+		tr, _ = tr.Insert(nil, tup(i), trace.None) // worst case: sorted input
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// AVL height <= 1.44 log2(n+2); for n=1024 that is ~15.
+	if h := tr.Height(); h > 15 {
+		t.Errorf("height %d too large for 1024 sorted inserts", h)
+	}
+}
+
+func TestAVLUpsertReplaces(t *testing.T) {
+	var tr AVL
+	tr, _ = tr.Insert(nil, value.NewTuple(value.Int(1), value.Str("a")), trace.None)
+	tr, _ = tr.Insert(nil, value.NewTuple(value.Int(1), value.Str("b")), trace.None)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got, _, _ := tr.Find(nil, value.Int(1), trace.None)
+	if got.Field(1).AsString() != "b" {
+		t.Errorf("tuple = %v", got)
+	}
+}
+
+func TestAVLDelete(t *testing.T) {
+	var tr AVL
+	for i := int64(0); i < 64; i++ {
+		tr, _ = tr.Insert(nil, tup(i), trace.None)
+	}
+	for _, k := range []int64{31, 0, 63, 32, 16, 48} {
+		var found bool
+		tr, found, _ = tr.Delete(nil, value.Int(k), trace.None)
+		if !found {
+			t.Fatalf("Delete(%d) not found", k)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", k, err)
+		}
+		if _, ok, _ := tr.Find(nil, value.Int(k), trace.None); ok {
+			t.Errorf("key %d still present", k)
+		}
+	}
+	if tr.Len() != 58 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	_, found, _ := tr.Delete(nil, value.Int(1000), trace.None)
+	if found {
+		t.Error("Delete(1000) claimed found")
+	}
+}
+
+func TestAVLPersistence(t *testing.T) {
+	var v0 AVL
+	for i := int64(0); i < 20; i++ {
+		v0, _ = v0.Insert(nil, tup(i), trace.None)
+	}
+	v1, _ := v0.Insert(nil, tup(100), trace.None)
+	v2, _, _ := v1.Delete(nil, value.Int(0), trace.None)
+	if v0.Len() != 20 || v1.Len() != 21 || v2.Len() != 20 {
+		t.Fatalf("lens = %d,%d,%d", v0.Len(), v1.Len(), v2.Len())
+	}
+	if _, ok, _ := v0.Find(nil, value.Int(100), trace.None); ok {
+		t.Error("v0 sees v1's insert")
+	}
+	if _, ok, _ := v2.Find(nil, value.Int(0), trace.None); ok {
+		t.Error("v2 still has deleted key")
+	}
+	if _, ok, _ := v1.Find(nil, value.Int(0), trace.None); !ok {
+		t.Error("v1 lost key 0")
+	}
+}
+
+func TestAVLLogarithmicSharing(t *testing.T) {
+	// The paper's claim: "all but a proportion (log n)/n of a relation can
+	// be shared during updating."
+	var tr AVL
+	const n = 512
+	for i := int64(0); i < n; i++ {
+		tr, _ = tr.Insert(nil, tup(i*2), trace.None)
+	}
+	stats := &eval.Stats{}
+	ctx := &eval.Ctx{Stats: stats}
+	next, _ := tr.Insert(ctx, tup(101), trace.None)
+	created := stats.Created.Load()
+	// Path copying: created nodes <= ~1.5 * height + rotations.
+	if maxCreated := int64(2*tr.Height() + 3); created > maxCreated {
+		t.Errorf("created %d nodes, want <= %d (log n path)", created, maxCreated)
+	}
+	if shared := next.SharedNodesWith(tr); shared < n-int(created) {
+		t.Errorf("shared %d nodes, want >= %d", shared, n-int(created))
+	}
+}
+
+func TestAVLTracedOpHandles(t *testing.T) {
+	g := trace.New()
+	ctx := &eval.Ctx{Graph: g}
+	var tr AVL
+	tr, op := tr.Insert(ctx, tup(1), trace.None)
+	if op.Ready == trace.None || op.Done == trace.None {
+		t.Error("traced insert returned empty op handles")
+	}
+	if op.Ready != tr.HeadTask() {
+		t.Error("Ready is not the new root's constructor")
+	}
+	_, found, dop := tr.Delete(ctx, value.Int(1), trace.None)
+	if !found || dop.Done == trace.None {
+		t.Error("traced delete lost its op handle")
+	}
+}
+
+func TestAVLRange(t *testing.T) {
+	var tr AVL
+	for i := int64(0); i < 50; i++ {
+		tr, _ = tr.Insert(nil, tup(i), trace.None)
+	}
+	var got []int64
+	tr.Range(nil, value.Int(10), value.Int(15), trace.None, func(tu value.Tuple) {
+		got = append(got, tu.Key().AsInt())
+	})
+	want := []int64{10, 11, 12, 13, 14, 15}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Range = %v", got)
+		}
+	}
+	// Range prunes: visited nodes must be far fewer than n.
+	stats := &eval.Stats{}
+	tr.Range(&eval.Ctx{Stats: stats}, value.Int(10), value.Int(15), trace.None, func(value.Tuple) {})
+	if v := stats.Visited.Load(); v > 20 {
+		t.Errorf("Range visited %d nodes of 50", v)
+	}
+}
+
+// --- 2-3 tree ---
+
+func TestTree23Basics(t *testing.T) {
+	var tr Tree23
+	if tr.Len() != 0 || tr.Height() != 0 {
+		t.Error("zero Tree23 not empty")
+	}
+	for _, k := range []int64{5, 2, 8, 1, 3, 7, 9, 6, 4, 0} {
+		tr, _ = tr.Insert(nil, tup(k), trace.None)
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", k, err)
+		}
+	}
+	if tr.Len() != 10 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for i := int64(0); i <= 9; i++ {
+		if _, ok, _ := tr.Find(nil, value.Int(i), trace.None); !ok {
+			t.Errorf("Find(%d) failed", i)
+		}
+	}
+}
+
+func TestTree23UpsertReplaces(t *testing.T) {
+	var tr Tree23
+	// Exercise replacement in 2-nodes and 3-nodes at several positions.
+	for _, k := range []int64{1, 2, 3, 4, 5} {
+		tr, _ = tr.Insert(nil, value.NewTuple(value.Int(k), value.Str("old")), trace.None)
+	}
+	for _, k := range []int64{1, 2, 3, 4, 5} {
+		tr, _ = tr.Insert(nil, value.NewTuple(value.Int(k), value.Str("new")), trace.None)
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after upsert %d: %v", k, err)
+		}
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, k := range []int64{1, 2, 3, 4, 5} {
+		got, ok, _ := tr.Find(nil, value.Int(k), trace.None)
+		if !ok || got.Field(1).AsString() != "new" {
+			t.Errorf("Find(%d) = %v, %v", k, got, ok)
+		}
+	}
+}
+
+func TestTree23HeightLogarithmic(t *testing.T) {
+	var tr Tree23
+	for i := int64(0); i < 1024; i++ {
+		tr, _ = tr.Insert(nil, tup(i), trace.None)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// 2-3 tree height <= log2(n+1); for n=1024 that is 10 (and >= log3 n ~ 7).
+	if h := tr.Height(); h < 7 || h > 10 {
+		t.Errorf("height %d out of [7,10] for 1024 keys", h)
+	}
+}
+
+func TestTree23DeleteExhaustiveSmall(t *testing.T) {
+	// For every size n <= 24 and every deletion target, delete from the
+	// tree of 0..n-1 and verify shape + contents. This sweeps all
+	// borrow/merge cases deterministically.
+	for n := 1; n <= 24; n++ {
+		for target := 0; target < n; target++ {
+			var tr Tree23
+			for i := int64(0); i < int64(n); i++ {
+				tr, _ = tr.Insert(nil, tup(i), trace.None)
+			}
+			nt, found, _ := tr.Delete(nil, value.Int(int64(target)), trace.None)
+			if !found {
+				t.Fatalf("n=%d delete %d not found", n, target)
+			}
+			if err := nt.checkInvariants(); err != nil {
+				t.Fatalf("n=%d delete %d: %v", n, target, err)
+			}
+			if nt.Len() != n-1 {
+				t.Fatalf("n=%d delete %d: len %d", n, target, nt.Len())
+			}
+			if _, ok, _ := nt.Find(nil, value.Int(int64(target)), trace.None); ok {
+				t.Fatalf("n=%d delete %d: key still present", n, target)
+			}
+			// Old version untouched.
+			if tr.Len() != n {
+				t.Fatalf("n=%d delete %d disturbed the old version", n, target)
+			}
+		}
+	}
+}
+
+func TestTree23DeleteMissing(t *testing.T) {
+	var tr Tree23
+	for i := int64(0); i < 10; i++ {
+		tr, _ = tr.Insert(nil, tup(i*2), trace.None)
+	}
+	for _, k := range []int64{-1, 1, 5, 19} {
+		nt, found, _ := tr.Delete(nil, value.Int(k), trace.None)
+		if found {
+			t.Errorf("Delete(%d) claimed found", k)
+		}
+		if nt.Len() != 10 {
+			t.Errorf("Delete(%d) changed size", k)
+		}
+	}
+	var empty Tree23
+	if _, found, _ := empty.Delete(nil, value.Int(0), trace.None); found {
+		t.Error("delete from empty tree found something")
+	}
+}
+
+func TestTree23Range(t *testing.T) {
+	var tr Tree23
+	for i := int64(0); i < 40; i++ {
+		tr, _ = tr.Insert(nil, tup(i), trace.None)
+	}
+	var got []int64
+	tr.Range(nil, value.Int(7), value.Int(13), trace.None, func(tu value.Tuple) {
+		got = append(got, tu.Key().AsInt())
+	})
+	want := []int64{7, 8, 9, 10, 11, 12, 13}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Range = %v", got)
+		}
+	}
+}
+
+// --- Paged B-tree ---
+
+func TestPagedBasics(t *testing.T) {
+	tr := NewPaged(4)
+	if tr.Len() != 0 || tr.Height() != 1 {
+		t.Errorf("empty paged tree: len %d height %d", tr.Len(), tr.Height())
+	}
+	for i := int64(0); i < 64; i++ {
+		tr, _ = tr.Insert(nil, tup(i), trace.None)
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 64 {
+		t.Errorf("Len = %d", tr.Len())
+	}
+	for i := int64(0); i < 64; i++ {
+		if _, ok, _ := tr.Find(nil, value.Int(i), trace.None); !ok {
+			t.Errorf("Find(%d) failed", i)
+		}
+	}
+	if _, ok, _ := tr.Find(nil, value.Int(-1), trace.None); ok {
+		t.Error("Find(-1) succeeded")
+	}
+	got := keys(tr.Tuples())
+	for i := int64(0); i < 64; i++ {
+		if got[i] != i {
+			t.Fatalf("Tuples out of order: %v", got[:10])
+		}
+	}
+}
+
+func TestPagedDefaultCap(t *testing.T) {
+	if got := NewPaged(0).PageCap(); got != DefaultPageCap {
+		t.Errorf("default cap = %d", got)
+	}
+	if got := NewPaged(1).PageCap(); got != 2 {
+		t.Errorf("minimum cap = %d", got)
+	}
+}
+
+func TestPagedUpsertReplaces(t *testing.T) {
+	tr := NewPaged(4)
+	for i := int64(0); i < 20; i++ {
+		tr, _ = tr.Insert(nil, value.NewTuple(value.Int(i), value.Str("old")), trace.None)
+	}
+	tr, _ = tr.Insert(nil, value.NewTuple(value.Int(7), value.Str("new")), trace.None)
+	if tr.Len() != 20 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	got, _, _ := tr.Find(nil, value.Int(7), trace.None)
+	if got.Field(1).AsString() != "new" {
+		t.Errorf("tuple = %v", got)
+	}
+}
+
+func TestPagedFigure22Sharing(t *testing.T) {
+	// Figure 2-2: one insert copies only the root-to-leaf path; all other
+	// data pages are shared between old and new directories.
+	tr := PagedFromTuples(4, nil)
+	for i := int64(0); i < 256; i++ {
+		tr, _ = tr.Insert(nil, tup(i*2), trace.None)
+	}
+	total := tr.PageCount()
+	next, _ := tr.Insert(nil, tup(101), trace.None)
+	shared := next.SharedPagesWith(tr)
+	copied := next.PageCount() - shared
+	if copied > tr.Height()+1 {
+		t.Errorf("copied %d pages, want <= height+1 = %d", copied, tr.Height()+1)
+	}
+	if shared < total-copied-1 {
+		t.Errorf("shared %d of %d pages", shared, total)
+	}
+}
+
+func TestPagedDelete(t *testing.T) {
+	tr := NewPaged(4)
+	const n = 100
+	for i := int64(0); i < n; i++ {
+		tr, _ = tr.Insert(nil, tup(i), trace.None)
+	}
+	r := rand.New(rand.NewSource(2))
+	perm := r.Perm(n)
+	for idx, k := range perm {
+		var found bool
+		tr, found, _ = tr.Delete(nil, value.Int(int64(k)), trace.None)
+		if !found {
+			t.Fatalf("Delete(%d) not found", k)
+		}
+		if err := tr.checkInvariants(); err != nil {
+			t.Fatalf("after %d deletes: %v", idx+1, err)
+		}
+		if _, ok, _ := tr.Find(nil, value.Int(int64(k)), trace.None); ok {
+			t.Fatalf("key %d still present", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Errorf("Len = %d after deleting all", tr.Len())
+	}
+	// Deleting from empty tree.
+	if _, found, _ := tr.Delete(nil, value.Int(0), trace.None); found {
+		t.Error("delete from empty tree found something")
+	}
+}
+
+func TestPagedRange(t *testing.T) {
+	tr := NewPaged(4)
+	for i := int64(0); i < 60; i++ {
+		tr, _ = tr.Insert(nil, tup(i), trace.None)
+	}
+	var got []int64
+	tr.Range(nil, value.Int(25), value.Int(31), trace.None, func(tu value.Tuple) {
+		got = append(got, tu.Key().AsInt())
+	})
+	want := []int64{25, 26, 27, 28, 29, 30, 31}
+	if len(got) != len(want) {
+		t.Fatalf("Range = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Range = %v", got)
+		}
+	}
+	// Pruning: visits far fewer pages than the whole tree.
+	stats := &eval.Stats{}
+	tr.Range(&eval.Ctx{Stats: stats}, value.Int(25), value.Int(31), trace.None, func(value.Tuple) {})
+	if v := stats.Visited.Load(); v > int64(tr.PageCount()/2) {
+		t.Errorf("Range visited %d of %d pages", v, tr.PageCount())
+	}
+}
+
+func TestPagedPersistence(t *testing.T) {
+	v0 := PagedFromTuples(4, nil)
+	for i := int64(0); i < 50; i++ {
+		v0, _ = v0.Insert(nil, tup(i), trace.None)
+	}
+	v1, _ := v0.Insert(nil, tup(500), trace.None)
+	v2, _, _ := v1.Delete(nil, value.Int(10), trace.None)
+	if v0.Len() != 50 || v1.Len() != 51 || v2.Len() != 50 {
+		t.Fatalf("lens = %d,%d,%d", v0.Len(), v1.Len(), v2.Len())
+	}
+	if _, ok, _ := v0.Find(nil, value.Int(500), trace.None); ok {
+		t.Error("v0 sees v1's insert")
+	}
+	if _, ok, _ := v1.Find(nil, value.Int(10), trace.None); !ok {
+		t.Error("v1 lost key 10")
+	}
+}
+
+// --- model-based property tests over all three trees ---
+
+type treeOps struct {
+	name   string
+	insert func(tree, value.Tuple) tree
+	delete func(tree, value.Item) (tree, bool)
+	check  func(tree) error
+}
+
+func allTreeOps() []treeOps {
+	return []treeOps{
+		{
+			name: "avl",
+			insert: func(t tree, tu value.Tuple) tree {
+				nt, _ := t.(AVL).Insert(nil, tu, trace.None)
+				return nt
+			},
+			delete: func(t tree, k value.Item) (tree, bool) {
+				nt, found, _ := t.(AVL).Delete(nil, k, trace.None)
+				return nt, found
+			},
+			check: func(t tree) error { return t.(AVL).checkInvariants() },
+		},
+		{
+			name: "2-3",
+			insert: func(t tree, tu value.Tuple) tree {
+				nt, _ := t.(Tree23).Insert(nil, tu, trace.None)
+				return nt
+			},
+			delete: func(t tree, k value.Item) (tree, bool) {
+				nt, found, _ := t.(Tree23).Delete(nil, k, trace.None)
+				return nt, found
+			},
+			check: func(t tree) error { return t.(Tree23).checkInvariants() },
+		},
+		{
+			name: "paged",
+			insert: func(t tree, tu value.Tuple) tree {
+				nt, _ := t.(Paged).Insert(nil, tu, trace.None)
+				return nt
+			},
+			delete: func(t tree, k value.Item) (tree, bool) {
+				nt, found, _ := t.(Paged).Delete(nil, k, trace.None)
+				return nt, found
+			},
+			check: func(t tree) error { return t.(Paged).checkInvariants() },
+		},
+	}
+}
+
+func emptyTreeFor(name string) tree {
+	switch name {
+	case "avl":
+		return AVL{}
+	case "2-3":
+		return Tree23{}
+	case "paged":
+		return NewPaged(3)
+	}
+	panic("unknown tree " + name)
+}
+
+func TestPropertyTreesMatchModel(t *testing.T) {
+	for _, ops := range allTreeOps() {
+		ops := ops
+		t.Run(ops.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				tr := emptyTreeFor(ops.name)
+				model := map[int64]bool{}
+				for i := 0; i < 150; i++ {
+					k := int64(r.Intn(40))
+					switch r.Intn(3) {
+					case 0:
+						tr = ops.insert(tr, tup(k))
+						model[k] = true
+					case 1:
+						var found bool
+						tr, found = ops.delete(tr, value.Int(k))
+						if model[k] != found {
+							return false
+						}
+						delete(model, k)
+					case 2:
+						_, ok, _ := tr.Find(nil, value.Int(k), trace.None)
+						if model[k] != ok {
+							return false
+						}
+					}
+					if tr.Len() != len(model) {
+						return false
+					}
+					if err := ops.check(tr); err != nil {
+						t.Logf("invariant: %v", err)
+						return false
+					}
+				}
+				return sortedEqual(keys(tr.Tuples()), model)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestPropertyTreePersistenceUnderRandomOps(t *testing.T) {
+	// Snapshot every version; after all operations, every snapshot must
+	// still enumerate exactly what it enumerated when taken.
+	for _, ops := range allTreeOps() {
+		ops := ops
+		t.Run(ops.name, func(t *testing.T) {
+			f := func(seed int64) bool {
+				r := rand.New(rand.NewSource(seed))
+				tr := emptyTreeFor(ops.name)
+				type snap struct {
+					tr   tree
+					want []int64
+				}
+				var snaps []snap
+				for i := 0; i < 60; i++ {
+					k := int64(r.Intn(25))
+					if r.Intn(2) == 0 {
+						tr = ops.insert(tr, tup(k))
+					} else {
+						tr, _ = ops.delete(tr, value.Int(k))
+					}
+					snaps = append(snaps, snap{tr: tr, want: keys(tr.Tuples())})
+				}
+				for _, s := range snaps {
+					got := keys(s.tr.Tuples())
+					if len(got) != len(s.want) {
+						return false
+					}
+					for i := range got {
+						if got[i] != s.want[i] {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

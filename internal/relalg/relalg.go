@@ -1,0 +1,207 @@
+// Package relalg provides functional relational algebra over relation
+// values, in the spirit of the paper's reference [15] (J. Kim, "Set
+// abstraction and databases in a Function Equation Language"): queries are
+// compositions of pure operators over tuple streams, not plans mutating
+// cursors.
+//
+// Every operator consumes and produces lenient tuple streams, so pipelines
+// are demand-driven end to end: Take(5) over a selection of a projection of
+// a scan reads only as much of the underlying relation as those five
+// results require. Because relation versions are immutable, a pipeline
+// constructed against a version is a stable query — it can be re-run,
+// shared across goroutines, or kept alongside newer versions, and it always
+// answers from its version.
+package relalg
+
+import (
+	"fmt"
+
+	"funcdb/internal/lenient"
+	"funcdb/internal/relation"
+	"funcdb/internal/value"
+)
+
+// Rows is a lazy stream of tuples.
+type Rows = *lenient.Stream[value.Tuple]
+
+// Scan produces the tuples of a relation version in key order, lazily: the
+// relation is enumerated only as far as the stream is demanded.
+func Scan(rel relation.Relation) Rows {
+	// Relations expose ordered enumeration via Tuples; wrap it lazily so a
+	// prefix demand costs a prefix walk. (Tuples() itself is O(n); for the
+	// list representation we avoid it by walking the stream cells through
+	// Range with an early exit — but Range has no early exit, so buffer
+	// once per scan. The buffering is per-Scan, not per-demand.)
+	tuples := rel.Tuples()
+	return lenient.Generate(func(i int) (value.Tuple, bool) {
+		if i >= len(tuples) {
+			return value.Tuple{}, false
+		}
+		return tuples[i], true
+	})
+}
+
+// Select keeps the tuples satisfying pred (σ).
+func Select(pred func(value.Tuple) bool, in Rows) Rows {
+	return lenient.Filter(pred, in)
+}
+
+// Project maps each tuple to the given field indices (π). Out-of-range
+// indices are an error surfaced by panic at construction of the offending
+// tuple; use Validate beforehand for untrusted indices.
+func Project(fields []int, in Rows) Rows {
+	idx := append([]int(nil), fields...)
+	return lenient.ApplyToAll(func(t value.Tuple) value.Tuple {
+		items := make([]value.Item, 0, len(idx))
+		for _, f := range idx {
+			items = append(items, t.Field(f))
+		}
+		return value.NewTuple(items...)
+	}, in)
+}
+
+// ValidateFields checks a projection list against a relation's arity by
+// sampling its first tuple; empty relations accept any projection.
+func ValidateFields(rel relation.Relation, fields []int) error {
+	tuples := rel.Tuples()
+	if len(tuples) == 0 {
+		return nil
+	}
+	arity := tuples[0].Arity()
+	for _, f := range fields {
+		if f < 0 || f >= arity {
+			return fmt.Errorf("relalg: field %d out of range for arity %d", f, arity)
+		}
+	}
+	return nil
+}
+
+// EquiJoin joins two streams on left.Field(lf) == right.Field(rf),
+// concatenating the matched tuples (⋈). The right side is materialized
+// into a hash index at construction; the left side streams lazily.
+func EquiJoin(left Rows, lf int, right Rows, rf int) Rows {
+	index := map[uint64][]value.Tuple{}
+	lenient.ForEach(right, func(t value.Tuple) {
+		k := value.NewTuple(t.Field(rf)).Hash()
+		index[k] = append(index[k], t)
+	})
+
+	// emit walks the left stream, holding the pending matches of the
+	// current left tuple. Pending slices are freshly allocated per left
+	// tuple and never mutated, so the lazy tails may safely retain views
+	// of them.
+	var emit func(l Rows, lt value.Tuple, pending []value.Tuple) Rows
+	emit = func(l Rows, lt value.Tuple, pending []value.Tuple) Rows {
+		for {
+			if len(pending) > 0 {
+				match, rest := pending[0], pending[1:]
+				out := value.NewTuple(append(lt.Fields(), match.Fields()...)...)
+				tailL, tailLT := l, lt
+				return lenient.FollowedBy(out, func() Rows {
+					return emit(tailL, tailLT, rest)
+				})
+			}
+			if l.IsEmpty() {
+				return nil
+			}
+			lt = l.First()
+			l = l.Rest()
+			// Hash collisions are resolved by exact comparison.
+			var fresh []value.Tuple
+			for _, m := range index[value.NewTuple(lt.Field(lf)).Hash()] {
+				if m.Field(rf).Equal(lt.Field(lf)) {
+					fresh = append(fresh, m)
+				}
+			}
+			pending = fresh
+		}
+	}
+	return emit(left, value.Tuple{}, nil)
+}
+
+// Union concatenates two streams, dropping duplicate tuples (first
+// occurrence wins); inputs need not be sorted. The second stream's
+// deduplication is constructed only after the first is exhausted, since the
+// dedup state is shared.
+func Union(a, b Rows) Rows {
+	seen := map[uint64]bool{}
+	pred := func(t value.Tuple) bool {
+		k := t.Hash()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		return true
+	}
+	return lenient.AppendLazy(lenient.Filter(pred, a), func() Rows {
+		return lenient.Filter(pred, b)
+	})
+}
+
+// Difference yields the tuples of a that do not appear in b (full-tuple
+// equality). b is materialized at construction; a streams lazily.
+func Difference(a, b Rows) Rows {
+	drop := map[uint64][]value.Tuple{}
+	lenient.ForEach(b, func(t value.Tuple) {
+		drop[t.Hash()] = append(drop[t.Hash()], t)
+	})
+	return lenient.Filter(func(t value.Tuple) bool {
+		for _, d := range drop[t.Hash()] {
+			if d.Equal(t) {
+				return false
+			}
+		}
+		return true
+	}, a)
+}
+
+// Intersect yields the tuples of a that also appear in b (full-tuple
+// equality). b is materialized at construction; a streams lazily.
+func Intersect(a, b Rows) Rows {
+	keep := map[uint64][]value.Tuple{}
+	lenient.ForEach(b, func(t value.Tuple) {
+		keep[t.Hash()] = append(keep[t.Hash()], t)
+	})
+	return lenient.Filter(func(t value.Tuple) bool {
+		for _, d := range keep[t.Hash()] {
+			if d.Equal(t) {
+				return true
+			}
+		}
+		return false
+	}, a)
+}
+
+// Count fully demands the stream and returns its length.
+func Count(in Rows) int { return lenient.Length(in) }
+
+// Materialize builds a relation of the given representation from a stream
+// (fully demanding it).
+func Materialize(rep relation.Rep, in Rows) relation.Relation {
+	var tuples []value.Tuple
+	lenient.ForEach(in, func(t value.Tuple) { tuples = append(tuples, t) })
+	return relation.FromTuples(rep, tuples)
+}
+
+// GroupCount groups by the given field and counts group sizes, returning
+// (groupValue, count) tuples sorted by first appearance.
+func GroupCount(field int, in Rows) []value.Tuple {
+	counts := map[uint64]int{}
+	var order []value.Item
+	byHash := map[uint64]value.Item{}
+	lenient.ForEach(in, func(t value.Tuple) {
+		it := t.Field(field)
+		h := value.NewTuple(it).Hash()
+		if _, ok := counts[h]; !ok {
+			order = append(order, it)
+			byHash[h] = it
+		}
+		counts[h]++
+	})
+	out := make([]value.Tuple, 0, len(order))
+	for _, it := range order {
+		h := value.NewTuple(it).Hash()
+		out = append(out, value.NewTuple(it, value.Int(int64(counts[h]))))
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+package relalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/lenient"
+	"funcdb/internal/relation"
+	"funcdb/internal/value"
+)
+
+func mkRel(keys ...int64) relation.Relation {
+	tuples := make([]value.Tuple, 0, len(keys))
+	for _, k := range keys {
+		tuples = append(tuples, value.NewTuple(value.Int(k), value.Str("v")))
+	}
+	return relation.FromTuples(relation.RepList, tuples)
+}
+
+func keysOf(rows Rows) []int64 {
+	var out []int64
+	lenient.ForEach(rows, func(t value.Tuple) { out = append(out, t.Key().AsInt()) })
+	return out
+}
+
+func eq(t *testing.T, got, want []int64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestScanOrdered(t *testing.T) {
+	eq(t, keysOf(Scan(mkRel(3, 1, 2))), []int64{1, 2, 3})
+	eq(t, keysOf(Scan(mkRel())), nil)
+}
+
+func TestSelect(t *testing.T) {
+	even := func(tu value.Tuple) bool { return tu.Key().AsInt()%2 == 0 }
+	eq(t, keysOf(Select(even, Scan(mkRel(1, 2, 3, 4, 5, 6)))), []int64{2, 4, 6})
+}
+
+func TestProject(t *testing.T) {
+	rel := relation.FromTuples(relation.RepList, []value.Tuple{
+		value.NewTuple(value.Int(1), value.Str("a"), value.Int(10)),
+		value.NewTuple(value.Int(2), value.Str("b"), value.Int(20)),
+	})
+	rows := lenient.ToSlice(Project([]int{2, 1}, Scan(rel)))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0].Field(0).AsInt() != 10 || rows[0].Field(1).AsString() != "a" {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if err := ValidateFields(rel, []int{0, 2}); err != nil {
+		t.Error(err)
+	}
+	if err := ValidateFields(rel, []int{3}); err == nil {
+		t.Error("out-of-range projection validated")
+	}
+	if err := ValidateFields(mkRel(), []int{99}); err != nil {
+		t.Error("empty relation rejected projection")
+	}
+}
+
+func TestPipelineIsLazy(t *testing.T) {
+	// Take(2) over select-of-scan must not enumerate the whole relation's
+	// filter applications.
+	var tested int
+	pred := func(tu value.Tuple) bool {
+		tested++
+		return tu.Key().AsInt()%2 == 0
+	}
+	rel := mkRel(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	got := lenient.TakeSlice(Select(pred, Scan(rel)), 2)
+	if len(got) != 2 {
+		t.Fatalf("got %d rows", len(got))
+	}
+	// Finding the first two evens (2, 4) requires testing keys 1..4 plus
+	// at most one more for the strict head of the next cell.
+	if tested > 6 {
+		t.Errorf("predicate ran %d times for Take(2)", tested)
+	}
+}
+
+func TestEquiJoin(t *testing.T) {
+	emp := relation.FromTuples(relation.RepList, []value.Tuple{
+		value.NewTuple(value.Int(1), value.Str("ada"), value.Int(100)),   // dept 100
+		value.NewTuple(value.Int(2), value.Str("grace"), value.Int(200)), // dept 200
+		value.NewTuple(value.Int(3), value.Str("alan"), value.Int(100)),
+		value.NewTuple(value.Int(4), value.Str("edsger"), value.Int(999)), // no dept
+	})
+	dept := relation.FromTuples(relation.RepList, []value.Tuple{
+		value.NewTuple(value.Int(100), value.Str("eng")),
+		value.NewTuple(value.Int(200), value.Str("sys")),
+	})
+	joined := lenient.ToSlice(EquiJoin(Scan(emp), 2, Scan(dept), 0))
+	if len(joined) != 3 {
+		t.Fatalf("joined %d rows: %v", len(joined), joined)
+	}
+	// Each joined row: emp fields then dept fields.
+	for _, row := range joined {
+		if row.Arity() != 5 {
+			t.Fatalf("row arity %d", row.Arity())
+		}
+		if !row.Field(2).Equal(row.Field(3)) {
+			t.Errorf("join key mismatch in %v", row)
+		}
+	}
+	if joined[0].Field(1).AsString() != "ada" || joined[0].Field(4).AsString() != "eng" {
+		t.Errorf("first row = %v", joined[0])
+	}
+}
+
+func TestEquiJoinEmptySides(t *testing.T) {
+	if got := lenient.ToSlice(EquiJoin(Scan(mkRel()), 0, Scan(mkRel(1)), 0)); len(got) != 0 {
+		t.Errorf("join with empty left = %v", got)
+	}
+	if got := lenient.ToSlice(EquiJoin(Scan(mkRel(1)), 0, Scan(mkRel()), 0)); len(got) != 0 {
+		t.Errorf("join with empty right = %v", got)
+	}
+}
+
+func TestUnionDedupes(t *testing.T) {
+	got := keysOf(Union(Scan(mkRel(1, 2, 3)), Scan(mkRel(2, 3, 4))))
+	eq(t, got, []int64{1, 2, 3, 4})
+}
+
+func TestDifferenceAndIntersect(t *testing.T) {
+	a := Scan(mkRel(1, 2, 3, 4))
+	b := Scan(mkRel(2, 4, 6))
+	eq(t, keysOf(Difference(a, b)), []int64{1, 3})
+	eq(t, keysOf(Intersect(Scan(mkRel(1, 2, 3, 4)), Scan(mkRel(2, 4, 6)))), []int64{2, 4})
+}
+
+func TestCountAndMaterialize(t *testing.T) {
+	rows := Select(func(tu value.Tuple) bool { return tu.Key().AsInt() > 2 }, Scan(mkRel(1, 2, 3, 4, 5)))
+	if got := Count(rows); got != 3 {
+		t.Errorf("Count = %d", got)
+	}
+	rel := Materialize(relation.RepAVL, Select(func(tu value.Tuple) bool { return tu.Key().AsInt() > 2 }, Scan(mkRel(1, 2, 3, 4, 5))))
+	if rel.Rep() != relation.RepAVL || rel.Len() != 3 {
+		t.Errorf("materialized %v with %d tuples", rel.Rep(), rel.Len())
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	rel := relation.FromTuples(relation.RepList, []value.Tuple{
+		value.NewTuple(value.Int(1), value.Str("eng")),
+		value.NewTuple(value.Int(2), value.Str("sys")),
+		value.NewTuple(value.Int(3), value.Str("eng")),
+		value.NewTuple(value.Int(4), value.Str("eng")),
+	})
+	groups := GroupCount(1, Scan(rel))
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0].Field(0).AsString() != "eng" || groups[0].Field(1).AsInt() != 3 {
+		t.Errorf("group 0 = %v", groups[0])
+	}
+	if groups[1].Field(0).AsString() != "sys" || groups[1].Field(1).AsInt() != 1 {
+		t.Errorf("group 1 = %v", groups[1])
+	}
+}
+
+func TestPropertySetOperationLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() relation.Relation {
+			n := r.Intn(15)
+			keys := make([]int64, 0, n)
+			for i := 0; i < n; i++ {
+				keys = append(keys, int64(r.Intn(12)))
+			}
+			return mkRel(keys...)
+		}
+		a, b := mk(), mk()
+		// |A ∖ B| + |A ∩ B| == |A|
+		diff := Count(Difference(Scan(a), Scan(b)))
+		inter := Count(Intersect(Scan(a), Scan(b)))
+		if diff+inter != a.Len() {
+			return false
+		}
+		// Union is idempotent on identical inputs.
+		if Count(Union(Scan(a), Scan(a))) != a.Len() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyJoinSizeBound(t *testing.T) {
+	// |A ⋈ B| on a key field of A is at most |A| when B has unique join
+	// keys (each left row matches at most one right row).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		na, nb := r.Intn(12), r.Intn(12)
+		aT := make([]value.Tuple, 0, na)
+		for i := 0; i < na; i++ {
+			aT = append(aT, value.NewTuple(value.Int(int64(i)), value.Int(int64(r.Intn(6)))))
+		}
+		bT := make([]value.Tuple, 0, nb)
+		for i := 0; i < nb; i++ {
+			bT = append(bT, value.NewTuple(value.Int(int64(i)), value.Str("d")))
+		}
+		a := relation.FromTuples(relation.RepList, aT)
+		b := relation.FromTuples(relation.RepList, bT)
+		joined := Count(EquiJoin(Scan(a), 1, Scan(b), 0))
+		return joined <= a.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package sched is the reproduction of the Rediflow simulator's second
+// mode (Keller & Lindstrom 1985, Section 4): "A second simulation mode
+// specifies a network topology and a specific number of processors. In this
+// mode, communication delay is taken into account."
+//
+// Given the unit-task DAG recorded by internal/trace and a topology from
+// internal/topo, Schedule performs greedy earliest-finish-time list
+// scheduling: tasks are placed on PEs in a topological order; a dependency
+// whose producer ran on a different PE delays the consumer by
+// HopDelay x hop distance. The resulting makespan yields the paper's
+// speedup figure (total work / makespan), which is what Tables II and III
+// report.
+//
+// Placement policies model different load-management strategies, including
+// the pressure-gradient diffusion of Rediflow (paper reference [14], Keller
+// & Lin, "Simulated performance of a reduction-based multiprocessor"),
+// where a task spawned by a parent may only stay local or diffuse to a
+// neighboring PE chosen by load.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"funcdb/internal/topo"
+	"funcdb/internal/trace"
+)
+
+// Policy selects how tasks are placed on PEs.
+type Policy uint8
+
+// Placement policies.
+const (
+	// PolicyPressure restricts each task to its parent PE or a neighbor,
+	// picking whichever allows the earliest start (ties to lowest load).
+	// This is the Rediflow diffusion model: work flows down the load
+	// gradient one hop at a time.
+	PolicyPressure Policy = iota + 1
+	// PolicyBestFit considers every PE and picks the earliest finish time.
+	// It is an idealized global scheduler (upper bound for list scheduling).
+	PolicyBestFit
+	// PolicyLocality always places a task on the PE of its latest-finishing
+	// dependency (or PE 0 for roots): communication-free but load-blind.
+	PolicyLocality
+	// PolicyRoundRobin ignores structure and deals tasks out cyclically.
+	PolicyRoundRobin
+	// PolicyRandom places tasks uniformly at random (seeded).
+	PolicyRandom
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case PolicyPressure:
+		return "pressure"
+	case PolicyBestFit:
+		return "bestfit"
+	case PolicyLocality:
+		return "locality"
+	case PolicyRoundRobin:
+		return "roundrobin"
+	case PolicyRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Config parameterizes one scheduling run.
+type Config struct {
+	// Topo is the PE interconnection. Required.
+	Topo topo.Topology
+	// HopDelay is the communication delay charged per hop for a
+	// cross-PE dependency. The default 0 means communication is free
+	// (degenerates toward mode 1 with limited PEs); the paper's tables use
+	// a positive delay. A typical setting is 1 (one task time per hop).
+	HopDelay int
+	// TaskLen is the service time of one task; defaults to 1 (the paper's
+	// unit task length).
+	TaskLen int
+	// Policy selects placement; defaults to PolicyPressure.
+	Policy Policy
+	// Seed drives PolicyRandom.
+	Seed int64
+}
+
+// Result reports one scheduling run.
+type Result struct {
+	// Makespan is the finish time of the last task.
+	Makespan int
+	// Work is total computation (tasks x TaskLen): the serial time T1.
+	Work int
+	// Speedup is Work / Makespan: the paper's reported measure.
+	Speedup float64
+	// Efficiency is Speedup / number of PEs.
+	Efficiency float64
+	// CriticalPath is the DAG depth x TaskLen: the T_inf lower bound.
+	CriticalPath int
+	// PEBusy is per-PE total busy time.
+	PEBusy []int
+	// CommEvents counts dependencies that crossed PEs.
+	CommEvents int
+	// CommHops sums hop counts over crossing dependencies.
+	CommHops int
+	// Steals counts backlog exports in the dynamic (work-diffusion)
+	// simulation; always zero for the static list scheduler.
+	Steals int
+}
+
+// Schedule runs the mode-2 simulation of g under cfg.
+func Schedule(g *trace.Graph, cfg Config) Result {
+	if cfg.Topo == nil {
+		panic("sched: Config.Topo is required")
+	}
+	if cfg.HopDelay < 0 {
+		panic("sched: negative HopDelay")
+	}
+	if cfg.TaskLen <= 0 {
+		cfg.TaskLen = 1
+	}
+	if cfg.Policy == 0 {
+		cfg.Policy = PolicyPressure
+	}
+	nPE := cfg.Topo.Size()
+	_, deps := g.Snapshot()
+	n := len(deps)
+	res := Result{
+		Work:         n * cfg.TaskLen,
+		CriticalPath: g.CriticalPath() * cfg.TaskLen,
+		PEBusy:       make([]int, nPE),
+	}
+	if n == 0 {
+		return res
+	}
+
+	// Process tasks in a topological order that prefers earlier-ready
+	// tasks: sort by (level, id). Levels give a valid order because every
+	// dependency has a strictly smaller level.
+	levels := g.Levels()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if levels[order[a]] != levels[order[b]] {
+			return levels[order[a]] < levels[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	finish := make([]int, n) // finish time per task
+	peOf := make([]int, n)   // PE per task
+	freeAt := make([]int, nPE)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// startOn computes the earliest start of task i on PE p given dep
+	// placement and the PE's availability.
+	startOn := func(i, p int) int {
+		start := freeAt[p]
+		for _, d := range deps[i] {
+			di := int(d) - 1
+			ready := finish[di] + cfg.HopDelay*cfg.Topo.Hops(peOf[di], p)
+			if ready > start {
+				start = ready
+			}
+		}
+		return start
+	}
+	// parentPE returns the PE of the latest-finishing dependency, or -1.
+	parentPE := func(i int) int {
+		best, bestFinish := -1, -1
+		for _, d := range deps[i] {
+			di := int(d) - 1
+			if finish[di] > bestFinish {
+				best, bestFinish = peOf[di], finish[di]
+			}
+		}
+		return best
+	}
+
+	rr := 0
+	for _, i := range order {
+		var pe int
+		switch cfg.Policy {
+		case PolicyBestFit:
+			pe = bestOf(nPE, func(p int) int { return startOn(i, p) }, freeAt)
+		case PolicyPressure:
+			home := parentPE(i)
+			if home < 0 {
+				// Roots diffuse round-robin so independent entry points
+				// spread across the machine.
+				home = rr % nPE
+				rr++
+			}
+			cands := append([]int{home}, cfg.Topo.Neighbors(home)...)
+			pe = bestOfSet(cands, func(p int) int { return startOn(i, p) }, freeAt)
+		case PolicyLocality:
+			if pe = parentPE(i); pe < 0 {
+				pe = 0
+			}
+		case PolicyRoundRobin:
+			pe = rr % nPE
+			rr++
+		case PolicyRandom:
+			pe = rng.Intn(nPE)
+		default:
+			panic(fmt.Sprintf("sched: unknown policy %v", cfg.Policy))
+		}
+
+		start := startOn(i, pe)
+		finish[i] = start + cfg.TaskLen
+		peOf[i] = pe
+		freeAt[pe] = finish[i]
+		res.PEBusy[pe] += cfg.TaskLen
+		if finish[i] > res.Makespan {
+			res.Makespan = finish[i]
+		}
+		for _, d := range deps[i] {
+			if h := cfg.Topo.Hops(peOf[int(d)-1], pe); h > 0 {
+				res.CommEvents++
+				res.CommHops += h
+			}
+		}
+	}
+
+	res.Speedup = float64(res.Work) / float64(res.Makespan)
+	res.Efficiency = res.Speedup / float64(nPE)
+	return res
+}
+
+// bestOf returns the PE in [0,n) minimizing cost, breaking ties by lower
+// current load then lower index.
+func bestOf(n int, cost func(int) int, freeAt []int) int {
+	best, bestCost := 0, cost(0)
+	for p := 1; p < n; p++ {
+		c := cost(p)
+		if c < bestCost || (c == bestCost && freeAt[p] < freeAt[best]) {
+			best, bestCost = p, c
+		}
+	}
+	return best
+}
+
+// bestOfSet is bestOf over an explicit candidate set.
+func bestOfSet(cands []int, cost func(int) int, freeAt []int) int {
+	best, bestCost := cands[0], cost(cands[0])
+	for _, p := range cands[1:] {
+		c := cost(p)
+		if c < bestCost || (c == bestCost && freeAt[p] < freeAt[best]) {
+			best, bestCost = p, c
+		}
+	}
+	return best
+}

@@ -1,0 +1,339 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/topo"
+	"funcdb/internal/trace"
+)
+
+// chainGraph builds a pure chain of n tasks.
+func chainGraph(n int) *trace.Graph {
+	g := trace.New()
+	prev := trace.None
+	for i := 0; i < n; i++ {
+		prev = g.Task(trace.KindVisit, prev)
+	}
+	return g
+}
+
+// floodGraph builds n independent tasks.
+func floodGraph(n int) *trace.Graph {
+	g := trace.New()
+	for i := 0; i < n; i++ {
+		g.Task(trace.KindVisit)
+	}
+	return g
+}
+
+// forkJoinGraph builds a root, n parallel children, and a join.
+func forkJoinGraph(n int) *trace.Graph {
+	g := trace.New()
+	root := g.Task(trace.KindDispatch)
+	kids := make([]trace.TaskID, n)
+	for i := range kids {
+		kids[i] = g.Task(trace.KindVisit, root)
+	}
+	g.Task(trace.KindRespond, kids...)
+	return g
+}
+
+func allPolicies() []Policy {
+	return []Policy{PolicyPressure, PolicyBestFit, PolicyLocality, PolicyRoundRobin, PolicyRandom}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	res := Schedule(trace.New(), Config{Topo: topo.NewComplete(4)})
+	if res.Makespan != 0 || res.Work != 0 {
+		t.Errorf("empty graph result = %+v", res)
+	}
+}
+
+func TestNilTopoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil topo did not panic")
+		}
+	}()
+	Schedule(trace.New(), Config{})
+}
+
+func TestUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown policy did not panic")
+		}
+	}()
+	Schedule(floodGraph(2), Config{Topo: topo.NewComplete(2), Policy: Policy(99)})
+}
+
+func TestChainIsSequentialEverywhere(t *testing.T) {
+	// A chain has no parallelism: makespan == work on any topology with any
+	// policy that keeps the chain on one PE. Locality and pressure must.
+	g := chainGraph(20)
+	for _, pol := range []Policy{PolicyLocality, PolicyPressure, PolicyBestFit} {
+		res := Schedule(g, Config{Topo: topo.NewHypercube(3), HopDelay: 2, Policy: pol})
+		if res.Makespan != 20 {
+			t.Errorf("%v: chain makespan = %d, want 20", pol, res.Makespan)
+		}
+		if res.Speedup != 1 {
+			t.Errorf("%v: chain speedup = %v, want 1", pol, res.Speedup)
+		}
+		if res.CommEvents != 0 {
+			t.Errorf("%v: chain communicated %d times", pol, res.CommEvents)
+		}
+	}
+}
+
+func TestFloodSpeedupApproachesPECount(t *testing.T) {
+	// 64 independent unit tasks on 8 PEs: perfect speedup 8 for any
+	// load-spreading policy.
+	g := floodGraph(64)
+	for _, pol := range []Policy{PolicyBestFit, PolicyRoundRobin, PolicyPressure} {
+		res := Schedule(g, Config{Topo: topo.NewHypercube(3), HopDelay: 1, Policy: pol})
+		if res.Makespan != 8 {
+			t.Errorf("%v: flood makespan = %d, want 8", pol, res.Makespan)
+		}
+		if res.Speedup != 8 {
+			t.Errorf("%v: flood speedup = %v, want 8", pol, res.Speedup)
+		}
+	}
+}
+
+func TestLocalityPolicySerializesFloodOntoOnePE(t *testing.T) {
+	// Locality puts every root on PE 0: no parallelism at all.
+	res := Schedule(floodGraph(10), Config{Topo: topo.NewComplete(4), Policy: PolicyLocality})
+	if res.Makespan != 10 {
+		t.Errorf("makespan = %d, want 10", res.Makespan)
+	}
+	if res.PEBusy[0] != 10 {
+		t.Errorf("PE0 busy = %d, want 10", res.PEBusy[0])
+	}
+}
+
+func TestCommunicationDelayCharged(t *testing.T) {
+	// Two-task chain forced across PEs by round-robin on a 2-PE ring with
+	// hop delay 5: makespan = 1 (t1) + 5 (hop) + 1 (t2) = 7.
+	g := chainGraph(2)
+	res := Schedule(g, Config{Topo: topo.NewRing(2), HopDelay: 5, Policy: PolicyRoundRobin})
+	if res.Makespan != 7 {
+		t.Errorf("makespan = %d, want 7", res.Makespan)
+	}
+	if res.CommEvents != 1 || res.CommHops != 1 {
+		t.Errorf("comm = %d events %d hops, want 1/1", res.CommEvents, res.CommHops)
+	}
+}
+
+func TestHopDelayScalesWithDistance(t *testing.T) {
+	// Star topology: leaf-to-leaf is 2 hops. Build a 3-task chain and pin
+	// placement with round-robin: t1 on PE0(hub), t2 on PE1, t3 on PE2.
+	// t2 starts at 1+1*d(0,1)=1+d; t3 at finish(t2)+d(1,2)*delay.
+	g := chainGraph(3)
+	res := Schedule(g, Config{Topo: topo.NewStar(3), HopDelay: 3, Policy: PolicyRoundRobin})
+	// t1: [0,1) on hub. t2: start 1+3=4, [4,5) on PE1. t3: 5 + 2*3 = 11, [11,12).
+	if res.Makespan != 12 {
+		t.Errorf("makespan = %d, want 12", res.Makespan)
+	}
+	if res.CommHops != 1+2 {
+		t.Errorf("CommHops = %d, want 3", res.CommHops)
+	}
+}
+
+func TestMakespanLowerBounds(t *testing.T) {
+	// Makespan >= critical path and >= work / nPE for every policy.
+	graphs := map[string]*trace.Graph{
+		"chain":    chainGraph(30),
+		"flood":    floodGraph(30),
+		"forkjoin": forkJoinGraph(30),
+	}
+	topos := []topo.Topology{topo.NewHypercube(3), topo.NewMesh3D(3, 3, 3), topo.NewRing(5)}
+	for name, g := range graphs {
+		for _, tp := range topos {
+			for _, pol := range allPolicies() {
+				res := Schedule(g, Config{Topo: tp, HopDelay: 1, Policy: pol, Seed: 42})
+				if res.Makespan < res.CriticalPath {
+					t.Errorf("%s/%s/%v: makespan %d < critical path %d", name, tp.Name(), pol, res.Makespan, res.CriticalPath)
+				}
+				if lb := (res.Work + tp.Size() - 1) / tp.Size(); res.Makespan < lb {
+					t.Errorf("%s/%s/%v: makespan %d < work bound %d", name, tp.Name(), pol, res.Makespan, lb)
+				}
+				if res.Speedup > float64(tp.Size()) {
+					t.Errorf("%s/%s/%v: speedup %v exceeds PE count", name, tp.Name(), pol, res.Speedup)
+				}
+			}
+		}
+	}
+}
+
+func TestBusyTimeAccounting(t *testing.T) {
+	g := forkJoinGraph(17)
+	res := Schedule(g, Config{Topo: topo.NewHypercube(2), HopDelay: 1})
+	total := 0
+	for _, b := range res.PEBusy {
+		total += b
+	}
+	if total != res.Work {
+		t.Errorf("sum busy = %d, want work %d", total, res.Work)
+	}
+}
+
+func TestTaskLenScalesWork(t *testing.T) {
+	g := chainGraph(5)
+	res := Schedule(g, Config{Topo: topo.NewComplete(2), TaskLen: 3})
+	if res.Work != 15 {
+		t.Errorf("Work = %d, want 15", res.Work)
+	}
+	if res.Makespan != 15 {
+		t.Errorf("Makespan = %d, want 15", res.Makespan)
+	}
+	if res.CriticalPath != 15 {
+		t.Errorf("CriticalPath = %d, want 15", res.CriticalPath)
+	}
+}
+
+func TestBestFitAtLeastAsGoodAsOthersOnAverage(t *testing.T) {
+	// BestFit considers strictly more candidates than Pressure and must not
+	// lose to round-robin/random on a batch of random DAGs (it can tie).
+	r := rand.New(rand.NewSource(3))
+	var bfTotal, rrTotal int
+	for trial := 0; trial < 20; trial++ {
+		g := randomDAG(r, 120)
+		cfg := Config{Topo: topo.NewHypercube(3), HopDelay: 1}
+		cfg.Policy = PolicyBestFit
+		bfTotal += Schedule(g, cfg).Makespan
+		cfg.Policy = PolicyRoundRobin
+		rrTotal += Schedule(g, cfg).Makespan
+	}
+	if bfTotal > rrTotal {
+		t.Errorf("bestfit total makespan %d worse than roundrobin %d", bfTotal, rrTotal)
+	}
+}
+
+func TestPressureStaysNearParent(t *testing.T) {
+	// With pressure policy, every non-root task runs on its parent's PE or
+	// a direct neighbor: per-dependency hops for the *latest* parent <= 1.
+	// We verify indirectly: on a ring with huge hop delay, pressure beats
+	// random placement because it never pays multi-hop latency from the
+	// critical parent.
+	r := rand.New(rand.NewSource(9))
+	g := randomDAG(r, 150)
+	ringCfg := Config{Topo: topo.NewRing(8), HopDelay: 10}
+	ringCfg.Policy = PolicyPressure
+	pressure := Schedule(g, ringCfg)
+	ringCfg.Policy = PolicyRandom
+	ringCfg.Seed = 1
+	random := Schedule(g, ringCfg)
+	if pressure.Makespan > random.Makespan {
+		t.Errorf("pressure makespan %d worse than random %d under expensive comm", pressure.Makespan, random.Makespan)
+	}
+}
+
+func TestMoreProcessorsNeverSlower(t *testing.T) {
+	// With BestFit, growing the machine must not increase makespan (the
+	// scheduler can always ignore extra PEs). This mirrors Table II vs III:
+	// the 27-node cube achieves higher speedups than the 8-node hypercube.
+	r := rand.New(rand.NewSource(5))
+	g := randomDAG(r, 200)
+	small := Schedule(g, Config{Topo: topo.NewComplete(4), HopDelay: 1, Policy: PolicyBestFit})
+	large := Schedule(g, Config{Topo: topo.NewComplete(16), HopDelay: 1, Policy: PolicyBestFit})
+	if large.Makespan > small.Makespan {
+		t.Errorf("16 PEs makespan %d > 4 PEs %d", large.Makespan, small.Makespan)
+	}
+}
+
+func TestZeroHopDelayMatchesModeOneOnWideMachine(t *testing.T) {
+	// With free communication and at least MaxWidth PEs, bestfit should hit
+	// the critical path exactly: that is mode 1.
+	g := forkJoinGraph(12)
+	p := g.Analyze()
+	res := Schedule(g, Config{Topo: topo.NewComplete(p.MaxWidth), HopDelay: 0, Policy: PolicyBestFit})
+	if res.Makespan != p.Depth {
+		t.Errorf("makespan = %d, want depth %d", res.Makespan, p.Depth)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for _, pol := range allPolicies() {
+		if s := pol.String(); s == "" || s[0] == 'P' {
+			t.Errorf("policy string %q", s)
+		}
+	}
+	if s := Policy(99).String(); s != "Policy(99)" {
+		t.Errorf("unknown policy string %q", s)
+	}
+}
+
+// randomDAG builds a graph of n tasks with random dependencies on earlier
+// tasks.
+func randomDAG(r *rand.Rand, n int) *trace.Graph {
+	g := trace.New()
+	var ids []trace.TaskID
+	for i := 0; i < n; i++ {
+		var deps []trace.TaskID
+		for j := 0; j < r.Intn(3); j++ {
+			if len(ids) > 0 {
+				deps = append(deps, ids[r.Intn(len(ids))])
+			}
+		}
+		ids = append(ids, g.Task(trace.KindOther, deps...))
+	}
+	return g
+}
+
+func TestPropertySchedulesAreValid(t *testing.T) {
+	// For random DAGs, topologies and policies: makespan within
+	// [max(critical path, work/P), work + comm slack] and speedup <= P.
+	f := func(seed int64, polPick, topoPick uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 80)
+		pols := allPolicies()
+		topos := []topo.Topology{
+			topo.NewHypercube(2), topo.NewMesh3D(2, 2, 2), topo.NewRing(4),
+			topo.NewStar(4), topo.NewComplete(5),
+		}
+		tp := topos[int(topoPick)%len(topos)]
+		delay := int(seed % 3)
+		if delay < 0 {
+			delay = -delay
+		}
+		cfg := Config{
+			Topo:     tp,
+			HopDelay: delay,
+			Policy:   pols[int(polPick)%len(pols)],
+			Seed:     seed,
+		}
+		res := Schedule(g, cfg)
+		if res.Makespan < res.CriticalPath {
+			return false
+		}
+		if res.Speedup > float64(tp.Size())+1e-9 {
+			return false
+		}
+		total := 0
+		for _, b := range res.PEBusy {
+			total += b
+		}
+		return total == res.Work
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegativeHopDelayPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"static":  func() { Schedule(chainGraph(2), Config{Topo: topo.NewRing(2), HopDelay: -1}) },
+		"dynamic": func() { ScheduleDynamic(chainGraph(2), Config{Topo: topo.NewRing(2), HopDelay: -1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: negative HopDelay did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"container/heap"
+
+	"funcdb/internal/trace"
+)
+
+// ScheduleDynamic is the discrete-event counterpart of Schedule: instead of
+// placing tasks in a precomputed order, it simulates Rediflow's dynamic
+// execution. Keller & Lin [14] describe the load-management problem as
+// "overloaded PEs can export portions of their activity backlog to less
+// burdened neighbors"; here that is literal:
+//
+//   - A task is enabled when its last dependency completes, and joins the
+//     backlog of the PE where that dependency ran (its data's home).
+//   - Root tasks are dealt round-robin at time zero.
+//   - A PE starting a task charges each input's transfer from the PE that
+//     produced it (HopDelay x hops).
+//   - After every completion, a PE with excess backlog exports queued tasks
+//     to idle empty neighbors, one hop down the pressure gradient; the
+//     exported task pays one hop of delay before it can start.
+//
+// The policy field of cfg is ignored (diffusion is the policy). Result's
+// CommEvents/CommHops count input transfers, and Steals counts exports.
+func ScheduleDynamic(g *trace.Graph, cfg Config) Result {
+	if cfg.Topo == nil {
+		panic("sched: Config.Topo is required")
+	}
+	if cfg.HopDelay < 0 {
+		panic("sched: negative HopDelay")
+	}
+	if cfg.TaskLen <= 0 {
+		cfg.TaskLen = 1
+	}
+	nPE := cfg.Topo.Size()
+	_, deps := g.Snapshot()
+	n := len(deps)
+	res := Result{
+		Work:         n * cfg.TaskLen,
+		CriticalPath: g.CriticalPath() * cfg.TaskLen,
+		PEBusy:       make([]int, nPE),
+	}
+	if n == 0 {
+		return res
+	}
+
+	// Successor lists and dependency counters.
+	succs := make([][]int32, n)
+	remaining := make([]int32, n)
+	for i, ds := range deps {
+		remaining[i] = int32(len(ds))
+		for _, d := range ds {
+			di := int32(d) - 1
+			succs[di] = append(succs[di], int32(i))
+		}
+	}
+
+	finish := make([]int, n)
+	peOf := make([]int, n)
+	// extraReady[t] delays a task's start beyond its inputs (export hop).
+	extraReady := make([]int, n)
+	queues := make([][]int32, nPE) // FIFO backlogs
+	busy := make([]bool, nPE)
+
+	events := &eventHeap{}
+	heap.Init(events)
+
+	// readyOn computes when task i could start on PE p (inputs shipped).
+	readyOn := func(i int, p int, now int) int {
+		start := now
+		if extraReady[i] > start {
+			start = extraReady[i]
+		}
+		for _, d := range deps[i] {
+			di := int(d) - 1
+			arrive := finish[di] + cfg.HopDelay*cfg.Topo.Hops(peOf[di], p)
+			if arrive > start {
+				start = arrive
+			}
+		}
+		return start
+	}
+
+	var tryStart func(p int, now int)
+	tryStart = func(p int, now int) {
+		if busy[p] || len(queues[p]) == 0 {
+			return
+		}
+		task := queues[p][0]
+		queues[p] = queues[p][1:]
+		start := readyOn(int(task), p, now)
+		end := start + cfg.TaskLen
+		busy[p] = true
+		finish[task] = end
+		peOf[task] = p
+		res.PEBusy[p] += cfg.TaskLen
+		for _, d := range deps[task] {
+			if h := cfg.Topo.Hops(peOf[int(d)-1], p); h > 0 {
+				res.CommEvents++
+				res.CommHops += h
+			}
+		}
+		heap.Push(events, event{t: end, pe: p, task: task})
+	}
+
+	// diffuse exports backlog from p to idle, empty neighbors — the
+	// pressure gradient at work.
+	diffuse := func(p int, now int) {
+		if len(queues[p]) <= 1 {
+			return
+		}
+		for _, nb := range cfg.Topo.Neighbors(p) {
+			if len(queues[p]) <= 1 {
+				return
+			}
+			if busy[nb] || len(queues[nb]) > 0 {
+				continue
+			}
+			// Export the newest queued task (the oldest stays for p).
+			last := len(queues[p]) - 1
+			task := queues[p][last]
+			queues[p] = queues[p][:last]
+			if t := now + cfg.HopDelay; t > extraReady[task] {
+				extraReady[task] = t
+			}
+			queues[nb] = append(queues[nb], task)
+			res.Steals++
+			tryStart(nb, now)
+		}
+	}
+
+	// Seed the roots round-robin.
+	rr := 0
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			queues[rr%nPE] = append(queues[rr%nPE], int32(i))
+			rr++
+		}
+	}
+	for p := 0; p < nPE; p++ {
+		tryStart(p, 0)
+	}
+	for p := 0; p < nPE; p++ {
+		diffuse(p, 0)
+	}
+
+	// Event loop.
+	done := 0
+	for events.Len() > 0 {
+		ev := heap.Pop(events).(event)
+		p, t := ev.pe, ev.t
+		busy[p] = false
+		done++
+		if t > res.Makespan {
+			res.Makespan = t
+		}
+		// Enable successors; they join this PE's backlog when this was
+		// their last outstanding dependency.
+		for _, s := range succs[ev.task] {
+			remaining[s]--
+			if remaining[s] == 0 {
+				queues[p] = append(queues[p], s)
+			}
+		}
+		tryStart(p, t)
+		diffuse(p, t)
+	}
+	if done != n {
+		panic("sched: dynamic simulation deadlocked (cyclic graph?)")
+	}
+
+	res.Speedup = float64(res.Work) / float64(res.Makespan)
+	res.Efficiency = res.Speedup / float64(nPE)
+	return res
+}
+
+// event is one task completion.
+type event struct {
+	t    int
+	pe   int
+	task int32
+}
+
+// eventHeap orders events by time (ties by PE then task for determinism).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	if h[i].pe != h[j].pe {
+		return h[i].pe < h[j].pe
+	}
+	return h[i].task < h[j].task
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

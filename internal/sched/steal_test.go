@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/topo"
+	"funcdb/internal/trace"
+)
+
+func TestDynamicEmptyGraph(t *testing.T) {
+	res := ScheduleDynamic(trace.New(), Config{Topo: topo.NewComplete(4)})
+	if res.Makespan != 0 || res.Work != 0 {
+		t.Errorf("empty result = %+v", res)
+	}
+}
+
+func TestDynamicNilTopoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil topo did not panic")
+		}
+	}()
+	ScheduleDynamic(trace.New(), Config{})
+}
+
+func TestDynamicChainIsSequential(t *testing.T) {
+	res := ScheduleDynamic(chainGraph(20), Config{Topo: topo.NewHypercube(3), HopDelay: 2})
+	if res.Makespan != 20 {
+		t.Errorf("chain makespan = %d, want 20", res.Makespan)
+	}
+	if res.CommEvents != 0 {
+		t.Errorf("chain communicated %d times", res.CommEvents)
+	}
+	// A chain offers nothing to export: successors enable on the only busy
+	// PE with an empty backlog.
+	if res.Steals != 0 {
+		t.Errorf("chain stole %d times", res.Steals)
+	}
+}
+
+func TestDynamicFloodSpreads(t *testing.T) {
+	res := ScheduleDynamic(floodGraph(64), Config{Topo: topo.NewHypercube(3), HopDelay: 1})
+	if res.Makespan != 8 {
+		t.Errorf("flood makespan = %d, want 8 (64 tasks on 8 PEs)", res.Makespan)
+	}
+	if res.Speedup != 8 {
+		t.Errorf("flood speedup = %v", res.Speedup)
+	}
+}
+
+func TestDynamicForkJoinDiffuses(t *testing.T) {
+	// A root spawning 30 children: the children all enable on the root's
+	// PE; diffusion must export work to neighbors.
+	res := ScheduleDynamic(forkJoinGraph(30), Config{Topo: topo.NewHypercube(3), HopDelay: 1})
+	if res.Steals == 0 {
+		t.Error("no diffusion on a fork-join burst")
+	}
+	// With 8 PEs and diffusion the fan-out phase must beat serial.
+	if res.Makespan >= 32 {
+		t.Errorf("makespan = %d: diffusion failed (serial would be 32)", res.Makespan)
+	}
+	if res.Makespan < res.CriticalPath {
+		t.Errorf("makespan %d below critical path %d", res.Makespan, res.CriticalPath)
+	}
+}
+
+func TestDynamicBusyAccounting(t *testing.T) {
+	res := ScheduleDynamic(forkJoinGraph(17), Config{Topo: topo.NewHypercube(2), HopDelay: 1})
+	total := 0
+	for _, b := range res.PEBusy {
+		total += b
+	}
+	if total != res.Work {
+		t.Errorf("busy sum %d != work %d", total, res.Work)
+	}
+}
+
+func TestDynamicDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	g := randomDAG(r, 300)
+	cfg := Config{Topo: topo.NewMesh3D(3, 3, 3), HopDelay: 1}
+	a := ScheduleDynamic(g, cfg)
+	b := ScheduleDynamic(g, cfg)
+	if a.Makespan != b.Makespan || a.Steals != b.Steals || a.CommHops != b.CommHops {
+		t.Errorf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDynamicComparableToStatic(t *testing.T) {
+	// The dynamic scheduler has less information than the static one (no
+	// lookahead), but on the paper-like DAGs it should stay within a factor
+	// of the pressure list scheduler.
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 10; trial++ {
+		g := randomDAG(r, 250)
+		cfg := Config{Topo: topo.NewHypercube(3), HopDelay: 1}
+		static := Schedule(g, cfg)
+		dynamic := ScheduleDynamic(g, cfg)
+		if dynamic.Makespan > static.Makespan*3 {
+			t.Errorf("trial %d: dynamic %d vs static %d", trial, dynamic.Makespan, static.Makespan)
+		}
+	}
+}
+
+func TestPropertyDynamicBounds(t *testing.T) {
+	f := func(seed int64, topoPick uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randomDAG(r, 100)
+		topos := []topo.Topology{
+			topo.NewHypercube(2), topo.NewMesh3D(2, 2, 2), topo.NewRing(4), topo.NewComplete(5),
+		}
+		tp := topos[int(topoPick)%len(topos)]
+		delay := int(seed % 3)
+		if delay < 0 {
+			delay = -delay
+		}
+		res := ScheduleDynamic(g, Config{Topo: tp, HopDelay: delay})
+		if res.Makespan < res.CriticalPath {
+			return false
+		}
+		if lb := (res.Work + tp.Size() - 1) / tp.Size(); res.Makespan < lb {
+			return false
+		}
+		if res.Speedup > float64(tp.Size())+1e-9 {
+			return false
+		}
+		total := 0
+		for _, b := range res.PEBusy {
+			total += b
+		}
+		return total == res.Work
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,369 @@
+// Package topo models the processing-element interconnection topologies of
+// the paper's mode-2 simulations: the 8-node binary hypercube of Table II,
+// the 27-node (3x3x3) Euclidean cube of Table III, and a few comparison
+// topologies for the ablation studies.
+//
+// A topology exposes hop distances (used by the scheduler to charge
+// communication delay for cross-PE dependencies), neighbor lists (used by
+// the Rediflow-style pressure-diffusion placement policy of Keller & Lin
+// [14]) and explicit routing paths (used by the network substrate and
+// tested against the hop metric).
+package topo
+
+import "fmt"
+
+// Topology describes a set of PEs numbered 0..Size-1 and their
+// interconnection.
+type Topology interface {
+	// Name identifies the topology for reports, e.g. "hypercube(3)".
+	Name() string
+	// Size is the number of PEs.
+	Size() int
+	// Hops returns the minimum number of link traversals from a to b.
+	Hops(a, b int) int
+	// Neighbors returns the PEs directly linked to p.
+	Neighbors(p int) []int
+}
+
+// Hypercube is a binary hypercube of the given dimension: 2^dim PEs, with
+// PEs adjacent iff their indices differ in exactly one bit. Table II uses
+// Hypercube(3) — the paper's "8-node binary hypercube".
+type Hypercube struct {
+	dim int
+}
+
+// NewHypercube builds a hypercube of dimension dim >= 0.
+func NewHypercube(dim int) Hypercube {
+	if dim < 0 || dim > 20 {
+		panic(fmt.Sprintf("topo: hypercube dimension %d out of range", dim))
+	}
+	return Hypercube{dim: dim}
+}
+
+// Name implements Topology.
+func (h Hypercube) Name() string { return fmt.Sprintf("hypercube(%d)", h.dim) }
+
+// Size implements Topology.
+func (h Hypercube) Size() int { return 1 << h.dim }
+
+// Dim returns the hypercube's dimension.
+func (h Hypercube) Dim() int { return h.dim }
+
+// Hops is the Hamming distance between the PE indices.
+func (h Hypercube) Hops(a, b int) int {
+	h.check(a)
+	h.check(b)
+	x := uint(a ^ b)
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Neighbors returns the PEs differing from p in one bit.
+func (h Hypercube) Neighbors(p int) []int {
+	h.check(p)
+	out := make([]int, 0, h.dim)
+	for d := 0; d < h.dim; d++ {
+		out = append(out, p^(1<<d))
+	}
+	return out
+}
+
+func (h Hypercube) check(p int) {
+	if p < 0 || p >= h.Size() {
+		panic(fmt.Sprintf("topo: PE %d out of range for %s", p, h.Name()))
+	}
+}
+
+// Mesh3D is an X x Y x Z Euclidean mesh (no wraparound): PEs adjacent iff
+// their coordinates differ by one in exactly one axis. Table III uses
+// Mesh3D(3,3,3) — the paper's "27 node (Euclidean) cube".
+type Mesh3D struct {
+	x, y, z int
+}
+
+// NewMesh3D builds a mesh with the given positive extents.
+func NewMesh3D(x, y, z int) Mesh3D {
+	if x <= 0 || y <= 0 || z <= 0 {
+		panic(fmt.Sprintf("topo: mesh extents (%d,%d,%d) must be positive", x, y, z))
+	}
+	return Mesh3D{x: x, y: y, z: z}
+}
+
+// Name implements Topology.
+func (m Mesh3D) Name() string { return fmt.Sprintf("mesh(%dx%dx%d)", m.x, m.y, m.z) }
+
+// Size implements Topology.
+func (m Mesh3D) Size() int { return m.x * m.y * m.z }
+
+// Coords maps a PE index to its (x,y,z) coordinates.
+func (m Mesh3D) Coords(p int) (int, int, int) {
+	m.check(p)
+	return p % m.x, (p / m.x) % m.y, p / (m.x * m.y)
+}
+
+// Index maps coordinates to a PE index.
+func (m Mesh3D) Index(x, y, z int) int {
+	if x < 0 || x >= m.x || y < 0 || y >= m.y || z < 0 || z >= m.z {
+		panic(fmt.Sprintf("topo: coords (%d,%d,%d) out of range for %s", x, y, z, m.Name()))
+	}
+	return x + m.x*(y+m.y*z)
+}
+
+// Hops is the Manhattan distance between PE coordinates.
+func (m Mesh3D) Hops(a, b int) int {
+	ax, ay, az := m.Coords(a)
+	bx, by, bz := m.Coords(b)
+	return abs(ax-bx) + abs(ay-by) + abs(az-bz)
+}
+
+// Neighbors returns the axis-adjacent PEs.
+func (m Mesh3D) Neighbors(p int) []int {
+	x, y, z := m.Coords(p)
+	out := make([]int, 0, 6)
+	if x > 0 {
+		out = append(out, m.Index(x-1, y, z))
+	}
+	if x < m.x-1 {
+		out = append(out, m.Index(x+1, y, z))
+	}
+	if y > 0 {
+		out = append(out, m.Index(x, y-1, z))
+	}
+	if y < m.y-1 {
+		out = append(out, m.Index(x, y+1, z))
+	}
+	if z > 0 {
+		out = append(out, m.Index(x, y, z-1))
+	}
+	if z < m.z-1 {
+		out = append(out, m.Index(x, y, z+1))
+	}
+	return out
+}
+
+func (m Mesh3D) check(p int) {
+	if p < 0 || p >= m.Size() {
+		panic(fmt.Sprintf("topo: PE %d out of range for %s", p, m.Name()))
+	}
+}
+
+// Ring is a cycle of n PEs; hop distance is the shorter way around.
+type Ring struct {
+	n int
+}
+
+// NewRing builds a ring of n >= 1 PEs.
+func NewRing(n int) Ring {
+	if n < 1 {
+		panic("topo: ring size must be >= 1")
+	}
+	return Ring{n: n}
+}
+
+// Name implements Topology.
+func (r Ring) Name() string { return fmt.Sprintf("ring(%d)", r.n) }
+
+// Size implements Topology.
+func (r Ring) Size() int { return r.n }
+
+// Hops implements Topology.
+func (r Ring) Hops(a, b int) int {
+	r.check(a)
+	r.check(b)
+	d := abs(a - b)
+	if other := r.n - d; other < d {
+		return other
+	}
+	return d
+}
+
+// Neighbors implements Topology.
+func (r Ring) Neighbors(p int) []int {
+	r.check(p)
+	if r.n == 1 {
+		return nil
+	}
+	if r.n == 2 {
+		return []int{1 - p}
+	}
+	return []int{(p + r.n - 1) % r.n, (p + 1) % r.n}
+}
+
+func (r Ring) check(p int) {
+	if p < 0 || p >= r.n {
+		panic(fmt.Sprintf("topo: PE %d out of range for %s", p, r.Name()))
+	}
+}
+
+// Star has PE 0 as a hub connected to every other PE; leaves reach each
+// other through the hub. It models the primary-site bottleneck in the
+// extreme.
+type Star struct {
+	n int
+}
+
+// NewStar builds a star of n >= 1 PEs (PE 0 is the hub).
+func NewStar(n int) Star {
+	if n < 1 {
+		panic("topo: star size must be >= 1")
+	}
+	return Star{n: n}
+}
+
+// Name implements Topology.
+func (s Star) Name() string { return fmt.Sprintf("star(%d)", s.n) }
+
+// Size implements Topology.
+func (s Star) Size() int { return s.n }
+
+// Hops implements Topology.
+func (s Star) Hops(a, b int) int {
+	s.check(a)
+	s.check(b)
+	switch {
+	case a == b:
+		return 0
+	case a == 0 || b == 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Neighbors implements Topology.
+func (s Star) Neighbors(p int) []int {
+	s.check(p)
+	if p == 0 {
+		out := make([]int, 0, s.n-1)
+		for i := 1; i < s.n; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+	return []int{0}
+}
+
+func (s Star) check(p int) {
+	if p < 0 || p >= s.n {
+		panic(fmt.Sprintf("topo: PE %d out of range for %s", p, s.Name()))
+	}
+}
+
+// Complete is a fully connected set of n PEs: every pair one hop apart. It
+// is the "communication is cheap" end of the ablation spectrum.
+type Complete struct {
+	n int
+}
+
+// NewComplete builds a complete graph of n >= 1 PEs.
+func NewComplete(n int) Complete {
+	if n < 1 {
+		panic("topo: complete size must be >= 1")
+	}
+	return Complete{n: n}
+}
+
+// Name implements Topology.
+func (c Complete) Name() string { return fmt.Sprintf("complete(%d)", c.n) }
+
+// Size implements Topology.
+func (c Complete) Size() int { return c.n }
+
+// Hops implements Topology.
+func (c Complete) Hops(a, b int) int {
+	c.check(a)
+	c.check(b)
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+// Neighbors implements Topology.
+func (c Complete) Neighbors(p int) []int {
+	c.check(p)
+	out := make([]int, 0, c.n-1)
+	for i := 0; i < c.n; i++ {
+		if i != p {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (c Complete) check(p int) {
+	if p < 0 || p >= c.n {
+		panic(fmt.Sprintf("topo: PE %d out of range for %s", p, c.Name()))
+	}
+}
+
+// Diameter returns the maximum hop distance over all PE pairs.
+func Diameter(t Topology) int {
+	d := 0
+	for a := 0; a < t.Size(); a++ {
+		for b := a + 1; b < t.Size(); b++ {
+			if h := t.Hops(a, b); h > d {
+				d = h
+			}
+		}
+	}
+	return d
+}
+
+// AvgHops returns the mean hop distance over distinct ordered PE pairs, or
+// zero for a single PE.
+func AvgHops(t Topology) float64 {
+	n := t.Size()
+	if n < 2 {
+		return 0
+	}
+	sum, pairs := 0, 0
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a != b {
+				sum += t.Hops(a, b)
+				pairs++
+			}
+		}
+	}
+	return float64(sum) / float64(pairs)
+}
+
+// Route returns a minimal path from a to b inclusive of both endpoints,
+// using dimension-ordered routing for hypercubes, axis-ordered (XYZ)
+// routing for meshes, and greedy neighbor descent otherwise.
+func Route(t Topology, a, b int) []int {
+	path := []int{a}
+	cur := a
+	for cur != b {
+		next := -1
+		bestHops := t.Hops(cur, b)
+		for _, n := range t.Neighbors(cur) {
+			if h := t.Hops(n, b); h < bestHops {
+				next, bestHops = n, h
+				// Taking the first improving neighbor yields
+				// dimension-ordered routing for hypercubes (lowest differing
+				// bit first) and X-then-Y-then-Z routing for meshes, because
+				// Neighbors enumerates axes in order.
+				break
+			}
+		}
+		if next < 0 {
+			panic(fmt.Sprintf("topo: no improving neighbor from %d toward %d in %s", cur, b, t.Name()))
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,323 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allTopologies() []Topology {
+	return []Topology{
+		NewHypercube(0),
+		NewHypercube(1),
+		NewHypercube(3),
+		NewMesh3D(3, 3, 3),
+		NewMesh3D(1, 1, 1),
+		NewMesh3D(4, 2, 1),
+		NewRing(1),
+		NewRing(2),
+		NewRing(5),
+		NewStar(1),
+		NewStar(6),
+		NewComplete(1),
+		NewComplete(7),
+	}
+}
+
+func TestSizes(t *testing.T) {
+	tests := []struct {
+		topo Topology
+		want int
+	}{
+		{NewHypercube(3), 8},
+		{NewHypercube(0), 1},
+		{NewMesh3D(3, 3, 3), 27},
+		{NewMesh3D(2, 3, 4), 24},
+		{NewRing(5), 5},
+		{NewStar(6), 6},
+		{NewComplete(7), 7},
+	}
+	for _, tc := range tests {
+		if got := tc.topo.Size(); got != tc.want {
+			t.Errorf("%s Size = %d, want %d", tc.topo.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestHypercubeHops(t *testing.T) {
+	h := NewHypercube(3)
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 7, 3},
+		{5, 6, 2}, // 101 ^ 110 = 011
+		{3, 4, 3}, // 011 ^ 100 = 111
+	}
+	for _, tc := range tests {
+		if got := h.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHypercubeNeighbors(t *testing.T) {
+	h := NewHypercube(3)
+	n := h.Neighbors(5) // 101 -> 100, 111, 001
+	want := map[int]bool{4: true, 7: true, 1: true}
+	if len(n) != 3 {
+		t.Fatalf("Neighbors(5) = %v", n)
+	}
+	for _, v := range n {
+		if !want[v] {
+			t.Errorf("unexpected neighbor %d", v)
+		}
+	}
+}
+
+func TestMeshCoordsRoundTrip(t *testing.T) {
+	m := NewMesh3D(3, 4, 5)
+	for p := 0; p < m.Size(); p++ {
+		x, y, z := m.Coords(p)
+		if got := m.Index(x, y, z); got != p {
+			t.Errorf("Index(Coords(%d)) = %d", p, got)
+		}
+	}
+}
+
+func TestMeshHops(t *testing.T) {
+	m := NewMesh3D(3, 3, 3)
+	if got := m.Hops(m.Index(0, 0, 0), m.Index(2, 2, 2)); got != 6 {
+		t.Errorf("corner-to-corner hops = %d, want 6", got)
+	}
+	if got := m.Hops(m.Index(1, 1, 1), m.Index(1, 1, 1)); got != 0 {
+		t.Errorf("self hops = %d", got)
+	}
+	if got := m.Hops(m.Index(1, 1, 1), m.Index(2, 1, 1)); got != 1 {
+		t.Errorf("adjacent hops = %d", got)
+	}
+}
+
+func TestMeshNeighborCounts(t *testing.T) {
+	m := NewMesh3D(3, 3, 3)
+	// Corner has 3 neighbors, center has 6.
+	if got := len(m.Neighbors(m.Index(0, 0, 0))); got != 3 {
+		t.Errorf("corner degree = %d, want 3", got)
+	}
+	if got := len(m.Neighbors(m.Index(1, 1, 1))); got != 6 {
+		t.Errorf("center degree = %d, want 6", got)
+	}
+	if got := len(m.Neighbors(m.Index(1, 0, 0))); got != 4 {
+		t.Errorf("edge degree = %d, want 4", got)
+	}
+}
+
+func TestRingHops(t *testing.T) {
+	r := NewRing(6)
+	tests := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 3}, {0, 5, 1}, {1, 4, 3}, {5, 1, 2},
+	}
+	for _, tc := range tests {
+		if got := r.Hops(tc.a, tc.b); got != tc.want {
+			t.Errorf("Hops(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRingSmall(t *testing.T) {
+	if n := NewRing(1).Neighbors(0); len(n) != 0 {
+		t.Errorf("ring(1) neighbors = %v", n)
+	}
+	if n := NewRing(2).Neighbors(0); len(n) != 1 || n[0] != 1 {
+		t.Errorf("ring(2) neighbors = %v", n)
+	}
+}
+
+func TestStar(t *testing.T) {
+	s := NewStar(5)
+	if got := s.Hops(1, 2); got != 2 {
+		t.Errorf("leaf-leaf hops = %d, want 2", got)
+	}
+	if got := s.Hops(0, 3); got != 1 {
+		t.Errorf("hub-leaf hops = %d, want 1", got)
+	}
+	if got := len(s.Neighbors(0)); got != 4 {
+		t.Errorf("hub degree = %d, want 4", got)
+	}
+	if got := s.Neighbors(2); len(got) != 1 || got[0] != 0 {
+		t.Errorf("leaf neighbors = %v", got)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	c := NewComplete(4)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			want := 1
+			if a == b {
+				want = 0
+			}
+			if got := c.Hops(a, b); got != want {
+				t.Errorf("Hops(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	if got := len(c.Neighbors(2)); got != 3 {
+		t.Errorf("degree = %d", got)
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	tests := []struct {
+		topo Topology
+		want int
+	}{
+		{NewHypercube(3), 3},
+		{NewMesh3D(3, 3, 3), 6},
+		{NewRing(6), 3},
+		{NewRing(5), 2},
+		{NewStar(5), 2},
+		{NewComplete(9), 1},
+		{NewComplete(1), 0},
+	}
+	for _, tc := range tests {
+		if got := Diameter(tc.topo); got != tc.want {
+			t.Errorf("%s Diameter = %d, want %d", tc.topo.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestAvgHopsBounds(t *testing.T) {
+	for _, tp := range allTopologies() {
+		avg := AvgHops(tp)
+		d := Diameter(tp)
+		if tp.Size() < 2 {
+			if avg != 0 {
+				t.Errorf("%s AvgHops = %v for single PE", tp.Name(), avg)
+			}
+			continue
+		}
+		if avg <= 0 || avg > float64(d) {
+			t.Errorf("%s AvgHops = %v outside (0, %d]", tp.Name(), avg, d)
+		}
+	}
+}
+
+func TestHopsMetricProperties(t *testing.T) {
+	// Identity, symmetry, triangle inequality on every topology.
+	for _, tp := range allTopologies() {
+		n := tp.Size()
+		for a := 0; a < n; a++ {
+			if tp.Hops(a, a) != 0 {
+				t.Errorf("%s: Hops(%d,%d) != 0", tp.Name(), a, a)
+			}
+			for b := 0; b < n; b++ {
+				if tp.Hops(a, b) != tp.Hops(b, a) {
+					t.Errorf("%s: Hops not symmetric at (%d,%d)", tp.Name(), a, b)
+				}
+				if a != b && tp.Hops(a, b) < 1 {
+					t.Errorf("%s: distinct PEs at distance %d", tp.Name(), tp.Hops(a, b))
+				}
+			}
+		}
+		// Triangle inequality on sampled triples (full cube is O(n^3)).
+		r := rand.New(rand.NewSource(7))
+		for i := 0; i < 200 && n > 0; i++ {
+			a, b, c := r.Intn(n), r.Intn(n), r.Intn(n)
+			if tp.Hops(a, c) > tp.Hops(a, b)+tp.Hops(b, c) {
+				t.Errorf("%s: triangle inequality violated (%d,%d,%d)", tp.Name(), a, b, c)
+			}
+		}
+	}
+}
+
+func TestNeighborsConsistentWithHops(t *testing.T) {
+	// Every neighbor is at distance exactly 1, and every PE at distance 1
+	// appears in Neighbors.
+	for _, tp := range allTopologies() {
+		n := tp.Size()
+		for p := 0; p < n; p++ {
+			seen := map[int]bool{}
+			for _, q := range tp.Neighbors(p) {
+				if tp.Hops(p, q) != 1 {
+					t.Errorf("%s: neighbor %d of %d at distance %d", tp.Name(), q, p, tp.Hops(p, q))
+				}
+				if q == p {
+					t.Errorf("%s: PE %d is its own neighbor", tp.Name(), p)
+				}
+				if seen[q] {
+					t.Errorf("%s: duplicate neighbor %d of %d", tp.Name(), q, p)
+				}
+				seen[q] = true
+			}
+			for q := 0; q < n; q++ {
+				if tp.Hops(p, q) == 1 && !seen[q] {
+					t.Errorf("%s: %d at distance 1 from %d but not a neighbor", tp.Name(), q, p)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteLengthEqualsHops(t *testing.T) {
+	for _, tp := range allTopologies() {
+		n := tp.Size()
+		r := rand.New(rand.NewSource(11))
+		for i := 0; i < 100; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			path := Route(tp, a, b)
+			if path[0] != a || path[len(path)-1] != b {
+				t.Fatalf("%s: Route(%d,%d) endpoints wrong: %v", tp.Name(), a, b, path)
+			}
+			if got, want := len(path)-1, tp.Hops(a, b); got != want {
+				t.Errorf("%s: Route(%d,%d) length %d, want %d", tp.Name(), a, b, got, want)
+			}
+			for j := 0; j+1 < len(path); j++ {
+				if tp.Hops(path[j], path[j+1]) != 1 {
+					t.Errorf("%s: route step %d->%d not a link", tp.Name(), path[j], path[j+1])
+				}
+			}
+		}
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"hypercube hops", func() { NewHypercube(2).Hops(0, 4) }},
+		{"mesh coords", func() { NewMesh3D(2, 2, 2).Coords(8) }},
+		{"mesh index", func() { NewMesh3D(2, 2, 2).Index(2, 0, 0) }},
+		{"ring", func() { NewRing(3).Neighbors(3) }},
+		{"star", func() { NewStar(3).Hops(-1, 0) }},
+		{"complete", func() { NewComplete(3).Neighbors(5) }},
+		{"bad hypercube", func() { NewHypercube(-1) }},
+		{"bad mesh", func() { NewMesh3D(0, 1, 1) }},
+		{"bad ring", func() { NewRing(0) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestPropertyHypercubeHopsIsPopcount(t *testing.T) {
+	h := NewHypercube(6)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%64, int(b)%64
+		want := 0
+		for v := uint(x ^ y); v != 0; v &= v - 1 {
+			want++
+		}
+		return h.Hops(x, y) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

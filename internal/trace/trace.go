@@ -1,0 +1,340 @@
+// Package trace records the dataflow task graph of a functional database
+// execution and analyzes its parallelism.
+//
+// It is the reproduction of "mode 1" of the Rediflow simulator used in
+// Section 4 of Keller & Lindstrom 1985: "The first mode assumes an arbitrary
+// degree of parallelism (effectively infinitely-many processors), unit task
+// lengths, and zero communication costs. ... the simulator measures maximum
+// and average concurrency in the form of 'ply width', where a ply is a
+// maximal set of tasks, all of which can be executed in parallel."
+//
+// Every primitive step of the engine (visiting a list cell, constructing a
+// new cell, one merge arbitration, one apply-stream unfolding, building a
+// response, ...) registers one unit task together with the tasks it depends
+// on. Because dependencies always refer to previously created tasks, the
+// recorded graph is a DAG by construction. Ply p is the set of tasks whose
+// longest dependency chain from a root has length p; the width profile of
+// the plies is exactly the paper's concurrency measure.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TaskID names one recorded task. The zero TaskID means "no task" and is
+// accepted (and ignored) anywhere a dependency may be passed, so callers can
+// thread "previous task" values without checking for the untraced case.
+type TaskID int32
+
+// None is the absent task, usable as a dependency placeholder.
+const None TaskID = 0
+
+// Kind classifies a task by the primitive operation it models. Kinds do not
+// affect the analysis (all tasks have unit length, per the paper's mode 1);
+// they exist for reporting, DOT rendering and per-kind statistics.
+type Kind uint8
+
+// Task kinds, one per primitive operation of the engine.
+const (
+	KindOther     Kind = iota // unclassified unit work
+	KindVisit                 // inspecting one cell/node of a structure
+	KindConstruct             // allocating one new cell/node
+	KindCompare               // one key comparison
+	KindDirectory             // building one directory (database version) cell
+	KindMerge                 // one merge arbitration step
+	KindUnfold                // one apply-stream unfolding step
+	KindRespond               // constructing one transaction response
+	KindDispatch              // starting one transaction
+	KindRoute                 // routing one message in the network substrate
+	KindChoose                // one choose selection at a site
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"other", "visit", "construct", "compare", "directory",
+	"merge", "unfold", "respond", "dispatch", "route", "choose",
+}
+
+// String returns the kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// task is one recorded unit task.
+type task struct {
+	kind Kind
+	deps []TaskID
+}
+
+// Graph accumulates tasks. A nil *Graph is a valid "tracing off" graph: all
+// recording methods are no-ops returning None, so engine code can thread a
+// graph unconditionally. Methods are safe for concurrent use.
+type Graph struct {
+	mu    sync.Mutex
+	tasks []task
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// Enabled reports whether the graph records tasks (i.e. is non-nil).
+func (g *Graph) Enabled() bool { return g != nil }
+
+// Task records one unit task of the given kind depending on deps. Zero
+// (None) dependencies are dropped. It returns the new task's ID, or None on
+// a nil graph.
+func (g *Graph) Task(kind Kind, deps ...TaskID) TaskID {
+	if g == nil {
+		return None
+	}
+	var kept []TaskID
+	for _, d := range deps {
+		if d != None {
+			kept = append(kept, d)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, d := range kept {
+		if int(d) > len(g.tasks) {
+			panic(fmt.Sprintf("trace: dependency %d refers to a task that does not exist yet (have %d)", d, len(g.tasks)))
+		}
+	}
+	g.tasks = append(g.tasks, task{kind: kind, deps: kept})
+	return TaskID(len(g.tasks)) // IDs are 1-based; 0 is None
+}
+
+// Join records a no-op task depending on all the given tasks, used to give a
+// single handle for "all of these have happened". With zero or one live
+// dependency it avoids creating a task and returns the dependency directly.
+func (g *Graph) Join(deps ...TaskID) TaskID {
+	if g == nil {
+		return None
+	}
+	live := deps[:0:0]
+	for _, d := range deps {
+		if d != None {
+			live = append(live, d)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return None
+	case 1:
+		return live[0]
+	}
+	return g.Task(KindOther, live...)
+}
+
+// Len returns the number of recorded tasks.
+func (g *Graph) Len() int {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.tasks)
+}
+
+// KindOf returns the kind of task id. It panics on an invalid id.
+func (g *Graph) KindOf(id TaskID) Kind {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tasks[id-1].kind
+}
+
+// Deps returns a copy of the dependencies of task id.
+func (g *Graph) Deps(id TaskID) []TaskID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d := g.tasks[id-1].deps
+	out := make([]TaskID, len(d))
+	copy(out, d)
+	return out
+}
+
+// Plies is the mode-1 analysis result: the paper's concurrency profile.
+type Plies struct {
+	// Widths[p] is the number of tasks whose longest dependency chain has
+	// length p (ply p). len(Widths) is the schedule depth (critical path
+	// length in plies).
+	Widths []int
+	// MaxWidth is the paper's "maximum concurrency": the widest ply.
+	MaxWidth int
+	// AvgWidth is the paper's "average concurrency": total work divided by
+	// depth.
+	AvgWidth float64
+	// Depth is the number of plies (critical path length, in unit tasks).
+	Depth int
+	// Work is the total number of tasks.
+	Work int
+	// KindCounts tallies tasks per kind.
+	KindCounts map[Kind]int
+}
+
+// Analyze levels the DAG: each task is assigned ply = 1 + max ply of its
+// dependencies (roots at ply 0), then plies are tallied into a width
+// profile. This is valid because dependencies always precede dependents in
+// recording order, so a single forward pass suffices.
+func (g *Graph) Analyze() Plies {
+	if g == nil {
+		return Plies{KindCounts: map[Kind]int{}}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	level := make([]int32, len(g.tasks))
+	depth := int32(0)
+	for i, t := range g.tasks {
+		lv := int32(0)
+		for _, d := range t.deps {
+			if dl := level[d-1] + 1; dl > lv {
+				lv = dl
+			}
+		}
+		level[i] = lv
+		if lv > depth {
+			depth = lv
+		}
+	}
+	widths := make([]int, depth+1)
+	for _, lv := range level {
+		widths[lv]++
+	}
+	maxW := 0
+	for _, w := range widths {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	kinds := make(map[Kind]int, numKinds)
+	for _, t := range g.tasks {
+		kinds[t.kind]++
+	}
+	p := Plies{
+		Widths:     widths,
+		MaxWidth:   maxW,
+		Depth:      len(widths),
+		Work:       len(g.tasks),
+		KindCounts: kinds,
+	}
+	if p.Depth > 0 {
+		p.AvgWidth = float64(p.Work) / float64(p.Depth)
+	}
+	return p
+}
+
+// CriticalPath returns the length (in unit tasks) of the longest dependency
+// chain, i.e. the minimum possible schedule length on unlimited processors.
+func (g *Graph) CriticalPath() int { return g.Analyze().Depth }
+
+// Levels returns the ply index of every task, in task order. It is used by
+// the mode-2 scheduler to process tasks in a valid topological order.
+func (g *Graph) Levels() []int32 {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	level := make([]int32, len(g.tasks))
+	for i, t := range g.tasks {
+		lv := int32(0)
+		for _, d := range t.deps {
+			if dl := level[d-1] + 1; dl > lv {
+				lv = dl
+			}
+		}
+		level[i] = lv
+	}
+	return level
+}
+
+// Snapshot returns the raw task table as parallel slices (kinds, deps),
+// giving analysis code (the scheduler) lock-free access to a consistent
+// view. The returned slices are copies.
+func (g *Graph) Snapshot() (kinds []Kind, deps [][]TaskID) {
+	if g == nil {
+		return nil, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	kinds = make([]Kind, len(g.tasks))
+	deps = make([][]TaskID, len(g.tasks))
+	for i, t := range g.tasks {
+		kinds[i] = t.kind
+		d := make([]TaskID, len(t.deps))
+		copy(d, t.deps)
+		deps[i] = d
+	}
+	return kinds, deps
+}
+
+// WriteDOT renders the graph in Graphviz DOT format, one node per task
+// colored by kind, for the figure reproductions. Graphs above a few
+// thousand tasks are unwieldy to render; callers should restrict DOT output
+// to small demonstration runs.
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	if g == nil {
+		_, err := fmt.Fprintln(w, "digraph empty {}")
+		return err
+	}
+	kinds, deps := g.Snapshot()
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontsize=9];\n", title); err != nil {
+		return err
+	}
+	for i, k := range kinds {
+		if _, err := fmt.Fprintf(w, "  t%d [label=\"%d:%s\"];\n", i+1, i+1, k); err != nil {
+			return err
+		}
+	}
+	for i, ds := range deps {
+		for _, d := range ds {
+			if _, err := fmt.Fprintf(w, "  t%d -> t%d;\n", d, i+1); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+// Op is the trace handle returned by one structure-level operation
+// (insert, delete, directory update). It separates two moments that
+// leniency distinguishes:
+//
+//   - Ready: when the operation's *result version* exists as an object and
+//     may be handed to later transactions (the head-cell constructor).
+//     None means the result is a pre-existing object (e.g. a no-op delete).
+//   - Done: when the operation's *outcome* (found/not-found, completion) is
+//     fully determined, gating the response to the submitting user.
+//
+// A strict system would have Ready == Done; the gap between them is exactly
+// the pipelining the paper measures.
+type Op struct {
+	Ready TaskID
+	Done  TaskID
+}
+
+// WidthHistogram summarizes a ply profile as sorted (width, number of plies
+// with that width) pairs, for compact reporting.
+func (p Plies) WidthHistogram() [][2]int {
+	counts := map[int]int{}
+	for _, w := range p.Widths {
+		counts[w]++
+	}
+	keys := make([]int, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][2]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, [2]int{k, counts[k]})
+	}
+	return out
+}

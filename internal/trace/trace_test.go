@@ -1,0 +1,350 @@
+package trace
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNilGraphIsInert(t *testing.T) {
+	var g *Graph
+	if g.Enabled() {
+		t.Error("nil graph reports enabled")
+	}
+	if id := g.Task(KindVisit); id != None {
+		t.Errorf("nil graph Task returned %d, want None", id)
+	}
+	if id := g.Join(1, 2); id != None {
+		t.Errorf("nil graph Join returned %d, want None", id)
+	}
+	if n := g.Len(); n != 0 {
+		t.Errorf("nil graph Len = %d", n)
+	}
+	p := g.Analyze()
+	if p.Work != 0 || p.MaxWidth != 0 || p.Depth != 0 {
+		t.Errorf("nil graph Analyze = %+v", p)
+	}
+	if lv := g.Levels(); lv != nil {
+		t.Errorf("nil graph Levels = %v", lv)
+	}
+}
+
+func TestTaskIDsAreSequential(t *testing.T) {
+	g := New()
+	a := g.Task(KindVisit)
+	b := g.Task(KindVisit, a)
+	c := g.Task(KindConstruct, a, b)
+	if a != 1 || b != 2 || c != 3 {
+		t.Errorf("ids = %d,%d,%d, want 1,2,3", a, b, c)
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d, want 3", g.Len())
+	}
+}
+
+func TestNoneDependenciesDropped(t *testing.T) {
+	g := New()
+	a := g.Task(KindVisit, None, None)
+	if deps := g.Deps(a); len(deps) != 0 {
+		t.Errorf("deps = %v, want empty", deps)
+	}
+	b := g.Task(KindVisit, None, a, None)
+	if deps := g.Deps(b); len(deps) != 1 || deps[0] != a {
+		t.Errorf("deps = %v, want [%d]", deps, a)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	g := New()
+	a := g.Task(KindVisit)
+	b := g.Task(KindVisit)
+
+	if got := g.Join(); got != None {
+		t.Errorf("Join() = %d, want None", got)
+	}
+	if got := g.Join(None); got != None {
+		t.Errorf("Join(None) = %d, want None", got)
+	}
+	if got := g.Join(a); got != a {
+		t.Errorf("Join(a) = %d, want %d (no task created)", got, a)
+	}
+	if got := g.Join(a, None); got != a {
+		t.Errorf("Join(a, None) = %d, want %d", got, a)
+	}
+	before := g.Len()
+	j := g.Join(a, b)
+	if g.Len() != before+1 {
+		t.Error("Join(a,b) did not create exactly one task")
+	}
+	deps := g.Deps(j)
+	if len(deps) != 2 {
+		t.Errorf("join deps = %v", deps)
+	}
+}
+
+func TestForwardReferencePanics(t *testing.T) {
+	g := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("forward dependency did not panic")
+		}
+	}()
+	g.Task(KindVisit, TaskID(99))
+}
+
+func TestAnalyzeChain(t *testing.T) {
+	// A pure chain of n tasks: depth n, every ply width 1.
+	g := New()
+	prev := None
+	const n = 10
+	for i := 0; i < n; i++ {
+		prev = g.Task(KindVisit, prev)
+	}
+	p := g.Analyze()
+	if p.Depth != n {
+		t.Errorf("Depth = %d, want %d", p.Depth, n)
+	}
+	if p.MaxWidth != 1 {
+		t.Errorf("MaxWidth = %d, want 1", p.MaxWidth)
+	}
+	if p.AvgWidth != 1 {
+		t.Errorf("AvgWidth = %v, want 1", p.AvgWidth)
+	}
+	if p.Work != n {
+		t.Errorf("Work = %d, want %d", p.Work, n)
+	}
+}
+
+func TestAnalyzeFlood(t *testing.T) {
+	// n independent tasks: depth 1, width n.
+	g := New()
+	const n = 17
+	for i := 0; i < n; i++ {
+		g.Task(KindCompare)
+	}
+	p := g.Analyze()
+	if p.Depth != 1 || p.MaxWidth != n || p.AvgWidth != n {
+		t.Errorf("flood analysis = %+v", p)
+	}
+}
+
+func TestAnalyzeDiamond(t *testing.T) {
+	//    a
+	//   / \
+	//  b   c
+	//   \ /
+	//    d
+	g := New()
+	a := g.Task(KindVisit)
+	b := g.Task(KindVisit, a)
+	c := g.Task(KindVisit, a)
+	d := g.Task(KindVisit, b, c)
+	_ = d
+	p := g.Analyze()
+	if p.Depth != 3 {
+		t.Errorf("Depth = %d, want 3", p.Depth)
+	}
+	wantWidths := []int{1, 2, 1}
+	for i, w := range wantWidths {
+		if p.Widths[i] != w {
+			t.Errorf("Widths[%d] = %d, want %d", i, p.Widths[i], w)
+		}
+	}
+	if p.MaxWidth != 2 {
+		t.Errorf("MaxWidth = %d, want 2", p.MaxWidth)
+	}
+}
+
+func TestAnalyzeWavefront(t *testing.T) {
+	// Two chains of length n where chain 2's step i depends on chain 1's
+	// step i (a pipeline wavefront). Depth should be n+1 and the interior
+	// plies should have width 2.
+	g := New()
+	const n = 8
+	chain1 := make([]TaskID, n)
+	prev := None
+	for i := 0; i < n; i++ {
+		prev = g.Task(KindVisit, prev)
+		chain1[i] = prev
+	}
+	prev = None
+	for i := 0; i < n; i++ {
+		prev = g.Task(KindVisit, prev, chain1[i])
+	}
+	p := g.Analyze()
+	if p.Depth != n+1 {
+		t.Errorf("Depth = %d, want %d", p.Depth, n+1)
+	}
+	if p.MaxWidth != 2 {
+		t.Errorf("MaxWidth = %d, want 2", p.MaxWidth)
+	}
+}
+
+func TestKindCounts(t *testing.T) {
+	g := New()
+	g.Task(KindVisit)
+	g.Task(KindVisit)
+	g.Task(KindMerge)
+	p := g.Analyze()
+	if p.KindCounts[KindVisit] != 2 || p.KindCounts[KindMerge] != 1 {
+		t.Errorf("KindCounts = %v", p.KindCounts)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "Kind(") {
+			t.Errorf("Kind(%d).String() = %q", k, s)
+		}
+	}
+	if s := Kind(200).String(); !strings.HasPrefix(s, "Kind(") {
+		t.Errorf("out-of-range kind String() = %q", s)
+	}
+}
+
+func TestLevelsMatchAnalyze(t *testing.T) {
+	g := New()
+	r := rand.New(rand.NewSource(1))
+	var ids []TaskID
+	for i := 0; i < 200; i++ {
+		var deps []TaskID
+		for j := 0; j < r.Intn(3); j++ {
+			if len(ids) > 0 {
+				deps = append(deps, ids[r.Intn(len(ids))])
+			}
+		}
+		ids = append(ids, g.Task(KindOther, deps...))
+	}
+	levels := g.Levels()
+	widths := map[int32]int{}
+	var maxLv int32
+	for _, lv := range levels {
+		widths[lv]++
+		if lv > maxLv {
+			maxLv = lv
+		}
+	}
+	p := g.Analyze()
+	if p.Depth != int(maxLv)+1 {
+		t.Errorf("Depth = %d, Levels max = %d", p.Depth, maxLv)
+	}
+	for lv, w := range widths {
+		if p.Widths[lv] != w {
+			t.Errorf("ply %d: Analyze width %d, Levels width %d", lv, p.Widths[lv], w)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// Concurrent Task calls must not race or corrupt the table. Run with
+	// -race to exercise the mutex.
+	g := New()
+	var wg sync.WaitGroup
+	const workers, each = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := None
+			for i := 0; i < each; i++ {
+				prev = g.Task(KindVisit, prev)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Len() != workers*each {
+		t.Errorf("Len = %d, want %d", g.Len(), workers*each)
+	}
+	p := g.Analyze()
+	if p.Work != workers*each {
+		t.Errorf("Work = %d", p.Work)
+	}
+	// Each worker built a chain of length `each`, so depth >= each.
+	if p.Depth < each {
+		t.Errorf("Depth = %d, want >= %d", p.Depth, each)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	a := g.Task(KindMerge)
+	g.Task(KindDispatch, a)
+	var b strings.Builder
+	if err := g.WriteDOT(&b, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph", "t1", "t2", "t1 -> t2", "merge", "dispatch"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	var nb strings.Builder
+	var nilG *Graph
+	if err := nilG.WriteDOT(&nb, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(nb.String(), "digraph") {
+		t.Error("nil graph DOT not rendered")
+	}
+}
+
+func TestWidthHistogram(t *testing.T) {
+	p := Plies{Widths: []int{1, 3, 3, 1, 2}}
+	h := p.WidthHistogram()
+	want := [][2]int{{1, 2}, {2, 1}, {3, 2}}
+	if len(h) != len(want) {
+		t.Fatalf("histogram = %v, want %v", h, want)
+	}
+	for i := range want {
+		if h[i] != want[i] {
+			t.Errorf("histogram[%d] = %v, want %v", i, h[i], want[i])
+		}
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	g := New()
+	a := g.Task(KindVisit)
+	g.Task(KindVisit, a)
+	kinds, deps := g.Snapshot()
+	kinds[0] = KindMerge
+	deps[1][0] = TaskID(42)
+	if g.KindOf(1) != KindVisit {
+		t.Error("Snapshot kinds alias internal state")
+	}
+	if g.Deps(2)[0] != a {
+		t.Error("Snapshot deps alias internal state")
+	}
+}
+
+func TestPropertyDepthAtMostWork(t *testing.T) {
+	// For any DAG, depth <= work, max width <= work, and sum of widths ==
+	// work.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := New()
+		var ids []TaskID
+		n := 1 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			var deps []TaskID
+			for j := 0; j < r.Intn(4); j++ {
+				if len(ids) > 0 {
+					deps = append(deps, ids[r.Intn(len(ids))])
+				}
+			}
+			ids = append(ids, g.Task(KindOther, deps...))
+		}
+		p := g.Analyze()
+		sum := 0
+		for _, w := range p.Widths {
+			sum += w
+		}
+		return p.Depth <= p.Work && p.MaxWidth <= p.Work && sum == p.Work
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

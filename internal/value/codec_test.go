@@ -1,0 +1,170 @@
+package value
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestItemRoundTrip(t *testing.T) {
+	items := []Item{
+		Int(0), Int(1), Int(-1), Int(1 << 40), Int(-(1 << 40)),
+		Str(""), Str("a"), Str("hello world"), Str("quote\"backslash\\"),
+		Str(string([]byte{0, 1, 2, 255})),
+	}
+	for _, it := range items {
+		buf, err := AppendItem(nil, it)
+		if err != nil {
+			t.Fatalf("%v: %v", it, err)
+		}
+		got, rest, err := DecodeItem(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", it, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("%v: %d trailing bytes", it, len(rest))
+		}
+		if !got.Equal(it) {
+			t.Errorf("round trip %v -> %v", it, got)
+		}
+	}
+}
+
+func TestInvalidItemsNotEncodable(t *testing.T) {
+	for _, it := range []Item{{}, MinKey(), MaxKey()} {
+		if _, err := AppendItem(nil, it); err == nil {
+			t.Errorf("%v encoded", it)
+		}
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	tuples := []Tuple{
+		NewTuple(),
+		NewTuple(Int(1)),
+		NewTuple(Int(1), Str("widget"), Int(-3)),
+	}
+	for _, tu := range tuples {
+		buf, err := AppendTuple(nil, tu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, rest, err := DecodeTuple(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 || !got.Equal(tu) {
+			t.Errorf("round trip %v -> %v (rest %d)", tu, got, len(rest))
+		}
+	}
+}
+
+func TestTupleStreamConcatenates(t *testing.T) {
+	a := NewTuple(Int(1), Str("x"))
+	b := NewTuple(Int(2))
+	var buf []byte
+	var err error
+	if buf, err = AppendTuple(buf, a); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = AppendTuple(buf, b); err != nil {
+		t.Fatal(err)
+	}
+	gotA, rest, err := DecodeTuple(buf)
+	if err != nil || !gotA.Equal(a) {
+		t.Fatalf("first: %v %v", gotA, err)
+	}
+	gotB, rest, err := DecodeTuple(rest)
+	if err != nil || !gotB.Equal(b) || len(rest) != 0 {
+		t.Fatalf("second: %v %v rest=%d", gotB, err, len(rest))
+	}
+}
+
+func TestEncodeDecodeTuples(t *testing.T) {
+	tuples := []Tuple{NewTuple(Int(1)), NewTuple(Str("a"), Str("b"))}
+	buf, err := EncodeTuples(tuples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeTuples(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Equal(tuples[0]) || !got[1].Equal(tuples[1]) {
+		t.Errorf("got %v", got)
+	}
+	if _, err := DecodeTuples(append(buf, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("trailing bytes accepted: %v", err)
+	}
+}
+
+func TestDecodeCorruptInputs(t *testing.T) {
+	cases := [][]byte{
+		{},                    // empty
+		{99},                  // unknown kind
+		{byte(KindInt)},       // missing varint
+		{byte(KindString), 5}, // length beyond buffer
+		{byte(KindString), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, // unterminated uvarint
+	}
+	for i, buf := range cases {
+		if _, _, err := DecodeItem(buf); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("case %d: err = %v", i, err)
+		}
+	}
+	if _, _, err := DecodeTuple(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tuple from nil: %v", err)
+	}
+	if _, err := DecodeTuples(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("tuples from nil: %v", err)
+	}
+	// Huge declared arity must fail fast, not allocate.
+	if _, _, err := DecodeTuple([]byte{0xFF, 0xFF, 0xFF, 0x7F}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("huge arity: %v", err)
+	}
+}
+
+func TestPropertyCodecRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(10)
+		tuples := make([]Tuple, 0, n)
+		for i := 0; i < n; i++ {
+			tuples = append(tuples, randomTuple(r))
+		}
+		buf, err := EncodeTuples(tuples)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeTuples(buf)
+		if err != nil || len(got) != len(tuples) {
+			return false
+		}
+		for i := range got {
+			if !got[i].Equal(tuples[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDecodeNeverPanics(t *testing.T) {
+	f := func(buf []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Errorf("panic on %v", buf)
+			}
+		}()
+		_, _, _ = DecodeItem(buf)
+		_, _, _ = DecodeTuple(buf)
+		_, _ = DecodeTuples(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package workload generates the transaction workloads of the paper's
+// evaluation and of the example applications.
+//
+// Section 4: "An experiment was performed which processed 50 transactions
+// on three versions of a database, with 1, 3, and 5 relations respectively,
+// having a total of 50 tuples among them initially. The transactions were
+// all either single-tuple inserts or finds, and the percentage of inserts
+// was varied through 4, 7, 14, 24, and 38 percent."
+//
+// Generation is seeded and fully deterministic, so every table in
+// EXPERIMENTS.md regenerates bit-identically.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/query"
+	"funcdb/internal/relation"
+	"funcdb/internal/value"
+)
+
+// PaperSpec describes one cell of the paper's experiment grid.
+type PaperSpec struct {
+	// Transactions is the stream length (the paper uses 50).
+	Transactions int
+	// Tuples is the total initial tuple count across relations (50).
+	Tuples int
+	// Relations is the number of relations (1, 3 or 5).
+	Relations int
+	// UpdatePct is the percentage of transactions that are single-tuple
+	// inserts; the rest are single-tuple finds ({0,4,7,14,24,38}).
+	UpdatePct int
+	// Seed drives all random choices.
+	Seed int64
+}
+
+// DefaultPaper returns the paper's base configuration for a given relation
+// count and update percentage.
+func DefaultPaper(relations, updatePct int, seed int64) PaperSpec {
+	return PaperSpec{
+		Transactions: 50,
+		Tuples:       50,
+		Relations:    relations,
+		UpdatePct:    updatePct,
+		Seed:         seed,
+	}
+}
+
+// RelationNames returns R1..Rn.
+func (s PaperSpec) RelationNames() []string {
+	names := make([]string, 0, s.Relations)
+	for i := 1; i <= s.Relations; i++ {
+		names = append(names, fmt.Sprintf("R%d", i))
+	}
+	return names
+}
+
+// keySpacing leaves gaps between initial keys so inserts land at uniformly
+// distributed interior positions.
+const keySpacing = 10
+
+// InitialData distributes the initial tuples round-robin over the
+// relations, keys spaced within each relation.
+func (s PaperSpec) InitialData() map[string][]value.Tuple {
+	names := s.RelationNames()
+	data := make(map[string][]value.Tuple, len(names))
+	counts := make([]int, len(names))
+	for i := 0; i < s.Tuples; i++ {
+		counts[i%len(names)]++
+	}
+	for ri, name := range names {
+		tuples := make([]value.Tuple, 0, counts[ri])
+		for k := 0; k < counts[ri]; k++ {
+			key := int64((k + 1) * keySpacing)
+			tuples = append(tuples, value.NewTuple(value.Int(key), value.Str(fmt.Sprintf("%s-t%d", name, k))))
+		}
+		data[name] = tuples
+	}
+	return data
+}
+
+// InitialDatabase builds version 0 with the given representation.
+func (s PaperSpec) InitialDatabase(rep relation.Rep) *database.Database {
+	return database.FromData(rep, s.RelationNames(), s.InitialData())
+}
+
+// Queries generates the symbolic query stream: the terminal input of the
+// paper's model. Inserts use fresh interior keys; finds target existing
+// keys of the chosen relation.
+func (s PaperSpec) Queries() []string {
+	r := rand.New(rand.NewSource(s.Seed))
+	names := s.RelationNames()
+
+	// Track the key population per relation as the stream mutates it.
+	keys := make(map[string][]int64, len(names))
+	for name, tuples := range s.InitialData() {
+		for _, tu := range tuples {
+			keys[name] = append(keys[name], tu.Key().AsInt())
+		}
+	}
+
+	inserts := s.Transactions * s.UpdatePct / 100
+	isInsert := make([]bool, s.Transactions)
+	for _, i := range r.Perm(s.Transactions)[:inserts] {
+		isInsert[i] = true
+	}
+
+	queries := make([]string, 0, s.Transactions)
+	for i := 0; i < s.Transactions; i++ {
+		rel := names[r.Intn(len(names))]
+		if isInsert[i] {
+			// A fresh key at a random interior position: base key plus a
+			// unique non-multiple offset.
+			pop := keys[rel]
+			base := pop[r.Intn(len(pop))]
+			key := base + 1 + int64(r.Intn(keySpacing-2))
+			for contains(pop, key) {
+				key++
+			}
+			keys[rel] = append(pop, key)
+			queries = append(queries, fmt.Sprintf("insert (%d, \"new\") into %s", key, rel))
+		} else {
+			pop := keys[rel]
+			key := pop[r.Intn(len(pop))]
+			queries = append(queries, fmt.Sprintf("find %d in %s", key, rel))
+		}
+	}
+	return queries
+}
+
+// Transactions translates the query stream and tags it with a single
+// terminal origin, ready for apply-stream.
+func (s PaperSpec) TransactionStream() ([]core.Transaction, error) {
+	return query.TranslateAll("term", s.Queries())
+}
+
+func contains(xs []int64, v int64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Banking generates nClients teller streams over one "accounts" relation:
+// balance lookups and deposit upserts, for the serializability example and
+// benches. It returns one stream per client.
+func Banking(nClients, nAccounts, opsPerClient int, seed int64) [][]core.Transaction {
+	r := rand.New(rand.NewSource(seed))
+	streams := make([][]core.Transaction, nClients)
+	for c := range streams {
+		origin := fmt.Sprintf("teller%d", c)
+		txns := make([]core.Transaction, 0, opsPerClient)
+		for i := 0; i < opsPerClient; i++ {
+			acct := int64(r.Intn(nAccounts))
+			var tx core.Transaction
+			if r.Intn(2) == 0 {
+				tx = core.Find("accounts", value.Int(acct))
+			} else {
+				amount := int64(r.Intn(100))
+				tx = core.Insert("accounts", value.NewTuple(value.Int(acct), value.Int(amount)))
+			}
+			tx.Origin, tx.Seq = origin, i
+			txns = append(txns, tx)
+		}
+		streams[c] = txns
+	}
+	return streams
+}
+
+// BankingInitial builds the accounts relation with nAccounts zero balances.
+func BankingInitial(rep relation.Rep, nAccounts int) *database.Database {
+	tuples := make([]value.Tuple, 0, nAccounts)
+	for i := 0; i < nAccounts; i++ {
+		tuples = append(tuples, value.NewTuple(value.Int(int64(i)), value.Int(0)))
+	}
+	return database.FromData(rep, []string{"accounts"}, map[string][]value.Tuple{"accounts": tuples})
+}
+
+// Inventory generates a parts-catalog stream over a paged relation:
+// lookups, restocks (upserts) and range scans, exercising the Figure 2-2
+// page structure.
+func Inventory(nParts, nOps int, seed int64) []core.Transaction {
+	r := rand.New(rand.NewSource(seed))
+	txns := make([]core.Transaction, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		part := int64(r.Intn(nParts))
+		var tx core.Transaction
+		switch r.Intn(4) {
+		case 0:
+			tx = core.Insert("parts", value.NewTuple(value.Int(part), value.Str("part"), value.Int(int64(r.Intn(500)))))
+		case 1, 2:
+			tx = core.Find("parts", value.Int(part))
+		default:
+			lo := int64(r.Intn(nParts))
+			hi := lo + int64(r.Intn(nParts/4+1))
+			tx = core.Range("parts", value.Int(lo), value.Int(hi))
+		}
+		tx.Origin, tx.Seq = "clerk", i
+		txns = append(txns, tx)
+	}
+	return txns
+}
+
+// InventoryInitial builds the parts relation (paged representation) with
+// nParts entries.
+func InventoryInitial(nParts int) *database.Database {
+	tuples := make([]value.Tuple, 0, nParts)
+	for i := 0; i < nParts; i++ {
+		tuples = append(tuples, value.NewTuple(value.Int(int64(i)), value.Str("part"), value.Int(100)))
+	}
+	return database.FromData(relation.RepPaged, []string{"parts"}, map[string][]value.Tuple{"parts": tuples})
+}

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"funcdb/internal/core"
+	"funcdb/internal/relation"
+)
+
+func TestPaperSpecShape(t *testing.T) {
+	for _, rels := range []int{1, 3, 5} {
+		for _, pct := range []int{0, 4, 7, 14, 24, 38} {
+			spec := DefaultPaper(rels, pct, 7)
+			queries := spec.Queries()
+			if len(queries) != 50 {
+				t.Fatalf("%d rels %d%%: %d queries", rels, pct, len(queries))
+			}
+			inserts := 0
+			for _, q := range queries {
+				if strings.HasPrefix(q, "insert") {
+					inserts++
+				} else if !strings.HasPrefix(q, "find") {
+					t.Fatalf("unexpected query %q", q)
+				}
+			}
+			if want := 50 * pct / 100; inserts != want {
+				t.Errorf("%d rels %d%%: %d inserts, want %d", rels, pct, inserts, want)
+			}
+			db := spec.InitialDatabase(relation.RepList)
+			if db.TotalTuples() != 50 {
+				t.Errorf("initial tuples = %d", db.TotalTuples())
+			}
+			if got := len(db.RelationNames()); got != rels {
+				t.Errorf("relations = %d", got)
+			}
+		}
+	}
+}
+
+func TestPaperSpecDeterministic(t *testing.T) {
+	a := DefaultPaper(3, 14, 42).Queries()
+	b := DefaultPaper(3, 14, 42).Queries()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	c := DefaultPaper(3, 14, 43).Queries()
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestPaperWorkloadExecutes(t *testing.T) {
+	// Every generated stream must run without errors: finds hit existing
+	// keys (always found), inserts use fresh keys.
+	spec := DefaultPaper(3, 24, 5)
+	txns, err := spec.TransactionStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	responses, final := core.ApplySequential(spec.InitialDatabase(relation.RepList), txns)
+	inserted := 0
+	for i, r := range responses {
+		if r.Err != nil {
+			t.Fatalf("txn %d failed: %v", i, r.Err)
+		}
+		if r.Kind == core.KindFind && !r.Found {
+			t.Errorf("find %d missed (%s)", i, txns[i].Query)
+		}
+		if r.Kind == core.KindInsert {
+			inserted++
+		}
+	}
+	if final.TotalTuples() != 50+inserted {
+		t.Errorf("final tuples = %d, want %d", final.TotalTuples(), 50+inserted)
+	}
+}
+
+func TestBankingStreams(t *testing.T) {
+	streams := Banking(4, 10, 25, 9)
+	if len(streams) != 4 {
+		t.Fatalf("%d streams", len(streams))
+	}
+	for c, stream := range streams {
+		if len(stream) != 25 {
+			t.Fatalf("stream %d has %d ops", c, len(stream))
+		}
+		for i, tx := range stream {
+			if tx.Seq != i {
+				t.Errorf("stream %d op %d has seq %d", c, i, tx.Seq)
+			}
+			if tx.Rel != "accounts" {
+				t.Errorf("unexpected relation %q", tx.Rel)
+			}
+			if err := tx.Validate(); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+	db := BankingInitial(relation.RepAVL, 10)
+	if db.TotalTuples() != 10 {
+		t.Errorf("initial accounts = %d", db.TotalTuples())
+	}
+}
+
+func TestInventoryWorkload(t *testing.T) {
+	txns := Inventory(100, 60, 3)
+	if len(txns) != 60 {
+		t.Fatalf("%d ops", len(txns))
+	}
+	db := InventoryInitial(100)
+	responses, _ := core.ApplySequential(db, txns)
+	for i, r := range responses {
+		if r.Err != nil {
+			t.Fatalf("op %d: %v", i, r.Err)
+		}
+	}
+	if rel, _ := db.RelationFast("parts"); rel.Rep() != relation.RepPaged {
+		t.Error("inventory not paged")
+	}
+}
