@@ -368,6 +368,75 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableWrites measures the commit path with durability off and
+// on: the cost of archiving the version stream from the post-commit
+// observer. Keys wrap so the relation stays small and the log append —
+// not the in-memory insert — dominates the durable variants.
+func BenchmarkDurableWrites(b *testing.B) {
+	cases := []struct {
+		name string
+		opts func(dir string) []funcdb.Option
+	}{
+		{"archive=off", func(string) []funcdb.Option { return nil }},
+		{"archive=on", func(dir string) []funcdb.Option {
+			return []funcdb.Option{funcdb.WithDurability(dir)}
+		}},
+		{"archive=on/snapshot=1024", func(dir string) []funcdb.Option {
+			return []funcdb.Option{funcdb.WithDurability(dir, funcdb.SnapshotEvery(1024))}
+		}},
+		{"archive=fsync", func(dir string) []funcdb.Option {
+			return []funcdb.Option{funcdb.WithDurability(dir, funcdb.SyncEveryWrite())}
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := append(tc.opts(b.TempDir()),
+				funcdb.WithRelations("R"), funcdb.WithRepresentation(funcdb.RepAVL))
+			store := funcdb.MustOpen(opts...)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tx := core.Insert("R", value.NewTuple(value.Int(int64(i%1024)), value.Str("v")))
+				store.Submit(tx)
+			}
+			store.Barrier() // include the observer/archive drain
+			b.StopTimer()
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkRecovery measures OpenDir (newest snapshot + log replay) as a
+// function of log length: the persistence hot path future PRs must keep
+// honest.
+func BenchmarkRecovery(b *testing.B) {
+	for _, logLen := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprintf("log=%d", logLen), func(b *testing.B) {
+			dir := b.TempDir()
+			store := funcdb.MustOpen(
+				funcdb.WithDurability(dir),
+				funcdb.WithRelations("R"), funcdb.WithRepresentation(funcdb.RepAVL))
+			for i := 0; i < logLen; i++ {
+				store.Submit(core.Insert("R", value.NewTuple(value.Int(int64(i)), value.Str("v"))))
+			}
+			if err := store.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := funcdb.OpenDir(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRelationInsert measures one insert into a 1000-tuple relation
 // per representation: the allocation story behind Section 2.2.
 func BenchmarkRelationInsert(b *testing.B) {

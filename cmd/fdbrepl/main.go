@@ -1,6 +1,11 @@
 // Command fdbrepl is an interactive shell over a functional store: the
 // paper's "stream of transaction requests entered from a terminal".
 //
+// With --data <dir>, the store is durable: every committed write lands in
+// the append-only archive under dir, and restarting the repl with the same
+// flag recovers the session's database (and its full version stream for
+// .at time travel).
+//
 // Every line is a query; dot-commands inspect the system:
 //
 //	.help                 this text
@@ -12,6 +17,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -31,8 +37,25 @@ commands:
   .help  .stats  .versions  .at <version> <query>  .quit`
 
 func main() {
-	store := funcdb.MustOpen(funcdb.WithHistory(0), funcdb.WithOrigin("repl"))
+	dataDir := flag.String("data", "", "archive directory: persist the session and recover it on restart")
+	snapEvery := flag.Int("snapshot-every", 256, "with --data, snapshot the full version every n writes")
+	flag.Parse()
+
+	opts := []funcdb.Option{funcdb.WithHistory(0), funcdb.WithOrigin("repl")}
+	if *dataDir != "" {
+		opts = append(opts, funcdb.WithDurability(*dataDir, funcdb.SnapshotEvery(*snapEvery)))
+	}
+	store, err := funcdb.Open(opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdbrepl:", err)
+		os.Exit(1)
+	}
 	fmt.Println("funcdb repl — a functional database (Keller & Lindstrom 1985). .help for help.")
+	if *dataDir != "" {
+		cur := store.Current()
+		fmt.Printf("durable session in %s — recovered version %d (%d tuples in %d relations)\n",
+			*dataDir, cur.Version(), cur.TotalTuples(), len(cur.RelationNames()))
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	for prompt(); sc.Scan(); prompt() {
@@ -41,8 +64,12 @@ func main() {
 			fmt.Println(out)
 		}
 		if quit {
-			return
+			break
 		}
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "close:", err)
+		os.Exit(1)
 	}
 }
 
@@ -64,15 +91,7 @@ func handleLine(store *funcdb.Store, raw string) (out string, quit bool) {
 		return fmt.Sprintf("created %d  shared %d  visited %d  sharing %.1f%%",
 			st.Created, st.Shared, st.Visited, 100*st.Fraction), false
 	case line == ".versions":
-		var b strings.Builder
-		for i, v := range store.History().All() {
-			if i > 0 {
-				b.WriteByte('\n')
-			}
-			fmt.Fprintf(&b, "  version %d: %d tuples in %d relations",
-				v.Version(), v.TotalTuples(), len(v.RelationNames()))
-		}
-		return b.String(), false
+		return versionsListing(store), false
 	case strings.HasPrefix(line, ".at "):
 		return execAt(store, strings.TrimPrefix(line, ".at ")), false
 	case strings.HasPrefix(line, "."):
@@ -86,7 +105,41 @@ func handleLine(store *funcdb.Store, raw string) (out string, quit bool) {
 	}
 }
 
-// execAt runs a read-only query against a retained version: time travel.
+// versionsListing renders the retained version stream: the durable
+// archive when the session has one, the in-memory history otherwise.
+func versionsListing(store *funcdb.Store) string {
+	var b strings.Builder
+	if store.Durable() {
+		infos, err := store.ArchivedVersions()
+		if err != nil {
+			// A durable session with an unreadable archive is a problem
+			// the user must see, not a reason to show in-memory history.
+			return "archive error: " + err.Error()
+		}
+		for i, v := range infos {
+			if i > 0 {
+				b.WriteByte('\n')
+			}
+			marker := " "
+			if v.Snapshotted {
+				marker = "*"
+			}
+			fmt.Fprintf(&b, " %s version %d: %-8s %s", marker, v.Seq, v.Kind, v.Detail)
+		}
+		return b.String()
+	}
+	for i, v := range store.History().All() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "  version %d: %d tuples in %d relations",
+			v.Version(), v.TotalTuples(), len(v.RelationNames()))
+	}
+	return b.String()
+}
+
+// execAt runs a read-only query against a retained version: time travel
+// over the archive (durable sessions) or the in-memory history.
 func execAt(store *funcdb.Store, rest string) string {
 	parts := strings.SplitN(strings.TrimSpace(rest), " ", 2)
 	if len(parts) != 2 {
@@ -96,7 +149,7 @@ func execAt(store *funcdb.Store, rest string) string {
 	if err != nil {
 		return "bad version: " + err.Error()
 	}
-	db, err := store.History().Version(vn)
+	db, err := store.VersionAt(vn)
 	if err != nil {
 		return err.Error()
 	}

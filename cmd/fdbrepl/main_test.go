@@ -106,6 +106,41 @@ func TestTimeTravelErrors(t *testing.T) {
 	}
 }
 
+// TestDurableSession drives the --data path: a session's writes survive a
+// close/reopen, and .versions/.at read the on-disk stream.
+func TestDurableSession(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *funcdb.Store {
+		return funcdb.MustOpen(funcdb.WithHistory(0), funcdb.WithOrigin("repl"),
+			funcdb.WithDurability(dir))
+	}
+
+	store := open()
+	handleLine(store, "create R")
+	handleLine(store, `insert (1, "widget") into R`)
+	handleLine(store, "insert 2 into R")
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store = open() // restart
+	defer store.Close()
+	if out, _ := handleLine(store, "count R"); !strings.Contains(out, "count: 2") {
+		t.Fatalf("recovered count = %q", out)
+	}
+	out, _ := handleLine(store, ".versions")
+	if !strings.Contains(out, "version 0") || !strings.Contains(out, "version 3") {
+		t.Fatalf(".versions after restart = %q", out)
+	}
+	if !strings.Contains(out, `insert (1, "widget") into R`) {
+		t.Fatalf(".versions lost query text: %q", out)
+	}
+	// Time travel into the pre-restart past.
+	if out, _ := handleLine(store, ".at 2 count R"); !strings.Contains(out, "@v2") || !strings.Contains(out, "count: 1") {
+		t.Fatalf(".at 2 count R = %q", out)
+	}
+}
+
 func TestErrorsSurface(t *testing.T) {
 	store := newStore(t)
 	out, _ := handleLine(store, "find 1 in NOPE")

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sync"
 
+	"funcdb/internal/archive"
 	"funcdb/internal/core"
 	"funcdb/internal/database"
 	"funcdb/internal/eval"
@@ -59,6 +60,10 @@ type (
 	Future = lenient.Cell[core.Response]
 	// SiteID names a site in a cluster.
 	SiteID = netsim.SiteID
+	// VersionInfo describes one element of a durable version stream.
+	VersionInfo = archive.VersionInfo
+	// DurabilityOption tunes the on-disk archive of WithDurability.
+	DurabilityOption = archive.Option
 )
 
 // Relation representations.
@@ -84,12 +89,14 @@ func Parse(q string) (Transaction, error) { return query.Translate(q) }
 
 // config collects Open options.
 type config struct {
-	rep     Rep
-	names   []string
-	data    map[string][]Tuple
-	history int // -1 = disabled, 0 = unbounded archive, n = keep n
-	origin  string
-	initial *database.Database
+	rep      Rep
+	names    []string
+	data     map[string][]Tuple
+	history  int // -1 = disabled, 0 = unbounded archive, n = keep n
+	origin   string
+	initial  *database.Database
+	dir      string // "" = no durability
+	archOpts []archive.Option
 }
 
 // Option configures Open.
@@ -125,11 +132,12 @@ func WithDatabase(db *Database) Option {
 	return func(_ *cfgError, c *config) { c.initial = db }
 }
 
-// WithHistory retains database versions: limit 0 keeps every version (a
-// complete archive, Section 3.3), limit n keeps the newest n. Without this
-// option no history is kept. Each retained version is materialized at
-// write time, which serializes the pipeline at every write — use it for
-// interactive stores, not throughput benchmarks.
+// WithHistory retains database versions in memory: limit 0 keeps every
+// version (a complete archive, Section 3.3), limit n keeps the newest n.
+// Without this option no history is kept. Versions are appended from the
+// engine's post-commit observer, off the submission path — history rides
+// the lenient pipeline instead of serializing it. For a settled view after
+// asynchronous submissions, History() waits on a barrier.
 func WithHistory(limit int) Option {
 	return func(e *cfgError, c *config) {
 		if limit < 0 {
@@ -146,12 +154,39 @@ func WithOrigin(origin string) Option {
 	return func(_ *cfgError, c *config) { c.origin = origin }
 }
 
+// WithDurability makes the version stream durable in dir: an initial
+// snapshot plus an append-only transaction log (internal/archive), written
+// from the engine's post-commit observer so durability rides the lenient
+// pipeline. If dir already holds an archive, the store recovers from it
+// (newest snapshot + log suffix) and any WithRelations/WithData/
+// WithDatabase options are superseded by the recovered version. Close the
+// store to flush and release the archive.
+func WithDurability(dir string, opts ...DurabilityOption) Option {
+	return func(e *cfgError, c *config) {
+		if dir == "" {
+			e.err = fmt.Errorf("funcdb: empty durability directory")
+			return
+		}
+		c.dir = dir
+		c.archOpts = append(c.archOpts, opts...)
+	}
+}
+
+// SnapshotEvery snapshots the full version every n logged writes, bounding
+// recovery replay time (and enabling compaction past old segments).
+func SnapshotEvery(n int) DurabilityOption { return archive.SnapshotEvery(n) }
+
+// SyncEveryWrite fsyncs the log on every committed write: durability
+// against power loss, not just process crashes, at a per-write fsync cost.
+func SyncEveryWrite() DurabilityOption { return archive.Fsync(true) }
+
 // Store is a single-process functional database: one transaction stream,
 // one version stream.
 type Store struct {
 	engine  *core.Engine
 	stats   *eval.Stats
 	history *History
+	archive *archive.Archive
 	origin  string
 
 	mu  sync.Mutex
@@ -169,7 +204,23 @@ func Open(opts ...Option) (*Store, error) {
 		return nil, ce.err
 	}
 
+	s := &Store{
+		stats:  &eval.Stats{},
+		origin: c.origin,
+	}
+	engineOpts := []core.EngineOption{core.WithStats(s.stats)}
+
 	initial := c.initial
+	if c.dir != "" && archive.Exists(c.dir) {
+		// Recovery: the durable stream supersedes any configured initial
+		// state.
+		arch, db, err := archive.Open(c.dir, c.archOpts...)
+		if err != nil {
+			return nil, err
+		}
+		s.archive = arch
+		initial = db
+	}
 	if initial == nil {
 		names := append([]string(nil), c.names...)
 		data := map[string][]value.Tuple{}
@@ -184,17 +235,36 @@ func Open(opts ...Option) (*Store, error) {
 		}
 		initial = database.FromData(c.rep, names, data)
 	}
-
-	s := &Store{
-		stats:  &eval.Stats{},
-		origin: c.origin,
+	if c.dir != "" && s.archive == nil {
+		arch, err := archive.Create(c.dir, initial, c.archOpts...)
+		if err != nil {
+			return nil, err
+		}
+		s.archive = arch
 	}
-	s.engine = core.NewEngine(initial, core.WithStats(s.stats))
+	if s.archive != nil {
+		engineOpts = append(engineOpts, core.WithCommitObserver(s.archive.Observer()))
+	}
 	if c.history >= 0 {
 		s.history = database.NewHistory(c.history)
 		s.history.Append(initial)
+		engineOpts = append(engineOpts, core.WithCommitObserver(func(cm core.Commit) {
+			s.history.Append(cm.Version())
+		}))
 	}
+	s.engine = core.NewEngine(initial, engineOpts...)
 	return s, nil
+}
+
+// OpenDir reopens a store from an existing archive directory, recovering
+// the last durable version (newest snapshot + log suffix) and continuing
+// the version stream from there. It fails if dir holds no archive — create
+// one by opening with WithDurability first.
+func OpenDir(dir string, opts ...Option) (*Store, error) {
+	if !archive.Exists(dir) {
+		return nil, fmt.Errorf("funcdb: no archive in %q (open with WithDurability to create one)", dir)
+	}
+	return Open(append([]Option{WithDurability(dir)}, opts...)...)
 }
 
 // MustOpen is Open for statically valid configurations; it panics on
@@ -218,26 +288,14 @@ func (s *Store) nextSeq() int {
 
 // Submit admits a transaction into the store's merged stream and returns
 // its response future. The transaction's Origin/Seq are filled in when
-// empty.
+// empty. History and durability, when enabled, are appended from the
+// engine's post-commit observer — the write pipelines like any other.
 func (s *Store) Submit(tx Transaction) *Future {
 	if tx.Origin == "" {
 		tx.Origin = s.origin
 	}
 	tx.Seq = s.nextSeq()
-	fut := s.engine.Submit(tx)
-	if s.history != nil && !tx.IsReadOnly() {
-		// Materialize the new version for the archive. This forces the
-		// write (and everything before it), trading pipelining for a
-		// complete, queryable version stream.
-		fut = lenient.Map(fut, func(r Response) Response {
-			if r.Err == nil {
-				s.history.Append(s.engine.Current())
-			}
-			return r
-		})
-		fut.Force()
-	}
-	return fut
+	return s.engine.Submit(tx)
 }
 
 // ExecAsync translates and submits a symbolic query, returning the
@@ -266,8 +324,85 @@ func (s *Store) Current() *Database { return s.engine.Current() }
 func (s *Store) Barrier() { s.engine.Barrier() }
 
 // History returns the retained version stream, or nil when history is
-// disabled.
-func (s *Store) History() *History { return s.history }
+// disabled. It waits for pending commits to be recorded, so the returned
+// stream reflects everything submitted before the call.
+func (s *Store) History() *History {
+	if s.history != nil {
+		s.engine.Barrier()
+	}
+	return s.history
+}
+
+// Close waits for every submitted transaction (and its durable record),
+// then flushes and closes the archive. It reports the first durability
+// failure, if any occurred. Closing a store without durability is a no-op.
+func (s *Store) Close() error {
+	s.engine.Barrier()
+	if s.archive == nil {
+		return nil
+	}
+	return s.archive.Close()
+}
+
+// Durable reports whether the store writes a durable archive.
+func (s *Store) Durable() bool { return s.archive != nil }
+
+// DurabilityErr reports the archive's sticky failure: non-nil when some
+// committed write could not be made durable. Nil without durability.
+func (s *Store) DurabilityErr() error {
+	if s.archive == nil {
+		return nil
+	}
+	return s.archive.Err()
+}
+
+// VersionAt materializes the database version numbered seq: from the
+// on-disk archive when the store is durable, falling back to the
+// in-memory history. This is time travel over the full retained stream.
+func (s *Store) VersionAt(seq int64) (*Database, error) {
+	var archErr error
+	if s.archive != nil {
+		s.engine.Barrier()
+		db, err := s.archive.VersionAt(seq)
+		if err == nil {
+			return db, nil
+		}
+		archErr = err
+	}
+	if h := s.History(); h != nil {
+		db, err := h.Version(seq)
+		if err == nil {
+			return db, nil
+		}
+		if archErr == nil {
+			archErr = err
+		}
+	}
+	if archErr != nil {
+		return nil, archErr
+	}
+	return nil, fmt.Errorf("funcdb: version %d not retained (no history or archive configured)", seq)
+}
+
+// ArchivedVersions lists the durable version stream oldest-first, or an
+// error when the store has no archive.
+func (s *Store) ArchivedVersions() ([]VersionInfo, error) {
+	if s.archive == nil {
+		return nil, fmt.Errorf("funcdb: store has no archive (open with WithDurability)")
+	}
+	s.engine.Barrier()
+	return archive.Versions(s.archive.Dir())
+}
+
+// Snapshot forces a full durable snapshot of the current version and
+// rotates the log, bounding the next recovery's replay.
+func (s *Store) Snapshot() error {
+	if s.archive == nil {
+		return fmt.Errorf("funcdb: store has no archive (open with WithDurability)")
+	}
+	s.engine.Barrier()
+	return s.archive.Snapshot(s.engine.Current())
+}
 
 // SharingStats reports the structure-sharing counters of Section 2.2.
 type SharingStats struct {

@@ -1,0 +1,3 @@
+module funcdb
+
+go 1.24

@@ -1,0 +1,321 @@
+package archive
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+)
+
+// ErrNoArchive reports a directory with no archive in it.
+var ErrNoArchive = errors.New("archive: no archive in directory")
+
+// ErrExists reports creating an archive where one is already present.
+var ErrExists = errors.New("archive: archive already present")
+
+// config collects archive options.
+type config struct {
+	snapshotEvery int
+	fsync         bool
+}
+
+// Option configures an archive.
+type Option func(*config)
+
+// SnapshotEvery takes a full snapshot (and starts a fresh log segment)
+// after every n logged transactions. Snapshots bound recovery replay time
+// and are the granularity of Compact; n <= 0 (the default) snapshots only
+// when forced (custom transactions, whose bodies have no wire form).
+func SnapshotEvery(n int) Option {
+	return func(c *config) { c.snapshotEvery = n }
+}
+
+// Fsync controls whether every appended record is fsynced before the
+// commit is reported durable. Off (the default) survives process crashes —
+// the records are in the OS page cache — but not power loss; on survives
+// both at a per-write fsync cost.
+func Fsync(on bool) Option {
+	return func(c *config) { c.fsync = on }
+}
+
+// Archive is an open, appendable archive directory. One writer at a time;
+// methods are safe for concurrent use within a process.
+type Archive struct {
+	mu        sync.Mutex
+	dir       string
+	cfg       config
+	log       *os.File
+	logBase   int64 // sequence of the snapshot the open log segment follows
+	lastSeq   int64 // newest durable sequence number
+	sinceSnap int   // transactions logged since the last snapshot
+	failed    error // sticky first failure; appends refuse after it
+}
+
+func snapName(seq int64) string { return fmt.Sprintf("snap-%016d.fdba", seq) }
+func logName(seq int64) string  { return fmt.Sprintf("log-%016d.fdba", seq) }
+
+// Exists reports whether dir holds an archive.
+func Exists(dir string) bool {
+	st, err := scanDir(dir)
+	return err == nil && len(st.snaps) > 0
+}
+
+// Create initializes a new archive in dir (created if absent) whose first
+// snapshot is the given initial version. It fails with ErrExists if dir
+// already holds an archive.
+func Create(dir string, initial *database.Database, opts ...Option) (*Archive, error) {
+	a := &Archive{dir: dir}
+	for _, opt := range opts {
+		opt(&a.cfg)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("archive: %w", err)
+	}
+	st, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.snaps) > 0 || len(st.logs) > 0 {
+		return nil, fmt.Errorf("%w: %s", ErrExists, dir)
+	}
+	if err := a.writeSnapshot(initial); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Open opens an existing archive for appending and returns it together
+// with the recovered current version (newest snapshot + log suffix). A
+// torn final record — a crash mid-append — is truncated away so the log is
+// clean before new commits land behind it.
+func Open(dir string, opts ...Option) (*Archive, *database.Database, error) {
+	a := &Archive{dir: dir}
+	for _, opt := range opts {
+		opt(&a.cfg)
+	}
+	rec, err := recoverState(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	logPath := filepath.Join(dir, logName(rec.logBase))
+	if rec.logTorn {
+		if err := os.Truncate(logPath, rec.logLen); err != nil {
+			return nil, nil, fmt.Errorf("archive: truncating torn log tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(logPath, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("archive: %w", err)
+	}
+	if rec.logLen == 0 {
+		// The log segment never made it to disk (crash between snapshot
+		// and log creation): start it now.
+		hdr := appendRecord(nil, recHeader, headerPayload(recTxn, rec.logBase))
+		if _, err := f.Write(hdr); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("archive: %w", err)
+		}
+	} else if _, err := f.Seek(rec.logLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("archive: %w", err)
+	}
+	a.log = f
+	a.logBase = rec.logBase
+	a.lastSeq = rec.lastSeq
+	a.sinceSnap = rec.logRecords
+	return a, rec.db, nil
+}
+
+// Append records one committed write. Encodable transactions become log
+// records; custom transactions (no wire form) force a full snapshot of the
+// version they produced. It is the body of the core.CommitObserver hook.
+func (a *Archive) Append(c core.Commit) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failed != nil {
+		return a.failed
+	}
+	if err := a.append(c); err != nil {
+		a.failed = err
+		return err
+	}
+	a.lastSeq = c.Seq
+	return nil
+}
+
+func (a *Archive) append(c core.Commit) error {
+	if !encodable(c.Tx) {
+		return a.writeSnapshot(c.Version())
+	}
+	payload, err := appendTxn(nil, c.Seq, c.Tx)
+	if err != nil {
+		return err
+	}
+	if err := checkRecordLen(payload); err != nil {
+		return err
+	}
+	if _, err := a.log.Write(appendRecord(nil, recTxn, payload)); err != nil {
+		return fmt.Errorf("archive: append: %w", err)
+	}
+	if a.cfg.fsync {
+		if err := a.log.Sync(); err != nil {
+			return fmt.Errorf("archive: fsync: %w", err)
+		}
+	}
+	a.sinceSnap++
+	if a.cfg.snapshotEvery > 0 && a.sinceSnap >= a.cfg.snapshotEvery {
+		return a.writeSnapshot(c.Version())
+	}
+	return nil
+}
+
+// Observer adapts the archive to the engine's post-commit hook. Failures
+// are sticky and surface on Close (and Err): once a write cannot be made
+// durable, the archive stops advancing rather than recording a gap.
+func (a *Archive) Observer() core.CommitObserver {
+	return func(c core.Commit) { _ = a.Append(c) }
+}
+
+// writeSnapshot durably writes db as snap-<version> and rotates the log to
+// a fresh segment based at that version. The snapshot file appears
+// atomically (write to temp, fsync, rename), so a crash mid-snapshot
+// leaves the previous snapshot + log pair authoritative.
+func (a *Archive) writeSnapshot(db *database.Database) error {
+	seq := db.Version()
+	payload, err := database.AppendSnapshot(nil, db)
+	if err != nil {
+		return err
+	}
+	if err := checkRecordLen(payload); err != nil {
+		return err
+	}
+	buf := appendRecord(nil, recHeader, headerPayload(recSnapshot, seq))
+	buf = appendRecord(buf, recSnapshot, payload)
+
+	path := filepath.Join(a.dir, snapName(seq))
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("archive: snapshot: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("archive: snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("archive: snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("archive: snapshot: %w", err)
+	}
+
+	// Rotate: the new segment holds transactions after this snapshot.
+	if a.log != nil {
+		if err := a.log.Sync(); err != nil {
+			return fmt.Errorf("archive: rotate: %w", err)
+		}
+		if err := a.log.Close(); err != nil {
+			return fmt.Errorf("archive: rotate: %w", err)
+		}
+	}
+	nf, err := os.OpenFile(filepath.Join(a.dir, logName(seq)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("archive: rotate: %w", err)
+	}
+	if _, err := nf.Write(appendRecord(nil, recHeader, headerPayload(recTxn, seq))); err != nil {
+		nf.Close()
+		return fmt.Errorf("archive: rotate: %w", err)
+	}
+	a.log = nf
+	a.logBase = seq
+	a.lastSeq = seq
+	a.sinceSnap = 0
+	return nil
+}
+
+// Snapshot forces a full snapshot of the given version (which must be the
+// archive's current version) and rotates the log.
+func (a *Archive) Snapshot(db *database.Database) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failed != nil {
+		return a.failed
+	}
+	if db.Version() != a.lastSeq {
+		return fmt.Errorf("archive: snapshot of version %d, but archive is at %d", db.Version(), a.lastSeq)
+	}
+	if err := a.writeSnapshot(db); err != nil {
+		a.failed = err
+		return err
+	}
+	return nil
+}
+
+// Sync flushes the log segment to stable storage.
+func (a *Archive) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failed != nil {
+		return a.failed
+	}
+	if err := a.log.Sync(); err != nil {
+		a.failed = fmt.Errorf("archive: fsync: %w", err)
+		return a.failed
+	}
+	return nil
+}
+
+// LastSeq returns the newest durable sequence number.
+func (a *Archive) LastSeq() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastSeq
+}
+
+// Err returns the sticky failure, if any append has failed.
+func (a *Archive) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.failed
+}
+
+// Close syncs and closes the archive. It returns the sticky append failure
+// if one occurred, so callers learn their store outlived its durability.
+func (a *Archive) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.log != nil {
+		serr := a.log.Sync()
+		cerr := a.log.Close()
+		a.log = nil
+		if a.failed == nil {
+			if serr != nil {
+				a.failed = serr
+			} else if cerr != nil {
+				a.failed = cerr
+			}
+		}
+	}
+	return a.failed
+}
+
+// Dir returns the archive directory.
+func (a *Archive) Dir() string { return a.dir }
+
+// VersionAt materializes the on-disk version numbered seq: time travel
+// against the durable stream, independent of any in-memory history. The
+// mutex excludes concurrent appends; same-system reads see every written
+// byte through the page cache, so no flush is needed.
+func (a *Archive) VersionAt(seq int64) (*database.Database, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return VersionAt(a.dir, seq)
+}

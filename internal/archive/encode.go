@@ -1,0 +1,142 @@
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"funcdb/internal/core"
+	"funcdb/internal/query"
+	"funcdb/internal/relation"
+	"funcdb/internal/value"
+)
+
+// Transaction record codec. A recTxn payload is:
+//
+//	txn := seq:varint        engine sequence of the version it produced
+//	       origin:string     tag of Section 2.4
+//	       oseq:varint       per-origin sequence
+//	       query:string      symbolic source text ("" when submitted as a
+//	                         constructed Transaction)
+//	       kind:uint8
+//	       rel:string
+//	       kind-specific:    insert: tuple | delete: key | create: rep
+//
+// Replay prefers re-running the stored query text through query.Translate —
+// the paper's translate is the authoritative query → transaction function —
+// and falls back to the structural fields for transactions that never had
+// symbolic form.
+
+// loggedTxn is one decoded log entry.
+type loggedTxn struct {
+	// Seq is the engine sequence number of the version the commit
+	// produced.
+	Seq int64
+	// Tx is the replayable transaction.
+	Tx core.Transaction
+}
+
+// encodable reports whether a committed transaction can be carried by a
+// recTxn record. Custom transactions carry arbitrary Go closures, which
+// have no wire form — the archive snapshots the resulting version instead.
+func encodable(tx core.Transaction) bool {
+	switch tx.Kind {
+	case core.KindInsert, core.KindDelete, core.KindCreate:
+		return true
+	default:
+		return false
+	}
+}
+
+// appendTxn appends the payload for one committed transaction.
+func appendTxn(dst []byte, seq int64, tx core.Transaction) ([]byte, error) {
+	dst = binary.AppendVarint(dst, seq)
+	dst = value.AppendString(dst, tx.Origin)
+	dst = binary.AppendVarint(dst, int64(tx.Seq))
+	dst = value.AppendString(dst, tx.Query)
+	dst = append(dst, byte(tx.Kind))
+	dst = value.AppendString(dst, tx.Rel)
+	switch tx.Kind {
+	case core.KindInsert:
+		return value.AppendTuple(dst, tx.Tuple)
+	case core.KindDelete:
+		return value.AppendItem(dst, tx.Key)
+	case core.KindCreate:
+		return append(dst, byte(tx.Rep)), nil
+	default:
+		return dst, fmt.Errorf("archive: transaction kind %v has no wire form", tx.Kind)
+	}
+}
+
+// decodeTxn decodes one transaction payload.
+func decodeTxn(payload []byte) (loggedTxn, error) {
+	fail := func(what string) (loggedTxn, error) {
+		return loggedTxn{}, fmt.Errorf("%w: transaction record: bad %s", ErrCorrupt, what)
+	}
+	seq, n := binary.Varint(payload)
+	if n <= 0 {
+		return fail("sequence")
+	}
+	payload = payload[n:]
+	origin, payload, err := value.DecodeString(payload)
+	if err != nil {
+		return fail("origin")
+	}
+	oseq, n := binary.Varint(payload)
+	if n <= 0 {
+		return fail("origin sequence")
+	}
+	payload = payload[n:]
+	src, payload, err := value.DecodeString(payload)
+	if err != nil {
+		return fail("query text")
+	}
+	if len(payload) == 0 {
+		return fail("kind")
+	}
+	kind := core.Kind(payload[0])
+	payload = payload[1:]
+	rel, payload, err := value.DecodeString(payload)
+	if err != nil {
+		return fail("relation name")
+	}
+
+	tx := core.Transaction{Kind: kind, Rel: rel}
+	switch kind {
+	case core.KindInsert:
+		tu, rest, err := value.DecodeTuple(payload)
+		if err != nil || len(rest) != 0 {
+			return fail("tuple")
+		}
+		tx.Tuple = tu
+	case core.KindDelete:
+		key, rest, err := value.DecodeItem(payload)
+		if err != nil || len(rest) != 0 {
+			return fail("key")
+		}
+		tx.Key = key
+	case core.KindCreate:
+		if len(payload) != 1 {
+			return fail("representation")
+		}
+		rep := relation.Rep(payload[0])
+		switch rep {
+		case relation.RepList, relation.RepAVL, relation.Rep23, relation.RepPaged:
+			tx.Rep = rep
+		default:
+			return fail("representation")
+		}
+	default:
+		return fail("kind")
+	}
+
+	// The symbolic source, when present, is the authoritative form: replay
+	// it through the paper's translate. The structural fields above remain
+	// the fallback (and the validation that the record is well-formed).
+	if src != "" {
+		if ttx, terr := query.Translate(src); terr == nil {
+			tx = ttx
+		}
+	}
+	tx.Origin, tx.Seq, tx.Query = origin, int(oseq), src
+	return loggedTxn{Seq: seq, Tx: tx}, nil
+}

@@ -1,0 +1,172 @@
+// Package archive makes the version stream durable: an append-only
+// transaction log plus periodic full-version snapshots, in the binary wire
+// format of internal/value. It is the on-disk form of the paper's
+// Section 3.3 "complete archives" — the immutable version stream is the
+// database's history, and retaining it durably buys restart recovery and
+// on-disk time travel for free.
+//
+// An archive directory contains two kinds of files:
+//
+//	snap-<seq>.fdba   one full database version (the version numbered seq)
+//	log-<seq>.fdba    committed transactions with sequence > seq, in order
+//
+// Every file is a stream of framed records; every snapshot starts a new log
+// segment. Recovery loads the newest decodable snapshot and replays the
+// log records behind it; a torn final record (a crash mid-append) is
+// detected by the frame CRC and treated as the end of the durable stream.
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Record framing:
+//
+//	record := type:uint8 length:uint32le payload crc:uint32le
+//
+// The CRC (IEEE 802.3) covers the type byte and the payload, so a frame
+// whose length field is corrupted fails its checksum instead of being
+// misparsed. maxRecordLen bounds allocation on corrupt length fields.
+
+// Record types.
+const (
+	// recHeader opens every archive file: magic, format version, and the
+	// base sequence number of the file.
+	recHeader byte = 1
+	// recSnapshot carries one full database version (snapshot files).
+	recSnapshot byte = 2
+	// recTxn carries one committed transaction (log files).
+	recTxn byte = 3
+)
+
+const (
+	// magic identifies archive files ("fDBa", format 1, in the header
+	// payload).
+	magic = "fDBa"
+	// formatVersion is the on-disk format revision.
+	formatVersion = 1
+	// maxRecordLen caps a single record's payload (a full snapshot of a
+	// very large database is the biggest record we write).
+	maxRecordLen = 1 << 30
+	// frameOverhead is the framing cost per record: type + length + CRC.
+	frameOverhead = 1 + 4 + 4
+)
+
+// ErrCorrupt reports an undecodable archive (distinct from a clean
+// truncation at the tail, which recovery tolerates).
+var ErrCorrupt = errors.New("archive: corrupt record")
+
+// errTruncated reports a frame cut short by a crash mid-append. Readers
+// treat it as the end of the durable stream when it is the final frame.
+var errTruncated = fmt.Errorf("%w: truncated frame", ErrCorrupt)
+
+// checkRecordLen rejects payloads the frame format cannot carry (and the
+// reader would refuse), before any bytes hit the disk.
+func checkRecordLen(payload []byte) error {
+	if len(payload) > maxRecordLen {
+		return fmt.Errorf("archive: record of %d bytes exceeds the %d-byte frame limit", len(payload), maxRecordLen)
+	}
+	return nil
+}
+
+// appendRecord appends one framed record to dst. Callers must bound the
+// payload with checkRecordLen first: the length field is 32-bit and the
+// reader refuses frames over maxRecordLen, so an unchecked oversized write
+// would succeed here and brick recovery later.
+func appendRecord(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	return binary.LittleEndian.AppendUint32(dst, crc.Sum32())
+}
+
+// record is one decoded frame.
+type record struct {
+	typ     byte
+	payload []byte
+}
+
+// reader decodes framed records from an io.Reader, tracking the byte
+// offset of the last fully valid frame so a torn tail can be truncated
+// before appending resumes.
+type reader struct {
+	r io.Reader
+	// off is the offset just past the last successfully read record.
+	off int64
+}
+
+// next reads one record. io.EOF means a clean end of stream; errTruncated
+// means the stream ends inside a frame; other ErrCorrupt errors mean the
+// frame is present but fails its checksum or length bounds.
+func (rd *reader) next() (record, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(rd.r, hdr[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return record{}, io.EOF
+		}
+		return record{}, fmt.Errorf("archive: read: %w", err)
+	}
+	if _, err := io.ReadFull(rd.r, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return record{}, errTruncated
+		}
+		return record{}, fmt.Errorf("archive: read: %w", err)
+	}
+	typ := hdr[0]
+	length := binary.LittleEndian.Uint32(hdr[1:])
+	if length > maxRecordLen {
+		return record{}, fmt.Errorf("%w: length %d exceeds limit", ErrCorrupt, length)
+	}
+	// Grow the body buffer only as bytes actually arrive: a corrupted
+	// length field must cost a truncation error, not a giant allocation.
+	var bodyBuf bytes.Buffer
+	if _, err := io.CopyN(&bodyBuf, rd.r, int64(length)+4); err != nil {
+		if errors.Is(err, io.EOF) {
+			return record{}, errTruncated
+		}
+		return record{}, fmt.Errorf("archive: read: %w", err)
+	}
+	body := bodyBuf.Bytes()
+	payload, sum := body[:length], binary.LittleEndian.Uint32(body[length:])
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	if crc.Sum32() != sum {
+		return record{}, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	rd.off += int64(len(payload)) + frameOverhead
+	return record{typ: typ, payload: payload}, nil
+}
+
+// headerPayload encodes a file header: magic, format version, file kind
+// (the record type the file carries), and its base sequence number.
+func headerPayload(kind byte, baseSeq int64) []byte {
+	out := append([]byte(magic), formatVersion, kind)
+	return binary.AppendVarint(out, baseSeq)
+}
+
+// decodeHeader validates a header payload and returns the file kind and
+// base sequence.
+func decodeHeader(payload []byte) (kind byte, baseSeq int64, err error) {
+	if len(payload) < len(magic)+2 || string(payload[:len(magic)]) != magic {
+		return 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	rest := payload[len(magic):]
+	if rest[0] != formatVersion {
+		return 0, 0, fmt.Errorf("archive: format version %d not supported", rest[0])
+	}
+	kind = rest[1]
+	baseSeq, n := binary.Varint(rest[2:])
+	if n <= 0 || n != len(rest[2:]) {
+		return 0, 0, fmt.Errorf("%w: bad header sequence", ErrCorrupt)
+	}
+	return kind, baseSeq, nil
+}

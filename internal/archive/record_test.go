@@ -1,0 +1,241 @@
+package archive
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/core"
+	"funcdb/internal/value"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 1000)}
+	var buf []byte
+	for i, p := range payloads {
+		buf = appendRecord(buf, byte(i+1), p)
+	}
+	rd := &reader{r: bytes.NewReader(buf)}
+	for i, p := range payloads {
+		rec, err := rd.next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.typ != byte(i+1) || !bytes.Equal(rec.payload, p) {
+			t.Fatalf("record %d: got type %d payload %d bytes", i, rec.typ, len(rec.payload))
+		}
+	}
+	if _, err := rd.next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("end of stream: %v", err)
+	}
+	if rd.off != int64(len(buf)) {
+		t.Fatalf("offset %d after %d bytes", rd.off, len(buf))
+	}
+}
+
+// TestRecordTruncation cuts a two-record stream at every byte boundary:
+// the reader must yield the valid prefix and then a clean truncation (or
+// EOF), never a panic and never a bogus record.
+func TestRecordTruncation(t *testing.T) {
+	first := appendRecord(nil, recTxn, []byte("first payload"))
+	full := appendRecord(first, recTxn, []byte("second payload"))
+	for cut := 0; cut <= len(full); cut++ {
+		rd := &reader{r: bytes.NewReader(full[:cut])}
+		var got int
+		var err error
+		for {
+			var rec record
+			rec, err = rd.next()
+			if err != nil {
+				break
+			}
+			if rec.typ != recTxn {
+				t.Fatalf("cut %d: bad record type %d", cut, rec.typ)
+			}
+			got++
+		}
+		wantRecords := 0
+		if cut >= len(first) {
+			wantRecords = 1
+		}
+		if cut == len(full) {
+			wantRecords = 2
+		}
+		if got != wantRecords {
+			t.Fatalf("cut %d: read %d records, want %d", cut, got, wantRecords)
+		}
+		cleanCut := cut == len(full) || cut == len(first) || cut == 0
+		if cleanCut && !errors.Is(err, io.EOF) {
+			t.Fatalf("cut %d: want EOF, got %v", cut, err)
+		}
+		if !cleanCut && !errors.Is(err, errTruncated) {
+			t.Fatalf("cut %d: want truncation, got %v", cut, err)
+		}
+	}
+}
+
+// TestRecordBitFlips flips every byte of a framed record in turn: the
+// reader must fail with ErrCorrupt (or a truncation if the length field
+// now overshoots), never panic, and never return the altered payload as
+// valid.
+func TestRecordBitFlips(t *testing.T) {
+	payload := []byte("the payload under test")
+	clean := appendRecord(nil, recTxn, payload)
+	for i := range clean {
+		mutated := append([]byte(nil), clean...)
+		mutated[i] ^= 0x41
+		rd := &reader{r: bytes.NewReader(mutated)}
+		rec, err := rd.next()
+		if err == nil {
+			t.Fatalf("flip at %d: record accepted (type %d, %d bytes)", i, rec.typ, len(rec.payload))
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for _, seq := range []int64{0, 1, 1 << 40} {
+		kind, base, err := decodeHeader(headerPayload(recTxn, seq))
+		if err != nil || kind != recTxn || base != seq {
+			t.Fatalf("seq %d: kind %d base %d err %v", seq, kind, base, err)
+		}
+	}
+	bad := [][]byte{nil, []byte("xxxx"), []byte(magic), append([]byte(magic), 99, recTxn, 0)}
+	for i, p := range bad {
+		if _, _, err := decodeHeader(p); err == nil {
+			t.Errorf("case %d: bad header accepted", i)
+		}
+	}
+}
+
+func TestTxnRecordRoundTrip(t *testing.T) {
+	txns := []core.Transaction{
+		core.Insert("R", value.NewTuple(value.Int(1), value.Str("widget"))),
+		core.Delete("R", value.Int(1)),
+		core.Create("S", 2),
+		{Kind: core.KindInsert, Rel: "R", Tuple: value.NewTuple(value.Int(7)), Origin: "repl", Seq: 3, Query: `insert 7 into R`},
+	}
+	for i, tx := range txns {
+		payload, err := appendTxn(nil, int64(i+1), tx)
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+		got, err := decodeTxn(payload)
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+		if got.Seq != int64(i+1) || got.Tx.Kind != tx.Kind || got.Tx.Rel != tx.Rel {
+			t.Fatalf("txn %d: round trip %+v -> %+v", i, tx, got.Tx)
+		}
+		if got.Tx.Origin != tx.Origin || got.Tx.Seq != tx.Seq || got.Tx.Query != tx.Query {
+			t.Fatalf("txn %d: tag lost: %+v", i, got.Tx)
+		}
+		if tx.Kind == core.KindInsert && !got.Tx.Tuple.Equal(tx.Tuple) {
+			t.Fatalf("txn %d: tuple %v -> %v", i, tx.Tuple, got.Tx.Tuple)
+		}
+	}
+	if _, err := appendTxn(nil, 1, core.Custom(nil, nil, []string{"R"})); err == nil {
+		t.Error("custom transaction encoded")
+	}
+}
+
+// TestPropertyDecodersNeverPanic mirrors TestPropertyDecodeNeverPanics in
+// internal/value: arbitrary bytes through every archive decoder must yield
+// errors, not panics.
+func TestPropertyDecodersNeverPanic(t *testing.T) {
+	f := func(buf []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic on %v: %v", buf, r)
+				ok = false
+			}
+		}()
+		rd := &reader{r: bytes.NewReader(buf)}
+		for {
+			if _, err := rd.next(); err != nil {
+				break
+			}
+		}
+		_, _ = decodeTxn(buf)
+		_, _, _ = decodeHeader(buf)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyMutatedTxnStreamNeverPanics frames random valid transaction
+// records, then corrupts the stream at a random position: reading must
+// terminate with a clean result, never panic.
+func TestPropertyMutatedTxnStreamNeverPanics(t *testing.T) {
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("panic for seed %d: %v", seed, r)
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		buf := appendRecord(nil, recHeader, headerPayload(recTxn, 0))
+		for i := 0; i < 1+r.Intn(5); i++ {
+			tx := core.Insert("R", value.NewTuple(value.Int(r.Int63n(100)), value.Str("v")))
+			payload, err := appendTxn(nil, int64(i+1), tx)
+			if err != nil {
+				return false
+			}
+			buf = appendRecord(buf, recTxn, payload)
+		}
+		switch r.Intn(3) {
+		case 0: // truncate
+			buf = buf[:r.Intn(len(buf)+1)]
+		case 1: // flip a byte
+			buf[r.Intn(len(buf))] ^= byte(1 + r.Intn(255))
+		case 2: // leave intact
+		}
+		rd := &reader{r: bytes.NewReader(buf)}
+		for {
+			rec, err := rd.next()
+			if err != nil {
+				return true
+			}
+			if rec.typ == recTxn {
+				_, _ = decodeTxn(rec.payload)
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// FuzzReadRecord is the fuzz entry for the framed reader: any input must
+// produce records or errors, never a panic, and any framed prefix must
+// decode back to itself.
+func FuzzReadRecord(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendRecord(nil, recTxn, []byte("seed")))
+	f.Add(appendRecord(appendRecord(nil, recHeader, headerPayload(recTxn, 3)), recTxn, []byte{1, 2, 3}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := &reader{r: bytes.NewReader(data)}
+		for {
+			rec, err := rd.next()
+			if err != nil {
+				break
+			}
+			// A valid frame must survive re-encoding.
+			again := appendRecord(nil, rec.typ, rec.payload)
+			if int64(len(again)) > rd.off {
+				t.Fatalf("frame longer than consumed input")
+			}
+			if rec.typ == recTxn {
+				_, _ = decodeTxn(rec.payload)
+			}
+		}
+	})
+}

@@ -35,6 +35,12 @@ type Engine struct {
 	writes atomic.Int64 // committed write transactions (version counter)
 	stats  *eval.Stats
 	wg     sync.WaitGroup
+
+	// Post-commit observation (observer.go): observers are notified of
+	// every committed write in sequence order on a chained goroutine, so
+	// durability and history ride the pipeline instead of serializing it.
+	observers  []CommitObserver
+	notifyTail *lenient.Cell[struct{}]
 }
 
 // EngineOption configures NewEngine.
@@ -101,7 +107,9 @@ func (e *Engine) Submit(tx Transaction) *lenient.Cell[Response] {
 		e.names = append(e.names, tx.Rel)
 		e.cells[tx.Rel] = lenient.Ready(relation.New(tx.Rep))
 		e.writes.Add(1)
-		return lenient.Ready(Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind})
+		resp := lenient.Ready(Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind})
+		e.notifyCommit(tx, resp)
+		return resp
 
 	case KindCustom:
 		return e.submitCustom(tx)
@@ -129,6 +137,7 @@ func (e *Engine) submitBuiltin(tx Transaction) *lenient.Cell[Response] {
 		return applyToRelation(ctx, tx, rel)
 	})
 
+	resp := lenient.Map(out, func(o txnOut) Response { return o.resp })
 	if !tx.IsReadOnly() {
 		// Replace the cell: later transactions on this relation chain on
 		// this future; all other relations' cells are shared untouched.
@@ -139,8 +148,9 @@ func (e *Engine) submitBuiltin(tx Transaction) *lenient.Cell[Response] {
 			return in.Force() // miss (e.g. delete of absent key): old value
 		})
 		e.writes.Add(1)
+		e.notifyCommit(tx, resp)
 	}
-	return lenient.Map(out, func(o txnOut) Response { return o.resp })
+	return resp
 }
 
 // applyToRelation interprets a built-in transaction against one relation
@@ -248,13 +258,16 @@ func (e *Engine) submitCustom(tx Transaction) *lenient.Cell[Response] {
 			return in.Force()
 		})
 	}
+	resp := lenient.Map(out, func(o txnOut) Response { return o.resp })
 	if len(tx.Writes) > 0 {
 		e.writes.Add(1)
+		e.notifyCommit(tx, resp)
 	}
-	return lenient.Map(out, func(o txnOut) Response { return o.resp })
+	return resp
 }
 
-// Barrier blocks until every submitted transaction body has finished.
+// Barrier blocks until every submitted transaction body has finished,
+// including any pending post-commit observer notifications.
 func (e *Engine) Barrier() { e.wg.Wait() }
 
 // Current materializes the present database version, forcing every

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"funcdb/internal/database"
+	"funcdb/internal/lenient"
+	"funcdb/internal/relation"
+)
+
+// Commit describes one committed write transaction: the transaction, its
+// response, and the database version it produced. Observers receive commits
+// in engine sequence order, after the write's own future has resolved, on a
+// notification chain that rides the lenient pipeline — unlike a Force in
+// Submit, an observer never delays the merge or the transactions behind it.
+type Commit struct {
+	// Seq is the engine's version number after this commit (the value
+	// Database.Version() reports for the resulting version).
+	Seq int64
+	// Tx is the committed transaction.
+	Tx Transaction
+	// Resp is the transaction's response.
+	Resp Response
+
+	version *lenient.Cell[*database.Database]
+}
+
+// Version materializes the database version this commit produced. The
+// version is captured structurally at merge time (a snapshot of the
+// per-relation cells), so it is exact even if later transactions have
+// already been merged behind this one; forcing it blocks only on the cells
+// this version depends on.
+func (c Commit) Version() *database.Database { return c.version.Force() }
+
+// NewCommit assembles a Commit from explicit parts: for tests, and for
+// feeding commit consumers (an archive, a history) outside an engine —
+// e.g. bulk imports that bypass transaction processing.
+func NewCommit(seq int64, tx Transaction, resp Response, version func() *database.Database) Commit {
+	return Commit{Seq: seq, Tx: tx, Resp: resp, version: lenient.Lazy(version)}
+}
+
+// CommitObserver is a post-commit hook. Observers run sequentially (in
+// commit order) on the engine's notification goroutine chain; a slow
+// observer delays later notifications, never the transaction pipeline
+// itself. Barrier waits for all pending notifications.
+type CommitObserver func(Commit)
+
+// WithCommitObserver registers a post-commit observer on the engine. It is
+// the durability hook: the archive subsystem logs the version stream from
+// here, and Store history rides it too.
+func WithCommitObserver(fn CommitObserver) EngineOption {
+	return func(e *Engine) { e.observers = append(e.observers, fn) }
+}
+
+// notifyCommit schedules the post-commit notification for a write that was
+// just merged. It must be called with e.mu held, after the write's output
+// cells are installed and the version counter incremented. The snapshot of
+// cell pointers taken here pins the exact version this commit produced:
+// persistent values make the capture O(relations) regardless of size.
+func (e *Engine) notifyCommit(tx Transaction, resp *lenient.Cell[Response]) {
+	if len(e.observers) == 0 {
+		return
+	}
+	seq := e.writes.Load()
+	names := append([]string(nil), e.names...)
+	cells := make([]*lenient.Cell[relation.Relation], len(names))
+	for i, n := range names {
+		cells[i] = e.cells[n]
+	}
+	version := lenient.Lazy(func() *database.Database {
+		rels := make([]relation.Relation, len(cells))
+		for i, c := range cells {
+			rels[i] = c.Force()
+		}
+		return database.FromRelations(names, rels, seq)
+	})
+
+	prev := e.notifyTail
+	e.wg.Add(1)
+	e.notifyTail = lenient.Spawn(func() struct{} {
+		defer e.wg.Done()
+		if prev != nil {
+			prev.Force()
+		}
+		c := Commit{Seq: seq, Tx: tx, Resp: resp.Force(), version: version}
+		for _, ob := range e.observers {
+			ob(c)
+		}
+		return struct{}{}
+	})
+}

@@ -20,6 +20,24 @@ import (
 // ErrCorrupt reports undecodable bytes.
 var ErrCorrupt = errors.New("value: corrupt encoding")
 
+// AppendString appends a length-prefixed string (uvarint length + bytes),
+// the building block the framed archive records use for names, origins and
+// query text.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// DecodeString decodes one length-prefixed string from the front of buf,
+// returning it and the remaining bytes.
+func DecodeString(buf []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < l {
+		return "", buf, fmt.Errorf("%w: bad string length", ErrCorrupt)
+	}
+	return string(buf[n : n+int(l)]), buf[n+int(l):], nil
+}
+
 // AppendItem appends the wire form of it to dst and returns the extended
 // slice. Only valid items (Int, Str) are encodable.
 func AppendItem(dst []byte, it Item) ([]byte, error) {

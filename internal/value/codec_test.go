@@ -31,6 +31,22 @@ func TestItemRoundTrip(t *testing.T) {
 	}
 }
 
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "hello world", string([]byte{0, 255, 1})} {
+		buf := AppendString([]byte{0xEE}, s)
+		got, rest, err := DecodeString(buf[1:])
+		if err != nil || got != s || len(rest) != 0 {
+			t.Errorf("round trip %q -> %q (rest %d, err %v)", s, got, len(rest), err)
+		}
+	}
+	if _, _, err := DecodeString(nil); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("nil buffer: %v", err)
+	}
+	if _, _, err := DecodeString([]byte{5, 'a'}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short buffer: %v", err)
+	}
+}
+
 func TestInvalidItemsNotEncodable(t *testing.T) {
 	for _, it := range []Item{{}, MinKey(), MaxKey()} {
 		if _, err := AppendItem(nil, it); err == nil {
