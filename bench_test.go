@@ -8,7 +8,9 @@ package funcdb_test
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"funcdb"
 	"funcdb/internal/core"
@@ -387,6 +389,13 @@ func BenchmarkDurableWrites(b *testing.B) {
 		{"archive=fsync", func(dir string) []funcdb.Option {
 			return []funcdb.Option{funcdb.WithDurability(dir, funcdb.SyncEveryWrite())}
 		}},
+		{"archive=fsync/group=2ms", func(dir string) []funcdb.Option {
+			return []funcdb.Option{funcdb.WithDurability(dir,
+				funcdb.SyncEveryWrite(), funcdb.GroupCommit(2*time.Millisecond))}
+		}},
+		{"archive=on/group=2ms", func(dir string) []funcdb.Option {
+			return []funcdb.Option{funcdb.WithDurability(dir, funcdb.GroupCommit(2*time.Millisecond))}
+		}},
 	}
 	for _, tc := range cases {
 		b.Run(tc.name, func(b *testing.B) {
@@ -435,6 +444,155 @@ func BenchmarkRecovery(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkReadFastPath measures read-only throughput while writers are
+// continuously committing: the lock-free snapshot fast path against the
+// serialized (mutex) read path on the same engine and workload. This is
+// the acceptance number for the admission pipeline — reads must not queue
+// behind the merge.
+func BenchmarkReadFastPath(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []core.EngineOption
+	}{
+		{"fastpath", nil},
+		{"mutex", []core.EngineOption{core.WithSerializedReads()}},
+	}
+	for _, mode := range modes {
+		b.Run(mode.name, func(b *testing.B) {
+			names := []string{"R", "W"}
+			data := map[string][]value.Tuple{"W": nil}
+			var tuples []value.Tuple
+			for i := 0; i < 1024; i++ {
+				tuples = append(tuples, value.NewTuple(value.Int(int64(i)), value.Str("v")))
+			}
+			data["R"] = tuples
+			eng := core.NewEngine(database.FromData(relation.RepAVL, names, data), mode.opts...)
+
+			stop := make(chan struct{})
+			var wwg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wwg.Add(1)
+				go func(w int) {
+					defer wwg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						eng.Submit(core.Insert("W", value.NewTuple(value.Int(int64(w*1_000_000+i%4096)), value.Str("x"))))
+					}
+				}(w)
+			}
+			var key atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					k := key.Add(1) % 1024
+					eng.Submit(core.Find("R", value.Int(k))).Force()
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wwg.Wait()
+			eng.Barrier()
+		})
+	}
+}
+
+// BenchmarkSubmitBatch measures merge arbitration under contention: each
+// parallel worker commits 64-transaction batches to its own relation,
+// either one Submit (one mutex acquisition) per transaction or one
+// SubmitBatch per batch. The last future of each batch is forced, so
+// outstanding work is bounded and the measured delta is admission cost.
+func BenchmarkSubmitBatch(b *testing.B) {
+	const batch = 64
+	setup := func() (*core.Engine, []string) {
+		names := make([]string, 16)
+		for i := range names {
+			names[i] = fmt.Sprintf("R%d", i)
+		}
+		return core.NewEngine(database.New(relation.RepAVL, names...)), names
+	}
+	mkTxns := func(rel string) []core.Transaction {
+		txns := make([]core.Transaction, batch)
+		for i := range txns {
+			txns[i] = core.Insert(rel, value.NewTuple(value.Int(int64(i%1024)), value.Str("v")))
+			txns[i].Origin, txns[i].Seq = "bench", i
+		}
+		return txns
+	}
+	b.Run("submit", func(b *testing.B) {
+		eng, names := setup()
+		var wid atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			txns := mkTxns(names[int(wid.Add(1))%len(names)])
+			for pb.Next() {
+				var last *funcdb.Future
+				for _, tx := range txns {
+					last = eng.Submit(tx)
+				}
+				last.Force()
+			}
+		})
+		b.StopTimer()
+		eng.Barrier()
+		b.ReportMetric(float64(batch), "txns/op")
+	})
+	b.Run("batch", func(b *testing.B) {
+		eng, names := setup()
+		var wid atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			txns := mkTxns(names[int(wid.Add(1))%len(names)])
+			for pb.Next() {
+				futs := eng.SubmitBatch(txns)
+				futs[len(futs)-1].Force()
+			}
+		})
+		b.StopTimer()
+		eng.Barrier()
+		b.ReportMetric(float64(batch), "txns/op")
+	})
+}
+
+// BenchmarkPrepared measures the parser's share of the submission hot
+// path: Exec (lex+parse per call) against a prepared statement (parse
+// once, bind per call).
+func BenchmarkPrepared(b *testing.B) {
+	newStore := func(b *testing.B) *funcdb.Store {
+		store := funcdb.MustOpen(funcdb.WithRelations("R"), funcdb.WithRepresentation(funcdb.RepAVL))
+		for i := 0; i < 1024; i++ {
+			store.Submit(core.Insert("R", value.NewTuple(value.Int(int64(i)), value.Str("v"))))
+		}
+		store.Barrier()
+		return store
+	}
+	b.Run("exec", func(b *testing.B) {
+		store := newStore(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Exec(fmt.Sprintf("find %d in R", i%1024)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		store := newStore(b)
+		find, err := store.Prepare("find ? in R")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := find.Exec(funcdb.Int(int64(i % 1024))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkRelationInsert measures one insert into a 1000-tuple relation

@@ -6,12 +6,17 @@
 // flag recovers the session's database (and its full version stream for
 // .at time travel).
 //
+// With --exec <file>, the repl runs in script mode: the file's queries are
+// submitted as one batch (ExecBatch — one merge arbitration for the whole
+// script), the responses are printed in order, and the process exits.
+//
 // Every line is a query; dot-commands inspect the system:
 //
 //	.help                 this text
 //	.stats                structure-sharing counters
 //	.versions             retained version stream
 //	.at <version> <query> run a read-only query against an old version
+//	.batch q1; q2; ...    submit several queries as one batch
 //	.quit                 exit
 package main
 
@@ -34,11 +39,12 @@ const helpText = `queries:
   count R                             range 1 9 in R
   create R [using list|avl|2-3|paged]
 commands:
-  .help  .stats  .versions  .at <version> <query>  .quit`
+  .help  .stats  .versions  .at <version> <query>  .batch q1; q2; ...  .quit`
 
 func main() {
 	dataDir := flag.String("data", "", "archive directory: persist the session and recover it on restart")
 	snapEvery := flag.Int("snapshot-every", 256, "with --data, snapshot the full version every n writes")
+	execFile := flag.String("exec", "", "script mode: run the file's queries as one batch and exit")
 	flag.Parse()
 
 	opts := []funcdb.Option{funcdb.WithHistory(0), funcdb.WithOrigin("repl")}
@@ -50,6 +56,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fdbrepl:", err)
 		os.Exit(1)
 	}
+
+	if *execFile != "" {
+		out, err := runScript(store, *execFile)
+		if out != "" {
+			fmt.Println(out)
+		}
+		if err == nil {
+			err = store.Close()
+		} else {
+			store.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdbrepl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Println("funcdb repl — a functional database (Keller & Lindstrom 1985). .help for help.")
 	if *dataDir != "" {
 		cur := store.Current()
@@ -94,6 +118,8 @@ func handleLine(store *funcdb.Store, raw string) (out string, quit bool) {
 		return versionsListing(store), false
 	case strings.HasPrefix(line, ".at "):
 		return execAt(store, strings.TrimPrefix(line, ".at ")), false
+	case strings.HasPrefix(line, ".batch "):
+		return execBatch(store, strings.TrimPrefix(line, ".batch ")), false
 	case strings.HasPrefix(line, "."):
 		return fmt.Sprintf("unknown command %q (.help for help)", line), false
 	default:
@@ -136,6 +162,69 @@ func versionsListing(store *funcdb.Store) string {
 			v.Version(), v.TotalTuples(), len(v.RelationNames()))
 	}
 	return b.String()
+}
+
+// execBatch submits semicolon-separated queries as one batch: one merge
+// arbitration, responses printed in order.
+func execBatch(store *funcdb.Store, rest string) string {
+	queries := splitQueries(rest)
+	if len(queries) == 0 {
+		return "usage: .batch <query>; <query>; ..."
+	}
+	resps, err := store.ExecBatch(queries)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return joinResponses(resps)
+}
+
+// joinResponses renders a batch's responses one per line, in order.
+func joinResponses(resps []funcdb.Response) string {
+	var b strings.Builder
+	for i, r := range resps {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// splitQueries splits a semicolon-separated query list, dropping empties.
+func splitQueries(s string) []string {
+	var out []string
+	for _, q := range strings.Split(s, ";") {
+		if q = strings.TrimSpace(q); q != "" {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// runScript executes a query file through ExecBatch: one query per line
+// (a trailing ';' is tolerated), blank lines and #-comments skipped. The
+// whole file is translated and submitted as a single batch.
+func runScript(store *funcdb.Store, path string) (string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	var queries []string
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ";"))
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		queries = append(queries, line)
+	}
+	if len(queries) == 0 {
+		return "", nil
+	}
+	resps, err := store.ExecBatch(queries)
+	if err != nil {
+		return "", err
+	}
+	return joinResponses(resps), nil
 }
 
 // execAt runs a read-only query against a retained version: time travel

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -150,5 +152,61 @@ func TestErrorsSurface(t *testing.T) {
 	out, _ = handleLine(store, "complete gibberish")
 	if !strings.Contains(out, "error:") {
 		t.Errorf("parse error -> %q", out)
+	}
+}
+
+func TestBatchCommand(t *testing.T) {
+	store := newStore(t)
+	out, quit := handleLine(store, `.batch create R; insert (1, "a") into R; insert (2, "b") into R; count R`)
+	if quit {
+		t.Fatal(".batch quit the session")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) != 4 {
+		t.Fatalf(".batch printed %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[3], "count: 2") {
+		t.Errorf("batch count line = %q", lines[3])
+	}
+	if out, _ := handleLine(store, ".batch ; ;"); !strings.Contains(out, "usage:") {
+		t.Errorf("empty .batch = %q", out)
+	}
+	if out, _ := handleLine(store, ".batch count R; bogus query"); !strings.Contains(out, "error:") {
+		t.Errorf("bad batch = %q", out)
+	}
+}
+
+func TestRunScript(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "script.fdb")
+	script := "# comment\ncreate R\ninsert (1, \"a\") into R;\n\nfind 1 in R\ncount R\n"
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	store := newStore(t)
+	out, err := runScript(store, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) != 4 {
+		t.Fatalf("script printed %d lines: %q", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "found") || !strings.Contains(lines[3], "count: 1") {
+		t.Errorf("script output wrong: %q", out)
+	}
+
+	if _, err := runScript(store, filepath.Join(dir, "missing.fdb")); err == nil {
+		t.Error("missing script file not reported")
+	}
+	bad := filepath.Join(dir, "bad.fdb")
+	os.WriteFile(bad, []byte("not a query\n"), 0o644)
+	if _, err := runScript(store, bad); err == nil {
+		t.Error("bad script query not reported")
+	}
+	empty := filepath.Join(dir, "empty.fdb")
+	os.WriteFile(empty, []byte("# only comments\n\n"), 0o644)
+	if out, err := runScript(store, empty); err != nil || out != "" {
+		t.Errorf("empty script: %q, %v", out, err)
 	}
 }

@@ -23,7 +23,8 @@ package funcdb
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
+	"time"
 
 	"funcdb/internal/archive"
 	"funcdb/internal/core"
@@ -180,6 +181,14 @@ func SnapshotEvery(n int) DurabilityOption { return archive.SnapshotEvery(n) }
 // against power loss, not just process crashes, at a per-write fsync cost.
 func SyncEveryWrite() DurabilityOption { return archive.Fsync(true) }
 
+// GroupCommit batches durable log appends: committed records accumulate in
+// memory and are flushed — one write, and one fsync when SyncEveryWrite is
+// on — at least every window. Group commit multiplies durable-write
+// throughput at the cost that a crash may lose the commits of the current
+// window (the in-memory database is never affected). Barrier and Close
+// flush the pending batch.
+func GroupCommit(window time.Duration) DurabilityOption { return archive.GroupCommit(window) }
+
 // Store is a single-process functional database: one transaction stream,
 // one version stream.
 type Store struct {
@@ -189,8 +198,7 @@ type Store struct {
 	archive *archive.Archive
 	origin  string
 
-	mu  sync.Mutex
-	seq int
+	seq atomic.Int64 // per-store sequence tags; atomic keeps reads lock-free
 }
 
 // Open creates a store.
@@ -279,11 +287,13 @@ func MustOpen(opts ...Option) *Store {
 
 // nextSeq issues the next per-store sequence number.
 func (s *Store) nextSeq() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	seq := s.seq
-	s.seq++
-	return seq
+	return int(s.seq.Add(1)) - 1
+}
+
+// nextSeqs issues n consecutive per-store sequence numbers, returning the
+// first.
+func (s *Store) nextSeqs(n int) int {
+	return int(s.seq.Add(int64(n))) - n
 }
 
 // Submit admits a transaction into the store's merged stream and returns
@@ -296,6 +306,23 @@ func (s *Store) Submit(tx Transaction) *Future {
 	}
 	tx.Seq = s.nextSeq()
 	return s.engine.Submit(tx)
+}
+
+// SubmitBatch admits a slice of transactions in one merge arbitration —
+// the engine mutex is taken once for the whole batch — and returns their
+// response futures in submission order. Origin/Seq tags are filled in when
+// empty, exactly as Submit does.
+func (s *Store) SubmitBatch(txs []Transaction) []*Future {
+	batch := make([]Transaction, len(txs))
+	copy(batch, txs)
+	first := s.nextSeqs(len(batch))
+	for i := range batch {
+		if batch[i].Origin == "" {
+			batch[i].Origin = s.origin
+		}
+		batch[i].Seq = first + i
+	}
+	return s.engine.SubmitBatch(batch)
 }
 
 // ExecAsync translates and submits a symbolic query, returning the
@@ -317,11 +344,111 @@ func (s *Store) Exec(q string) (Response, error) {
 	return fut.Force(), nil
 }
 
+// ExecBatch translates a slice of queries, submits them all in one merge
+// arbitration, and waits for every response. Translation is all-or-nothing:
+// a syntax error in any query fails the whole batch before anything is
+// submitted.
+func (s *Store) ExecBatch(queries []string) ([]Response, error) {
+	txs := make([]Transaction, len(queries))
+	for i, q := range queries {
+		tx, err := query.Translate(q)
+		if err != nil {
+			return nil, fmt.Errorf("batch query %d: %w", i, err)
+		}
+		txs[i] = tx
+	}
+	futures := s.SubmitBatch(txs)
+	out := make([]Response, len(futures))
+	for i, f := range futures {
+		out[i] = f.Force()
+	}
+	return out, nil
+}
+
+// Stmt is a prepared query bound to a store: parsed once, executed many
+// times with different bind parameters ('?' placeholders in data-item
+// positions). A Stmt is immutable and safe for concurrent use.
+type Stmt struct {
+	store *Store
+	prep  *query.Prepared
+}
+
+// Prepare parses q once into a reusable statement, taking the lexer and
+// parser off the submission hot path:
+//
+//	ins, _ := store.Prepare("insert (?, ?) into R")
+//	for i, name := range names {
+//		ins.Exec(funcdb.Int(int64(i)), funcdb.Str(name))
+//	}
+func (s *Store) Prepare(q string) (*Stmt, error) {
+	prep, err := query.Prepare(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{store: s, prep: prep}, nil
+}
+
+// Query returns the statement's source text.
+func (st *Stmt) Query() string { return st.prep.Src() }
+
+// NumParams returns the number of '?' placeholders.
+func (st *Stmt) NumParams() int { return st.prep.NumParams() }
+
+// Bind substitutes args into the placeholders and returns the transaction
+// without submitting it.
+func (st *Stmt) Bind(args ...Item) (Transaction, error) {
+	return st.prep.Bind(args...)
+}
+
+// ExecAsync binds and submits, returning the response future.
+func (st *Stmt) ExecAsync(args ...Item) (*Future, error) {
+	tx, err := st.prep.Bind(args...)
+	if err != nil {
+		return nil, err
+	}
+	return st.store.Submit(tx), nil
+}
+
+// Exec binds, submits and waits.
+func (st *Stmt) Exec(args ...Item) (Response, error) {
+	fut, err := st.ExecAsync(args...)
+	if err != nil {
+		return Response{}, err
+	}
+	return fut.Force(), nil
+}
+
+// ExecBatch binds every argument set and submits the lot in one merge
+// arbitration, waiting for all responses. Binding is all-or-nothing.
+func (st *Stmt) ExecBatch(argSets ...[]Item) ([]Response, error) {
+	txs := make([]Transaction, len(argSets))
+	for i, args := range argSets {
+		tx, err := st.prep.Bind(args...)
+		if err != nil {
+			return nil, fmt.Errorf("batch bind %d: %w", i, err)
+		}
+		txs[i] = tx
+	}
+	futures := st.store.SubmitBatch(txs)
+	out := make([]Response, len(futures))
+	for i, f := range futures {
+		out[i] = f.Force()
+	}
+	return out, nil
+}
+
 // Current materializes the store's present database version.
 func (s *Store) Current() *Database { return s.engine.Current() }
 
-// Barrier waits for every submitted transaction to finish.
-func (s *Store) Barrier() { s.engine.Barrier() }
+// Barrier waits for every submitted transaction to finish, including its
+// durable record: with group commit, the pending batch is flushed to the
+// log before Barrier returns.
+func (s *Store) Barrier() {
+	s.engine.Barrier()
+	if s.archive != nil {
+		_ = s.archive.Flush() // failures are sticky; DurabilityErr reports them
+	}
+}
 
 // History returns the retained version stream, or nil when history is
 // disabled. It waits for pending commits to be recorded, so the returned
@@ -391,6 +518,11 @@ func (s *Store) ArchivedVersions() ([]VersionInfo, error) {
 		return nil, fmt.Errorf("funcdb: store has no archive (open with WithDurability)")
 	}
 	s.engine.Barrier()
+	// Flush the group-commit batch explicitly: a flush failure must fail
+	// the listing rather than silently omit the buffered versions.
+	if err := s.archive.Flush(); err != nil {
+		return nil, err
+	}
 	return archive.Versions(s.archive.Dir())
 }
 

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"funcdb/internal/core"
 	"funcdb/internal/database"
@@ -21,6 +22,7 @@ var ErrExists = errors.New("archive: archive already present")
 type config struct {
 	snapshotEvery int
 	fsync         bool
+	group         time.Duration
 }
 
 // Option configures an archive.
@@ -42,6 +44,18 @@ func Fsync(on bool) Option {
 	return func(c *config) { c.fsync = on }
 }
 
+// GroupCommit batches log appends: records accumulate in memory and are
+// flushed — one write, and one fsync when Fsync is on — at least every
+// window. The commit path pays an in-memory copy instead of a syscall (and
+// instead of a per-commit fsync), multiplying durable-write throughput; the
+// cost is that a crash may lose the commits of the current window. Flush,
+// Sync, Snapshot, VersionAt and Close all flush the pending batch first,
+// so anything observed through the archive API is on disk. window <= 0
+// disables batching (the default: every append is written immediately).
+func GroupCommit(window time.Duration) Option {
+	return func(c *config) { c.group = window }
+}
+
 // Archive is an open, appendable archive directory. One writer at a time;
 // methods are safe for concurrent use within a process.
 type Archive struct {
@@ -49,10 +63,51 @@ type Archive struct {
 	dir       string
 	cfg       config
 	log       *os.File
-	logBase   int64 // sequence of the snapshot the open log segment follows
-	lastSeq   int64 // newest durable sequence number
-	sinceSnap int   // transactions logged since the last snapshot
-	failed    error // sticky first failure; appends refuse after it
+	logBase   int64  // sequence of the snapshot the open log segment follows
+	lastSeq   int64  // newest accepted sequence number (buffered or durable)
+	sinceSnap int    // transactions logged since the last snapshot
+	failed    error  // sticky first failure; appends refuse after it
+	buf       []byte // group commit: framed records awaiting one write+fsync
+
+	// Group-commit flusher goroutine lifecycle.
+	flushStop chan struct{}
+	flushDone chan struct{}
+	stopOnce  sync.Once
+}
+
+// startFlusher launches the group-commit window timer. Called once at
+// Create/Open when GroupCommit is configured.
+func (a *Archive) startFlusher() {
+	if a.cfg.group <= 0 {
+		return
+	}
+	a.flushStop = make(chan struct{})
+	a.flushDone = make(chan struct{})
+	go func() {
+		defer close(a.flushDone)
+		t := time.NewTicker(a.cfg.group)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				_ = a.Flush() // failures are sticky; Close reports them
+			case <-a.flushStop:
+				return
+			}
+		}
+	}()
+}
+
+// stopFlusher terminates the window timer and waits for it to exit. Safe
+// to call more than once, and a no-op without group commit.
+func (a *Archive) stopFlusher() {
+	if a.flushStop == nil {
+		return
+	}
+	a.stopOnce.Do(func() {
+		close(a.flushStop)
+		<-a.flushDone
+	})
 }
 
 func snapName(seq int64) string { return fmt.Sprintf("snap-%016d.fdba", seq) }
@@ -85,6 +140,7 @@ func Create(dir string, initial *database.Database, opts ...Option) (*Archive, e
 	if err := a.writeSnapshot(initial); err != nil {
 		return nil, err
 	}
+	a.startFlusher()
 	return a, nil
 }
 
@@ -127,6 +183,7 @@ func Open(dir string, opts ...Option) (*Archive, *database.Database, error) {
 	a.logBase = rec.logBase
 	a.lastSeq = rec.lastSeq
 	a.sinceSnap = rec.logRecords
+	a.startFlusher()
 	return a, rec.db, nil
 }
 
@@ -148,7 +205,17 @@ func (a *Archive) Append(c core.Commit) error {
 }
 
 func (a *Archive) append(c core.Commit) error {
+	if a.log == nil {
+		// Closed: refuse rather than buffer into a dead batch (the
+		// non-group path would surface this as a nil-file write error).
+		return fmt.Errorf("archive: append after Close (seq %d)", c.Seq)
+	}
 	if !encodable(c.Tx) {
+		// A snapshot rotates the log; the pending batch must land in the
+		// old segment first.
+		if err := a.flushLocked(); err != nil {
+			return err
+		}
 		return a.writeSnapshot(c.Version())
 	}
 	payload, err := appendTxn(nil, c.Seq, c.Tx)
@@ -158,19 +225,64 @@ func (a *Archive) append(c core.Commit) error {
 	if err := checkRecordLen(payload); err != nil {
 		return err
 	}
-	if _, err := a.log.Write(appendRecord(nil, recTxn, payload)); err != nil {
-		return fmt.Errorf("archive: append: %w", err)
-	}
-	if a.cfg.fsync {
-		if err := a.log.Sync(); err != nil {
-			return fmt.Errorf("archive: fsync: %w", err)
+	if a.cfg.group > 0 {
+		// Group commit: frame into the batch buffer; the window timer (or
+		// an explicit Flush/Sync/Close) issues the write+fsync.
+		a.buf = appendRecord(a.buf, recTxn, payload)
+	} else {
+		if _, err := a.log.Write(appendRecord(nil, recTxn, payload)); err != nil {
+			return fmt.Errorf("archive: append: %w", err)
+		}
+		if a.cfg.fsync {
+			if err := a.log.Sync(); err != nil {
+				return fmt.Errorf("archive: fsync: %w", err)
+			}
 		}
 	}
 	a.sinceSnap++
 	if a.cfg.snapshotEvery > 0 && a.sinceSnap >= a.cfg.snapshotEvery {
+		if err := a.flushLocked(); err != nil {
+			return err
+		}
 		return a.writeSnapshot(c.Version())
 	}
 	return nil
+}
+
+// flushLocked writes the pending group-commit batch to the log — one write
+// and, with Fsync on, one fsync for the whole batch. Must hold a.mu. A
+// failure is sticky.
+func (a *Archive) flushLocked() error {
+	if a.failed != nil {
+		return a.failed
+	}
+	if len(a.buf) == 0 {
+		return nil
+	}
+	if a.log == nil {
+		a.failed = fmt.Errorf("archive: %d bytes of batched records pending after Close", len(a.buf))
+		return a.failed
+	}
+	if _, err := a.log.Write(a.buf); err != nil {
+		a.failed = fmt.Errorf("archive: flush: %w", err)
+		return a.failed
+	}
+	a.buf = a.buf[:0]
+	if a.cfg.fsync {
+		if err := a.log.Sync(); err != nil {
+			a.failed = fmt.Errorf("archive: fsync: %w", err)
+			return a.failed
+		}
+	}
+	return nil
+}
+
+// Flush writes any pending group-commit batch to the log (and syncs it
+// when Fsync is on). A no-op without group commit or with an empty batch.
+func (a *Archive) Flush() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.flushLocked()
 }
 
 // Observer adapts the archive to the engine's post-commit hook. Failures
@@ -252,6 +364,9 @@ func (a *Archive) Snapshot(db *database.Database) error {
 	if db.Version() != a.lastSeq {
 		return fmt.Errorf("archive: snapshot of version %d, but archive is at %d", db.Version(), a.lastSeq)
 	}
+	if err := a.flushLocked(); err != nil {
+		return err
+	}
 	if err := a.writeSnapshot(db); err != nil {
 		a.failed = err
 		return err
@@ -259,12 +374,13 @@ func (a *Archive) Snapshot(db *database.Database) error {
 	return nil
 }
 
-// Sync flushes the log segment to stable storage.
+// Sync flushes any pending group-commit batch and fsyncs the log segment
+// to stable storage.
 func (a *Archive) Sync() error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.failed != nil {
-		return a.failed
+	if err := a.flushLocked(); err != nil {
+		return err
 	}
 	if err := a.log.Sync(); err != nil {
 		a.failed = fmt.Errorf("archive: fsync: %w", err)
@@ -287,17 +403,22 @@ func (a *Archive) Err() error {
 	return a.failed
 }
 
-// Close syncs and closes the archive. It returns the sticky append failure
-// if one occurred, so callers learn their store outlived its durability.
+// Close flushes the pending group-commit batch, syncs and closes the
+// archive. It returns the sticky append failure if one occurred, so
+// callers learn their store outlived its durability.
 func (a *Archive) Close() error {
+	a.stopFlusher() // before taking mu: the flusher takes mu to flush
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.log != nil {
+		ferr := a.flushLocked()
 		serr := a.log.Sync()
 		cerr := a.log.Close()
 		a.log = nil
 		if a.failed == nil {
-			if serr != nil {
+			if ferr != nil {
+				a.failed = ferr
+			} else if serr != nil {
 				a.failed = serr
 			} else if cerr != nil {
 				a.failed = cerr
@@ -312,10 +433,14 @@ func (a *Archive) Dir() string { return a.dir }
 
 // VersionAt materializes the on-disk version numbered seq: time travel
 // against the durable stream, independent of any in-memory history. The
-// mutex excludes concurrent appends; same-system reads see every written
-// byte through the page cache, so no flush is needed.
+// mutex excludes concurrent appends, and any pending group-commit batch is
+// flushed first; same-system reads then see every written byte through the
+// page cache, so no fsync is needed.
 func (a *Archive) VersionAt(seq int64) (*database.Database, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if err := a.flushLocked(); err != nil {
+		return nil, err
+	}
 	return VersionAt(a.dir, seq)
 }

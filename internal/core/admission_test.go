@@ -1,0 +1,307 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/lenient"
+	"funcdb/internal/relation"
+	"funcdb/internal/trace"
+	"funcdb/internal/value"
+)
+
+// respEqual compares the observable parts of two responses (everything a
+// client can see, including error text).
+func respEqual(a, b Response) bool {
+	if a.Origin != b.Origin || a.Seq != b.Seq || a.Kind != b.Kind ||
+		a.Found != b.Found || a.Count != b.Count || !a.Tuple.Equal(b.Tuple) {
+		return false
+	}
+	if (a.Err == nil) != (b.Err == nil) {
+		return false
+	}
+	if a.Err != nil && a.Err.Error() != b.Err.Error() {
+		return false
+	}
+	if len(a.Tuples) != len(b.Tuples) {
+		return false
+	}
+	for i := range a.Tuples {
+		if !a.Tuples[i].Equal(b.Tuples[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// transferBody is a deterministic custom transaction: move the tuple at
+// key k from one relation to another.
+func transferBody(from, to string, k int64) Transaction {
+	body := func(ctx *eval.Ctx, db *database.Database, after trace.TaskID) (Response, *database.Database, trace.Op) {
+		tu, found, _, err := db.Find(ctx, from, value.Int(k), after)
+		if err != nil || !found {
+			return Response{Found: false}, db, trace.Op{}
+		}
+		next, _, _, err := db.Delete(ctx, from, value.Int(k), after)
+		if err != nil {
+			return Response{Err: err}, db, trace.Op{}
+		}
+		next, _, err = next.Insert(ctx, to, tu, after)
+		if err != nil {
+			return Response{Err: err}, db, trace.Op{}
+		}
+		return Response{Found: true, Tuple: tu}, next, trace.Op{}
+	}
+	return Custom(body, []string{from, to}, []string{from, to})
+}
+
+// randomWorkload builds a mixed stream over a growing directory: built-in
+// reads and writes, creates, and custom read/write bodies.
+func randomWorkload(r *rand.Rand, n int) []Transaction {
+	names := []string{"R", "S", "T"}
+	txns := make([]Transaction, 0, n)
+	created := 0
+	for i := 0; i < n; i++ {
+		rel := names[r.Intn(len(names))]
+		k := int64(r.Intn(12))
+		var tx Transaction
+		switch r.Intn(10) {
+		case 0:
+			tx = Insert(rel, tup(k, "v"))
+		case 1:
+			tx = Delete(rel, value.Int(k))
+		case 2:
+			tx = Find(rel, value.Int(k))
+		case 3:
+			tx = Count(rel)
+		case 4:
+			tx = Scan(rel)
+		case 5:
+			tx = Range(rel, value.Int(2), value.Int(9))
+		case 6:
+			// Sometimes a duplicate create (an error response), sometimes
+			// a genuinely new relation that later transactions then use.
+			if r.Intn(2) == 0 && created < 3 {
+				name := fmt.Sprintf("N%d", created)
+				created++
+				tx = Create(name, relation.RepList)
+				names = append(names, name)
+			} else {
+				tx = Create(names[r.Intn(len(names))], relation.RepList)
+			}
+		case 7:
+			other := names[r.Intn(len(names))]
+			tx = transferBody(rel, other, k)
+		case 8:
+			// Custom read-only over declared sets.
+			rel := rel
+			tx = Custom(func(ctx *eval.Ctx, db *database.Database, after trace.TaskID) (Response, *database.Database, trace.Op) {
+				n, _, err := db.Count(ctx, rel, after)
+				return Response{Count: n, Err: err}, db, trace.Op{}
+			}, []string{rel}, nil)
+		default:
+			tx = Find("NOPE", value.Int(k)) // unknown relation: error response
+		}
+		tx.Origin, tx.Seq = "w", i
+		txns = append(txns, tx)
+	}
+	return txns
+}
+
+// TestPropertyBatchEquivalentToSubmit is the admission-equivalence
+// property: SubmitBatch (one merge arbitration), one-at-a-time Submit
+// (with the lock-free read fast path), and Submit with serialized reads
+// must produce identical responses and identical final databases on random
+// mixed workloads. Run in CI under -race.
+func TestPropertyBatchEquivalentToSubmit(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		txns := randomWorkload(r, 40+r.Intn(40))
+		init := database.New(relation.RepList, "R", "S", "T")
+
+		run := func(submit func(e *Engine) []Response, opts ...EngineOption) ([]Response, *database.Database) {
+			e := NewEngine(init, opts...)
+			resps := submit(e)
+			e.Barrier()
+			return resps, e.Current()
+		}
+		force := func(futs []*lenient.Cell[Response]) []Response {
+			out := make([]Response, len(futs))
+			for i, f := range futs {
+				out[i] = f.Force()
+			}
+			return out
+		}
+
+		batchResp, batchFinal := run(func(e *Engine) []Response {
+			return force(e.SubmitBatch(txns))
+		})
+		oneResp, oneFinal := run(func(e *Engine) []Response {
+			futs := make([]*lenient.Cell[Response], len(txns))
+			for i, tx := range txns {
+				futs[i] = e.Submit(tx)
+			}
+			return force(futs)
+		})
+		serResp, serFinal := run(func(e *Engine) []Response {
+			futs := make([]*lenient.Cell[Response], len(txns))
+			for i, tx := range txns {
+				futs[i] = e.Submit(tx)
+			}
+			return force(futs)
+		}, WithSerializedReads())
+
+		if !batchFinal.Equal(oneFinal) || !batchFinal.Equal(serFinal) {
+			return false
+		}
+		for i := range batchResp {
+			if !respEqual(batchResp[i], oneResp[i]) || !respEqual(batchResp[i], serResp[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadFastPathSeesOwnWrites: a client that submits a write and then a
+// read (in program order) must observe the write — the write's snapshot is
+// published before its Submit returns.
+func TestReadFastPathSeesOwnWrites(t *testing.T) {
+	e := NewEngine(seedDB())
+	e.Submit(Insert("R", tup(42, "new")))
+	resp := e.Submit(Find("R", value.Int(42))).Force()
+	if !resp.Found {
+		t.Fatal("fast-path read missed the client's own preceding write")
+	}
+	e.Submit(Delete("R", value.Int(42)))
+	resp = e.Submit(Find("R", value.Int(42))).Force()
+	if resp.Found {
+		t.Fatal("fast-path read observed a deleted tuple")
+	}
+}
+
+// TestReadFastPathErrors: unknown relations and invalid transactions keep
+// producing error responses on the lock-free path.
+func TestReadFastPathErrors(t *testing.T) {
+	e := NewEngine(seedDB())
+	if resp := e.Submit(Find("NOPE", value.Int(1))).Force(); !errors.Is(resp.Err, database.ErrNoRelation) {
+		t.Errorf("unknown relation err = %v", resp.Err)
+	}
+	if resp := e.Submit(Transaction{Kind: KindFind, Rel: "R"}).Force(); resp.Err == nil {
+		t.Error("invalid read-only transaction produced no error")
+	}
+}
+
+// TestConcurrentReadersAndWriters hammers the fast path under -race:
+// writers advance the snapshot while readers load it lock-free, asserting
+// only invariants that hold under any interleaving (monotonic counts, no
+// torn versions).
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	e := NewEngine(database.New(relation.RepAVL, "R", "S"))
+	const writers, readers, ops = 4, 4, 200
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				e.Submit(Insert("R", tup(int64(w*ops+i), "v")))
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for i := 0; i < ops; i++ {
+				resp := e.Submit(Count("R")).Force()
+				if resp.Err != nil {
+					t.Errorf("read error: %v", resp.Err)
+					return
+				}
+				if resp.Count < last {
+					t.Errorf("non-monotonic count: %d after %d", resp.Count, last)
+					return
+				}
+				last = resp.Count
+			}
+		}()
+	}
+	wg.Wait()
+	e.Barrier()
+	if got := e.Current().TotalTuples(); got != writers*ops {
+		t.Fatalf("final tuples = %d, want %d", got, writers*ops)
+	}
+}
+
+// TestSubmitBatchCreateThenUse: a batch may create a relation and use it
+// later in the same batch — directory membership is strict at merge time.
+func TestSubmitBatchCreateThenUse(t *testing.T) {
+	e := NewEngine(database.New(relation.RepList))
+	futs := e.SubmitBatch([]Transaction{
+		Create("X", relation.RepAVL),
+		Insert("X", tup(1, "a")),
+		Find("X", value.Int(1)),
+		Count("X"),
+	})
+	if resp := futs[2].Force(); !resp.Found {
+		t.Error("find in batch-created relation missed")
+	}
+	if resp := futs[3].Force(); resp.Count != 1 {
+		t.Errorf("count = %d, want 1", resp.Count)
+	}
+}
+
+// TestPlanAccessSets exercises the planning stage on its own.
+func TestPlanAccessSets(t *testing.T) {
+	e := NewEngine(seedDB())
+
+	p := e.Plan(Find("R", value.Int(1)))
+	if p.Err() != nil || !p.ReadOnly() {
+		t.Fatalf("find plan: err=%v readonly=%v", p.Err(), p.ReadOnly())
+	}
+	if got := p.Touched(); len(got) != 1 || got[0] != "R" {
+		t.Errorf("find touched = %v", got)
+	}
+
+	p = e.Plan(Insert("S", tup(1)))
+	if p.ReadOnly() {
+		t.Error("insert plan claims read-only")
+	}
+
+	p = e.Plan(transferBody("R", "S", 1))
+	if got := p.Touched(); len(got) != 2 || got[0] != "R" || got[1] != "S" {
+		t.Errorf("custom touched = %v", got)
+	}
+
+	// Empty declaration: the full barrier touches the whole (sorted)
+	// directory.
+	p = e.Plan(Transaction{Kind: KindCustom, Custom: func(*eval.Ctx, *database.Database, trace.TaskID) (Response, *database.Database, trace.Op) {
+		return Response{}, nil, trace.Op{}
+	}, Writes: []string{"R"}, Reads: nil})
+	if p.Err() == nil {
+		// Writes={R}, Reads=nil: union is {R}, not a full barrier.
+		if got := p.Touched(); len(got) != 1 {
+			t.Errorf("declared-set touched = %v", got)
+		}
+	}
+
+	p = e.Plan(Find("NOPE", value.Int(1)))
+	if !errors.Is(p.Err(), database.ErrNoRelation) {
+		t.Errorf("plan err = %v", p.Err())
+	}
+	if p.Version() != e.Current().Version() {
+		t.Errorf("plan version = %d, engine at %d", p.Version(), e.Current().Version())
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -19,22 +18,37 @@ import (
 // submitted transaction becomes a spawned future over exactly the cells it
 // touches.
 //
-// Submit is the serialization point — the pseudo-functional merge. Its
-// mutex is the paper's "momentary 'locking' effect among transactions as
-// transaction streams are merged; this establishes a definite sequence from
-// which concurrent operations are extracted" (Section 2.4). After that
+// Admission is a two-stage pipeline. Planning resolves a transaction's
+// access set — the cells it reads, the names it replaces — against the
+// engine's atomically published snapshot, without locks. Admission installs
+// a write's output cells and publishes the successor snapshot under the
+// engine mutex: the paper's "momentary 'locking' effect among transactions
+// as transaction streams are merged; this establishes a definite sequence
+// from which concurrent operations are extracted" (Section 2.4). After that
 // moment there are no locks: transactions on different relations run
 // concurrently because they share unchanged cells; transactions on the same
 // relation pipeline because the later one's future forces the earlier one's
-// output cell. Read-only transactions never replace a cell, so they "don't
-// lock out each other" (Section 6).
+// output cell.
+//
+// Read-only transactions never install anything, so they skip the merge
+// entirely: Submit loads the published snapshot and runs the read against
+// it lock-free — the paper's read-only transactions "don't lock out each
+// other" (Section 6), now with no mutex either. A fast-path read observes
+// the newest version published at some instant during the call, reads are
+// monotonic (the snapshot pointer only advances), and a client always sees
+// its own earlier writes (a write's snapshot is published before its Submit
+// returns).
 type Engine struct {
-	mu     sync.Mutex
-	names  []string // directory membership in creation order
-	cells  map[string]*lenient.Cell[relation.Relation]
-	writes atomic.Int64 // committed write transactions (version counter)
-	stats  *eval.Stats
-	wg     sync.WaitGroup
+	mu   sync.Mutex               // the merge point: serializes admission
+	snap atomic.Pointer[snapshot] // latest admitted version, lock-free readable
+
+	stats *eval.Stats
+	wg    sync.WaitGroup
+
+	// serializedReads routes read-only transactions through the merge
+	// mutex (the pre-pipeline behavior): a baseline for benchmarks and a
+	// diagnostic escape hatch.
+	serializedReads bool
 
 	// Post-commit observation (observer.go): observers are notified of
 	// every committed write in sequence order on a chained goroutine, so
@@ -51,18 +65,30 @@ func WithStats(s *eval.Stats) EngineOption {
 	return func(e *Engine) { e.stats = s }
 }
 
+// WithSerializedReads disables the lock-free read fast path: read-only
+// transactions take the merge mutex like writes. This is the baseline the
+// fast path is measured against; there is no correctness reason to use it.
+func WithSerializedReads() EngineOption {
+	return func(e *Engine) { e.serializedReads = true }
+}
+
 // NewEngine starts an engine over an initial database version.
 func NewEngine(initial *database.Database, opts ...EngineOption) *Engine {
-	e := &Engine{cells: make(map[string]*lenient.Cell[relation.Relation])}
+	e := &Engine{}
 	for _, opt := range opts {
 		opt(e)
 	}
-	for _, name := range initial.RelationNames() {
+	names := initial.RelationNames()
+	cells := make([]*lenient.Cell[relation.Relation], len(names))
+	for i, name := range names {
 		rel, _ := initial.RelationFast(name)
-		e.names = append(e.names, name)
-		e.cells[name] = lenient.Ready(rel)
+		cells[i] = lenient.Ready(rel)
 	}
-	e.writes.Store(initial.Version())
+	e.snap.Store(&snapshot{
+		dir:     database.NewDirectory(names...),
+		cells:   cells,
+		version: initial.Version(),
+	})
 	return e
 }
 
@@ -81,76 +107,126 @@ type txnOut struct {
 	newRels map[string]relation.Relation
 }
 
+// Plan resolves tx's access set against the engine's latest published
+// version without admitting it: the planning stage on its own, for
+// introspection and tests. The returned plan is a snapshot in time — the
+// engine may advance before the transaction is submitted.
+func (e *Engine) Plan(tx Transaction) Plan {
+	return planAgainst(e.snap.Load(), tx)
+}
+
 // Submit admits tx into the merged stream and returns its response future.
 // The call itself is brief (the merge arbitration); the transaction body
 // runs in its own goroutine, demand-synchronized with its neighbors through
-// the relation cells.
+// the relation cells. Read-only transactions skip the merge: they are
+// planned against the published snapshot and launched lock-free.
 func (e *Engine) Submit(tx Transaction) *lenient.Cell[Response] {
+	if !e.serializedReads && tx.IsReadOnly() {
+		return e.launchRead(planAgainst(e.snap.Load(), tx))
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-
-	if err := tx.Validate(); err != nil {
-		return lenient.Ready(Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind, Err: err})
-	}
-
-	switch tx.Kind {
-	case KindCreate:
-		// Directory membership is strict: later transactions must know
-		// which relations exist the moment they are merged. The relation's
-		// contents (empty) are ready immediately anyway.
-		if _, exists := e.cells[tx.Rel]; exists {
-			return lenient.Ready(Response{
-				Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind,
-				Err: fmt.Errorf("%w: %q", database.ErrRelationExists, tx.Rel),
-			})
-		}
-		e.names = append(e.names, tx.Rel)
-		e.cells[tx.Rel] = lenient.Ready(relation.New(tx.Rep))
-		e.writes.Add(1)
-		resp := lenient.Ready(Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind})
-		e.notifyCommit(tx, resp)
-		return resp
-
-	case KindCustom:
-		return e.submitCustom(tx)
-
-	default:
-		return e.submitBuiltin(tx)
-	}
+	return e.admitLocked(planAgainst(e.snap.Load(), tx))
 }
 
-// submitBuiltin handles the single-relation query kinds.
-func (e *Engine) submitBuiltin(tx Transaction) *lenient.Cell[Response] {
-	in, ok := e.cells[tx.Rel]
-	if !ok {
-		return lenient.Ready(Response{
-			Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind,
-			Err: fmt.Errorf("%w: %q", database.ErrNoRelation, tx.Rel),
-		})
+// SubmitBatch admits a slice of transactions under one mutex acquisition —
+// one merge arbitration for the whole batch — and returns their response
+// futures in order. It is equivalent to submitting each transaction in
+// sequence, but the merge cost is paid once.
+func (e *Engine) SubmitBatch(txs []Transaction) []*lenient.Cell[Response] {
+	out := make([]*lenient.Cell[Response], len(txs))
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i := range txs {
+		out[i] = e.admitLocked(planAgainst(e.snap.Load(), txs[i]))
+	}
+	return out
+}
+
+// admitLocked runs the admission stage for one plan: install the write's
+// output cells, publish the successor snapshot, and schedule the
+// post-commit notification. Must hold e.mu; p must have been planned
+// against the currently published snapshot.
+func (e *Engine) admitLocked(p Plan) *lenient.Cell[Response] {
+	if p.err != nil {
+		return p.errResponse()
+	}
+	if p.ReadOnly() {
+		return e.launchRead(p)
+	}
+	s := p.snap
+
+	if p.create {
+		// The relation's contents (empty) are ready immediately; only the
+		// directory grows.
+		cells := make([]*lenient.Cell[relation.Relation], len(s.cells), len(s.cells)+1)
+		copy(cells, s.cells)
+		cells = append(cells, lenient.Ready(relation.New(p.tx.Rep)))
+		ns := &snapshot{dir: s.dir.With(p.tx.Rel), cells: cells, version: s.version + 1}
+		e.snap.Store(ns)
+		resp := lenient.Ready(Response{Origin: p.tx.Origin, Seq: p.tx.Seq, Kind: p.tx.Kind})
+		e.notifyCommit(p.tx, resp, ns)
+		return resp
 	}
 
-	ctx := e.ctx()
-	e.wg.Add(1)
-	out := lenient.Spawn(func() txnOut {
-		defer e.wg.Done()
-		rel := in.Force()
-		return applyToRelation(ctx, tx, rel)
-	})
+	var out *lenient.Cell[txnOut]
+	if p.tx.Kind == KindCustom {
+		out = e.spawnCustom(p)
+	} else {
+		out = e.spawnBuiltin(p)
+	}
 
-	resp := lenient.Map(out, func(o txnOut) Response { return o.resp })
-	if !tx.IsReadOnly() {
-		// Replace the cell: later transactions on this relation chain on
-		// this future; all other relations' cells are shared untouched.
-		e.cells[tx.Rel] = lenient.Map(out, func(o txnOut) relation.Relation {
-			if nr, ok := o.newRels[tx.Rel]; ok {
+	// Replace the written cells: later transactions on these relations
+	// chain on this future; every other relation's cell is shared
+	// untouched in the successor snapshot.
+	cells := make([]*lenient.Cell[relation.Relation], len(s.cells))
+	copy(cells, s.cells)
+	for _, w := range p.writes {
+		i, _ := s.dir.Index(w)
+		in, name := s.cells[i], w
+		cells[i] = lenient.Map(out, func(o txnOut) relation.Relation {
+			if nr, ok := o.newRels[name]; ok {
 				return nr
 			}
 			return in.Force() // miss (e.g. delete of absent key): old value
 		})
-		e.writes.Add(1)
-		e.notifyCommit(tx, resp)
 	}
+	ns := &snapshot{dir: s.dir, cells: cells, version: s.version + 1}
+	e.snap.Store(ns)
+	resp := lenient.Map(out, func(o txnOut) Response { return o.resp })
+	e.notifyCommit(p.tx, resp, ns)
 	return resp
+}
+
+// launchRead runs a read-only plan: no cells are installed, so no lock is
+// needed. A point read whose input cell has already resolved is answered
+// inline — no goroutine, no future machinery, just the lookup.
+func (e *Engine) launchRead(p Plan) *lenient.Cell[Response] {
+	if p.err != nil {
+		return p.errResponse()
+	}
+	if p.tx.Kind == KindCustom {
+		out := e.spawnCustom(p)
+		return lenient.Map(out, func(o txnOut) Response { return o.resp })
+	}
+	if p.tx.Kind == KindFind {
+		if rel, ok := p.ins[0].Poll(); ok {
+			return lenient.Ready(applyToRelation(e.ctx(), p.tx, rel).resp)
+		}
+	}
+	out := e.spawnBuiltin(p)
+	return lenient.Map(out, func(o txnOut) Response { return o.resp })
+}
+
+// spawnBuiltin starts the future for a single-relation built-in body.
+func (e *Engine) spawnBuiltin(p Plan) *lenient.Cell[txnOut] {
+	ctx := e.ctx()
+	in, tx := p.ins[0], p.tx
+	e.wg.Add(1)
+	return lenient.Spawn(func() txnOut {
+		defer e.wg.Done()
+		return applyToRelation(ctx, tx, in.Force())
+	})
 }
 
 // applyToRelation interprets a built-in transaction against one relation
@@ -192,31 +268,13 @@ func applyToRelation(ctx *eval.Ctx, tx Transaction, rel relation.Relation) txnOu
 	}
 }
 
-// submitCustom handles arbitrary functional bodies with declared read and
-// write sets. An empty declaration means "touches everything" (a full
-// barrier) — correct but unpipelined, so callers should declare sets.
-func (e *Engine) submitCustom(tx Transaction) *lenient.Cell[Response] {
-	touched := unionSorted(tx.Reads, tx.Writes)
-	if len(touched) == 0 {
-		touched = append([]string(nil), e.names...)
-		sort.Strings(touched)
-	}
-	ins := make([]*lenient.Cell[relation.Relation], len(touched))
-	for i, name := range touched {
-		cell, ok := e.cells[name]
-		if !ok {
-			return lenient.Ready(Response{
-				Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind,
-				Err: fmt.Errorf("%w: %q", database.ErrNoRelation, name),
-			})
-		}
-		ins[i] = cell
-	}
-
+// spawnCustom starts the future for a custom body with declared read and
+// write sets, running it over a scoped view of the planned version.
+func (e *Engine) spawnCustom(p Plan) *lenient.Cell[txnOut] {
 	ctx := e.ctx()
-	version := e.writes.Load()
+	tx, touched, ins, version := p.tx, p.touched, p.ins, p.snap.version
 	e.wg.Add(1)
-	out := lenient.Spawn(func() (o txnOut) {
+	return lenient.Spawn(func() (o txnOut) {
 		defer e.wg.Done()
 		defer func() {
 			if r := recover(); r != nil {
@@ -244,26 +302,6 @@ func (e *Engine) submitCustom(tx Transaction) *lenient.Cell[Response] {
 		}
 		return txnOut{resp: resp, newRels: newRels}
 	})
-
-	for i, name := range touched {
-		if !contains(tx.Writes, name) {
-			continue
-		}
-		in := ins[i]
-		name := name
-		e.cells[name] = lenient.Map(out, func(o txnOut) relation.Relation {
-			if nr, ok := o.newRels[name]; ok {
-				return nr
-			}
-			return in.Force()
-		})
-	}
-	resp := lenient.Map(out, func(o txnOut) Response { return o.resp })
-	if len(tx.Writes) > 0 {
-		e.writes.Add(1)
-		e.notifyCommit(tx, resp)
-	}
-	return resp
 }
 
 // Barrier blocks until every submitted transaction body has finished,
@@ -271,22 +309,10 @@ func (e *Engine) submitCustom(tx Transaction) *lenient.Cell[Response] {
 func (e *Engine) Barrier() { e.wg.Wait() }
 
 // Current materializes the present database version, forcing every
-// relation cell (a full barrier on the version stream).
+// relation cell (a full barrier on the version stream). It is lock-free:
+// the published snapshot is the present version.
 func (e *Engine) Current() *database.Database {
-	e.mu.Lock()
-	names := append([]string(nil), e.names...)
-	cells := make([]*lenient.Cell[relation.Relation], len(names))
-	for i, n := range names {
-		cells[i] = e.cells[n]
-	}
-	version := e.writes.Load()
-	e.mu.Unlock()
-
-	rels := make([]relation.Relation, len(cells))
-	for i, c := range cells {
-		rels[i] = c.Force()
-	}
-	return database.FromRelations(names, rels, version)
+	return e.snap.Load().materialize()
 }
 
 // ApplyStreamPipelined runs an already-merged transaction slice through a
@@ -295,39 +321,10 @@ func (e *Engine) Current() *database.Database {
 // with ApplySequential for the serializability tests.
 func ApplyStreamPipelined(initial *database.Database, txns []Transaction, opts ...EngineOption) ([]Response, *database.Database) {
 	e := NewEngine(initial, opts...)
-	futures := make([]*lenient.Cell[Response], 0, len(txns))
-	for _, tx := range txns {
-		futures = append(futures, e.Submit(tx))
-	}
+	futures := e.SubmitBatch(txns)
 	responses := make([]Response, 0, len(futures))
 	for _, f := range futures {
 		responses = append(responses, f.Force())
 	}
 	return responses, e.Current()
-}
-
-// unionSorted merges two name slices into a sorted, deduplicated union.
-func unionSorted(a, b []string) []string {
-	set := make(map[string]struct{}, len(a)+len(b))
-	for _, s := range a {
-		set[s] = struct{}{}
-	}
-	for _, s := range b {
-		set[s] = struct{}{}
-	}
-	out := make([]string, 0, len(set))
-	for s := range set {
-		out = append(out, s)
-	}
-	sort.Strings(out)
-	return out
-}
-
-func contains(xs []string, s string) bool {
-	for _, x := range xs {
-		if x == s {
-			return true
-		}
-	}
-	return false
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"funcdb/internal/database"
 	"funcdb/internal/lenient"
-	"funcdb/internal/relation"
 )
 
 // Commit describes one committed write transaction: the transaction, its
@@ -51,27 +50,16 @@ func WithCommitObserver(fn CommitObserver) EngineOption {
 }
 
 // notifyCommit schedules the post-commit notification for a write that was
-// just merged. It must be called with e.mu held, after the write's output
-// cells are installed and the version counter incremented. The snapshot of
-// cell pointers taken here pins the exact version this commit produced:
-// persistent values make the capture O(relations) regardless of size.
-func (e *Engine) notifyCommit(tx Transaction, resp *lenient.Cell[Response]) {
+// just admitted. It must be called with e.mu held, right after the write's
+// successor snapshot s was published. The snapshot pins the exact version
+// this commit produced — a capture of cell pointers, O(relations)
+// regardless of size — even if later transactions are admitted behind it
+// before the notification runs.
+func (e *Engine) notifyCommit(tx Transaction, resp *lenient.Cell[Response], s *snapshot) {
 	if len(e.observers) == 0 {
 		return
 	}
-	seq := e.writes.Load()
-	names := append([]string(nil), e.names...)
-	cells := make([]*lenient.Cell[relation.Relation], len(names))
-	for i, n := range names {
-		cells[i] = e.cells[n]
-	}
-	version := lenient.Lazy(func() *database.Database {
-		rels := make([]relation.Relation, len(cells))
-		for i, c := range cells {
-			rels[i] = c.Force()
-		}
-		return database.FromRelations(names, rels, seq)
-	})
+	version := lenient.Lazy(s.materialize)
 
 	prev := e.notifyTail
 	e.wg.Add(1)
@@ -80,7 +68,7 @@ func (e *Engine) notifyCommit(tx Transaction, resp *lenient.Cell[Response]) {
 		if prev != nil {
 			prev.Force()
 		}
-		c := Commit{Seq: seq, Tx: tx, Resp: resp.Force(), version: version}
+		c := Commit{Seq: s.version, Tx: tx, Resp: resp.Force(), version: version}
 		for _, ob := range e.observers {
 			ob(c)
 		}

@@ -1,0 +1,34 @@
+package core
+
+import "sort"
+
+// Small sorted-string-set helpers shared by the planner (access-set
+// resolution) and the admission stage. Access sets are tiny (a handful of
+// relation names), so slices beat maps for both building and membership.
+
+// unionSorted merges two name slices into a sorted, deduplicated union.
+func unionSorted(a, b []string) []string {
+	set := make(map[string]struct{}, len(a)+len(b))
+	for _, s := range a {
+		set[s] = struct{}{}
+	}
+	for _, s := range b {
+		set[s] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// contains reports whether xs (a small name slice) contains s.
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

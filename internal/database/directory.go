@@ -1,0 +1,82 @@
+package database
+
+import "sort"
+
+// Directory is an immutable relation-name directory: the names of one
+// database version in creation order, with a cached sorted order and an
+// index for O(1) lookup. It is the shared, atomically publishable shape of
+// the engine's directory state — a version's membership, separated from the
+// (possibly still-computing) relation values themselves.
+//
+// A Directory never changes after construction; With builds a successor
+// that shares nothing mutable with its predecessor, so a pointer to a
+// Directory may be published across goroutines without synchronization.
+type Directory struct {
+	names  []string       // creation order
+	sorted []string       // names, sorted (cached for full-barrier plans)
+	index  map[string]int // name -> position in names
+}
+
+// NewDirectory builds a directory over the given names in order. Duplicate
+// names keep their first position.
+func NewDirectory(names ...string) *Directory {
+	d := &Directory{
+		names: make([]string, 0, len(names)),
+		index: make(map[string]int, len(names)),
+	}
+	for _, n := range names {
+		if _, dup := d.index[n]; dup {
+			continue
+		}
+		d.index[n] = len(d.names)
+		d.names = append(d.names, n)
+	}
+	d.sorted = sortedCopy(d.names)
+	return d
+}
+
+// With returns a successor directory with name appended, or the receiver
+// itself if name is already a member.
+func (d *Directory) With(name string) *Directory {
+	if _, ok := d.index[name]; ok {
+		return d
+	}
+	nd := &Directory{
+		names: append(append(make([]string, 0, len(d.names)+1), d.names...), name),
+		index: make(map[string]int, len(d.names)+1),
+	}
+	for i, n := range nd.names {
+		nd.index[n] = i
+	}
+	nd.sorted = sortedCopy(nd.names)
+	return nd
+}
+
+// Index returns name's position in creation order.
+func (d *Directory) Index(name string) (int, bool) {
+	i, ok := d.index[name]
+	return i, ok
+}
+
+// Has reports directory membership.
+func (d *Directory) Has(name string) bool {
+	_, ok := d.index[name]
+	return ok
+}
+
+// Len returns the number of relations.
+func (d *Directory) Len() int { return len(d.names) }
+
+// Names returns the names in creation order. The slice is shared with the
+// directory and must not be modified.
+func (d *Directory) Names() []string { return d.names }
+
+// Sorted returns the names in sorted order, computed once at construction.
+// The slice is shared with the directory and must not be modified.
+func (d *Directory) Sorted() []string { return d.sorted }
+
+func sortedCopy(names []string) []string {
+	out := append([]string(nil), names...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,59 @@
+package database
+
+import "testing"
+
+func TestDirectoryBasics(t *testing.T) {
+	d := NewDirectory("S", "R", "T")
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if got := d.Names(); got[0] != "S" || got[1] != "R" || got[2] != "T" {
+		t.Errorf("Names = %v (creation order lost)", got)
+	}
+	if got := d.Sorted(); got[0] != "R" || got[1] != "S" || got[2] != "T" {
+		t.Errorf("Sorted = %v", got)
+	}
+	if i, ok := d.Index("R"); !ok || i != 1 {
+		t.Errorf("Index(R) = %d, %v", i, ok)
+	}
+	if d.Has("X") {
+		t.Error("Has(X) on absent name")
+	}
+}
+
+func TestDirectoryWithIsPersistent(t *testing.T) {
+	d := NewDirectory("R")
+	d2 := d.With("S")
+	if d.Len() != 1 || d.Has("S") {
+		t.Error("With mutated the receiver")
+	}
+	if d2.Len() != 2 || !d2.Has("S") || !d2.Has("R") {
+		t.Errorf("successor wrong: %v", d2.Names())
+	}
+	if i, ok := d2.Index("S"); !ok || i != 1 {
+		t.Errorf("Index(S) = %d, %v", i, ok)
+	}
+	if d.With("R") != d {
+		t.Error("With of an existing member should return the receiver")
+	}
+}
+
+func TestDirectoryDuplicates(t *testing.T) {
+	d := NewDirectory("R", "R", "S")
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (duplicate collapsed)", d.Len())
+	}
+	if i, _ := d.Index("R"); i != 0 {
+		t.Errorf("duplicate lost first position: %d", i)
+	}
+}
+
+func TestDirectoryEmpty(t *testing.T) {
+	d := NewDirectory()
+	if d.Len() != 0 || len(d.Sorted()) != 0 {
+		t.Error("empty directory misbehaves")
+	}
+	if d.With("R").Len() != 1 {
+		t.Error("growing an empty directory failed")
+	}
+}

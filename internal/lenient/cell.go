@@ -20,7 +20,10 @@
 //     rest, apply-to-all and the usual derived operators.
 package lenient
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Cell is a lenient component: a value of type T that may still be under
 // computation. Force blocks until the value is available. A Cell computes
@@ -29,6 +32,7 @@ type Cell[T any] struct {
 	once sync.Once
 	fn   func() T
 	val  T
+	done atomic.Bool
 }
 
 // Lazy returns a cell that computes fn on first demand (call-by-need).
@@ -43,6 +47,7 @@ func Lazy[T any](fn func() T) *Cell[T] {
 func Ready[T any](v T) *Cell[T] {
 	c := &Cell[T]{val: v}
 	c.once.Do(func() {})
+	c.done.Store(true)
 	return c
 }
 
@@ -63,8 +68,20 @@ func (c *Cell[T]) Force() T {
 	c.once.Do(func() {
 		c.val = c.fn()
 		c.fn = nil // release the closure and anything it captured
+		c.done.Store(true)
 	})
 	return c.val
+}
+
+// Poll returns the cell's value without blocking: ok is false while the
+// value is still under computation (Poll never demands it). A true result
+// carries the same value every Force observes.
+func (c *Cell[T]) Poll() (v T, ok bool) {
+	if !c.done.Load() {
+		var zero T
+		return zero, false
+	}
+	return c.val, true
 }
 
 // Map returns a lazy cell holding f of c's value.

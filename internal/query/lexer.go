@@ -45,6 +45,7 @@ const (
 	tokLParen
 	tokRParen
 	tokComma
+	tokParam // '?', a bind placeholder in a prepared statement
 	tokEOF
 )
 
@@ -62,6 +63,8 @@ func (k tokenKind) String() string {
 		return "')'"
 	case tokComma:
 		return "','"
+	case tokParam:
+		return "'?'"
 	case tokEOF:
 		return "end of query"
 	default:
@@ -106,6 +109,9 @@ func lex(src string) ([]token, error) {
 			i++
 		case c == ',':
 			toks = append(toks, token{kind: tokComma, pos: i})
+			i++
+		case c == '?':
+			toks = append(toks, token{kind: tokParam, pos: i})
 			i++
 		case c == '"':
 			j := i + 1

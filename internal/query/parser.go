@@ -8,11 +8,14 @@ import (
 	"funcdb/internal/value"
 )
 
-// parser is a recursive-descent parser over the token stream.
+// parser is a recursive-descent parser over the token stream. When prep is
+// non-nil the parser is building a prepared statement: '?' placeholders are
+// legal in data-item positions and record bind slots into prep.
 type parser struct {
 	src  string
 	toks []token
 	pos  int
+	prep *Prepared
 }
 
 func (p *parser) peek() token { return p.toks[p.pos] }
@@ -63,21 +66,37 @@ func (p *parser) item() (value.Item, error) {
 	}
 }
 
-// tuple consumes either a parenthesized tuple or a single item (a 1-tuple).
-func (p *parser) tuple() (value.Tuple, error) {
-	if p.peek().kind != tokLParen {
-		it, err := p.item()
-		if err != nil {
-			return value.Tuple{}, err
+// paramItem consumes one data-item position that may be a '?' placeholder
+// in a prepared statement: the slot is recorded and a zero item stands in.
+func (p *parser) paramItem(field slotField, index int) (value.Item, error) {
+	if p.peek().kind == tokParam {
+		t := p.next()
+		if p.prep == nil {
+			return value.Item{}, p.fail(t, "'?' placeholder outside a prepared statement (use Prepare)")
 		}
-		return value.NewTuple(it), nil
+		p.prep.slots = append(p.prep.slots, paramSlot{field: field, index: index})
+		return value.Item{}, nil
+	}
+	return p.item()
+}
+
+// tupleItems consumes either a parenthesized tuple or a single item (a
+// 1-tuple), returning the field items. Placeholders are legal per field
+// when preparing.
+func (p *parser) tupleItems() ([]value.Item, error) {
+	if p.peek().kind != tokLParen {
+		it, err := p.paramItem(slotTuple, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []value.Item{it}, nil
 	}
 	p.next() // consume '('
 	var items []value.Item
 	for {
-		it, err := p.item()
+		it, err := p.paramItem(slotTuple, len(items))
 		if err != nil {
-			return value.Tuple{}, err
+			return nil, err
 		}
 		items = append(items, it)
 		t := p.next()
@@ -85,9 +104,9 @@ func (p *parser) tuple() (value.Tuple, error) {
 		case tokComma:
 			continue
 		case tokRParen:
-			return value.NewTuple(items...), nil
+			return items, nil
 		default:
-			return value.Tuple{}, p.fail(t, "expected ',' or ')' in tuple")
+			return nil, p.fail(t, "expected ',' or ')' in tuple")
 		}
 	}
 }
@@ -129,11 +148,17 @@ func (p *parser) end() error {
 // paper's higher-order translate. The returned Transaction's Apply method
 // is the function databases -> responses x databases.
 func Translate(src string) (core.Transaction, error) {
+	return translate(src, nil)
+}
+
+// translate is the shared parse: with prep nil it is the plain Translate;
+// with prep non-nil it builds a prepared statement, recording '?' slots.
+func translate(src string, prep *Prepared) (core.Transaction, error) {
 	toks, err := lex(src)
 	if err != nil {
 		return core.Transaction{}, err
 	}
-	p := &parser{src: src, toks: toks}
+	p := &parser{src: src, toks: toks, prep: prep}
 	verb := p.next()
 	if verb.kind != tokWord {
 		return core.Transaction{}, p.fail(verb, "expected a query verb")
@@ -142,7 +167,7 @@ func Translate(src string) (core.Transaction, error) {
 	var tx core.Transaction
 	switch verb.text {
 	case "insert":
-		tu, err := p.tuple()
+		items, err := p.tupleItems()
 		if err != nil {
 			return core.Transaction{}, err
 		}
@@ -153,10 +178,13 @@ func Translate(src string) (core.Transaction, error) {
 		if err != nil {
 			return core.Transaction{}, err
 		}
-		tx = core.Insert(rel, tu)
+		if prep != nil {
+			prep.items = items
+		}
+		tx = core.Insert(rel, value.NewTuple(items...))
 
 	case "find":
-		key, err := p.item()
+		key, err := p.paramItem(slotKey, 0)
 		if err != nil {
 			return core.Transaction{}, err
 		}
@@ -170,7 +198,7 @@ func Translate(src string) (core.Transaction, error) {
 		tx = core.Find(rel, key)
 
 	case "delete":
-		key, err := p.item()
+		key, err := p.paramItem(slotKey, 0)
 		if err != nil {
 			return core.Transaction{}, err
 		}
@@ -198,11 +226,11 @@ func Translate(src string) (core.Transaction, error) {
 		tx = core.Count(rel)
 
 	case "range":
-		lo, err := p.item()
+		lo, err := p.paramItem(slotLo, 0)
 		if err != nil {
 			return core.Transaction{}, err
 		}
-		hi, err := p.item()
+		hi, err := p.paramItem(slotHi, 0)
 		if err != nil {
 			return core.Transaction{}, err
 		}

@@ -1,0 +1,102 @@
+package query
+
+import (
+	"fmt"
+
+	"funcdb/internal/core"
+	"funcdb/internal/value"
+)
+
+// slotField names the transaction field a bind parameter fills.
+type slotField uint8
+
+const (
+	slotKey   slotField = iota + 1 // find/delete key
+	slotLo                         // range lower bound
+	slotHi                         // range upper bound
+	slotTuple                      // insert tuple field (index says which)
+)
+
+// paramSlot is one '?' placeholder: where its bound item lands.
+type paramSlot struct {
+	field slotField
+	index int // tuple field index when field == slotTuple
+}
+
+// Prepared is a parsed query template with '?' bind placeholders: the
+// parser has run once, and Bind substitutes data items into the recorded
+// slots to mint submittable transactions — parse once, bind many, so the
+// lexer and parser are off the submission hot path. Placeholders stand for
+// data items only (keys, range bounds, tuple fields); relation names and
+// verbs are fixed at prepare time, which is what lets the access set be
+// planned without reparsing.
+//
+// A Prepared value is immutable after Prepare returns and safe for
+// concurrent Bind calls.
+type Prepared struct {
+	src   string
+	tx    core.Transaction // template; slot positions hold zero items
+	items []value.Item     // insert tuple template (nil for other verbs)
+	slots []paramSlot
+}
+
+// Prepare parses src once into a bindable statement. Queries with no
+// placeholders prepare fine (NumParams reports 0) — Bind with no arguments
+// then returns the plain translation.
+func Prepare(src string) (*Prepared, error) {
+	prep := &Prepared{src: src}
+	tx, err := translate(src, prep)
+	if err != nil {
+		return nil, err
+	}
+	prep.tx = tx
+	return prep, nil
+}
+
+// Src returns the prepared query text.
+func (p *Prepared) Src() string { return p.src }
+
+// NumParams returns the number of '?' placeholders.
+func (p *Prepared) NumParams() int { return len(p.slots) }
+
+// Bind substitutes args into the placeholders, left to right, and returns
+// the resulting transaction. The receiver is not modified.
+func (p *Prepared) Bind(args ...value.Item) (core.Transaction, error) {
+	if len(args) != len(p.slots) {
+		return core.Transaction{}, fmt.Errorf("query: %q needs %d bind parameters, got %d",
+			p.src, len(p.slots), len(args))
+	}
+	tx := p.tx
+	var items []value.Item
+	if p.items != nil {
+		items = append([]value.Item(nil), p.items...)
+	}
+	for i, s := range p.slots {
+		if !args[i].IsValid() {
+			return core.Transaction{}, fmt.Errorf("query: bind parameter %d of %q is the zero item", i+1, p.src)
+		}
+		switch s.field {
+		case slotKey:
+			tx.Key = args[i]
+		case slotLo:
+			tx.Lo = args[i]
+		case slotHi:
+			tx.Hi = args[i]
+		case slotTuple:
+			items[s.index] = args[i]
+		}
+	}
+	if items != nil {
+		tx.Tuple = value.NewTuple(items...)
+	}
+	return tx, nil
+}
+
+// MustBind is Bind for statically valid arguments; it panics on error.
+func (p *Prepared) MustBind(args ...value.Item) core.Transaction {
+	tx, err := p.Bind(args...)
+	if err != nil {
+		panic(err)
+	}
+	return tx
+}

@@ -1,0 +1,100 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"funcdb/internal/core"
+	"funcdb/internal/value"
+)
+
+func TestPrepareBindKinds(t *testing.T) {
+	tests := []struct {
+		src    string
+		params int
+		args   []value.Item
+		check  func(t *testing.T, tx core.Transaction)
+	}{
+		{"find ? in R", 1, []value.Item{value.Int(7)}, func(t *testing.T, tx core.Transaction) {
+			if tx.Kind != core.KindFind || tx.Rel != "R" || !tx.Key.Equal(value.Int(7)) {
+				t.Errorf("bound find wrong: %+v", tx)
+			}
+		}},
+		{"delete ? from S", 1, []value.Item{value.Str("k")}, func(t *testing.T, tx core.Transaction) {
+			if tx.Kind != core.KindDelete || !tx.Key.Equal(value.Str("k")) {
+				t.Errorf("bound delete wrong: %+v", tx)
+			}
+		}},
+		{"range ? ? in R", 2, []value.Item{value.Int(1), value.Int(9)}, func(t *testing.T, tx core.Transaction) {
+			if !tx.Lo.Equal(value.Int(1)) || !tx.Hi.Equal(value.Int(9)) {
+				t.Errorf("bound range wrong: %+v", tx)
+			}
+		}},
+		{`insert (?, "name", ?) into R`, 2, []value.Item{value.Int(3), value.Int(250)}, func(t *testing.T, tx core.Transaction) {
+			if tx.Tuple.Arity() != 3 || !tx.Tuple.Field(0).Equal(value.Int(3)) ||
+				!tx.Tuple.Field(1).Equal(value.Str("name")) || !tx.Tuple.Field(2).Equal(value.Int(250)) {
+				t.Errorf("bound insert tuple wrong: %+v", tx.Tuple)
+			}
+		}},
+		{"insert ? into R", 1, []value.Item{value.Int(5)}, func(t *testing.T, tx core.Transaction) {
+			if tx.Tuple.Arity() != 1 || !tx.Tuple.Field(0).Equal(value.Int(5)) {
+				t.Errorf("bound 1-tuple insert wrong: %+v", tx.Tuple)
+			}
+		}},
+		{"count R", 0, nil, func(t *testing.T, tx core.Transaction) {
+			if tx.Kind != core.KindCount {
+				t.Errorf("no-param statement wrong: %+v", tx)
+			}
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.src, func(t *testing.T) {
+			p, err := Prepare(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.NumParams() != tc.params {
+				t.Fatalf("NumParams = %d, want %d", p.NumParams(), tc.params)
+			}
+			tx, err := p.Bind(tc.args...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Validate(); err != nil {
+				t.Fatalf("bound transaction invalid: %v", err)
+			}
+			tc.check(t, tx)
+		})
+	}
+}
+
+func TestPrepareBindIsReusable(t *testing.T) {
+	p, err := Prepare("find ? in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.MustBind(value.Int(1))
+	b := p.MustBind(value.Int(2))
+	if !a.Key.Equal(value.Int(1)) || !b.Key.Equal(value.Int(2)) {
+		t.Error("later binds disturbed earlier ones")
+	}
+}
+
+func TestPrepareErrors(t *testing.T) {
+	if _, err := Translate("find ? in R"); err == nil || !strings.Contains(err.Error(), "prepared") {
+		t.Errorf("Translate accepted a placeholder: %v", err)
+	}
+	if _, err := Prepare("create ?"); err == nil {
+		t.Error("placeholder in a relation-name position prepared")
+	}
+	p, err := Prepare("range ? ? in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Bind(value.Int(1)); err == nil {
+		t.Error("arity mismatch bound")
+	}
+	if _, err := p.Bind(value.Int(1), value.Item{}); err == nil {
+		t.Error("zero item bound")
+	}
+}
