@@ -15,12 +15,14 @@ import (
 	"funcdb"
 	"funcdb/internal/core"
 	"funcdb/internal/database"
+	"funcdb/internal/eval"
 	"funcdb/internal/experiments"
 	"funcdb/internal/lockdb"
 	"funcdb/internal/merge"
 	"funcdb/internal/relation"
 	"funcdb/internal/sched"
 	"funcdb/internal/topo"
+	"funcdb/internal/trace"
 	"funcdb/internal/value"
 	"funcdb/internal/workload"
 )
@@ -557,6 +559,94 @@ func BenchmarkSubmitBatch(b *testing.B) {
 		eng.Barrier()
 		b.ReportMetric(float64(batch), "txns/op")
 	})
+}
+
+// laneBenchNames returns `writers` relation names that hash to distinct
+// admission lanes under `lanes` lanes, so the disjoint workload is
+// disjoint by construction in every engine configuration.
+func laneBenchNames(writers, lanes int) []string {
+	used := make(map[int]bool, writers)
+	var names []string
+	for i := 0; len(names) < writers; i++ {
+		name := fmt.Sprintf("W%d", i)
+		if l := core.LaneOf(name, lanes); !used[l] {
+			used[l] = true
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
+// benchLaneWriters drives `writers` concurrent submitters through an
+// engine with the given lane count. Disjoint mode gives each writer its
+// own relation (one lane per writer); crossing mode makes every
+// transaction a two-relation custom spanning two lanes, paying the
+// ordered multi-lane lock. Responses are forced every few submissions so
+// outstanding work stays bounded and admission cost dominates.
+func benchLaneWriters(b *testing.B, lanes int, crossing bool) {
+	const writers = 8
+	names := laneBenchNames(writers, writers)
+	// List representation: an insert body is one O(1) prepend, so the
+	// measured cost is the admission path itself, not the relation update.
+	eng := core.NewEngine(database.New(relation.RepAVL, names...), core.WithLanes(lanes))
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	per := b.N/writers + 1
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a, bb := names[w], names[(w+1)%writers]
+			var last *funcdb.Future
+			for i := 0; i < per; i++ {
+				if crossing {
+					k := int64(i % 1024)
+					last = eng.Submit(core.Custom(func(ctx *eval.Ctx, db *funcdb.Database, after trace.TaskID) (core.Response, *funcdb.Database, trace.Op) {
+						next, _, err := db.Insert(ctx, bb, value.NewTuple(value.Int(k), value.Str("x")), after)
+						if err != nil {
+							return core.Response{Err: err}, db, trace.Op{}
+						}
+						return core.Response{}, next, trace.Op{}
+					}, []string{a}, []string{bb}))
+				} else {
+					last = eng.Submit(core.Insert(a, value.NewTuple(value.Int(int64(i%1024)), value.Str("v"))))
+				}
+				if i%32 == 31 {
+					last.Force()
+				}
+			}
+			last.Force()
+		}(w)
+	}
+	wg.Wait()
+	eng.Barrier()
+	b.StopTimer()
+	b.ReportMetric(float64(eng.Lanes()), "lanes")
+}
+
+// BenchmarkLanesDisjoint is the tentpole's acceptance number: concurrent
+// writers whose relations hash to distinct admission lanes, under the
+// single merge mutex (lanes=1) and the sharded merge point (lanes=8). With
+// one lane every admission serializes; with eight, each writer owns a lane
+// and admissions only meet at the snapshot CAS.
+func BenchmarkLanesDisjoint(b *testing.B) {
+	for _, lanes := range []int{1, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			benchLaneWriters(b, lanes, false)
+		})
+	}
+}
+
+// BenchmarkLanesCrossing is the counterweight: every transaction spans two
+// lanes, so the sharded engine pays the ordered multi-lane lock on every
+// commit. The gap between this and BenchmarkLanesDisjoint is the price of
+// cross-lane transactions.
+func BenchmarkLanesCrossing(b *testing.B) {
+	for _, lanes := range []int{1, 8} {
+		b.Run(fmt.Sprintf("lanes=%d", lanes), func(b *testing.B) {
+			benchLaneWriters(b, lanes, true)
+		})
+	}
 }
 
 // BenchmarkPrepared measures the parser's share of the submission hot

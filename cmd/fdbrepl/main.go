@@ -45,11 +45,15 @@ func main() {
 	dataDir := flag.String("data", "", "archive directory: persist the session and recover it on restart")
 	snapEvery := flag.Int("snapshot-every", 256, "with --data, snapshot the full version every n writes")
 	execFile := flag.String("exec", "", "script mode: run the file's queries as one batch and exit")
+	lanes := flag.Int("lanes", 0, "admission lanes the engine shards its merge point into (0 = auto from GOMAXPROCS)")
 	flag.Parse()
 
 	opts := []funcdb.Option{funcdb.WithHistory(0), funcdb.WithOrigin("repl")}
 	if *dataDir != "" {
 		opts = append(opts, funcdb.WithDurability(*dataDir, funcdb.SnapshotEvery(*snapEvery)))
+	}
+	if *lanes > 0 {
+		opts = append(opts, funcdb.WithLanes(*lanes))
 	}
 	store, err := funcdb.Open(opts...)
 	if err != nil {
@@ -112,8 +116,8 @@ func handleLine(store *funcdb.Store, raw string) (out string, quit bool) {
 		return helpText, false
 	case line == ".stats":
 		st := store.Stats()
-		return fmt.Sprintf("created %d  shared %d  visited %d  sharing %.1f%%",
-			st.Created, st.Shared, st.Visited, 100*st.Fraction), false
+		return fmt.Sprintf("created %d  shared %d  visited %d  sharing %.1f%%  lanes %d",
+			st.Created, st.Shared, st.Visited, 100*st.Fraction, store.Lanes()), false
 	case line == ".versions":
 		return versionsListing(store), false
 	case strings.HasPrefix(line, ".at "):

@@ -98,6 +98,7 @@ type config struct {
 	initial  *database.Database
 	dir      string // "" = no durability
 	archOpts []archive.Option
+	lanes    int // 0 = default (from GOMAXPROCS)
 }
 
 // Option configures Open.
@@ -153,6 +154,23 @@ func WithHistory(limit int) Option {
 // "local").
 func WithOrigin(origin string) Option {
 	return func(_ *cfgError, c *config) { c.origin = origin }
+}
+
+// WithLanes sets the number of admission lanes the engine shards its merge
+// point into. A write commits under the lane locks its relations hash
+// into, so writes on disjoint lanes admit in parallel; n = 1 reproduces
+// the single-mutex merge. The default (n = 0) picks the next power of two
+// at or above GOMAXPROCS, capped at 64. Lane count affects only internal
+// parallelism — any lane count yields the same responses and version
+// contents for the same submission order.
+func WithLanes(n int) Option {
+	return func(e *cfgError, c *config) {
+		if n < 0 {
+			e.err = fmt.Errorf("funcdb: negative lane count %d", n)
+			return
+		}
+		c.lanes = n
+	}
 }
 
 // WithDurability makes the version stream durable in dir: an initial
@@ -217,6 +235,9 @@ func Open(opts ...Option) (*Store, error) {
 		origin: c.origin,
 	}
 	engineOpts := []core.EngineOption{core.WithStats(s.stats)}
+	if c.lanes > 0 {
+		engineOpts = append(engineOpts, core.WithLanes(c.lanes))
+	}
 
 	initial := c.initial
 	if c.dir != "" && archive.Exists(c.dir) {
@@ -439,6 +460,10 @@ func (st *Stmt) ExecBatch(argSets ...[]Item) ([]Response, error) {
 
 // Current materializes the store's present database version.
 func (s *Store) Current() *Database { return s.engine.Current() }
+
+// Lanes returns the number of admission lanes the store's engine shards
+// its merge point into (see WithLanes).
+func (s *Store) Lanes() int { return s.engine.Lanes() }
 
 // Barrier waits for every submitted transaction to finish, including its
 // durable record: with group commit, the pending batch is flushed to the

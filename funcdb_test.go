@@ -156,6 +156,55 @@ func TestConcurrentStoreUse(t *testing.T) {
 	}
 }
 
+func TestWithLanes(t *testing.T) {
+	if _, err := funcdb.Open(funcdb.WithLanes(-1)); err == nil {
+		t.Error("negative lane count accepted")
+	}
+	one := funcdb.MustOpen(funcdb.WithLanes(1), funcdb.WithRelations("R"))
+	if got := one.Lanes(); got != 1 {
+		t.Errorf("Lanes() = %d, want 1", got)
+	}
+	if def := funcdb.MustOpen(); def.Lanes() < 1 {
+		t.Errorf("default Lanes() = %d", def.Lanes())
+	}
+
+	// The same queries through 1-lane and 8-lane stores (with history on,
+	// so the sequencer feeds the version stream) agree on responses, final
+	// contents, and the retained history length.
+	queries := []string{
+		"insert (1, \"a\") into R", "insert (2, \"b\") into S",
+		"create T using avl", "insert (3, \"c\") into T",
+		"find 1 in R", "delete 2 from S", "count S", "scan T",
+	}
+	run := func(lanes int) ([]funcdb.Response, *funcdb.Database, int) {
+		store := funcdb.MustOpen(funcdb.WithLanes(lanes),
+			funcdb.WithRelations("R", "S"), funcdb.WithHistory(0))
+		var resps []funcdb.Response
+		for _, q := range queries {
+			r, err := store.Exec(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resps = append(resps, r)
+		}
+		store.Barrier()
+		return resps, store.Current(), store.History().Len()
+	}
+	r1, db1, h1 := run(1)
+	r8, db8, h8 := run(8)
+	if !db1.Equal(db8) || db1.Version() != db8.Version() {
+		t.Fatalf("lane count changed the final database: v%d vs v%d", db1.Version(), db8.Version())
+	}
+	if h1 != h8 {
+		t.Fatalf("history lengths differ: %d vs %d", h1, h8)
+	}
+	for i := range r1 {
+		if r1[i].Found != r8[i].Found || r1[i].Count != r8[i].Count || (r1[i].Err == nil) != (r8[i].Err == nil) {
+			t.Fatalf("query %d (%q) differs across lane counts", i, queries[i])
+		}
+	}
+}
+
 func TestOpenCluster(t *testing.T) {
 	cluster, err := funcdb.OpenCluster(funcdb.ClusterConfig{
 		Sites:     8,

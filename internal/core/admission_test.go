@@ -131,13 +131,7 @@ func TestPropertyBatchEquivalentToSubmit(t *testing.T) {
 			e.Barrier()
 			return resps, e.Current()
 		}
-		force := func(futs []*lenient.Cell[Response]) []Response {
-			out := make([]Response, len(futs))
-			for i, f := range futs {
-				out[i] = f.Force()
-			}
-			return out
-		}
+		force := forceAll
 
 		batchResp, batchFinal := run(func(e *Engine) []Response {
 			return force(e.SubmitBatch(txns))
@@ -156,12 +150,16 @@ func TestPropertyBatchEquivalentToSubmit(t *testing.T) {
 			}
 			return force(futs)
 		}, WithSerializedReads())
+		lanedResp, lanedFinal := run(func(e *Engine) []Response {
+			return force(e.SubmitBatch(txns))
+		}, WithLanes(4))
 
-		if !batchFinal.Equal(oneFinal) || !batchFinal.Equal(serFinal) {
+		if !batchFinal.Equal(oneFinal) || !batchFinal.Equal(serFinal) || !batchFinal.Equal(lanedFinal) {
 			return false
 		}
 		for i := range batchResp {
-			if !respEqual(batchResp[i], oneResp[i]) || !respEqual(batchResp[i], serResp[i]) {
+			if !respEqual(batchResp[i], oneResp[i]) || !respEqual(batchResp[i], serResp[i]) ||
+				!respEqual(batchResp[i], lanedResp[i]) {
 				return false
 			}
 		}
@@ -170,6 +168,241 @@ func TestPropertyBatchEquivalentToSubmit(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Error(err)
 	}
+}
+
+// forceAll forces a slice of response futures in order.
+func forceAll(futs []*lenient.Cell[Response]) []Response {
+	out := make([]Response, len(futs))
+	for i, f := range futs {
+		out[i] = f.Force()
+	}
+	return out
+}
+
+// readSweep issues a Find for every key a workload can touch, in every
+// relation the final database holds: the per-key read responses the
+// equivalence harness compares across lane counts.
+func readSweep(e *Engine, db *database.Database, maxKey int64) []Response {
+	var out []Response
+	for _, rel := range db.RelationNames() {
+		for k := int64(0); k <= maxKey; k++ {
+			out = append(out, e.Submit(Find(rel, value.Int(k))).Force())
+		}
+	}
+	return out
+}
+
+// TestLaneEquivalenceDeterministic is the admission-equivalence harness
+// for sharded lanes: the same seeded mixed workload, submitted in program
+// order, must produce identical responses, identical per-key read
+// responses, and an identical final database under 1, 2, 4, and 8 lanes,
+// and under serialized reads. Lane count may change which lock a commit
+// takes, never what it commits. Runs under -race in CI.
+func TestLaneEquivalenceDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			txns := randomWorkload(r, 80+r.Intn(60))
+			init := database.New(relation.RepList, "R", "S", "T")
+
+			type result struct {
+				name   string
+				resps  []Response
+				sweep  []Response
+				final  *database.Database
+			}
+			variants := []struct {
+				name string
+				opts []EngineOption
+			}{
+				{"lanes=1", []EngineOption{WithLanes(1)}},
+				{"lanes=2", []EngineOption{WithLanes(2)}},
+				{"lanes=4", []EngineOption{WithLanes(4)}},
+				{"lanes=8", []EngineOption{WithLanes(8)}},
+				{"lanes=4/serialized-reads", []EngineOption{WithLanes(4), WithSerializedReads()}},
+			}
+			var results []result
+			for _, v := range variants {
+				e := NewEngine(init, v.opts...)
+				futs := make([]*lenient.Cell[Response], len(txns))
+				for i, tx := range txns {
+					futs[i] = e.Submit(tx)
+				}
+				resps := forceAll(futs)
+				e.Barrier()
+				final := e.Current()
+				sweep := readSweep(e, final, 12)
+				results = append(results, result{name: v.name, resps: resps, sweep: sweep, final: final})
+			}
+
+			base := results[0]
+			for _, got := range results[1:] {
+				if !got.final.Equal(base.final) {
+					t.Errorf("%s: final database differs from %s", got.name, base.name)
+				}
+				if got.final.Version() != base.final.Version() {
+					t.Errorf("%s: final version %d, %s has %d",
+						got.name, got.final.Version(), base.name, base.final.Version())
+				}
+				for i := range base.resps {
+					if !respEqual(base.resps[i], got.resps[i]) {
+						t.Errorf("%s: response %d (%s) differs from %s",
+							got.name, i, txns[i].Kind, base.name)
+						break
+					}
+				}
+				if len(got.sweep) != len(base.sweep) {
+					t.Fatalf("%s: read sweep has %d responses, %s has %d",
+						got.name, len(got.sweep), base.name, len(base.sweep))
+				}
+				for i := range base.sweep {
+					if !respEqual(base.sweep[i], got.sweep[i]) {
+						t.Errorf("%s: per-key read %d differs from %s", got.name, i, base.name)
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+// namesOnDistinctLanes generates n relation names that hash to n distinct
+// lanes, so a test can construct a workload that is disjoint by
+// construction. Requires n <= lanes.
+func namesOnDistinctLanes(t testing.TB, n, lanes int) []string {
+	t.Helper()
+	if n > lanes {
+		t.Fatalf("cannot place %d names on %d distinct lanes", n, lanes)
+	}
+	used := make(map[int]bool, n)
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		name := fmt.Sprintf("D%d", i)
+		if l := LaneOf(name, lanes); !used[l] {
+			used[l] = true
+			out = append(out, name)
+		}
+		if i > 10000 {
+			t.Fatal("lane hash never covered enough lanes")
+		}
+	}
+	return out
+}
+
+// TestLaneDisjointConcurrentWriters: writers on relations that hash to
+// distinct lanes commit concurrently, and the result is identical to what
+// one lane produces — disjoint transactions commute, so any publication
+// interleaving yields the same final contents, a dense version sequence,
+// and a consistent directory epoch. Runs under -race in CI.
+func TestLaneDisjointConcurrentWriters(t *testing.T) {
+	const writers, ops = 4, 100
+	for _, lanes := range []int{1, 4, 8} {
+		lanes := lanes
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			names := namesOnDistinctLanes(t, min(writers, lanes), max(lanes, 1))
+			for len(names) < writers {
+				names = append(names, names[len(names)%max(lanes, 1)])
+			}
+			e := NewEngine(database.New(relation.RepAVL, names...), WithLanes(lanes))
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						e.Submit(Insert(names[w], tup(int64(w*ops+i), "v")))
+					}
+				}(w)
+			}
+			wg.Wait()
+			e.Barrier()
+			final := e.Current()
+			if got := final.TotalTuples(); got != writers*ops {
+				t.Fatalf("final tuples = %d, want %d", got, writers*ops)
+			}
+			if got := final.Version(); got != int64(writers*ops) {
+				t.Fatalf("final version = %d, want %d (publication must stay dense)", got, writers*ops)
+			}
+		})
+	}
+}
+
+// TestLaneCrossingTransfers: cross-lane custom transactions take their
+// lane locks in sorted order, so concurrent transfers in both directions
+// between two lanes cannot deadlock and conserve tuples. Runs under -race
+// in CI.
+func TestLaneCrossingTransfers(t *testing.T) {
+	const lanes = 4
+	names := namesOnDistinctLanes(t, 2, lanes)
+	a, b := names[0], names[1]
+	init := database.FromData(relation.RepAVL, names, map[string][]value.Tuple{
+		a: {tup(1, "x"), tup(2, "x"), tup(3, "x")},
+		b: {tup(4, "x"), tup(5, "x"), tup(6, "x")},
+	})
+	e := NewEngine(init, WithLanes(lanes))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := int64(1 + (g*50+i)%6)
+				if g%2 == 0 {
+					e.Submit(transferBody(a, b, k))
+				} else {
+					e.Submit(transferBody(b, a, k))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	e.Barrier()
+	if got := e.Current().TotalTuples(); got != 6 {
+		t.Fatalf("transfers lost or duplicated tuples: %d, want 6", got)
+	}
+}
+
+// TestLaneSnapshotConsistency: lock-free readers loading the published
+// snapshot must always see a consistent directory — the epoch stamp and
+// the version advance monotonically even while creates in several lanes
+// grow the directory concurrently. Runs under -race in CI.
+func TestLaneSnapshotConsistency(t *testing.T) {
+	e := NewEngine(database.New(relation.RepList, "R"), WithLanes(8))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Submit(Create(fmt.Sprintf("C%d", i), relation.RepList))
+			e.Submit(Insert("R", tup(int64(i), "v")))
+		}
+	}()
+	lastVersion, lastEpoch := int64(-1), int64(-1)
+	for i := 0; i < 2000; i++ {
+		s := e.snap.Load()
+		if len(s.cells) != s.dir.Len() {
+			t.Fatalf("torn snapshot: %d cells for %d directory entries", len(s.cells), s.dir.Len())
+		}
+		if s.version < lastVersion {
+			t.Fatalf("published version went backwards: %d after %d", s.version, lastVersion)
+		}
+		if ep := s.dir.Epoch(); ep < lastEpoch {
+			t.Fatalf("directory epoch went backwards: %d after %d", ep, lastEpoch)
+		} else {
+			lastEpoch = ep
+		}
+		lastVersion = s.version
+	}
+	close(stop)
+	wg.Wait()
+	e.Barrier()
 }
 
 // TestReadFastPathSeesOwnWrites: a client that submits a write and then a

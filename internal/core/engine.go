@@ -38,9 +38,20 @@ import (
 // monotonic (the snapshot pointer only advances), and a client always sees
 // its own earlier writes (a write's snapshot is published before its Submit
 // returns).
+//
+// The merge point itself is sharded into admission lanes (lanes.go): a
+// write locks only the lanes its access set hashes into, so writes to
+// disjoint lanes admit concurrently, and the successor snapshot is
+// published by compare-and-swap on the epoch-stamped pointer rather than
+// under any global lock. Commit observers still see one total version
+// order: publication assigns dense version numbers, and a sequencer
+// (observer.go) re-serializes lane commits before notifying.
 type Engine struct {
-	mu   sync.Mutex               // the merge point: serializes admission
-	snap atomic.Pointer[snapshot] // latest admitted version, lock-free readable
+	nlanes     int
+	lanes      []sync.Mutex             // the sharded merge point
+	allLanes   laneSet                  // {0..nlanes-1}, the full-barrier set
+	laneSingle []laneSet                // precomputed singletons, one per lane
+	snap       atomic.Pointer[snapshot] // latest admitted version, lock-free readable
 
 	stats *eval.Stats
 	wg    sync.WaitGroup
@@ -51,10 +62,15 @@ type Engine struct {
 	serializedReads bool
 
 	// Post-commit observation (observer.go): observers are notified of
-	// every committed write in sequence order on a chained goroutine, so
+	// every committed write in version order on a chained goroutine, so
 	// durability and history ride the pipeline instead of serializing it.
+	// The sequencer fields re-serialize lane commits into that one total
+	// order.
 	observers  []CommitObserver
 	notifyTail *lenient.Cell[struct{}]
+	seqMu      sync.Mutex
+	seqNext    int64                    // next version to hand to observers
+	parked     map[int64]pendingCommit // commits published ahead of seqNext
 }
 
 // EngineOption configures NewEngine.
@@ -74,10 +90,11 @@ func WithSerializedReads() EngineOption {
 
 // NewEngine starts an engine over an initial database version.
 func NewEngine(initial *database.Database, opts ...EngineOption) *Engine {
-	e := &Engine{}
+	e := &Engine{nlanes: DefaultLanes()}
 	for _, opt := range opts {
 		opt(e)
 	}
+	e.initLanes()
 	names := initial.RelationNames()
 	cells := make([]*lenient.Cell[relation.Relation], len(names))
 	for i, name := range names {
@@ -89,6 +106,7 @@ func NewEngine(initial *database.Database, opts ...EngineOption) *Engine {
 		cells:   cells,
 		version: initial.Version(),
 	})
+	e.seqNext = initial.Version() + 1
 	return e
 }
 
@@ -119,34 +137,53 @@ func (e *Engine) Plan(tx Transaction) Plan {
 // The call itself is brief (the merge arbitration); the transaction body
 // runs in its own goroutine, demand-synchronized with its neighbors through
 // the relation cells. Read-only transactions skip the merge: they are
-// planned against the published snapshot and launched lock-free.
+// planned against the published snapshot and launched lock-free. Writes
+// lock only the admission lanes their access set hashes into, so writes on
+// disjoint lanes admit concurrently.
 func (e *Engine) Submit(tx Transaction) *lenient.Cell[Response] {
 	if !e.serializedReads && tx.IsReadOnly() {
 		return e.launchRead(planAgainst(e.snap.Load(), tx))
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	ls := e.laneSetOf(tx)
+	e.lockLanes(ls)
+	defer e.unlockLanes(ls)
 	return e.admitLocked(planAgainst(e.snap.Load(), tx))
 }
 
-// SubmitBatch admits a slice of transactions under one mutex acquisition —
-// one merge arbitration for the whole batch — and returns their response
+// SubmitBatch admits a slice of transactions and returns their response
 // futures in order. It is equivalent to submitting each transaction in
-// sequence, but the merge cost is paid once.
+// sequence, but lane locks are amortized: the batch is split into maximal
+// consecutive runs whose lane sets fit under one set of held locks, and
+// each run pays a single multi-lane acquisition. A batch confined to one
+// lane never blocks writers on other lanes.
 func (e *Engine) SubmitBatch(txs []Transaction) []*lenient.Cell[Response] {
 	out := make([]*lenient.Cell[Response], len(txs))
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	sets := make([]laneSet, len(txs))
 	for i := range txs {
-		out[i] = e.admitLocked(planAgainst(e.snap.Load(), txs[i]))
+		sets[i] = e.laneSetOf(txs[i])
+	}
+	for i := 0; i < len(txs); {
+		ls := sets[i]
+		j := i + 1
+		for j < len(txs) && sets[j].subsetOf(ls) {
+			j++
+		}
+		e.lockLanes(ls)
+		for k := i; k < j; k++ {
+			out[k] = e.admitLocked(planAgainst(e.snap.Load(), txs[k]))
+		}
+		e.unlockLanes(ls)
+		i = j
 	}
 	return out
 }
 
 // admitLocked runs the admission stage for one plan: install the write's
 // output cells, publish the successor snapshot, and schedule the
-// post-commit notification. Must hold e.mu; p must have been planned
-// against the currently published snapshot.
+// post-commit notification. The caller must hold every lane lock covering
+// p's access set, and p must have been planned under those locks — the
+// locks pin the plan's input cells, so the plan cannot go stale before
+// publication.
 func (e *Engine) admitLocked(p Plan) *lenient.Cell[Response] {
 	if p.err != nil {
 		return p.errResponse()
@@ -158,12 +195,16 @@ func (e *Engine) admitLocked(p Plan) *lenient.Cell[Response] {
 
 	if p.create {
 		// The relation's contents (empty) are ready immediately; only the
-		// directory grows.
-		cells := make([]*lenient.Cell[relation.Relation], len(s.cells), len(s.cells)+1)
-		copy(cells, s.cells)
-		cells = append(cells, lenient.Ready(relation.New(p.tx.Rep)))
-		ns := &snapshot{dir: s.dir.With(p.tx.Rel), cells: cells, version: s.version + 1}
-		e.snap.Store(ns)
+		// directory grows. Publication rebases onto whatever snapshot is
+		// current: directories only ever append, so concurrently created
+		// relations in other lanes keep their positions.
+		newCell := lenient.Ready(relation.New(p.tx.Rep))
+		ns := e.publish(func(cur *snapshot) *snapshot {
+			cells := make([]*lenient.Cell[relation.Relation], len(cur.cells), len(cur.cells)+1)
+			copy(cells, cur.cells)
+			cells = append(cells, newCell)
+			return &snapshot{dir: cur.dir.With(p.tx.Rel), cells: cells, version: cur.version + 1}
+		})
 		resp := lenient.Ready(Response{Origin: p.tx.Origin, Seq: p.tx.Seq, Kind: p.tx.Kind})
 		e.notifyCommit(p.tx, resp, ns)
 		return resp
@@ -178,24 +219,54 @@ func (e *Engine) admitLocked(p Plan) *lenient.Cell[Response] {
 
 	// Replace the written cells: later transactions on these relations
 	// chain on this future; every other relation's cell is shared
-	// untouched in the successor snapshot.
-	cells := make([]*lenient.Cell[relation.Relation], len(s.cells))
-	copy(cells, s.cells)
-	for _, w := range p.writes {
+	// untouched in the successor snapshot. The output cells and their
+	// directory indices come from the plan — both are pinned by the held
+	// lane locks (no other writer can touch these relations, and directory
+	// positions are append-stable) — and are built once, outside the CAS
+	// loop, so rebasing onto a concurrently advanced snapshot is just
+	// re-copying the other lanes' cells.
+	widx := make([]int, len(p.writes))
+	wcells := make([]*lenient.Cell[relation.Relation], len(p.writes))
+	for j, w := range p.writes {
 		i, _ := s.dir.Index(w)
 		in, name := s.cells[i], w
-		cells[i] = lenient.Map(out, func(o txnOut) relation.Relation {
+		widx[j] = i
+		wcells[j] = lenient.Map(out, func(o txnOut) relation.Relation {
 			if nr, ok := o.newRels[name]; ok {
 				return nr
 			}
 			return in.Force() // miss (e.g. delete of absent key): old value
 		})
 	}
-	ns := &snapshot{dir: s.dir, cells: cells, version: s.version + 1}
-	e.snap.Store(ns)
 	resp := lenient.Map(out, func(o txnOut) Response { return o.resp })
+	ns := e.publish(func(cur *snapshot) *snapshot {
+		cells := make([]*lenient.Cell[relation.Relation], len(cur.cells))
+		copy(cells, cur.cells)
+		for j, i := range widx {
+			cells[i] = wcells[j]
+		}
+		return &snapshot{dir: cur.dir, cells: cells, version: cur.version + 1}
+	})
 	e.notifyCommit(p.tx, resp, ns)
 	return resp
+}
+
+// publish installs a successor snapshot by compare-and-swap on the
+// epoch-stamped pointer, retrying on concurrent publications from other
+// lanes. build must derive the successor from the snapshot it is given —
+// on a retry it runs again against the new current snapshot — and must
+// only replace cells whose lanes the caller has locked. Version numbers
+// come out dense: every successful publication is exactly cur.version+1,
+// which is what lets the commit sequencer re-serialize lane commits into
+// one total order.
+func (e *Engine) publish(build func(cur *snapshot) *snapshot) *snapshot {
+	for {
+		cur := e.snap.Load()
+		ns := build(cur)
+		if e.snap.CompareAndSwap(cur, ns) {
+			return ns
+		}
+	}
 }
 
 // launchRead runs a read-only plan: no cells are installed, so no lock is
@@ -269,7 +340,13 @@ func applyToRelation(ctx *eval.Ctx, tx Transaction, rel relation.Relation) txnOu
 }
 
 // spawnCustom starts the future for a custom body with declared read and
-// write sets, running it over a scoped view of the planned version.
+// write sets, running it over a scoped view of the planned version. The
+// view's Version() is the plan-time version number: under concurrent
+// cross-lane traffic the commit may publish as a later sequence number
+// (other lanes can publish between planning and this write's CAS), but
+// the *contents* the body sees are exactly the planned cells — the lane
+// locks pin them — so what the transaction commits never depends on lane
+// count, only the informational version stamp of its view can trail.
 func (e *Engine) spawnCustom(p Plan) *lenient.Cell[txnOut] {
 	ctx := e.ctx()
 	tx, touched, ins, version := p.tx, p.touched, p.ins, p.snap.version

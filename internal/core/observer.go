@@ -49,26 +49,68 @@ func WithCommitObserver(fn CommitObserver) EngineOption {
 	return func(e *Engine) { e.observers = append(e.observers, fn) }
 }
 
+// pendingCommit is one published write waiting its turn in the observer
+// sequence: lanes publish versions in CAS order, but the goroutines racing
+// through notifyCommit may arrive out of order, so commits park here until
+// every earlier version has been chained.
+type pendingCommit struct {
+	tx   Transaction
+	resp *lenient.Cell[Response]
+	snap *snapshot
+}
+
 // notifyCommit schedules the post-commit notification for a write that was
-// just admitted. It must be called with e.mu held, right after the write's
-// successor snapshot s was published. The snapshot pins the exact version
-// this commit produced — a capture of cell pointers, O(relations)
-// regardless of size — even if later transactions are admitted behind it
-// before the notification runs.
+// just admitted, called right after the write's successor snapshot s won
+// publication. The snapshot pins the exact version this commit produced —
+// a capture of cell pointers, O(relations) regardless of size — even if
+// later transactions are published behind it before the notification runs.
+//
+// Lane commits are re-serialized here: versions are dense (publish hands
+// out cur.version+1 on every successful CAS), so the sequencer releases
+// version v to the notification chain only once versions up to v-1 have
+// been chained. Observers therefore see the one total version order no
+// matter how many lanes produced it — the archive's group commit and the
+// store's history depend on that.
 func (e *Engine) notifyCommit(tx Transaction, resp *lenient.Cell[Response], s *snapshot) {
 	if len(e.observers) == 0 {
 		return
 	}
-	version := lenient.Lazy(s.materialize)
-
-	prev := e.notifyTail
+	// Account for this commit's notification before Submit returns, so a
+	// Barrier after the submitting call covers it even while the commit is
+	// parked behind a neighbor lane's in-flight publication.
 	e.wg.Add(1)
+
+	e.seqMu.Lock()
+	defer e.seqMu.Unlock()
+	if e.parked == nil {
+		e.parked = make(map[int64]pendingCommit)
+	}
+	e.parked[s.version] = pendingCommit{tx: tx, resp: resp, snap: s}
+	for {
+		pc, ok := e.parked[e.seqNext]
+		if !ok {
+			return
+		}
+		delete(e.parked, e.seqNext)
+		e.seqNext++
+		e.chainNotifyLocked(pc)
+	}
+}
+
+// chainNotifyLocked appends one commit to the notification chain. Must
+// hold e.seqMu; called in version order by the sequencer loop above. The
+// chain rides the lenient pipeline: each link forces its predecessor, then
+// the commit's own response, then runs the observers — a slow observer
+// delays later notifications, never the transaction pipeline.
+func (e *Engine) chainNotifyLocked(pc pendingCommit) {
+	version := lenient.Lazy(pc.snap.materialize)
+	prev := e.notifyTail
 	e.notifyTail = lenient.Spawn(func() struct{} {
 		defer e.wg.Done()
 		if prev != nil {
 			prev.Force()
 		}
-		c := Commit{Seq: s.version, Tx: tx, Resp: resp.Force(), version: version}
+		c := Commit{Seq: pc.snap.version, Tx: pc.tx, Resp: pc.resp.Force(), version: version}
 		for _, ob := range e.observers {
 			ob(c)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -48,6 +49,52 @@ func TestObserverSeesCommitsInOrder(t *testing.T) {
 		if s != int64(i+1) {
 			t.Fatalf("commit %d has seq %d (out of order or gapped)", i, s)
 		}
+	}
+}
+
+// TestObserverReserializesLaneCommits is TestObserverSeesCommitsInOrder
+// with the merge point sharded: writers commit concurrently on distinct
+// lanes, publication order is decided by CAS races, and the sequencer must
+// still hand observers one dense, gap-free total version order. This is
+// the property the archive's group commit and the store's history rely on.
+func TestObserverReserializesLaneCommits(t *testing.T) {
+	for _, lanes := range []int{2, 4, 8} {
+		lanes := lanes
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			var mu sync.Mutex
+			var seqs []int64
+			names := namesOnDistinctLanes(t, min(4, lanes), lanes)
+			e := NewEngine(database.New(relation.RepAVL, names...),
+				WithLanes(lanes),
+				WithCommitObserver(func(c Commit) {
+					mu.Lock()
+					seqs = append(seqs, c.Seq)
+					mu.Unlock()
+				}))
+
+			const per = 50
+			var wg sync.WaitGroup
+			for w := range names {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						e.Submit(Insert(names[w], value.NewTuple(value.Int(int64(w*1000+i)))))
+					}
+				}(w)
+			}
+			wg.Wait()
+			e.Barrier()
+
+			if len(seqs) != len(names)*per {
+				t.Fatalf("observed %d commits, want %d", len(seqs), len(names)*per)
+			}
+			for i, s := range seqs {
+				if s != int64(i+1) {
+					t.Fatalf("commit %d has seq %d (lane commits not re-serialized)", i, s)
+				}
+			}
+		})
 	}
 }
 

@@ -75,6 +75,17 @@ func (d *Directory) Names() []string { return d.names }
 // The slice is shared with the directory and must not be modified.
 func (d *Directory) Sorted() []string { return d.sorted }
 
+// Epoch returns the directory's membership epoch: a stamp that strictly
+// increases whenever membership grows and is equal between directories
+// with the same membership history. Because directories only ever append
+// (With never removes or reorders), the epoch is simply the name count —
+// but callers should treat it as an opaque monotone stamp. Consumers of
+// atomically published directory snapshots (the engine publishes one per
+// admitted version) can compare epochs across two loads to detect
+// membership growth without comparing name sets; the consistency tests
+// in internal/core assert exactly that monotonicity.
+func (d *Directory) Epoch() int64 { return int64(len(d.names)) }
+
 func sortedCopy(names []string) []string {
 	out := append([]string(nil), names...)
 	sort.Strings(out)
