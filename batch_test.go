@@ -3,6 +3,7 @@
 package funcdb_test
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -45,6 +46,49 @@ func TestExecBatchAllOrNothingTranslation(t *testing.T) {
 	}
 	if got := store.Current().TotalTuples(); got != 0 {
 		t.Errorf("failed batch still submitted %d writes", got)
+	}
+}
+
+// TestExecBatchErrorIndex: a rejected batch reports WHICH statement
+// failed, programmatically — errors.As recovers the index and query text,
+// not just an error string.
+func TestExecBatchErrorIndex(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	_, err := store.ExecBatch([]string{
+		"count R",
+		`insert (1, "a") into R`,
+		"definitely not a query",
+		"count R",
+	})
+	if err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	var be *funcdb.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("ExecBatch error is %T, want *funcdb.BatchError", err)
+	}
+	if be.Index != 2 {
+		t.Errorf("failing index = %d, want 2", be.Index)
+	}
+	if be.Query != "definitely not a query" {
+		t.Errorf("failing query = %q", be.Query)
+	}
+	if be.Unwrap() == nil {
+		t.Error("BatchError hides the underlying parse error")
+	}
+	// All-or-nothing still holds.
+	if got := store.Current().TotalTuples(); got != 0 {
+		t.Errorf("failed batch submitted %d writes", got)
+	}
+
+	// Prepared-statement batches report bind failures the same way.
+	ins := mustPrepare(t, store, "insert (?, ?) into R")
+	_, err = ins.ExecBatch(
+		[]funcdb.Item{funcdb.Int(1), funcdb.Str("a")},
+		[]funcdb.Item{funcdb.Int(2)}, // arity mismatch
+	)
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Errorf("stmt batch error = %v (index %d), want BatchError at 1", err, be.Index)
 	}
 }
 

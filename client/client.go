@@ -1,0 +1,304 @@
+// Package client is the dial-side of the funcdb wire protocol: a
+// network session against a running fdbserver, with the same execution
+// surface the in-process Store offers (Exec / ExecAsync / ExecBatch),
+// so a workload can run unchanged in-process or over the wire.
+//
+// Requests are pipelined: ExecAsync writes the frame immediately and
+// returns a Pending handle without waiting; any number of requests may
+// be in flight, and responses are matched by request id, so forcing
+// handles in any order is safe. ExecBatch ships the whole batch as ONE
+// frame — the server admits it as one lane-split SubmitBatch, exactly
+// like an in-process ExecBatch.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+
+	"sync"
+
+	"funcdb"
+	"funcdb/internal/session"
+	"funcdb/internal/wire"
+)
+
+// Client is one wire connection. Safe for concurrent use: sends are
+// serialized under their own lock (so firing pipelined requests never
+// waits behind a goroutine blocked reading a response), and concurrent
+// Force calls cooperate through the receive buffer.
+type Client struct {
+	conn net.Conn
+
+	wmu    sync.Mutex // guards bw and request-id allocation
+	bw     *bufio.Writer
+	nextID uint64
+
+	rmu sync.Mutex // guards br and the reorder buffer
+	br  *bufio.Reader
+	// got buffers responses that arrived while awaiting another id:
+	// out-of-order-safe pipelining.
+	got map[uint64]arrived
+
+	emu    sync.Mutex // guards the sticky transport failure
+	err    error
+	closed bool
+
+	origin  string
+	lanes   int
+	durable bool
+}
+
+// fail records the first transport failure; every later call reports it.
+func (c *Client) fail(err error) error {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	return c.err
+}
+
+// sticky returns the recorded transport failure, if any.
+func (c *Client) sticky() error {
+	c.emu.Lock()
+	defer c.emu.Unlock()
+	return c.err
+}
+
+// arrived is one received reply, keyed by request id.
+type arrived struct {
+	resp   funcdb.Response   // FrameResponse
+	resps  []funcdb.Response // FrameBatchResponse
+	errMsg string            // FrameError
+	index  int               // FrameError: failing batch index, -1 otherwise
+	isErr  bool
+	batch  bool
+}
+
+// Option configures Dial.
+type Option func(*Client)
+
+// WithOrigin sets the origin tag the server stamps on this connection's
+// transactions (default: server-assigned "connN").
+func WithOrigin(origin string) Option {
+	return func(c *Client) { c.origin = origin }
+}
+
+// Dial connects and performs the protocol handshake.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		got:  make(map[uint64]arrived),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	if err := wire.WriteFrame(c.bw, wire.FrameHello, wire.AppendHello(nil, wire.Hello{Origin: c.origin})); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil || typ != wire.FrameWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("client: handshake failed: %v", err)
+	}
+	w, err := wire.DecodeWelcome(payload)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	c.origin, c.lanes, c.durable = w.Origin, w.Lanes, w.Durable
+	return c, nil
+}
+
+// Origin returns the connection's origin tag (server-assigned when Dial
+// had none).
+func (c *Client) Origin() string { return c.origin }
+
+// Lanes returns the server store's admission lane count.
+func (c *Client) Lanes() int { return c.lanes }
+
+// Durable reports whether the server store writes a durable archive.
+func (c *Client) Durable() bool { return c.durable }
+
+// Pending is one in-flight request: a response future over the wire.
+type Pending struct {
+	c  *Client
+	id uint64
+}
+
+// Force blocks until the request's response arrives (reading the
+// connection as needed) and returns it. Safe to call from any goroutine
+// and in any order relative to other Pending handles.
+func (p *Pending) Force() (funcdb.Response, error) {
+	return p.c.await(p.id)
+}
+
+// send writes one frame under the write lock and returns its request id.
+func (c *Client) send(typ byte, build func(id uint64) []byte) (uint64, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.sticky(); err != nil {
+		return 0, err
+	}
+	id := c.nextID
+	c.nextID++
+	// Encode before touching the socket: an unencodable request (e.g. a
+	// frame over the size limit) is the caller's error, not a transport
+	// failure — the connection stays usable.
+	frame, err := wire.AppendFrame(nil, typ, build(id))
+	if err != nil {
+		return 0, fmt.Errorf("client: %w", err)
+	}
+	if _, err := c.bw.Write(frame); err != nil {
+		return 0, c.fail(fmt.Errorf("client: send: %w", err))
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, c.fail(fmt.Errorf("client: send: %w", err))
+	}
+	return id, nil
+}
+
+// await blocks until id's reply is buffered or read, consuming frames
+// (and buffering other ids' replies) as they arrive.
+func (c *Client) await(id uint64) (funcdb.Response, error) {
+	a, err := c.recv(id)
+	if err != nil {
+		return funcdb.Response{}, err
+	}
+	if a.isErr {
+		return funcdb.Response{}, errors.New(a.errMsg)
+	}
+	if a.batch {
+		return funcdb.Response{}, fmt.Errorf("client: request %d is a batch (use ExecBatch)", id)
+	}
+	return a.resp, nil
+}
+
+// recv reads frames under the receive lock until id's reply arrives.
+func (c *Client) recv(id uint64) (arrived, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for {
+		if a, ok := c.got[id]; ok {
+			delete(c.got, id)
+			return a, nil
+		}
+		if err := c.sticky(); err != nil {
+			return arrived{}, err
+		}
+		typ, payload, err := wire.ReadFrame(c.br)
+		if err != nil {
+			return arrived{}, c.fail(fmt.Errorf("client: recv: %w", err))
+		}
+		switch typ {
+		case wire.FrameResponse:
+			rid, resp, derr := wire.DecodeSingleResponse(payload)
+			if derr != nil {
+				return arrived{}, c.fail(derr)
+			}
+			c.got[rid] = arrived{resp: resp, index: -1}
+		case wire.FrameBatchResponse:
+			rid, resps, derr := wire.DecodeResponses(payload)
+			if derr != nil {
+				return arrived{}, c.fail(derr)
+			}
+			c.got[rid] = arrived{resps: resps, batch: true, index: -1}
+		case wire.FrameError:
+			rid, index, msg, derr := wire.DecodeErrorMsg(payload)
+			if derr != nil {
+				return arrived{}, c.fail(derr)
+			}
+			c.got[rid] = arrived{errMsg: msg, index: index, isErr: true}
+		default:
+			return arrived{}, c.fail(fmt.Errorf("client: unexpected frame %#x", typ))
+		}
+	}
+}
+
+// ExecAsync submits one statement without waiting: pipelined execution.
+func (c *Client) ExecAsync(q string) (*Pending, error) {
+	id, err := c.send(wire.FrameExec, func(id uint64) []byte {
+		return wire.AppendExec(nil, id, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pending{c: c, id: id}, nil
+}
+
+// Exec submits one statement and waits for its response. A translation
+// failure on the server surfaces as the returned error; an
+// operation-level failure (e.g. an unknown relation) arrives inside the
+// response, exactly as in-process execution reports it.
+func (c *Client) Exec(q string) (funcdb.Response, error) {
+	p, err := c.ExecAsync(q)
+	if err != nil {
+		return funcdb.Response{}, err
+	}
+	return p.Force()
+}
+
+// ExecBatch ships the batch as one frame — one admission arbitration on
+// the server — and waits for every response. Translation is
+// all-or-nothing; a failure reports a *funcdb.BatchError with the failing
+// statement's index, like the in-process ExecBatch.
+func (c *Client) ExecBatch(queries []string) ([]funcdb.Response, error) {
+	id, err := c.send(wire.FrameBatch, func(id uint64) []byte {
+		return wire.AppendBatch(nil, id, queries)
+	})
+	if err != nil {
+		return nil, err
+	}
+	a, aerr := c.recv(id)
+	if aerr != nil {
+		return nil, aerr
+	}
+	if a.isErr {
+		if a.index >= 0 && a.index < len(queries) {
+			return nil, &session.BatchError{Index: a.index, Query: queries[a.index], Err: errors.New(a.errMsg)}
+		}
+		return nil, errors.New(a.errMsg)
+	}
+	if !a.batch {
+		return nil, fmt.Errorf("client: request %d is not a batch", id)
+	}
+	return a.resps, nil
+}
+
+// Close announces a clean quit and closes the connection. A goroutine
+// blocked in Force wakes with a transport error.
+func (c *Client) Close() error {
+	c.emu.Lock()
+	if c.closed {
+		c.emu.Unlock()
+		return nil
+	}
+	c.closed = true
+	healthy := c.err == nil
+	if c.err == nil {
+		c.err = errors.New("client: closed")
+	}
+	c.emu.Unlock()
+
+	if healthy {
+		c.wmu.Lock()
+		if err := wire.WriteFrame(c.bw, wire.FrameQuit, nil); err == nil {
+			c.bw.Flush()
+		}
+		c.wmu.Unlock()
+	}
+	return c.conn.Close()
+}

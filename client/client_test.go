@@ -1,0 +1,112 @@
+package client_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"funcdb"
+	"funcdb/client"
+	"funcdb/internal/server"
+)
+
+func TestDialErrors(t *testing.T) {
+	// Nothing listening: Dial reports, no panic.
+	if _, err := client.Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to dead port succeeded")
+	}
+}
+
+func TestClientAfterClose(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer store.Close()
+	srv := server.New(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Shutdown()
+
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := c.Exec("count R"); err != nil || resp.Err != nil {
+		t.Fatalf("count: %v / %v", err, resp.Err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("count R"); err == nil || !strings.Contains(err.Error(), "closed") {
+		t.Errorf("exec after close: %v", err)
+	}
+	if err := c.Close(); err != nil { // double close is a no-op
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestConcurrentCallersShareOneConnection: many goroutines exec through
+// one client; request ids route every response to its caller. Runs under
+// -race in CI.
+func TestConcurrentCallersShareOneConnection(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer store.Close()
+	srv := server.New(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Shutdown()
+
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const goroutines, ops = 8, 50
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := g*ops + i
+				resp, err := c.Exec(fmt.Sprintf("insert (%d, \"v\") into R", k))
+				if err != nil || resp.Err != nil {
+					t.Errorf("insert %d: %v / %v", k, err, resp.Err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	resp, err := c.Exec("count R")
+	if err != nil || resp.Count != goroutines*ops {
+		t.Fatalf("count = %+v (%v), want %d", resp, err, goroutines*ops)
+	}
+}
+
+func TestServerAssignedOrigin(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer store.Close()
+	srv := server.New(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Shutdown()
+
+	c, err := client.Dial(srv.Addr().String()) // no origin: server assigns
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !strings.HasPrefix(c.Origin(), "conn") {
+		t.Errorf("assigned origin = %q", c.Origin())
+	}
+	resp, err := c.Exec("count R")
+	if err != nil || resp.Origin != c.Origin() {
+		t.Errorf("response origin %q, client origin %q (%v)", resp.Origin, c.Origin(), err)
+	}
+}

@@ -7,8 +7,13 @@
 // .at time travel).
 //
 // With --exec <file>, the repl runs in script mode: the file's queries are
-// submitted as one batch (ExecBatch — one merge arbitration for the whole
-// script), the responses are printed in order, and the process exits.
+// submitted as one batch (one merge arbitration for the whole script), the
+// responses are printed in order, and the process exits.
+//
+// The repl executes through the same session layer as the public Store
+// API and the network server; `.remote <addr>` swaps the backing session
+// for a network client session against a running fdbserver — same REPL,
+// remote store — and `.local` swaps back.
 //
 // Every line is a query; dot-commands inspect the system:
 //
@@ -17,6 +22,7 @@
 //	.versions             retained version stream
 //	.at <version> <query> run a read-only query against an old version
 //	.batch q1; q2; ...    submit several queries as one batch
+//	.remote <addr>        execute against a fdbserver; .local to return
 //	.quit                 exit
 package main
 
@@ -29,7 +35,9 @@ import (
 	"strings"
 
 	"funcdb"
+	"funcdb/client"
 	"funcdb/internal/query"
+	"funcdb/internal/session"
 	"funcdb/internal/trace"
 )
 
@@ -39,13 +47,39 @@ const helpText = `queries:
   count R                             range 1 9 in R
   create R [using list|avl|2-3|paged]
 commands:
-  .help  .stats  .versions  .at <version> <query>  .batch q1; q2; ...  .quit`
+  .help  .stats  .versions  .at <version> <query>  .batch q1; q2; ...
+  .remote <addr>  .local  .quit`
+
+// repl holds the shell's execution state: the local store, and — after
+// .remote — the network client the queries are routed through instead.
+type repl struct {
+	store  *funcdb.Store
+	remote *client.Client
+	addr   string
+}
+
+// exec routes one query to the backing session (local or remote).
+func (r *repl) exec(q string) (funcdb.Response, error) {
+	if r.remote != nil {
+		return r.remote.Exec(q)
+	}
+	return r.store.Exec(q)
+}
+
+// execBatch routes a batch to the backing session.
+func (r *repl) execBatch(qs []string) ([]funcdb.Response, error) {
+	if r.remote != nil {
+		return r.remote.ExecBatch(qs)
+	}
+	return r.store.ExecBatch(qs)
+}
 
 func main() {
 	dataDir := flag.String("data", "", "archive directory: persist the session and recover it on restart")
 	snapEvery := flag.Int("snapshot-every", 256, "with --data, snapshot the full version every n writes")
 	execFile := flag.String("exec", "", "script mode: run the file's queries as one batch and exit")
 	lanes := flag.Int("lanes", 0, "admission lanes the engine shards its merge point into (0 = auto from GOMAXPROCS)")
+	remote := flag.String("remote", "", "start connected to a fdbserver instead of the local store")
 	flag.Parse()
 
 	opts := []funcdb.Option{funcdb.WithHistory(0), funcdb.WithOrigin("repl")}
@@ -60,16 +94,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fdbrepl:", err)
 		os.Exit(1)
 	}
+	r := &repl{store: store}
+	if *remote != "" {
+		if out, ok := r.connect(*remote); !ok {
+			fmt.Fprintln(os.Stderr, "fdbrepl:", out)
+			os.Exit(1)
+		}
+	}
 
 	if *execFile != "" {
-		out, err := runScript(store, *execFile)
+		out, err := runScript(r, *execFile)
 		if out != "" {
 			fmt.Println(out)
 		}
 		if err == nil {
-			err = store.Close()
+			err = r.close()
 		} else {
-			store.Close()
+			r.close()
 		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fdbrepl:", err)
@@ -84,10 +125,13 @@ func main() {
 		fmt.Printf("durable session in %s — recovered version %d (%d tuples in %d relations)\n",
 			*dataDir, cur.Version(), cur.TotalTuples(), len(cur.RelationNames()))
 	}
+	if r.remote != nil {
+		fmt.Printf("remote session: %s\n", r.addr)
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
-	for prompt(); sc.Scan(); prompt() {
-		out, quit := handleLine(store, sc.Text())
+	for prompt(r); sc.Scan(); prompt(r) {
+		out, quit := handleLine(r, sc.Text())
 		if out != "" {
 			fmt.Println(out)
 		}
@@ -95,17 +139,50 @@ func main() {
 			break
 		}
 	}
-	if err := store.Close(); err != nil {
+	if err := r.close(); err != nil {
 		fmt.Fprintln(os.Stderr, "close:", err)
 		os.Exit(1)
 	}
 }
 
-func prompt() { fmt.Print("fdb> ") }
+func prompt(r *repl) {
+	if r.remote != nil {
+		fmt.Printf("fdb[%s]> ", r.addr)
+		return
+	}
+	fmt.Print("fdb> ")
+}
+
+// close releases the remote session (if any) and the local store.
+func (r *repl) close() error {
+	if r.remote != nil {
+		r.remote.Close()
+		r.remote = nil
+	}
+	return r.store.Close()
+}
+
+// connect dials a fdbserver and swaps the backing session to it.
+func (r *repl) connect(addr string) (out string, ok bool) {
+	c, err := client.Dial(addr, client.WithOrigin("repl"))
+	if err != nil {
+		return "remote: " + err.Error(), false
+	}
+	if r.remote != nil {
+		r.remote.Close()
+	}
+	r.remote, r.addr = c, addr
+	durable := ""
+	if c.Durable() {
+		durable = ", durable"
+	}
+	return fmt.Sprintf("remote session %s (origin %s, %d lanes%s) — .local to return",
+		addr, c.Origin(), c.Lanes(), durable), true
+}
 
 // handleLine processes one REPL line and returns the output plus whether
 // the session should end.
-func handleLine(store *funcdb.Store, raw string) (out string, quit bool) {
+func handleLine(r *repl, raw string) (out string, quit bool) {
 	line := strings.TrimSpace(raw)
 	switch {
 	case line == "":
@@ -114,20 +191,39 @@ func handleLine(store *funcdb.Store, raw string) (out string, quit bool) {
 		return "", true
 	case line == ".help":
 		return helpText, false
+	case strings.HasPrefix(line, ".remote "):
+		out, _ := r.connect(strings.TrimSpace(strings.TrimPrefix(line, ".remote ")))
+		return out, false
+	case line == ".local":
+		if r.remote == nil {
+			return "already local", false
+		}
+		r.remote.Close()
+		r.remote = nil
+		return "local session", false
 	case line == ".stats":
-		st := store.Stats()
+		if r.remote != nil {
+			return "stats are local-only (use .local)", false
+		}
+		st := r.store.Stats()
 		return fmt.Sprintf("created %d  shared %d  visited %d  sharing %.1f%%  lanes %d",
-			st.Created, st.Shared, st.Visited, 100*st.Fraction, store.Lanes()), false
+			st.Created, st.Shared, st.Visited, 100*st.Fraction, r.store.Lanes()), false
 	case line == ".versions":
-		return versionsListing(store), false
+		if r.remote != nil {
+			return "version listing is local-only (use .local)", false
+		}
+		return versionsListing(r.store), false
 	case strings.HasPrefix(line, ".at "):
-		return execAt(store, strings.TrimPrefix(line, ".at ")), false
+		if r.remote != nil {
+			return "time travel is local-only (use .local)", false
+		}
+		return execAt(r.store, strings.TrimPrefix(line, ".at ")), false
 	case strings.HasPrefix(line, ".batch "):
-		return execBatch(store, strings.TrimPrefix(line, ".batch ")), false
+		return execBatch(r, strings.TrimPrefix(line, ".batch ")), false
 	case strings.HasPrefix(line, "."):
 		return fmt.Sprintf("unknown command %q (.help for help)", line), false
 	default:
-		resp, err := store.Exec(line)
+		resp, err := r.exec(line)
 		if err != nil {
 			return "error: " + err.Error(), false
 		}
@@ -170,65 +266,35 @@ func versionsListing(store *funcdb.Store) string {
 
 // execBatch submits semicolon-separated queries as one batch: one merge
 // arbitration, responses printed in order.
-func execBatch(store *funcdb.Store, rest string) string {
-	queries := splitQueries(rest)
+func execBatch(r *repl, rest string) string {
+	queries := session.SplitQueries(rest)
 	if len(queries) == 0 {
 		return "usage: .batch <query>; <query>; ..."
 	}
-	resps, err := store.ExecBatch(queries)
+	resps, err := r.execBatch(queries)
 	if err != nil {
 		return "error: " + err.Error()
 	}
-	return joinResponses(resps)
+	return session.Render(resps)
 }
 
-// joinResponses renders a batch's responses one per line, in order.
-func joinResponses(resps []funcdb.Response) string {
-	var b strings.Builder
-	for i, r := range resps {
-		if i > 0 {
-			b.WriteByte('\n')
-		}
-		b.WriteString(r.String())
-	}
-	return b.String()
-}
-
-// splitQueries splits a semicolon-separated query list, dropping empties.
-func splitQueries(s string) []string {
-	var out []string
-	for _, q := range strings.Split(s, ";") {
-		if q = strings.TrimSpace(q); q != "" {
-			out = append(out, q)
-		}
-	}
-	return out
-}
-
-// runScript executes a query file through ExecBatch: one query per line
-// (a trailing ';' is tolerated), blank lines and #-comments skipped. The
-// whole file is translated and submitted as a single batch.
-func runScript(store *funcdb.Store, path string) (string, error) {
+// runScript executes a query file as a single batch through the backing
+// session (script parsing and rendering live in internal/session, shared
+// with every other front end).
+func runScript(r *repl, path string) (string, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return "", err
 	}
-	var queries []string
-	for _, line := range strings.Split(string(src), "\n") {
-		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ";"))
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		queries = append(queries, line)
-	}
+	queries := session.ParseScript(string(src))
 	if len(queries) == 0 {
 		return "", nil
 	}
-	resps, err := store.ExecBatch(queries)
+	resps, err := r.execBatch(queries)
 	if err != nil {
 		return "", err
 	}
-	return joinResponses(resps), nil
+	return session.Render(resps), nil
 }
 
 // execAt runs a read-only query against a retained version: time travel

@@ -1,0 +1,127 @@
+// Command fdbserver serves a funcdb store over TCP: the network front
+// end of the admission pipeline. Each connection drives one session —
+// its own origin tag, sequence space and prepared-statement view — and a
+// connection's pipelined requests are admitted in lane-split batches, so
+// disjoint clients land on disjoint admission lanes.
+//
+// With --data <dir>, the store is durable: committed writes land in the
+// append-only archive (group commit by default, with the adaptive window
+// flushing as each network batch lands), and restarting the server with
+// the same flag recovers the database.
+//
+// SIGTERM or SIGINT drains gracefully: stop accepting, answer everything
+// fully read, flush the group-commit buffer, close the store. Every
+// response a client received before the drain is durable after it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"funcdb"
+	"funcdb/internal/server"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	if err := run(os.Args[1:], os.Stdout, sig, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "fdbserver:", err)
+		os.Exit(1)
+	}
+}
+
+// run is main with its dependencies explicit, so tests can drive it:
+// args are the command-line flags, sig delivers shutdown signals, and
+// onReady (optional) receives the bound address once the listener is up.
+func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net.Addr)) error {
+	fs := flag.NewFlagSet("fdbserver", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:4150", "TCP address to serve the wire protocol on")
+	dataDir := fs.String("data", "", "archive directory: persist the store and recover it on restart")
+	snapEvery := fs.Int("snapshot-every", 256, "with --data, snapshot the full version every n writes")
+	groupWindow := fs.Duration("group-commit", 2*time.Millisecond, "with --data, group-commit window (0 = write through)")
+	fsync := fs.Bool("fsync", false, "with --data, fsync every durable flush (power-loss safety)")
+	lanes := fs.Int("lanes", 0, "admission lanes (0 = auto from GOMAXPROCS)")
+	relations := fs.String("relations", "", "comma-separated relations to create in a fresh store")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := []funcdb.Option{funcdb.WithOrigin("server")}
+	if *dataDir != "" {
+		durOpts := []funcdb.DurabilityOption{funcdb.SnapshotEvery(*snapEvery)}
+		if *groupWindow > 0 {
+			durOpts = append(durOpts, funcdb.GroupCommit(*groupWindow))
+		}
+		if *fsync {
+			durOpts = append(durOpts, funcdb.SyncEveryWrite())
+		}
+		opts = append(opts, funcdb.WithDurability(*dataDir, durOpts...))
+	}
+	if *lanes > 0 {
+		opts = append(opts, funcdb.WithLanes(*lanes))
+	}
+	if *relations != "" {
+		opts = append(opts, funcdb.WithRelations(splitComma(*relations)...))
+	}
+	store, err := funcdb.Open(opts...)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(store)
+	if err := srv.Listen(*listen); err != nil {
+		store.Close()
+		return err
+	}
+	cur := store.Current()
+	fmt.Fprintf(stdout, "fdbserver listening on %s (lanes %d, %d tuples in %d relations%s)\n",
+		srv.Addr(), store.Lanes(), cur.TotalTuples(), len(cur.RelationNames()),
+		map[bool]string{true: ", durable", false: ""}[store.Durable()])
+	if onReady != nil {
+		onReady(srv.Addr())
+	}
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+
+	select {
+	case s := <-sig:
+		fmt.Fprintf(stdout, "fdbserver: %v — draining\n", s)
+	case err := <-serveDone:
+		// Listener died without a signal: drain the live connection
+		// handlers (their acked commits must still reach the archive)
+		// before closing out.
+		srv.Shutdown()
+		store.Close()
+		return err
+	}
+	if err := srv.Shutdown(); err != nil {
+		store.Close()
+		return err
+	}
+	<-serveDone
+	if err := store.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "fdbserver: drained, store closed")
+	return nil
+}
+
+// splitComma splits a comma-separated list, dropping empties.
+func splitComma(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

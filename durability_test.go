@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"funcdb"
+	"funcdb/internal/archive"
 )
 
 func TestDurableRoundTrip(t *testing.T) {
@@ -53,6 +54,44 @@ func TestDurableRoundTrip(t *testing.T) {
 	if got, want := again.Current().Version(), want.Version()+1; got != want {
 		t.Fatalf("continued at version %d, want %d", got, want)
 	}
+}
+
+// TestBatchFlushesGroupCommitWindow: a full ExecBatch lands durably
+// without sleeping out the group-commit window (an hour here) and without
+// any explicit flush — the store hints the archive's adaptive window with
+// the batch's write count, and the last append of the batch flushes.
+func TestBatchFlushesGroupCommitWindow(t *testing.T) {
+	dir := t.TempDir()
+	store, err := funcdb.Open(
+		funcdb.WithRelations("R"),
+		funcdb.WithDurability(dir, funcdb.GroupCommit(time.Hour)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	queries := make([]string, 0, 64)
+	for i := 0; i < 60; i++ {
+		queries = append(queries, fmt.Sprintf("insert (%d, \"v\") into R", i))
+	}
+	queries = append(queries, "count R", "find 3 in R", "scan R", "range 1 9 in R")
+	if _, err := store.ExecBatch(queries); err != nil {
+		t.Fatal(err)
+	}
+
+	// The durable appends ride the observer pipeline, so poll — but the
+	// only thing that can flush them is the adaptive window (the timer
+	// fires in an hour, and we never call Barrier/Flush/Close here).
+	// archive.Recover reads the directory as a crashed process would,
+	// without disturbing the live writer.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if db, err := archive.Recover(dir); err == nil && db.TotalTuples() == 60 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("full batch never became durable without the window timer")
 }
 
 func TestOpenDirRequiresArchive(t *testing.T) {

@@ -35,6 +35,7 @@ import (
 	"funcdb/internal/primarysite"
 	"funcdb/internal/query"
 	"funcdb/internal/relation"
+	"funcdb/internal/session"
 	"funcdb/internal/topo"
 	"funcdb/internal/value"
 )
@@ -65,6 +66,10 @@ type (
 	VersionInfo = archive.VersionInfo
 	// DurabilityOption tunes the on-disk archive of WithDurability.
 	DurabilityOption = archive.Option
+	// BatchError reports which statement of an ExecBatch failed to
+	// translate or bind (batches are all-or-nothing; nothing was
+	// submitted). Recover it with errors.As to read the failing index.
+	BatchError = session.BatchError
 )
 
 // Relation representations.
@@ -208,13 +213,18 @@ func SyncEveryWrite() DurabilityOption { return archive.Fsync(true) }
 func GroupCommit(window time.Duration) DurabilityOption { return archive.GroupCommit(window) }
 
 // Store is a single-process functional database: one transaction stream,
-// one version stream.
+// one version stream. Its query surface (Exec, ExecAsync, ExecBatch) is a
+// thin wrapper over a session (internal/session) — the same execution
+// layer every other front end (the REPL, the network server) drives — so
+// there is exactly one exec/parse path from any client to the admission
+// lanes.
 type Store struct {
 	engine  *core.Engine
 	stats   *eval.Stats
 	history *History
 	archive *archive.Archive
 	origin  string
+	session *session.Session
 
 	seq atomic.Int64 // per-store sequence tags; atomic keeps reads lock-free
 }
@@ -282,6 +292,9 @@ func Open(opts ...Option) (*Store, error) {
 		}))
 	}
 	s.engine = core.NewEngine(initial, engineOpts...)
+	s.session = session.New(s,
+		session.WithOrigin(s.origin),
+		session.WithSeqs(s.nextSeqs))
 	return s, nil
 }
 
@@ -330,9 +343,9 @@ func (s *Store) Submit(tx Transaction) *Future {
 }
 
 // SubmitBatch admits a slice of transactions in one merge arbitration —
-// the engine mutex is taken once for the whole batch — and returns their
-// response futures in submission order. Origin/Seq tags are filled in when
-// empty, exactly as Submit does.
+// the lane locks are taken once per run — and returns their response
+// futures in submission order. Origin/Seq tags are filled in when empty,
+// exactly as Submit does.
 func (s *Store) SubmitBatch(txs []Transaction) []*Future {
 	batch := make([]Transaction, len(txs))
 	copy(batch, txs)
@@ -343,47 +356,63 @@ func (s *Store) SubmitBatch(txs []Transaction) []*Future {
 		}
 		batch[i].Seq = first + i
 	}
-	return s.engine.SubmitBatch(batch)
+	return s.SubmitTagged(batch)
 }
 
-// ExecAsync translates and submits a symbolic query, returning the
-// response future.
-func (s *Store) ExecAsync(q string) (*Future, error) {
-	tx, err := query.Translate(q)
-	if err != nil {
-		return nil, err
+// SubmitTagged admits a slice of already-tagged transactions: the raw
+// admission surface the session layer (and through it every front end)
+// feeds. Unlike Submit/SubmitBatch it never rewrites Origin or Seq — the
+// session owns the tag space, which is what makes a network connection's
+// response stream deterministic regardless of how other connections
+// interleave. A single transaction takes the engine's one-off path, so a
+// lone read keeps the lock-free fast path; a batch hints the archive's
+// adaptive group-commit window with its write count before admission.
+func (s *Store) SubmitTagged(txs []Transaction) []*Future {
+	if len(txs) == 1 {
+		return []*Future{s.engine.Submit(txs[0])}
 	}
-	return s.Submit(tx), nil
+	if s.archive != nil {
+		writes := 0
+		for i := range txs {
+			if !txs[i].IsReadOnly() {
+				writes++
+			}
+		}
+		s.archive.ExpectBatch(writes)
+	}
+	return s.engine.SubmitBatch(txs)
+}
+
+// ExecAsync translates and submits a symbolic query through the store's
+// session (cached statements, one exec path), returning the response
+// future.
+func (s *Store) ExecAsync(q string) (*Future, error) {
+	return s.session.ExecAsync(q)
 }
 
 // Exec translates, submits and waits.
 func (s *Store) Exec(q string) (Response, error) {
-	fut, err := s.ExecAsync(q)
-	if err != nil {
-		return Response{}, err
-	}
-	return fut.Force(), nil
+	return s.session.Exec(q)
 }
 
 // ExecBatch translates a slice of queries, submits them all in one merge
 // arbitration, and waits for every response. Translation is all-or-nothing:
 // a syntax error in any query fails the whole batch before anything is
-// submitted.
+// submitted, and the returned error is a *BatchError carrying the failing
+// statement's index.
 func (s *Store) ExecBatch(queries []string) ([]Response, error) {
-	txs := make([]Transaction, len(queries))
-	for i, q := range queries {
-		tx, err := query.Translate(q)
-		if err != nil {
-			return nil, fmt.Errorf("batch query %d: %w", i, err)
-		}
-		txs[i] = tx
-	}
-	futures := s.SubmitBatch(txs)
-	out := make([]Response, len(futures))
-	for i, f := range futures {
-		out[i] = f.Force()
-	}
-	return out, nil
+	return s.session.ExecBatch(queries)
+}
+
+// Session opens a fresh session over the store with its own origin tag
+// and sequence space: the per-connection execution context of the network
+// server, also usable in-process for a client that wants deterministic
+// per-client response tags. The session shares the store's statement
+// cache.
+func (s *Store) Session(origin string) *session.Session {
+	return session.New(s,
+		session.WithOrigin(origin),
+		session.WithCache(s.session.Cache()))
 }
 
 // Stmt is a prepared query bound to a store: parsed once, executed many
@@ -402,7 +431,7 @@ type Stmt struct {
 //		ins.Exec(funcdb.Int(int64(i)), funcdb.Str(name))
 //	}
 func (s *Store) Prepare(q string) (*Stmt, error) {
-	prep, err := query.Prepare(q)
+	prep, err := s.session.Prepare(q) // store-wide statement cache
 	if err != nil {
 		return nil, err
 	}
@@ -446,7 +475,7 @@ func (st *Stmt) ExecBatch(argSets ...[]Item) ([]Response, error) {
 	for i, args := range argSets {
 		tx, err := st.prep.Bind(args...)
 		if err != nil {
-			return nil, fmt.Errorf("batch bind %d: %w", i, err)
+			return nil, &BatchError{Index: i, Query: st.prep.Src(), Err: err}
 		}
 		txs[i] = tx
 	}

@@ -68,6 +68,8 @@ type Archive struct {
 	sinceSnap int    // transactions logged since the last snapshot
 	failed    error  // sticky first failure; appends refuse after it
 	buf       []byte // group commit: framed records awaiting one write+fsync
+	bufRecs   int    // records in buf
+	expect    int    // adaptive window: flush once bufRecs reaches this (0 = no hint)
 
 	// Group-commit flusher goroutine lifecycle.
 	flushStop chan struct{}
@@ -187,6 +189,38 @@ func Open(dir string, opts ...Option) (*Archive, *database.Database, error) {
 	return a, rec.db, nil
 }
 
+// maxGroupRecords caps the group-commit buffer: a window long enough to
+// hold more than this many records flushes early, bounding both the
+// buffer's memory and the number of commits a crash can lose.
+const maxGroupRecords = 4096
+
+// ExpectBatch hints that a batch of n committed writes is about to reach
+// Append: the adaptive group-commit window. Once the buffer has grown by
+// that many records, the pending batch is flushed immediately instead of
+// waiting out the window timer — a full admission batch is exactly the
+// write the group-commit machinery exists to coalesce, so there is
+// nothing to gain by sleeping on it.
+//
+// The hint is a high-water mark rebased on the current buffer (flush
+// when bufRecs reaches bufRecs-now + n), not a countdown: a hinted write
+// that errors before committing never reaches Append, and a countdown it
+// failed to decrement would wedge the adaptive flush forever. With the
+// high-water form a shortfall only delays the current batch's flush (the
+// timer still covers it); the next hint rebases and the machinery
+// recovers. Unhinted appends landing in between only make the flush
+// earlier. A no-op without group commit.
+func (a *Archive) ExpectBatch(n int) {
+	if n <= 0 {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cfg.group <= 0 {
+		return
+	}
+	a.expect = a.bufRecs + n
+}
+
 // Append records one committed write. Encodable transactions become log
 // records; custom transactions (no wire form) force a full snapshot of the
 // version they produced. It is the body of the core.CommitObserver hook.
@@ -201,6 +235,12 @@ func (a *Archive) Append(c core.Commit) error {
 		return err
 	}
 	a.lastSeq = c.Seq
+	// Adaptive window: once the buffer reaches the hinted high-water mark
+	// — the last append of a full admitted batch — flush without waiting
+	// for the timer. maxGroupRecords caps the buffer regardless of hints.
+	if (a.expect > 0 && a.bufRecs >= a.expect) || a.bufRecs >= maxGroupRecords {
+		return a.flushLocked()
+	}
 	return nil
 }
 
@@ -226,9 +266,11 @@ func (a *Archive) append(c core.Commit) error {
 		return err
 	}
 	if a.cfg.group > 0 {
-		// Group commit: frame into the batch buffer; the window timer (or
-		// an explicit Flush/Sync/Close) issues the write+fsync.
+		// Group commit: frame into the batch buffer; the window timer, a
+		// full hinted batch (ExpectBatch), or an explicit Flush/Sync/Close
+		// issues the write+fsync.
 		a.buf = appendRecord(a.buf, recTxn, payload)
+		a.bufRecs++
 	} else {
 		if _, err := a.log.Write(appendRecord(nil, recTxn, payload)); err != nil {
 			return fmt.Errorf("archive: append: %w", err)
@@ -268,6 +310,8 @@ func (a *Archive) flushLocked() error {
 		return a.failed
 	}
 	a.buf = a.buf[:0]
+	a.bufRecs = 0
+	a.expect = 0 // any flush serves every outstanding hint
 	if a.cfg.fsync {
 		if err := a.log.Sync(); err != nil {
 			a.failed = fmt.Errorf("archive: fsync: %w", err)

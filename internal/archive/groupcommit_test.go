@@ -102,6 +102,116 @@ func TestGroupCommitSnapshotRotation(t *testing.T) {
 	}
 }
 
+// TestGroupCommitAdaptiveBatchFlush: with ExpectBatch hinted, the batch
+// is durable as soon as its last append lands — the window timer (an hour
+// here) never fires, so only the adaptive flush can have written it.
+func TestGroupCommitAdaptiveBatchFlush(t *testing.T) {
+	dir := t.TempDir()
+	e, a := newEngineWithArchive(t, dir, initialDB("R"), GroupCommit(time.Hour))
+	defer a.Close()
+
+	const n = 20
+	a.ExpectBatch(n)
+	txs := make([]core.Transaction, n)
+	for i := range txs {
+		txs[i] = core.Insert("R", value.NewTuple(value.Int(int64(i)), value.Str("v")))
+	}
+	e.SubmitBatch(txs)
+	e.Barrier() // every observer append has run; the nth flushed the buffer
+
+	got, err := Recover(dir) // reads the files as a crashed process would
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalTuples() != n {
+		t.Fatalf("after a full hinted batch, recovery sees %d tuples, want %d", got.TotalTuples(), n)
+	}
+}
+
+// TestGroupCommitAdaptivePartialBatchStaysBuffered: a hint larger than
+// what actually lands must not flush — the adaptive window only fires on
+// a complete batch (the remainder drains against later appends).
+func TestGroupCommitAdaptivePartialBatchStaysBuffered(t *testing.T) {
+	dir := t.TempDir()
+	e, a := newEngineWithArchive(t, dir, initialDB("R"), GroupCommit(time.Hour))
+	defer a.Close()
+
+	a.ExpectBatch(10)
+	for i := 0; i < 9; i++ {
+		e.Submit(core.Insert("R", value.NewTuple(value.Int(int64(i)), value.Str("v"))))
+	}
+	e.Barrier()
+	got, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalTuples() != 0 {
+		t.Fatalf("partial batch flushed early: %d tuples on disk", got.TotalTuples())
+	}
+	// The 10th append completes the hinted batch and flushes.
+	e.Submit(core.Insert("R", value.NewTuple(value.Int(9), value.Str("v"))))
+	e.Barrier()
+	if got, err = Recover(dir); err != nil || got.TotalTuples() != 10 {
+		t.Fatalf("completed batch not durable: %d tuples, %v", got.TotalTuples(), err)
+	}
+}
+
+// TestGroupCommitAdaptiveRecoversFromFailedHintedWrite: a hinted write
+// that errors before committing (plan failure: unknown relation) never
+// reaches Append — the hint must not wedge the adaptive flush for later
+// batches. Regression test for the countdown formulation of the hint.
+func TestGroupCommitAdaptiveRecoversFromFailedHintedWrite(t *testing.T) {
+	dir := t.TempDir()
+	e, a := newEngineWithArchive(t, dir, initialDB("R"), GroupCommit(time.Hour))
+	defer a.Close()
+
+	// Batch 1: hinted 5, but one write fails at planning and never
+	// commits — only 4 records ever reach the buffer.
+	a.ExpectBatch(5)
+	batch1 := []core.Transaction{
+		core.Insert("R", value.NewTuple(value.Int(0), value.Str("v"))),
+		core.Insert("R", value.NewTuple(value.Int(1), value.Str("v"))),
+		core.Insert("NOPE", value.NewTuple(value.Int(2), value.Str("v"))), // error response, no commit
+		core.Insert("R", value.NewTuple(value.Int(3), value.Str("v"))),
+		core.Insert("R", value.NewTuple(value.Int(4), value.Str("v"))),
+	}
+	e.SubmitBatch(batch1)
+	e.Barrier()
+
+	// Batch 2: fully successful and hinted — it must flush adaptively
+	// even though batch 1's hint was never fully served.
+	a.ExpectBatch(5)
+	batch2 := make([]core.Transaction, 5)
+	for i := range batch2 {
+		batch2[i] = core.Insert("R", value.NewTuple(value.Int(int64(10+i)), value.Str("v")))
+	}
+	e.SubmitBatch(batch2)
+	e.Barrier()
+
+	got, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalTuples() != 9 { // 4 from batch 1 + 5 from batch 2
+		t.Fatalf("adaptive flush wedged by failed hinted write: %d tuples durable, want 9", got.TotalTuples())
+	}
+}
+
+// TestGroupCommitExpectBatchWithoutGroupCommit: the hint is a no-op when
+// group commit is off (every append is already written immediately).
+func TestGroupCommitExpectBatchWithoutGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	e, a := newEngineWithArchive(t, dir, initialDB("R"))
+	defer a.Close()
+	a.ExpectBatch(5)
+	e.Submit(core.Insert("R", value.NewTuple(value.Int(1), value.Str("v"))))
+	e.Barrier()
+	got, err := Recover(dir)
+	if err != nil || got.TotalTuples() != 1 {
+		t.Fatalf("unbatched append: %v, %d tuples", err, got.TotalTuples())
+	}
+}
+
 // TestGroupCommitVersionAtFlushes: on-disk time travel must observe
 // buffered commits (VersionAt flushes first).
 func TestGroupCommitVersionAtFlushes(t *testing.T) {

@@ -1,0 +1,125 @@
+package query
+
+import (
+	"container/list"
+	"sync"
+)
+
+// StmtCache is a bounded, concurrency-safe LRU cache of prepared
+// statements keyed by source text: the per-session (and store-wide)
+// statement cache of the session layer. Preparing is pure parsing today,
+// so a hit only saves the lexer and parser — but the cache is also the
+// one place a statement's translation is retained across submissions, so
+// it owns the invalidation discipline: a committed `create` changes the
+// directory, the only global state a retained translation could ever
+// depend on, and InvalidateRel drops every cached statement touching the
+// created name before a representation- or directory-dependent prepare
+// step could go stale.
+//
+// Translation errors are not cached: a failing statement pays the parse
+// again, which keeps the cache free of negative entries that a later
+// create could make spuriously sticky.
+type StmtCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[string]*list.Element
+	order *list.List // front = most recently used
+
+	hits   int64
+	misses int64
+}
+
+// cacheEntry is one cached statement, keyed by its source text.
+type cacheEntry struct {
+	src  string
+	prep *Prepared
+}
+
+// DefaultStmtCacheSize bounds a statement cache when no explicit capacity
+// is given: large enough for any realistic working set of distinct
+// statement templates, small enough that a query-text-per-key workload
+// (no templates, unique literals) cannot grow without bound.
+const DefaultStmtCacheSize = 256
+
+// NewStmtCache returns a statement cache holding at most capacity
+// statements (capacity <= 0 selects DefaultStmtCacheSize).
+func NewStmtCache(capacity int) *StmtCache {
+	if capacity <= 0 {
+		capacity = DefaultStmtCacheSize
+	}
+	return &StmtCache{
+		cap:   capacity,
+		m:     make(map[string]*list.Element),
+		order: list.New(),
+	}
+}
+
+// Get returns the prepared form of src, preparing and caching it on a
+// miss. The returned Prepared is immutable and safe to use after the
+// cache evicts or invalidates it.
+func (c *StmtCache) Get(src string) (*Prepared, error) {
+	c.mu.Lock()
+	if el, ok := c.m[src]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		prep := el.Value.(*cacheEntry).prep
+		c.mu.Unlock()
+		return prep, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Parse outside the lock: preparing is pure, and a slow parse must not
+	// stall concurrent hits. A racing miss on the same text just prepares
+	// twice; the second insert finds the entry present and keeps it.
+	prep, err := Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[src]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).prep, nil
+	}
+	c.m[src] = c.order.PushFront(&cacheEntry{src: src, prep: prep})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).src)
+	}
+	return prep, nil
+}
+
+// InvalidateRel drops every cached statement whose access set touches
+// rel. Sessions call it after submitting a create for rel: statements
+// prepared while the relation did not exist must not outlive the
+// directory change that introduced it.
+func (c *StmtCache) InvalidateRel(rel string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var next *list.Element
+	for el := c.order.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.prep.Rel() == rel {
+			c.order.Remove(el)
+			delete(c.m, e.src)
+		}
+	}
+}
+
+// Len returns the number of cached statements.
+func (c *StmtCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats reports cache hits and misses since creation.
+func (c *StmtCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

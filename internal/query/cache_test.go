@@ -1,0 +1,102 @@
+package query
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"funcdb/internal/core"
+)
+
+func TestStmtCacheHitReturnsSamePrepared(t *testing.T) {
+	c := NewStmtCache(8)
+	a, err := c.Get("find 1 in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get("find 1 in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Get did not hit the cache")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+	if a.Rel() != "R" || a.Kind() != core.KindFind {
+		t.Errorf("accessors: rel %q kind %v", a.Rel(), a.Kind())
+	}
+}
+
+func TestStmtCacheErrorNotCached(t *testing.T) {
+	c := NewStmtCache(8)
+	if _, err := c.Get("not a query"); err == nil {
+		t.Fatal("bad query prepared")
+	}
+	if c.Len() != 0 {
+		t.Errorf("error cached: len = %d", c.Len())
+	}
+}
+
+func TestStmtCacheEvictsLRU(t *testing.T) {
+	c := NewStmtCache(4)
+	for i := 0; i < 8; i++ {
+		if _, err := c.Get(fmt.Sprintf("find %d in R", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d, want 4", c.Len())
+	}
+	// The newest four survive; the oldest four were evicted.
+	c.Get("find 7 in R")
+	if hits, _ := c.Stats(); hits != 1 {
+		t.Errorf("newest entry evicted: hits = %d", hits)
+	}
+	c.Get("find 0 in R")
+	if _, misses := c.Stats(); misses != 9 {
+		t.Errorf("oldest entry survived eviction: misses = %d", misses)
+	}
+}
+
+func TestStmtCacheInvalidateRel(t *testing.T) {
+	c := NewStmtCache(16)
+	c.Get("find 1 in R")
+	c.Get("count R")
+	c.Get("count S")
+	c.InvalidateRel("R")
+	if c.Len() != 1 {
+		t.Fatalf("len after invalidate = %d, want 1", c.Len())
+	}
+	c.Get("count S")
+	if hits, _ := c.Stats(); hits != 1 {
+		t.Error("statement on another relation was invalidated")
+	}
+	c.Get("count R")
+	if _, misses := c.Stats(); misses != 4 {
+		t.Errorf("invalidated statement still cached: misses = %d", misses)
+	}
+}
+
+func TestStmtCacheConcurrent(t *testing.T) {
+	c := NewStmtCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				src := fmt.Sprintf("find %d in R%d", i%10, g%3)
+				if _, err := c.Get(src); err != nil {
+					t.Errorf("Get(%q): %v", src, err)
+					return
+				}
+				if i%50 == 0 {
+					c.InvalidateRel(fmt.Sprintf("R%d", g%3))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

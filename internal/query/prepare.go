@@ -56,6 +56,15 @@ func Prepare(src string) (*Prepared, error) {
 // Src returns the prepared query text.
 func (p *Prepared) Src() string { return p.src }
 
+// Rel returns the relation the statement touches ("" for statements with
+// no relation). Relation names are fixed at prepare time — placeholders
+// stand for data items only — so the statement's access set is static,
+// which is what lets a statement cache invalidate by relation name.
+func (p *Prepared) Rel() string { return p.tx.Rel }
+
+// Kind returns the statement's transaction kind.
+func (p *Prepared) Kind() core.Kind { return p.tx.Kind }
+
 // NumParams returns the number of '?' placeholders.
 func (p *Prepared) NumParams() int { return len(p.slots) }
 

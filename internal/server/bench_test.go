@@ -1,0 +1,94 @@
+package server_test
+
+import (
+	"fmt"
+	"testing"
+
+	"funcdb"
+	"funcdb/client"
+)
+
+// benchClient spins a server over a seeded store and dials it.
+func benchClient(b *testing.B) *client.Client {
+	b.Helper()
+	store := funcdb.MustOpen(funcdb.WithRelations("R"), funcdb.WithRepresentation(funcdb.RepAVL))
+	for i := 0; i < 256; i++ {
+		if _, err := store.Exec(fmt.Sprintf("insert (%d, \"v\") into R", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv := startServer(b, store)
+	b.Cleanup(func() { store.Close() })
+	c, err := client.Dial(srv.Addr().String(), client.WithOrigin("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+// BenchmarkServerPingPong is the round-trip baseline: one request on the
+// wire at a time, each paying a full network round trip.
+func BenchmarkServerPingPong(b *testing.B) {
+	c := benchClient(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Exec(fmt.Sprintf("find %d in R", i%256))
+		if err != nil || resp.Err != nil {
+			b.Fatalf("%v / %v", err, resp.Err)
+		}
+	}
+}
+
+// BenchmarkServerPipelined keeps a window of requests in flight: the
+// server's adaptive batching turns buffered frames into one lane-split
+// admission, and the round trip amortizes across the window.
+func BenchmarkServerPipelined(b *testing.B) {
+	c := benchClient(b)
+	const window = 64
+	pend := make([]*client.Pending, 0, window)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := c.ExecAsync(fmt.Sprintf("find %d in R", i%256))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pend = append(pend, p)
+		if len(pend) == window {
+			for _, p := range pend {
+				if resp, err := p.Force(); err != nil || resp.Err != nil {
+					b.Fatalf("%v / %v", err, resp.Err)
+				}
+			}
+			pend = pend[:0]
+		}
+	}
+	for _, p := range pend {
+		if _, err := p.Force(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerBatch ships whole batches as single frames: the wire
+// form of ExecBatch, one admission arbitration per 64 statements.
+func BenchmarkServerBatch(b *testing.B) {
+	c := benchClient(b)
+	const batch = 64
+	queries := make([]string, batch)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("find %d in R", i%256)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		resps, err := c.ExecBatch(queries)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range resps {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// The loopback equivalence harness: the PR 3 seeded workloads, run
+// through funcdb/client against a live fdbserver, must produce
+// byte-identical responses and identical final databases to in-process
+// Store execution — under -race, including concurrent connections mapped
+// to disjoint admission lanes. The wire protocol must be invisible:
+// same tags, same rendering, same error text, same final contents.
+package server_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"funcdb"
+	"funcdb/client"
+	"funcdb/internal/core"
+)
+
+// executor is the surface the harness drives: both the in-process store
+// and the wire client satisfy it.
+type executor interface {
+	Exec(q string) (funcdb.Response, error)
+	ExecBatch(qs []string) ([]funcdb.Response, error)
+}
+
+// seededQueries builds the deterministic mixed workload of the PR 3
+// equivalence harness at the query-text level (the form that can cross a
+// wire): reads, writes, ranges, creates (including duplicate creates,
+// which are error responses) and unknown-relation probes.
+func seededQueries(r *rand.Rand, n int, rels []string, allowCreate bool) []string {
+	names := append([]string(nil), rels...)
+	created := 0
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		rel := names[r.Intn(len(names))]
+		k := r.Intn(12)
+		switch r.Intn(10) {
+		case 0, 1:
+			out = append(out, fmt.Sprintf("insert (%d, \"v%d\") into %s", k, k, rel))
+		case 2:
+			out = append(out, fmt.Sprintf("delete %d from %s", k, rel))
+		case 3:
+			out = append(out, fmt.Sprintf("find %d in %s", k, rel))
+		case 4:
+			out = append(out, "count "+rel)
+		case 5:
+			out = append(out, "scan "+rel)
+		case 6:
+			out = append(out, fmt.Sprintf("range 2 9 in %s", rel))
+		case 7:
+			if allowCreate && r.Intn(2) == 0 && created < 3 {
+				name := fmt.Sprintf("N%d", created)
+				created++
+				names = append(names, name)
+				out = append(out, "create "+name+" using avl")
+			} else {
+				// Duplicate create: a deterministic error response.
+				out = append(out, "create "+names[r.Intn(len(names))])
+			}
+		case 8:
+			out = append(out, fmt.Sprintf("find %d in NOPE", k)) // unknown relation
+		default:
+			out = append(out, fmt.Sprintf("insert (%d, \"w\") into %s", 20+k, rel))
+		}
+	}
+	return out
+}
+
+// runChunked drives the workload the way a real client would: mixed
+// single statements and batches, with chunk boundaries drawn from the
+// same seed so every executor sees the identical call sequence.
+func runChunked(ex executor, queries []string, chunkSeed int64) ([]string, error) {
+	r := rand.New(rand.NewSource(chunkSeed))
+	var out []string
+	for i := 0; i < len(queries); {
+		n := 1 + r.Intn(16)
+		if i+n > len(queries) {
+			n = len(queries) - i
+		}
+		if n == 1 {
+			resp, err := ex.Exec(queries[i])
+			if err != nil {
+				return nil, fmt.Errorf("exec %q: %w", queries[i], err)
+			}
+			out = append(out, resp.String())
+		} else {
+			resps, err := ex.ExecBatch(queries[i : i+n])
+			if err != nil {
+				return nil, fmt.Errorf("batch at %d: %w", i, err)
+			}
+			for _, resp := range resps {
+				out = append(out, resp.String())
+			}
+		}
+		i += n
+	}
+	return out, nil
+}
+
+// TestLoopbackEquivalence: the same seeded workload, the same chunking,
+// one run in-process and one over loopback — responses must render
+// byte-identically and the final databases must be equal.
+func TestLoopbackEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			queries := seededQueries(r, 120+r.Intn(80), []string{"R", "S", "T"}, true)
+
+			open := func() *funcdb.Store {
+				return funcdb.MustOpen(
+					funcdb.WithRelations("R", "S", "T"),
+					funcdb.WithOrigin("c0"),
+					funcdb.WithLanes(4))
+			}
+			local := open()
+			defer local.Close()
+			localOut, err := runChunked(local, queries, seed*7)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			remoteStore := open()
+			defer remoteStore.Close()
+			srv := startServer(t, remoteStore)
+			c, err := client.Dial(srv.Addr().String(), client.WithOrigin("c0"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			wireOut, err := runChunked(c, queries, seed*7)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if len(localOut) != len(wireOut) {
+				t.Fatalf("%d local responses vs %d wire responses", len(localOut), len(wireOut))
+			}
+			for i := range localOut {
+				if localOut[i] != wireOut[i] {
+					t.Fatalf("response %d (%q) differs:\n  local: %s\n  wire:  %s",
+						i, queries[i], localOut[i], wireOut[i])
+				}
+			}
+			local.Barrier()
+			remoteStore.Barrier()
+			if !local.Current().Equal(remoteStore.Current()) {
+				t.Fatal("final databases diverged between in-process and loopback execution")
+			}
+			if lv, rv := local.Current().Version(), remoteStore.Current().Version(); lv != rv {
+				t.Fatalf("final versions differ: local %d, wire %d", lv, rv)
+			}
+		})
+	}
+}
+
+// distinctLaneRelations returns n relation names that hash to n distinct
+// admission lanes, so concurrent connections are disjoint by
+// construction.
+func distinctLaneRelations(t *testing.T, n, lanes int) []string {
+	t.Helper()
+	used := make(map[int]bool, n)
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		name := fmt.Sprintf("D%d", i)
+		if l := core.LaneOf(name, lanes); !used[l] {
+			used[l] = true
+			out = append(out, name)
+		}
+		if i > 10000 {
+			t.Fatal("lane hash never covered enough lanes")
+		}
+	}
+	return out
+}
+
+// TestConcurrentConnectionsDisjointLanes: four concurrent connections,
+// each confined to a relation on its own admission lane, run seeded
+// workloads against one server. Each connection's responses must match a
+// sequential in-process run of the same workload, and the server's final
+// database must equal a sequential run of all four — disjoint
+// transactions commute, so any lane interleaving yields the same
+// contents. Runs under -race in CI.
+func TestConcurrentConnectionsDisjointLanes(t *testing.T) {
+	const lanes, conns = 8, 4
+	rels := distinctLaneRelations(t, conns, lanes)
+
+	serverStore := funcdb.MustOpen(funcdb.WithRelations(rels...), funcdb.WithLanes(lanes))
+	defer serverStore.Close()
+	srv := startServer(t, serverStore)
+
+	// Per-connection workloads: each touches ONLY its own relation (plus
+	// the deterministic unknown-relation probes), so connections are
+	// pairwise disjoint. No creates: the directory stays fixed.
+	workloads := make([][]string, conns)
+	for i := range workloads {
+		r := rand.New(rand.NewSource(int64(100 + i)))
+		workloads[i] = seededQueries(r, 150, []string{rels[i]}, false)
+	}
+
+	// Concurrent wire runs, one connection per goroutine.
+	wireOut := make([][]string, conns)
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr().String(), client.WithOrigin(fmt.Sprintf("c%d", i)))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			wireOut[i], errs[i] = runChunked(c, workloads[i], int64(i))
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("conn %d: %v", i, err)
+		}
+	}
+
+	// Reference: sequential in-process runs with the same directory and
+	// the same per-connection tags.
+	refStore := funcdb.MustOpen(funcdb.WithRelations(rels...), funcdb.WithLanes(lanes))
+	defer refStore.Close()
+	for i := 0; i < conns; i++ {
+		sess := refStore.Session(fmt.Sprintf("c%d", i))
+		refOut, err := runChunked(sessionExecutor{sess}, workloads[i], int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range refOut {
+			if refOut[j] != wireOut[i][j] {
+				t.Fatalf("conn %d response %d (%q) differs:\n  ref:  %s\n  wire: %s",
+					i, j, workloads[i][j], refOut[j], wireOut[i][j])
+			}
+		}
+	}
+	serverStore.Barrier()
+	refStore.Barrier()
+	if !serverStore.Current().Equal(refStore.Current()) {
+		t.Fatal("concurrent disjoint connections diverged from the sequential reference")
+	}
+}
+
+// sessionExecutor adapts an internal session (deterministic per-client
+// tags) to the executor surface.
+type sessionExecutor struct {
+	s interface {
+		Exec(q string) (core.Response, error)
+		ExecBatch(qs []string) ([]core.Response, error)
+	}
+}
+
+func (se sessionExecutor) Exec(q string) (funcdb.Response, error) { return se.s.Exec(q) }
+func (se sessionExecutor) ExecBatch(qs []string) ([]funcdb.Response, error) {
+	return se.s.ExecBatch(qs)
+}

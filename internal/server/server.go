@@ -1,0 +1,302 @@
+// Package server is the network front end over a funcdb store: a TCP
+// listener whose connections each drive one session (internal/session)
+// speaking the framed protocol of internal/wire.
+//
+// The server exists so that disjoint network clients land on disjoint
+// admission lanes: each connection is its own goroutine and its own
+// session, and a connection's buffered requests are admitted through
+// Session.Flush as ONE lane-split SubmitBatch — one network read becomes
+// one merge arbitration, the Calvin-style batched sequencing the ROADMAP
+// names. Pipelining is adaptive: the handler keeps queueing statements
+// while more frames are already buffered on the socket, and flushes —
+// admitting and answering everything queued, in order — the moment the
+// read would block.
+//
+// Shutdown drains gracefully: stop accepting, unblock every connection's
+// pending read, let each handler answer what it has fully read, then
+// barrier the store so every acked commit is durable before the process
+// exits.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"funcdb"
+	"funcdb/internal/core"
+	"funcdb/internal/session"
+	"funcdb/internal/wire"
+)
+
+// Server serves the wire protocol over a store.
+type Server struct {
+	store *funcdb.Store
+	ln    net.Listener
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup // one per live connection handler
+	draining atomic.Bool
+	nconn    atomic.Int64
+}
+
+// New wraps a store in a server. The server does not own the store: the
+// caller closes it after Shutdown.
+func New(store *funcdb.Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds the listener. addr is a TCP address; ":0" picks a free
+// port (Addr reports it).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until the listener closes (Shutdown). Each
+// connection runs in its own goroutine. Serve returns nil on a clean
+// shutdown.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.draining.Load() {
+			// Shutdown won the race: refuse rather than start a handler
+			// the drain will not see.
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown drains the server: stop accepting, unblock every connection's
+// pending read so its handler can answer what it has fully read and
+// close, wait for all handlers, then barrier the store — with durability,
+// the group-commit buffer is flushed, so every response a client received
+// is on disk when Shutdown returns. The store itself stays open.
+func (s *Server) Shutdown() error {
+	s.draining.Store(true)
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		// A handler blocked in read wakes immediately with a timeout and
+		// runs its drain path; a handler mid-request finishes writing its
+		// replies first (the deadline only gates reads).
+		conn.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.store.Barrier()
+	if derr := s.store.DurabilityErr(); derr != nil {
+		return derr
+	}
+	if err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// reply is one pending answer on a connection, kept in request order.
+type reply struct {
+	id    uint64
+	fut   *session.Future   // FrameExec: the statement's response future
+	futs  []*session.Future // FrameBatch: response futures in order
+	qerr  error             // translation/bind failure: nothing admitted
+	index int               // failing statement index (batches), else -1
+}
+
+// handle drives one connection: handshake, then a read loop that queues
+// statements into the session and flushes (admit + answer, in order)
+// whenever the socket has no more buffered frames.
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil || typ != wire.FrameHello {
+		return // not speaking our protocol; nothing was admitted
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		return
+	}
+	origin := hello.Origin
+	if origin == "" {
+		origin = fmt.Sprintf("conn%d", s.nconn.Add(1))
+	}
+	welcome := wire.AppendWelcome(nil, wire.Welcome{
+		Lanes:   s.store.Lanes(),
+		Durable: s.store.Durable(),
+		Origin:  origin,
+	})
+	if err := wire.WriteFrame(bw, wire.FrameWelcome, welcome); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	sess := s.store.Session(origin)
+	var pending []reply
+
+	// flush admits every queued statement in one batch and writes the
+	// replies in request order. Responses are forced in order — the
+	// session's pipelining discipline.
+	flush := func() bool {
+		if len(pending) == 0 {
+			return true
+		}
+		sess.Flush()
+		for _, rp := range pending {
+			var frame byte
+			var payload []byte
+			var err error
+			switch {
+			case rp.qerr != nil:
+				// A batch error ships the underlying message plus the
+				// failing index; the client re-wraps it as a BatchError, so
+				// local and remote error text come out identical.
+				msg := rp.qerr.Error()
+				var be *session.BatchError
+				if errors.As(rp.qerr, &be) {
+					msg = be.Err.Error()
+				}
+				frame = wire.FrameError
+				payload = wire.AppendErrorMsg(nil, rp.id, rp.index, msg)
+			case rp.futs != nil:
+				resps := make([]core.Response, len(rp.futs))
+				for i, f := range rp.futs {
+					resps[i] = f.Force()
+				}
+				frame = wire.FrameBatchResponse
+				if payload, err = wire.AppendResponses(nil, rp.id, resps); err != nil {
+					return false
+				}
+			default:
+				frame = wire.FrameResponse
+				if payload, err = wire.AppendSingleResponse(nil, rp.id, rp.fut.Force()); err != nil {
+					return false
+				}
+			}
+			if err := wire.WriteFrame(bw, frame, payload); err != nil {
+				return false
+			}
+		}
+		pending = pending[:0]
+		return bw.Flush() == nil
+	}
+
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			// EOF, a drain deadline, or a broken peer: answer everything
+			// fully read (those requests may already be admitted), then
+			// close. Nothing half-read was ever queued.
+			flush()
+			return
+		}
+		switch typ {
+		case wire.FrameExec:
+			id, q, derr := wire.DecodeExec(payload)
+			if derr != nil {
+				flush()
+				return
+			}
+			fut, qerr := sess.Queue(q)
+			pending = append(pending, reply{id: id, fut: fut, qerr: qerr, index: -1})
+
+		case wire.FrameBatch:
+			id, qs, derr := wire.DecodeBatch(payload)
+			if derr != nil {
+				flush()
+				return
+			}
+			// All-or-nothing: translate the whole batch before queueing
+			// anything, so a failure admits none of it.
+			rp := reply{id: id, index: -1}
+			txs := make([]core.Transaction, len(qs))
+			for i, q := range qs {
+				tx, terr := sess.Translate(q)
+				if terr != nil {
+					rp.qerr = &session.BatchError{Index: i, Query: q, Err: terr}
+					rp.index = i
+					break
+				}
+				txs[i] = tx
+			}
+			if rp.qerr == nil {
+				futs := make([]*session.Future, len(txs))
+				for i, tx := range txs {
+					futs[i] = sess.QueueTx(tx)
+				}
+				rp.futs = futs
+			}
+			pending = append(pending, rp)
+
+		case wire.FrameQuit:
+			flush()
+			return
+
+		default:
+			// Unknown frame type: protocol error, close after answering
+			// what we have.
+			flush()
+			return
+		}
+
+		// Adaptive batching: keep queueing while the socket already holds
+		// more frames; admit and answer the moment the next read would
+		// block. maxPipeline bounds a connection's in-flight statements.
+		if br.Buffered() == 0 || len(pending) >= maxPipeline {
+			if !flush() {
+				return
+			}
+		}
+	}
+}
+
+// maxPipeline bounds the replies a connection may have outstanding before
+// the handler forces a flush.
+const maxPipeline = 1024

@@ -1,0 +1,205 @@
+package server_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"funcdb"
+	"funcdb/client"
+	"funcdb/internal/server"
+)
+
+// startServer spins a server over store on a loopback port and tears it
+// down with the test.
+func startServer(t testing.TB, store *funcdb.Store) *server.Server {
+	t.Helper()
+	srv := server.New(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Shutdown() })
+	return srv
+}
+
+func TestExecOverWire(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer store.Close()
+	srv := startServer(t, store)
+
+	c, err := client.Dial(srv.Addr().String(), client.WithOrigin("c0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Origin() != "c0" || c.Lanes() != store.Lanes() || c.Durable() {
+		t.Fatalf("welcome metadata: origin %q lanes %d durable %v", c.Origin(), c.Lanes(), c.Durable())
+	}
+
+	resp, err := c.Exec(`insert (1, "widget") into R`)
+	if err != nil || resp.Err != nil {
+		t.Fatalf("insert: %v / %v", err, resp.Err)
+	}
+	if resp.Tag() != "c0#0" {
+		t.Errorf("tag = %s, want c0#0", resp.Tag())
+	}
+	resp, err = c.Exec("find 1 in R")
+	if err != nil || !resp.Found {
+		t.Fatalf("find: %v / %+v", err, resp)
+	}
+	// Operation-level errors arrive inside the response.
+	resp, err = c.Exec("find 1 in NOPE")
+	if err != nil || resp.Err == nil {
+		t.Fatalf("unknown relation: %v / %+v", err, resp)
+	}
+	// Translation errors arrive as call errors.
+	if _, err := c.Exec("not a query"); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestPipelinedRequestsAnswerInOrder(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer store.Close()
+	srv := startServer(t, store)
+	c, err := client.Dial(srv.Addr().String(), client.WithOrigin("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Fire a pipeline without forcing anything, then force out of order:
+	// request ids make the responses land correctly anyway.
+	var pend []*client.Pending
+	for i := 0; i < 32; i++ {
+		p, err := c.ExecAsync(fmt.Sprintf("insert (%d, \"v\") into R", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pend = append(pend, p)
+	}
+	tail, err := c.ExecAsync("count R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := tail.Force() // force the LAST first
+	if err != nil || resp.Count != 32 {
+		t.Fatalf("pipelined count: %v / %+v", err, resp)
+	}
+	for i := len(pend) - 1; i >= 0; i-- {
+		resp, err := pend[i].Force()
+		if err != nil || resp.Err != nil {
+			t.Fatalf("pipelined insert %d: %v / %v", i, err, resp.Err)
+		}
+		if resp.Seq != i {
+			t.Errorf("insert %d answered with seq %d", i, resp.Seq)
+		}
+	}
+}
+
+func TestBatchErrorIndexOverWire(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer store.Close()
+	srv := startServer(t, store)
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	qs := []string{"count R", "garbage here", "count R"}
+	_, err = c.ExecBatch(qs)
+	if err == nil {
+		t.Fatal("bad batch accepted over the wire")
+	}
+	var be *funcdb.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("wire batch error is %T, want *funcdb.BatchError", err)
+	}
+	if be.Index != 1 || be.Query != "garbage here" {
+		t.Errorf("BatchError = %+v", be)
+	}
+	// Nothing was admitted, and the error text matches the in-process one.
+	local := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer local.Close()
+	_, lerr := local.ExecBatch(qs)
+	if lerr == nil || lerr.Error() != err.Error() {
+		t.Errorf("error text differs: wire %q vs local %q", err, lerr)
+	}
+	store.Barrier()
+	if got := store.Current().TotalTuples(); got != 0 {
+		t.Errorf("failed batch admitted %d writes", got)
+	}
+}
+
+// TestDrainMakesAckedCommitsDurable: Shutdown flushes the group-commit
+// buffer, so every response a client received is on disk — verified by
+// recovery.
+func TestDrainMakesAckedCommitsDurable(t *testing.T) {
+	dir := t.TempDir()
+	store, err := funcdb.Open(
+		funcdb.WithRelations("R"),
+		funcdb.WithDurability(dir, funcdb.GroupCommit(time.Hour))) // window never fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	for i := 0; i < n; i++ {
+		resp, err := c.Exec(fmt.Sprintf("insert (%d, \"v\") into R", i))
+		if err != nil || resp.Err != nil {
+			t.Fatalf("insert %d: %v / %v", i, err, resp.Err)
+		}
+	}
+	// All n are acked. Drain and close.
+	if err := srv.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := funcdb.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Current().TotalTuples(); got != n {
+		t.Fatalf("recovered %d tuples, want %d", got, n)
+	}
+}
+
+// TestServerRefusesGarbageConnection: a peer that never says Hello is
+// dropped without admitting anything.
+func TestServerRefusesGarbageConnection(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer store.Close()
+	srv := startServer(t, store)
+
+	// A Dial that skips the handshake: raw TCP write of junk.
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	// The server is still healthy for the next well-behaved client.
+	c2, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if resp, err := c2.Exec("count R"); err != nil || resp.Err != nil {
+		t.Fatalf("healthy client after quit: %v / %v", err, resp.Err)
+	}
+}

@@ -1,0 +1,49 @@
+package session
+
+import (
+	"strings"
+
+	"funcdb/internal/core"
+)
+
+// Text helpers shared by every front end (REPL, script mode, wire
+// server): they used to live inside cmd/fdbrepl, duplicated from the
+// Store's exec path.
+
+// SplitQueries splits a semicolon-separated query list, dropping empties.
+func SplitQueries(s string) []string {
+	var out []string
+	for _, q := range strings.Split(s, ";") {
+		if q = strings.TrimSpace(q); q != "" {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// ParseScript extracts the queries of a script: one query per line (a
+// trailing ';' is tolerated), blank lines and #-comments skipped.
+func ParseScript(src string) []string {
+	var out []string
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(line), ";"))
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// Render formats a batch's responses one per line, in order — the wire
+// format every front end prints.
+func Render(resps []core.Response) string {
+	var b strings.Builder
+	for i, r := range resps {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(r.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,287 @@
+// Package session is the transport-agnostic execution layer between a
+// client (a REPL, a network connection, the public Store API) and the
+// admission pipeline. One Session owns what used to be duplicated between
+// funcdb.Store's Exec methods and cmd/fdbrepl:
+//
+//   - a prepared-statement cache (query.StmtCache): each distinct query
+//     text is lexed and parsed once per session scope, and a committed
+//     `create` invalidates cached statements touching the new relation;
+//   - origin/sequence tagging: every statement the session admits carries
+//     the session's origin and a dense per-session sequence number, so a
+//     connection's response stream is deterministic regardless of how
+//     other sessions interleave with it;
+//   - pipelined submission: Queue turns a statement into a response
+//     future immediately without submitting it, and Flush admits every
+//     queued statement in ONE batched arbitration (Submitter.SubmitTagged
+//     → Engine.SubmitBatch), so one network read's worth of requests
+//     becomes one lane-split admission. Forcing any queued future flushes
+//     first; responses are forced in submission order by the callers that
+//     need ordering (the wire server, ExecBatch).
+//
+// The session is the paper's stream-merge client made explicit: it
+// assembles a tagged transaction stream and hands it to the merge point
+// in batches, instead of one call at a time.
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"funcdb/internal/core"
+	"funcdb/internal/lenient"
+	"funcdb/internal/query"
+)
+
+// Future is an unresolved response, as the engine returns it.
+type Future = lenient.Cell[core.Response]
+
+// Submitter is the admission surface a session executes against: a batch
+// of fully tagged transactions admitted in one merge arbitration, with
+// response futures in submission order. funcdb.Store implements it over
+// the sharded-lane engine; tests implement it in-memory.
+type Submitter interface {
+	SubmitTagged(txs []core.Transaction) []*Future
+}
+
+// BatchError reports which statement of a batch failed to translate or
+// bind. Batches are all-or-nothing: nothing was submitted.
+type BatchError struct {
+	// Index is the position of the failing statement within the batch.
+	Index int
+	// Query is the failing statement's source text.
+	Query string
+	// Err is the underlying translation or bind error.
+	Err error
+}
+
+// Error renders the failure with its batch position.
+func (e *BatchError) Error() string { return fmt.Sprintf("batch query %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// Option configures New.
+type Option func(*Session)
+
+// WithOrigin sets the tag attached to the session's transactions (filled
+// in only when a queued transaction carries none).
+func WithOrigin(origin string) Option {
+	return func(s *Session) { s.origin = origin }
+}
+
+// WithSeqs supplies the sequence allocator: next(n) must return the first
+// of n consecutive fresh sequence numbers. The default is a private
+// per-session counter starting at 0; funcdb.Store shares its store-wide
+// counter so transaction-level Submit and session-level Exec draw from
+// one tag space.
+func WithSeqs(next func(n int) int) Option {
+	return func(s *Session) { s.nextSeqs = next }
+}
+
+// WithCache shares a statement cache (e.g. one store-wide cache across
+// many sessions). The default gives the session a private cache.
+func WithCache(c *query.StmtCache) Option {
+	return func(s *Session) { s.cache = c }
+}
+
+// pendingStmt is one queued-but-not-yet-admitted statement. fut is nil
+// until the flush that admits it.
+type pendingStmt struct {
+	tx  core.Transaction
+	fut *Future
+}
+
+// Session is one client's execution context. Safe for concurrent use;
+// statements queued concurrently flush together in queue order.
+type Session struct {
+	sub      Submitter
+	origin   string
+	nextSeqs func(n int) int
+	cache    *query.StmtCache
+
+	mu      sync.Mutex
+	seq     int // default allocator state (when nextSeqs is private)
+	pending []*pendingStmt
+}
+
+// New opens a session over a submitter.
+func New(sub Submitter, opts ...Option) *Session {
+	s := &Session{sub: sub, origin: "session"}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.nextSeqs == nil {
+		s.nextSeqs = s.ownSeqs
+	}
+	if s.cache == nil {
+		s.cache = query.NewStmtCache(0)
+	}
+	return s
+}
+
+// ownSeqs is the default sequence allocator. Callers hold s.mu (flush is
+// the only allocation site).
+func (s *Session) ownSeqs(n int) int {
+	first := s.seq
+	s.seq += n
+	return first
+}
+
+// Cache returns the session's statement cache (for stats surfaces).
+func (s *Session) Cache() *query.StmtCache { return s.cache }
+
+// Prepare returns the cached prepared form of src.
+func (s *Session) Prepare(src string) (*query.Prepared, error) {
+	return s.cache.Get(src)
+}
+
+// Translate turns a symbolic query into an untagged transaction through
+// the statement cache: parse once per distinct text, bind zero
+// parameters. A query with '?' placeholders cannot execute directly and
+// reports its arity here.
+func (s *Session) Translate(src string) (core.Transaction, error) {
+	prep, err := s.cache.Get(src)
+	if err != nil {
+		return core.Transaction{}, err
+	}
+	return prep.Bind()
+}
+
+// Queue translates q and enqueues it without admitting it, returning a
+// response future immediately. The statement is admitted by the next
+// Flush — or implicitly when the returned future is forced, so a client
+// may queue a pipeline of statements and force the responses in order.
+func (s *Session) Queue(q string) (*Future, error) {
+	tx, err := s.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueueTx(tx), nil
+}
+
+// QueueTx enqueues an already-constructed transaction, returning its
+// response future immediately (see Queue).
+func (s *Session) QueueTx(tx core.Transaction) *Future {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queueLocked(tx)
+}
+
+// queueLocked appends tx to the pending pipeline and returns a future
+// that flushes the pipeline on demand. Must hold s.mu.
+func (s *Session) queueLocked(tx core.Transaction) *Future {
+	ps := &pendingStmt{tx: tx}
+	s.pending = append(s.pending, ps)
+	return lenient.Lazy(func() core.Response {
+		s.mu.Lock()
+		if ps.fut == nil {
+			s.flushLocked()
+		}
+		fut := ps.fut
+		s.mu.Unlock()
+		return fut.Force()
+	})
+}
+
+// Pending returns the number of queued, not yet admitted statements.
+func (s *Session) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// Flush admits every queued statement in one batched arbitration. A
+// no-op with an empty pipeline.
+func (s *Session) Flush() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flushLocked()
+}
+
+// flushLocked tags and submits the pending pipeline. Must hold s.mu.
+func (s *Session) flushLocked() {
+	if len(s.pending) == 0 {
+		return
+	}
+	txs := make([]core.Transaction, len(s.pending))
+	first := s.nextSeqs(len(s.pending))
+	var created []string
+	for i, ps := range s.pending {
+		tx := ps.tx
+		if tx.Origin == "" {
+			tx.Origin = s.origin
+		}
+		tx.Seq = first + i
+		if tx.Kind == core.KindCreate {
+			created = append(created, tx.Rel)
+		}
+		txs[i] = tx
+	}
+	futs := s.sub.SubmitTagged(txs)
+	for i, ps := range s.pending {
+		ps.fut = futs[i]
+	}
+	s.pending = s.pending[:0]
+	// A submitted create changes the directory: drop cached statements
+	// touching the new relation so no retained translation can straddle
+	// the directory change.
+	for _, rel := range created {
+		s.cache.InvalidateRel(rel)
+	}
+}
+
+// ExecAsync translates and admits a single statement now (flushing any
+// queued pipeline with it — one arbitration), returning the response
+// future.
+func (s *Session) ExecAsync(q string) (*Future, error) {
+	tx, err := s.Translate(q)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	ps := &pendingStmt{tx: tx}
+	s.pending = append(s.pending, ps)
+	s.flushLocked()
+	s.mu.Unlock()
+	return ps.fut, nil
+}
+
+// Exec translates, admits and waits.
+func (s *Session) Exec(q string) (core.Response, error) {
+	fut, err := s.ExecAsync(q)
+	if err != nil {
+		return core.Response{}, err
+	}
+	return fut.Force(), nil
+}
+
+// ExecBatch translates a slice of queries, admits them all in one merge
+// arbitration, and waits for every response. Translation is
+// all-or-nothing: a failure anywhere reports a *BatchError carrying the
+// failing statement's index, and nothing is submitted.
+func (s *Session) ExecBatch(queries []string) ([]core.Response, error) {
+	txs := make([]core.Transaction, len(queries))
+	for i, q := range queries {
+		tx, err := s.Translate(q)
+		if err != nil {
+			return nil, &BatchError{Index: i, Query: q, Err: err}
+		}
+		txs[i] = tx
+	}
+	s.mu.Lock()
+	stmts := make([]*pendingStmt, len(txs))
+	for i, tx := range txs {
+		ps := &pendingStmt{tx: tx}
+		s.pending = append(s.pending, ps)
+		stmts[i] = ps
+	}
+	s.flushLocked()
+	s.mu.Unlock()
+
+	out := make([]core.Response, len(stmts))
+	for i, ps := range stmts {
+		out[i] = ps.fut.Force()
+	}
+	return out, nil
+}
+

@@ -1,0 +1,247 @@
+package session
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/relation"
+)
+
+// engineSubmitter adapts a raw core.Engine to the Submitter interface,
+// recording every batch it admits.
+type engineSubmitter struct {
+	e       *core.Engine
+	mu      sync.Mutex
+	batches [][]core.Transaction
+}
+
+func (es *engineSubmitter) SubmitTagged(txs []core.Transaction) []*Future {
+	es.mu.Lock()
+	cp := make([]core.Transaction, len(txs))
+	copy(cp, txs)
+	es.batches = append(es.batches, cp)
+	es.mu.Unlock()
+	return es.e.SubmitBatch(txs)
+}
+
+func newSession(t *testing.T, opts ...Option) (*Session, *engineSubmitter) {
+	t.Helper()
+	es := &engineSubmitter{e: core.NewEngine(database.New(relation.RepList, "R", "S"))}
+	return New(es, opts...), es
+}
+
+func TestExecTagsOriginAndSeq(t *testing.T) {
+	s, _ := newSession(t, WithOrigin("c7"))
+	r1, err := s.Exec(`insert (1, "a") into R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Exec("find 1 in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Tag() != "c7#0" || r2.Tag() != "c7#1" {
+		t.Errorf("tags = %s, %s; want c7#0, c7#1", r1.Tag(), r2.Tag())
+	}
+	if !r2.Found {
+		t.Error("session read missed its own write")
+	}
+}
+
+func TestQueueIsPipelined(t *testing.T) {
+	s, es := newSession(t)
+	f1, err := s.Queue(`insert (1, "a") into R`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.Queue("find 1 in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := s.Queue("count R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pending(); got != 3 {
+		t.Fatalf("pending = %d, want 3", got)
+	}
+	if len(es.batches) != 0 {
+		t.Fatal("queueing admitted transactions before any flush")
+	}
+	// Forcing ANY queued future flushes the whole pipeline in one batch.
+	if resp := f2.Force(); !resp.Found {
+		t.Error("pipelined read missed the pipelined write before it")
+	}
+	if len(es.batches) != 1 || len(es.batches[0]) != 3 {
+		t.Fatalf("flush admitted %d batches: %v", len(es.batches), es.batches)
+	}
+	if resp := f1.Force(); resp.Err != nil {
+		t.Errorf("insert response: %v", resp.Err)
+	}
+	if resp := f3.Force(); resp.Count != 1 {
+		t.Errorf("count = %d, want 1", resp.Count)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("pending after flush = %d", got)
+	}
+}
+
+func TestFlushBatchesQueuedStatements(t *testing.T) {
+	s, es := newSession(t)
+	for i := 0; i < 5; i++ {
+		if _, err := s.Queue("count R"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Flush()
+	if len(es.batches) != 1 || len(es.batches[0]) != 5 {
+		t.Fatalf("one flush must be one admission: %d batches", len(es.batches))
+	}
+	s.Flush() // empty flush is a no-op
+	if len(es.batches) != 1 {
+		t.Error("empty flush submitted a batch")
+	}
+}
+
+func TestExecBatchReportsFailingIndex(t *testing.T) {
+	s, _ := newSession(t)
+	_, err := s.ExecBatch([]string{"count R", "count S", "not a query", "count R"})
+	if err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error is %T, want *BatchError", err)
+	}
+	if be.Index != 2 || be.Query != "not a query" || be.Err == nil {
+		t.Errorf("BatchError = %+v", be)
+	}
+	if !strings.Contains(be.Error(), "batch query 2") {
+		t.Errorf("Error() = %q", be.Error())
+	}
+}
+
+func TestExecBatchAllOrNothing(t *testing.T) {
+	s, es := newSession(t)
+	if _, err := s.ExecBatch([]string{`insert (1, "a") into R`, "garbage"}); err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if len(es.batches) != 0 {
+		t.Error("failed batch still admitted transactions")
+	}
+}
+
+func TestStatementCacheInvalidatedByCreate(t *testing.T) {
+	s, _ := newSession(t)
+	// Prime the cache with a statement on a relation that does not exist.
+	resp, err := s.Exec("count X")
+	if err != nil || resp.Err == nil {
+		t.Fatalf("count of absent relation: %v / %+v", err, resp)
+	}
+	hits0, _ := s.Cache().Stats()
+	if _, err := s.Exec("count X"); err != nil {
+		t.Fatal(err)
+	}
+	if hits1, _ := s.Cache().Stats(); hits1 != hits0+1 {
+		t.Fatal("second count X did not hit the cache")
+	}
+	// The create must invalidate every cached statement touching X.
+	if resp, err := s.Exec("create X using avl"); err != nil || resp.Err != nil {
+		t.Fatalf("create: %v / %v", err, resp.Err)
+	}
+	before, missesBefore := s.Cache().Stats()
+	if resp, err := s.Exec("count X"); err != nil || resp.Err != nil {
+		t.Fatalf("count after create: %v / %+v", err, resp)
+	}
+	after, missesAfter := s.Cache().Stats()
+	if after != before || missesAfter != missesBefore+1 {
+		t.Errorf("count X after create hit a stale cache entry (hits %d->%d, misses %d->%d)",
+			before, after, missesBefore, missesAfter)
+	}
+}
+
+func TestTranslatePlaceholderArity(t *testing.T) {
+	s, _ := newSession(t)
+	if _, err := s.Exec("find ? in R"); err == nil {
+		t.Error("placeholder query executed without bind arguments")
+	}
+	// The prepared form is still reachable through the session cache.
+	prep, err := s.Prepare("find ? in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.NumParams() != 1 {
+		t.Errorf("NumParams = %d", prep.NumParams())
+	}
+}
+
+func TestConcurrentSessionsShareOneSubmitter(t *testing.T) {
+	es := &engineSubmitter{e: core.NewEngine(database.New(relation.RepAVL, "R"))}
+	const sessions, ops = 4, 100
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := New(es, WithOrigin("g"))
+			for i := 0; i < ops; i++ {
+				k := int64(g*ops + i)
+				if _, err := s.Exec(`insert (` + itoa(k) + `, "v") into R`); err != nil {
+					t.Errorf("exec: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	es.e.Barrier()
+	if got := es.e.Current().TotalTuples(); got != sessions*ops {
+		t.Errorf("tuples = %d, want %d", got, sessions*ops)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestScriptHelpers(t *testing.T) {
+	qs := ParseScript("# comment\ncreate R;\n\n  insert (1, \"a\") into R\ncount R\n")
+	if len(qs) != 3 || qs[0] != "create R" || qs[2] != "count R" {
+		t.Errorf("ParseScript = %q", qs)
+	}
+	if got := SplitQueries(" a ; ; b;c "); len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SplitQueries = %q", got)
+	}
+}
+
+func TestScriptAsOneBatch(t *testing.T) {
+	s, es := newSession(t)
+	resps, err := s.ExecBatch(ParseScript("insert (1, \"a\") into R\nfind 1 in R\n# done\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 || !resps[1].Found {
+		t.Fatalf("script responses: %+v", resps)
+	}
+	if len(es.batches) != 1 {
+		t.Error("script was not one admission")
+	}
+	out := Render(resps)
+	if lines := strings.Split(out, "\n"); len(lines) != 2 || !strings.Contains(lines[1], "found") {
+		t.Errorf("Render = %q", out)
+	}
+}

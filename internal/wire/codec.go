@@ -1,0 +1,371 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"funcdb/internal/core"
+	"funcdb/internal/value"
+)
+
+// Message payload codecs, built on the internal/value primitives (the
+// same self-delimiting strings, items and tuples the archive logs).
+
+// Hello is the client's opening message.
+type Hello struct {
+	// Origin is the tag the server stamps on the connection's
+	// transactions ("" lets the server pick one).
+	Origin string
+}
+
+// AppendHello encodes a Hello payload.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, Magic...)
+	dst = append(dst, Version)
+	return value.AppendString(dst, h.Origin)
+}
+
+// DecodeHello decodes a Hello payload.
+func DecodeHello(buf []byte) (Hello, error) {
+	if len(buf) < len(Magic)+1 || string(buf[:len(Magic)]) != Magic {
+		return Hello{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	buf = buf[len(Magic):]
+	if buf[0] != Version {
+		return Hello{}, fmt.Errorf("wire: protocol version %d not supported", buf[0])
+	}
+	origin, rest, err := value.DecodeString(buf[1:])
+	if err != nil || len(rest) != 0 {
+		return Hello{}, fmt.Errorf("%w: bad hello origin", ErrCorrupt)
+	}
+	return Hello{Origin: origin}, nil
+}
+
+// Welcome is the server's handshake acknowledgment.
+type Welcome struct {
+	// Lanes is the server store's admission lane count.
+	Lanes int
+	// Durable reports whether the server store writes an archive.
+	Durable bool
+	// Origin echoes the tag the server assigned to the connection.
+	Origin string
+}
+
+// AppendWelcome encodes a Welcome payload.
+func AppendWelcome(dst []byte, w Welcome) []byte {
+	dst = append(dst, Version)
+	dst = binary.AppendVarint(dst, int64(w.Lanes))
+	if w.Durable {
+		dst = append(dst, 1)
+	} else {
+		dst = append(dst, 0)
+	}
+	return value.AppendString(dst, w.Origin)
+}
+
+// DecodeWelcome decodes a Welcome payload.
+func DecodeWelcome(buf []byte) (Welcome, error) {
+	if len(buf) < 1 {
+		return Welcome{}, fmt.Errorf("%w: empty welcome", ErrCorrupt)
+	}
+	if buf[0] != Version {
+		return Welcome{}, fmt.Errorf("wire: protocol version %d not supported", buf[0])
+	}
+	buf = buf[1:]
+	lanes, n := binary.Varint(buf)
+	if n <= 0 || len(buf[n:]) < 1 {
+		return Welcome{}, fmt.Errorf("%w: bad welcome", ErrCorrupt)
+	}
+	durable := buf[n] == 1
+	origin, rest, err := value.DecodeString(buf[n+1:])
+	if err != nil || len(rest) != 0 {
+		return Welcome{}, fmt.Errorf("%w: bad welcome origin", ErrCorrupt)
+	}
+	return Welcome{Lanes: int(lanes), Durable: durable, Origin: origin}, nil
+}
+
+// AppendExec encodes a FrameExec payload: request id + query text.
+func AppendExec(dst []byte, id uint64, query string) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	return value.AppendString(dst, query)
+}
+
+// DecodeExec decodes a FrameExec payload.
+func DecodeExec(buf []byte) (id uint64, query string, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, "", fmt.Errorf("%w: bad request id", ErrCorrupt)
+	}
+	query, rest, err := value.DecodeString(buf[n:])
+	if err != nil || len(rest) != 0 {
+		return 0, "", fmt.Errorf("%w: bad exec query", ErrCorrupt)
+	}
+	return id, query, nil
+}
+
+// AppendBatch encodes a FrameBatch payload: request id + count + queries.
+func AppendBatch(dst []byte, id uint64, queries []string) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(queries)))
+	for _, q := range queries {
+		dst = value.AppendString(dst, q)
+	}
+	return dst
+}
+
+// DecodeBatch decodes a FrameBatch payload.
+func DecodeBatch(buf []byte) (id uint64, queries []string, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad request id", ErrCorrupt)
+	}
+	buf = buf[n:]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 || count > uint64(len(buf)) {
+		return 0, nil, fmt.Errorf("%w: bad batch count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	queries = make([]string, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var q string
+		if q, buf, err = value.DecodeString(buf); err != nil {
+			return 0, nil, fmt.Errorf("%w: bad batch query", ErrCorrupt)
+		}
+		queries = append(queries, q)
+	}
+	if len(buf) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return id, queries, nil
+}
+
+// AppendErrorMsg encodes a FrameError payload: request id, failing
+// statement index (-1 when the request was not a batch), message text.
+func AppendErrorMsg(dst []byte, id uint64, index int, msg string) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendVarint(dst, int64(index))
+	return value.AppendString(dst, msg)
+}
+
+// DecodeErrorMsg decodes a FrameError payload.
+func DecodeErrorMsg(buf []byte) (id uint64, index int, msg string, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, 0, "", fmt.Errorf("%w: bad request id", ErrCorrupt)
+	}
+	buf = buf[n:]
+	idx, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, 0, "", fmt.Errorf("%w: bad error index", ErrCorrupt)
+	}
+	msg, rest, err := value.DecodeString(buf[n:])
+	if err != nil || len(rest) != 0 {
+		return 0, 0, "", fmt.Errorf("%w: bad error message", ErrCorrupt)
+	}
+	return id, int(idx), msg, nil
+}
+
+// Response flag bits.
+const (
+	respFound  = 1 << 0
+	respErr    = 1 << 1
+	respNote   = 1 << 2
+	respTuple  = 1 << 3
+	respTuples = 1 << 4
+)
+
+// AppendResponse encodes one core.Response:
+//
+//	resp := origin:string seq:varint kind:uint8 flags:uint8
+//	        count:varint version:varint
+//	        [tuple] [ntuples:uvarint tuples] [err:string] [note:string]
+//
+// An operation-level error crosses the wire as its text; the client
+// rebuilds an opaque error with identical text, so a response renders
+// byte-identically on both sides of the connection (error *identity* —
+// errors.Is against sentinel values — does not cross, and is documented
+// as a local-only affordance).
+func AppendResponse(dst []byte, r core.Response) ([]byte, error) {
+	dst = value.AppendString(dst, r.Origin)
+	dst = binary.AppendVarint(dst, int64(r.Seq))
+	dst = append(dst, byte(r.Kind))
+	var flags byte
+	if r.Found {
+		flags |= respFound
+	}
+	if r.Err != nil {
+		flags |= respErr
+	}
+	if r.Note != "" {
+		flags |= respNote
+	}
+	if !r.Tuple.IsZero() {
+		flags |= respTuple
+	}
+	if len(r.Tuples) > 0 {
+		flags |= respTuples
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendVarint(dst, int64(r.Count))
+	dst = binary.AppendVarint(dst, r.Version)
+	var err error
+	if flags&respTuple != 0 {
+		if dst, err = value.AppendTuple(dst, r.Tuple); err != nil {
+			return dst, err
+		}
+	}
+	if flags&respTuples != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(r.Tuples)))
+		for _, tu := range r.Tuples {
+			if dst, err = value.AppendTuple(dst, tu); err != nil {
+				return dst, err
+			}
+		}
+	}
+	if flags&respErr != 0 {
+		dst = value.AppendString(dst, r.Err.Error())
+	}
+	if flags&respNote != 0 {
+		dst = value.AppendString(dst, r.Note)
+	}
+	return dst, nil
+}
+
+// DecodeResponse decodes one response from the front of buf, returning
+// the remaining bytes (responses concatenate inside a batch frame).
+func DecodeResponse(buf []byte) (core.Response, []byte, error) {
+	fail := func(what string) (core.Response, []byte, error) {
+		return core.Response{}, buf, fmt.Errorf("%w: response: bad %s", ErrCorrupt, what)
+	}
+	var r core.Response
+	origin, buf, err := value.DecodeString(buf)
+	if err != nil {
+		return fail("origin")
+	}
+	r.Origin = origin
+	seq, n := binary.Varint(buf)
+	if n <= 0 {
+		return fail("seq")
+	}
+	buf = buf[n:]
+	if len(buf) < 2 {
+		return fail("kind")
+	}
+	r.Seq = int(seq)
+	r.Kind = core.Kind(buf[0])
+	flags := buf[1]
+	buf = buf[2:]
+	count, n := binary.Varint(buf)
+	if n <= 0 {
+		return fail("count")
+	}
+	buf = buf[n:]
+	r.Count = int(count)
+	version, n := binary.Varint(buf)
+	if n <= 0 {
+		return fail("version")
+	}
+	buf = buf[n:]
+	r.Version = version
+	r.Found = flags&respFound != 0
+	if flags&respTuple != 0 {
+		if r.Tuple, buf, err = value.DecodeTuple(buf); err != nil {
+			return fail("tuple")
+		}
+	}
+	if flags&respTuples != 0 {
+		ntuples, n := binary.Uvarint(buf)
+		if n <= 0 || ntuples > uint64(len(buf)) {
+			return fail("tuple count")
+		}
+		buf = buf[n:]
+		r.Tuples = make([]value.Tuple, 0, ntuples)
+		for i := uint64(0); i < ntuples; i++ {
+			var tu value.Tuple
+			if tu, buf, err = value.DecodeTuple(buf); err != nil {
+				return fail("tuples")
+			}
+			r.Tuples = append(r.Tuples, tu)
+		}
+	}
+	if flags&respErr != 0 {
+		var msg string
+		if msg, buf, err = value.DecodeString(buf); err != nil {
+			return fail("error")
+		}
+		r.Err = errors.New(msg)
+	}
+	if flags&respNote != 0 {
+		if r.Note, buf, err = value.DecodeString(buf); err != nil {
+			return fail("note")
+		}
+	}
+	return r, buf, nil
+}
+
+// AppendResponses encodes a batch reply: request id, count, responses.
+func AppendResponses(dst []byte, id uint64, resps []core.Response) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(len(resps)))
+	var err error
+	for _, r := range resps {
+		if dst, err = AppendResponse(dst, r); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeResponses decodes a batch reply.
+func DecodeResponses(buf []byte) (id uint64, resps []core.Response, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad request id", ErrCorrupt)
+	}
+	buf = buf[n:]
+	count, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad response count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	// A response is at least 6 bytes; a count beyond that is corrupt (and
+	// the check guards allocation on corrupt counts).
+	if count > uint64(len(buf))/6+1 {
+		return 0, nil, fmt.Errorf("%w: response count %d exceeds buffer", ErrCorrupt, count)
+	}
+	resps = make([]core.Response, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var r core.Response
+		if r, buf, err = DecodeResponse(buf); err != nil {
+			return 0, nil, err
+		}
+		resps = append(resps, r)
+	}
+	if len(buf) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return id, resps, nil
+}
+
+// AppendSingleResponse encodes a FrameResponse payload: id + response.
+func AppendSingleResponse(dst []byte, id uint64, r core.Response) ([]byte, error) {
+	dst = binary.AppendUvarint(dst, id)
+	return AppendResponse(dst, r)
+}
+
+// DecodeSingleResponse decodes a FrameResponse payload.
+func DecodeSingleResponse(buf []byte) (uint64, core.Response, error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, core.Response{}, fmt.Errorf("%w: bad request id", ErrCorrupt)
+	}
+	r, rest, err := DecodeResponse(buf[n:])
+	if err != nil {
+		return 0, core.Response{}, err
+	}
+	if len(rest) != 0 {
+		return 0, core.Response{}, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return id, r, nil
+}

@@ -1,0 +1,154 @@
+// Package wire is the framed network protocol between a funcdb client
+// and fdbserver: the session layer's statement/response stream given a
+// byte encoding.
+//
+// Framing reuses the archive's record discipline — the one piece of this
+// repository that already survives torn writes and corruption:
+//
+//	frame := type:uint8 length:uint32le payload crc:uint32le
+//
+// The CRC (IEEE 802.3) covers the type byte and the payload, so a frame
+// whose length field is corrupted fails its checksum instead of being
+// misparsed, and MaxFrameLen bounds allocation on corrupt lengths.
+//
+// Every request frame carries a client-chosen request id, echoed on the
+// response frame. Ids make pipelining out-of-order-safe: a client may
+// have any number of requests in flight and match responses by id, in
+// whatever order they arrive — the server happens to reply in admission
+// order, but nothing in the protocol depends on it.
+//
+// Conversation shape:
+//
+//	client → FrameHello  (magic, protocol version, origin tag)
+//	server → FrameWelcome (protocol version, lane count, durable flag)
+//	client → FrameExec | FrameBatch ...   (pipelined freely)
+//	server → FrameResponse | FrameBatchResponse | FrameError ...
+//	client → FrameQuit, then closes
+//
+// One FrameBatch is one admission batch: the server translates the whole
+// frame and feeds it to the store in a single lane-split SubmitBatch, so
+// a network-sized batch pays one arbitration, exactly like an in-process
+// ExecBatch.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame types. Values deliberately do not overlap the archive's record
+// types (1–3): a frame stream fed to an archive reader (or vice versa)
+// fails fast on type, not just CRC.
+const (
+	// FrameHello opens a connection (client → server): magic, protocol
+	// version, origin tag.
+	FrameHello byte = 0x10
+	// FrameWelcome acknowledges Hello (server → client): protocol
+	// version, lane count, durable flag.
+	FrameWelcome byte = 0x11
+	// FrameExec submits one statement: request id, query text.
+	FrameExec byte = 0x12
+	// FrameBatch submits n statements as one admission batch: request
+	// id, count, query texts.
+	FrameBatch byte = 0x13
+	// FrameResponse answers FrameExec: request id, encoded response.
+	FrameResponse byte = 0x14
+	// FrameBatchResponse answers FrameBatch: request id, count, encoded
+	// responses in statement order.
+	FrameBatchResponse byte = 0x15
+	// FrameError reports a request that was never admitted (translation
+	// or bind failure): request id, failing statement index (-1 for a
+	// non-batch request), message.
+	FrameError byte = 0x16
+	// FrameQuit announces a clean client close.
+	FrameQuit byte = 0x17
+)
+
+const (
+	// Magic identifies a funcdb wire connection ("fDBw"; the archive
+	// files use "fDBa").
+	Magic = "fDBw"
+	// Version is the protocol revision; Hello/Welcome carry it.
+	Version = 1
+	// MaxFrameLen caps a frame's payload: large enough for any realistic
+	// batch or scan response, small enough to bound what a corrupt
+	// length field can make a peer allocate.
+	MaxFrameLen = 1 << 26 // 64 MiB
+	// frameOverhead is the framing cost per frame: type + length + CRC.
+	frameOverhead = 1 + 4 + 4
+)
+
+// ErrCorrupt reports an undecodable frame or payload.
+var ErrCorrupt = errors.New("wire: corrupt frame")
+
+// ErrTooLarge reports a frame the protocol refuses to carry.
+var ErrTooLarge = errors.New("wire: frame exceeds size limit")
+
+// AppendFrame appends one framed message to dst.
+func AppendFrame(dst []byte, typ byte, payload []byte) ([]byte, error) {
+	if len(payload) > MaxFrameLen {
+		return dst, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	return binary.LittleEndian.AppendUint32(dst, crc.Sum32()), nil
+}
+
+// WriteFrame writes one framed message.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	buf, err := AppendFrame(nil, typ, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one framed message. io.EOF means the peer closed
+// cleanly between frames; a close mid-frame surfaces as ErrCorrupt.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("wire: read: %w", err)
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, fmt.Errorf("%w: truncated frame", ErrCorrupt)
+		}
+		return 0, nil, fmt.Errorf("wire: read: %w", err)
+	}
+	typ = hdr[0]
+	length := binary.LittleEndian.Uint32(hdr[1:])
+	if length > MaxFrameLen {
+		return 0, nil, fmt.Errorf("%w: length %d", ErrTooLarge, length)
+	}
+	// Grow the body buffer only as bytes actually arrive: a corrupted
+	// length field must cost a truncation error, not a giant allocation.
+	var body bytes.Buffer
+	if _, err := io.CopyN(&body, r, int64(length)+4); err != nil {
+		if errors.Is(err, io.EOF) {
+			return 0, nil, fmt.Errorf("%w: truncated frame", ErrCorrupt)
+		}
+		return 0, nil, fmt.Errorf("wire: read: %w", err)
+	}
+	b := body.Bytes()
+	payload, sum := b[:length], binary.LittleEndian.Uint32(b[length:])
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	if crc.Sum32() != sum {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return typ, payload, nil
+}
