@@ -45,9 +45,10 @@ type Client struct {
 	err    error
 	closed bool
 
-	origin  string
-	lanes   int
-	durable bool
+	origin   string
+	database string
+	lanes    int
+	durable  bool
 }
 
 // fail records the first transport failure; every later call reports it.
@@ -69,12 +70,14 @@ func (c *Client) sticky() error {
 
 // arrived is one received reply, keyed by request id.
 type arrived struct {
-	resp   funcdb.Response   // FrameResponse
-	resps  []funcdb.Response // FrameBatchResponse
-	errMsg string            // FrameError
-	index  int               // FrameError: failing batch index, -1 otherwise
-	isErr  bool
-	batch  bool
+	resp     funcdb.Response   // FrameResponse
+	resps    []funcdb.Response // FrameBatchResponse
+	errMsg   string            // FrameError
+	index    int               // FrameError: failing batch index, -1 otherwise
+	isErr    bool
+	batch    bool
+	redirect string // FrameRedirect: the owning node's address
+	rel      string // FrameRedirect: the relation being placed
 }
 
 // Option configures Dial.
@@ -84,6 +87,12 @@ type Option func(*Client)
 // transactions (default: server-assigned "connN").
 func WithOrigin(origin string) Option {
 	return func(c *Client) { c.origin = origin }
+}
+
+// WithDatabase selects the database this connection executes against on
+// a multi-store listener (default: the server's default store, "main").
+func WithDatabase(db string) Option {
+	return func(c *Client) { c.database = db }
 }
 
 // Dial connects and performs the protocol handshake.
@@ -101,7 +110,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	for _, opt := range opts {
 		opt(c)
 	}
-	if err := wire.WriteFrame(c.bw, wire.FrameHello, wire.AppendHello(nil, wire.Hello{Origin: c.origin})); err != nil {
+	if err := wire.WriteFrame(c.bw, wire.FrameHello, wire.AppendHello(nil, wire.Hello{Origin: c.origin, Database: c.database})); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("client: %w", err)
 	}
@@ -112,6 +121,13 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	typ, payload, err := wire.ReadFrame(c.br)
 	if err != nil || typ != wire.FrameWelcome {
 		conn.Close()
+		if err == nil && typ == wire.FrameError {
+			// The server refused the handshake with a reason (e.g. an
+			// unknown database name): surface it.
+			if _, _, msg, derr := wire.DecodeErrorMsg(payload); derr == nil {
+				return nil, fmt.Errorf("client: handshake refused: %s", msg)
+			}
+		}
 		return nil, fmt.Errorf("client: handshake failed: %v", err)
 	}
 	w, err := wire.DecodeWelcome(payload)
@@ -119,13 +135,16 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	c.origin, c.lanes, c.durable = w.Origin, w.Lanes, w.Durable
+	c.origin, c.lanes, c.durable, c.database = w.Origin, w.Lanes, w.Durable, w.Database
 	return c, nil
 }
 
 // Origin returns the connection's origin tag (server-assigned when Dial
 // had none).
 func (c *Client) Origin() string { return c.origin }
+
+// Database returns the store name the connection is bound to.
+func (c *Client) Database() string { return c.database }
 
 // Lanes returns the server store's admission lane count.
 func (c *Client) Lanes() int { return c.lanes }
@@ -181,6 +200,9 @@ func (c *Client) await(id uint64) (funcdb.Response, error) {
 	if a.isErr {
 		return funcdb.Response{}, errors.New(a.errMsg)
 	}
+	if a.redirect != "" {
+		return funcdb.Response{}, fmt.Errorf("client: request %d redirected to %s (use DialCluster to chase placements)", id, a.redirect)
+	}
 	if a.batch {
 		return funcdb.Response{}, fmt.Errorf("client: request %d is a batch (use ExecBatch)", id)
 	}
@@ -222,10 +244,27 @@ func (c *Client) recv(id uint64) (arrived, error) {
 				return arrived{}, c.fail(derr)
 			}
 			c.got[rid] = arrived{errMsg: msg, index: index, isErr: true}
+		case wire.FrameRedirect:
+			rid, addr, rel, derr := wire.DecodeRedirect(payload)
+			if derr != nil {
+				return arrived{}, c.fail(derr)
+			}
+			c.got[rid] = arrived{redirect: addr, rel: rel, index: -1}
 		default:
 			return arrived{}, c.fail(fmt.Errorf("client: unexpected frame %#x", typ))
 		}
 	}
+}
+
+// forward ships pre-tagged statements as one FrameForward and returns
+// the request id; the cluster client routes with it. The reply is a
+// FrameResponse (one statement), FrameBatchResponse (several),
+// FrameError, or — when this node does not own the statements' relation —
+// a FrameRedirect carrying the owner's address.
+func (c *Client) forward(flags byte, stmts []wire.ForwardStmt) (uint64, error) {
+	return c.send(wire.FrameForward, func(id uint64) []byte {
+		return wire.AppendForward(nil, id, flags, stmts)
+	})
 }
 
 // ExecAsync submits one statement without waiting: pipelined execution.

@@ -1,0 +1,350 @@
+// Cluster-aware dialing: a client that talks to every node of a
+// real-network cluster directly, computing placement locally and chasing
+// at most one Redirect when its guess is stale — the Redis-cluster MOVED
+// discipline over funcdb's wire protocol.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"funcdb"
+	"funcdb/internal/core"
+	"funcdb/internal/query"
+	"funcdb/internal/session"
+	"funcdb/internal/wire"
+)
+
+// ClusterClient executes statements against a cluster, routing each one
+// to the node that owns its relation. It owns the origin/sequence tag
+// space (statements ship pre-tagged Forward frames), so a workload run
+// through it produces the same tagged response stream as the same
+// workload against one in-process store — the cluster equivalence the
+// harness checks. Safe for concurrent use; statements issued
+// concurrently are tagged in issue order.
+type ClusterClient struct {
+	origin string
+	addrs  []string // the addresses given to DialCluster, seed order
+
+	mu        sync.Mutex
+	seq       int
+	conns     map[string]*Client
+	placement map[string]string // relation -> owning address, learned
+	cache     *query.StmtCache
+	closed    bool
+}
+
+// ClusterOption configures DialCluster.
+type ClusterOption func(*ClusterClient)
+
+// WithClusterOrigin sets the tag stamped on the client's statements
+// (default "cluster").
+func WithClusterOrigin(origin string) ClusterOption {
+	return func(c *ClusterClient) { c.origin = origin }
+}
+
+// DialCluster prepares a cluster client over the given node addresses.
+// Connections are dialed lazily, per node, on first use.
+//
+// When addrs is the full membership in cluster order, the client's first
+// placement guess — the lane hash over the list — is already the owner
+// and no redirect ever fires. Any subset (even a single seed) also
+// works: a misrouted statement comes back as a Redirect carrying the
+// owner's address, the client re-sends there (at most once) and caches
+// the placement for the relation.
+func DialCluster(addrs []string, opts ...ClusterOption) (*ClusterClient, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("client: DialCluster needs at least one address")
+	}
+	c := &ClusterClient{
+		origin:    "cluster",
+		addrs:     append([]string(nil), addrs...),
+		conns:     make(map[string]*Client),
+		placement: make(map[string]string),
+		cache:     query.NewStmtCache(0),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c, nil
+}
+
+// Origin returns the client's tag.
+func (c *ClusterClient) Origin() string { return c.origin }
+
+// conn returns (dialing if needed) the connection to addr.
+func (c *ClusterClient) conn(addr string) (*Client, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("client: cluster client closed")
+	}
+	if cl, ok := c.conns[addr]; ok {
+		c.mu.Unlock()
+		return cl, nil
+	}
+	c.mu.Unlock()
+	// Dial outside the lock; a racing dial to the same addr keeps the
+	// first registered connection.
+	cl, err := Dial(addr, WithOrigin(c.origin))
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		cl.Close()
+		return nil, errors.New("client: cluster client closed")
+	}
+	if have, ok := c.conns[addr]; ok {
+		cl.Close()
+		return have, nil
+	}
+	c.conns[addr] = cl
+	return cl, nil
+}
+
+// dropConn forgets a connection whose transport failed, so the next
+// statement redials.
+func (c *ClusterClient) dropConn(addr string, cl *Client) {
+	c.mu.Lock()
+	if c.conns[addr] == cl {
+		delete(c.conns, addr)
+	}
+	c.mu.Unlock()
+	cl.Close()
+}
+
+// guess returns the address to try first for a relation — the learned
+// placement if present, else the lane hash over the dialed list (exact
+// when the list is the full membership in cluster order; a seed pick —
+// corrected by one redirect — otherwise) — and whether the answer is
+// learned-certain rather than a guess.
+func (c *ClusterClient) guess(rel string) (addr string, known bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if addr, ok := c.placement[rel]; ok {
+		return addr, true
+	}
+	return c.addrs[core.LaneOf(rel, len(c.addrs))], false
+}
+
+// learn records where a relation's statements were actually served.
+func (c *ClusterClient) learn(rel, addr string) {
+	c.mu.Lock()
+	c.placement[rel] = addr
+	c.mu.Unlock()
+}
+
+// translate resolves a statement through the client-side cache: the
+// relation (for routing) and read-only-ness, plus translation errors
+// before anything is sent.
+func (c *ClusterClient) translate(q string) (core.Transaction, error) {
+	prep, err := c.cache.Get(q)
+	if err != nil {
+		return core.Transaction{}, err
+	}
+	return prep.Bind()
+}
+
+// nextSeqs reserves n consecutive sequence numbers, returning the first.
+func (c *ClusterClient) nextSeqs(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	first := c.seq
+	c.seq += n
+	return first
+}
+
+// sendRun ships a run of same-owner statements to addr as one Forward
+// frame and returns the replies plus the address that actually served
+// them. The loop carries two separate one-shot budgets: one REDIAL per
+// target address (a cached connection may have died with the peer's
+// restart — placement is not in question, so a reconnect must not spend
+// the redirect budget) and one REDIRECT chase (the placement
+// correction). learn=false suppresses placement learning (replica reads
+// are deliberately served off-owner).
+func (c *ClusterClient) sendRun(rel, addr string, flags byte, stmts []wire.ForwardStmt, learn bool) (arrived, string, error) {
+	redialed, redirected := false, false
+	for {
+		cl, err := c.conn(addr)
+		if err != nil {
+			return arrived{}, "", err
+		}
+		id, err := cl.forward(flags, stmts)
+		if err != nil {
+			if !redialed {
+				c.dropConn(addr, cl)
+				redialed = true
+				continue
+			}
+			return arrived{}, "", err
+		}
+		a, err := cl.recv(id)
+		if err != nil {
+			return arrived{}, "", err
+		}
+		if a.redirect == "" {
+			if learn {
+				c.learn(rel, addr)
+			}
+			return a, addr, nil
+		}
+		if redirected {
+			return arrived{}, "", fmt.Errorf("client: relation %q still not at %s after one redirect", rel, addr)
+		}
+		redirected, redialed = true, false
+		addr = a.redirect
+	}
+}
+
+// Exec routes one statement to its owner and waits for the response.
+func (c *ClusterClient) Exec(q string) (funcdb.Response, error) {
+	return c.exec(q, wire.FwdNoForward)
+}
+
+// ExecReplica serves a read-only statement from the FIRST dialed node —
+// from its local replica when it does not own the relation — stamping
+// Response.Version with the version the read observed (the staleness
+// bound: always ≤ the primary's current version). Writes are refused.
+func (c *ClusterClient) ExecReplica(q string) (funcdb.Response, error) {
+	tx, err := c.translate(q)
+	if err != nil {
+		return funcdb.Response{}, err
+	}
+	if !tx.IsReadOnly() {
+		return funcdb.Response{}, fmt.Errorf("client: ExecReplica is read-only (%s writes)", tx.Kind)
+	}
+	seq := c.nextSeqs(1)
+	stmt := wire.ForwardStmt{Origin: c.origin, Seq: seq, Query: q}
+	// The near node serves the read itself (replica or primary); redirect
+	// only fires when it has no replica of the relation (replication
+	// disabled), in which case the owner answers.
+	a, _, err := c.sendRun(tx.Rel, c.addrs[0], wire.FwdNoForward|wire.FwdReadLocal,
+		[]wire.ForwardStmt{stmt}, false)
+	if err != nil {
+		return funcdb.Response{}, err
+	}
+	if a.isErr {
+		return funcdb.Response{}, errors.New(a.errMsg)
+	}
+	return a.resp, nil
+}
+
+func (c *ClusterClient) exec(q string, flags byte) (funcdb.Response, error) {
+	tx, err := c.translate(q)
+	if err != nil {
+		return funcdb.Response{}, err
+	}
+	seq := c.nextSeqs(1)
+	stmt := wire.ForwardStmt{Origin: c.origin, Seq: seq, Query: q}
+	addr, _ := c.guess(tx.Rel)
+	a, _, err := c.sendRun(tx.Rel, addr, flags, []wire.ForwardStmt{stmt}, true)
+	if err != nil {
+		return funcdb.Response{}, err
+	}
+	if a.isErr {
+		return funcdb.Response{}, errors.New(a.errMsg)
+	}
+	c.invalidateOnCreate(tx)
+	return a.resp, nil
+}
+
+// ExecBatch translates the whole batch (all-or-nothing: a failure
+// reports a *funcdb.BatchError with the failing statement's index and
+// nothing is sent), tags every statement in order, splits it into
+// consecutive same-owner runs, ships each run as one Forward frame, and
+// reassembles the responses in statement order. Statements for one
+// relation always travel in one connection's order, so per-relation
+// effects and responses match a single-store run exactly.
+func (c *ClusterClient) ExecBatch(queries []string) ([]funcdb.Response, error) {
+	txs := make([]core.Transaction, len(queries))
+	for i, q := range queries {
+		tx, err := c.translate(q)
+		if err != nil {
+			return nil, &session.BatchError{Index: i, Query: q, Err: err}
+		}
+		txs[i] = tx
+	}
+	first := c.nextSeqs(len(queries))
+
+	out := make([]funcdb.Response, len(queries))
+	for i := 0; i < len(queries); {
+		rel := txs[i].Rel
+		addr, known := c.guess(rel)
+		// A Forward frame must be single-owner. Statements group together
+		// when their placements are both LEARNED to the same node, or when
+		// they name the same relation (same relation ⇒ same owner, so the
+		// run redirects as a unit even while placement is still a guess).
+		j := i + 1
+		for j < len(queries) {
+			a, k := c.guess(txs[j].Rel)
+			if !(known && k && a == addr) && txs[j].Rel != rel {
+				break
+			}
+			j++
+		}
+		stmts := make([]wire.ForwardStmt, j-i)
+		for k := i; k < j; k++ {
+			stmts[k-i] = wire.ForwardStmt{Origin: c.origin, Seq: first + k, Query: queries[k]}
+		}
+		a, _, err := c.sendRun(rel, addr, wire.FwdNoForward, stmts, true)
+		if err != nil {
+			return nil, err
+		}
+		if a.isErr {
+			// The owner's translation failed mid-frame: its index is
+			// relative to the run — map it back to the batch position, so
+			// the BatchError a caller unwraps names the right statement
+			// even though the frame was forwarded.
+			if a.index >= 0 && i+a.index < len(queries) {
+				return nil, &session.BatchError{
+					Index: i + a.index,
+					Query: queries[i+a.index],
+					Err:   errors.New(a.errMsg),
+				}
+			}
+			return nil, errors.New(a.errMsg)
+		}
+		if a.batch {
+			copy(out[i:j], a.resps)
+		} else if j-i == 1 {
+			out[i] = a.resp
+		} else {
+			return nil, fmt.Errorf("client: short reply for a %d-statement run", j-i)
+		}
+		for k := i; k < j; k++ {
+			c.invalidateOnCreate(txs[k])
+		}
+		i = j
+	}
+	return out, nil
+}
+
+// invalidateOnCreate drops cached statements touching a relation the
+// batch just created, mirroring the session discipline.
+func (c *ClusterClient) invalidateOnCreate(tx core.Transaction) {
+	if tx.Kind == core.KindCreate {
+		c.cache.InvalidateRel(tx.Rel)
+	}
+}
+
+// Close closes every node connection.
+func (c *ClusterClient) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conns := make([]*Client, 0, len(c.conns))
+	for _, cl := range c.conns {
+		conns = append(conns, cl)
+	}
+	c.conns = map[string]*Client{}
+	c.mu.Unlock()
+	var err error
+	for _, cl := range conns {
+		if cerr := cl.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

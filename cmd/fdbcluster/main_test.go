@@ -1,21 +1,120 @@
 package main
 
-import "testing"
+import (
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"funcdb/client"
+)
+
+// demo runs the netsim demo with discarded output and no signals.
+func demo(t *testing.T, args ...string) error {
+	t.Helper()
+	var out strings.Builder
+	return run(args, &out, nil, nil)
+}
 
 func TestRunHypercube(t *testing.T) {
-	if err := run([]string{"-hypercube", "2", "-clients", "2", "-ops", "10"}); err != nil {
+	if err := demo(t, "-hypercube", "2", "-clients", "2", "-ops", "10"); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunFullyConnected(t *testing.T) {
-	if err := run([]string{"-hypercube", "0", "-clients", "3", "-ops", "5"}); err != nil {
+	if err := demo(t, "-hypercube", "0", "-clients", "3", "-ops", "5"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunPrimaryCopyModel(t *testing.T) {
+	if err := demo(t, "-model", "primarycopy", "-hypercube", "2", "-clients", "2", "-ops", "10"); err != nil {
 		t.Error(err)
 	}
 }
 
 func TestRunBadFlag(t *testing.T) {
-	if err := run([]string{"-nope"}); err == nil {
+	if err := demo(t, "-nope"); err == nil {
 		t.Error("bad flag accepted")
+	}
+	if err := demo(t, "-model", "quorum"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestRealNetworkMode boots a 3-node TCP cluster through the command's
+// run loop (reserved loopback ports), drives a cluster client through
+// it, and drains every node cleanly.
+func TestRealNetworkMode(t *testing.T) {
+	// Reserve three ports for the join list.
+	addrs := make([]string, 3)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	join := strings.Join(addrs, ",")
+
+	type nodeProc struct {
+		sig  chan os.Signal
+		done chan error
+		out  *strings.Builder
+	}
+	nodes := make([]*nodeProc, 3)
+	for i := range nodes {
+		np := &nodeProc{sig: make(chan os.Signal, 1), done: make(chan error, 1), out: &strings.Builder{}}
+		nodes[i] = np
+		ready := make(chan net.Addr, 1)
+		args := []string{
+			"--listen", addrs[i],
+			"--join", join,
+			"--data", t.TempDir(),
+			"--relations", "R,S,T,U,V,W",
+		}
+		go func() { np.done <- run(args, np.out, np.sig, func(a net.Addr) { ready <- a }) }()
+		select {
+		case <-ready:
+		case err := <-np.done:
+			t.Fatalf("node %d exited before ready: %v\n%s", i, err, np.out.String())
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %d never came up", i)
+		}
+	}
+
+	cc, err := client.DialCluster(addrs, client.WithClusterOrigin("c0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		rel := []string{"R", "S", "W"}[i%3]
+		resp, err := cc.Exec(fmt.Sprintf("insert (%d, \"v\") into %s", i, rel))
+		if err != nil || resp.Err != nil {
+			t.Fatalf("insert %d: %v / %v", i, err, resp.Err)
+		}
+	}
+	if resp, err := cc.Exec("count R"); err != nil || resp.Count != 10 {
+		t.Fatalf("count R: %+v, %v", resp, err)
+	}
+	cc.Close()
+
+	for i, np := range nodes {
+		np.sig <- os.Interrupt
+		select {
+		case err := <-np.done:
+			if err != nil {
+				t.Fatalf("node %d drain failed: %v\n%s", i, err, np.out.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("node %d did not drain", i)
+		}
+		if !strings.Contains(np.out.String(), "draining") {
+			t.Errorf("node %d drain log missing:\n%s", i, np.out.String())
+		}
 	}
 }

@@ -9,6 +9,13 @@
 // flushing as each network batch lands), and restarting the server with
 // the same flag recovers the database.
 //
+// With --databases a,b,c one listener hosts several stores: clients pick
+// one with the Hello database field (funcdb/client WithDatabase);
+// version-1 clients — and any client that names none — land on "main",
+// which is always hosted. With --data, each extra store persists under
+// its own subdirectory <dir>/<name> ("main" keeps <dir> itself, so
+// existing single-store archives keep working).
+//
 // SIGTERM or SIGINT drains gracefully: stop accepting, answer everything
 // fully read, flush the group-commit buffer, close the store. Every
 // response a client received before the drain is durable after it.
@@ -21,6 +28,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -50,40 +58,69 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 	fsync := fs.Bool("fsync", false, "with --data, fsync every durable flush (power-loss safety)")
 	lanes := fs.Int("lanes", 0, "admission lanes (0 = auto from GOMAXPROCS)")
 	relations := fs.String("relations", "", "comma-separated relations to create in a fresh store")
+	databases := fs.String("databases", "", "comma-separated database names to host on one listener (\"main\" is always hosted)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opts := []funcdb.Option{funcdb.WithOrigin("server")}
+	var durOpts []funcdb.DurabilityOption
 	if *dataDir != "" {
-		durOpts := []funcdb.DurabilityOption{funcdb.SnapshotEvery(*snapEvery)}
+		durOpts = []funcdb.DurabilityOption{funcdb.SnapshotEvery(*snapEvery)}
 		if *groupWindow > 0 {
 			durOpts = append(durOpts, funcdb.GroupCommit(*groupWindow))
 		}
 		if *fsync {
 			durOpts = append(durOpts, funcdb.SyncEveryWrite())
 		}
-		opts = append(opts, funcdb.WithDurability(*dataDir, durOpts...))
 	}
-	if *lanes > 0 {
-		opts = append(opts, funcdb.WithLanes(*lanes))
-	}
-	if *relations != "" {
-		opts = append(opts, funcdb.WithRelations(splitComma(*relations)...))
-	}
-	store, err := funcdb.Open(opts...)
-	if err != nil {
-		return err
+	open := func(name string) (*funcdb.Store, error) {
+		opts := []funcdb.Option{funcdb.WithOrigin("server")}
+		if *dataDir != "" {
+			dir := *dataDir
+			if name != "main" {
+				dir = filepath.Join(dir, name)
+			}
+			opts = append(opts, funcdb.WithDurability(dir, durOpts...))
+		}
+		if *lanes > 0 {
+			opts = append(opts, funcdb.WithLanes(*lanes))
+		}
+		if *relations != "" {
+			opts = append(opts, funcdb.WithRelations(splitComma(*relations)...))
+		}
+		return funcdb.Open(opts...)
 	}
 
-	srv := server.New(store)
+	names := append([]string{"main"}, splitComma(*databases)...)
+	stores := map[string]*funcdb.Store{}
+	hosts := map[string]server.Host{}
+	closeAll := func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	for _, name := range names {
+		if _, dup := stores[name]; dup {
+			continue
+		}
+		st, err := open(name)
+		if err != nil {
+			closeAll()
+			return err
+		}
+		stores[name] = st
+		hosts[name] = st
+	}
+	store := stores["main"]
+
+	srv := server.NewMulti(hosts)
 	if err := srv.Listen(*listen); err != nil {
-		store.Close()
+		closeAll()
 		return err
 	}
 	cur := store.Current()
-	fmt.Fprintf(stdout, "fdbserver listening on %s (lanes %d, %d tuples in %d relations%s)\n",
-		srv.Addr(), store.Lanes(), cur.TotalTuples(), len(cur.RelationNames()),
+	fmt.Fprintf(stdout, "fdbserver listening on %s (%d databases, lanes %d, %d tuples in %d relations%s)\n",
+		srv.Addr(), len(stores), store.Lanes(), cur.TotalTuples(), len(cur.RelationNames()),
 		map[bool]string{true: ", durable", false: ""}[store.Durable()])
 	if onReady != nil {
 		onReady(srv.Addr())
@@ -100,16 +137,18 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 		// handlers (their acked commits must still reach the archive)
 		// before closing out.
 		srv.Shutdown()
-		store.Close()
+		closeAll()
 		return err
 	}
 	if err := srv.Shutdown(); err != nil {
-		store.Close()
+		closeAll()
 		return err
 	}
 	<-serveDone
-	if err := store.Close(); err != nil {
-		return err
+	for _, st := range stores {
+		if err := st.Close(); err != nil {
+			return err
+		}
 	}
 	fmt.Fprintln(stdout, "fdbserver: drained, store closed")
 	return nil

@@ -147,3 +147,64 @@ func TestSplitComma(t *testing.T) {
 		t.Errorf("splitComma(\"\") = %q", got)
 	}
 }
+
+// TestMultiDatabaseFlag: --databases hosts several stores on one
+// listener, each durable under its own subdirectory, and a drain flushes
+// them all.
+func TestMultiDatabaseFlag(t *testing.T) {
+	dir := t.TempDir()
+	addr, sig, done, _ := startServer(t, []string{
+		"--listen", "127.0.0.1:0",
+		"--data", dir,
+		"--databases", "aux",
+		"--relations", "R",
+	})
+
+	cm, err := client.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cm.Exec(`insert (1, "m") into R`); err != nil {
+		t.Fatal(err)
+	}
+	cm.Close()
+	ca, err := client.Dial(addr.String(), client.WithDatabase("aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Exec(`insert (2, "a") into R`); err != nil {
+		t.Fatal(err)
+	}
+	ca.Close()
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+
+	// Each store recovered independently from its own directory.
+	main, err := funcdb.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer main.Close()
+	if resp, err := main.Exec("find 1 in R"); err != nil || !resp.Found {
+		t.Fatalf("main store lost its write: %+v %v", resp, err)
+	}
+	if resp, err := main.Exec("find 2 in R"); err != nil || resp.Found {
+		t.Fatalf("main store sees aux's write: %+v %v", resp, err)
+	}
+	aux, err := funcdb.OpenDir(dir + "/aux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aux.Close()
+	if resp, err := aux.Exec("find 2 in R"); err != nil || !resp.Found {
+		t.Fatalf("aux store lost its write: %+v %v", resp, err)
+	}
+}

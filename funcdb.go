@@ -23,10 +23,12 @@ package funcdb
 
 import (
 	"fmt"
+	"net"
 	"sync/atomic"
 	"time"
 
 	"funcdb/internal/archive"
+	"funcdb/internal/cluster"
 	"funcdb/internal/core"
 	"funcdb/internal/database"
 	"funcdb/internal/eval"
@@ -35,6 +37,7 @@ import (
 	"funcdb/internal/primarysite"
 	"funcdb/internal/query"
 	"funcdb/internal/relation"
+	"funcdb/internal/server"
 	"funcdb/internal/session"
 	"funcdb/internal/topo"
 	"funcdb/internal/value"
@@ -590,6 +593,23 @@ func (s *Store) Snapshot() error {
 	return s.archive.Snapshot(s.engine.Current())
 }
 
+// SubscribeLog streams the store's committed-transaction log: every
+// durable-format record with sequence > after, in commit order, with no
+// gap between the replayed history and the live tail. It is the primary
+// side of cluster log shipping — the archive's durability log doubling as
+// the replication stream — and requires durability (the log is the
+// stream; without an archive there is nothing to ship). The callback runs
+// on the commit path under the archive mutex: hand the record off (copy
+// it; the slice is reused), never block or call back into the store.
+// Decode records with the archive's transaction codec; cancel
+// unregisters.
+func (s *Store) SubscribeLog(after int64, fn func(seq int64, record []byte)) (cancel func(), err error) {
+	if s.archive == nil {
+		return nil, fmt.Errorf("funcdb: store has no archive to subscribe to (open with WithDurability)")
+	}
+	return s.archive.SubscribeTxns(after, fn)
+}
+
 // SharingStats reports the structure-sharing counters of Section 2.2.
 type SharingStats struct {
 	Created int64
@@ -607,6 +627,141 @@ func (s *Store) Stats() SharingStats {
 		Visited:  s.stats.Visited.Load(),
 		Fraction: s.stats.SharingFraction(),
 	}
+}
+
+// ClusterNodeConfig configures one node of a real-network cluster: the
+// paper's primary-copy model over TCP (internal/cluster). Every node of
+// a cluster must be opened with the same Nodes list and Relations schema;
+// placement is then a pure function both of them compute identically —
+// relation rel's primary is node core.LaneOf(rel, len(Nodes)), the same
+// hash that shards a store's admission lanes.
+type ClusterNodeConfig struct {
+	// ID is this node's index into Nodes.
+	ID int
+	// Nodes lists every node's advertised address, in cluster order. The
+	// list is the membership and the placement domain.
+	Nodes []string
+	// Listen is the bind address (defaults to Nodes[ID]).
+	Listen string
+	// Listener, when non-nil, serves on an already-bound listener instead
+	// of binding Listen — the clean way to bootstrap an in-process
+	// cluster: bind every port first, collect the addresses into Nodes,
+	// then open the nodes. Ownership transfers to the node.
+	Listener net.Listener
+	// Dir is the node's archive directory. Required: the durability log
+	// doubles as the replication stream, so a cluster node is always
+	// durable.
+	Dir string
+	// Relations is the cluster-wide schema; this node's store holds the
+	// subset that hashes to ID, and its mirrors hold each peer's subset.
+	Relations []string
+	// Lanes sets the store's admission lane count (0 = default).
+	Lanes int
+	// DisableReplication turns off log-shipped replicas (and with them
+	// replica reads on this node).
+	DisableReplication bool
+	// Durability tunes the node's archive (group commit, fsync, snapshot
+	// cadence).
+	Durability []DurabilityOption
+}
+
+// ClusterNode is one running member of a real-network cluster: primary
+// for its owned relations, gateway for the rest, and (unless disabled)
+// a log-shipped replica of its peers. Drive it with Serve, point clients
+// at Addr (funcdb/client.DialCluster, or a plain Dial — the node
+// forwards transparently), and stop it with Shutdown.
+type ClusterNode struct {
+	store *Store
+	node  *cluster.Node
+	srv   *server.Server
+}
+
+// OpenClusterNode opens the node's durable store (recovering it if the
+// archive already exists), assembles the cluster routing around it, and
+// binds the listener. Call Serve to start accepting connections.
+func OpenClusterNode(cfg ClusterNodeConfig) (*ClusterNode, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("funcdb: cluster node needs the Nodes list")
+	}
+	if cfg.ID < 0 || cfg.ID >= len(cfg.Nodes) {
+		return nil, fmt.Errorf("funcdb: cluster node id %d outside 0..%d", cfg.ID, len(cfg.Nodes)-1)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("funcdb: cluster node needs an archive directory (the log is the replication stream)")
+	}
+	owned := cluster.OwnedRelations(cfg.Relations, cfg.ID, len(cfg.Nodes))
+	opts := []Option{
+		WithRelations(owned...),
+		WithOrigin(fmt.Sprintf("node%d", cfg.ID)),
+		WithDurability(cfg.Dir, cfg.Durability...),
+	}
+	if cfg.Lanes > 0 {
+		opts = append(opts, WithLanes(cfg.Lanes))
+	}
+	store, err := Open(opts...)
+	if err != nil {
+		return nil, err
+	}
+	node, err := cluster.New(cluster.Config{
+		ID:        cfg.ID,
+		Addrs:     cfg.Nodes,
+		Store:     store,
+		Relations: cfg.Relations,
+		Replicate: !cfg.DisableReplication,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	srv := server.New(node)
+	if cfg.Listener != nil {
+		srv.AttachListener(cfg.Listener)
+	} else {
+		listen := cfg.Listen
+		if listen == "" {
+			listen = cfg.Nodes[cfg.ID]
+		}
+		if err := srv.Listen(listen); err != nil {
+			node.Close()
+			store.Close()
+			return nil, err
+		}
+	}
+	node.Start()
+	return &ClusterNode{store: store, node: node, srv: srv}, nil
+}
+
+// Serve accepts connections until Shutdown; it returns nil on a clean
+// drain.
+func (cn *ClusterNode) Serve() error { return cn.srv.Serve() }
+
+// Addr returns the bound listener address.
+func (cn *ClusterNode) Addr() net.Addr { return cn.srv.Addr() }
+
+// Store returns the node's primary store (the owned relations).
+func (cn *ClusterNode) Store() *Store { return cn.store }
+
+// ID returns the node's cluster index.
+func (cn *ClusterNode) ID() int { return cn.node.ID() }
+
+// Owner reports the advertised address of rel's primary and whether it
+// is this node: the placement function, for introspection.
+func (cn *ClusterNode) Owner(rel string) (addr string, self bool) { return cn.node.Owner(rel) }
+
+// ReplicaVersion reports how far this node's replica of a peer has
+// caught up (the newest applied primary sequence), or -1 without one.
+func (cn *ClusterNode) ReplicaVersion(peer int) int64 { return cn.node.ReplicaVersion(peer) }
+
+// Shutdown drains the listener (every acked response is flushed to the
+// archive), stops replication, and closes the store. The first
+// durability failure, if any, is returned.
+func (cn *ClusterNode) Shutdown() error {
+	err := cn.srv.Shutdown()
+	cn.node.Close()
+	if cerr := cn.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ClusterConfig configures the distributed (primary-site) form.

@@ -71,6 +71,12 @@ type Archive struct {
 	bufRecs   int    // records in buf
 	expect    int    // adaptive window: flush once bufRecs reaches this (0 = no hint)
 
+	// Log-tail subscriptions (SubscribeTxns): each registered function
+	// receives every appended transaction record, in commit order, under
+	// a.mu. nextSubID keys cancellation.
+	tails     map[uint64]TailFunc
+	nextSubID uint64
+
 	// Group-commit flusher goroutine lifecycle.
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -281,6 +287,12 @@ func (a *Archive) append(c core.Commit) error {
 			}
 		}
 	}
+	// Log-shipping tail: subscribers see the record payload the moment it
+	// is accepted (possibly before its durable flush — a replica can never
+	// be *ahead* of the primary's committed state, only of its fsync).
+	for _, fn := range a.tails {
+		fn(c.Seq, payload)
+	}
 	a.sinceSnap++
 	if a.cfg.snapshotEvery > 0 && a.sinceSnap >= a.cfg.snapshotEvery {
 		if err := a.flushLocked(); err != nil {
@@ -334,6 +346,84 @@ func (a *Archive) Flush() error {
 // durable, the archive stops advancing rather than recording a gap.
 func (a *Archive) Observer() core.CommitObserver {
 	return func(c core.Commit) { _ = a.Append(c) }
+}
+
+// TailFunc receives one committed transaction record from a log-tail
+// subscription: the engine sequence it committed as, and the recTxn
+// payload bytes (decode with DecodeTxnRecord; do not mutate or retain the
+// slice past the call). It runs under the archive mutex — on the commit
+// path — so it must only hand the record off (e.g. enqueue a copy), never
+// block or call back into the archive.
+type TailFunc func(seq int64, payload []byte)
+
+// SubscribeTxns streams the committed-transaction log: every record with
+// sequence > after, in order, with no gap between the durable history and
+// the live tail — the replay and the registration happen under one mutex
+// acquisition, after flushing any pending group-commit batch. It is the
+// primary side of cluster log shipping: the archive's durability log is
+// the replication stream.
+//
+// Catch-up reads the log segments on disk, so after must be at or beyond
+// the base of the oldest retained segment (compaction can remove earlier
+// history; a subscriber that far behind needs a snapshot bootstrap, which
+// this API deliberately does not hide). Custom transactions have no
+// record form — they force snapshots instead — so they never appear in
+// the stream; a subscriber tracking contiguous sequences detects the gap
+// and must resynchronize.
+//
+// cancel unregisters the subscription; it is safe to call more than once
+// and after Close.
+func (a *Archive) SubscribeTxns(after int64, fn TailFunc) (cancel func(), err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failed != nil {
+		return nil, a.failed
+	}
+	if err := a.flushLocked(); err != nil {
+		return nil, err
+	}
+	// Replay the durable history behind the tail. Segment bases are
+	// snapshot sequences: every record with seq > logs[0] lives in some
+	// retained segment, so the oldest base bounds how far back a
+	// subscriber may start.
+	st, err := scanDir(a.dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.logs) == 0 || after < st.logs[0] {
+		oldest := int64(-1)
+		if len(st.logs) > 0 {
+			oldest = st.logs[0]
+		}
+		return nil, fmt.Errorf("archive: subscribe after %d predates the retained log (oldest segment base %d)", after, oldest)
+	}
+	for _, seg := range st.logs {
+		lc, err := readLog(a.dir, seg)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range lc.entries {
+			if e.Seq <= after {
+				continue
+			}
+			payload, err := appendTxn(nil, e.Seq, e.Tx)
+			if err != nil {
+				return nil, err
+			}
+			fn(e.Seq, payload)
+		}
+	}
+	if a.tails == nil {
+		a.tails = make(map[uint64]TailFunc)
+	}
+	id := a.nextSubID
+	a.nextSubID++
+	a.tails[id] = fn
+	return func() {
+		a.mu.Lock()
+		delete(a.tails, id)
+		a.mu.Unlock()
+	}, nil
 }
 
 // writeSnapshot durably writes db as snap-<version> and rotates the log to

@@ -26,6 +26,30 @@ import (
 // and falls back to the structural fields for transactions that never had
 // symbolic form.
 
+// AppendTxnRecord encodes one committed transaction as a recTxn payload:
+// the exact bytes a log record carries, exported so the cluster layer can
+// reframe the durability log as its replication stream (wire
+// FrameLogRecord payloads are these bytes verbatim).
+func AppendTxnRecord(dst []byte, seq int64, tx core.Transaction) ([]byte, error) {
+	return appendTxn(dst, seq, tx)
+}
+
+// DecodeTxnRecord decodes a recTxn payload back into the engine sequence
+// it committed as and the replayable transaction: the receiving end of
+// the log-shipping stream.
+func DecodeTxnRecord(payload []byte) (seq int64, tx core.Transaction, err error) {
+	lt, err := decodeTxn(payload)
+	if err != nil {
+		return 0, core.Transaction{}, err
+	}
+	return lt.Seq, lt.Tx, nil
+}
+
+// Encodable reports whether a committed transaction has a log-record wire
+// form (custom transactions do not: they snapshot instead, and never
+// appear in a subscription stream).
+func Encodable(tx core.Transaction) bool { return encodable(tx) }
+
 // loggedTxn is one decoded log entry.
 type loggedTxn struct {
 	// Seq is the engine sequence number of the version the commit

@@ -1,0 +1,315 @@
+// Package cluster runs the paper's primary-copy distribution model
+// (Section 3.1) over the real wire: N nodes, each an fdbserver-style
+// listener wrapping a local store, with the lane hash as the placement
+// function. It is the bridge the ROADMAP names between the in-memory
+// distribution models (internal/primarysite, internal/primarycopy on the
+// netsim medium) and the TCP stack of PR 4 (internal/wire, internal/
+// server, internal/session).
+//
+// Placement is lane ownership: relation rel's primary lives on node
+// core.LaneOf(rel, N) — the same deterministic hash that splits a store's
+// admission lanes, so disjoint-relation traffic lands on disjoint nodes
+// AND disjoint lanes, and every node (and every cluster-aware client)
+// computes the same answer from the relation name alone, with no
+// directory service to consult or keep consistent. The root directory of
+// the paper's Section 3.2 degenerates to a pure function.
+//
+// A node is three things at once:
+//
+//   - the PRIMARY for the relations that hash to it: statements arrive
+//     over the wire (directly, forwarded, or from local sessions) and are
+//     admitted into its store's lanes;
+//   - a GATEWAY for everything else: a statement for a relation owned
+//     elsewhere is forwarded over a persistent inter-node wire connection
+//     as a pre-tagged Forward frame, and the tagged response is relayed
+//     back, so any node can serve any client;
+//   - a REPLICA of its peers: each node subscribes to every peer's
+//     committed-transaction log (the archive's records, shipped as
+//     LogRecord frames) and applies it, in order, to a local mirror
+//     engine. Read-only statements can then be answered locally, stamped
+//     with the mirror's version — the client's staleness bound.
+//
+// The subsystem is deliberately thin glue: the durability log is the
+// replication stream, the lane hash is the placement function, the
+// session layer is the routing point, and the medium is real TCP.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/lenient"
+	"funcdb/internal/query"
+	"funcdb/internal/session"
+)
+
+// LocalStore is the node-local store surface the cluster builds on.
+// *funcdb.Store satisfies it (the public OpenClusterNode constructs one);
+// tests may substitute lighter implementations.
+type LocalStore interface {
+	// SubmitTagged admits pre-tagged transactions in one arbitration.
+	SubmitTagged(txs []core.Transaction) []*session.Future
+	// Lanes reports the store's admission lane count.
+	Lanes() int
+	// Durable reports whether committed writes reach an archive.
+	Durable() bool
+	// Barrier waits for every admitted transaction and flushes pending
+	// durable records.
+	Barrier()
+	// DurabilityErr reports the sticky durability failure, if any.
+	DurabilityErr() error
+	// Current materializes the store's present version.
+	Current() *database.Database
+	// SubscribeLog streams the committed-transaction log (the archive's
+	// records): the primary side of replication.
+	SubscribeLog(after int64, fn func(seq int64, record []byte)) (cancel func(), err error)
+}
+
+// Config describes one node of a cluster.
+type Config struct {
+	// ID is this node's index into Addrs.
+	ID int
+	// Addrs lists every node's advertised address, in cluster order. The
+	// list is the cluster membership AND the placement domain: relation
+	// rel belongs to node core.LaneOf(rel, len(Addrs)).
+	Addrs []string
+	// Store is this node's primary store, holding exactly the relations
+	// that hash to ID (OwnedRelations selects them from a shared schema).
+	Store LocalStore
+	// Relations is the cluster-wide schema: the initial relations across
+	// all nodes. Each peer's mirror starts from the peer's owned subset.
+	Relations []string
+	// Replicate enables log-shipped replicas of the peers' relations
+	// (required for replica reads; needs every peer to be durable).
+	Replicate bool
+}
+
+// OwnerIndex returns the node index owning rel's primary in an n-node
+// cluster: the placement function, shared with clients.
+func OwnerIndex(rel string, n int) int { return core.LaneOf(rel, n) }
+
+// OwnedRelations selects the relations of a shared schema that node id
+// owns in an n-node cluster.
+func OwnedRelations(relations []string, id, n int) []string {
+	var out []string
+	for _, rel := range relations {
+		if OwnerIndex(rel, n) == id {
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+// Node is one cluster member: primary, gateway, and replica (see the
+// package comment). It implements server.Host (sessions route through
+// its submitter), server.Placer (redirects), server.ReplicaReader
+// (stale reads), and server.LogSource (its own log, for its replicas).
+type Node struct {
+	id     int
+	addrs  []string
+	store  LocalStore
+	cache  *query.StmtCache
+	origin string
+
+	peers   []*peer   // by node index; nil at n.id
+	mirrors []*mirror // by node index; nil at n.id (and without Replicate)
+
+	closing atomic.Bool
+	wg      sync.WaitGroup // replication loops
+
+	mu       sync.Mutex
+	subConns []closable // live replication dials, closed on Close
+}
+
+// closable is the subset of net.Conn Close needs.
+type closable interface{ Close() error }
+
+// New assembles a node. With cfg.Replicate, Start must be called to
+// begin pulling the peers' logs.
+func New(cfg Config) (*Node, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("cluster: no node addresses")
+	}
+	if cfg.ID < 0 || cfg.ID >= len(cfg.Addrs) {
+		return nil, fmt.Errorf("cluster: node id %d outside 0..%d", cfg.ID, len(cfg.Addrs)-1)
+	}
+	if cfg.Store == nil {
+		return nil, errors.New("cluster: node needs a local store")
+	}
+	n := &Node{
+		id:     cfg.ID,
+		addrs:  append([]string(nil), cfg.Addrs...),
+		store:  cfg.Store,
+		cache:  query.NewStmtCache(0),
+		origin: fmt.Sprintf("node%d", cfg.ID),
+	}
+	n.peers = make([]*peer, len(n.addrs))
+	for i, addr := range n.addrs {
+		if i != n.id {
+			n.peers[i] = newPeer(n.origin, addr)
+		}
+	}
+	if cfg.Replicate {
+		n.mirrors = make([]*mirror, len(n.addrs))
+		for i := range n.addrs {
+			if i == n.id {
+				continue
+			}
+			owned := OwnedRelations(cfg.Relations, i, len(n.addrs))
+			n.mirrors[i] = newMirror(i, owned)
+		}
+	}
+	return n, nil
+}
+
+// Start launches the replication loops: one subscription per peer,
+// retried until Close. A no-op without Replicate.
+func (n *Node) Start() {
+	for i, m := range n.mirrors {
+		if m == nil {
+			continue
+		}
+		n.wg.Add(1)
+		go n.replicateFrom(i, m)
+	}
+}
+
+// Close stops the replication loops and the inter-node connections. The
+// local store stays open (the caller owns it). The closing flag is
+// published before the sweep and checked by trackConn under the same
+// mutex, so a replication dial racing with Close either lands in the
+// sweep or is refused at registration — no connection escapes.
+func (n *Node) Close() {
+	n.closing.Store(true)
+	n.mu.Lock()
+	for _, c := range n.subConns {
+		c.Close()
+	}
+	n.subConns = nil
+	n.mu.Unlock()
+	for _, p := range n.peers {
+		if p != nil {
+			p.close()
+		}
+	}
+	n.wg.Wait()
+}
+
+// ID returns the node's cluster index.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the node's advertised address.
+func (n *Node) Addr() string { return n.addrs[n.id] }
+
+// ClusterSize returns the number of nodes.
+func (n *Node) ClusterSize() int { return len(n.addrs) }
+
+// Owner implements server.Placer: the advertised address of rel's
+// primary, and whether that primary is this node.
+func (n *Node) Owner(rel string) (addr string, self bool) {
+	idx := OwnerIndex(rel, len(n.addrs))
+	return n.addrs[idx], idx == n.id
+}
+
+// Session implements server.Host: a per-connection execution context
+// whose submitter is the node's router, sharing the node-wide statement
+// cache. Local statements land in the store's lanes; remote ones are
+// forwarded — the caller cannot tell which is which.
+func (n *Node) Session(origin string) *session.Session {
+	return session.New(n, session.WithOrigin(origin), session.WithCache(n.cache))
+}
+
+// Lanes implements server.Host.
+func (n *Node) Lanes() int { return n.store.Lanes() }
+
+// Durable implements server.Host.
+func (n *Node) Durable() bool { return n.store.Durable() }
+
+// Barrier implements server.Host: it settles the local store (admission
+// and durability). Forwarded statements settle through their response
+// futures — a gateway acks a remote statement only after the owner
+// answered — so the local barrier is the node's full drain obligation.
+func (n *Node) Barrier() { n.store.Barrier() }
+
+// DurabilityErr implements server.Host.
+func (n *Node) DurabilityErr() error { return n.store.DurabilityErr() }
+
+// SubscribeLog implements server.LogSource by delegating to the local
+// store: replicas of THIS node's relations pull from here.
+func (n *Node) SubscribeLog(after int64, fn func(seq int64, record []byte)) (func(), error) {
+	return n.store.SubscribeLog(after, fn)
+}
+
+// Store returns the node's primary store.
+func (n *Node) Store() LocalStore { return n.store }
+
+// SubmitTagged implements session.Submitter: the routing point. The
+// batch is split into maximal consecutive runs by owning node; local
+// runs are admitted into the store in one arbitration, remote runs ship
+// as one pre-tagged Forward frame each, and the response futures come
+// back in submission order. Routing needs only the transaction's
+// syntactic access set — the same property that makes lane placement
+// computable before any lock is held.
+func (n *Node) SubmitTagged(txs []core.Transaction) []*session.Future {
+	out := make([]*session.Future, len(txs))
+	owners := make([]int, len(txs))
+	for i := range txs {
+		owners[i] = n.routeOf(txs[i])
+	}
+	for i := 0; i < len(txs); {
+		j := i + 1
+		for j < len(txs) && owners[j] == owners[i] {
+			j++
+		}
+		run := txs[i:j]
+		switch owner := owners[i]; {
+		case owner < 0:
+			for k := i; k < j; k++ {
+				out[k] = unroutable(txs[k])
+			}
+		case owner == n.id:
+			copy(out[i:j], n.store.SubmitTagged(run))
+		default:
+			copy(out[i:j], n.peers[owner].forwardTagged(run))
+		}
+		i = j
+	}
+	return out
+}
+
+// routeOf places one transaction: the owning node index, n.id for local,
+// or -1 for a transaction the primary-copy model cannot route (a custom
+// transaction spanning relations with different owners — the
+// coordination the paper defers; see internal/primarycopy).
+func (n *Node) routeOf(tx core.Transaction) int {
+	if tx.Kind != core.KindCustom {
+		return OwnerIndex(tx.Rel, len(n.addrs))
+	}
+	owner := -2
+	for _, rel := range append(tx.ReadSet(), tx.WriteSet()...) {
+		o := OwnerIndex(rel, len(n.addrs))
+		if owner == -2 {
+			owner = o
+		} else if o != owner {
+			return -1
+		}
+	}
+	if owner == -2 || owner != n.id {
+		// A custom body is a Go closure: it has no wire form, so it can
+		// only run where it was submitted.
+		return -1
+	}
+	return owner
+}
+
+// unroutable resolves immediately with the routing error.
+func unroutable(tx core.Transaction) *session.Future {
+	return lenient.Ready(core.Response{
+		Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind,
+		Err: errors.New("cluster: transaction spans multiple owners or has no wire form; the primary-copy model defers that coordination"),
+	})
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"funcdb/internal/core"
+	"funcdb/internal/lenient"
+	"funcdb/internal/session"
+	"funcdb/internal/wire"
+)
+
+// peer is one persistent inter-node connection: the gateway side of
+// frame forwarding. The connection is dialed lazily on first use and
+// redialed after a failure; any number of Forward frames may be in
+// flight, matched to replies by request id by a single reader goroutine.
+type peer struct {
+	origin string // this node's tag, for the peer handshake
+	addr   string
+
+	mu     sync.Mutex
+	pc     *peerConn // the live connection, nil between failures
+	nextID uint64
+	closed bool
+}
+
+// peerConn is one dialed connection together with the calls in flight on
+// it. Pending calls are scoped to their connection: when it dies —
+// whether the reader noticed first or a writer did — failing the
+// connection resolves exactly the calls that were sent on it, and calls
+// registered on a successor connection are untouched.
+type peerConn struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	pending map[uint64]*fwdCall
+}
+
+// fwdCall is one in-flight Forward frame: the statements' shared reply.
+type fwdCall struct {
+	n        int // statements in the frame
+	done     chan struct{}
+	resps    []core.Response
+	err      error  // transport failure or remote FrameError
+	errIndex int    // remote FrameError: failing index within the frame
+	redirect string // remote FrameRedirect: placement disagreement
+}
+
+func newPeer(origin, addr string) *peer {
+	return &peer{origin: origin, addr: addr}
+}
+
+// ensureLocked dials and handshakes if the connection is down, returning
+// the live peerConn. Must hold p.mu.
+func (p *peer) ensureLocked() (*peerConn, error) {
+	if p.closed {
+		return nil, errors.New("cluster: node closed")
+	}
+	if p.pc != nil {
+		return p.pc, nil
+	}
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s unreachable: %w", p.addr, err)
+	}
+	bw := bufio.NewWriter(conn)
+	hello := wire.AppendHello(nil, wire.Hello{Origin: p.origin})
+	if err := wire.WriteFrame(bw, wire.FrameHello, hello); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: handshake with %s: %w", p.addr, err)
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: handshake with %s: %w", p.addr, err)
+	}
+	br := bufio.NewReader(conn)
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil || typ != wire.FrameWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: handshake with %s failed: %v", p.addr, err)
+	}
+	if _, err := wire.DecodeWelcome(payload); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: handshake with %s: %w", p.addr, err)
+	}
+	pc := &peerConn{conn: conn, bw: bw, pending: make(map[uint64]*fwdCall)}
+	p.pc = pc
+	go p.readLoop(pc, br)
+	return pc, nil
+}
+
+// readLoop dispatches replies by request id until the connection dies,
+// then fails every call still pending on it.
+func (p *peer) readLoop(pc *peerConn, br *bufio.Reader) {
+	var fatal error
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			fatal = fmt.Errorf("cluster: connection to %s lost: %w", p.addr, err)
+			break
+		}
+		var call *fwdCall
+		switch typ {
+		case wire.FrameResponse:
+			rid, resp, derr := wire.DecodeSingleResponse(payload)
+			if derr != nil {
+				fatal = derr
+			} else if call = p.take(pc, rid); call != nil {
+				call.resps = []core.Response{resp}
+			}
+		case wire.FrameBatchResponse:
+			rid, resps, derr := wire.DecodeResponses(payload)
+			if derr != nil {
+				fatal = derr
+			} else if call = p.take(pc, rid); call != nil {
+				call.resps = resps
+			}
+		case wire.FrameError:
+			rid, index, msg, derr := wire.DecodeErrorMsg(payload)
+			if derr != nil {
+				fatal = derr
+			} else if call = p.take(pc, rid); call != nil {
+				call.err, call.errIndex = errors.New(msg), index
+			}
+		case wire.FrameRedirect:
+			rid, addr, _, derr := wire.DecodeRedirect(payload)
+			if derr != nil {
+				fatal = derr
+			} else if call = p.take(pc, rid); call != nil {
+				call.redirect = addr
+			}
+		default:
+			fatal = fmt.Errorf("cluster: unexpected frame %#x from %s", typ, p.addr)
+		}
+		if fatal != nil {
+			break
+		}
+		if call != nil {
+			close(call.done)
+		}
+	}
+	p.fail(pc, fatal)
+}
+
+// take claims the pending call for a request id on one connection.
+func (p *peer) take(pc *peerConn, id uint64) *fwdCall {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	call := pc.pending[id]
+	delete(pc.pending, id)
+	return call
+}
+
+// fail tears down a dead connection, resolving EVERY call that was sent
+// on it with the transport error — pending calls are scoped to their
+// connection, so calls already registered on a successor connection are
+// untouched, and no call can be left behind to block forever. A later
+// forward redials.
+func (p *peer) fail(pc *peerConn, err error) {
+	pc.conn.Close()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pc == pc {
+		p.pc = nil
+	}
+	if err == nil {
+		err = fmt.Errorf("cluster: connection to %s lost", p.addr)
+	}
+	for id, call := range pc.pending {
+		call.err, call.errIndex = err, -1
+		close(call.done)
+		delete(pc.pending, id)
+	}
+}
+
+// close shuts the peer link for good: pending calls fail, later forwards
+// refuse.
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	pc := p.pc
+	p.mu.Unlock()
+	if pc != nil {
+		pc.conn.Close() // readLoop notices and fails the pending calls
+	}
+}
+
+// forwardTagged ships a run of pre-tagged transactions — all owned by
+// this peer — as ONE Forward frame and returns their response futures in
+// order. The frame sets FwdNoForward: if the peer disagrees about
+// ownership (it answered Redirect), or the link dies, every future
+// resolves with the error; forwarding never chains past one hop.
+func (p *peer) forwardTagged(txs []core.Transaction) []*session.Future {
+	out := make([]*session.Future, len(txs))
+	stmts := make([]wire.ForwardStmt, len(txs))
+	for i, tx := range txs {
+		if tx.Query == "" {
+			// Only symbolic statements cross the wire: the paper's
+			// translate is the authoritative query → transaction function,
+			// and the owner re-runs it.
+			for j := range txs {
+				txj := txs[j]
+				out[j] = lenient.Ready(core.Response{
+					Origin: txj.Origin, Seq: txj.Seq, Kind: txj.Kind,
+					Err: errors.New("cluster: transaction has no symbolic form to forward"),
+				})
+			}
+			return out
+		}
+		stmts[i] = wire.ForwardStmt{Origin: tx.Origin, Seq: tx.Seq, Query: tx.Query}
+	}
+
+	call := &fwdCall{n: len(txs), done: make(chan struct{})}
+	if err := p.sendForward(call, wire.FwdNoForward, stmts); err != nil {
+		call.err, call.errIndex = err, -1
+		close(call.done)
+	}
+	for i := range txs {
+		i, tx := i, txs[i]
+		out[i] = lenient.Lazy(func() core.Response {
+			<-call.done
+			return call.response(i, tx)
+		})
+	}
+	return out
+}
+
+// sendForward writes one Forward frame and registers its call.
+func (p *peer) sendForward(call *fwdCall, flags byte, stmts []wire.ForwardStmt) error {
+	p.mu.Lock()
+	pc, err := p.ensureLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	id := p.nextID
+	p.nextID++
+	frame, err := wire.AppendFrame(nil, wire.FrameForward, wire.AppendForward(nil, id, flags, stmts))
+	if err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	pc.pending[id] = call
+	if _, err = pc.bw.Write(frame); err == nil {
+		err = pc.bw.Flush()
+	}
+	if err == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	// The connection is wedged. Report this call's failure to the caller,
+	// then fail the connection — which resolves every OTHER call in
+	// flight on it, so nothing is left blocking on a reply that can never
+	// arrive. fail retakes the mutex.
+	delete(pc.pending, id)
+	p.mu.Unlock()
+	p.fail(pc, fmt.Errorf("cluster: connection to %s lost: %w", p.addr, err))
+	return fmt.Errorf("cluster: forward to %s: %w", p.addr, err)
+}
+
+// response shapes statement i's answer out of the frame's shared reply.
+func (c *fwdCall) response(i int, tx core.Transaction) core.Response {
+	resp := core.Response{Origin: tx.Origin, Seq: tx.Seq, Kind: tx.Kind}
+	switch {
+	case c.redirect != "":
+		resp.Err = fmt.Errorf("cluster: placement disagreement: peer redirected to %s", c.redirect)
+	case c.err != nil && (c.errIndex < 0 || c.errIndex == i):
+		resp.Err = c.err
+	case c.err != nil:
+		resp.Err = fmt.Errorf("cluster: forwarded batch failed at statement %d: %v", c.errIndex, c.err)
+	case i < len(c.resps):
+		return c.resps[i]
+	default:
+		resp.Err = fmt.Errorf("cluster: short forward reply (%d of %d)", len(c.resps), c.n)
+	}
+	return resp
+}

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"funcdb/internal/archive"
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/eval"
+	"funcdb/internal/relation"
+	"funcdb/internal/session"
+	"funcdb/internal/trace"
+	"funcdb/internal/wire"
+)
+
+// mirror is this node's replica of one peer's relations: a plain engine
+// fed exclusively by the peer's log records, applied in sequence order.
+// The peer's log sequence IS the engine's version number — the mirror
+// starts from the same initial version (the peer's owned relations,
+// empty, version 0) and applies exactly the peer's committed writes — so
+// a read planned against the mirror carries the precise primary version
+// it reflects: the client's staleness bound.
+type mirror struct {
+	peer int
+	eng  *core.Engine
+}
+
+func newMirror(peerIdx int, ownedRels []string) *mirror {
+	return &mirror{
+		peer: peerIdx,
+		eng:  core.NewEngine(database.New(relation.RepList, ownedRels...)),
+	}
+}
+
+// version is the newest primary sequence the mirror has applied.
+func (m *mirror) version() int64 { return m.eng.Version() }
+
+// apply installs one shipped record. Records must arrive in exactly
+// primary order: seq == applied+1. A gap means the stream skipped
+// something the record form cannot carry (a custom transaction on the
+// primary) — the mirror refuses rather than silently diverge.
+func (m *mirror) apply(seq int64, tx core.Transaction) error {
+	if have := m.version(); seq != have+1 {
+		return fmt.Errorf("cluster: replication gap from node %d: record %d after %d", m.peer, seq, have)
+	}
+	m.eng.Submit(tx).Force()
+	return nil
+}
+
+// ReplicaRead implements server.ReplicaReader: serve a read-only
+// transaction from the local mirror of its owner's relations, stamping
+// Response.Version with the mirror's version at plan time. ok=false when
+// replication is off or the relation is owned locally (the primary
+// serves it as an ordinary read).
+func (n *Node) ReplicaRead(tx core.Transaction) (*session.Future, bool) {
+	if n.mirrors == nil || !tx.IsReadOnly() || tx.Kind == core.KindCustom {
+		return nil, false
+	}
+	owner := OwnerIndex(tx.Rel, len(n.addrs))
+	if owner == n.id || n.mirrors[owner] == nil {
+		return nil, false
+	}
+	return n.mirrors[owner].eng.Submit(stampedRead(tx)), true
+}
+
+// ReplicaVersion reports the mirror's applied version for a peer, or -1
+// without one (introspection for staleness tests and stats).
+func (n *Node) ReplicaVersion(peerIdx int) int64 {
+	if n.mirrors == nil || peerIdx < 0 || peerIdx >= len(n.mirrors) || n.mirrors[peerIdx] == nil {
+		return -1
+	}
+	return n.mirrors[peerIdx].version()
+}
+
+// stampedRead wraps a built-in read-only transaction so it runs against
+// one consistent mirror version and stamps that version into the
+// response. The wrapper is a custom transaction with the original's
+// declared read set: the engine gives its body a scoped view pinned at
+// plan time, whose Version() is exactly the replica's applied primary
+// sequence.
+func stampedRead(tx core.Transaction) core.Transaction {
+	inner := tx
+	return core.Transaction{
+		Origin: tx.Origin,
+		Seq:    tx.Seq,
+		Kind:   core.KindCustom,
+		Reads:  []string{tx.Rel},
+		Query:  tx.Query,
+		Custom: func(ctx *eval.Ctx, db *database.Database, after trace.TaskID) (core.Response, *database.Database, trace.Op) {
+			resp, _, op := inner.Apply(ctx, db, after)
+			resp.Version = db.Version()
+			return resp, db, op
+		},
+	}
+}
+
+// replicateFrom pulls one peer's log until the node closes: dial,
+// subscribe from the mirror's version, apply records as they stream in,
+// and retry after transient failures (the peer restarting, the link
+// dropping). A replication gap is permanent for this mirror — it stops
+// rather than diverge.
+func (n *Node) replicateFrom(peerIdx int, m *mirror) {
+	defer n.wg.Done()
+	for !n.closing.Load() {
+		err := n.streamFrom(peerIdx, m)
+		if n.closing.Load() {
+			return
+		}
+		if err == errReplicationGap {
+			return
+		}
+		time.Sleep(replicaRetryDelay)
+	}
+}
+
+// errReplicationGap marks the unrecoverable stream discontinuity.
+var errReplicationGap = fmt.Errorf("cluster: replication gap")
+
+// errNodeClosing reports a dial that lost the race against Close.
+var errNodeClosing = fmt.Errorf("cluster: node closing")
+
+// replicaRetryDelay paces re-subscription after a dropped stream.
+const replicaRetryDelay = 100 * time.Millisecond
+
+// streamFrom runs one subscription: handshake, Subscribe(after), then a
+// LogRecord loop until the stream ends.
+func (n *Node) streamFrom(peerIdx int, m *mirror) error {
+	conn, err := net.Dial("tcp", n.addrs[peerIdx])
+	if err != nil {
+		return err
+	}
+	if !n.trackConn(conn) {
+		// Close won the race against this dial: the conn was refused at
+		// registration (and closed), so the loop can only exit.
+		conn.Close()
+		return errNodeClosing
+	}
+	defer func() {
+		n.untrackConn(conn)
+		conn.Close()
+	}()
+
+	bw := bufio.NewWriter(conn)
+	br := bufio.NewReader(conn)
+	hello := wire.AppendHello(nil, wire.Hello{Origin: fmt.Sprintf("%s-repl", n.origin)})
+	if err := wire.WriteFrame(bw, wire.FrameHello, hello); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil || typ != wire.FrameWelcome {
+		return fmt.Errorf("cluster: replication handshake with node %d failed: %v", peerIdx, err)
+	}
+	if _, err := wire.DecodeWelcome(payload); err != nil {
+		return err
+	}
+	if err := wire.WriteFrame(bw, wire.FrameSubscribe, wire.AppendSubscribe(nil, m.version())); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(br)
+		if err != nil {
+			return err
+		}
+		switch typ {
+		case wire.FrameLogRecord:
+			seq, tx, err := archive.DecodeTxnRecord(payload)
+			if err != nil {
+				return err
+			}
+			if err := m.apply(seq, tx); err != nil {
+				return errReplicationGap
+			}
+			if tx.Kind == core.KindCreate {
+				// A relation born on the peer: cached statements touching
+				// it must re-translate, exactly as after a local create.
+				n.cache.InvalidateRel(tx.Rel)
+			}
+		case wire.FrameError:
+			_, _, msg, derr := wire.DecodeErrorMsg(payload)
+			if derr != nil {
+				return derr
+			}
+			return fmt.Errorf("cluster: node %d refused subscription: %s", peerIdx, msg)
+		default:
+			return fmt.Errorf("cluster: unexpected frame %#x in replication stream", typ)
+		}
+	}
+}
+
+// trackConn registers a replication dial for Close to sever. It reports
+// false — refusing the conn — when Close has already swept the list: a
+// dial completing after the sweep would otherwise outlive the node and
+// wedge Close's wg.Wait on a read nobody will ever unblock.
+func (n *Node) trackConn(c closable) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closing.Load() {
+		return false
+	}
+	n.subConns = append(n.subConns, c)
+	return true
+}
+
+func (n *Node) untrackConn(c closable) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, have := range n.subConns {
+		if have == c {
+			n.subConns = append(n.subConns[:i], n.subConns[i+1:]...)
+			return
+		}
+	}
+}

@@ -69,7 +69,7 @@ type Engine struct {
 	observers  []CommitObserver
 	notifyTail *lenient.Cell[struct{}]
 	seqMu      sync.Mutex
-	seqNext    int64                    // next version to hand to observers
+	seqNext    int64                   // next version to hand to observers
 	parked     map[int64]pendingCommit // commits published ahead of seqNext
 }
 
@@ -390,6 +390,14 @@ func (e *Engine) Barrier() { e.wg.Wait() }
 // the published snapshot is the present version.
 func (e *Engine) Current() *database.Database {
 	return e.snap.Load().materialize()
+}
+
+// Version returns the engine's published version number without
+// materializing anything: a lock-free read of the snapshot pointer. It
+// counts every admitted write (the value Database.Version() would report
+// for Current()).
+func (e *Engine) Version() int64 {
+	return e.snap.Load().version
 }
 
 // ApplyStreamPipelined runs an already-merged transaction slice through a

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"hash/maphash"
 	"runtime"
 	"sort"
 	"sync"
@@ -33,11 +32,6 @@ import (
 // explicitly.
 const maxLanes = 64
 
-// laneSeed makes lane hashing stable within a process (maphash is seeded
-// per process, which is all the engine needs: lane ids are never
-// persisted).
-var laneSeed = maphash.MakeSeed()
-
 // DefaultLanes returns the lane count used when WithLanes is not given:
 // the next power of two at or above GOMAXPROCS, capped at 64. One lane
 // reproduces the single-mutex engine exactly.
@@ -51,14 +45,25 @@ func DefaultLanes() int {
 }
 
 // LaneOf returns the admission lane a relation name hashes to under a
-// given lane count. Exported for tests and benchmarks that need to
-// construct workloads with known lane placement (all-disjoint or
-// all-crossing).
+// given lane count. The hash (FNV-1a) is deterministic across processes
+// and releases: LaneOf doubles as the cluster placement function —
+// internal/cluster places a relation's primary on node LaneOf(rel, N) —
+// so every node of a real-network cluster must compute the same answer
+// from the name alone. Exported for tests, benchmarks, and cluster
+// clients that compute placement locally.
 func LaneOf(name string, lanes int) int {
 	if lanes <= 1 {
 		return 0
 	}
-	return int(maphash.String(laneSeed, name) % uint64(lanes))
+	// FNV-1a, inlined: the submission hot path computes a lane set per
+	// transaction, so this must not allocate (hash/fnv's Hash64 would).
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int(h % uint64(lanes))
 }
 
 // WithLanes sets the number of admission lanes. n < 1 is clamped to 1

@@ -1,4 +1,4 @@
-// Package server is the network front end over a funcdb store: a TCP
+// Package server is the network front end over funcdb stores: a TCP
 // listener whose connections each drive one session (internal/session)
 // speaking the framed protocol of internal/wire.
 //
@@ -12,9 +12,25 @@
 // admitting and answering everything queued, in order — the moment the
 // read would block.
 //
+// One listener can host many stores: the Hello frame names a database
+// (protocol version 2; version-1 clients land on "main"), and each
+// connection is bound to that database's Host for its lifetime.
+//
+// A Host may additionally implement the cluster capabilities:
+//
+//   - Placer: the host knows which node owns each relation's primary, so
+//     the handler can answer a misrouted Forward with a Redirect instead
+//     of executing it;
+//   - ReplicaReader: the host keeps log-shipped replicas of other nodes'
+//     relations and can serve read-only statements from them, stamped
+//     with the replica's version (the client's staleness bound);
+//   - LogSource: the host can stream its committed-transaction log, which
+//     is how a Subscribe frame turns a connection into the replication
+//     stream (LogRecord frames — the archive's records, reframed).
+//
 // Shutdown drains gracefully: stop accepting, unblock every connection's
 // pending read, let each handler answer what it has fully read, then
-// barrier the store so every acked commit is durable before the process
+// barrier the stores so every acked commit is durable before the process
 // exits.
 package server
 
@@ -27,15 +43,55 @@ import (
 	"sync/atomic"
 	"time"
 
-	"funcdb"
 	"funcdb/internal/core"
 	"funcdb/internal/session"
 	"funcdb/internal/wire"
 )
 
-// Server serves the wire protocol over a store.
+// Host is the store surface a server hosts: the session factory plus the
+// handshake and drain hooks. *funcdb.Store implements it; a cluster node
+// implements it over its routing submitter.
+type Host interface {
+	// Session opens a per-connection execution context with its own
+	// origin tag and sequence space.
+	Session(origin string) *session.Session
+	// Lanes reports the admission lane count (Welcome carries it).
+	Lanes() int
+	// Durable reports whether committed writes reach an archive.
+	Durable() bool
+	// Barrier waits for every admitted transaction, including its durable
+	// record.
+	Barrier()
+	// DurabilityErr reports the sticky durability failure, if any.
+	DurabilityErr() error
+}
+
+// Placer is implemented by hosts that know the cluster placement of each
+// relation (the lane hash over node count). Owner reports the owning
+// node's advertised address and whether that node is this host.
+type Placer interface {
+	Owner(rel string) (addr string, self bool)
+}
+
+// ReplicaReader is implemented by hosts that keep log-shipped replicas of
+// relations owned elsewhere. ReplicaRead serves a read-only transaction
+// from the local replica, stamping Response.Version with the replica's
+// applied version; ok=false means no replica covers the relation.
+type ReplicaReader interface {
+	ReplicaRead(tx core.Transaction) (fut *session.Future, ok bool)
+}
+
+// LogSource is implemented by hosts whose committed-transaction log can
+// be subscribed to (funcdb.Store with durability; the primary side of
+// replication). The callback contract is archive.TailFunc's: records
+// arrive in commit order, under the log mutex — hand off, don't block.
+type LogSource interface {
+	SubscribeLog(after int64, fn func(seq int64, record []byte)) (cancel func(), err error)
+}
+
+// Server serves the wire protocol over one or more hosts.
 type Server struct {
-	store *funcdb.Store
+	hosts map[string]Host
 	ln    net.Listener
 
 	mu       sync.Mutex
@@ -45,10 +101,22 @@ type Server struct {
 	nconn    atomic.Int64
 }
 
-// New wraps a store in a server. The server does not own the store: the
-// caller closes it after Shutdown.
-func New(store *funcdb.Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+// New wraps a single store in a server, hosted under the default
+// database name ("main"). The server does not own the store: the caller
+// closes it after Shutdown.
+func New(store Host) *Server {
+	return NewMulti(map[string]Host{wire.DefaultDatabase: store})
+}
+
+// NewMulti wraps several stores in one server, each hosted under its
+// database name: one listener, many stores. Connections choose with the
+// Hello database field; version-1 clients land on wire.DefaultDatabase.
+func NewMulti(hosts map[string]Host) *Server {
+	hs := make(map[string]Host, len(hosts))
+	for name, h := range hosts {
+		hs[name] = h
+	}
+	return &Server{hosts: hs, conns: make(map[net.Conn]struct{})}
 }
 
 // Listen binds the listener. addr is a TCP address; ":0" picks a free
@@ -61,6 +129,12 @@ func (s *Server) Listen(addr string) error {
 	s.ln = ln
 	return nil
 }
+
+// AttachListener serves on an already-bound listener (ownership
+// transfers to the server). It solves cluster bootstrap: every node
+// needs the full membership's addresses before any node is constructed,
+// so the caller binds all listeners first and hands them over.
+func (s *Server) AttachListener(ln net.Listener) { s.ln = ln }
 
 // Addr returns the bound listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
@@ -102,9 +176,10 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown drains the server: stop accepting, unblock every connection's
 // pending read so its handler can answer what it has fully read and
-// close, wait for all handlers, then barrier the store — with durability,
-// the group-commit buffer is flushed, so every response a client received
-// is on disk when Shutdown returns. The store itself stays open.
+// close, wait for all handlers, then barrier every host — with
+// durability, the group-commit buffers are flushed, so every response a
+// client received is on disk when Shutdown returns. The stores themselves
+// stay open.
 func (s *Server) Shutdown() error {
 	s.draining.Store(true)
 	var err error
@@ -120,9 +195,11 @@ func (s *Server) Shutdown() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	s.store.Barrier()
-	if derr := s.store.DurabilityErr(); derr != nil {
-		return derr
+	for _, h := range s.hosts {
+		h.Barrier()
+		if derr := h.DurabilityErr(); derr != nil {
+			return derr
+		}
 	}
 	if err != nil && !errors.Is(err, net.ErrClosed) {
 		return err
@@ -132,11 +209,13 @@ func (s *Server) Shutdown() error {
 
 // reply is one pending answer on a connection, kept in request order.
 type reply struct {
-	id    uint64
-	fut   *session.Future   // FrameExec: the statement's response future
-	futs  []*session.Future // FrameBatch: response futures in order
-	qerr  error             // translation/bind failure: nothing admitted
-	index int               // failing statement index (batches), else -1
+	id       uint64
+	fut      *session.Future   // FrameExec / single-statement Forward
+	futs     []*session.Future // FrameBatch / multi-statement Forward
+	qerr     error             // translation/bind failure: nothing admitted
+	index    int               // failing statement index (batches), else -1
+	redirect string            // FrameRedirect: the owning node's address
+	rel      string            // FrameRedirect: the relation being placed
 }
 
 // handle drives one connection: handshake, then a read loop that queues
@@ -162,14 +241,25 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	host, ok := s.hosts[hello.Database]
+	if !ok {
+		// The handshake has no request id yet; id 0 with index -1 is the
+		// conventional pre-session failure.
+		msg := wire.AppendErrorMsg(nil, 0, -1, fmt.Sprintf("server: unknown database %q", hello.Database))
+		if wire.WriteFrame(bw, wire.FrameError, msg) == nil {
+			bw.Flush()
+		}
+		return
+	}
 	origin := hello.Origin
 	if origin == "" {
 		origin = fmt.Sprintf("conn%d", s.nconn.Add(1))
 	}
 	welcome := wire.AppendWelcome(nil, wire.Welcome{
-		Lanes:   s.store.Lanes(),
-		Durable: s.store.Durable(),
-		Origin:  origin,
+		Lanes:    host.Lanes(),
+		Durable:  host.Durable(),
+		Origin:   origin,
+		Database: hello.Database,
 	})
 	if err := wire.WriteFrame(bw, wire.FrameWelcome, welcome); err != nil {
 		return
@@ -178,7 +268,7 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	sess := s.store.Session(origin)
+	sess := host.Session(origin)
 	var pending []reply
 
 	// flush admits every queued statement in one batch and writes the
@@ -205,6 +295,9 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				frame = wire.FrameError
 				payload = wire.AppendErrorMsg(nil, rp.id, rp.index, msg)
+			case rp.redirect != "":
+				frame = wire.FrameRedirect
+				payload = wire.AppendRedirect(nil, rp.id, rp.redirect, rp.rel)
 			case rp.futs != nil:
 				resps := make([]core.Response, len(rp.futs))
 				for i, f := range rp.futs {
@@ -275,6 +368,22 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			pending = append(pending, rp)
 
+		case wire.FrameForward:
+			id, flags, stmts, derr := wire.DecodeForward(payload)
+			if derr != nil {
+				flush()
+				return
+			}
+			pending = append(pending, s.handleForward(host, sess, id, flags, stmts))
+
+		case wire.FrameSubscribe:
+			after, derr := wire.DecodeSubscribe(payload)
+			if derr != nil || !flush() {
+				return
+			}
+			s.streamLog(conn, br, bw, host, after)
+			return
+
 		case wire.FrameQuit:
 			flush()
 			return
@@ -295,6 +404,206 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// handleForward queues one FrameForward: pre-tagged statements executed
+// without retagging. Ownership is checked against the host's placement
+// (when it has one): a frame for a relation owned elsewhere is answered
+// with a Redirect when the sender asked not to chain, or — for read-only
+// statements with FwdReadLocal — served from the local replica, stamped
+// with its version. All statements of one frame must route the same way:
+// senders group by owner, so a mixed frame is a protocol error.
+func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flags byte, stmts []wire.ForwardStmt) reply {
+	rp := reply{id: id, index: -1}
+	if len(stmts) == 0 {
+		rp.qerr = errors.New("server: empty forward frame")
+		return rp
+	}
+	txs := make([]core.Transaction, len(stmts))
+	for i, st := range stmts {
+		tx, terr := sess.Translate(st.Query)
+		if terr != nil {
+			// The failing index is the position inside THIS frame; the
+			// gateway that built the frame remaps it to the client's batch
+			// position, so the index survives forwarding.
+			rp.qerr = terr
+			rp.index = i
+			return rp
+		}
+		tx.Origin, tx.Seq = st.Origin, st.Seq
+		txs[i] = tx
+	}
+
+	var remoteAddr string
+	if placer, ok := host.(Placer); ok {
+		addr0, self0 := placer.Owner(txs[0].Rel)
+		if !self0 {
+			remoteAddr = addr0
+		}
+		for _, tx := range txs[1:] {
+			addr, self := placer.Owner(tx.Rel)
+			if self != self0 || (!self && addr != addr0) {
+				rp.qerr = errors.New("server: forward frame mixes statement owners")
+				return rp
+			}
+		}
+	}
+
+	if remoteAddr != "" {
+		if flags&wire.FwdReadLocal != 0 && allReadOnly(txs) {
+			if rr, ok := host.(ReplicaReader); ok {
+				if futs, served := replicaReads(rr, txs); served {
+					return finishForward(rp, futs)
+				}
+				// No replica covers the relation (replication disabled or
+				// still bootstrapping): fall back to redirect/forward, so
+				// the owner serves a fresh read instead.
+			}
+		}
+		if flags&wire.FwdNoForward != 0 {
+			rp.redirect, rp.rel = remoteAddr, txs[0].Rel
+			return rp
+		}
+		// No flag: fall through to the session, whose submitter (the
+		// cluster node) forwards onward — at most one extra hop, because
+		// node-to-node forwards always set FwdNoForward.
+	}
+
+	futs := make([]*session.Future, len(txs))
+	for i, tx := range txs {
+		futs[i] = sess.QueueTagged(tx)
+	}
+	return finishForward(rp, futs)
+}
+
+// finishForward shapes the reply: one statement answers as a single
+// FrameResponse, several as a FrameBatchResponse.
+func finishForward(rp reply, futs []*session.Future) reply {
+	if len(futs) == 1 {
+		rp.fut = futs[0]
+	} else {
+		rp.futs = futs
+	}
+	return rp
+}
+
+// replicaReads serves every transaction from the host's replicas, or
+// reports served=false (nothing submitted) if any lacks one.
+func replicaReads(rr ReplicaReader, txs []core.Transaction) (futs []*session.Future, served bool) {
+	futs = make([]*session.Future, len(txs))
+	for i, tx := range txs {
+		fut, ok := rr.ReplicaRead(tx)
+		if !ok {
+			return nil, false
+		}
+		futs[i] = fut
+	}
+	return futs, true
+}
+
+// allReadOnly reports whether every transaction is read-only (the
+// precondition for serving from a replica).
+func allReadOnly(txs []core.Transaction) bool {
+	for _, tx := range txs {
+		if !tx.IsReadOnly() {
+			return false
+		}
+	}
+	return true
+}
+
+// streamLog turns the connection into a log-shipping stream: every
+// committed-transaction record with sequence > after, as FrameLogRecord
+// frames, until either side closes. Records are handed off the commit
+// path into an unbounded queue (the tail callback must never block the
+// log mutex) and written from this handler goroutine; a watcher goroutine
+// consumes the read side so a peer close — or the drain deadline — ends
+// the stream.
+func (s *Server) streamLog(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, host Host, after int64) {
+	src, ok := host.(LogSource)
+	if !ok {
+		msg := wire.AppendErrorMsg(nil, 0, -1, "server: host has no subscribable log (no durability)")
+		if wire.WriteFrame(bw, wire.FrameError, msg) == nil {
+			bw.Flush()
+		}
+		return
+	}
+	q := &recQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	cancel, err := src.SubscribeLog(after, func(seq int64, record []byte) {
+		q.push(append([]byte(nil), record...))
+	})
+	if err != nil {
+		msg := wire.AppendErrorMsg(nil, 0, -1, err.Error())
+		if wire.WriteFrame(bw, wire.FrameError, msg) == nil {
+			bw.Flush()
+		}
+		return
+	}
+	defer cancel()
+	go func() {
+		// The subscriber sends nothing after Subscribe (Quit at most): any
+		// read result — frame, EOF, drain deadline — ends the stream.
+		for {
+			if _, _, err := wire.ReadFrame(br); err != nil {
+				break
+			}
+		}
+		q.closeQueue()
+	}()
+	for {
+		recs, open := q.pop()
+		for _, rec := range recs {
+			if wire.WriteFrame(bw, wire.FrameLogRecord, rec) != nil {
+				return
+			}
+		}
+		if bw.Flush() != nil {
+			return
+		}
+		if !open {
+			return
+		}
+	}
+}
+
+// recQueue is the unbounded hand-off between the commit-path tail
+// callback and the stream writer.
+type recQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	recs   [][]byte
+	closed bool
+}
+
+func (q *recQueue) push(rec []byte) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.recs = append(q.recs, rec)
+	q.cond.Signal()
+}
+
+func (q *recQueue) closeQueue() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// pop blocks until records are queued or the queue closes, returning the
+// drained batch and whether the queue is still open.
+func (q *recQueue) pop() ([][]byte, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.recs) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	recs := q.recs
+	q.recs = nil
+	return recs, !q.closed
 }
 
 // maxPipeline bounds the replies a connection may have outstanding before

@@ -203,3 +203,62 @@ func TestServerRefusesGarbageConnection(t *testing.T) {
 		t.Fatalf("healthy client after quit: %v / %v", err, resp.Err)
 	}
 }
+
+// TestMultiStoreHosting: one listener, many stores. Connections bind to
+// a store by the Hello database field; the default database keeps
+// pre-protocol-v2 semantics, and an unknown name is refused at the
+// handshake.
+func TestMultiStoreHosting(t *testing.T) {
+	main := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer main.Close()
+	aux := funcdb.MustOpen(funcdb.WithRelations("A"))
+	defer aux.Close()
+
+	srv := server.NewMulti(map[string]server.Host{"main": main, "aux": aux})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Shutdown()
+
+	cm, err := client.Dial(srv.Addr().String(), client.WithOrigin("c0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cm.Close()
+	if cm.Database() != "main" {
+		t.Fatalf("default connection bound to %q", cm.Database())
+	}
+	ca, err := client.Dial(srv.Addr().String(), client.WithOrigin("c0"), client.WithDatabase("aux"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	if ca.Database() != "aux" {
+		t.Fatalf("aux connection bound to %q", ca.Database())
+	}
+
+	if _, err := cm.Exec(`insert (1, "m") into R`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Exec(`insert (1, "a") into A`); err != nil {
+		t.Fatal(err)
+	}
+	// Each connection sees only its own store's relations.
+	if resp, err := ca.Exec("count R"); err != nil || resp.Err == nil {
+		t.Fatalf("aux connection reached main's relation: %+v, %v", resp, err)
+	}
+	if resp, err := cm.Exec("count R"); err != nil || resp.Err != nil || resp.Count != 1 {
+		t.Fatalf("main count R: %+v, %v", resp, err)
+	}
+	main.Barrier()
+	aux.Barrier()
+	if n := aux.Current().TotalTuples(); n != 1 {
+		t.Fatalf("aux store has %d tuples, want 1", n)
+	}
+
+	// Unknown database: handshake refused with a clear error.
+	if _, err := client.Dial(srv.Addr().String(), client.WithDatabase("nope")); err == nil {
+		t.Fatal("dial of unknown database succeeded")
+	}
+}

@@ -85,10 +85,15 @@ func WithCache(c *query.StmtCache) Option {
 }
 
 // pendingStmt is one queued-but-not-yet-admitted statement. fut is nil
-// until the flush that admits it.
+// until the flush that admits it. tagged marks a statement whose
+// Origin/Seq were assigned elsewhere (a forwarded cluster statement):
+// flush must submit it verbatim instead of drawing from this session's
+// tag space, so the response carries the tag the originating client
+// expects.
 type pendingStmt struct {
-	tx  core.Transaction
-	fut *Future
+	tx     core.Transaction
+	fut    *Future
+	tagged bool
 }
 
 // Session is one client's execution context. Safe for concurrent use;
@@ -164,13 +169,27 @@ func (s *Session) Queue(q string) (*Future, error) {
 func (s *Session) QueueTx(tx core.Transaction) *Future {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.queueLocked(tx)
+	return s.queueLocked(tx, false)
+}
+
+// QueueTagged enqueues a transaction whose Origin/Seq tags are already
+// final — the routing hook the cluster's forward path uses: a statement
+// tagged by the gateway's session executes here with that exact tag
+// (and never consumes one of this session's sequence numbers), so its
+// response is byte-identical to local execution at the gateway. The
+// statement still rides this session's pipeline: it is admitted by the
+// next Flush, batched with whatever else is queued, and a queued create
+// still invalidates the statement cache.
+func (s *Session) QueueTagged(tx core.Transaction) *Future {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queueLocked(tx, true)
 }
 
 // queueLocked appends tx to the pending pipeline and returns a future
 // that flushes the pipeline on demand. Must hold s.mu.
-func (s *Session) queueLocked(tx core.Transaction) *Future {
-	ps := &pendingStmt{tx: tx}
+func (s *Session) queueLocked(tx core.Transaction, tagged bool) *Future {
+	ps := &pendingStmt{tx: tx, tagged: tagged}
 	s.pending = append(s.pending, ps)
 	return lenient.Lazy(func() core.Response {
 		s.mu.Lock()
@@ -199,19 +218,34 @@ func (s *Session) Flush() {
 }
 
 // flushLocked tags and submits the pending pipeline. Must hold s.mu.
+// Pre-tagged statements (QueueTagged) keep their tags; the session's
+// sequence allocator covers only the untagged ones, so a forwarded
+// statement passing through never perturbs this session's tag space.
 func (s *Session) flushLocked() {
 	if len(s.pending) == 0 {
 		return
 	}
 	txs := make([]core.Transaction, len(s.pending))
-	first := s.nextSeqs(len(s.pending))
+	untagged := 0
+	for _, ps := range s.pending {
+		if !ps.tagged {
+			untagged++
+		}
+	}
+	next := 0
+	if untagged > 0 {
+		next = s.nextSeqs(untagged)
+	}
 	var created []string
 	for i, ps := range s.pending {
 		tx := ps.tx
-		if tx.Origin == "" {
-			tx.Origin = s.origin
+		if !ps.tagged {
+			if tx.Origin == "" {
+				tx.Origin = s.origin
+			}
+			tx.Seq = next
+			next++
 		}
-		tx.Seq = first + i
 		if tx.Kind == core.KindCreate {
 			created = append(created, tx.Rel)
 		}
@@ -284,4 +318,3 @@ func (s *Session) ExecBatch(queries []string) ([]core.Response, error) {
 	}
 	return out, nil
 }
-

@@ -12,34 +12,60 @@ import (
 // Message payload codecs, built on the internal/value primitives (the
 // same self-delimiting strings, items and tuples the archive logs).
 
+// DefaultDatabase is the database name a version-1 Hello (which has no
+// database field) implies, and the name a single-store server hosts its
+// store under.
+const DefaultDatabase = "main"
+
 // Hello is the client's opening message.
 type Hello struct {
 	// Origin is the tag the server stamps on the connection's
 	// transactions ("" lets the server pick one).
 	Origin string
+	// Database names the store this connection executes against
+	// (version 2; "" and version-1 peers mean DefaultDatabase).
+	Database string
 }
 
 // AppendHello encodes a Hello payload.
 func AppendHello(dst []byte, h Hello) []byte {
 	dst = append(dst, Magic...)
 	dst = append(dst, Version)
-	return value.AppendString(dst, h.Origin)
+	dst = value.AppendString(dst, h.Origin)
+	return value.AppendString(dst, h.Database)
 }
 
-// DecodeHello decodes a Hello payload.
+// DecodeHello decodes a Hello payload. Version-1 payloads (no database
+// field) are still accepted: their database defaults to DefaultDatabase,
+// so a pre-cluster client keeps working against a multi-store listener.
 func DecodeHello(buf []byte) (Hello, error) {
 	if len(buf) < len(Magic)+1 || string(buf[:len(Magic)]) != Magic {
 		return Hello{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	buf = buf[len(Magic):]
-	if buf[0] != Version {
-		return Hello{}, fmt.Errorf("wire: protocol version %d not supported", buf[0])
+	ver := buf[0]
+	if ver != 1 && ver != Version {
+		return Hello{}, fmt.Errorf("wire: protocol version %d not supported", ver)
 	}
 	origin, rest, err := value.DecodeString(buf[1:])
-	if err != nil || len(rest) != 0 {
+	if err != nil {
 		return Hello{}, fmt.Errorf("%w: bad hello origin", ErrCorrupt)
 	}
-	return Hello{Origin: origin}, nil
+	h := Hello{Origin: origin, Database: DefaultDatabase}
+	if ver >= 2 {
+		db, rest2, err := value.DecodeString(rest)
+		if err != nil || len(rest2) != 0 {
+			return Hello{}, fmt.Errorf("%w: bad hello database", ErrCorrupt)
+		}
+		if db != "" {
+			h.Database = db
+		}
+		return h, nil
+	}
+	if len(rest) != 0 {
+		return Hello{}, fmt.Errorf("%w: bad hello origin", ErrCorrupt)
+	}
+	return h, nil
 }
 
 // Welcome is the server's handshake acknowledgment.
@@ -50,6 +76,9 @@ type Welcome struct {
 	Durable bool
 	// Origin echoes the tag the server assigned to the connection.
 	Origin string
+	// Database echoes the store name the connection was bound to
+	// (version 2; version-1 peers imply DefaultDatabase).
+	Database string
 }
 
 // AppendWelcome encodes a Welcome payload.
@@ -61,16 +90,19 @@ func AppendWelcome(dst []byte, w Welcome) []byte {
 	} else {
 		dst = append(dst, 0)
 	}
-	return value.AppendString(dst, w.Origin)
+	dst = value.AppendString(dst, w.Origin)
+	return value.AppendString(dst, w.Database)
 }
 
-// DecodeWelcome decodes a Welcome payload.
+// DecodeWelcome decodes a Welcome payload (version-1 payloads, which
+// lack the database echo, are accepted and imply DefaultDatabase).
 func DecodeWelcome(buf []byte) (Welcome, error) {
 	if len(buf) < 1 {
 		return Welcome{}, fmt.Errorf("%w: empty welcome", ErrCorrupt)
 	}
-	if buf[0] != Version {
-		return Welcome{}, fmt.Errorf("wire: protocol version %d not supported", buf[0])
+	ver := buf[0]
+	if ver != 1 && ver != Version {
+		return Welcome{}, fmt.Errorf("wire: protocol version %d not supported", ver)
 	}
 	buf = buf[1:]
 	lanes, n := binary.Varint(buf)
@@ -79,10 +111,24 @@ func DecodeWelcome(buf []byte) (Welcome, error) {
 	}
 	durable := buf[n] == 1
 	origin, rest, err := value.DecodeString(buf[n+1:])
-	if err != nil || len(rest) != 0 {
+	if err != nil {
 		return Welcome{}, fmt.Errorf("%w: bad welcome origin", ErrCorrupt)
 	}
-	return Welcome{Lanes: int(lanes), Durable: durable, Origin: origin}, nil
+	w := Welcome{Lanes: int(lanes), Durable: durable, Origin: origin, Database: DefaultDatabase}
+	if ver >= 2 {
+		db, rest2, err := value.DecodeString(rest)
+		if err != nil || len(rest2) != 0 {
+			return Welcome{}, fmt.Errorf("%w: bad welcome database", ErrCorrupt)
+		}
+		if db != "" {
+			w.Database = db
+		}
+		return w, nil
+	}
+	if len(rest) != 0 {
+		return Welcome{}, fmt.Errorf("%w: bad welcome origin", ErrCorrupt)
+	}
+	return w, nil
 }
 
 // AppendExec encodes a FrameExec payload: request id + query text.
@@ -346,6 +392,111 @@ func DecodeResponses(buf []byte) (id uint64, resps []core.Response, err error) {
 		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
 	}
 	return id, resps, nil
+}
+
+// ForwardStmt is one pre-tagged statement inside a FrameForward payload.
+// The tag (Origin, Seq) was assigned by the sender's session — the
+// receiver executes without retagging, so the response carries the tag
+// the originating client expects.
+type ForwardStmt struct {
+	Origin string
+	Seq    int
+	Query  string
+}
+
+// AppendForward encodes a FrameForward payload:
+//
+//	fwd := id:uvarint flags:uint8 count:uvarint
+//	       (origin:string seq:varint query:string)*
+func AppendForward(dst []byte, id uint64, flags byte, stmts []ForwardStmt) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(stmts)))
+	for _, st := range stmts {
+		dst = value.AppendString(dst, st.Origin)
+		dst = binary.AppendVarint(dst, int64(st.Seq))
+		dst = value.AppendString(dst, st.Query)
+	}
+	return dst
+}
+
+// DecodeForward decodes a FrameForward payload.
+func DecodeForward(buf []byte) (id uint64, flags byte, stmts []ForwardStmt, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 || len(buf[n:]) < 1 {
+		return 0, 0, nil, fmt.Errorf("%w: bad forward id", ErrCorrupt)
+	}
+	flags = buf[n]
+	buf = buf[n+1:]
+	count, n := binary.Uvarint(buf)
+	// A statement is at least 3 bytes (two empty strings + a seq varint);
+	// a count beyond that is corrupt, and the check bounds the allocation
+	// a hostile count field can force before per-statement validation.
+	if n <= 0 || count > uint64(len(buf))/3+1 {
+		return 0, 0, nil, fmt.Errorf("%w: bad forward count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	stmts = make([]ForwardStmt, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var st ForwardStmt
+		if st.Origin, buf, err = value.DecodeString(buf); err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: bad forward origin", ErrCorrupt)
+		}
+		seq, n := binary.Varint(buf)
+		if n <= 0 {
+			return 0, 0, nil, fmt.Errorf("%w: bad forward seq", ErrCorrupt)
+		}
+		st.Seq = int(seq)
+		buf = buf[n:]
+		if st.Query, buf, err = value.DecodeString(buf); err != nil {
+			return 0, 0, nil, fmt.Errorf("%w: bad forward query", ErrCorrupt)
+		}
+		stmts = append(stmts, st)
+	}
+	if len(buf) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return id, flags, stmts, nil
+}
+
+// AppendRedirect encodes a FrameRedirect payload: request id, the owning
+// node's address, and the relation whose placement is being reported.
+func AppendRedirect(dst []byte, id uint64, addr, rel string) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = value.AppendString(dst, addr)
+	return value.AppendString(dst, rel)
+}
+
+// DecodeRedirect decodes a FrameRedirect payload.
+func DecodeRedirect(buf []byte) (id uint64, addr, rel string, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, "", "", fmt.Errorf("%w: bad redirect id", ErrCorrupt)
+	}
+	addr, buf, err = value.DecodeString(buf[n:])
+	if err != nil {
+		return 0, "", "", fmt.Errorf("%w: bad redirect address", ErrCorrupt)
+	}
+	rel, rest, err := value.DecodeString(buf)
+	if err != nil || len(rest) != 0 {
+		return 0, "", "", fmt.Errorf("%w: bad redirect relation", ErrCorrupt)
+	}
+	return id, addr, rel, nil
+}
+
+// AppendSubscribe encodes a FrameSubscribe payload: stream committed
+// transaction records with sequence > after.
+func AppendSubscribe(dst []byte, after int64) []byte {
+	return binary.AppendVarint(dst, after)
+}
+
+// DecodeSubscribe decodes a FrameSubscribe payload.
+func DecodeSubscribe(buf []byte) (after int64, err error) {
+	after, n := binary.Varint(buf)
+	if n <= 0 || n != len(buf) {
+		return 0, fmt.Errorf("%w: bad subscribe position", ErrCorrupt)
+	}
+	return after, nil
 }
 
 // AppendSingleResponse encodes a FrameResponse payload: id + response.

@@ -66,14 +66,57 @@ const (
 	FrameError byte = 0x16
 	// FrameQuit announces a clean client close.
 	FrameQuit byte = 0x17
+
+	// Cluster frames (protocol version 2). Forward carries pre-tagged
+	// statements between cluster peers (and from cluster-aware clients
+	// straight to a relation's owner); Redirect bounces a misrouted
+	// Forward back with the owner's address; Subscribe switches a
+	// connection into a log-shipping stream of LogRecord frames.
+
+	// FrameForward executes pre-tagged statements: request id, flags,
+	// count, then (origin, seq, query) per statement. Unlike FrameExec,
+	// the receiver must NOT retag — the sender owns the tag space, which
+	// is what keeps a forwarded statement's response byte-identical to
+	// local execution. Answered by FrameResponse (one statement),
+	// FrameBatchResponse (several), FrameError, or FrameRedirect.
+	FrameForward byte = 0x18
+	// FrameRedirect answers a Forward for a relation this node does not
+	// own when the sender asked not to chain (FwdNoForward): request id,
+	// owner address, relation. Clients cache the placement and chase at
+	// most one redirect.
+	FrameRedirect byte = 0x19
+	// FrameSubscribe asks the server to stream its committed-transaction
+	// log: the records with sequence > after. After this frame the
+	// server pushes LogRecord frames until either side closes.
+	FrameSubscribe byte = 0x1a
+	// FrameLogRecord carries one committed transaction in the archive's
+	// log-record payload encoding (internal/archive recTxn): the
+	// replication stream is the durability log, reframed for the wire.
+	FrameLogRecord byte = 0x1b
+)
+
+// Forward flag bits.
+const (
+	// FwdNoForward asks the receiver to answer a misrouted statement with
+	// FrameRedirect instead of forwarding it onward — set by cluster
+	// clients (which chase redirects and cache placement) and on
+	// node-to-node forwards (bounding any chain at one hop).
+	FwdNoForward byte = 1 << 0
+	// FwdReadLocal lets a non-owner serve read-only statements from its
+	// local replica, stamping Response.Version with the replica's applied
+	// version so the client observes its staleness bound.
+	FwdReadLocal byte = 1 << 1
 )
 
 const (
 	// Magic identifies a funcdb wire connection ("fDBw"; the archive
 	// files use "fDBa").
 	Magic = "fDBw"
-	// Version is the protocol revision; Hello/Welcome carry it.
-	Version = 1
+	// Version is the protocol revision; Hello/Welcome carry it. Version 2
+	// added the Hello/Welcome database-name field (one listener, many
+	// stores) and the cluster frames; version-1 peers are still accepted
+	// and default to database "main".
+	Version = 2
 	// MaxFrameLen caps a frame's payload: large enough for any realistic
 	// batch or scan response, small enough to bound what a corrupt
 	// length field can make a peer allocate.
