@@ -13,6 +13,7 @@ package client
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -78,6 +79,7 @@ type arrived struct {
 	batch    bool
 	redirect string // FrameRedirect: the owning node's address
 	rel      string // FrameRedirect: the relation being placed
+	stats    []byte // FrameStatsResponse: the metrics JSON document
 }
 
 // Option configures Dial.
@@ -250,6 +252,13 @@ func (c *Client) recv(id uint64) (arrived, error) {
 				return arrived{}, c.fail(derr)
 			}
 			c.got[rid] = arrived{redirect: addr, rel: rel, index: -1}
+		case wire.FrameStatsResponse:
+			rid, doc, derr := wire.DecodeStatsResponse(payload)
+			if derr != nil {
+				return arrived{}, c.fail(derr)
+			}
+			// doc aliases the frame's read buffer: copy before it is reused.
+			c.got[rid] = arrived{stats: append([]byte(nil), doc...), index: -1}
 		default:
 			return arrived{}, c.fail(fmt.Errorf("client: unexpected frame %#x", typ))
 		}
@@ -315,6 +324,35 @@ func (c *Client) ExecBatch(queries []string) ([]funcdb.Response, error) {
 		return nil, fmt.Errorf("client: request %d is not a batch", id)
 	}
 	return a.resps, nil
+}
+
+// Stats asks the server for its metrics snapshot: every layer's counters
+// and latency histograms at this instant, as one document (see
+// funcdb.MetricsSnapshot). On a cluster node the snapshot includes
+// routing, per-peer link state, and replica progress. The request
+// pipelines like any other frame.
+func (c *Client) Stats() (funcdb.MetricsSnapshot, error) {
+	var snap funcdb.MetricsSnapshot
+	id, err := c.send(wire.FrameStats, func(id uint64) []byte {
+		return wire.AppendStats(nil, id)
+	})
+	if err != nil {
+		return snap, err
+	}
+	a, err := c.recv(id)
+	if err != nil {
+		return snap, err
+	}
+	if a.isErr {
+		return snap, errors.New(a.errMsg)
+	}
+	if a.stats == nil {
+		return snap, fmt.Errorf("client: request %d is not a stats request", id)
+	}
+	if err := json.Unmarshal(a.stats, &snap); err != nil {
+		return snap, fmt.Errorf("client: bad stats document: %w", err)
+	}
+	return snap, nil
 }
 
 // Close announces a clean quit and closes the connection. A goroutine

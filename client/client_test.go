@@ -87,6 +87,65 @@ func TestConcurrentCallersShareOneConnection(t *testing.T) {
 	}
 }
 
+// TestStatsOverWire: a client's Stats round-trips the server's metrics
+// snapshot — the engine counters reflect the work this connection
+// submitted, and the server section counts the connection and its execs.
+func TestStatsOverWire(t *testing.T) {
+	store := funcdb.MustOpen(funcdb.WithRelations("R"))
+	defer store.Close()
+	srv := server.New(store)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Shutdown()
+
+	c, err := client.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const writes = 10
+	for i := 0; i < writes; i++ {
+		if resp, err := c.Exec(fmt.Sprintf("insert (%d, \"v\") into R", i)); err != nil || resp.Err != nil {
+			t.Fatalf("insert %d: %v / %v", i, err, resp.Err)
+		}
+	}
+	if _, err := c.Exec("count R"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != writes {
+		t.Errorf("snapshot version = %d, want %d", snap.Version, writes)
+	}
+	if snap.Engine.Admitted != writes {
+		t.Errorf("admitted = %d, want %d", snap.Engine.Admitted, writes)
+	}
+	if snap.Engine.CommitLatency.Count != writes {
+		t.Errorf("commit latency count = %d, want %d", snap.Engine.CommitLatency.Count, writes)
+	}
+	if snap.Server == nil {
+		t.Fatal("no server section in wire snapshot")
+	}
+	if snap.Server.Conns != 1 || snap.Server.Execs != writes+1 {
+		t.Errorf("server section conns=%d execs=%d, want 1/%d",
+			snap.Server.Conns, snap.Server.Execs, writes+1)
+	}
+	if snap.Server.LatencyExec.Count != writes+1 {
+		t.Errorf("exec latency count = %d, want %d", snap.Server.LatencyExec.Count, writes+1)
+	}
+	if snap.Durable {
+		t.Error("in-memory store reported durable")
+	}
+	if snap.Archive != nil {
+		t.Error("archive section present without durability")
+	}
+}
+
 func TestServerAssignedOrigin(t *testing.T) {
 	store := funcdb.MustOpen(funcdb.WithRelations("R"))
 	defer store.Close()

@@ -205,9 +205,12 @@ func (c *ClusterClient) Exec(q string) (funcdb.Response, error) {
 }
 
 // ExecReplica serves a read-only statement from the FIRST dialed node —
-// from its local replica when it does not own the relation — stamping
-// Response.Version with the version the read observed (the staleness
-// bound: always ≤ the primary's current version). Writes are refused.
+// from its local replica when it does not own the relation, from the
+// primary store itself when it does — stamping Response.Version with the
+// version the read observed. Compare it to the owner's current version
+// for the read's staleness: a replica read lags by however many commits
+// the log shipping hasn't applied yet, an owner-served read is exact.
+// Writes are refused.
 func (c *ClusterClient) ExecReplica(q string) (funcdb.Response, error) {
 	tx, err := c.translate(q)
 	if err != nil {
@@ -320,6 +323,34 @@ func (c *ClusterClient) ExecBatch(queries []string) ([]funcdb.Response, error) {
 		i = j
 	}
 	return out, nil
+}
+
+// Stats returns one node's metrics snapshot (dialing it if needed).
+func (c *ClusterClient) Stats(addr string) (funcdb.MetricsSnapshot, error) {
+	cl, err := c.conn(addr)
+	if err != nil {
+		return funcdb.MetricsSnapshot{}, err
+	}
+	return cl.Stats()
+}
+
+// StatsAll snapshots every dialed-list node, keyed by address. Each
+// node's Peers rows carry its replica progress against the others, so the
+// map is enough to compute cluster-wide replication lag: node i's Version
+// minus node j's ReplicaApplied for peer i. Nodes that cannot be reached
+// are reported in errs and omitted from the map.
+func (c *ClusterClient) StatsAll() (snaps map[string]funcdb.MetricsSnapshot, errs map[string]error) {
+	snaps = make(map[string]funcdb.MetricsSnapshot, len(c.addrs))
+	errs = make(map[string]error)
+	for _, addr := range c.addrs {
+		snap, err := c.Stats(addr)
+		if err != nil {
+			errs[addr] = err
+			continue
+		}
+		snaps[addr] = snap
+	}
+	return snaps, errs
 }
 
 // invalidateOnCreate drops cached statements touching a relation the

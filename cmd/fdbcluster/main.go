@@ -27,6 +27,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +37,7 @@ import (
 
 	"funcdb"
 	"funcdb/internal/primarycopy"
+	"funcdb/internal/server"
 )
 
 func main() {
@@ -65,6 +67,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 	relations := fs.String("relations", "R,S,T", "real-network mode: cluster-wide schema")
 	lanes := fs.Int("lanes", 0, "real-network mode: admission lanes (0 = auto)")
 	noReplicate := fs.Bool("no-replicate", false, "real-network mode: disable log-shipped replicas")
+	debugAddr := fs.String("debug-addr", "", "real-network mode: HTTP address for /debug/stats, /debug/vars and /debug/pprof")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,6 +75,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 		return runNode(nodeFlags{
 			listen: *listen, join: *join, id: *id, dataDir: *dataDir,
 			relations: *relations, lanes: *lanes, noReplicate: *noReplicate,
+			debugAddr: *debugAddr,
 		}, stdout, sig, onReady)
 	}
 	return runDemo(*model, *dim, *clients, *ops, *seed, stdout)
@@ -82,6 +86,7 @@ type nodeFlags struct {
 	listen, join, dataDir, relations string
 	id, lanes                        int
 	noReplicate                      bool
+	debugAddr                        string
 }
 
 // runNode serves one real-network cluster node until a signal drains it.
@@ -126,6 +131,16 @@ func runNode(nf nodeFlags, stdout io.Writer, sig <-chan os.Signal, onReady func(
 	fmt.Fprintf(stdout, "fdbcluster: node %d/%d on %s (primary for %d of %d relations%s)\n",
 		id, len(nodes), node.Addr(), owned, len(splitComma(nf.relations)),
 		map[bool]string{true: "", false: ", replicating peers"}[nf.noReplicate])
+	if nf.debugAddr != "" {
+		ln, err := net.Listen("tcp", nf.debugAddr)
+		if err != nil {
+			node.Shutdown()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, server.NewDebugMux(func() any { return node.MetricsSnapshot() }))
+		fmt.Fprintf(stdout, "fdbcluster: debug endpoints on http://%s/debug/\n", ln.Addr())
+	}
 	if onReady != nil {
 		onReady(node.Addr())
 	}

@@ -1,0 +1,456 @@
+// Command fdbload drives a funcdb cluster with an open-loop, Zipf-skewed,
+// mixed read/write workload and reports client-observed latency as a
+// histogram: the measurement harness for the observability layer.
+//
+// Open loop means arrivals are scheduled, not paced by responses: each
+// connection issues its next statement at a fixed interval derived from
+// --rate, and a statement's latency is measured from its SCHEDULED time.
+// A server that falls behind therefore shows the queueing delay clients
+// actually suffer (coordinated omission is the classic way load drivers
+// lie about tail latency; scheduling avoids it). --rate 0 switches to a
+// closed loop: each connection fires as fast as responses return.
+//
+// Keys are drawn from a Zipf distribution over --keys, so a few hot keys
+// absorb most of the traffic — the access pattern that makes structure
+// sharing (and lane contention) interesting. Each key's relation is
+// key%len(relations), so the load spreads across every node's primaries.
+//
+// Point it at a running cluster with --addrs, or let it spawn its own:
+// --spawn n boots an n-node loopback cluster (archives in a temp
+// directory, group commit 2ms) for a self-contained benchmark run.
+//
+// The report prints to stdout; --out also writes it as JSON (the
+// repository's BENCH_0006.json is such a file). --engine-overhead
+// appends an in-process microbenchmark comparing the instrumented
+// admission hot path against the uninstrumented one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"funcdb"
+	"funcdb/client"
+	"funcdb/internal/core"
+	"funcdb/internal/database"
+	"funcdb/internal/metrics"
+	"funcdb/internal/relation"
+	"funcdb/internal/value"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fdbload:", err)
+		os.Exit(1)
+	}
+}
+
+// loadConfig is the resolved flag set, echoed into the JSON report so a
+// checked-in result names the run that produced it.
+type loadConfig struct {
+	Addrs     []string      `json:"addrs,omitempty"`
+	Spawn     int           `json:"spawn,omitempty"`
+	Duration  time.Duration `json:"-"`
+	DurationS float64       `json:"duration_s"`
+	Conns     int           `json:"conns"`
+	Rate      int           `json:"rate_ops_s"`
+	ReadPct   int           `json:"read_pct"`
+	Keys      int           `json:"keys"`
+	ZipfS     float64       `json:"zipf_s"`
+	Relations []string      `json:"relations"`
+	Seed      int64         `json:"seed"`
+}
+
+// latencyDoc is one histogram rendered for the report, in microseconds.
+type latencyDoc struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+	Mean  float64 `json:"mean"`
+}
+
+// nodeDoc is one cluster node's state at the end of the run.
+type nodeDoc struct {
+	Addr     string `json:"addr"`
+	Version  int64  `json:"version"`
+	Admitted int64  `json:"admitted"`
+	Reads    int64  `json:"reads"`
+	Forwards int64  `json:"forwards"`
+}
+
+// overheadDoc is the lane-commit microbenchmark result.
+type overheadDoc struct {
+	UninstrumentedNS float64 `json:"uninstrumented_ns_per_op"`
+	InstrumentedNS   float64 `json:"instrumented_ns_per_op"`
+	OverheadPct      float64 `json:"overhead_pct"`
+}
+
+// report is the JSON document --out writes.
+type report struct {
+	Bench             string       `json:"bench"`
+	Config            loadConfig   `json:"config"`
+	ElapsedS          float64      `json:"elapsed_s"`
+	Ops               int64        `json:"ops"`
+	Reads             int64        `json:"reads"`
+	Writes            int64        `json:"writes"`
+	Errors            int64        `json:"errors"`
+	ThroughputOpsS    float64      `json:"throughput_ops_s"`
+	Latency           latencyDoc   `json:"latency_us"`
+	ReadLatency       latencyDoc   `json:"read_latency_us"`
+	WriteLatency      latencyDoc   `json:"write_latency_us"`
+	Nodes             []nodeDoc    `json:"nodes,omitempty"`
+	ReplicationLagMax int64        `json:"replication_lag_max"`
+	EngineOverhead    *overheadDoc `json:"engine_overhead,omitempty"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fdbload", flag.ContinueOnError)
+	addrsFlag := fs.String("addrs", "", "comma-separated cluster node addresses to drive")
+	spawn := fs.Int("spawn", 0, "spawn an in-process n-node loopback cluster instead of dialing --addrs")
+	duration := fs.Duration("duration", 5*time.Second, "how long to drive load")
+	conns := fs.Int("conns", 8, "concurrent client connections")
+	rate := fs.Int("rate", 2000, "target ops/s across all connections (0 = closed loop)")
+	readPct := fs.Int("read-pct", 50, "percentage of statements that are reads")
+	keys := fs.Int("keys", 10000, "key-space size")
+	zipfS := fs.Float64("zipf-s", 1.1, "Zipf skew (>1; larger = hotter head)")
+	relations := fs.String("relations", "R,S,T", "comma-separated relations to spread keys over")
+	seed := fs.Int64("seed", 1, "workload seed")
+	out := fs.String("out", "", "also write the report as JSON to this path")
+	overhead := fs.Bool("engine-overhead", false, "append the lane-commit instrumentation microbenchmark")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := loadConfig{
+		Spawn: *spawn, Duration: *duration, DurationS: duration.Seconds(),
+		Conns: *conns, Rate: *rate, ReadPct: *readPct, Keys: *keys,
+		ZipfS: *zipfS, Seed: *seed,
+	}
+	for _, r := range strings.Split(*relations, ",") {
+		if r != "" {
+			cfg.Relations = append(cfg.Relations, r)
+		}
+	}
+	if len(cfg.Relations) == 0 || cfg.Conns <= 0 || cfg.Keys <= 0 {
+		return fmt.Errorf("need at least one relation, one connection and one key")
+	}
+	if cfg.ZipfS <= 1 {
+		return fmt.Errorf("--zipf-s must be > 1 (got %g)", cfg.ZipfS)
+	}
+
+	if *spawn > 0 {
+		addrs, shutdown, err := spawnCluster(*spawn, cfg.Relations)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		cfg.Addrs = addrs
+		fmt.Fprintf(stdout, "spawned %d-node loopback cluster: %s\n", *spawn, strings.Join(addrs, " "))
+	} else {
+		cfg.Addrs = splitComma(*addrsFlag)
+		if len(cfg.Addrs) == 0 {
+			return fmt.Errorf("give --addrs or --spawn")
+		}
+	}
+
+	rep, err := drive(cfg, stdout)
+	if err != nil {
+		return err
+	}
+	if *overhead {
+		od := engineOverhead()
+		rep.EngineOverhead = &od
+		fmt.Fprintf(stdout, "engine overhead: %.0f ns/op uninstrumented, %.0f ns/op instrumented (%+.1f%%)\n",
+			od.UninstrumentedNS, od.InstrumentedNS, od.OverheadPct)
+	}
+	if *out != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *out)
+	}
+	return nil
+}
+
+// drive runs the workload and assembles the report.
+func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
+	var (
+		lat, readLat, writeLat metrics.Histogram
+		reads, writes, errs    metrics.Counter
+	)
+	// Per-connection arrival interval: the total target rate split evenly.
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(cfg.Conns) / float64(cfg.Rate))
+	}
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	dialErrs := make(chan error, cfg.Conns)
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.DialCluster(cfg.Addrs,
+				client.WithClusterOrigin(fmt.Sprintf("load%d", w)))
+			if err != nil {
+				dialErrs <- err
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+			// Stagger the connections so arrivals interleave instead of
+			// bursting in lockstep.
+			next := start.Add(interval * time.Duration(w) / time.Duration(cfg.Conns))
+			for {
+				if interval > 0 {
+					if d := time.Until(next); d > 0 {
+						time.Sleep(d)
+					}
+				} else {
+					next = time.Now()
+				}
+				if next.After(deadline) {
+					return
+				}
+				key := int(zipf.Uint64())
+				rel := cfg.Relations[key%len(cfg.Relations)]
+				var q string
+				isRead := rng.Intn(100) < cfg.ReadPct
+				if isRead {
+					q = fmt.Sprintf("find %d in %s", key, rel)
+				} else {
+					q = fmt.Sprintf("insert (%d, \"w%d\") into %s", key, w, rel)
+				}
+				resp, err := cl.Exec(q)
+				// Latency from the SCHEDULED arrival: queueing counts.
+				d := time.Since(next)
+				if err != nil || resp.Err != nil {
+					errs.Inc()
+				} else {
+					lat.Observe(d.Nanoseconds())
+					if isRead {
+						reads.Inc()
+						readLat.Observe(d.Nanoseconds())
+					} else {
+						writes.Inc()
+						writeLat.Observe(d.Nanoseconds())
+					}
+				}
+				if interval > 0 {
+					next = next.Add(interval)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(dialErrs)
+	if err := <-dialErrs; err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	rep := &report{
+		Bench: "fdbload", Config: cfg, ElapsedS: elapsed.Seconds(),
+		Reads: reads.Load(), Writes: writes.Load(), Errors: errs.Load(),
+	}
+	rep.Ops = rep.Reads + rep.Writes
+	rep.ThroughputOpsS = float64(rep.Ops) / elapsed.Seconds()
+	rep.Latency = toLatencyDoc(lat.Snapshot())
+	rep.ReadLatency = toLatencyDoc(readLat.Snapshot())
+	rep.WriteLatency = toLatencyDoc(writeLat.Snapshot())
+
+	// One stats sweep across the cluster: per-node state and the worst
+	// replication lag (node i's version minus any peer's applied mirror
+	// of i). Failures here degrade the report, not the run.
+	statsCl, err := client.DialCluster(cfg.Addrs, client.WithClusterOrigin("load-stats"))
+	if err == nil {
+		snaps, _ := statsCl.StatsAll()
+		versions := map[int]int64{}
+		for i, addr := range cfg.Addrs {
+			snap, ok := snaps[addr]
+			if !ok {
+				continue
+			}
+			versions[i] = snap.Version
+			nd := nodeDoc{
+				Addr: addr, Version: snap.Version,
+				Admitted: snap.Engine.Admitted, Reads: snap.Engine.Reads,
+			}
+			if snap.Server != nil {
+				nd.Forwards = snap.Server.Forwards
+			}
+			rep.Nodes = append(rep.Nodes, nd)
+		}
+		for _, snap := range snaps {
+			for _, peer := range snap.Peers {
+				if v, ok := versions[peer.Peer]; ok && peer.ReplicaApplied >= 0 {
+					if lag := v - peer.ReplicaApplied; lag > rep.ReplicationLagMax {
+						rep.ReplicationLagMax = lag
+					}
+				}
+			}
+		}
+		statsCl.Close()
+	}
+
+	fmt.Fprintf(stdout, "%d ops in %v (%.0f ops/s): %d reads, %d writes, %d errors\n",
+		rep.Ops, elapsed.Round(time.Millisecond), rep.ThroughputOpsS,
+		rep.Reads, rep.Writes, rep.Errors)
+	fmt.Fprintf(stdout, "latency: p50 %.0fµs  p90 %.0fµs  p99 %.0fµs  p99.9 %.0fµs  mean %.0fµs\n",
+		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.P999, rep.Latency.Mean)
+	printHistogram(stdout, lat.Snapshot())
+	if rep.ReplicationLagMax > 0 || len(rep.Nodes) > 1 {
+		fmt.Fprintf(stdout, "replication lag (max): %d commits\n", rep.ReplicationLagMax)
+	}
+	return rep, nil
+}
+
+// toLatencyDoc converts a nanosecond histogram into microsecond quantiles.
+func toLatencyDoc(h metrics.HistogramSnapshot) latencyDoc {
+	us := func(ns int64) float64 { return float64(ns) / 1e3 }
+	return latencyDoc{
+		Count: h.Count,
+		P50:   us(h.Quantile(0.50)),
+		P90:   us(h.Quantile(0.90)),
+		P99:   us(h.P99),
+		P999:  us(h.P999),
+		Mean:  us(int64(h.Mean())),
+	}
+}
+
+// printHistogram renders the power-of-two latency buckets as a bar chart.
+func printHistogram(w io.Writer, h metrics.HistogramSnapshot) {
+	if h.Count == 0 {
+		return
+	}
+	var max int64
+	for _, n := range h.Buckets {
+		if n > max {
+			max = n
+		}
+	}
+	for b, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo := time.Duration(0)
+		if b > 0 {
+			lo = time.Duration(int64(1) << uint(b-1))
+		}
+		bar := strings.Repeat("#", int(40*n/max))
+		fmt.Fprintf(w, "  %10v %8d %s\n", lo, n, bar)
+	}
+}
+
+// spawnCluster boots n cluster nodes on loopback: every port bound first,
+// the address list shared, then the nodes opened over the bound
+// listeners. Archives live in a temp directory the shutdown removes.
+func spawnCluster(n int, rels []string) (addrs []string, shutdown func(), err error) {
+	dir, err := os.MkdirTemp("", "fdbload")
+	if err != nil {
+		return nil, nil, err
+	}
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for _, l := range lns[:i] {
+				l.Close()
+			}
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		lns[i] = ln
+		addrs = append(addrs, ln.Addr().String())
+	}
+	nodes := make([]*funcdb.ClusterNode, 0, n)
+	stop := func() {
+		for _, node := range nodes {
+			node.Shutdown()
+		}
+		os.RemoveAll(dir)
+	}
+	for i := 0; i < n; i++ {
+		node, err := funcdb.OpenClusterNode(funcdb.ClusterNodeConfig{
+			ID: i, Nodes: addrs, Listener: lns[i],
+			Dir:       filepath.Join(dir, fmt.Sprintf("n%d", i)),
+			Relations: rels,
+			Durability: []funcdb.DurabilityOption{
+				funcdb.GroupCommit(2 * time.Millisecond),
+			},
+		})
+		if err != nil {
+			for _, l := range lns[i:] {
+				l.Close()
+			}
+			stop()
+			return nil, nil, err
+		}
+		nodes = append(nodes, node)
+		go node.Serve()
+	}
+	return addrs, stop, nil
+}
+
+// engineOverhead times the single-lane admission hot path with and
+// without metrics, interleaved min-of-three so machine noise hits both
+// sides: the observability layer's cost on the paper's core loop.
+func engineOverhead() overheadDoc {
+	const ops = 30000
+	measure := func(opts ...core.EngineOption) float64 {
+		e := core.NewEngine(database.New(relation.RepAVL, "R"), opts...)
+		start := time.Now()
+		for i := 0; i < ops; i++ {
+			tx := core.Insert("R", value.NewTuple(value.Int(int64(i)), value.Str("v")))
+			tx.Origin, tx.Seq = "bench", i
+			e.Submit(tx)
+		}
+		e.Barrier()
+		return float64(time.Since(start).Nanoseconds()) / ops
+	}
+	plain, inst := math.MaxFloat64, math.MaxFloat64
+	for round := 0; round < 3; round++ {
+		if v := measure(); v < plain {
+			plain = v
+		}
+		var m metrics.Engine
+		if v := measure(core.WithEngineMetrics(&m)); v < inst {
+			inst = v
+		}
+	}
+	return overheadDoc{
+		UninstrumentedNS: plain,
+		InstrumentedNS:   inst,
+		OverheadPct:      100 * (inst - plain) / plain,
+	}
+}
+
+// splitComma splits a comma-separated list, dropping empties.
+func splitComma(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}

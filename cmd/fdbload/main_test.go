@@ -1,0 +1,79 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSpawnedClusterRun: a short self-contained run against a spawned
+// cluster completes without errors and writes a well-formed JSON report.
+func TestSpawnedClusterRun(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"--spawn", "2", "--duration", "400ms", "--conns", "2",
+		"--rate", "400", "--keys", "100", "--out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep.Bench != "fdbload" {
+		t.Errorf("bench = %q", rep.Bench)
+	}
+	if rep.Ops == 0 {
+		t.Error("no operations completed")
+	}
+	if rep.Errors != 0 {
+		t.Errorf("%d errors during the run\n%s", rep.Errors, stdout.String())
+	}
+	if rep.Ops != rep.Reads+rep.Writes {
+		t.Errorf("ops %d != reads %d + writes %d", rep.Ops, rep.Reads, rep.Writes)
+	}
+	if rep.Latency.Count != rep.Ops {
+		t.Errorf("latency count %d != ops %d", rep.Latency.Count, rep.Ops)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P999 < rep.Latency.P50 {
+		t.Errorf("implausible quantiles: %+v", rep.Latency)
+	}
+	if len(rep.Nodes) != 2 {
+		t.Errorf("report covers %d nodes, want 2", len(rep.Nodes))
+	}
+	var admitted int64
+	for _, n := range rep.Nodes {
+		admitted += n.Admitted
+	}
+	if admitted < rep.Writes {
+		t.Errorf("cluster admitted %d < %d client writes", admitted, rep.Writes)
+	}
+	if !strings.Contains(stdout.String(), "latency: p50") {
+		t.Errorf("no latency line in output:\n%s", stdout.String())
+	}
+}
+
+// TestFlagValidation: bad configurations fail before any socket opens.
+func TestFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{},                                  // neither --addrs nor --spawn
+		{"--spawn", "1", "--zipf-s", "0.5"}, // zipf needs s > 1
+		{"--spawn", "1", "--relations", ""}, // no relations
+		{"--spawn", "1", "--conns", "0"},    // no connections
+	} {
+		var stdout bytes.Buffer
+		if err := run(args, &stdout); err == nil {
+			t.Errorf("run(%v) accepted a bad config", args)
+		}
+	}
+}

@@ -18,7 +18,7 @@
 // Every line is a query; dot-commands inspect the system:
 //
 //	.help                 this text
-//	.stats                structure-sharing counters
+//	.stats                metrics snapshot (works remotely: a wire Stats frame)
 //	.versions             retained version stream
 //	.at <version> <query> run a read-only query against an old version
 //	.batch q1; q2; ...    submit several queries as one batch
@@ -202,12 +202,16 @@ func handleLine(r *repl, raw string) (out string, quit bool) {
 		r.remote = nil
 		return "local session", false
 	case line == ".stats":
+		// The full metrics snapshot, local or remote: same document, same
+		// rendering — remotely it travels as a wire Stats frame.
 		if r.remote != nil {
-			return "stats are local-only (use .local)", false
+			snap, err := r.remote.Stats()
+			if err != nil {
+				return "stats: " + err.Error(), false
+			}
+			return strings.TrimRight(snap.Format(), "\n"), false
 		}
-		st := r.store.Stats()
-		return fmt.Sprintf("created %d  shared %d  visited %d  sharing %.1f%%  lanes %d",
-			st.Created, st.Shared, st.Visited, 100*st.Fraction, r.store.Lanes()), false
+		return strings.TrimRight(r.store.MetricsSnapshot().Format(), "\n"), false
 	case line == ".versions":
 		if r.remote != nil {
 			return "version listing is local-only (use .local)", false

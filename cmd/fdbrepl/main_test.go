@@ -249,8 +249,13 @@ func TestRemoteSession(t *testing.T) {
 	if out, _ := handleLine(r, `.batch insert (8, "b") into R; count R`); !strings.Contains(out, "count: 2") {
 		t.Fatalf("remote .batch = %q", out)
 	}
+	// .stats works remotely: the snapshot travels as a wire Stats frame
+	// and reflects the SERVER's store, not the local one.
+	if out, _ := handleLine(r, ".stats"); !strings.Contains(out, "admitted") {
+		t.Errorf(".stats while remote = %q", out)
+	}
 	// Local-only commands degrade with a pointer back.
-	for _, cmd := range []string{".stats", ".versions", ".at 0 count R"} {
+	for _, cmd := range []string{".versions", ".at 0 count R"} {
 		if out, _ := handleLine(r, cmd); !strings.Contains(out, "local") {
 			t.Errorf("%s while remote = %q", cmd, out)
 		}

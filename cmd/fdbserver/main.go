@@ -16,6 +16,10 @@
 // its own subdirectory <dir>/<name> ("main" keeps <dir> itself, so
 // existing single-store archives keep working).
 //
+// With --debug-addr, a second HTTP listener serves live introspection:
+// /debug/stats (the metrics snapshot of every hosted database, indented
+// JSON), /debug/vars (the same, compact), and /debug/pprof/.
+//
 // SIGTERM or SIGINT drains gracefully: stop accepting, answer everything
 // fully read, flush the group-commit buffer, close the store. Every
 // response a client received before the drain is durable after it.
@@ -26,6 +30,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -59,6 +64,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 	lanes := fs.Int("lanes", 0, "admission lanes (0 = auto from GOMAXPROCS)")
 	relations := fs.String("relations", "", "comma-separated relations to create in a fresh store")
 	databases := fs.String("databases", "", "comma-separated database names to host on one listener (\"main\" is always hosted)")
+	debugAddr := fs.String("debug-addr", "", "optional HTTP address for /debug/stats, /debug/vars and /debug/pprof")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +124,35 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 		closeAll()
 		return err
 	}
+
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		// One document across every hosted database, keyed by name; the
+		// server section (connections, per-frame latency) appears once.
+		snapshot := func() any {
+			doc := map[string]any{"server": srv.Metrics().Snapshot()}
+			dbs := map[string]funcdb.MetricsSnapshot{}
+			for name, st := range stores {
+				dbs[name] = st.MetricsSnapshot()
+			}
+			doc["databases"] = dbs
+			return doc
+		}
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			srv.Shutdown()
+			closeAll()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		debugLn = ln
+		go http.Serve(ln, server.NewDebugMux(snapshot))
+		fmt.Fprintf(stdout, "fdbserver debug endpoints on http://%s/debug/\n", ln.Addr())
+	}
+	defer func() {
+		if debugLn != nil {
+			debugLn.Close()
+		}
+	}()
 	cur := store.Current()
 	fmt.Fprintf(stdout, "fdbserver listening on %s (%d databases, lanes %d, %d tuples in %d relations%s)\n",
 		srv.Addr(), len(stores), store.Lanes(), cur.TotalTuples(), len(cur.RelationNames()),

@@ -33,6 +33,7 @@ import (
 	"funcdb/internal/database"
 	"funcdb/internal/eval"
 	"funcdb/internal/lenient"
+	"funcdb/internal/metrics"
 	"funcdb/internal/netsim"
 	"funcdb/internal/primarysite"
 	"funcdb/internal/query"
@@ -73,6 +74,11 @@ type (
 	// translate or bind (batches are all-or-nothing; nothing was
 	// submitted). Recover it with errors.As to read the failing index.
 	BatchError = session.BatchError
+	// MetricsSnapshot is a point-in-time reading of every layer's
+	// counters and latency histograms (see Store.MetricsSnapshot). It is
+	// the document the wire Stats frame, the --debug-addr endpoints, and
+	// fdbrepl's .stats all render.
+	MetricsSnapshot = metrics.Snapshot
 )
 
 // Relation representations.
@@ -229,6 +235,13 @@ type Store struct {
 	origin  string
 	session *session.Session
 
+	// Per-layer metric sinks, always allocated: recording is a handful of
+	// atomic adds, and the snapshot API must work on every store. All
+	// sessions over this store share sessionM.
+	engineM  *metrics.Engine
+	archiveM *metrics.Archive
+	sessionM *metrics.Session
+
 	seq atomic.Int64 // per-store sequence tags; atomic keeps reads lock-free
 }
 
@@ -244,13 +257,20 @@ func Open(opts ...Option) (*Store, error) {
 	}
 
 	s := &Store{
-		stats:  &eval.Stats{},
-		origin: c.origin,
+		stats:    &eval.Stats{},
+		origin:   c.origin,
+		engineM:  &metrics.Engine{},
+		archiveM: &metrics.Archive{},
+		sessionM: &metrics.Session{},
 	}
-	engineOpts := []core.EngineOption{core.WithStats(s.stats)}
+	engineOpts := []core.EngineOption{
+		core.WithStats(s.stats),
+		core.WithEngineMetrics(s.engineM),
+	}
 	if c.lanes > 0 {
 		engineOpts = append(engineOpts, core.WithLanes(c.lanes))
 	}
+	c.archOpts = append(c.archOpts, archive.WithMetrics(s.archiveM))
 
 	initial := c.initial
 	if c.dir != "" && archive.Exists(c.dir) {
@@ -297,7 +317,8 @@ func Open(opts ...Option) (*Store, error) {
 	s.engine = core.NewEngine(initial, engineOpts...)
 	s.session = session.New(s,
 		session.WithOrigin(s.origin),
-		session.WithSeqs(s.nextSeqs))
+		session.WithSeqs(s.nextSeqs),
+		session.WithMetrics(s.sessionM))
 	return s, nil
 }
 
@@ -415,7 +436,8 @@ func (s *Store) ExecBatch(queries []string) ([]Response, error) {
 func (s *Store) Session(origin string) *session.Session {
 	return session.New(s,
 		session.WithOrigin(origin),
-		session.WithCache(s.session.Cache()))
+		session.WithCache(s.session.Cache()),
+		session.WithMetrics(s.sessionM))
 }
 
 // Stmt is a prepared query bound to a store: parsed once, executed many
@@ -629,6 +651,33 @@ func (s *Store) Stats() SharingStats {
 	}
 }
 
+// MetricsSnapshot reads every layer's counters and latency histograms at
+// this instant: admission lanes, commit latency, the durable archive,
+// session flushing, and structure sharing. Reading is lock-free — atomic
+// loads only, safe to call from a monitoring loop while the store is under
+// full load. (Named MetricsSnapshot, not Snapshot: Snapshot forces a
+// durable on-disk snapshot.)
+func (s *Store) MetricsSnapshot() MetricsSnapshot {
+	snap := metrics.Snapshot{
+		Origin:  s.origin,
+		Version: s.engine.Version(),
+		Lanes:   s.engine.Lanes(),
+		Durable: s.archive != nil,
+		Engine:  s.engineM.Snapshot(),
+		Session: s.sessionM.Snapshot(),
+		Sharing: metrics.SharingSnapshot{
+			NodesCreated: s.stats.Created.Load(),
+			NodesShared:  s.stats.Shared.Load(),
+			NodesVisited: s.stats.Visited.Load(),
+		},
+	}
+	if s.archive != nil {
+		a := s.archiveM.Snapshot()
+		snap.Archive = &a
+	}
+	return snap
+}
+
 // ClusterNodeConfig configures one node of a real-network cluster: the
 // paper's primary-copy model over TCP (internal/cluster). Every node of
 // a cluster must be opened with the same Nodes list and Relations schema;
@@ -751,6 +800,18 @@ func (cn *ClusterNode) Owner(rel string) (addr string, self bool) { return cn.no
 // ReplicaVersion reports how far this node's replica of a peer has
 // caught up (the newest applied primary sequence), or -1 without one.
 func (cn *ClusterNode) ReplicaVersion(peer int) int64 { return cn.node.ReplicaVersion(peer) }
+
+// MetricsSnapshot reads the node's full metric state: the store's layers
+// plus cluster routing (forwards, redirects), per-peer link counters,
+// replica progress, and the network server's per-connection and
+// per-frame-type histograms. This is the document the wire Stats frame
+// returns and --debug-addr serves.
+func (cn *ClusterNode) MetricsSnapshot() MetricsSnapshot {
+	snap := cn.node.MetricsSnapshot()
+	srv := cn.srv.Metrics().Snapshot()
+	snap.Server = &srv
+	return snap
+}
 
 // Shutdown drains the listener (every acked response is flushed to the
 // archive), stops replication, and closes the store. The first

@@ -10,6 +10,7 @@ import (
 
 	"funcdb/internal/core"
 	"funcdb/internal/database"
+	"funcdb/internal/metrics"
 )
 
 // ErrNoArchive reports a directory with no archive in it.
@@ -23,6 +24,7 @@ type config struct {
 	snapshotEvery int
 	fsync         bool
 	group         time.Duration
+	metrics       *metrics.Archive
 }
 
 // Option configures an archive.
@@ -54,6 +56,13 @@ func Fsync(on bool) Option {
 // disables batching (the default: every append is written immediately).
 func GroupCommit(window time.Duration) Option {
 	return func(c *config) { c.group = window }
+}
+
+// WithMetrics records durability metrics into m: appends, bytes, flush
+// occupancy, fsync latency, snapshots and recovery duration. Nil (the
+// default) records nothing and costs nothing.
+func WithMetrics(m *metrics.Archive) Option {
+	return func(c *config) { c.metrics = m }
 }
 
 // Archive is an open, appendable archive directory. One writer at a time;
@@ -161,6 +170,10 @@ func Open(dir string, opts ...Option) (*Archive, *database.Database, error) {
 	for _, opt := range opts {
 		opt(&a.cfg)
 	}
+	var recoverStart time.Time
+	if a.cfg.metrics != nil {
+		recoverStart = time.Now()
+	}
 	rec, err := recoverState(dir)
 	if err != nil {
 		return nil, nil, err
@@ -191,6 +204,9 @@ func Open(dir string, opts ...Option) (*Archive, *database.Database, error) {
 	a.logBase = rec.logBase
 	a.lastSeq = rec.lastSeq
 	a.sinceSnap = rec.logRecords
+	if a.cfg.metrics != nil {
+		a.cfg.metrics.Recovered(time.Since(recoverStart))
+	}
 	a.startFlusher()
 	return a, rec.db, nil
 }
@@ -274,18 +290,21 @@ func (a *Archive) append(c core.Commit) error {
 	if a.cfg.group > 0 {
 		// Group commit: frame into the batch buffer; the window timer, a
 		// full hinted batch (ExpectBatch), or an explicit Flush/Sync/Close
-		// issues the write+fsync.
+		// issues the write+fsync. Bytes are counted at flush.
 		a.buf = appendRecord(a.buf, recTxn, payload)
 		a.bufRecs++
+		a.cfg.metrics.Buffered()
 	} else {
-		if _, err := a.log.Write(appendRecord(nil, recTxn, payload)); err != nil {
+		rec := appendRecord(nil, recTxn, payload)
+		if _, err := a.log.Write(rec); err != nil {
 			return fmt.Errorf("archive: append: %w", err)
 		}
 		if a.cfg.fsync {
-			if err := a.log.Sync(); err != nil {
+			if err := a.syncLog(); err != nil {
 				return fmt.Errorf("archive: fsync: %w", err)
 			}
 		}
+		a.cfg.metrics.Appended(len(rec))
 	}
 	// Log-shipping tail: subscribers see the record payload the moment it
 	// is accepted (possibly before its durable flush — a replica can never
@@ -321,16 +340,30 @@ func (a *Archive) flushLocked() error {
 		a.failed = fmt.Errorf("archive: flush: %w", err)
 		return a.failed
 	}
+	a.cfg.metrics.Flushed(a.bufRecs, len(a.buf))
 	a.buf = a.buf[:0]
 	a.bufRecs = 0
 	a.expect = 0 // any flush serves every outstanding hint
 	if a.cfg.fsync {
-		if err := a.log.Sync(); err != nil {
+		if err := a.syncLog(); err != nil {
 			a.failed = fmt.Errorf("archive: fsync: %w", err)
 			return a.failed
 		}
 	}
 	return nil
+}
+
+// syncLog fsyncs the open log segment, timing it into the metrics when
+// instrumented. The clock reads are gated so an uninstrumented archive
+// never pays them.
+func (a *Archive) syncLog() error {
+	if a.cfg.metrics == nil {
+		return a.log.Sync()
+	}
+	start := time.Now()
+	err := a.log.Sync()
+	a.cfg.metrics.Fsync(time.Since(start))
+	return err
 }
 
 // Flush writes any pending group-commit batch to the log (and syncs it
@@ -462,6 +495,7 @@ func (a *Archive) writeSnapshot(db *database.Database) error {
 	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("archive: snapshot: %w", err)
 	}
+	a.cfg.metrics.SnapshotWritten(len(buf))
 
 	// Rotate: the new segment holds transactions after this snapshot.
 	if a.log != nil {
@@ -516,7 +550,7 @@ func (a *Archive) Sync() error {
 	if err := a.flushLocked(); err != nil {
 		return err
 	}
-	if err := a.log.Sync(); err != nil {
+	if err := a.syncLog(); err != nil {
 		a.failed = fmt.Errorf("archive: fsync: %w", err)
 		return a.failed
 	}

@@ -43,6 +43,7 @@ import (
 	"funcdb/internal/core"
 	"funcdb/internal/database"
 	"funcdb/internal/lenient"
+	"funcdb/internal/metrics"
 	"funcdb/internal/query"
 	"funcdb/internal/session"
 )
@@ -117,6 +118,7 @@ type Node struct {
 
 	peers   []*peer   // by node index; nil at n.id
 	mirrors []*mirror // by node index; nil at n.id (and without Replicate)
+	m       *metrics.Cluster
 
 	closing atomic.Bool
 	wg      sync.WaitGroup // replication loops
@@ -146,11 +148,12 @@ func New(cfg Config) (*Node, error) {
 		store:  cfg.Store,
 		cache:  query.NewStmtCache(0),
 		origin: fmt.Sprintf("node%d", cfg.ID),
+		m:      &metrics.Cluster{},
 	}
 	n.peers = make([]*peer, len(n.addrs))
 	for i, addr := range n.addrs {
 		if i != n.id {
-			n.peers[i] = newPeer(n.origin, addr)
+			n.peers[i] = newPeer(n.origin, addr, n.m)
 		}
 	}
 	if cfg.Replicate {
@@ -247,6 +250,43 @@ func (n *Node) SubscribeLog(after int64, fn func(seq int64, record []byte)) (fun
 // Store returns the node's primary store.
 func (n *Node) Store() LocalStore { return n.store }
 
+// MetricsSnapshot implements server.StatsProvider: the local store's
+// snapshot (when it can produce one — funcdb.Store can; test stubs need
+// not) extended with this node's routing section and one row per peer.
+// A peer row's ReplicaApplied is the newest primary sequence mirrored
+// locally; the peer's own Version minus it is the replication lag, which
+// is how fdbload and fdbrepl report lag — from snapshots of both ends.
+func (n *Node) MetricsSnapshot() metrics.Snapshot {
+	var snap metrics.Snapshot
+	if sp, ok := n.store.(interface{ MetricsSnapshot() metrics.Snapshot }); ok {
+		snap = sp.MetricsSnapshot()
+	} else {
+		snap.Lanes = n.store.Lanes()
+		snap.Durable = n.store.Durable()
+	}
+	snap.Origin = n.origin
+	cs := n.m.Snapshot()
+	snap.Cluster = &cs
+	for i := range n.addrs {
+		if i == n.id {
+			continue
+		}
+		ps := metrics.PeerSnapshot{Peer: i, Addr: n.addrs[i], ReplicaApplied: -1}
+		if p := n.peers[i]; p != nil {
+			ps.ForwardFrames = p.frames.Load()
+			ps.Dials = p.dials.Load()
+		}
+		if n.mirrors != nil && n.mirrors[i] != nil {
+			m := n.mirrors[i]
+			ps.ReplicaApplied = m.version()
+			ps.ReplicaRecords = m.records.Load()
+			ps.ReplicaConnects = m.connects.Load()
+		}
+		snap.Peers = append(snap.Peers, ps)
+	}
+	return snap
+}
+
 // SubmitTagged implements session.Submitter: the routing point. The
 // batch is split into maximal consecutive runs by owning node; local
 // runs are admitted into the store in one arbitration, remote runs ship
@@ -274,6 +314,7 @@ func (n *Node) SubmitTagged(txs []core.Transaction) []*session.Future {
 		case owner == n.id:
 			copy(out[i:j], n.store.SubmitTagged(run))
 		default:
+			n.m.Forwarded(len(run))
 			copy(out[i:j], n.peers[owner].forwardTagged(run))
 		}
 		i = j

@@ -9,6 +9,7 @@ import (
 
 	"funcdb/internal/core"
 	"funcdb/internal/lenient"
+	"funcdb/internal/metrics"
 	"funcdb/internal/session"
 	"funcdb/internal/wire"
 )
@@ -20,6 +21,9 @@ import (
 type peer struct {
 	origin string // this node's tag, for the peer handshake
 	addr   string
+	cm     *metrics.Cluster // node-wide routing counters (may be nil)
+	frames metrics.Counter  // Forward frames sent to this peer
+	dials  metrics.Counter  // (re)connects of the forwarding link
 
 	mu     sync.Mutex
 	pc     *peerConn // the live connection, nil between failures
@@ -48,8 +52,8 @@ type fwdCall struct {
 	redirect string // remote FrameRedirect: placement disagreement
 }
 
-func newPeer(origin, addr string) *peer {
-	return &peer{origin: origin, addr: addr}
+func newPeer(origin, addr string, cm *metrics.Cluster) *peer {
+	return &peer{origin: origin, addr: addr, cm: cm}
 }
 
 // ensureLocked dials and handshakes if the connection is down, returning
@@ -87,6 +91,7 @@ func (p *peer) ensureLocked() (*peerConn, error) {
 	}
 	pc := &peerConn{conn: conn, bw: bw, pending: make(map[uint64]*fwdCall)}
 	p.pc = pc
+	p.dials.Inc()
 	go p.readLoop(pc, br)
 	return pc, nil
 }
@@ -130,6 +135,7 @@ func (p *peer) readLoop(pc *peerConn, br *bufio.Reader) {
 				fatal = derr
 			} else if call = p.take(pc, rid); call != nil {
 				call.redirect = addr
+				p.cm.Redirected()
 			}
 		default:
 			fatal = fmt.Errorf("cluster: unexpected frame %#x from %s", typ, p.addr)
@@ -247,6 +253,7 @@ func (p *peer) sendForward(call *fwdCall, flags byte, stmts []wire.ForwardStmt) 
 		err = pc.bw.Flush()
 	}
 	if err == nil {
+		p.frames.Inc()
 		p.mu.Unlock()
 		return nil
 	}

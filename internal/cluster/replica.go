@@ -10,6 +10,7 @@ import (
 	"funcdb/internal/core"
 	"funcdb/internal/database"
 	"funcdb/internal/eval"
+	"funcdb/internal/metrics"
 	"funcdb/internal/relation"
 	"funcdb/internal/session"
 	"funcdb/internal/trace"
@@ -24,8 +25,10 @@ import (
 // a read planned against the mirror carries the precise primary version
 // it reflects: the client's staleness bound.
 type mirror struct {
-	peer int
-	eng  *core.Engine
+	peer     int
+	eng      *core.Engine
+	records  metrics.Counter // log records applied to this mirror
+	connects metrics.Counter // subscription (re)connects to the peer
 }
 
 func newMirror(peerIdx int, ownedRels []string) *mirror {
@@ -47,20 +50,27 @@ func (m *mirror) apply(seq int64, tx core.Transaction) error {
 		return fmt.Errorf("cluster: replication gap from node %d: record %d after %d", m.peer, seq, have)
 	}
 	m.eng.Submit(tx).Force()
+	m.records.Inc()
 	return nil
 }
 
 // ReplicaRead implements server.ReplicaReader: serve a read-only
-// transaction from the local mirror of its owner's relations, stamping
-// Response.Version with the mirror's version at plan time. ok=false when
-// replication is off or the relation is owned locally (the primary
-// serves it as an ordinary read).
+// transaction version-stamped from the freshest local copy. A relation
+// owned elsewhere reads from its log-shipped mirror, stamped with the
+// mirror's applied version; a relation owned HERE reads from the primary
+// store itself, stamped with the store's version at plan time — zero
+// staleness, but the same contract, so a client's ExecReplica reports a
+// meaningful Version whichever node it happens to dial. ok=false when no
+// local copy can serve the read (replication off and owned elsewhere).
 func (n *Node) ReplicaRead(tx core.Transaction) (*session.Future, bool) {
-	if n.mirrors == nil || !tx.IsReadOnly() || tx.Kind == core.KindCustom {
+	if !tx.IsReadOnly() || tx.Kind == core.KindCustom {
 		return nil, false
 	}
 	owner := OwnerIndex(tx.Rel, len(n.addrs))
-	if owner == n.id || n.mirrors[owner] == nil {
+	if owner == n.id {
+		return n.store.SubmitTagged([]core.Transaction{stampedRead(tx)})[0], true
+	}
+	if n.mirrors == nil || n.mirrors[owner] == nil {
 		return nil, false
 	}
 	return n.mirrors[owner].eng.Submit(stampedRead(tx)), true
@@ -165,6 +175,7 @@ func (n *Node) streamFrom(peerIdx int, m *mirror) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
+	m.connects.Inc()
 	for {
 		typ, payload, err := wire.ReadFrame(br)
 		if err != nil {

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"funcdb/internal/database"
 	"funcdb/internal/eval"
 	"funcdb/internal/lenient"
+	"funcdb/internal/metrics"
 	"funcdb/internal/relation"
 	"funcdb/internal/trace"
 	"funcdb/internal/value"
@@ -56,6 +58,13 @@ type Engine struct {
 	stats *eval.Stats
 	wg    sync.WaitGroup
 
+	// metrics, when non-nil, observes the admission path: commit latency,
+	// CAS retries, cross-lane acquisitions, batch run lengths, per-lane
+	// commits. Nil costs one pointer comparison per submission — the
+	// recording helpers are nil-receiver-safe, and the clock reads are
+	// guarded here so an uninstrumented engine never touches time.Now.
+	metrics *metrics.Engine
+
 	// serializedReads routes read-only transactions through the merge
 	// mutex (the pre-pipeline behavior): a baseline for benchmarks and a
 	// diagnostic escape hatch.
@@ -81,6 +90,11 @@ func WithStats(s *eval.Stats) EngineOption {
 	return func(e *Engine) { e.stats = s }
 }
 
+// WithEngineMetrics records admission metrics into m.
+func WithEngineMetrics(m *metrics.Engine) EngineOption {
+	return func(e *Engine) { e.metrics = m }
+}
+
 // WithSerializedReads disables the lock-free read fast path: read-only
 // transactions take the merge mutex like writes. This is the baseline the
 // fast path is measured against; there is no correctness reason to use it.
@@ -95,6 +109,7 @@ func NewEngine(initial *database.Database, opts ...EngineOption) *Engine {
 		opt(e)
 	}
 	e.initLanes()
+	e.metrics.SizeLanes(e.nlanes)
 	names := initial.RelationNames()
 	cells := make([]*lenient.Cell[relation.Relation], len(names))
 	for i, name := range names {
@@ -142,12 +157,24 @@ func (e *Engine) Plan(tx Transaction) Plan {
 // disjoint lanes admit concurrently.
 func (e *Engine) Submit(tx Transaction) *lenient.Cell[Response] {
 	if !e.serializedReads && tx.IsReadOnly() {
+		e.metrics.Read()
 		return e.launchRead(planAgainst(e.snap.Load(), tx))
 	}
 	ls := e.laneSetOf(tx)
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+		if len(ls) > 1 {
+			e.metrics.CrossLaneAcq()
+		}
+	}
 	e.lockLanes(ls)
-	defer e.unlockLanes(ls)
-	return e.admitLocked(planAgainst(e.snap.Load(), tx))
+	out := e.admitLocked(planAgainst(e.snap.Load(), tx))
+	e.unlockLanes(ls)
+	if e.metrics != nil {
+		e.metrics.Admit(ls, 1, time.Since(start))
+	}
+	return out
 }
 
 // SubmitBatch admits a slice of transactions and returns their response
@@ -168,11 +195,22 @@ func (e *Engine) SubmitBatch(txs []Transaction) []*lenient.Cell[Response] {
 		for j < len(txs) && sets[j].subsetOf(ls) {
 			j++
 		}
+		var start time.Time
+		if e.metrics != nil {
+			start = time.Now()
+			if len(ls) > 1 {
+				e.metrics.CrossLaneAcq()
+			}
+		}
 		e.lockLanes(ls)
 		for k := i; k < j; k++ {
 			out[k] = e.admitLocked(planAgainst(e.snap.Load(), txs[k]))
 		}
 		e.unlockLanes(ls)
+		if e.metrics != nil {
+			e.metrics.Run(j - i)
+			e.metrics.Admit(ls, j-i, time.Since(start))
+		}
 		i = j
 	}
 	return out
@@ -266,6 +304,7 @@ func (e *Engine) publish(build func(cur *snapshot) *snapshot) *snapshot {
 		if e.snap.CompareAndSwap(cur, ns) {
 			return ns
 		}
+		e.metrics.CASRetry()
 	}
 }
 

@@ -1,0 +1,462 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Engine instruments the sharded admission lanes (internal/core): the
+// hot path of the whole system. All methods are nil-receiver-safe so an
+// uninstrumented engine pays one pointer comparison per commit.
+type Engine struct {
+	Reads         Counter   // fast-path read-only submissions
+	Admitted      Counter   // committed write transactions
+	CASRetries    Counter   // snapshot publications that lost the CAS race
+	CrossLane     Counter   // admissions that locked more than one lane
+	CommitLatency Histogram // lock-acquire → snapshot-published, ns
+	BatchRuns     Histogram // same-lane-set run lengths from SubmitBatch
+	LaneCommits   []Counter // per-lane committed transaction counts
+}
+
+// SizeLanes allocates the per-lane counters for n lanes.
+func (e *Engine) SizeLanes(n int) {
+	if e != nil {
+		e.LaneCommits = make([]Counter, n)
+	}
+}
+
+// Read records a fast-path read-only submission.
+func (e *Engine) Read() {
+	if e != nil {
+		e.Reads.Inc()
+	}
+}
+
+// Admit records n transactions committed under the lane set ls, with the
+// lock-to-publish latency d.
+func (e *Engine) Admit(ls []int, n int, d time.Duration) {
+	if e == nil {
+		return
+	}
+	e.Admitted.Add(int64(n))
+	e.CommitLatency.Observe(d.Nanoseconds())
+	for _, lane := range ls {
+		if lane >= 0 && lane < len(e.LaneCommits) {
+			e.LaneCommits[lane].Add(int64(n))
+		}
+	}
+}
+
+// CASRetry records one lost snapshot-publication race.
+func (e *Engine) CASRetry() {
+	if e != nil {
+		e.CASRetries.Inc()
+	}
+}
+
+// CrossLaneAcq records an admission whose lane set spans >1 lane.
+func (e *Engine) CrossLaneAcq() {
+	if e != nil {
+		e.CrossLane.Inc()
+	}
+}
+
+// Run records the length of one same-lane-set run split out of a batch.
+func (e *Engine) Run(n int) {
+	if e != nil {
+		e.BatchRuns.Observe(int64(n))
+	}
+}
+
+// EngineSnapshot is the engine section of a Snapshot.
+type EngineSnapshot struct {
+	Reads         int64             `json:"reads"`
+	Admitted      int64             `json:"admitted"`
+	CASRetries    int64             `json:"cas_retries"`
+	CrossLane     int64             `json:"cross_lane"`
+	CommitLatency HistogramSnapshot `json:"commit_latency_ns"`
+	BatchRuns     HistogramSnapshot `json:"batch_runs"`
+	LaneCommits   []int64           `json:"lane_commits,omitempty"`
+}
+
+// Snapshot copies the engine metrics. Safe on nil (returns zeros).
+func (e *Engine) Snapshot() EngineSnapshot {
+	var s EngineSnapshot
+	if e == nil {
+		return s
+	}
+	s.Reads = e.Reads.Load()
+	s.Admitted = e.Admitted.Load()
+	s.CASRetries = e.CASRetries.Load()
+	s.CrossLane = e.CrossLane.Load()
+	s.CommitLatency = e.CommitLatency.Snapshot()
+	s.BatchRuns = e.BatchRuns.Snapshot()
+	if len(e.LaneCommits) > 0 {
+		s.LaneCommits = make([]int64, len(e.LaneCommits))
+		for i := range e.LaneCommits {
+			s.LaneCommits[i] = e.LaneCommits[i].Load()
+		}
+	}
+	return s
+}
+
+// Archive instruments the durability layer (internal/archive): group
+// commit and recovery.
+type Archive struct {
+	Appends      Counter   // transactions appended to the log
+	Bytes        Counter   // bytes written to the log (records + snapshots)
+	Flushes      Counter   // group-commit window flushes
+	Snapshots    Counter   // durable snapshots written
+	FlushRecords Histogram // records per group-commit window (occupancy)
+	FsyncLatency Histogram // fsync duration, ns
+	RecoveryNS   Gauge     // duration of the last Open() replay, ns
+}
+
+// Appended records one log append of n payload bytes (non-grouped path).
+func (a *Archive) Appended(bytes int) {
+	if a == nil {
+		return
+	}
+	a.Appends.Inc()
+	a.Bytes.Add(int64(bytes))
+}
+
+// Buffered records one transaction entering the group-commit window.
+func (a *Archive) Buffered() {
+	if a != nil {
+		a.Appends.Inc()
+	}
+}
+
+// Flushed records one group-commit window flush of recs records and n bytes.
+func (a *Archive) Flushed(recs, bytes int) {
+	if a == nil {
+		return
+	}
+	a.Flushes.Inc()
+	a.FlushRecords.Observe(int64(recs))
+	a.Bytes.Add(int64(bytes))
+}
+
+// Fsync records one fsync of duration d.
+func (a *Archive) Fsync(d time.Duration) {
+	if a != nil {
+		a.FsyncLatency.Observe(d.Nanoseconds())
+	}
+}
+
+// SnapshotWritten records one durable snapshot of n bytes.
+func (a *Archive) SnapshotWritten(bytes int) {
+	if a == nil {
+		return
+	}
+	a.Snapshots.Inc()
+	a.Bytes.Add(int64(bytes))
+}
+
+// Recovered records the duration of a completed Open() replay.
+func (a *Archive) Recovered(d time.Duration) {
+	if a != nil {
+		a.RecoveryNS.Set(d.Nanoseconds())
+	}
+}
+
+// ArchiveSnapshot is the archive section of a Snapshot.
+type ArchiveSnapshot struct {
+	Appends      int64             `json:"appends"`
+	Bytes        int64             `json:"bytes"`
+	Flushes      int64             `json:"flushes"`
+	Snapshots    int64             `json:"snapshots"`
+	FlushRecords HistogramSnapshot `json:"flush_records"`
+	FsyncLatency HistogramSnapshot `json:"fsync_latency_ns"`
+	RecoveryNS   int64             `json:"recovery_ns"`
+}
+
+// Snapshot copies the archive metrics. Safe on nil.
+func (a *Archive) Snapshot() ArchiveSnapshot {
+	var s ArchiveSnapshot
+	if a == nil {
+		return s
+	}
+	s.Appends = a.Appends.Load()
+	s.Bytes = a.Bytes.Load()
+	s.Flushes = a.Flushes.Load()
+	s.Snapshots = a.Snapshots.Load()
+	s.FlushRecords = a.FlushRecords.Snapshot()
+	s.FsyncLatency = a.FsyncLatency.Snapshot()
+	s.RecoveryNS = a.RecoveryNS.Load()
+	return s
+}
+
+// Session instruments the statement batcher (internal/session).
+type Session struct {
+	Statements Counter   // statements submitted through sessions
+	Flushes    Counter   // adaptive-batch flushes
+	FlushDepth Histogram // statements per flush (pipeline depth seen)
+}
+
+// Flush records one batch flush of n statements.
+func (s *Session) Flush(n int) {
+	if s == nil {
+		return
+	}
+	s.Statements.Add(int64(n))
+	s.Flushes.Inc()
+	s.FlushDepth.Observe(int64(n))
+}
+
+// SessionSnapshot is the session section of a Snapshot.
+type SessionSnapshot struct {
+	Statements int64             `json:"statements"`
+	Flushes    int64             `json:"flushes"`
+	FlushDepth HistogramSnapshot `json:"flush_depth"`
+}
+
+// Snapshot copies the session metrics. Safe on nil.
+func (s *Session) Snapshot() SessionSnapshot {
+	var out SessionSnapshot
+	if s == nil {
+		return out
+	}
+	out.Statements = s.Statements.Load()
+	out.Flushes = s.Flushes.Load()
+	out.FlushDepth = s.FlushDepth.Snapshot()
+	return out
+}
+
+// Server instruments the wire front-end (internal/server): connections,
+// per-frame-type request counts, and response latency by frame type
+// (admission → response bytes handed to the writer).
+type Server struct {
+	ConnsTotal     Counter // connections accepted over the server's life
+	Conns          Gauge   // connections open now
+	Execs          Counter
+	Batches        Counter
+	Forwards       Counter
+	Subscribes     Counter
+	StatsReqs      Counter
+	ReqPerConn     Histogram // requests served per connection, at close
+	LatencyExec    Histogram // FrameExec response latency, ns
+	LatencyBatch   Histogram // FrameBatch response latency, ns
+	LatencyForward Histogram // FrameForward response latency, ns
+}
+
+// ServerSnapshot is the server section of a Snapshot.
+type ServerSnapshot struct {
+	ConnsTotal     int64             `json:"conns_total"`
+	Conns          int64             `json:"conns"`
+	Execs          int64             `json:"execs"`
+	Batches        int64             `json:"batches"`
+	Forwards       int64             `json:"forwards"`
+	Subscribes     int64             `json:"subscribes"`
+	StatsReqs      int64             `json:"stats_reqs"`
+	ReqPerConn     HistogramSnapshot `json:"req_per_conn"`
+	LatencyExec    HistogramSnapshot `json:"latency_exec_ns"`
+	LatencyBatch   HistogramSnapshot `json:"latency_batch_ns"`
+	LatencyForward HistogramSnapshot `json:"latency_forward_ns"`
+}
+
+// Snapshot copies the server metrics. Safe on nil.
+func (m *Server) Snapshot() ServerSnapshot {
+	var s ServerSnapshot
+	if m == nil {
+		return s
+	}
+	s.ConnsTotal = m.ConnsTotal.Load()
+	s.Conns = m.Conns.Load()
+	s.Execs = m.Execs.Load()
+	s.Batches = m.Batches.Load()
+	s.Forwards = m.Forwards.Load()
+	s.Subscribes = m.Subscribes.Load()
+	s.StatsReqs = m.StatsReqs.Load()
+	s.ReqPerConn = m.ReqPerConn.Snapshot()
+	s.LatencyExec = m.LatencyExec.Snapshot()
+	s.LatencyBatch = m.LatencyBatch.Snapshot()
+	s.LatencyForward = m.LatencyForward.Snapshot()
+	return s
+}
+
+// Cluster instruments a cluster node's routing layer (internal/cluster).
+type Cluster struct {
+	Forwards     Counter // forward calls sent to peers
+	ForwardStmts Counter // statements carried by those forwards
+	Redirects    Counter // redirects received from peers
+}
+
+// Forwarded records one forward call carrying n statements.
+func (c *Cluster) Forwarded(n int) {
+	if c == nil {
+		return
+	}
+	c.Forwards.Inc()
+	c.ForwardStmts.Add(int64(n))
+}
+
+// Redirected records one redirect received.
+func (c *Cluster) Redirected() {
+	if c != nil {
+		c.Redirects.Inc()
+	}
+}
+
+// ClusterSnapshot is the cluster section of a Snapshot.
+type ClusterSnapshot struct {
+	Forwards     int64 `json:"forwards"`
+	ForwardStmts int64 `json:"forward_stmts"`
+	Redirects    int64 `json:"redirects"`
+}
+
+// Snapshot copies the cluster metrics. Safe on nil.
+func (c *Cluster) Snapshot() ClusterSnapshot {
+	var s ClusterSnapshot
+	if c == nil {
+		return s
+	}
+	s.Forwards = c.Forwards.Load()
+	s.ForwardStmts = c.ForwardStmts.Load()
+	s.Redirects = c.Redirects.Load()
+	return s
+}
+
+// PeerSnapshot describes one remote peer as seen from this node: outbound
+// forwarding and the inbound replication stream mirrored from it.
+type PeerSnapshot struct {
+	Peer int    `json:"peer"`
+	Addr string `json:"addr"`
+	// ForwardFrames counts forward frames sent to this peer; Dials counts
+	// (re)connects of the forwarding connection.
+	ForwardFrames int64 `json:"forward_frames"`
+	Dials         int64 `json:"dials"`
+	// ReplicaApplied is the last primary sequence applied to the local
+	// mirror of this peer; primary seq − ReplicaApplied is the replication
+	// lag. ReplicaRecords counts log records applied; ReplicaConnects
+	// counts subscription (re)connects.
+	ReplicaApplied  int64 `json:"replica_applied"`
+	ReplicaRecords  int64 `json:"replica_records"`
+	ReplicaConnects int64 `json:"replica_connects"`
+}
+
+// SharingSnapshot is the structure-sharing evidence from the functional
+// representation (eval.Stats): the paper's Section 3 argument in numbers.
+type SharingSnapshot struct {
+	NodesCreated int64 `json:"nodes_created"`
+	NodesShared  int64 `json:"nodes_shared"`
+	NodesVisited int64 `json:"nodes_visited"`
+}
+
+// Snapshot is one node's full metrics state: every instrumented layer,
+// plain data, JSON-encodable. Sections a node does not run (archive on a
+// memory-only store, cluster on a single node) are nil pointers and omit
+// themselves from JSON.
+type Snapshot struct {
+	Origin  string `json:"origin,omitempty"`
+	Version int64  `json:"version"`
+	Lanes   int    `json:"lanes"`
+	Durable bool   `json:"durable"`
+
+	Engine  EngineSnapshot  `json:"engine"`
+	Session SessionSnapshot `json:"session"`
+	Sharing SharingSnapshot `json:"sharing"`
+
+	Archive *ArchiveSnapshot `json:"archive,omitempty"`
+	Server  *ServerSnapshot  `json:"server,omitempty"`
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+	Peers   []PeerSnapshot   `json:"peers,omitempty"`
+}
+
+// fmtDur renders a nanosecond metric as a rounded duration.
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond / 10).String()
+}
+
+// fmtLatency renders a latency histogram's headline numbers.
+func fmtLatency(h HistogramSnapshot) string {
+	return fmt.Sprintf("n=%d p50=%s p99=%s p999=%s mean=%s",
+		h.Count, fmtDur(h.P50), fmtDur(h.P99), fmtDur(h.P999), fmtDur(int64(h.Mean())))
+}
+
+// fmtSizes renders a size/count histogram's headline numbers.
+func fmtSizes(h HistogramSnapshot) string {
+	return fmt.Sprintf("n=%d p50=%d p99=%d max≤%d mean=%.1f",
+		h.Count, h.P50, h.P99, upperBound(h), h.Mean())
+}
+
+func upperBound(h HistogramSnapshot) int64 {
+	_, hi := bucketBounds(len(h.Buckets) - 1)
+	return hi
+}
+
+// Format renders the snapshot as the human-readable report fdbrepl's
+// .stats prints.
+func (s Snapshot) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "origin=%s version=%d lanes=%d durable=%v\n", s.Origin, s.Version, s.Lanes, s.Durable)
+	fmt.Fprintf(&b, "engine: reads=%d admitted=%d cas_retries=%d cross_lane=%d\n",
+		s.Engine.Reads, s.Engine.Admitted, s.Engine.CASRetries, s.Engine.CrossLane)
+	fmt.Fprintf(&b, "  commit latency: %s\n", fmtLatency(s.Engine.CommitLatency))
+	if s.Engine.BatchRuns.Count > 0 {
+		fmt.Fprintf(&b, "  batch runs:     %s\n", fmtSizes(s.Engine.BatchRuns))
+	}
+	if n := len(s.Engine.LaneCommits); n > 0 {
+		// Lanes sorted by traffic, busiest first, capped to keep the
+		// report one screen at 64 lanes.
+		type laneCount struct {
+			lane    int
+			commits int64
+		}
+		lanes := make([]laneCount, 0, n)
+		for i, c := range s.Engine.LaneCommits {
+			if c > 0 {
+				lanes = append(lanes, laneCount{i, c})
+			}
+		}
+		sort.Slice(lanes, func(i, j int) bool { return lanes[i].commits > lanes[j].commits })
+		fmt.Fprintf(&b, "  lanes active:   %d/%d", len(lanes), n)
+		for i, lc := range lanes {
+			if i == 8 {
+				fmt.Fprintf(&b, " …")
+				break
+			}
+			fmt.Fprintf(&b, " L%d:%d", lc.lane, lc.commits)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "session: statements=%d flushes=%d  depth: %s\n",
+		s.Session.Statements, s.Session.Flushes, fmtSizes(s.Session.FlushDepth))
+	fmt.Fprintf(&b, "sharing: created=%d shared=%d visited=%d\n",
+		s.Sharing.NodesCreated, s.Sharing.NodesShared, s.Sharing.NodesVisited)
+	if a := s.Archive; a != nil {
+		fmt.Fprintf(&b, "archive: appends=%d bytes=%d flushes=%d snapshots=%d recovery=%s\n",
+			a.Appends, a.Bytes, a.Flushes, a.Snapshots, fmtDur(a.RecoveryNS))
+		if a.FsyncLatency.Count > 0 {
+			fmt.Fprintf(&b, "  fsync latency:  %s\n", fmtLatency(a.FsyncLatency))
+		}
+		if a.FlushRecords.Count > 0 {
+			fmt.Fprintf(&b, "  window records: %s\n", fmtSizes(a.FlushRecords))
+		}
+	}
+	if sv := s.Server; sv != nil {
+		fmt.Fprintf(&b, "server: conns=%d/%d execs=%d batches=%d forwards=%d subs=%d stats=%d\n",
+			sv.Conns, sv.ConnsTotal, sv.Execs, sv.Batches, sv.Forwards, sv.Subscribes, sv.StatsReqs)
+		if sv.LatencyExec.Count > 0 {
+			fmt.Fprintf(&b, "  exec latency:    %s\n", fmtLatency(sv.LatencyExec))
+		}
+		if sv.LatencyBatch.Count > 0 {
+			fmt.Fprintf(&b, "  batch latency:   %s\n", fmtLatency(sv.LatencyBatch))
+		}
+		if sv.LatencyForward.Count > 0 {
+			fmt.Fprintf(&b, "  forward latency: %s\n", fmtLatency(sv.LatencyForward))
+		}
+	}
+	if c := s.Cluster; c != nil {
+		fmt.Fprintf(&b, "cluster: forwards=%d fwd_stmts=%d redirects=%d\n",
+			c.Forwards, c.ForwardStmts, c.Redirects)
+	}
+	for _, p := range s.Peers {
+		fmt.Fprintf(&b, "  peer %d %s: fwd_frames=%d dials=%d replica_applied=%d records=%d connects=%d\n",
+			p.Peer, p.Addr, p.ForwardFrames, p.Dials, p.ReplicaApplied, p.ReplicaRecords, p.ReplicaConnects)
+	}
+	return b.String()
+}

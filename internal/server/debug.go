@@ -1,0 +1,42 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the --debug-addr HTTP handler: the metrics snapshot
+// as JSON plus the standard pprof endpoints, on a private mux (never
+// http.DefaultServeMux — a library must not mutate global state).
+//
+//	/debug/stats  — snapshot() marshaled with indentation
+//	/debug/vars   — the same document, expvar-style (flat, compact)
+//	/debug/pprof/ — net/http/pprof's index, profile, trace, …
+//
+// snapshot is called per request; it should return a metrics.Snapshot
+// (or any JSON-encodable aggregate — fdbserver composes one document
+// across its hosted databases).
+func NewDebugMux(snapshot func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	serve := func(indent bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			if indent {
+				enc.SetIndent("", "  ")
+			}
+			if err := enc.Encode(snapshot()); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		}
+	}
+	mux.HandleFunc("/debug/stats", serve(true))
+	mux.HandleFunc("/debug/vars", serve(false))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -36,6 +36,7 @@ package server
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -44,6 +45,7 @@ import (
 	"time"
 
 	"funcdb/internal/core"
+	"funcdb/internal/metrics"
 	"funcdb/internal/session"
 	"funcdb/internal/wire"
 )
@@ -89,6 +91,13 @@ type LogSource interface {
 	SubscribeLog(after int64, fn func(seq int64, record []byte)) (cancel func(), err error)
 }
 
+// StatsProvider is implemented by hosts that can report their metrics
+// snapshot (funcdb.Store, a cluster node). A Stats frame on a host
+// without it still answers — with the server's own section only.
+type StatsProvider interface {
+	MetricsSnapshot() metrics.Snapshot
+}
+
 // Server serves the wire protocol over one or more hosts.
 type Server struct {
 	hosts map[string]Host
@@ -99,6 +108,11 @@ type Server struct {
 	wg       sync.WaitGroup // one per live connection handler
 	draining atomic.Bool
 	nconn    atomic.Int64
+
+	// m is always allocated: the wire front end is instrumented
+	// unconditionally, because every cost here is already dwarfed by a
+	// network round trip. Hot-path opt-outs live below (engine, archive).
+	m *metrics.Server
 }
 
 // New wraps a single store in a server, hosted under the default
@@ -116,8 +130,12 @@ func NewMulti(hosts map[string]Host) *Server {
 	for name, h := range hosts {
 		hs[name] = h
 	}
-	return &Server{hosts: hs, conns: make(map[net.Conn]struct{})}
+	return &Server{hosts: hs, conns: make(map[net.Conn]struct{}), m: &metrics.Server{}}
 }
+
+// Metrics returns the server's own instrumentation, for aggregation into
+// a host-level snapshot.
+func (s *Server) Metrics() *metrics.Server { return s.m }
 
 // Listen binds the listener. addr is a TCP address; ":0" picks a free
 // port (Addr reports it).
@@ -216,6 +234,9 @@ type reply struct {
 	index    int               // failing statement index (batches), else -1
 	redirect string            // FrameRedirect: the owning node's address
 	rel      string            // FrameRedirect: the relation being placed
+	stats    []byte            // FrameStatsResponse: the snapshot document
+	reqType  byte              // request frame type, keys the latency histogram
+	start    time.Time         // request read off the socket (latency epoch)
 }
 
 // handle drives one connection: handshake, then a read loop that queues
@@ -268,6 +289,14 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	s.m.ConnsTotal.Inc()
+	s.m.Conns.Add(1)
+	var nreq int64
+	defer func() {
+		s.m.Conns.Add(-1)
+		s.m.ReqPerConn.Observe(nreq)
+	}()
+
 	sess := host.Session(origin)
 	var pending []reply
 
@@ -298,6 +327,9 @@ func (s *Server) handle(conn net.Conn) {
 			case rp.redirect != "":
 				frame = wire.FrameRedirect
 				payload = wire.AppendRedirect(nil, rp.id, rp.redirect, rp.rel)
+			case rp.stats != nil:
+				frame = wire.FrameStatsResponse
+				payload = wire.AppendStatsResponse(nil, rp.id, rp.stats)
 			case rp.futs != nil:
 				resps := make([]core.Response, len(rp.futs))
 				for i, f := range rp.futs {
@@ -316,6 +348,17 @@ func (s *Server) handle(conn net.Conn) {
 			if err := wire.WriteFrame(bw, frame, payload); err != nil {
 				return false
 			}
+			// Response latency by request frame type, socket-read to
+			// response-written: what the client experiences minus the
+			// network, queue wait under adaptive batching included.
+			switch rp.reqType {
+			case wire.FrameExec:
+				s.m.LatencyExec.Since(rp.start)
+			case wire.FrameBatch:
+				s.m.LatencyBatch.Since(rp.start)
+			case wire.FrameForward:
+				s.m.LatencyForward.Since(rp.start)
+			}
 		}
 		pending = pending[:0]
 		return bw.Flush() == nil
@@ -330,6 +373,8 @@ func (s *Server) handle(conn net.Conn) {
 			flush()
 			return
 		}
+		nreq++
+		start := time.Now()
 		switch typ {
 		case wire.FrameExec:
 			id, q, derr := wire.DecodeExec(payload)
@@ -337,8 +382,9 @@ func (s *Server) handle(conn net.Conn) {
 				flush()
 				return
 			}
+			s.m.Execs.Inc()
 			fut, qerr := sess.Queue(q)
-			pending = append(pending, reply{id: id, fut: fut, qerr: qerr, index: -1})
+			pending = append(pending, reply{id: id, fut: fut, qerr: qerr, index: -1, reqType: typ, start: start})
 
 		case wire.FrameBatch:
 			id, qs, derr := wire.DecodeBatch(payload)
@@ -346,9 +392,10 @@ func (s *Server) handle(conn net.Conn) {
 				flush()
 				return
 			}
+			s.m.Batches.Inc()
 			// All-or-nothing: translate the whole batch before queueing
 			// anything, so a failure admits none of it.
-			rp := reply{id: id, index: -1}
+			rp := reply{id: id, index: -1, reqType: typ, start: start}
 			txs := make([]core.Transaction, len(qs))
 			for i, q := range qs {
 				tx, terr := sess.Translate(q)
@@ -374,13 +421,26 @@ func (s *Server) handle(conn net.Conn) {
 				flush()
 				return
 			}
-			pending = append(pending, s.handleForward(host, sess, id, flags, stmts))
+			s.m.Forwards.Inc()
+			rp := s.handleForward(host, sess, id, flags, stmts)
+			rp.reqType, rp.start = typ, start
+			pending = append(pending, rp)
+
+		case wire.FrameStats:
+			id, derr := wire.DecodeStats(payload)
+			if derr != nil {
+				flush()
+				return
+			}
+			s.m.StatsReqs.Inc()
+			pending = append(pending, reply{id: id, stats: s.statsJSON(host), reqType: typ, start: start})
 
 		case wire.FrameSubscribe:
 			after, derr := wire.DecodeSubscribe(payload)
 			if derr != nil || !flush() {
 				return
 			}
+			s.m.Subscribes.Inc()
 			s.streamLog(conn, br, bw, host, after)
 			return
 
@@ -406,13 +466,36 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// statsJSON builds the FrameStatsResponse document: the host's full
+// snapshot when it can report one, with the server's own section stamped
+// in either way. Always non-nil — a Stats request is never unanswerable.
+func (s *Server) statsJSON(host Host) []byte {
+	var snap metrics.Snapshot
+	if sp, ok := host.(StatsProvider); ok {
+		snap = sp.MetricsSnapshot()
+	} else {
+		snap.Lanes = host.Lanes()
+		snap.Durable = host.Durable()
+	}
+	srv := s.m.Snapshot()
+	snap.Server = &srv
+	doc, err := json.Marshal(snap)
+	if err != nil {
+		return []byte("{}")
+	}
+	return doc
+}
+
 // handleForward queues one FrameForward: pre-tagged statements executed
-// without retagging. Ownership is checked against the host's placement
-// (when it has one): a frame for a relation owned elsewhere is answered
-// with a Redirect when the sender asked not to chain, or — for read-only
-// statements with FwdReadLocal — served from the local replica, stamped
-// with its version. All statements of one frame must route the same way:
-// senders group by owner, so a mixed frame is a protocol error.
+// without retagging. Read-only statements with FwdReadLocal are served
+// from the host's replica layer first, whoever owns them: a non-owner
+// answers from its log-shipped mirror, the owner from its own store —
+// both stamp Response.Version, so the client always learns its staleness
+// bound (zero at the owner). Otherwise ownership is checked against the
+// host's placement (when it has one): a frame for a relation owned
+// elsewhere is answered with a Redirect when the sender asked not to
+// chain. All statements of one frame must route the same way: senders
+// group by owner, so a mixed frame is a protocol error.
 func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flags byte, stmts []wire.ForwardStmt) reply {
 	rp := reply{id: id, index: -1}
 	if len(stmts) == 0 {
@@ -449,17 +532,18 @@ func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flag
 		}
 	}
 
-	if remoteAddr != "" {
-		if flags&wire.FwdReadLocal != 0 && allReadOnly(txs) {
-			if rr, ok := host.(ReplicaReader); ok {
-				if futs, served := replicaReads(rr, txs); served {
-					return finishForward(rp, futs)
-				}
-				// No replica covers the relation (replication disabled or
-				// still bootstrapping): fall back to redirect/forward, so
-				// the owner serves a fresh read instead.
+	if flags&wire.FwdReadLocal != 0 && allReadOnly(txs) {
+		if rr, ok := host.(ReplicaReader); ok {
+			if futs, served := replicaReads(rr, txs); served {
+				return finishForward(rp, futs)
 			}
+			// No replica covers the relation (replication disabled or
+			// still bootstrapping): fall back to redirect/forward, so
+			// the owner serves a fresh read instead.
 		}
+	}
+
+	if remoteAddr != "" {
 		if flags&wire.FwdNoForward != 0 {
 			rp.redirect, rp.rel = remoteAddr, txs[0].Rel
 			return rp

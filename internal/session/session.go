@@ -29,6 +29,7 @@ import (
 
 	"funcdb/internal/core"
 	"funcdb/internal/lenient"
+	"funcdb/internal/metrics"
 	"funcdb/internal/query"
 )
 
@@ -78,6 +79,14 @@ func WithSeqs(next func(n int) int) Option {
 	return func(s *Session) { s.nextSeqs = next }
 }
 
+// WithMetrics records flush metrics into m — statement counts and the
+// per-flush pipeline depth. Nil (the default) records nothing. Sessions
+// over one store conventionally share one *metrics.Session, so the depth
+// histogram describes the store's whole admission feed.
+func WithMetrics(m *metrics.Session) Option {
+	return func(s *Session) { s.metrics = m }
+}
+
 // WithCache shares a statement cache (e.g. one store-wide cache across
 // many sessions). The default gives the session a private cache.
 func WithCache(c *query.StmtCache) Option {
@@ -103,6 +112,7 @@ type Session struct {
 	origin   string
 	nextSeqs func(n int) int
 	cache    *query.StmtCache
+	metrics  *metrics.Session
 
 	mu      sync.Mutex
 	seq     int // default allocator state (when nextSeqs is private)
@@ -225,6 +235,7 @@ func (s *Session) flushLocked() {
 	if len(s.pending) == 0 {
 		return
 	}
+	s.metrics.Flush(len(s.pending))
 	txs := make([]core.Transaction, len(s.pending))
 	untagged := 0
 	for _, ps := range s.pending {

@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendStats encodes a FrameStats payload: just the request id.
+func AppendStats(dst []byte, id uint64) []byte {
+	return binary.AppendUvarint(dst, id)
+}
+
+// DecodeStats decodes a FrameStats payload.
+func DecodeStats(buf []byte) (id uint64, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 || n != len(buf) {
+		return 0, fmt.Errorf("%w: bad stats id", ErrCorrupt)
+	}
+	return id, nil
+}
+
+// AppendStatsResponse encodes a FrameStatsResponse payload:
+//
+//	stats := id:uvarint doc:bytes…
+//
+// doc is a JSON-encoded metrics.Snapshot and runs to the end of the
+// payload (the frame length delimits it), so the document needs no
+// length prefix and the schema can grow without a codec change.
+func AppendStatsResponse(dst []byte, id uint64, doc []byte) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	return append(dst, doc...)
+}
+
+// DecodeStatsResponse decodes a FrameStatsResponse payload. The returned
+// doc aliases buf.
+func DecodeStatsResponse(buf []byte) (id uint64, doc []byte, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad stats id", ErrCorrupt)
+	}
+	return id, buf[n:], nil
+}

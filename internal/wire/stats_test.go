@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStatsRoundTrip(t *testing.T) {
+	for _, id := range []uint64{0, 1, 42, 1 << 40} {
+		buf := AppendStats(nil, id)
+		got, err := DecodeStats(buf)
+		if err != nil || got != id {
+			t.Fatalf("stats id %d round-trip: got %d, err %v", id, got, err)
+		}
+	}
+	if _, err := DecodeStats(nil); err == nil {
+		t.Error("empty stats payload must not decode")
+	}
+	if _, err := DecodeStats(append(AppendStats(nil, 7), 0)); err == nil {
+		t.Error("trailing bytes after stats id must not decode")
+	}
+}
+
+func TestStatsResponseRoundTrip(t *testing.T) {
+	doc := []byte(`{"version":12,"lanes":8}`)
+	buf := AppendStatsResponse(nil, 9, doc)
+	id, got, err := DecodeStatsResponse(buf)
+	if err != nil || id != 9 || !bytes.Equal(got, doc) {
+		t.Fatalf("stats response round-trip: id=%d doc=%q err=%v", id, got, err)
+	}
+	// An empty document is legal: the id alone must survive.
+	id, got, err = DecodeStatsResponse(AppendStatsResponse(nil, 3, nil))
+	if err != nil || id != 3 || len(got) != 0 {
+		t.Fatalf("empty-doc round-trip: id=%d doc=%q err=%v", id, got, err)
+	}
+	if _, _, err := DecodeStatsResponse(nil); err == nil {
+		t.Error("empty stats response payload must not decode")
+	}
+}
+
+// FuzzDecodeStats: stats requests arrive from untrusted clients; both
+// codec halves must decode or fail cleanly, and whatever decodes must
+// survive a re-encode/re-decode round trip.
+func FuzzDecodeStats(f *testing.F) {
+	f.Add(AppendStats(nil, 0))
+	f.Add(AppendStats(nil, 7))
+	f.Add(AppendStats(nil, 1<<63))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if id, err := DecodeStats(data); err == nil {
+			// A non-canonical varint may re-encode shorter, but it must
+			// still round-trip to the same id.
+			if id2, err := DecodeStats(AppendStats(nil, id)); err != nil || id2 != id {
+				t.Fatalf("stats id re-decode diverged: %d vs %d (%v)", id, id2, err)
+			}
+		}
+		id, doc, err := DecodeStatsResponse(data)
+		if err != nil {
+			return
+		}
+		id2, doc2, err := DecodeStatsResponse(AppendStatsResponse(nil, id, doc))
+		if err != nil || id2 != id || !bytes.Equal(doc2, doc) {
+			t.Fatalf("stats response re-decode diverged: %v", err)
+		}
+	})
+}

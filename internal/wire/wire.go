@@ -93,6 +93,14 @@ const (
 	// log-record payload encoding (internal/archive recTxn): the
 	// replication stream is the durability log, reframed for the wire.
 	FrameLogRecord byte = 0x1b
+	// FrameStats asks the server for its metrics snapshot: request id.
+	FrameStats byte = 0x1c
+	// FrameStatsResponse answers FrameStats: request id, then the snapshot
+	// as a JSON document (internal/metrics.Snapshot). JSON rather than a
+	// bespoke binary layout: the snapshot is introspection, not a hot
+	// path, its schema grows with every instrumented layer, and the same
+	// bytes feed fdbrepl, fdbload and the --debug-addr HTTP endpoint.
+	FrameStatsResponse byte = 0x1d
 )
 
 // Forward flag bits.
