@@ -32,12 +32,13 @@ import (
 type Client struct {
 	conn net.Conn
 
-	wmu    sync.Mutex // guards bw and request-id allocation
+	wmu    sync.Mutex // guards bw, enc, and request-id allocation
 	bw     *bufio.Writer
+	enc    []byte // reused request encode buffer
 	nextID uint64
 
-	rmu sync.Mutex // guards br and the reorder buffer
-	br  *bufio.Reader
+	rmu sync.Mutex // guards rd and the reorder buffer
+	rd  *wire.Reader
 	// got buffers responses that arrived while awaiting another id:
 	// out-of-order-safe pipelining.
 	got map[uint64]arrived
@@ -105,8 +106,8 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 	}
 	c := &Client{
 		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
+		rd:   wire.NewReader(bufio.NewReaderSize(conn, clientReadBufSize)),
+		bw:   bufio.NewWriterSize(conn, clientWriteBufSize),
 		got:  make(map[uint64]arrived),
 	}
 	for _, opt := range opts {
@@ -120,7 +121,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	typ, payload, err := wire.ReadFrame(c.br)
+	typ, payload, err := c.rd.Next()
 	if err != nil || typ != wire.FrameWelcome {
 		conn.Close()
 		if err == nil && typ == wire.FrameError {
@@ -167,8 +168,11 @@ func (p *Pending) Force() (funcdb.Response, error) {
 	return p.c.await(p.id)
 }
 
-// send writes one frame under the write lock and returns its request id.
-func (c *Client) send(typ byte, build func(id uint64) []byte) (uint64, error) {
+// send frames one request under the write lock and returns its request
+// id. The payload is built by appending directly into the client's
+// reused encode buffer (build receives it opened by BeginFrame), so the
+// steady-state send path allocates nothing.
+func (c *Client) send(typ byte, build func(dst []byte, id uint64) []byte) (uint64, error) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	if err := c.sticky(); err != nil {
@@ -178,13 +182,20 @@ func (c *Client) send(typ byte, build func(id uint64) []byte) (uint64, error) {
 	c.nextID++
 	// Encode before touching the socket: an unencodable request (e.g. a
 	// frame over the size limit) is the caller's error, not a transport
-	// failure — the connection stays usable.
-	frame, err := wire.AppendFrame(nil, typ, build(id))
-	if err != nil {
+	// failure — EndFrame removes the bad frame and the connection stays
+	// usable.
+	var mark int
+	var err error
+	c.enc, mark = wire.BeginFrame(c.enc[:0], typ)
+	c.enc = build(c.enc, id)
+	if c.enc, err = wire.EndFrame(c.enc, mark); err != nil {
 		return 0, fmt.Errorf("client: %w", err)
 	}
-	if _, err := c.bw.Write(frame); err != nil {
+	if _, err := c.bw.Write(c.enc); err != nil {
 		return 0, c.fail(fmt.Errorf("client: send: %w", err))
+	}
+	if cap(c.enc) > maxClientEncodeBuf {
+		c.enc = nil // one giant batch must not pin its high-water mark
 	}
 	if err := c.bw.Flush(); err != nil {
 		return 0, c.fail(fmt.Errorf("client: send: %w", err))
@@ -223,7 +234,7 @@ func (c *Client) recv(id uint64) (arrived, error) {
 		if err := c.sticky(); err != nil {
 			return arrived{}, err
 		}
-		typ, payload, err := wire.ReadFrame(c.br)
+		typ, payload, err := c.rd.Next()
 		if err != nil {
 			return arrived{}, c.fail(fmt.Errorf("client: recv: %w", err))
 		}
@@ -271,15 +282,15 @@ func (c *Client) recv(id uint64) (arrived, error) {
 // FrameError, or — when this node does not own the statements' relation —
 // a FrameRedirect carrying the owner's address.
 func (c *Client) forward(flags byte, stmts []wire.ForwardStmt) (uint64, error) {
-	return c.send(wire.FrameForward, func(id uint64) []byte {
-		return wire.AppendForward(nil, id, flags, stmts)
+	return c.send(wire.FrameForward, func(dst []byte, id uint64) []byte {
+		return wire.AppendForward(dst, id, flags, stmts)
 	})
 }
 
 // ExecAsync submits one statement without waiting: pipelined execution.
 func (c *Client) ExecAsync(q string) (*Pending, error) {
-	id, err := c.send(wire.FrameExec, func(id uint64) []byte {
-		return wire.AppendExec(nil, id, q)
+	id, err := c.send(wire.FrameExec, func(dst []byte, id uint64) []byte {
+		return wire.AppendExec(dst, id, q)
 	})
 	if err != nil {
 		return nil, err
@@ -304,8 +315,8 @@ func (c *Client) Exec(q string) (funcdb.Response, error) {
 // all-or-nothing; a failure reports a *funcdb.BatchError with the failing
 // statement's index, like the in-process ExecBatch.
 func (c *Client) ExecBatch(queries []string) ([]funcdb.Response, error) {
-	id, err := c.send(wire.FrameBatch, func(id uint64) []byte {
-		return wire.AppendBatch(nil, id, queries)
+	id, err := c.send(wire.FrameBatch, func(dst []byte, id uint64) []byte {
+		return wire.AppendBatch(dst, id, queries)
 	})
 	if err != nil {
 		return nil, err
@@ -333,8 +344,8 @@ func (c *Client) ExecBatch(queries []string) ([]funcdb.Response, error) {
 // pipelines like any other frame.
 func (c *Client) Stats() (funcdb.MetricsSnapshot, error) {
 	var snap funcdb.MetricsSnapshot
-	id, err := c.send(wire.FrameStats, func(id uint64) []byte {
-		return wire.AppendStats(nil, id)
+	id, err := c.send(wire.FrameStats, func(dst []byte, id uint64) []byte {
+		return wire.AppendStats(dst, id)
 	})
 	if err != nil {
 		return snap, err
@@ -354,6 +365,16 @@ func (c *Client) Stats() (funcdb.MetricsSnapshot, error) {
 	}
 	return snap, nil
 }
+
+// Per-connection buffer sizing: explicit rather than bufio's 4 KiB
+// default. Reads are sized for a burst of pipelined responses; writes
+// stay small because requests are pre-assembled in the encode buffer.
+const (
+	clientReadBufSize  = 16 << 10
+	clientWriteBufSize = 4 << 10
+	// maxClientEncodeBuf caps the request buffer retained between sends.
+	maxClientEncodeBuf = 256 << 10
+)
 
 // Close announces a clean quit and closes the connection. A goroutine
 // blocked in Force wakes with a transport error.

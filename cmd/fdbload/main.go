@@ -2,9 +2,11 @@
 // mixed read/write workload and reports client-observed latency as a
 // histogram: the measurement harness for the observability layer.
 //
-// Open loop means arrivals are scheduled, not paced by responses: each
-// connection issues its next statement at a fixed interval derived from
-// --rate, and a statement's latency is measured from its SCHEDULED time.
+// Open loop means arrivals are scheduled, not paced by responses: the
+// driver keeps ONE arrival timeline at --rate and every connection
+// atomically claims the next unclaimed slot, so the offered load stays
+// exact from tens to thousands of connections; a statement's latency is
+// measured from its SCHEDULED time.
 // A server that falls behind therefore shows the queueing delay clients
 // actually suffer (coordinated omission is the classic way load drivers
 // lie about tail latency; scheduling avoids it). --rate 0 switches to a
@@ -35,8 +37,10 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"funcdb"
@@ -81,13 +85,46 @@ type latencyDoc struct {
 	Mean  float64 `json:"mean"`
 }
 
-// nodeDoc is one cluster node's state at the end of the run.
+// nodeDoc is one cluster node's state at the end of the run. The heap/GC
+// fields come from the node's runtime section — the same document its
+// /debug/vars endpoint serves — collected over the wire Stats sweep.
 type nodeDoc struct {
-	Addr     string `json:"addr"`
-	Version  int64  `json:"version"`
-	Admitted int64  `json:"admitted"`
-	Reads    int64  `json:"reads"`
-	Forwards int64  `json:"forwards"`
+	Addr           string  `json:"addr"`
+	Version        int64   `json:"version"`
+	Admitted       int64   `json:"admitted"`
+	Reads          int64   `json:"reads"`
+	Forwards       int64   `json:"forwards"`
+	HeapAllocBytes uint64  `json:"heap_alloc_bytes,omitempty"`
+	NumGC          uint32  `json:"num_gc,omitempty"`
+	GCPauseMs      float64 `json:"gc_pause_ms,omitempty"`
+	Goroutines     int     `json:"goroutines,omitempty"`
+}
+
+// heapDoc is the driver process's heap/GC accounting over the run:
+// MemStats deltas (start of load to end of load), so allocs_per_op is the
+// client-side wire path's allocation cost per completed operation. With
+// --spawn the server nodes run in the same process, so the numbers cover
+// the whole loopback stack.
+type heapDoc struct {
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	AllocsPerOp     float64 `json:"allocs_per_op"`
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalMs  float64 `json:"gc_pause_total_ms"`
+	GoroutinesPeak  int     `json:"goroutines_peak"`
+}
+
+// baselineDoc summarizes the prior report a run was compared against, so
+// a checked-in BENCH artifact carries its own before/after context.
+type baselineDoc struct {
+	Path           string  `json:"path"`
+	Conns          int     `json:"conns"`
+	Rate           int     `json:"rate"`
+	ThroughputOpsS float64 `json:"throughput_ops_s"`
+	P50Us          float64 `json:"p50_us"`
+	P99Us          float64 `json:"p99_us"`
+	AllocsPerOp    float64 `json:"allocs_per_op,omitempty"`
 }
 
 // overheadDoc is the lane-commit microbenchmark result.
@@ -112,6 +149,8 @@ type report struct {
 	WriteLatency      latencyDoc   `json:"write_latency_us"`
 	Nodes             []nodeDoc    `json:"nodes,omitempty"`
 	ReplicationLagMax int64        `json:"replication_lag_max"`
+	Heap              *heapDoc     `json:"heap,omitempty"`
+	Baseline          *baselineDoc `json:"baseline,omitempty"`
 	EngineOverhead    *overheadDoc `json:"engine_overhead,omitempty"`
 }
 
@@ -128,6 +167,7 @@ func run(args []string, stdout io.Writer) error {
 	relations := fs.String("relations", "R,S,T", "comma-separated relations to spread keys over")
 	seed := fs.Int64("seed", 1, "workload seed")
 	out := fs.String("out", "", "also write the report as JSON to this path")
+	baseline := fs.String("baseline", "", "prior report JSON to print a before/after delta against")
 	overhead := fs.Bool("engine-overhead", false, "append the lane-commit instrumentation microbenchmark")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,8 +186,19 @@ func run(args []string, stdout io.Writer) error {
 	if len(cfg.Relations) == 0 || cfg.Conns <= 0 || cfg.Keys <= 0 {
 		return fmt.Errorf("need at least one relation, one connection and one key")
 	}
+	if cfg.Conns > maxConns {
+		return fmt.Errorf("--conns %d exceeds the driver's limit of %d", cfg.Conns, maxConns)
+	}
 	if cfg.ZipfS <= 1 {
 		return fmt.Errorf("--zipf-s must be > 1 (got %g)", cfg.ZipfS)
+	}
+	// Read the baseline before spending a run on a typo'd path.
+	var base *report
+	if *baseline != "" {
+		var err error
+		if base, err = loadBaseline(*baseline); err != nil {
+			return err
+		}
 	}
 
 	if *spawn > 0 {
@@ -165,6 +216,10 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	if err := checkFDBudget(cfg.Conns, len(cfg.Addrs), *spawn > 0); err != nil {
+		return err
+	}
+
 	rep, err := drive(cfg, stdout)
 	if err != nil {
 		return err
@@ -174,6 +229,20 @@ func run(args []string, stdout io.Writer) error {
 		rep.EngineOverhead = &od
 		fmt.Fprintf(stdout, "engine overhead: %.0f ns/op uninstrumented, %.0f ns/op instrumented (%+.1f%%)\n",
 			od.UninstrumentedNS, od.InstrumentedNS, od.OverheadPct)
+	}
+	if base != nil {
+		bd := &baselineDoc{
+			Path:           *baseline,
+			Conns:          base.Config.Conns,
+			Rate:           base.Config.Rate,
+			ThroughputOpsS: base.ThroughputOpsS,
+			P50Us:          base.Latency.P50,
+			P99Us:          base.Latency.P99,
+		}
+		if base.Heap != nil {
+			bd.AllocsPerOp = base.Heap.AllocsPerOp
+		}
+		rep.Baseline = bd
 	}
 	if *out != "" {
 		buf, err := json.MarshalIndent(rep, "", "  ")
@@ -185,7 +254,74 @@ func run(args []string, stdout io.Writer) error {
 		}
 		fmt.Fprintf(stdout, "report written to %s\n", *out)
 	}
+	if base != nil {
+		printDelta(stdout, rep, base, *baseline)
+	}
 	return nil
+}
+
+// maxConns bounds --conns: beyond this the driver itself (goroutines,
+// FDs, scheduler pressure) becomes the bottleneck being measured.
+const maxConns = 65536
+
+// checkFDBudget refuses a run whose connection count cannot fit the
+// process's file-descriptor limit. A cluster client may hold one
+// connection per node; with --spawn the server side of every connection
+// lives in this process too.
+func checkFDBudget(conns, nodes int, spawned bool) error {
+	limit, ok := fdLimit()
+	if !ok {
+		return nil // no rlimit on this platform; let the OS complain
+	}
+	need := uint64(conns) * uint64(nodes)
+	if spawned {
+		need *= 2
+	}
+	need += 64 // listeners, archives, stats sweep, stdio slack
+	if need > limit {
+		return fmt.Errorf("--conns %d needs ~%d file descriptors but the limit is %d (raise ulimit -n or lower --conns)",
+			conns, need, limit)
+	}
+	return nil
+}
+
+// loadBaseline parses a prior report file (e.g. the checked-in BENCH of
+// the previous PR).
+func loadBaseline(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	base := new(report)
+	if err := json.Unmarshal(buf, base); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return base, nil
+}
+
+// printDelta renders the headline before/after movement against the
+// baseline report.
+func printDelta(w io.Writer, rep, base *report, path string) {
+	pct := func(now, was float64) string {
+		if was == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(now-was)/was)
+	}
+	fmt.Fprintf(w, "delta vs %s (conns %d -> %d):\n", path, base.Config.Conns, rep.Config.Conns)
+	fmt.Fprintf(w, "  throughput: %.0f -> %.0f ops/s (%s)\n",
+		base.ThroughputOpsS, rep.ThroughputOpsS, pct(rep.ThroughputOpsS, base.ThroughputOpsS))
+	fmt.Fprintf(w, "  p50: %.0f -> %.0f us (%s)   p99: %.0f -> %.0f us (%s)\n",
+		base.Latency.P50, rep.Latency.P50, pct(rep.Latency.P50, base.Latency.P50),
+		base.Latency.P99, rep.Latency.P99, pct(rep.Latency.P99, base.Latency.P99))
+	switch {
+	case base.Heap != nil && rep.Heap != nil:
+		fmt.Fprintf(w, "  allocs/op: %.1f -> %.1f (%s)   gc pauses: %.1f -> %.1f ms\n",
+			base.Heap.AllocsPerOp, rep.Heap.AllocsPerOp, pct(rep.Heap.AllocsPerOp, base.Heap.AllocsPerOp),
+			base.Heap.GCPauseTotalMs, rep.Heap.GCPauseTotalMs)
+	case rep.Heap != nil:
+		fmt.Fprintf(w, "  allocs/op: n/a -> %.1f (baseline predates heap accounting)\n", rep.Heap.AllocsPerOp)
+	}
 }
 
 // drive runs the workload and assembles the report.
@@ -194,42 +330,100 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 		lat, readLat, writeLat metrics.Histogram
 		reads, writes, errs    metrics.Counter
 	)
-	// Per-connection arrival interval: the total target rate split evenly.
+	// Shared open-loop scheduler: ONE arrival timeline at --rate, with
+	// every connection claiming the next unclaimed slot atomically. At
+	// thousands of connections this is what keeps the offered load exact —
+	// per-connection pacing would need each conn to hold its own interval
+	// (rate/conns can round to zero), and a stalled connection would
+	// silently drop its share of the schedule. Here a slow connection just
+	// claims fewer slots while the rest keep the timeline full, and its
+	// latency is still measured from the slot's scheduled time.
 	var interval time.Duration
 	if cfg.Rate > 0 {
-		interval = time.Duration(float64(time.Second) * float64(cfg.Conns) / float64(cfg.Rate))
+		interval = time.Duration(float64(time.Second) / float64(cfg.Rate))
 	}
+	var sched atomic.Int64
+
+	// Dial every connection BEFORE the timeline starts: at thousands of
+	// connections the dial ramp takes real time, and counting it against
+	// the schedule would charge connection setup to statement latency.
+	clients := make([]*client.ClusterClient, cfg.Conns)
+	var dialWG sync.WaitGroup
+	dialFailed := make(chan error, cfg.Conns)
+	for w := 0; w < cfg.Conns; w++ {
+		dialWG.Add(1)
+		go func(w int) {
+			defer dialWG.Done()
+			cl, err := client.DialCluster(cfg.Addrs,
+				client.WithClusterOrigin(fmt.Sprintf("load%d", w)))
+			if err != nil {
+				dialFailed <- err
+				return
+			}
+			clients[w] = cl
+		}(w)
+	}
+	dialWG.Wait()
+	close(dialFailed)
+	if err := <-dialFailed; err != nil {
+		for _, cl := range clients {
+			if cl != nil {
+				cl.Close()
+			}
+		}
+		return nil, err
+	}
+
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	goroutinePeak := runtime.NumGoroutine()
+	peakDone := make(chan struct{})
+	var peakWG sync.WaitGroup
+	peakWG.Add(1)
+	go func() {
+		defer peakWG.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-peakDone:
+				return
+			case <-tick.C:
+				if n := runtime.NumGoroutine(); n > goroutinePeak {
+					goroutinePeak = n
+				}
+			}
+		}
+	}()
 
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
 	var wg sync.WaitGroup
-	dialErrs := make(chan error, cfg.Conns)
 	for w := 0; w < cfg.Conns; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			cl, err := client.DialCluster(cfg.Addrs,
-				client.WithClusterOrigin(fmt.Sprintf("load%d", w)))
-			if err != nil {
-				dialErrs <- err
-				return
-			}
+			cl := clients[w]
 			defer cl.Close()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
-			// Stagger the connections so arrivals interleave instead of
-			// bursting in lockstep.
-			next := start.Add(interval * time.Duration(w) / time.Duration(cfg.Conns))
 			for {
+				var next time.Time
 				if interval > 0 {
+					// Claim the next arrival slot on the shared timeline.
+					slot := sched.Add(1) - 1
+					next = start.Add(time.Duration(slot) * interval)
+					if next.After(deadline) {
+						return
+					}
 					if d := time.Until(next); d > 0 {
 						time.Sleep(d)
 					}
 				} else {
 					next = time.Now()
-				}
-				if next.After(deadline) {
-					return
+					if next.After(deadline) {
+						return
+					}
 				}
 				key := int(zipf.Uint64())
 				rel := cfg.Relations[key%len(cfg.Relations)]
@@ -255,18 +449,15 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 						writeLat.Observe(d.Nanoseconds())
 					}
 				}
-				if interval > 0 {
-					next = next.Add(interval)
-				}
 			}
 		}(w)
 	}
 	wg.Wait()
-	close(dialErrs)
-	if err := <-dialErrs; err != nil {
-		return nil, err
-	}
 	elapsed := time.Since(start)
+	close(peakDone)
+	peakWG.Wait()
+	var ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms1)
 
 	rep := &report{
 		Bench: "fdbload", Config: cfg, ElapsedS: elapsed.Seconds(),
@@ -274,6 +465,18 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 	}
 	rep.Ops = rep.Reads + rep.Writes
 	rep.ThroughputOpsS = float64(rep.Ops) / elapsed.Seconds()
+	heap := &heapDoc{
+		HeapAllocBytes:  ms1.HeapAlloc,
+		TotalAllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+		Mallocs:         ms1.Mallocs - ms0.Mallocs,
+		NumGC:           ms1.NumGC - ms0.NumGC,
+		GCPauseTotalMs:  float64(ms1.PauseTotalNs-ms0.PauseTotalNs) / 1e6,
+		GoroutinesPeak:  goroutinePeak,
+	}
+	if rep.Ops > 0 {
+		heap.AllocsPerOp = float64(heap.Mallocs) / float64(rep.Ops)
+	}
+	rep.Heap = heap
 	rep.Latency = toLatencyDoc(lat.Snapshot())
 	rep.ReadLatency = toLatencyDoc(readLat.Snapshot())
 	rep.WriteLatency = toLatencyDoc(writeLat.Snapshot())
@@ -298,6 +501,12 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 			if snap.Server != nil {
 				nd.Forwards = snap.Server.Forwards
 			}
+			if snap.Runtime != nil {
+				nd.HeapAllocBytes = snap.Runtime.HeapAllocBytes
+				nd.NumGC = snap.Runtime.NumGC
+				nd.GCPauseMs = float64(snap.Runtime.GCPauseTotalNs) / 1e6
+				nd.Goroutines = snap.Runtime.Goroutines
+			}
 			rep.Nodes = append(rep.Nodes, nd)
 		}
 		for _, snap := range snaps {
@@ -317,6 +526,8 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 		rep.Reads, rep.Writes, rep.Errors)
 	fmt.Fprintf(stdout, "latency: p50 %.0fµs  p90 %.0fµs  p99 %.0fµs  p99.9 %.0fµs  mean %.0fµs\n",
 		rep.Latency.P50, rep.Latency.P90, rep.Latency.P99, rep.Latency.P999, rep.Latency.Mean)
+	fmt.Fprintf(stdout, "heap: %.1f allocs/op, %d GCs (%.1f ms paused), %d goroutines peak\n",
+		heap.AllocsPerOp, heap.NumGC, heap.GCPauseTotalMs, heap.GoroutinesPeak)
 	printHistogram(stdout, lat.Snapshot())
 	if rep.ReplicationLagMax > 0 || len(rep.Nodes) > 1 {
 		fmt.Fprintf(stdout, "replication lag (max): %d commits\n", rep.ReplicationLagMax)

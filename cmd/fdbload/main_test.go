@@ -66,14 +66,157 @@ func TestSpawnedClusterRun(t *testing.T) {
 // TestFlagValidation: bad configurations fail before any socket opens.
 func TestFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
-		{},                                  // neither --addrs nor --spawn
-		{"--spawn", "1", "--zipf-s", "0.5"}, // zipf needs s > 1
-		{"--spawn", "1", "--relations", ""}, // no relations
-		{"--spawn", "1", "--conns", "0"},    // no connections
+		{},                                   // neither --addrs nor --spawn
+		{"--spawn", "1", "--zipf-s", "0.5"},  // zipf needs s > 1
+		{"--spawn", "1", "--relations", ""},  // no relations
+		{"--spawn", "1", "--conns", "0"},     // no connections
+		{"--spawn", "1", "--conns", "70000"}, // over the driver's limit
 	} {
 		var stdout bytes.Buffer
 		if err := run(args, &stdout); err == nil {
 			t.Errorf("run(%v) accepted a bad config", args)
 		}
+	}
+}
+
+// TestHeapReport: the report carries the driver's heap/GC accounting and
+// per-node runtime sections scraped over the stats sweep.
+func TestHeapReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"--spawn", "1", "--duration", "300ms", "--conns", "2",
+		"--rate", "300", "--keys", "100", "--out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep.Heap == nil {
+		t.Fatal("report has no heap section")
+	}
+	if rep.Heap.Mallocs == 0 || rep.Heap.AllocsPerOp <= 0 {
+		t.Errorf("implausible heap accounting: %+v", rep.Heap)
+	}
+	if rep.Heap.GoroutinesPeak <= 0 {
+		t.Errorf("goroutine peak not sampled: %+v", rep.Heap)
+	}
+	for _, n := range rep.Nodes {
+		if n.HeapAllocBytes == 0 || n.Goroutines == 0 {
+			t.Errorf("node %s missing runtime section: %+v", n.Addr, n)
+		}
+	}
+	if !strings.Contains(stdout.String(), "allocs/op") {
+		t.Errorf("no heap line in output:\n%s", stdout.String())
+	}
+}
+
+// TestBaselineDelta: --baseline prints the before/after movement and the
+// written report embeds a summary of the baseline it was compared to.
+func TestBaselineDelta(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(base, []byte(`{
+		"bench": "fdbload",
+		"config": {"conns": 8, "rate": 400},
+		"throughput_ops_s": 400,
+		"latency_us": {"p50": 700, "p99": 4000},
+		"heap": {"allocs_per_op": 250}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"--spawn", "1", "--duration", "300ms", "--conns", "2",
+		"--rate", "300", "--keys", "100", "--out", out, "--baseline", base,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "delta vs "+base) {
+		t.Errorf("no delta section in output:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "allocs/op: 250.0 -> ") {
+		t.Errorf("no allocs/op delta in output:\n%s", stdout.String())
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep.Baseline == nil {
+		t.Fatal("report does not embed its baseline")
+	}
+	if rep.Baseline.Path != base || rep.Baseline.Conns != 8 ||
+		rep.Baseline.P50Us != 700 || rep.Baseline.AllocsPerOp != 250 {
+		t.Errorf("baseline summary mangled: %+v", rep.Baseline)
+	}
+
+	// A missing baseline file is a hard error, not a silent skip.
+	if err := run([]string{
+		"--spawn", "1", "--duration", "100ms", "--conns", "1",
+		"--baseline", filepath.Join(dir, "nope.json"),
+	}, &stdout); err == nil {
+		t.Error("missing baseline file accepted")
+	}
+}
+
+// TestThousandsOfConnections drives a spawned single-node cluster at
+// 2048 connections: the per-connection goroutine budget must stay O(1) —
+// a connection is one driver goroutine plus a bounded number of
+// client/server goroutines — and the run must complete without errors.
+// Skipped when the FD limit cannot hold the connection count.
+func TestThousandsOfConnections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("2048-connection run is not a -short test")
+	}
+	const conns = 2048
+	if limit, ok := fdLimit(); ok && limit < conns*2+256 {
+		t.Skipf("fd limit %d too low for %d loopback connections", limit, conns)
+	}
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var stdout bytes.Buffer
+	err := run([]string{
+		"--spawn", "1", "--duration", "2s", "--conns", "2048",
+		"--rate", "2000", "--keys", "1000", "--out", out,
+	}, &stdout)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, stdout.String())
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatalf("bad report JSON: %v", err)
+	}
+	if rep.Ops == 0 {
+		t.Error("no operations completed")
+	}
+	if rep.Errors > rep.Ops/100 {
+		t.Errorf("%d errors in %d ops\n%s", rep.Errors, rep.Ops, stdout.String())
+	}
+	if rep.Heap == nil {
+		t.Fatal("report has no heap section")
+	}
+	// Budget: one driver goroutine per connection, one server handler per
+	// connection (spawned in-process), plus a fixed-size runtime floor.
+	// 4x conns + slack catches a per-request or per-frame goroutine leak
+	// while tolerating transient client/server helpers.
+	if budget := conns*4 + 512; rep.Heap.GoroutinesPeak > budget {
+		t.Errorf("goroutine peak %d exceeds budget %d at %d conns",
+			rep.Heap.GoroutinesPeak, budget, conns)
 	}
 }

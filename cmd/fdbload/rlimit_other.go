@@ -1,0 +1,7 @@
+//go:build !unix
+
+package main
+
+// fdLimit reports no limit on platforms without RLIMIT_NOFILE; the OS
+// surfaces its own errors if a run overcommits descriptors.
+func fdLimit() (uint64, bool) { return 0, false }

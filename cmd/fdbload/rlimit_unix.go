@@ -1,0 +1,16 @@
+//go:build unix
+
+package main
+
+import "syscall"
+
+// fdLimit reports the process's soft file-descriptor limit, used to
+// refuse --conns settings the OS cannot satisfy before thousands of
+// dials start failing halfway through a run.
+func fdLimit() (uint64, bool) {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return 0, false
+	}
+	return uint64(rl.Cur), true
+}

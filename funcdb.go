@@ -653,10 +653,12 @@ func (s *Store) Stats() SharingStats {
 
 // MetricsSnapshot reads every layer's counters and latency histograms at
 // this instant: admission lanes, commit latency, the durable archive,
-// session flushing, and structure sharing. Reading is lock-free — atomic
-// loads only, safe to call from a monitoring loop while the store is under
-// full load. (Named MetricsSnapshot, not Snapshot: Snapshot forces a
-// durable on-disk snapshot.)
+// session flushing, structure sharing, and the Go runtime's heap/GC
+// numbers. Layer counters read lock-free — atomic loads only — and the
+// runtime section costs one runtime.ReadMemStats; safe to call from a
+// monitoring loop while the store is under full load. (Named
+// MetricsSnapshot, not Snapshot: Snapshot forces a durable on-disk
+// snapshot.)
 func (s *Store) MetricsSnapshot() MetricsSnapshot {
 	snap := metrics.Snapshot{
 		Origin:  s.origin,
@@ -675,6 +677,8 @@ func (s *Store) MetricsSnapshot() MetricsSnapshot {
 		a := s.archiveM.Snapshot()
 		snap.Archive = &a
 	}
+	rt := metrics.ReadRuntime()
+	snap.Runtime = &rt
 	return snap
 }
 

@@ -27,6 +27,7 @@ type peer struct {
 
 	mu     sync.Mutex
 	pc     *peerConn // the live connection, nil between failures
+	enc    []byte    // reused Forward encode buffer, guarded by mu
 	nextID uint64
 	closed bool
 }
@@ -69,7 +70,7 @@ func (p *peer) ensureLocked() (*peerConn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %s unreachable: %w", p.addr, err)
 	}
-	bw := bufio.NewWriter(conn)
+	bw := bufio.NewWriterSize(conn, peerWriteBufSize)
 	hello := wire.AppendHello(nil, wire.Hello{Origin: p.origin})
 	if err := wire.WriteFrame(bw, wire.FrameHello, hello); err != nil {
 		conn.Close()
@@ -79,8 +80,8 @@ func (p *peer) ensureLocked() (*peerConn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: handshake with %s: %w", p.addr, err)
 	}
-	br := bufio.NewReader(conn)
-	typ, payload, err := wire.ReadFrame(br)
+	rd := wire.NewReader(bufio.NewReaderSize(conn, peerReadBufSize))
+	typ, payload, err := rd.Next()
 	if err != nil || typ != wire.FrameWelcome {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: handshake with %s failed: %v", p.addr, err)
@@ -92,16 +93,16 @@ func (p *peer) ensureLocked() (*peerConn, error) {
 	pc := &peerConn{conn: conn, bw: bw, pending: make(map[uint64]*fwdCall)}
 	p.pc = pc
 	p.dials.Inc()
-	go p.readLoop(pc, br)
+	go p.readLoop(pc, rd)
 	return pc, nil
 }
 
 // readLoop dispatches replies by request id until the connection dies,
 // then fails every call still pending on it.
-func (p *peer) readLoop(pc *peerConn, br *bufio.Reader) {
+func (p *peer) readLoop(pc *peerConn, rd *wire.Reader) {
 	var fatal error
 	for {
-		typ, payload, err := wire.ReadFrame(br)
+		typ, payload, err := rd.Next()
 		if err != nil {
 			fatal = fmt.Errorf("cluster: connection to %s lost: %w", p.addr, err)
 			break
@@ -243,14 +244,23 @@ func (p *peer) sendForward(call *fwdCall, flags byte, stmts []wire.ForwardStmt) 
 	}
 	id := p.nextID
 	p.nextID++
-	frame, err := wire.AppendFrame(nil, wire.FrameForward, wire.AppendForward(nil, id, flags, stmts))
+	// Frame the Forward in the peer's reused encode buffer (guarded by
+	// p.mu, like everything else on the send path): zero steady-state
+	// allocation per forwarded frame.
+	var mark int
+	p.enc, mark = wire.BeginFrame(p.enc[:0], wire.FrameForward)
+	p.enc = wire.AppendForward(p.enc, id, flags, stmts)
+	p.enc, err = wire.EndFrame(p.enc, mark)
 	if err != nil {
 		p.mu.Unlock()
 		return err
 	}
 	pc.pending[id] = call
-	if _, err = pc.bw.Write(frame); err == nil {
+	if _, err = pc.bw.Write(p.enc); err == nil {
 		err = pc.bw.Flush()
+	}
+	if cap(p.enc) > maxPeerEncodeBuf {
+		p.enc = nil // one giant batch must not pin its high-water mark
 	}
 	if err == nil {
 		p.frames.Inc()
@@ -284,3 +294,14 @@ func (c *fwdCall) response(i int, tx core.Transaction) core.Response {
 	}
 	return resp
 }
+
+// Peer-link buffer sizing: explicit rather than bufio's 4 KiB default.
+// The read side carries batched responses and the replication stream;
+// the write side stays small because Forward frames are pre-assembled in
+// the peer's encode buffer.
+const (
+	peerReadBufSize  = 16 << 10
+	peerWriteBufSize = 4 << 10
+	// maxPeerEncodeBuf caps the Forward buffer retained between sends.
+	maxPeerEncodeBuf = 256 << 10
+)

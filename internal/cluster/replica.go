@@ -153,8 +153,8 @@ func (n *Node) streamFrom(peerIdx int, m *mirror) error {
 		conn.Close()
 	}()
 
-	bw := bufio.NewWriter(conn)
-	br := bufio.NewReader(conn)
+	bw := bufio.NewWriterSize(conn, peerWriteBufSize)
+	rd := wire.NewReader(bufio.NewReaderSize(conn, peerReadBufSize))
 	hello := wire.AppendHello(nil, wire.Hello{Origin: fmt.Sprintf("%s-repl", n.origin)})
 	if err := wire.WriteFrame(bw, wire.FrameHello, hello); err != nil {
 		return err
@@ -162,7 +162,7 @@ func (n *Node) streamFrom(peerIdx int, m *mirror) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	typ, payload, err := wire.ReadFrame(br)
+	typ, payload, err := rd.Next()
 	if err != nil || typ != wire.FrameWelcome {
 		return fmt.Errorf("cluster: replication handshake with node %d failed: %v", peerIdx, err)
 	}
@@ -176,8 +176,11 @@ func (n *Node) streamFrom(peerIdx int, m *mirror) error {
 		return err
 	}
 	m.connects.Inc()
+	// The LogRecord loop reuses the Reader's body buffer across records:
+	// DecodeTxnRecord copies everything it extracts, so the payload's
+	// next-read invalidation never escapes this loop.
 	for {
-		typ, payload, err := wire.ReadFrame(br)
+		typ, payload, err := rd.Next()
 		if err != nil {
 			return err
 		}

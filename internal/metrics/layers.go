@@ -364,6 +364,7 @@ type Snapshot struct {
 	Server  *ServerSnapshot  `json:"server,omitempty"`
 	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
 	Peers   []PeerSnapshot   `json:"peers,omitempty"`
+	Runtime *RuntimeSnapshot `json:"runtime,omitempty"`
 }
 
 // fmtDur renders a nanosecond metric as a rounded duration.
@@ -457,6 +458,10 @@ func (s Snapshot) Format() string {
 	for _, p := range s.Peers {
 		fmt.Fprintf(&b, "  peer %d %s: fwd_frames=%d dials=%d replica_applied=%d records=%d connects=%d\n",
 			p.Peer, p.Addr, p.ForwardFrames, p.Dials, p.ReplicaApplied, p.ReplicaRecords, p.ReplicaConnects)
+	}
+	if rt := s.Runtime; rt != nil {
+		fmt.Fprintf(&b, "runtime: heap=%d goroutines=%d gc=%d pause=%s mallocs=%d\n",
+			rt.HeapAllocBytes, rt.Goroutines, rt.NumGC, fmtDur(int64(rt.GCPauseTotalNs)), rt.Mallocs)
 	}
 	return b.String()
 }

@@ -31,6 +31,7 @@ func benchClient(b *testing.B) *client.Client {
 // wire at a time, each paying a full network round trip.
 func BenchmarkServerPingPong(b *testing.B) {
 	c := benchClient(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		resp, err := c.Exec(fmt.Sprintf("find %d in R", i%256))
@@ -47,6 +48,7 @@ func BenchmarkServerPipelined(b *testing.B) {
 	c := benchClient(b)
 	const window = 64
 	pend := make([]*client.Pending, 0, window)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p, err := c.ExecAsync(fmt.Sprintf("find %d in R", i%256))
@@ -79,6 +81,7 @@ func BenchmarkServerBatch(b *testing.B) {
 	for i := range queries {
 		queries[i] = fmt.Sprintf("find %d in R", i%256)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i += batch {
 		resps, err := c.ExecBatch(queries)

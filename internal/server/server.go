@@ -251,10 +251,11 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 	}()
 
-	br := bufio.NewReader(conn)
-	bw := bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, connReadBufSize)
+	bw := bufio.NewWriterSize(conn, connWriteBufSize)
+	rd := wire.NewReader(br)
 
-	typ, payload, err := wire.ReadFrame(br)
+	typ, payload, err := rd.Next()
 	if err != nil || typ != wire.FrameHello {
 		return // not speaking our protocol; nothing was admitted
 	}
@@ -298,7 +299,17 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	sess := host.Session(origin)
-	var pending []reply
+	var (
+		pending []reply
+		// out is the connection's reused response buffer: every reply of a
+		// flush is framed in place (BeginFrame + payload appenders +
+		// EndFrame) and the whole batch leaves in ONE bw.Write — no
+		// per-reply staging buffer, no per-frame allocation.
+		out []byte
+		// respScratch is reused across batch replies; AppendResponses
+		// copies everything it encodes, so overwriting next flush is safe.
+		respScratch []core.Response
+	)
 
 	// flush admits every queued statement in one batch and writes the
 	// replies in request order. Responses are forced in order — the
@@ -308,9 +319,10 @@ func (s *Server) handle(conn net.Conn) {
 			return true
 		}
 		sess.Flush()
-		for _, rp := range pending {
-			var frame byte
-			var payload []byte
+		out = out[:0]
+		for i := range pending {
+			rp := &pending[i]
+			var mark int
 			var err error
 			switch {
 			case rp.qerr != nil:
@@ -322,30 +334,33 @@ func (s *Server) handle(conn net.Conn) {
 				if errors.As(rp.qerr, &be) {
 					msg = be.Err.Error()
 				}
-				frame = wire.FrameError
-				payload = wire.AppendErrorMsg(nil, rp.id, rp.index, msg)
+				out, mark = wire.BeginFrame(out, wire.FrameError)
+				out = wire.AppendErrorMsg(out, rp.id, rp.index, msg)
 			case rp.redirect != "":
-				frame = wire.FrameRedirect
-				payload = wire.AppendRedirect(nil, rp.id, rp.redirect, rp.rel)
+				out, mark = wire.BeginFrame(out, wire.FrameRedirect)
+				out = wire.AppendRedirect(out, rp.id, rp.redirect, rp.rel)
 			case rp.stats != nil:
-				frame = wire.FrameStatsResponse
-				payload = wire.AppendStatsResponse(nil, rp.id, rp.stats)
+				out, mark = wire.BeginFrame(out, wire.FrameStatsResponse)
+				out = wire.AppendStatsResponse(out, rp.id, rp.stats)
 			case rp.futs != nil:
-				resps := make([]core.Response, len(rp.futs))
-				for i, f := range rp.futs {
-					resps[i] = f.Force()
+				if cap(respScratch) < len(rp.futs) {
+					respScratch = make([]core.Response, len(rp.futs))
 				}
-				frame = wire.FrameBatchResponse
-				if payload, err = wire.AppendResponses(nil, rp.id, resps); err != nil {
+				resps := respScratch[:len(rp.futs)]
+				for j, f := range rp.futs {
+					resps[j] = f.Force()
+				}
+				out, mark = wire.BeginFrame(out, wire.FrameBatchResponse)
+				if out, err = wire.AppendResponses(out, rp.id, resps); err != nil {
 					return false
 				}
 			default:
-				frame = wire.FrameResponse
-				if payload, err = wire.AppendSingleResponse(nil, rp.id, rp.fut.Force()); err != nil {
+				out, mark = wire.BeginFrame(out, wire.FrameResponse)
+				if out, err = wire.AppendSingleResponse(out, rp.id, rp.fut.Force()); err != nil {
 					return false
 				}
 			}
-			if err := wire.WriteFrame(bw, frame, payload); err != nil {
+			if out, err = wire.EndFrame(out, mark); err != nil {
 				return false
 			}
 			// Response latency by request frame type, socket-read to
@@ -361,11 +376,19 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 		pending = pending[:0]
+		if _, err := bw.Write(out); err != nil {
+			return false
+		}
+		if cap(out) > maxConnEncodeBuf {
+			// One oversized scan response must not pin its high-water mark
+			// for the connection's lifetime.
+			out = nil
+		}
 		return bw.Flush() == nil
 	}
 
 	for {
-		typ, payload, err := wire.ReadFrame(br)
+		typ, payload, err := rd.Next()
 		if err != nil {
 			// EOF, a drain deadline, or a broken peer: answer everything
 			// fully read (those requests may already be admitted), then
@@ -441,7 +464,7 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			s.m.Subscribes.Inc()
-			s.streamLog(conn, br, bw, host, after)
+			s.streamLog(conn, rd, bw, host, after)
 			return
 
 		case wire.FrameQuit:
@@ -603,7 +626,7 @@ func allReadOnly(txs []core.Transaction) bool {
 // log mutex) and written from this handler goroutine; a watcher goroutine
 // consumes the read side so a peer close — or the drain deadline — ends
 // the stream.
-func (s *Server) streamLog(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, host Host, after int64) {
+func (s *Server) streamLog(conn net.Conn, rd *wire.Reader, bw *bufio.Writer, host Host, after int64) {
 	src, ok := host.(LogSource)
 	if !ok {
 		msg := wire.AppendErrorMsg(nil, 0, -1, "server: host has no subscribable log (no durability)")
@@ -627,9 +650,11 @@ func (s *Server) streamLog(conn net.Conn, br *bufio.Reader, bw *bufio.Writer, ho
 	defer cancel()
 	go func() {
 		// The subscriber sends nothing after Subscribe (Quit at most): any
-		// read result — frame, EOF, drain deadline — ends the stream.
+		// read result — frame, EOF, drain deadline — ends the stream. The
+		// handler goroutine only writes from here on, so this goroutine
+		// owns the connection's Reader.
 		for {
-			if _, _, err := wire.ReadFrame(br); err != nil {
+			if _, _, err := rd.Next(); err != nil {
 				break
 			}
 		}
@@ -693,3 +718,17 @@ func (q *recQueue) pop() ([][]byte, bool) {
 // maxPipeline bounds the replies a connection may have outstanding before
 // the handler forces a flush.
 const maxPipeline = 1024
+
+// Per-connection buffer sizing. The read buffer is the adaptive-batching
+// window: Buffered() only sees frames that fit, so it is sized for a deep
+// pipeline of small request frames. The write buffer stays small because
+// replies are pre-assembled into the connection's reused encode buffer
+// and leave in one Write — bufio passes any write larger than the buffer
+// straight through to the socket.
+const (
+	connReadBufSize  = 16 << 10
+	connWriteBufSize = 4 << 10
+	// maxConnEncodeBuf caps the response buffer retained between
+	// flushes.
+	maxConnEncodeBuf = 256 << 10
+)

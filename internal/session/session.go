@@ -40,6 +40,12 @@ type Future = lenient.Cell[core.Response]
 // of fully tagged transactions admitted in one merge arbitration, with
 // response futures in submission order. funcdb.Store implements it over
 // the sharded-lane engine; tests implement it in-memory.
+//
+// SubmitTagged must NOT retain the txs slice past its return: the
+// session reuses it for the next flush (transactions themselves are
+// values — copying an element is fine, keeping the slice is not). Every
+// in-tree implementation either consumes the batch synchronously or
+// copies what it defers.
 type Submitter interface {
 	SubmitTagged(txs []core.Transaction) []*Future
 }
@@ -117,6 +123,13 @@ type Session struct {
 	mu      sync.Mutex
 	seq     int // default allocator state (when nextSeqs is private)
 	pending []*pendingStmt
+	// txScratch is the flush's reused submission slice — the load
+	// profile's top session-layer allocation site. Safe because
+	// Submitter.SubmitTagged must not retain it.
+	txScratch []core.Transaction
+	// createScratch collects relations created by a flush (almost always
+	// empty) without allocating.
+	createScratch []string
 }
 
 // New opens a session over a submitter.
@@ -236,7 +249,10 @@ func (s *Session) flushLocked() {
 		return
 	}
 	s.metrics.Flush(len(s.pending))
-	txs := make([]core.Transaction, len(s.pending))
+	if cap(s.txScratch) < len(s.pending) {
+		s.txScratch = make([]core.Transaction, len(s.pending))
+	}
+	txs := s.txScratch[:len(s.pending)]
 	untagged := 0
 	for _, ps := range s.pending {
 		if !ps.tagged {
@@ -247,7 +263,7 @@ func (s *Session) flushLocked() {
 	if untagged > 0 {
 		next = s.nextSeqs(untagged)
 	}
-	var created []string
+	created := s.createScratch[:0]
 	for i, ps := range s.pending {
 		tx := ps.tx
 		if !ps.tagged {
@@ -267,6 +283,7 @@ func (s *Session) flushLocked() {
 		ps.fut = futs[i]
 	}
 	s.pending = s.pending[:0]
+	s.createScratch = created[:0]
 	// A submitted create changes the directory: drop cached statements
 	// touching the new relation so no retained translation can straddle
 	// the directory change.

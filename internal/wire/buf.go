@@ -1,0 +1,41 @@
+package wire
+
+import "sync"
+
+const (
+	// defaultBufCap seeds fresh pooled encode buffers: big enough for
+	// any ping-pong-sized frame without a grow.
+	defaultBufCap = 4 << 10
+	// maxPooledCap is the largest buffer PutBuf will retain. A scan
+	// response can grow a buffer to megabytes; returning it to the pool
+	// would pin that memory behind every future FrameQuit. Oversized
+	// buffers are dropped for the GC instead.
+	maxPooledCap = 1 << 20
+)
+
+// Buf is a pooled encode buffer. Callers append frames to B (typically
+// via AppendFrame or BeginFrame/EndFrame plus the payload appenders),
+// write it out, and return it with PutBuf.
+type Buf struct {
+	B []byte
+}
+
+var bufPool = sync.Pool{
+	New: func() any { return &Buf{B: make([]byte, 0, defaultBufCap)} },
+}
+
+// GetBuf returns an empty encode buffer from the pool.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf returns a buffer to the pool. Buffers grown past maxPooledCap
+// are dropped so one large response cannot pin memory indefinitely.
+func PutBuf(b *Buf) {
+	if b == nil || cap(b.B) > maxPooledCap {
+		return
+	}
+	bufPool.Put(b)
+}

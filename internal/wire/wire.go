@@ -139,6 +139,28 @@ var ErrCorrupt = errors.New("wire: corrupt frame")
 // ErrTooLarge reports a frame the protocol refuses to carry.
 var ErrTooLarge = errors.New("wire: frame exceeds size limit")
 
+// typCRCSeed[t] is the frame checksum state after hashing just the type
+// byte, precomputed for every possible type. The hot path must not
+// materialize a 1-byte slice for the type: hash/crc32 dispatches Update
+// through an indirect function, so escape analysis heap-allocates any
+// stack array passed to it — exactly the per-frame garbage this codec
+// exists to remove.
+var typCRCSeed = func() (seeds [256]uint32) {
+	b := make([]byte, 1)
+	for i := range seeds {
+		b[0] = byte(i)
+		seeds[i] = crc32.Update(0, crc32.IEEETable, b)
+	}
+	return
+}()
+
+// frameCRC computes the frame checksum over the type byte and payload
+// against the IEEE table directly — no digest object, no temporary
+// []byte{typ}, nothing the steady state has to allocate.
+func frameCRC(typ byte, payload []byte) uint32 {
+	return crc32.Update(typCRCSeed[typ], crc32.IEEETable, payload)
+}
+
 // AppendFrame appends one framed message to dst.
 func AppendFrame(dst []byte, typ byte, payload []byte) ([]byte, error) {
 	if len(payload) > MaxFrameLen {
@@ -147,24 +169,58 @@ func AppendFrame(dst []byte, typ byte, payload []byte) ([]byte, error) {
 	dst = append(dst, typ)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
 	dst = append(dst, payload...)
-	crc := crc32.NewIEEE()
-	crc.Write([]byte{typ})
-	crc.Write(payload)
-	return binary.LittleEndian.AppendUint32(dst, crc.Sum32()), nil
+	return binary.LittleEndian.AppendUint32(dst, frameCRC(typ, payload)), nil
 }
 
-// WriteFrame writes one framed message.
+// BeginFrame opens a frame in dst: the type byte and a length placeholder
+// are appended, and the caller then appends the payload bytes directly —
+// no staging buffer, no payload copy. The returned mark is the frame's
+// offset in dst; seal it with EndFrame(dst, mark). Frames nest head to
+// tail: a caller may Begin/End several frames in one buffer and hand the
+// whole batch to a single Write.
+func BeginFrame(dst []byte, typ byte) ([]byte, int) {
+	mark := len(dst)
+	dst = append(dst, typ, 0, 0, 0, 0)
+	return dst, mark
+}
+
+// EndFrame seals a frame opened by BeginFrame: everything appended to dst
+// since is the payload. The length field is patched in place and the CRC
+// appended. On error (payload over MaxFrameLen) the frame is removed from
+// dst — the returned slice is the buffer exactly as it was before
+// BeginFrame, so the caller's batch stays well-formed.
+func EndFrame(dst []byte, mark int) ([]byte, error) {
+	payload := dst[mark+frameOverhead-4:]
+	if len(payload) > MaxFrameLen {
+		return dst[:mark], fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	binary.LittleEndian.PutUint32(dst[mark+1:], uint32(len(payload)))
+	return binary.LittleEndian.AppendUint32(dst, frameCRC(dst[mark], payload)), nil
+}
+
+// WriteFrame writes one framed message through a pooled encode buffer:
+// the steady state — including a nil or empty payload (FrameQuit, a
+// FrameStats request) — allocates nothing.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
-	buf, err := AppendFrame(nil, typ, payload)
-	if err != nil {
+	b := GetBuf()
+	defer PutBuf(b)
+	var err error
+	if b.B, err = AppendFrame(b.B, typ, payload); err != nil {
 		return err
 	}
-	_, err = w.Write(buf)
+	_, err = w.Write(b.B)
 	return err
 }
 
-// ReadFrame reads one framed message. io.EOF means the peer closed
-// cleanly between frames; a close mid-frame surfaces as ErrCorrupt.
+// ReadFrame reads one framed message into a fresh buffer. io.EOF means
+// the peer closed cleanly between frames; a close mid-frame surfaces as
+// ErrCorrupt.
+//
+// ReadFrame allocates per call and is deliberately kept as the naive
+// reference decoder: FuzzReadFrameReuse pins the pooled Reader
+// byte-identical against it, so the two must stay independent
+// implementations. Per-connection read loops use a Reader, which reuses
+// one body buffer across frames.
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
