@@ -80,6 +80,7 @@ type arrived struct {
 	batch    bool
 	redirect string // FrameRedirect: the owning node's address
 	rel      string // FrameRedirect: the relation being placed
+	rdEpoch  uint64 // FrameRedirect: the owner's epoch (0 = unstamped)
 	stats    []byte // FrameStatsResponse: the metrics JSON document
 }
 
@@ -258,11 +259,11 @@ func (c *Client) recv(id uint64) (arrived, error) {
 			}
 			c.got[rid] = arrived{errMsg: msg, index: index, isErr: true}
 		case wire.FrameRedirect:
-			rid, addr, rel, derr := wire.DecodeRedirect(payload)
+			rid, addr, rel, epoch, derr := wire.DecodeRedirectE(payload)
 			if derr != nil {
 				return arrived{}, c.fail(derr)
 			}
-			c.got[rid] = arrived{redirect: addr, rel: rel, index: -1}
+			c.got[rid] = arrived{redirect: addr, rel: rel, rdEpoch: epoch, index: -1}
 		case wire.FrameStatsResponse:
 			rid, doc, derr := wire.DecodeStatsResponse(payload)
 			if derr != nil {

@@ -7,7 +7,9 @@ package client
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"funcdb"
 	"funcdb/internal/core"
@@ -25,12 +27,14 @@ import (
 // concurrently are tagged in issue order.
 type ClusterClient struct {
 	origin string
-	addrs  []string // the addresses given to DialCluster, seed order
+	addrs  []string      // the addresses given to DialCluster, seed order
+	retry  time.Duration // failover retry budget (0 = off)
 
 	mu        sync.Mutex
 	seq       int
 	conns     map[string]*Client
 	placement map[string]string // relation -> owning address, learned
+	epochs    map[string]uint64 // relation -> newest owner epoch seen (monotone)
 	cache     *query.StmtCache
 	closed    bool
 }
@@ -42,6 +46,18 @@ type ClusterOption func(*ClusterClient)
 // (default "cluster").
 func WithClusterOrigin(origin string) ClusterOption {
 	return func(c *ClusterClient) { c.origin = origin }
+}
+
+// WithFailoverRetry makes the client ride through a primary failover:
+// when a statement dies with its connection, is refused by an epoch
+// fence ("cluster: fenced"), or exhausts a redirect chase, the client
+// forgets the relation's placement, rotates to another seed address,
+// and retries until the budget elapses. Redirect epochs are tracked per
+// relation so a stale node cannot steer the client backwards. Without
+// this option the client keeps the static-placement discipline — one
+// redial, one redirect chase, then the error surfaces.
+func WithFailoverRetry(budget time.Duration) ClusterOption {
+	return func(c *ClusterClient) { c.retry = budget }
 }
 
 // DialCluster prepares a cluster client over the given node addresses.
@@ -62,6 +78,7 @@ func DialCluster(addrs []string, opts ...ClusterOption) (*ClusterClient, error) 
 		addrs:     append([]string(nil), addrs...),
 		conns:     make(map[string]*Client),
 		placement: make(map[string]string),
+		epochs:    make(map[string]uint64),
 		cache:     query.NewStmtCache(0),
 	}
 	for _, opt := range opts {
@@ -137,6 +154,30 @@ func (c *ClusterClient) learn(rel, addr string) {
 	c.mu.Unlock()
 }
 
+// forget drops a relation's learned placement (its epoch knowledge is
+// kept — epochs are monotone and guard against stale redirects).
+func (c *ClusterClient) forget(rel string) {
+	c.mu.Lock()
+	delete(c.placement, rel)
+	c.mu.Unlock()
+}
+
+// noteEpoch folds a redirect's owner epoch into the client's knowledge,
+// reporting false for a redirect OLDER than what the client has already
+// seen — a stale node trying to steer it backwards.
+func (c *ClusterClient) noteEpoch(rel string, epoch uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch < c.epochs[rel] {
+		return false
+	}
+	c.epochs[rel] = epoch
+	return true
+}
+
 // translate resolves a statement through the client-side cache: the
 // relation (for routing) and read-only-ness, plus translation errors
 // before anything is sent.
@@ -159,13 +200,68 @@ func (c *ClusterClient) nextSeqs(n int) int {
 
 // sendRun ships a run of same-owner statements to addr as one Forward
 // frame and returns the replies plus the address that actually served
-// them. The loop carries two separate one-shot budgets: one REDIAL per
-// target address (a cached connection may have died with the peer's
-// restart — placement is not in question, so a reconnect must not spend
-// the redirect budget) and one REDIRECT chase (the placement
-// correction). learn=false suppresses placement learning (replica reads
-// are deliberately served off-owner).
+// them. Without a failover-retry budget this is one sendRunOnce; with
+// one, failures that look like a promotion in flight — a dead
+// connection, an exhausted redirect chase, a fencing rejection — are
+// retried against re-resolved placement until the budget elapses.
 func (c *ClusterClient) sendRun(rel, addr string, flags byte, stmts []wire.ForwardStmt, learn bool) (arrived, string, error) {
+	a, served, err := c.sendRunOnce(rel, addr, flags, stmts, learn)
+	if c.retry <= 0 {
+		return a, served, err
+	}
+	deadline := time.Now().Add(c.retry)
+	for attempt := 1; ; attempt++ {
+		fenced := err == nil && fencedReply(a)
+		if err == nil && !fenced {
+			return a, served, nil
+		}
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed || time.Now().After(deadline) {
+			return a, served, err
+		}
+		// Forget what we knew about the relation and re-resolve through a
+		// rotating seed: a node that is alive answers or redirects us to
+		// the serving owner in its newest epoch.
+		c.forget(rel)
+		time.Sleep(failoverRetryPause)
+		next := c.addrs[(core.LaneOf(rel, len(c.addrs))+attempt)%len(c.addrs)]
+		a, served, err = c.sendRunOnce(rel, next, flags, stmts, learn)
+	}
+}
+
+// failoverRetryPause paces placement re-resolution while a promotion is
+// in flight.
+const failoverRetryPause = 25 * time.Millisecond
+
+// fencedReply reports whether a reply carries an epoch-fence rejection —
+// either as a frame-level error or as per-statement errors on responses
+// that were resolved fenced (a node closing before a write replicated).
+// Fenced statements were never acked, so re-executing the run against
+// the re-resolved owner is safe.
+func fencedReply(a arrived) bool {
+	if a.isErr {
+		return strings.Contains(a.errMsg, "cluster: fenced")
+	}
+	if a.resp.Err != nil && strings.Contains(a.resp.Err.Error(), "cluster: fenced") {
+		return true
+	}
+	for _, r := range a.resps {
+		if r.Err != nil && strings.Contains(r.Err.Error(), "cluster: fenced") {
+			return true
+		}
+	}
+	return false
+}
+
+// sendRunOnce is one delivery attempt, carrying two separate one-shot
+// budgets: one REDIAL per target address (a cached connection may have
+// died with the peer's restart — placement is not in question, so a
+// reconnect must not spend the redirect budget) and one REDIRECT chase
+// (the placement correction). learn=false suppresses placement learning
+// (replica reads are deliberately served off-owner).
+func (c *ClusterClient) sendRunOnce(rel, addr string, flags byte, stmts []wire.ForwardStmt, learn bool) (arrived, string, error) {
 	redialed, redirected := false, false
 	for {
 		cl, err := c.conn(addr)
@@ -190,6 +286,9 @@ func (c *ClusterClient) sendRun(rel, addr string, flags byte, stmts []wire.Forwa
 				c.learn(rel, addr)
 			}
 			return a, addr, nil
+		}
+		if !c.noteEpoch(rel, a.rdEpoch) {
+			return arrived{}, "", fmt.Errorf("client: stale redirect for %q to %s (epoch %d)", rel, a.redirect, a.rdEpoch)
 		}
 		if redirected {
 			return arrived{}, "", fmt.Errorf("client: relation %q still not at %s after one redirect", rel, addr)

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"funcdb"
+	"funcdb/internal/cluster"
 	"funcdb/internal/primarycopy"
 	"funcdb/internal/server"
 )
@@ -68,6 +69,9 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 	lanes := fs.Int("lanes", 0, "real-network mode: admission lanes (0 = auto)")
 	noReplicate := fs.Bool("no-replicate", false, "real-network mode: disable log-shipped replicas")
 	debugAddr := fs.String("debug-addr", "", "real-network mode: HTTP address for /debug/stats, /debug/vars and /debug/pprof")
+	failover := fs.Bool("failover", false, "real-network mode: enable leases, promotion, and epoch fencing (needs replication; enable on every node)")
+	heartbeat := fs.Duration("heartbeat", 0, "real-network mode: heartbeat interval with --failover (0 = default)")
+	lease := fs.Duration("lease", 0, "real-network mode: peer lease with --failover (0 = 4x heartbeat)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +80,7 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 			listen: *listen, join: *join, id: *id, dataDir: *dataDir,
 			relations: *relations, lanes: *lanes, noReplicate: *noReplicate,
 			debugAddr: *debugAddr,
+			failover:  *failover, heartbeat: *heartbeat, lease: *lease,
 		}, stdout, sig, onReady)
 	}
 	return runDemo(*model, *dim, *clients, *ops, *seed, stdout)
@@ -87,6 +92,8 @@ type nodeFlags struct {
 	id, lanes                        int
 	noReplicate                      bool
 	debugAddr                        string
+	failover                         bool
+	heartbeat, lease                 time.Duration
 }
 
 // runNode serves one real-network cluster node until a signal drains it.
@@ -109,7 +116,7 @@ func runNode(nf nodeFlags, stdout io.Writer, sig <-chan os.Signal, onReady func(
 			return fmt.Errorf("--listen %s not in --join %v; give --id explicitly", nf.listen, nodes)
 		}
 	}
-	node, err := funcdb.OpenClusterNode(funcdb.ClusterNodeConfig{
+	ncfg := funcdb.ClusterNodeConfig{
 		ID:                 id,
 		Nodes:              nodes,
 		Listen:             nf.listen,
@@ -118,7 +125,14 @@ func runNode(nf nodeFlags, stdout io.Writer, sig <-chan os.Signal, onReady func(
 		Lanes:              nf.lanes,
 		DisableReplication: nf.noReplicate,
 		Durability:         []funcdb.DurabilityOption{funcdb.GroupCommit(2 * time.Millisecond)},
-	})
+	}
+	if nf.failover {
+		if nf.noReplicate {
+			return fmt.Errorf("--failover needs replication (drop --no-replicate)")
+		}
+		ncfg.Failover = &cluster.FailoverConfig{Heartbeat: nf.heartbeat, Lease: nf.lease}
+	}
+	node, err := funcdb.OpenClusterNode(ncfg)
 	if err != nil {
 		return err
 	}

@@ -45,6 +45,7 @@ import (
 
 	"funcdb"
 	"funcdb/client"
+	"funcdb/internal/cluster"
 	"funcdb/internal/core"
 	"funcdb/internal/database"
 	"funcdb/internal/metrics"
@@ -62,17 +63,21 @@ func main() {
 // loadConfig is the resolved flag set, echoed into the JSON report so a
 // checked-in result names the run that produced it.
 type loadConfig struct {
-	Addrs     []string      `json:"addrs,omitempty"`
-	Spawn     int           `json:"spawn,omitempty"`
-	Duration  time.Duration `json:"-"`
-	DurationS float64       `json:"duration_s"`
-	Conns     int           `json:"conns"`
-	Rate      int           `json:"rate_ops_s"`
-	ReadPct   int           `json:"read_pct"`
-	Keys      int           `json:"keys"`
-	ZipfS     float64       `json:"zipf_s"`
-	Relations []string      `json:"relations"`
-	Seed      int64         `json:"seed"`
+	Addrs      []string      `json:"addrs,omitempty"`
+	Spawn      int           `json:"spawn,omitempty"`
+	Duration   time.Duration `json:"-"`
+	DurationS  float64       `json:"duration_s"`
+	Conns      int           `json:"conns"`
+	Rate       int           `json:"rate_ops_s"`
+	ReadPct    int           `json:"read_pct"`
+	Keys       int           `json:"keys"`
+	ZipfS      float64       `json:"zipf_s"`
+	Relations  []string      `json:"relations"`
+	Seed       int64         `json:"seed"`
+	Failover   bool          `json:"failover,omitempty"`
+	KillNode   int           `json:"kill_node,omitempty"`
+	KillAfter  time.Duration `json:"-"`
+	KillAfterS float64       `json:"kill_after_s,omitempty"`
 }
 
 // latencyDoc is one histogram rendered for the report, in microseconds.
@@ -149,6 +154,8 @@ type report struct {
 	WriteLatency      latencyDoc   `json:"write_latency_us"`
 	Nodes             []nodeDoc    `json:"nodes,omitempty"`
 	ReplicationLagMax int64        `json:"replication_lag_max"`
+	AckedKeys         int64        `json:"acked_keys,omitempty"`
+	LostAcked         int64        `json:"lost_acked"`
 	Heap              *heapDoc     `json:"heap,omitempty"`
 	Baseline          *baselineDoc `json:"baseline,omitempty"`
 	EngineOverhead    *overheadDoc `json:"engine_overhead,omitempty"`
@@ -169,6 +176,9 @@ func run(args []string, stdout io.Writer) error {
 	out := fs.String("out", "", "also write the report as JSON to this path")
 	baseline := fs.String("baseline", "", "prior report JSON to print a before/after delta against")
 	overhead := fs.Bool("engine-overhead", false, "append the lane-commit instrumentation microbenchmark")
+	failover := fs.Bool("failover", false, "with --spawn: boot the cluster with failover enabled (leases, promotion, epoch fencing)")
+	killNode := fs.Int("kill-node", -1, "with --spawn: crash this node index mid-run (implies --failover); acked writes are audited against the survivors")
+	killAfter := fs.Duration("kill-after", 0, "when to crash --kill-node after load starts (0 = duration/3)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,6 +187,14 @@ func run(args []string, stdout io.Writer) error {
 		Spawn: *spawn, Duration: *duration, DurationS: duration.Seconds(),
 		Conns: *conns, Rate: *rate, ReadPct: *readPct, Keys: *keys,
 		ZipfS: *zipfS, Seed: *seed,
+		Failover: *failover || *killNode >= 0,
+		KillNode: *killNode, KillAfter: *killAfter,
+	}
+	if cfg.KillNode >= 0 {
+		if cfg.KillAfter <= 0 {
+			cfg.KillAfter = cfg.Duration / 3
+		}
+		cfg.KillAfterS = cfg.KillAfter.Seconds()
 	}
 	for _, r := range strings.Split(*relations, ",") {
 		if r != "" {
@@ -201,15 +219,25 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	var nodes []*funcdb.ClusterNode
 	if *spawn > 0 {
-		addrs, shutdown, err := spawnCluster(*spawn, cfg.Relations)
+		if cfg.KillNode >= *spawn {
+			return fmt.Errorf("--kill-node %d out of range for --spawn %d", cfg.KillNode, *spawn)
+		}
+		if cfg.Failover && *spawn < 2 {
+			return fmt.Errorf("--failover needs --spawn >= 2 (a mirror must exist to promote)")
+		}
+		addrs, spawned, shutdown, err := spawnCluster(*spawn, cfg.Relations, cfg.Failover)
 		if err != nil {
 			return err
 		}
 		defer shutdown()
-		cfg.Addrs = addrs
+		cfg.Addrs, nodes = addrs, spawned
 		fmt.Fprintf(stdout, "spawned %d-node loopback cluster: %s\n", *spawn, strings.Join(addrs, " "))
 	} else {
+		if cfg.KillNode >= 0 {
+			return fmt.Errorf("--kill-node needs --spawn (the crash is in-process)")
+		}
 		cfg.Addrs = splitComma(*addrsFlag)
 		if len(cfg.Addrs) == 0 {
 			return fmt.Errorf("give --addrs or --spawn")
@@ -220,7 +248,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	rep, err := drive(cfg, stdout)
+	rep, err := drive(cfg, nodes, stdout)
 	if err != nil {
 		return err
 	}
@@ -256,6 +284,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if base != nil {
 		printDelta(stdout, rep, base, *baseline)
+	}
+	if rep.LostAcked > 0 {
+		return fmt.Errorf("kill smoke: %d of %d acked keys lost after crashing node %d", rep.LostAcked, rep.AckedKeys, cfg.KillNode)
 	}
 	return nil
 }
@@ -324,8 +355,16 @@ func printDelta(w io.Writer, rep, base *report, path string) {
 	}
 }
 
-// drive runs the workload and assembles the report.
-func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
+// ackedKey names one write the cluster acknowledged, for the post-kill
+// audit: the promoted survivor must still hold every one of them.
+type ackedKey struct {
+	rel string
+	key int
+}
+
+// drive runs the workload and assembles the report. nodes is non-nil
+// only with --spawn; it is what --kill-node crashes.
+func drive(cfg loadConfig, nodes []*funcdb.ClusterNode, stdout io.Writer) (*report, error) {
 	var (
 		lat, readLat, writeLat metrics.Histogram
 		reads, writes, errs    metrics.Counter
@@ -350,12 +389,21 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 	clients := make([]*client.ClusterClient, cfg.Conns)
 	var dialWG sync.WaitGroup
 	dialFailed := make(chan error, cfg.Conns)
+	// With failover on, clients ride through the promotion window: retry
+	// with re-resolved placement for up to half the run rather than
+	// surfacing the first fenced/dead-connection error.
+	retryOpt := func(opts []client.ClusterOption) []client.ClusterOption {
+		if cfg.Failover {
+			opts = append(opts, client.WithFailoverRetry(cfg.Duration/2+time.Second))
+		}
+		return opts
+	}
 	for w := 0; w < cfg.Conns; w++ {
 		dialWG.Add(1)
 		go func(w int) {
 			defer dialWG.Done()
 			cl, err := client.DialCluster(cfg.Addrs,
-				client.WithClusterOrigin(fmt.Sprintf("load%d", w)))
+				retryOpt([]client.ClusterOption{client.WithClusterOrigin(fmt.Sprintf("load%d", w))})...)
 			if err != nil {
 				dialFailed <- err
 				return
@@ -398,6 +446,16 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 
 	start := time.Now()
 	deadline := start.Add(cfg.Duration)
+	trackAcked := cfg.KillNode >= 0
+	var acked sync.Map // ackedKey -> struct{}
+	if trackAcked && nodes != nil {
+		killTimer := time.AfterFunc(cfg.KillAfter, func() {
+			nodes[cfg.KillNode].Kill()
+			fmt.Fprintf(stdout, "crashed node %d (%s) %v into the run\n",
+				cfg.KillNode, cfg.Addrs[cfg.KillNode], cfg.KillAfter.Round(time.Millisecond))
+		})
+		defer killTimer.Stop()
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Conns; w++ {
 		wg.Add(1)
@@ -447,6 +505,9 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 					} else {
 						writes.Inc()
 						writeLat.Observe(d.Nanoseconds())
+						if trackAcked {
+							acked.Store(ackedKey{rel, key}, struct{}{})
+						}
 					}
 				}
 			}
@@ -518,7 +579,27 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 				}
 			}
 		}
+		// With failover on, the snapshot carries liveness: how stale each
+		// peer's last heartbeat is and how far its applied seq lags.
+		if cfg.Failover {
+			for _, addr := range cfg.Addrs {
+				snap, ok := snaps[addr]
+				if !ok {
+					continue
+				}
+				for _, peer := range snap.Peers {
+					if peer.HeartbeatAgeMs >= 0 {
+						fmt.Fprintf(stdout, "  %s -> peer %d: heartbeat %.0fms ago, applied lag %d\n",
+							addr, peer.Peer, peer.HeartbeatAgeMs, peer.AppliedLag)
+					}
+				}
+			}
+		}
 		statsCl.Close()
+	}
+
+	if trackAcked {
+		rep.LostAcked, rep.AckedKeys = auditAcked(cfg, &acked, stdout)
 	}
 
 	fmt.Fprintf(stdout, "%d ops in %v (%.0f ops/s): %d reads, %d writes, %d errors\n",
@@ -533,6 +614,31 @@ func drive(cfg loadConfig, stdout io.Writer) (*report, error) {
 		fmt.Fprintf(stdout, "replication lag (max): %d commits\n", rep.ReplicationLagMax)
 	}
 	return rep, nil
+}
+
+// auditAcked re-reads every acknowledged write against the survivors:
+// with the crashed node fenced out, the promoted mirror must serve each
+// acked key — an acked insert that cannot be found again was lost.
+func auditAcked(cfg loadConfig, acked *sync.Map, stdout io.Writer) (lost, total int64) {
+	cl, err := client.DialCluster(cfg.Addrs,
+		client.WithClusterOrigin("load-audit"),
+		client.WithFailoverRetry(10*time.Second))
+	if err != nil {
+		fmt.Fprintf(stdout, "acked-write audit could not dial: %v\n", err)
+		return 0, 0
+	}
+	defer cl.Close()
+	acked.Range(func(k, _ any) bool {
+		ak := k.(ackedKey)
+		total++
+		resp, err := cl.Exec(fmt.Sprintf("find %d in %s", ak.key, ak.rel))
+		if err != nil || resp.Err != nil || !resp.Found {
+			lost++
+		}
+		return true
+	})
+	fmt.Fprintf(stdout, "acked-write audit: %d keys acked, %d lost\n", total, lost)
+	return lost, total
 }
 
 // toLatencyDoc converts a nanosecond histogram into microsecond quantiles.
@@ -575,10 +681,13 @@ func printHistogram(w io.Writer, h metrics.HistogramSnapshot) {
 // spawnCluster boots n cluster nodes on loopback: every port bound first,
 // the address list shared, then the nodes opened over the bound
 // listeners. Archives live in a temp directory the shutdown removes.
-func spawnCluster(n int, rels []string) (addrs []string, shutdown func(), err error) {
+// With failover the nodes heartbeat at 100ms (lease 400ms) and the boot
+// probation is waited out, so the first statement already has a settled
+// ownership view.
+func spawnCluster(n int, rels []string, failover bool) (addrs []string, nodes []*funcdb.ClusterNode, shutdown func(), err error) {
 	dir, err := os.MkdirTemp("", "fdbload")
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	lns := make([]net.Listener, n)
 	for i := range lns {
@@ -588,12 +697,11 @@ func spawnCluster(n int, rels []string) (addrs []string, shutdown func(), err er
 				l.Close()
 			}
 			os.RemoveAll(dir)
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		lns[i] = ln
 		addrs = append(addrs, ln.Addr().String())
 	}
-	nodes := make([]*funcdb.ClusterNode, 0, n)
 	stop := func() {
 		for _, node := range nodes {
 			node.Shutdown()
@@ -601,25 +709,37 @@ func spawnCluster(n int, rels []string) (addrs []string, shutdown func(), err er
 		os.RemoveAll(dir)
 	}
 	for i := 0; i < n; i++ {
-		node, err := funcdb.OpenClusterNode(funcdb.ClusterNodeConfig{
+		ncfg := funcdb.ClusterNodeConfig{
 			ID: i, Nodes: addrs, Listener: lns[i],
 			Dir:       filepath.Join(dir, fmt.Sprintf("n%d", i)),
 			Relations: rels,
 			Durability: []funcdb.DurabilityOption{
 				funcdb.GroupCommit(2 * time.Millisecond),
 			},
-		})
+		}
+		if failover {
+			ncfg.Failover = &cluster.FailoverConfig{Heartbeat: 100 * time.Millisecond}
+		}
+		node, err := funcdb.OpenClusterNode(ncfg)
 		if err != nil {
 			for _, l := range lns[i:] {
 				l.Close()
 			}
 			stop()
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		nodes = append(nodes, node)
 		go node.Serve()
 	}
-	return addrs, stop, nil
+	if failover {
+		for _, node := range nodes {
+			if err := node.WaitReady(5 * time.Second); err != nil {
+				stop()
+				return nil, nil, nil, err
+			}
+		}
+	}
+	return addrs, nodes, stop, nil
 }
 
 // engineOverhead times the single-lane admission hot path with and

@@ -24,6 +24,8 @@ package funcdb
 import (
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"time"
 
@@ -716,6 +718,14 @@ type ClusterNodeConfig struct {
 	// Durability tunes the node's archive (group commit, fsync, snapshot
 	// cadence).
 	Durability []DurabilityOption
+	// Failover enables lease-based failure detection, promotion of the
+	// most-caught-up mirror when a primary dies, and epoch fencing.
+	// Requires replication; every node of the cluster should enable it
+	// with the same parameters. See cluster.FailoverConfig.
+	Failover *cluster.FailoverConfig
+	// Dialer overrides how the node opens outbound connections (fault
+	// injection in tests). Nil means plain TCP.
+	Dialer cluster.DialFunc
 }
 
 // ClusterNode is one running member of a real-network cluster: primary
@@ -755,13 +765,37 @@ func OpenClusterNode(cfg ClusterNodeConfig) (*ClusterNode, error) {
 	if err != nil {
 		return nil, err
 	}
-	node, err := cluster.New(cluster.Config{
+	ccfg := cluster.Config{
 		ID:        cfg.ID,
 		Addrs:     cfg.Nodes,
 		Store:     store,
 		Relations: cfg.Relations,
 		Replicate: !cfg.DisableReplication,
-	})
+		Failover:  cfg.Failover,
+		Dialer:    cfg.Dialer,
+	}
+	if cfg.Failover != nil {
+		// The takeover store: the mirror's database at the promotion base
+		// becomes the initial version of a fresh durable store under the
+		// node's own directory, so the adopted slot's log is subscribable
+		// exactly like a born-primary's — from the base onward.
+		ccfg.Promote = func(slot int, epoch uint64, db *Database) (cluster.LocalStore, error) {
+			dir := filepath.Join(cfg.Dir, fmt.Sprintf("takeover-%d-e%d", slot, epoch))
+			if err := os.RemoveAll(dir); err != nil {
+				return nil, err
+			}
+			topts := []Option{
+				WithDatabase(db),
+				WithOrigin(fmt.Sprintf("node%d-takeover%d", cfg.ID, slot)),
+				WithDurability(dir, cfg.Durability...),
+			}
+			if cfg.Lanes > 0 {
+				topts = append(topts, WithLanes(cfg.Lanes))
+			}
+			return Open(topts...)
+		}
+	}
+	node, err := cluster.New(ccfg)
 	if err != nil {
 		store.Close()
 		return nil, err
@@ -815,6 +849,31 @@ func (cn *ClusterNode) MetricsSnapshot() MetricsSnapshot {
 	srv := cn.srv.Metrics().Snapshot()
 	snap.Server = &srv
 	return snap
+}
+
+// Kill hard-stops the node without draining, barriering, or closing the
+// store: connections are cut mid-request and nothing pending is
+// flushed. It is the in-process stand-in for SIGKILL — whatever a real
+// crash would lose, Kill loses too — used by fault-injection tests and
+// fdbload's kill smoke. The store is intentionally left unclosed.
+func (cn *ClusterNode) Kill() {
+	cn.node.Close()
+	cn.srv.Abort()
+}
+
+// FailoverInfo reports who serves a slot (and in which epoch) as this
+// node believes it, and whether this node serves it locally. Epoch 0
+// with owner==slot is the static placement (no promotion yet, or
+// failover off).
+func (cn *ClusterNode) FailoverInfo(slot int) (owner int, epoch uint64, servingHere bool) {
+	return cn.node.FailoverInfo(slot)
+}
+
+// WaitReady blocks until the node's failover boot probation resolves (a
+// no-op without failover): after it returns, the node either serves its
+// slot or knows who does.
+func (cn *ClusterNode) WaitReady(timeout time.Duration) error {
+	return cn.node.WaitReady(timeout)
 }
 
 // Shutdown drains the listener (every acked response is flushed to the

@@ -19,6 +19,14 @@ var ErrNoArchive = errors.New("archive: no archive in directory")
 // ErrExists reports creating an archive where one is already present.
 var ErrExists = errors.New("archive: archive already present")
 
+// ErrLogTrimmed reports a subscription starting below the retained log:
+// the records the subscriber needs no longer exist in record form, so
+// retrying cannot help — the subscriber must bootstrap from a snapshot
+// (the ROADMAP's elastic-membership item) or rewind to a retained
+// position. The sentinel crosses the wire by message text, which is why
+// the text is stable.
+var ErrLogTrimmed = errors.New("archive: subscribe predates the retained log")
+
 // config collects archive options.
 type config struct {
 	snapshotEvery int
@@ -428,7 +436,7 @@ func (a *Archive) SubscribeTxns(after int64, fn TailFunc) (cancel func(), err er
 		if len(st.logs) > 0 {
 			oldest = st.logs[0]
 		}
-		return nil, fmt.Errorf("archive: subscribe after %d predates the retained log (oldest segment base %d)", after, oldest)
+		return nil, fmt.Errorf("%w: after %d (oldest segment base %d)", ErrLogTrimmed, after, oldest)
 	}
 	for _, seg := range st.logs {
 		lc, err := readLog(a.dir, seg)

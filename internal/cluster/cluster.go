@@ -37,6 +37,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 
@@ -87,6 +88,17 @@ type Config struct {
 	// Replicate enables log-shipped replicas of the peers' relations
 	// (required for replica reads; needs every peer to be durable).
 	Replicate bool
+	// Failover enables lease-based failure detection, self-promotion of
+	// the most-caught-up mirror, and epoch fencing (requires Replicate
+	// and Promote). Nil keeps the static placement of earlier versions.
+	Failover *FailoverConfig
+	// Promote builds the takeover store when this node wins a dead
+	// peer's slot (funcdb supplies one; required with Failover).
+	Promote PromoteFunc
+	// Dialer opens outbound connections (forwards, replication streams,
+	// heartbeats). Nil means net.Dial("tcp", addr); tests inject a
+	// FaultTransport dialer here.
+	Dialer DialFunc
 }
 
 // OwnerIndex returns the node index owning rel's primary in an n-node
@@ -110,21 +122,24 @@ func OwnedRelations(relations []string, id, n int) []string {
 // its submitter), server.Placer (redirects), server.ReplicaReader
 // (stale reads), and server.LogSource (its own log, for its replicas).
 type Node struct {
-	id     int
-	addrs  []string
-	store  LocalStore
-	cache  *query.StmtCache
-	origin string
+	id      int
+	addrs   []string
+	store   LocalStore
+	cache   *query.StmtCache
+	origin  string
+	dial    DialFunc
+	promote PromoteFunc
 
-	peers   []*peer   // by node index; nil at n.id
-	mirrors []*mirror // by node index; nil at n.id (and without Replicate)
-	m       *metrics.Cluster
+	peers []*peer // by node index; nil at n.id
+	m     *metrics.Cluster
+	fo    *failover // nil without Config.Failover
 
 	closing atomic.Bool
 	wg      sync.WaitGroup // replication loops
 
 	mu       sync.Mutex
 	subConns []closable // live replication dials, closed on Close
+	mirrors  []*mirror  // by node index; nil at n.id (and without Replicate); slot n.id is installed by rejoin
 }
 
 // closable is the subset of net.Conn Close needs.
@@ -142,18 +157,34 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Store == nil {
 		return nil, errors.New("cluster: node needs a local store")
 	}
+	if cfg.Failover != nil {
+		if !cfg.Replicate {
+			return nil, errors.New("cluster: failover requires Replicate (promotion serves from the mirrors)")
+		}
+		if cfg.Promote == nil {
+			return nil, errors.New("cluster: failover requires a Promote factory for takeover stores")
+		}
+		if len(cfg.Addrs) < 2 {
+			return nil, errors.New("cluster: failover needs at least two nodes")
+		}
+	}
 	n := &Node{
-		id:     cfg.ID,
-		addrs:  append([]string(nil), cfg.Addrs...),
-		store:  cfg.Store,
-		cache:  query.NewStmtCache(0),
-		origin: fmt.Sprintf("node%d", cfg.ID),
-		m:      &metrics.Cluster{},
+		id:      cfg.ID,
+		addrs:   append([]string(nil), cfg.Addrs...),
+		store:   cfg.Store,
+		cache:   query.NewStmtCache(0),
+		origin:  fmt.Sprintf("node%d", cfg.ID),
+		dial:    cfg.Dialer,
+		promote: cfg.Promote,
+		m:       &metrics.Cluster{},
+	}
+	if n.dial == nil {
+		n.dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
 	}
 	n.peers = make([]*peer, len(n.addrs))
 	for i, addr := range n.addrs {
 		if i != n.id {
-			n.peers[i] = newPeer(n.origin, addr, n.m)
+			n.peers[i] = newPeer(n.origin, addr, n.m, n.dial)
 		}
 	}
 	if cfg.Replicate {
@@ -163,14 +194,20 @@ func New(cfg Config) (*Node, error) {
 				continue
 			}
 			owned := OwnedRelations(cfg.Relations, i, len(n.addrs))
-			n.mirrors[i] = newMirror(i, owned)
+			m := newMirror(i, owned)
+			m.keepTail = cfg.Failover != nil
+			n.mirrors[i] = m
 		}
+	}
+	if cfg.Failover != nil {
+		n.fo = newFailover(n, *cfg.Failover)
 	}
 	return n, nil
 }
 
-// Start launches the replication loops: one subscription per peer,
-// retried until Close. A no-op without Replicate.
+// Start launches the replication loops — one subscription per peer,
+// retried until Close — and, with failover, the heartbeat loops. A
+// no-op without Replicate.
 func (n *Node) Start() {
 	for i, m := range n.mirrors {
 		if m == nil {
@@ -178,6 +215,9 @@ func (n *Node) Start() {
 		}
 		n.wg.Add(1)
 		go n.replicateFrom(i, m)
+	}
+	if n.fo != nil {
+		n.fo.start()
 	}
 }
 
@@ -199,6 +239,10 @@ func (n *Node) Close() {
 			p.close()
 		}
 	}
+	if n.fo != nil {
+		// Wake any write gated on replication acks; it answers ErrFenced.
+		n.fo.cond.Broadcast()
+	}
 	n.wg.Wait()
 }
 
@@ -212,9 +256,14 @@ func (n *Node) Addr() string { return n.addrs[n.id] }
 func (n *Node) ClusterSize() int { return len(n.addrs) }
 
 // Owner implements server.Placer: the advertised address of rel's
-// primary, and whether that primary is this node.
+// primary, and whether that primary is this node. With failover the
+// slot's CURRENT owner answers, which may differ from the placement
+// hash after a promotion.
 func (n *Node) Owner(rel string) (addr string, self bool) {
 	idx := OwnerIndex(rel, len(n.addrs))
+	if n.fo != nil {
+		idx = n.fo.ownerOf(idx)
+	}
 	return n.addrs[idx], idx == n.id
 }
 
@@ -266,6 +315,7 @@ func (n *Node) MetricsSnapshot() metrics.Snapshot {
 	}
 	snap.Origin = n.origin
 	cs := n.m.Snapshot()
+	cs.Epochs, cs.Owners = n.failoverVectors()
 	snap.Cluster = &cs
 	for i := range n.addrs {
 		if i == n.id {
@@ -276,15 +326,32 @@ func (n *Node) MetricsSnapshot() metrics.Snapshot {
 			ps.ForwardFrames = p.frames.Load()
 			ps.Dials = p.dials.Load()
 		}
-		if n.mirrors != nil && n.mirrors[i] != nil {
-			m := n.mirrors[i]
+		if m := n.mirrorRef(i); m != nil {
 			ps.ReplicaApplied = m.version()
 			ps.ReplicaRecords = m.records.Load()
 			ps.ReplicaConnects = m.connects.Load()
 		}
+		ps.HeartbeatAgeMs, ps.AppliedLag = n.heartbeatAge(i)
 		snap.Peers = append(snap.Peers, ps)
 	}
 	return snap
+}
+
+// mirrorRef returns the mirror at a slot (nil when absent). The slice
+// itself is mutated only by rejoin, which installs a self-mirror.
+func (n *Node) mirrorRef(i int) *mirror {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.mirrors == nil || i < 0 || i >= len(n.mirrors) {
+		return nil
+	}
+	return n.mirrors[i]
+}
+
+func (n *Node) setMirror(i int, m *mirror) {
+	n.mu.Lock()
+	n.mirrors[i] = m
+	n.mu.Unlock()
 }
 
 // SubmitTagged implements session.Submitter: the routing point. The
@@ -306,20 +373,68 @@ func (n *Node) SubmitTagged(txs []core.Transaction) []*session.Future {
 			j++
 		}
 		run := txs[i:j]
-		switch owner := owners[i]; {
-		case owner < 0:
+		slot := owners[i]
+		eff := slot
+		if n.fo != nil && slot >= 0 {
+			eff = n.fo.ownerOf(slot)
+		}
+		switch {
+		case slot < 0:
 			for k := i; k < j; k++ {
 				out[k] = unroutable(txs[k])
 			}
-		case owner == n.id:
-			copy(out[i:j], n.store.SubmitTagged(run))
+		case eff == n.id:
+			futs, err := n.localSubmit(slot, run)
+			if err != nil {
+				for k := i; k < j; k++ {
+					out[k] = lenient.Ready(core.Response{
+						Origin: txs[k].Origin, Seq: txs[k].Seq, Kind: txs[k].Kind, Err: err,
+					})
+				}
+				break
+			}
+			copy(out[i:j], futs)
 		default:
 			n.m.Forwarded(len(run))
-			copy(out[i:j], n.peers[owner].forwardTagged(run))
+			epoch, hasEpoch := n.slotEpoch(slot)
+			copy(out[i:j], n.peers[eff].forwardTagged(run, epoch, hasEpoch))
 		}
 		i = j
 	}
 	return out
+}
+
+// localSubmit admits a run this node serves. Under failover the serving
+// store is resolved per slot (the node's own store, or a takeover
+// store), and write futures are wrapped in the replication-ack gate so
+// an acknowledged commit is guaranteed to survive a subsequent crash of
+// this node.
+func (n *Node) localSubmit(slot int, run []core.Transaction) ([]*session.Future, error) {
+	if n.fo == nil {
+		return n.store.SubmitTagged(run), nil
+	}
+	st, err := n.fo.localStore(slot)
+	if err != nil {
+		return nil, err
+	}
+	futs := st.SubmitTagged(run)
+	if n.fo.cfg.SyncReplicas > 0 {
+		for k := range futs {
+			if !run[k].IsReadOnly() {
+				futs[k] = n.fo.gated(slot, st, futs[k])
+			}
+		}
+	}
+	return futs, nil
+}
+
+// slotEpoch returns the epoch to stamp into forwards for a slot, and
+// whether to stamp at all (only failover clusters speak epochs).
+func (n *Node) slotEpoch(slot int) (epoch uint64, ok bool) {
+	if n.fo == nil {
+		return 0, false
+	}
+	return n.fo.epochOf(slot), true
 }
 
 // routeOf places one transaction: the owning node index, n.id for local,

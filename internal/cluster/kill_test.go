@@ -18,6 +18,7 @@ import (
 
 	"funcdb"
 	"funcdb/client"
+	"funcdb/internal/cluster"
 )
 
 // TestClusterNodeHelper is the subprocess body: one cluster node serving
@@ -31,12 +32,31 @@ func TestClusterNodeHelper(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	node, err := funcdb.OpenClusterNode(funcdb.ClusterNodeConfig{
+	cfg := funcdb.ClusterNodeConfig{
 		ID:        id,
 		Nodes:     strings.Split(nodesEnv, ","),
 		Dir:       os.Getenv("FDB_CLUSTER_DIR"),
 		Relations: clusterRels,
-	})
+	}
+	// Failover tests run the subprocess with leases on (heartbeat in ms)
+	// and group commit, so its acks carry the same durability contract as
+	// the in-process survivors it will be measured against.
+	if hbEnv := os.Getenv("FDB_CLUSTER_FAILOVER_MS"); hbEnv != "" {
+		hb, err := strconv.Atoi(hbEnv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Failover = &cluster.FailoverConfig{Heartbeat: time.Duration(hb) * time.Millisecond}
+		cfg.Durability = []funcdb.DurabilityOption{funcdb.GroupCommit(2 * time.Millisecond)}
+	}
+	if lanesEnv := os.Getenv("FDB_CLUSTER_LANES"); lanesEnv != "" {
+		lanes, err := strconv.Atoi(lanesEnv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Lanes = lanes
+	}
+	node, err := funcdb.OpenClusterNode(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,8 +22,9 @@ type peer struct {
 	origin string // this node's tag, for the peer handshake
 	addr   string
 	cm     *metrics.Cluster // node-wide routing counters (may be nil)
-	frames metrics.Counter  // Forward frames sent to this peer
-	dials  metrics.Counter  // (re)connects of the forwarding link
+	dialFn DialFunc
+	frames metrics.Counter // Forward frames sent to this peer
+	dials  metrics.Counter // (re)connects of the forwarding link
 
 	mu     sync.Mutex
 	pc     *peerConn // the live connection, nil between failures
@@ -53,8 +54,11 @@ type fwdCall struct {
 	redirect string // remote FrameRedirect: placement disagreement
 }
 
-func newPeer(origin, addr string, cm *metrics.Cluster) *peer {
-	return &peer{origin: origin, addr: addr, cm: cm}
+func newPeer(origin, addr string, cm *metrics.Cluster, dial DialFunc) *peer {
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return &peer{origin: origin, addr: addr, cm: cm, dialFn: dial}
 }
 
 // ensureLocked dials and handshakes if the connection is down, returning
@@ -66,7 +70,7 @@ func (p *peer) ensureLocked() (*peerConn, error) {
 	if p.pc != nil {
 		return p.pc, nil
 	}
-	conn, err := net.Dial("tcp", p.addr)
+	conn, err := p.dialFn(p.addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: node %s unreachable: %w", p.addr, err)
 	}
@@ -199,7 +203,9 @@ func (p *peer) close() {
 // order. The frame sets FwdNoForward: if the peer disagrees about
 // ownership (it answered Redirect), or the link dies, every future
 // resolves with the error; forwarding never chains past one hop.
-func (p *peer) forwardTagged(txs []core.Transaction) []*session.Future {
+// With hasEpoch the frame is additionally stamped with the slot's epoch
+// (FwdEpoch), so a receiver that has seen a newer promotion fences it.
+func (p *peer) forwardTagged(txs []core.Transaction, epoch uint64, hasEpoch bool) []*session.Future {
 	out := make([]*session.Future, len(txs))
 	stmts := make([]wire.ForwardStmt, len(txs))
 	for i, tx := range txs {
@@ -219,8 +225,12 @@ func (p *peer) forwardTagged(txs []core.Transaction) []*session.Future {
 		stmts[i] = wire.ForwardStmt{Origin: tx.Origin, Seq: tx.Seq, Query: tx.Query}
 	}
 
+	flags := byte(wire.FwdNoForward)
+	if hasEpoch {
+		flags |= wire.FwdEpoch
+	}
 	call := &fwdCall{n: len(txs), done: make(chan struct{})}
-	if err := p.sendForward(call, wire.FwdNoForward, stmts); err != nil {
+	if err := p.sendForward(call, flags, epoch, stmts); err != nil {
 		call.err, call.errIndex = err, -1
 		close(call.done)
 	}
@@ -235,7 +245,7 @@ func (p *peer) forwardTagged(txs []core.Transaction) []*session.Future {
 }
 
 // sendForward writes one Forward frame and registers its call.
-func (p *peer) sendForward(call *fwdCall, flags byte, stmts []wire.ForwardStmt) error {
+func (p *peer) sendForward(call *fwdCall, flags byte, epoch uint64, stmts []wire.ForwardStmt) error {
 	p.mu.Lock()
 	pc, err := p.ensureLocked()
 	if err != nil {
@@ -249,7 +259,7 @@ func (p *peer) sendForward(call *fwdCall, flags byte, stmts []wire.ForwardStmt) 
 	// allocation per forwarded frame.
 	var mark int
 	p.enc, mark = wire.BeginFrame(p.enc[:0], wire.FrameForward)
-	p.enc = wire.AppendForward(p.enc, id, flags, stmts)
+	p.enc = wire.AppendForwardE(p.enc, id, flags, epoch, stmts)
 	p.enc, err = wire.EndFrame(p.enc, mark)
 	if err != nil {
 		p.mu.Unlock()

@@ -3,7 +3,8 @@ package cluster
 import (
 	"bufio"
 	"fmt"
-	"net"
+	"strings"
+	"sync"
 	"time"
 
 	"funcdb/internal/archive"
@@ -29,6 +30,15 @@ type mirror struct {
 	eng      *core.Engine
 	records  metrics.Counter // log records applied to this mirror
 	connects metrics.Counter // subscription (re)connects to the peer
+
+	// keepTail (set before Start on failover clusters) retains the raw
+	// bytes of recently applied records so that, after a promotion, the
+	// frozen tail can bridge subscribers below the takeover store's log
+	// floor. Bounded by failoverTailCap.
+	keepTail bool
+	tailMu   sync.Mutex
+	tailFrom int64 // seq of the record before tailRecs[0]
+	tailRecs [][]byte
 }
 
 func newMirror(peerIdx int, ownedRels []string) *mirror {
@@ -38,20 +48,46 @@ func newMirror(peerIdx int, ownedRels []string) *mirror {
 	}
 }
 
+// newMirrorFromDB starts a mirror at an explicit database version: the
+// rejoin path's self-mirror, rewound to the winner's promotion base.
+func newMirrorFromDB(peerIdx int, db *database.Database) *mirror {
+	return &mirror{peer: peerIdx, eng: core.NewEngine(db)}
+}
+
 // version is the newest primary sequence the mirror has applied.
 func (m *mirror) version() int64 { return m.eng.Version() }
 
-// apply installs one shipped record. Records must arrive in exactly
-// primary order: seq == applied+1. A gap means the stream skipped
-// something the record form cannot carry (a custom transaction on the
-// primary) — the mirror refuses rather than silently diverge.
-func (m *mirror) apply(seq int64, tx core.Transaction) error {
+// apply installs one shipped record (raw is its wire form, retained for
+// the post-promotion tail when keepTail is set). Records must arrive in
+// exactly primary order: seq == applied+1. A gap means the stream
+// skipped something the record form cannot carry (a custom transaction
+// on the primary) — the mirror refuses rather than silently diverge.
+func (m *mirror) apply(seq int64, tx core.Transaction, raw []byte) error {
 	if have := m.version(); seq != have+1 {
 		return fmt.Errorf("cluster: replication gap from node %d: record %d after %d", m.peer, seq, have)
 	}
 	m.eng.Submit(tx).Force()
 	m.records.Inc()
+	if m.keepTail {
+		m.tailMu.Lock()
+		if len(m.tailRecs) == 0 {
+			m.tailFrom = seq - 1
+		}
+		m.tailRecs = append(m.tailRecs, append([]byte(nil), raw...))
+		if len(m.tailRecs) > failoverTailCap {
+			m.tailRecs = m.tailRecs[1:]
+			m.tailFrom++
+		}
+		m.tailMu.Unlock()
+	}
 	return nil
+}
+
+// freezeTail snapshots the retained record tail at promotion time.
+func (m *mirror) freezeTail() *recordTail {
+	m.tailMu.Lock()
+	defer m.tailMu.Unlock()
+	return &recordTail{from: m.tailFrom, recs: append([][]byte(nil), m.tailRecs...)}
 }
 
 // ReplicaRead implements server.ReplicaReader: serve a read-only
@@ -66,23 +102,32 @@ func (n *Node) ReplicaRead(tx core.Transaction) (*session.Future, bool) {
 	if !tx.IsReadOnly() || tx.Kind == core.KindCustom {
 		return nil, false
 	}
-	owner := OwnerIndex(tx.Rel, len(n.addrs))
-	if owner == n.id {
+	slot := OwnerIndex(tx.Rel, len(n.addrs))
+	if n.fo != nil {
+		// The slot this node SERVES (own store or takeover) answers with
+		// zero staleness; anything else falls to its mirror — including
+		// this node's own former slot after a demotion.
+		if st := n.fo.authorityStore(slot); st != nil {
+			return st.SubmitTagged([]core.Transaction{stampedRead(tx)})[0], true
+		}
+	} else if slot == n.id {
 		return n.store.SubmitTagged([]core.Transaction{stampedRead(tx)})[0], true
 	}
-	if n.mirrors == nil || n.mirrors[owner] == nil {
+	m := n.mirrorRef(slot)
+	if m == nil {
 		return nil, false
 	}
-	return n.mirrors[owner].eng.Submit(stampedRead(tx)), true
+	return m.eng.Submit(stampedRead(tx)), true
 }
 
 // ReplicaVersion reports the mirror's applied version for a peer, or -1
 // without one (introspection for staleness tests and stats).
 func (n *Node) ReplicaVersion(peerIdx int) int64 {
-	if n.mirrors == nil || peerIdx < 0 || peerIdx >= len(n.mirrors) || n.mirrors[peerIdx] == nil {
+	m := n.mirrorRef(peerIdx)
+	if m == nil {
 		return -1
 	}
-	return n.mirrors[peerIdx].version()
+	return m.version()
 }
 
 // stampedRead wraps a built-in read-only transaction so it runs against
@@ -115,6 +160,11 @@ func stampedRead(tx core.Transaction) core.Transaction {
 func (n *Node) replicateFrom(peerIdx int, m *mirror) {
 	defer n.wg.Done()
 	for !n.closing.Load() {
+		if n.fo != nil && n.fo.ownerOf(peerIdx) == n.id {
+			// This node was promoted into the slot: the takeover store is
+			// now the authority and the mirror's job is done.
+			return
+		}
 		err := n.streamFrom(peerIdx, m)
 		if n.closing.Load() {
 			return
@@ -136,9 +186,20 @@ var errNodeClosing = fmt.Errorf("cluster: node closing")
 const replicaRetryDelay = 100 * time.Millisecond
 
 // streamFrom runs one subscription: handshake, Subscribe(after), then a
-// LogRecord loop until the stream ends.
+// LogRecord loop until the stream ends. Under failover the dial target
+// is the slot's CURRENT owner (re-resolved per attempt, so a mirror
+// follows its slot across promotions), the subscription is
+// slot-addressed, records arrive epoch-stamped, and each applied record
+// is acked back — the primary's write gate counts those acks.
 func (n *Node) streamFrom(peerIdx int, m *mirror) error {
-	conn, err := net.Dial("tcp", n.addrs[peerIdx])
+	target := peerIdx
+	if n.fo != nil {
+		target = n.fo.ownerOf(peerIdx)
+		if target == n.id {
+			return nil
+		}
+	}
+	conn, err := n.dial(n.addrs[target])
 	if err != nil {
 		return err
 	}
@@ -164,12 +225,18 @@ func (n *Node) streamFrom(peerIdx int, m *mirror) error {
 	}
 	typ, payload, err := rd.Next()
 	if err != nil || typ != wire.FrameWelcome {
-		return fmt.Errorf("cluster: replication handshake with node %d failed: %v", peerIdx, err)
+		return fmt.Errorf("cluster: replication handshake with node %d failed: %v", target, err)
 	}
 	if _, err := wire.DecodeWelcome(payload); err != nil {
 		return err
 	}
-	if err := wire.WriteFrame(bw, wire.FrameSubscribe, wire.AppendSubscribe(nil, m.version())); err != nil {
+	var sub []byte
+	if n.fo != nil {
+		sub = wire.AppendSubscribeFrom(nil, m.version(), peerIdx, n.id)
+	} else {
+		sub = wire.AppendSubscribe(nil, m.version())
+	}
+	if err := wire.WriteFrame(bw, wire.FrameSubscribe, sub); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -184,28 +251,62 @@ func (n *Node) streamFrom(peerIdx int, m *mirror) error {
 		if err != nil {
 			return err
 		}
+		var record []byte
 		switch typ {
 		case wire.FrameLogRecord:
-			seq, tx, err := archive.DecodeTxnRecord(payload)
-			if err != nil {
-				return err
+			record = payload
+		case wire.FrameLogRecordE:
+			epoch, rec, derr := wire.DecodeLogRecordE(payload)
+			if derr != nil {
+				return derr
 			}
-			if err := m.apply(seq, tx); err != nil {
-				return errReplicationGap
+			if n.fo != nil {
+				known := n.fo.epochOf(peerIdx)
+				if epoch < known {
+					// A deposed primary still streaming its old epoch: drop
+					// the stream and re-resolve to the real owner.
+					return fmt.Errorf("cluster: stale epoch %d on slot %d stream (know %d)", epoch, peerIdx, known)
+				}
+				if epoch > known {
+					// The stream knows of a promotion gossip has not yet
+					// delivered: the node we dialed serves this epoch.
+					n.fo.noteStreamEpoch(peerIdx, target, epoch)
+				}
 			}
-			if tx.Kind == core.KindCreate {
-				// A relation born on the peer: cached statements touching
-				// it must re-translate, exactly as after a local create.
-				n.cache.InvalidateRel(tx.Rel)
-			}
+			record = rec
 		case wire.FrameError:
 			_, _, msg, derr := wire.DecodeErrorMsg(payload)
 			if derr != nil {
 				return derr
 			}
-			return fmt.Errorf("cluster: node %d refused subscription: %s", peerIdx, msg)
+			if strings.Contains(msg, "predates the retained log") {
+				// The owner's log floor is above our version and no tail can
+				// bridge it: this mirror cannot catch up by streaming.
+				return errReplicationGap
+			}
+			return fmt.Errorf("cluster: node %d refused subscription: %s", target, msg)
 		default:
 			return fmt.Errorf("cluster: unexpected frame %#x in replication stream", typ)
+		}
+		seq, tx, err := archive.DecodeTxnRecord(record)
+		if err != nil {
+			return err
+		}
+		if err := m.apply(seq, tx, record); err != nil {
+			return errReplicationGap
+		}
+		if tx.Kind == core.KindCreate {
+			// A relation born on the peer: cached statements touching
+			// it must re-translate, exactly as after a local create.
+			n.cache.InvalidateRel(tx.Rel)
+		}
+		if n.fo != nil {
+			if err := wire.WriteFrame(bw, wire.FrameSubAck, wire.AppendSubAck(nil, seq)); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
 		}
 	}
 }

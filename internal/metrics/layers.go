@@ -283,6 +283,11 @@ type Cluster struct {
 	Forwards     Counter // forward calls sent to peers
 	ForwardStmts Counter // statements carried by those forwards
 	Redirects    Counter // redirects received from peers
+
+	// Failover instrumentation (zero without a FailoverConfig).
+	Promotions        Counter   // slots this node promoted itself into
+	FencingRejections Counter   // forwards refused for carrying a stale epoch
+	HeartbeatRTT      Histogram // heartbeat round-trip time, per ack
 }
 
 // Forwarded records one forward call carrying n statements.
@@ -306,9 +311,19 @@ type ClusterSnapshot struct {
 	Forwards     int64 `json:"forwards"`
 	ForwardStmts int64 `json:"forward_stmts"`
 	Redirects    int64 `json:"redirects"`
+
+	// Failover state (present only with a FailoverConfig): per-slot epochs
+	// and serving owners as this node believes them, plus promotion and
+	// fencing counters and the heartbeat round-trip histogram.
+	Promotions        int64             `json:"promotions,omitempty"`
+	FencingRejections int64             `json:"fencing_rejections,omitempty"`
+	Epochs            []uint64          `json:"epochs,omitempty"`
+	Owners            []int             `json:"owners,omitempty"`
+	HeartbeatRTT      HistogramSnapshot `json:"heartbeat_rtt_ns"`
 }
 
-// Snapshot copies the cluster metrics. Safe on nil.
+// Snapshot copies the cluster metrics. Safe on nil. The failover vectors
+// (Epochs, Owners) are stamped by the node, which owns that state.
 func (c *Cluster) Snapshot() ClusterSnapshot {
 	var s ClusterSnapshot
 	if c == nil {
@@ -317,6 +332,9 @@ func (c *Cluster) Snapshot() ClusterSnapshot {
 	s.Forwards = c.Forwards.Load()
 	s.ForwardStmts = c.ForwardStmts.Load()
 	s.Redirects = c.Redirects.Load()
+	s.Promotions = c.Promotions.Load()
+	s.FencingRejections = c.FencingRejections.Load()
+	s.HeartbeatRTT = c.HeartbeatRTT.Snapshot()
 	return s
 }
 
@@ -336,6 +354,16 @@ type PeerSnapshot struct {
 	ReplicaApplied  int64 `json:"replica_applied"`
 	ReplicaRecords  int64 `json:"replica_records"`
 	ReplicaConnects int64 `json:"replica_connects"`
+	// HeartbeatAgeMs is how long ago this peer's last heartbeat (or ack)
+	// arrived, in milliseconds; -1 when no heartbeat has ever been seen
+	// (or failover is off). Ages beyond the lease mean the peer is
+	// presumed dead.
+	HeartbeatAgeMs float64 `json:"heartbeat_age_ms"`
+	// AppliedLag is how many of THIS node's committed records the peer has
+	// not yet applied to its mirror (per the peer's last heartbeat): the
+	// data this node would strand if it died right now, and therefore the
+	// peer's fitness as a promotion winner. -1 when unknown.
+	AppliedLag int64 `json:"applied_lag"`
 }
 
 // SharingSnapshot is the structure-sharing evidence from the functional
@@ -454,10 +482,21 @@ func (s Snapshot) Format() string {
 	if c := s.Cluster; c != nil {
 		fmt.Fprintf(&b, "cluster: forwards=%d fwd_stmts=%d redirects=%d\n",
 			c.Forwards, c.ForwardStmts, c.Redirects)
+		if len(c.Epochs) > 0 {
+			fmt.Fprintf(&b, "  failover: epochs=%v owners=%v promotions=%d fencing_rejections=%d\n",
+				c.Epochs, c.Owners, c.Promotions, c.FencingRejections)
+			if c.HeartbeatRTT.Count > 0 {
+				fmt.Fprintf(&b, "  heartbeat rtt:   %s\n", fmtLatency(c.HeartbeatRTT))
+			}
+		}
 	}
 	for _, p := range s.Peers {
-		fmt.Fprintf(&b, "  peer %d %s: fwd_frames=%d dials=%d replica_applied=%d records=%d connects=%d\n",
+		fmt.Fprintf(&b, "  peer %d %s: fwd_frames=%d dials=%d replica_applied=%d records=%d connects=%d",
 			p.Peer, p.Addr, p.ForwardFrames, p.Dials, p.ReplicaApplied, p.ReplicaRecords, p.ReplicaConnects)
+		if p.HeartbeatAgeMs >= 0 {
+			fmt.Fprintf(&b, " hb_age=%.0fms lag=%d", p.HeartbeatAgeMs, p.AppliedLag)
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 	if rt := s.Runtime; rt != nil {
 		fmt.Fprintf(&b, "runtime: heap=%d goroutines=%d gc=%d pause=%s mallocs=%d\n",

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -260,6 +261,65 @@ func TestSnapshotJSON(t *testing.T) {
 	}
 	if snap.Format() == "" {
 		t.Error("Format returned empty report")
+	}
+}
+
+// TestFailoverSnapshotJSONFields pins the failover observability surface
+// to its wire names: these keys are what fdbload's StatsAll sweep, the
+// /debug/vars document, and checked-in BENCH artifacts consume, so a
+// rename here is a breaking change to every report reader.
+func TestFailoverSnapshotJSONFields(t *testing.T) {
+	var c Cluster
+	c.Promotions.Inc()
+	c.FencingRejections.Add(2)
+	c.HeartbeatRTT.Observe(1500)
+	cs := c.Snapshot()
+	cs.Epochs = []uint64{0, 1}
+	cs.Owners = []int{0, 2}
+	snap := Snapshot{
+		Cluster: &cs,
+		Peers: []PeerSnapshot{
+			{Peer: 1, Addr: "n1", ReplicaApplied: 41, HeartbeatAgeMs: 12.5, AppliedLag: 3},
+			{Peer: 2, Addr: "n2", ReplicaApplied: -1, HeartbeatAgeMs: -1, AppliedLag: -1},
+		},
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cluster map[string]json.RawMessage   `json:"cluster"`
+		Peers   []map[string]json.RawMessage `json:"peers"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"promotions", "fencing_rejections", "epochs", "owners", "heartbeat_rtt_ns"} {
+		if _, ok := doc.Cluster[key]; !ok {
+			t.Errorf("cluster section lost the %q field", key)
+		}
+	}
+	for i, peer := range doc.Peers {
+		for _, key := range []string{"heartbeat_age_ms", "applied_lag"} {
+			if _, ok := peer[key]; !ok {
+				t.Errorf("peer %d lost the %q field (it must be present even when -1)", i, key)
+			}
+		}
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cluster.Promotions != 1 || back.Cluster.FencingRejections != 2 ||
+		len(back.Cluster.Epochs) != 2 || back.Cluster.Epochs[1] != 1 || back.Cluster.Owners[1] != 2 {
+		t.Errorf("failover cluster fields did not round-trip: %+v", back.Cluster)
+	}
+	if back.Peers[0].HeartbeatAgeMs != 12.5 || back.Peers[0].AppliedLag != 3 ||
+		back.Peers[1].HeartbeatAgeMs != -1 || back.Peers[1].AppliedLag != -1 {
+		t.Errorf("peer liveness fields did not round-trip: %+v", back.Peers)
+	}
+	if !strings.Contains(snap.Format(), "hb_age") {
+		t.Error("Format() dropped the per-peer heartbeat line")
 	}
 }
 

@@ -98,6 +98,34 @@ type StatsProvider interface {
 	MetricsSnapshot() metrics.Snapshot
 }
 
+// HeartbeatSink is implemented by hosts that participate in failover: a
+// FrameHeartbeat merges the sender's view and answers with the host's
+// own (ok=false answers nothing — the host has no failover state).
+type HeartbeatSink interface {
+	HandleHeartbeat(hb wire.Heartbeat) (ack wire.Heartbeat, ok bool)
+}
+
+// Fencer is implemented by hosts that enforce epoch fencing on
+// forwarded writes: FenceForward refuses a statement for a slot the
+// host does not serve in the frame's epoch, and OwnerEpoch reports the
+// newest known epoch for a relation's slot (stamped into Redirects on
+// v3 connections so the sender re-resolves with it).
+type Fencer interface {
+	FenceForward(rel string, epoch uint64, hasEpoch bool) error
+	OwnerEpoch(rel string) uint64
+}
+
+// SlotLogSource is implemented by hosts that serve slot-addressed,
+// epoch-stamped log subscriptions (a failover cluster node: its own
+// slot or a takeover slot). Subscriber acks flow back through
+// SubscriberAck and feed the host's replication-ack write gate.
+type SlotLogSource interface {
+	SubscribeSlotLog(slot, subscriber int, after int64, fn func(seq int64, epoch uint64, record []byte)) (cancel func(), err error)
+	SubscriberAttached(slot, subscriber int)
+	SubscriberAck(slot, subscriber int, seq int64)
+	SubscriberGone(slot, subscriber int)
+}
+
 // Server serves the wire protocol over one or more hosts.
 type Server struct {
 	hosts map[string]Host
@@ -225,6 +253,24 @@ func (s *Server) Shutdown() error {
 	return nil
 }
 
+// Abort hard-stops the server: the listener and every live connection
+// close immediately, with no drain and no host barrier — in-flight
+// requests are simply cut. It is the in-process stand-in for a process
+// crash (fault-injection tests, fdbload's kill smoke); everything a
+// real SIGKILL would lose, Abort loses too.
+func (s *Server) Abort() {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
 // reply is one pending answer on a connection, kept in request order.
 type reply struct {
 	id       uint64
@@ -234,7 +280,10 @@ type reply struct {
 	index    int               // failing statement index (batches), else -1
 	redirect string            // FrameRedirect: the owning node's address
 	rel      string            // FrameRedirect: the relation being placed
+	rdEpoch  uint64            // FrameRedirect: owner epoch (v3 conns, failover hosts)
 	stats    []byte            // FrameStatsResponse: the snapshot document
+	raw      []byte            // pre-encoded payload (heartbeat acks)
+	rawType  byte              // frame type for raw
 	reqType  byte              // request frame type, keys the latency histogram
 	start    time.Time         // request read off the socket (latency epoch)
 }
@@ -263,6 +312,7 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	connVer := hello.Version
 	host, ok := s.hosts[hello.Database]
 	if !ok {
 		// The handshake has no request id yet; id 0 with index -1 is the
@@ -338,7 +388,14 @@ func (s *Server) handle(conn net.Conn) {
 				out = wire.AppendErrorMsg(out, rp.id, rp.index, msg)
 			case rp.redirect != "":
 				out, mark = wire.BeginFrame(out, wire.FrameRedirect)
-				out = wire.AppendRedirect(out, rp.id, rp.redirect, rp.rel)
+				if connVer >= 3 && rp.rdEpoch > 0 {
+					out = wire.AppendRedirectE(out, rp.id, rp.redirect, rp.rel, rp.rdEpoch)
+				} else {
+					out = wire.AppendRedirect(out, rp.id, rp.redirect, rp.rel)
+				}
+			case rp.raw != nil:
+				out, mark = wire.BeginFrame(out, rp.rawType)
+				out = append(out, rp.raw...)
 			case rp.stats != nil:
 				out, mark = wire.BeginFrame(out, wire.FrameStatsResponse)
 				out = wire.AppendStatsResponse(out, rp.id, rp.stats)
@@ -439,15 +496,33 @@ func (s *Server) handle(conn net.Conn) {
 			pending = append(pending, rp)
 
 		case wire.FrameForward:
-			id, flags, stmts, derr := wire.DecodeForward(payload)
+			id, flags, epoch, stmts, derr := wire.DecodeForwardE(payload)
 			if derr != nil {
 				flush()
 				return
 			}
 			s.m.Forwards.Inc()
-			rp := s.handleForward(host, sess, id, flags, stmts)
+			rp := s.handleForward(host, sess, id, flags, epoch, stmts)
 			rp.reqType, rp.start = typ, start
 			pending = append(pending, rp)
+
+		case wire.FrameHeartbeat:
+			hb, derr := wire.DecodeHeartbeat(payload)
+			if derr != nil {
+				flush()
+				return
+			}
+			sink, ok := host.(HeartbeatSink)
+			if !ok {
+				flush()
+				return
+			}
+			ack, ok := sink.HandleHeartbeat(hb)
+			if !ok {
+				flush()
+				return
+			}
+			pending = append(pending, reply{raw: wire.AppendHeartbeat(nil, ack), rawType: wire.FrameHeartbeatAck, reqType: typ, start: start})
 
 		case wire.FrameStats:
 			id, derr := wire.DecodeStats(payload)
@@ -459,11 +534,17 @@ func (s *Server) handle(conn net.Conn) {
 			pending = append(pending, reply{id: id, stats: s.statsJSON(host), reqType: typ, start: start})
 
 		case wire.FrameSubscribe:
-			after, derr := wire.DecodeSubscribe(payload)
+			after, slot, sub, derr := wire.DecodeSubscribeEx(payload)
 			if derr != nil || !flush() {
 				return
 			}
 			s.m.Subscribes.Inc()
+			if slot >= 0 {
+				if src, ok := host.(SlotLogSource); ok {
+					s.streamSlotLog(rd, bw, src, slot, sub, after)
+					return
+				}
+			}
 			s.streamLog(conn, rd, bw, host, after)
 			return
 
@@ -519,7 +600,13 @@ func (s *Server) statsJSON(host Host) []byte {
 // elsewhere is answered with a Redirect when the sender asked not to
 // chain. All statements of one frame must route the same way: senders
 // group by owner, so a mixed frame is a protocol error.
-func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flags byte, stmts []wire.ForwardStmt) reply {
+//
+// On a fencing host, frames that would execute here are first checked
+// against the slot's epoch (FwdEpoch-stamped frames carry the sender's
+// belief): a stale sender is refused, not served, and the error crosses
+// back as text — the sender re-resolves placement. Replica reads skip
+// the fence; they are stamped with their version and legal anywhere.
+func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flags byte, epoch uint64, stmts []wire.ForwardStmt) reply {
 	rp := reply{id: id, index: -1}
 	if len(stmts) == 0 {
 		rp.qerr = errors.New("server: empty forward frame")
@@ -566,14 +653,25 @@ func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flag
 		}
 	}
 
+	fencer, fencing := host.(Fencer)
 	if remoteAddr != "" {
 		if flags&wire.FwdNoForward != 0 {
 			rp.redirect, rp.rel = remoteAddr, txs[0].Rel
+			if fencing {
+				rp.rdEpoch = fencer.OwnerEpoch(txs[0].Rel)
+			}
 			return rp
 		}
 		// No flag: fall through to the session, whose submitter (the
 		// cluster node) forwards onward — at most one extra hop, because
 		// node-to-node forwards always set FwdNoForward.
+	}
+
+	if fencing && remoteAddr == "" {
+		if ferr := fencer.FenceForward(txs[0].Rel, epoch, flags&wire.FwdEpoch != 0); ferr != nil {
+			rp.qerr = ferr
+			return rp
+		}
 	}
 
 	futs := make([]*session.Future, len(txs))
@@ -664,6 +762,57 @@ func (s *Server) streamLog(conn net.Conn, rd *wire.Reader, bw *bufio.Writer, hos
 		recs, open := q.pop()
 		for _, rec := range recs {
 			if wire.WriteFrame(bw, wire.FrameLogRecord, rec) != nil {
+				return
+			}
+		}
+		if bw.Flush() != nil {
+			return
+		}
+		if !open {
+			return
+		}
+	}
+}
+
+// streamSlotLog is streamLog's slot-addressed, epoch-stamped variant:
+// records leave as FrameLogRecordE, and the subscriber acks each
+// applied record with FrameSubAck — the watcher goroutine feeds those
+// acks back to the host, where they gate the primary's write
+// acknowledgements (semi-synchronous replication).
+func (s *Server) streamSlotLog(rd *wire.Reader, bw *bufio.Writer, src SlotLogSource, slot, sub int, after int64) {
+	q := &recQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	cancel, err := src.SubscribeSlotLog(slot, sub, after, func(seq int64, epoch uint64, record []byte) {
+		q.push(wire.AppendLogRecordE(nil, epoch, record))
+	})
+	if err != nil {
+		msg := wire.AppendErrorMsg(nil, 0, -1, err.Error())
+		if wire.WriteFrame(bw, wire.FrameError, msg) == nil {
+			bw.Flush()
+		}
+		return
+	}
+	defer cancel()
+	src.SubscriberAttached(slot, sub)
+	defer src.SubscriberGone(slot, sub)
+	go func() {
+		for {
+			typ, payload, err := rd.Next()
+			if err != nil || typ != wire.FrameSubAck {
+				break
+			}
+			if seq, derr := wire.DecodeSubAck(payload); derr == nil {
+				src.SubscriberAck(slot, sub, seq)
+			} else {
+				break
+			}
+		}
+		q.closeQueue()
+	}()
+	for {
+		recs, open := q.pop()
+		for _, rec := range recs {
+			if wire.WriteFrame(bw, wire.FrameLogRecordE, rec) != nil {
 				return
 			}
 		}

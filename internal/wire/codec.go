@@ -25,33 +25,47 @@ type Hello struct {
 	// Database names the store this connection executes against
 	// (version 2; "" and version-1 peers mean DefaultDatabase).
 	Database string
+	// Version is the peer's protocol revision: set by DecodeHello so the
+	// server can gate version-3 extensions (epoch-stamped Redirects,
+	// LogRecordE streams) per connection. AppendHello writes the current
+	// Version when zero; tests may pin an older revision explicitly.
+	Version byte
 }
 
 // AppendHello encodes a Hello payload.
 func AppendHello(dst []byte, h Hello) []byte {
+	ver := h.Version
+	if ver == 0 {
+		ver = Version
+	}
 	dst = append(dst, Magic...)
-	dst = append(dst, Version)
+	dst = append(dst, ver)
 	dst = value.AppendString(dst, h.Origin)
-	return value.AppendString(dst, h.Database)
+	if ver >= 2 {
+		dst = value.AppendString(dst, h.Database)
+	}
+	return dst
 }
 
 // DecodeHello decodes a Hello payload. Version-1 payloads (no database
 // field) are still accepted: their database defaults to DefaultDatabase,
 // so a pre-cluster client keeps working against a multi-store listener.
+// Version 2 and 3 share one layout — version 3 only unlocks the failover
+// frames and field extensions elsewhere in the protocol.
 func DecodeHello(buf []byte) (Hello, error) {
 	if len(buf) < len(Magic)+1 || string(buf[:len(Magic)]) != Magic {
 		return Hello{}, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	buf = buf[len(Magic):]
 	ver := buf[0]
-	if ver != 1 && ver != Version {
+	if ver < 1 || ver > Version {
 		return Hello{}, fmt.Errorf("wire: protocol version %d not supported", ver)
 	}
 	origin, rest, err := value.DecodeString(buf[1:])
 	if err != nil {
 		return Hello{}, fmt.Errorf("%w: bad hello origin", ErrCorrupt)
 	}
-	h := Hello{Origin: origin, Database: DefaultDatabase}
+	h := Hello{Origin: origin, Database: DefaultDatabase, Version: ver}
 	if ver >= 2 {
 		db, rest2, err := value.DecodeString(rest)
 		if err != nil || len(rest2) != 0 {
@@ -79,11 +93,19 @@ type Welcome struct {
 	// Database echoes the store name the connection was bound to
 	// (version 2; version-1 peers imply DefaultDatabase).
 	Database string
+	// Version is the server's protocol revision, set by DecodeWelcome (a
+	// client knows from it whether the server speaks the failover
+	// extensions). AppendWelcome writes the current Version when zero.
+	Version byte
 }
 
 // AppendWelcome encodes a Welcome payload.
 func AppendWelcome(dst []byte, w Welcome) []byte {
-	dst = append(dst, Version)
+	ver := w.Version
+	if ver == 0 {
+		ver = Version
+	}
+	dst = append(dst, ver)
 	dst = binary.AppendVarint(dst, int64(w.Lanes))
 	if w.Durable {
 		dst = append(dst, 1)
@@ -91,7 +113,10 @@ func AppendWelcome(dst []byte, w Welcome) []byte {
 		dst = append(dst, 0)
 	}
 	dst = value.AppendString(dst, w.Origin)
-	return value.AppendString(dst, w.Database)
+	if ver >= 2 {
+		dst = value.AppendString(dst, w.Database)
+	}
+	return dst
 }
 
 // DecodeWelcome decodes a Welcome payload (version-1 payloads, which
@@ -101,7 +126,7 @@ func DecodeWelcome(buf []byte) (Welcome, error) {
 		return Welcome{}, fmt.Errorf("%w: empty welcome", ErrCorrupt)
 	}
 	ver := buf[0]
-	if ver != 1 && ver != Version {
+	if ver < 1 || ver > Version {
 		return Welcome{}, fmt.Errorf("wire: protocol version %d not supported", ver)
 	}
 	buf = buf[1:]
@@ -114,7 +139,7 @@ func DecodeWelcome(buf []byte) (Welcome, error) {
 	if err != nil {
 		return Welcome{}, fmt.Errorf("%w: bad welcome origin", ErrCorrupt)
 	}
-	w := Welcome{Lanes: int(lanes), Durable: durable, Origin: origin, Database: DefaultDatabase}
+	w := Welcome{Lanes: int(lanes), Durable: durable, Origin: origin, Database: DefaultDatabase, Version: ver}
 	if ver >= 2 {
 		db, rest2, err := value.DecodeString(rest)
 		if err != nil || len(rest2) != 0 {
@@ -408,7 +433,16 @@ type ForwardStmt struct {
 //
 //	fwd := id:uvarint flags:uint8 count:uvarint
 //	       (origin:string seq:varint query:string)*
+//	       [epoch:uvarint]                         (iff flags&FwdEpoch)
 func AppendForward(dst []byte, id uint64, flags byte, stmts []ForwardStmt) []byte {
+	return AppendForwardE(dst, id, flags&^FwdEpoch, 0, stmts)
+}
+
+// AppendForwardE encodes a FrameForward payload carrying the sender's
+// epoch for the statements' slot (protocol version 3): the epoch varint
+// trails the statements and is announced by FwdEpoch, so a version-2
+// frame's byte layout is untouched.
+func AppendForwardE(dst []byte, id uint64, flags byte, epoch uint64, stmts []ForwardStmt) []byte {
 	dst = binary.AppendUvarint(dst, id)
 	dst = append(dst, flags)
 	dst = binary.AppendUvarint(dst, uint64(len(stmts)))
@@ -417,14 +451,27 @@ func AppendForward(dst []byte, id uint64, flags byte, stmts []ForwardStmt) []byt
 		dst = binary.AppendVarint(dst, int64(st.Seq))
 		dst = value.AppendString(dst, st.Query)
 	}
+	if flags&FwdEpoch != 0 {
+		dst = binary.AppendUvarint(dst, epoch)
+	}
 	return dst
 }
 
-// DecodeForward decodes a FrameForward payload.
+// DecodeForward decodes a FrameForward payload, tolerating (and
+// discarding) a version-3 epoch suffix — the un-epoched fields decode
+// identically to DecodeForwardE.
 func DecodeForward(buf []byte) (id uint64, flags byte, stmts []ForwardStmt, err error) {
+	id, flags, _, stmts, err = DecodeForwardE(buf)
+	return id, flags, stmts, err
+}
+
+// DecodeForwardE decodes a FrameForward payload together with its epoch
+// suffix. epoch is meaningful only when flags&FwdEpoch is set (a
+// version-2 sender never sets it).
+func DecodeForwardE(buf []byte) (id uint64, flags byte, epoch uint64, stmts []ForwardStmt, err error) {
 	id, n := binary.Uvarint(buf)
 	if n <= 0 || len(buf[n:]) < 1 {
-		return 0, 0, nil, fmt.Errorf("%w: bad forward id", ErrCorrupt)
+		return 0, 0, 0, nil, fmt.Errorf("%w: bad forward id", ErrCorrupt)
 	}
 	flags = buf[n]
 	buf = buf[n+1:]
@@ -433,30 +480,38 @@ func DecodeForward(buf []byte) (id uint64, flags byte, stmts []ForwardStmt, err 
 	// a count beyond that is corrupt, and the check bounds the allocation
 	// a hostile count field can force before per-statement validation.
 	if n <= 0 || count > uint64(len(buf))/3+1 {
-		return 0, 0, nil, fmt.Errorf("%w: bad forward count", ErrCorrupt)
+		return 0, 0, 0, nil, fmt.Errorf("%w: bad forward count", ErrCorrupt)
 	}
 	buf = buf[n:]
 	stmts = make([]ForwardStmt, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var st ForwardStmt
 		if st.Origin, buf, err = value.DecodeString(buf); err != nil {
-			return 0, 0, nil, fmt.Errorf("%w: bad forward origin", ErrCorrupt)
+			return 0, 0, 0, nil, fmt.Errorf("%w: bad forward origin", ErrCorrupt)
 		}
 		seq, n := binary.Varint(buf)
 		if n <= 0 {
-			return 0, 0, nil, fmt.Errorf("%w: bad forward seq", ErrCorrupt)
+			return 0, 0, 0, nil, fmt.Errorf("%w: bad forward seq", ErrCorrupt)
 		}
 		st.Seq = int(seq)
 		buf = buf[n:]
 		if st.Query, buf, err = value.DecodeString(buf); err != nil {
-			return 0, 0, nil, fmt.Errorf("%w: bad forward query", ErrCorrupt)
+			return 0, 0, 0, nil, fmt.Errorf("%w: bad forward query", ErrCorrupt)
 		}
 		stmts = append(stmts, st)
 	}
-	if len(buf) != 0 {
-		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	if flags&FwdEpoch != 0 {
+		var n int
+		epoch, n = binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, 0, 0, nil, fmt.Errorf("%w: bad forward epoch", ErrCorrupt)
+		}
+		buf = buf[n:]
 	}
-	return id, flags, stmts, nil
+	if len(buf) != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return id, flags, epoch, stmts, nil
 }
 
 // AppendRedirect encodes a FrameRedirect payload: request id, the owning
@@ -467,21 +522,46 @@ func AppendRedirect(dst []byte, id uint64, addr, rel string) []byte {
 	return value.AppendString(dst, rel)
 }
 
-// DecodeRedirect decodes a FrameRedirect payload.
+// AppendRedirectE encodes a FrameRedirect payload with the owner's
+// serving epoch appended (protocol version 3): the receiver updates its
+// placement cache only when the epoch is at least as new as what it
+// already knows. Sent only on version-3 connections — a version-2
+// decoder would reject the trailing bytes.
+func AppendRedirectE(dst []byte, id uint64, addr, rel string, epoch uint64) []byte {
+	dst = AppendRedirect(dst, id, addr, rel)
+	return binary.AppendUvarint(dst, epoch)
+}
+
+// DecodeRedirect decodes a FrameRedirect payload, tolerating (and
+// discarding) a version-3 epoch suffix.
 func DecodeRedirect(buf []byte) (id uint64, addr, rel string, err error) {
+	id, addr, rel, _, err = DecodeRedirectE(buf)
+	return id, addr, rel, err
+}
+
+// DecodeRedirectE decodes a FrameRedirect payload together with its
+// optional epoch suffix (epoch 0 means the sender did not stamp one —
+// epoch numbering starts at 1 on the first promotion).
+func DecodeRedirectE(buf []byte) (id uint64, addr, rel string, epoch uint64, err error) {
 	id, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return 0, "", "", fmt.Errorf("%w: bad redirect id", ErrCorrupt)
+		return 0, "", "", 0, fmt.Errorf("%w: bad redirect id", ErrCorrupt)
 	}
 	addr, buf, err = value.DecodeString(buf[n:])
 	if err != nil {
-		return 0, "", "", fmt.Errorf("%w: bad redirect address", ErrCorrupt)
+		return 0, "", "", 0, fmt.Errorf("%w: bad redirect address", ErrCorrupt)
 	}
-	rel, rest, err := value.DecodeString(buf)
-	if err != nil || len(rest) != 0 {
-		return 0, "", "", fmt.Errorf("%w: bad redirect relation", ErrCorrupt)
+	rel, buf, err = value.DecodeString(buf)
+	if err != nil {
+		return 0, "", "", 0, fmt.Errorf("%w: bad redirect relation", ErrCorrupt)
 	}
-	return id, addr, rel, nil
+	if len(buf) > 0 {
+		epoch, n = binary.Uvarint(buf)
+		if n <= 0 || n != len(buf) {
+			return 0, "", "", 0, fmt.Errorf("%w: bad redirect epoch", ErrCorrupt)
+		}
+	}
+	return id, addr, rel, epoch, nil
 }
 
 // AppendSubscribe encodes a FrameSubscribe payload: stream committed
@@ -497,6 +577,158 @@ func DecodeSubscribe(buf []byte) (after int64, err error) {
 		return 0, fmt.Errorf("%w: bad subscribe position", ErrCorrupt)
 	}
 	return after, nil
+}
+
+// AppendSubscribeFrom encodes the extended FrameSubscribe payload
+// (protocol version 3): the starting position plus the slot being
+// subscribed (the original owner's node index — under failover a slot's
+// log may be served by its promoted winner) and the subscriber's own
+// node index, which keys the serving node's replication-ack gate.
+func AppendSubscribeFrom(dst []byte, after int64, slot, subscriber int) []byte {
+	dst = binary.AppendVarint(dst, after)
+	dst = binary.AppendVarint(dst, int64(slot))
+	return binary.AppendVarint(dst, int64(subscriber))
+}
+
+// DecodeSubscribeEx decodes either FrameSubscribe form. A bare version-2
+// payload yields slot = subscriber = -1: stream the serving node's own
+// log, anonymously.
+func DecodeSubscribeEx(buf []byte) (after int64, slot, subscriber int, err error) {
+	after, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: bad subscribe position", ErrCorrupt)
+	}
+	if n == len(buf) {
+		return after, -1, -1, nil
+	}
+	buf = buf[n:]
+	s, n := binary.Varint(buf)
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("%w: bad subscribe slot", ErrCorrupt)
+	}
+	buf = buf[n:]
+	sub, n := binary.Varint(buf)
+	if n <= 0 || n != len(buf) {
+		return 0, 0, 0, fmt.Errorf("%w: bad subscribe subscriber", ErrCorrupt)
+	}
+	return after, int(s), int(sub), nil
+}
+
+// AppendSubAck encodes a FrameSubAck payload: the highest record
+// sequence the subscriber has applied.
+func AppendSubAck(dst []byte, seq int64) []byte {
+	return binary.AppendVarint(dst, seq)
+}
+
+// DecodeSubAck decodes a FrameSubAck payload.
+func DecodeSubAck(buf []byte) (seq int64, err error) {
+	seq, n := binary.Varint(buf)
+	if n <= 0 || n != len(buf) {
+		return 0, fmt.Errorf("%w: bad subscriber ack", ErrCorrupt)
+	}
+	return seq, nil
+}
+
+// AppendLogRecordE encodes a FrameLogRecordE payload: the serving epoch
+// for the streamed slot, then the archive record bytes unchanged — a
+// version-2 LogRecord payload with an epoch prefix.
+func AppendLogRecordE(dst []byte, epoch uint64, record []byte) []byte {
+	dst = binary.AppendUvarint(dst, epoch)
+	return append(dst, record...)
+}
+
+// DecodeLogRecordE splits a FrameLogRecordE payload into its epoch and
+// the record bytes (decoded by archive.DecodeTxnRecord, exactly like a
+// FrameLogRecord payload).
+func DecodeLogRecordE(buf []byte) (epoch uint64, record []byte, err error) {
+	epoch, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: bad log record epoch", ErrCorrupt)
+	}
+	return epoch, buf[n:], nil
+}
+
+// Heartbeat is one node's failover view, exchanged peer to peer: for
+// every slot (original owner index) the newest epoch the node knows, who
+// serves that slot in that epoch, the newest record sequence the node
+// has applied for the slot, and the promotion base (the sequence the
+// slot's current epoch started from — a rejoining node rewinds to it).
+// A heartbeat in either direction refreshes the sender's lease at the
+// receiver.
+type Heartbeat struct {
+	From    int      // sender's node index
+	Epochs  []uint64 // per slot: newest known epoch
+	Owners  []int    // per slot: serving node in that epoch
+	Applied []int64  // per slot: sender's applied record sequence
+	Bases   []int64  // per slot: promotion base of the current epoch
+}
+
+// AppendHeartbeat encodes a FrameHeartbeat / FrameHeartbeatAck payload:
+//
+//	hb := from:varint slots:uvarint
+//	      (epoch:uvarint owner:varint applied:varint base:varint)*
+func AppendHeartbeat(dst []byte, hb Heartbeat) []byte {
+	dst = binary.AppendVarint(dst, int64(hb.From))
+	dst = binary.AppendUvarint(dst, uint64(len(hb.Epochs)))
+	for i := range hb.Epochs {
+		dst = binary.AppendUvarint(dst, hb.Epochs[i])
+		dst = binary.AppendVarint(dst, int64(hb.Owners[i]))
+		dst = binary.AppendVarint(dst, hb.Applied[i])
+		dst = binary.AppendVarint(dst, hb.Bases[i])
+	}
+	return dst
+}
+
+// DecodeHeartbeat decodes a FrameHeartbeat / FrameHeartbeatAck payload.
+func DecodeHeartbeat(buf []byte) (Heartbeat, error) {
+	var hb Heartbeat
+	from, n := binary.Varint(buf)
+	if n <= 0 {
+		return hb, fmt.Errorf("%w: bad heartbeat sender", ErrCorrupt)
+	}
+	hb.From = int(from)
+	buf = buf[n:]
+	slots, n := binary.Uvarint(buf)
+	// Each slot entry is at least 4 bytes; a count beyond that is corrupt
+	// (and the check bounds allocation on hostile counts).
+	if n <= 0 || slots > uint64(len(buf))/4+1 {
+		return hb, fmt.Errorf("%w: bad heartbeat slot count", ErrCorrupt)
+	}
+	buf = buf[n:]
+	hb.Epochs = make([]uint64, 0, slots)
+	hb.Owners = make([]int, 0, slots)
+	hb.Applied = make([]int64, 0, slots)
+	hb.Bases = make([]int64, 0, slots)
+	for i := uint64(0); i < slots; i++ {
+		epoch, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return hb, fmt.Errorf("%w: bad heartbeat epoch", ErrCorrupt)
+		}
+		buf = buf[n:]
+		owner, n := binary.Varint(buf)
+		if n <= 0 {
+			return hb, fmt.Errorf("%w: bad heartbeat owner", ErrCorrupt)
+		}
+		buf = buf[n:]
+		applied, n := binary.Varint(buf)
+		if n <= 0 {
+			return hb, fmt.Errorf("%w: bad heartbeat applied seq", ErrCorrupt)
+		}
+		buf = buf[n:]
+		base, n := binary.Varint(buf)
+		if n <= 0 {
+			return hb, fmt.Errorf("%w: bad heartbeat base", ErrCorrupt)
+		}
+		buf = buf[n:]
+		hb.Epochs = append(hb.Epochs, epoch)
+		hb.Owners = append(hb.Owners, int(owner))
+		hb.Applied = append(hb.Applied, applied)
+		hb.Bases = append(hb.Bases, base)
+	}
+	if len(buf) != 0 {
+		return hb, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
+	}
+	return hb, nil
 }
 
 // AppendSingleResponse encodes a FrameResponse payload: id + response.

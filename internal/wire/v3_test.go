@@ -1,0 +1,228 @@
+// Protocol version 3 codecs: the epoch-stamped failover frames
+// (Forward/Redirect epoch suffixes, slot-scoped Subscribe, epoch-prefixed
+// LogRecord, Heartbeat) must survive arbitrary bytes without panicking,
+// and their un-epoched fields must decode identically through the
+// version-2 decoders — the interop contract that lets a v2 peer share a
+// cluster with v3 nodes for non-failover traffic.
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sampleHeartbeat is a representative 3-slot view after one promotion.
+func sampleHeartbeat() Heartbeat {
+	return Heartbeat{
+		From:    1,
+		Epochs:  []uint64{0, 1, 0},
+		Owners:  []int{0, 2, 2},
+		Applied: []int64{41, 7, -1},
+		Bases:   []int64{0, 5, 0},
+	}
+}
+
+// TestWireV2V3Equivalence pins the cross-version contract: a version-3
+// epoch suffix never disturbs the version-2 fields, and an un-epoched
+// frame is byte-identical whichever encoder built it.
+func TestWireV2V3Equivalence(t *testing.T) {
+	stmts := []ForwardStmt{
+		{Origin: "c0", Seq: 3, Query: `insert (1, "x") into R`},
+		{Origin: "c0", Seq: 4, Query: "count R"},
+	}
+
+	// Forward: the v3 encoder without FwdEpoch is the v2 encoder.
+	v2 := AppendForward(nil, 9, FwdNoForward, stmts)
+	if v3 := AppendForwardE(nil, 9, FwdNoForward, 77, stmts); !bytes.Equal(v2, v3) {
+		t.Fatalf("un-epoched v3 forward differs from v2: %x vs %x", v2, v3)
+	}
+	// A v2 decode of an epoch-stamped frame sees identical un-epoched
+	// fields; a v3 decode of a v2 frame sees epoch 0.
+	stamped := AppendForwardE(nil, 9, FwdNoForward|FwdEpoch, 77, stmts)
+	id, flags, got, err := DecodeForward(stamped)
+	if err != nil || id != 9 || flags&^FwdEpoch != FwdNoForward || len(got) != len(stmts) {
+		t.Fatalf("v2 decode of epoched forward diverged: id=%d flags=%x err=%v", id, flags, err)
+	}
+	for i := range got {
+		if got[i] != stmts[i] {
+			t.Fatalf("stmt %d diverged: %+v vs %+v", i, got[i], stmts[i])
+		}
+	}
+	if _, _, epoch, _, err := DecodeForwardE(v2); err != nil || epoch != 0 {
+		t.Fatalf("v3 decode of v2 forward: epoch=%d err=%v", epoch, err)
+	}
+	if _, _, epoch, _, err := DecodeForwardE(stamped); err != nil || epoch != 77 {
+		t.Fatalf("epoch did not survive: epoch=%d err=%v", epoch, err)
+	}
+
+	// Redirect: same discipline via an optional suffix.
+	r2 := AppendRedirect(nil, 5, "10.0.0.7:4150", "R")
+	r3 := AppendRedirectE(nil, 5, "10.0.0.7:4150", "R", 12)
+	for _, buf := range [][]byte{r2, r3} {
+		id, addr, rel, err := DecodeRedirect(buf)
+		if err != nil || id != 5 || addr != "10.0.0.7:4150" || rel != "R" {
+			t.Fatalf("redirect fields diverged (%x): %d %q %q %v", buf, id, addr, rel, err)
+		}
+	}
+	if _, _, _, epoch, err := DecodeRedirectE(r2); err != nil || epoch != 0 {
+		t.Fatalf("v2 redirect should carry epoch 0, got %d (%v)", epoch, err)
+	}
+	if _, _, _, epoch, err := DecodeRedirectE(r3); err != nil || epoch != 12 {
+		t.Fatalf("redirect epoch did not survive: %d (%v)", epoch, err)
+	}
+
+	// Subscribe: a bare v2 payload decodes as an anonymous own-log
+	// subscription; the v3 form is refused by a v2 decoder (version
+	// negotiation keeps it off v2 connections).
+	s2 := AppendSubscribe(nil, 41)
+	after, slot, sub, err := DecodeSubscribeEx(s2)
+	if err != nil || after != 41 || slot != -1 || sub != -1 {
+		t.Fatalf("v2 subscribe through v3 decoder: %d %d %d %v", after, slot, sub, err)
+	}
+	s3 := AppendSubscribeFrom(nil, 41, 2, 0)
+	if after, slot, sub, err = DecodeSubscribeEx(s3); err != nil || after != 41 || slot != 2 || sub != 0 {
+		t.Fatalf("v3 subscribe: %d %d %d %v", after, slot, sub, err)
+	}
+	if _, err := DecodeSubscribe(s3); err == nil {
+		t.Fatal("v2 decoder accepted a v3 subscribe payload")
+	}
+
+	// LogRecordE: an epoch prefix ahead of the unchanged v2 record bytes.
+	record := []byte("archive-record-bytes")
+	l3 := AppendLogRecordE(nil, 3, record)
+	epoch, rec, err := DecodeLogRecordE(l3)
+	if err != nil || epoch != 3 || !bytes.Equal(rec, record) {
+		t.Fatalf("log record: epoch=%d rec=%q err=%v", epoch, rec, err)
+	}
+	if un := AppendLogRecordE(nil, 0, record); !bytes.Equal(un[1:], record) {
+		t.Fatal("epoch-0 log record does not wrap the v2 payload unchanged")
+	}
+}
+
+// FuzzDecodeForwardE: the epoch-aware forward decoder must never panic
+// on arbitrary bytes; every successful decode must re-encode to the same
+// fields, and the v2 view must agree on everything but the epoch.
+func FuzzDecodeForwardE(f *testing.F) {
+	f.Add(AppendForwardE(nil, 1, FwdNoForward|FwdEpoch, 2, []ForwardStmt{{Origin: "c0", Seq: 0, Query: "count R"}}))
+	f.Add(AppendForwardE(nil, 7, FwdEpoch, 1<<40, []ForwardStmt{
+		{Origin: "c1", Seq: 4, Query: `insert (1, "x") into S`},
+		{Origin: "c1", Seq: 5, Query: "delete 1 from S"},
+	}))
+	f.Add(AppendForward(nil, 3, 0, nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, flags, epoch, stmts, err := DecodeForwardE(data)
+		if err != nil {
+			return
+		}
+		if flags&FwdEpoch == 0 && epoch != 0 {
+			t.Fatalf("epoch %d without FwdEpoch", epoch)
+		}
+		id2, flags2, stmts2, err := DecodeForward(data)
+		if err != nil || id2 != id || flags2 != flags || len(stmts2) != len(stmts) {
+			t.Fatalf("v2 view diverged: %v", err)
+		}
+		again := AppendForwardE(nil, id, flags, epoch, stmts)
+		id3, flags3, epoch3, stmts3, err := DecodeForwardE(again)
+		if err != nil || id3 != id || flags3 != flags || epoch3 != epoch || len(stmts3) != len(stmts) {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeRedirectE: redirect payloads with and without the epoch
+// suffix cross trust boundaries.
+func FuzzDecodeRedirectE(f *testing.F) {
+	f.Add(AppendRedirectE(nil, 3, "10.0.0.7:4150", "R", 2))
+	f.Add(AppendRedirect(nil, 3, "10.0.0.7:4150", "R"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, addr, rel, epoch, err := DecodeRedirectE(data)
+		if err != nil {
+			return
+		}
+		id2, addr2, rel2, err := DecodeRedirect(data)
+		if err != nil || id2 != id || addr2 != addr || rel2 != rel {
+			t.Fatalf("v2 view diverged: %v", err)
+		}
+		again := AppendRedirectE(nil, id, addr, rel, epoch)
+		id3, addr3, rel3, epoch3, err := DecodeRedirectE(again)
+		if err != nil || id3 != id || addr3 != addr || rel3 != rel || epoch3 != epoch {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeLogRecordE: the epoch prefix must split off cleanly for any
+// input; the record bytes pass through unchanged.
+func FuzzDecodeLogRecordE(f *testing.F) {
+	f.Add(AppendLogRecordE(nil, 1, []byte("record")))
+	f.Add(AppendLogRecordE(nil, 0, nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		epoch, rec, err := DecodeLogRecordE(data)
+		if err != nil {
+			return
+		}
+		epoch2, rec2, err := DecodeLogRecordE(AppendLogRecordE(nil, epoch, rec))
+		if err != nil || epoch2 != epoch || !bytes.Equal(rec2, rec) {
+			t.Fatalf("re-decode diverged: epoch %d vs %d, %v", epoch, epoch2, err)
+		}
+	})
+}
+
+// FuzzDecodeHeartbeat: peer views are attacker-controlled input to every
+// node's failure detector; hostile slot counts must not over-allocate.
+func FuzzDecodeHeartbeat(f *testing.F) {
+	f.Add(AppendHeartbeat(nil, sampleHeartbeat()))
+	f.Add(AppendHeartbeat(nil, Heartbeat{From: 0}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		hb, err := DecodeHeartbeat(data)
+		if err != nil {
+			return
+		}
+		if len(hb.Owners) != len(hb.Epochs) || len(hb.Applied) != len(hb.Epochs) || len(hb.Bases) != len(hb.Epochs) {
+			t.Fatal("decoded heartbeat with ragged slot vectors")
+		}
+		hb2, err := DecodeHeartbeat(AppendHeartbeat(nil, hb))
+		if err != nil || hb2.From != hb.From || len(hb2.Epochs) != len(hb.Epochs) {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+		for i := range hb.Epochs {
+			if hb2.Epochs[i] != hb.Epochs[i] || hb2.Owners[i] != hb.Owners[i] ||
+				hb2.Applied[i] != hb.Applied[i] || hb2.Bases[i] != hb.Bases[i] {
+				t.Fatalf("slot %d diverged after re-encode", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeSubscribeEx: both subscribe forms through the one decoder.
+func FuzzDecodeSubscribeEx(f *testing.F) {
+	f.Add(AppendSubscribe(nil, 41))
+	f.Add(AppendSubscribeFrom(nil, 41, 2, 0))
+	f.Add(AppendSubscribeFrom(nil, -1, -1, -1))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		after, slot, sub, err := DecodeSubscribeEx(data)
+		if err != nil {
+			return
+		}
+		var again []byte
+		if slot == -1 && sub == -1 {
+			again = AppendSubscribe(nil, after)
+		} else {
+			again = AppendSubscribeFrom(nil, after, slot, sub)
+		}
+		after2, slot2, sub2, err := DecodeSubscribeEx(again)
+		if err != nil || after2 != after {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+		// The bare form re-decodes to (-1,-1) by definition; the explicit
+		// form must hold its fields.
+		if !(slot == -1 && sub == -1) && (slot2 != slot || sub2 != sub) {
+			t.Fatalf("slot/sub diverged: (%d,%d) vs (%d,%d)", slot, sub, slot2, sub2)
+		}
+	})
+}

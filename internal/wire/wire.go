@@ -101,6 +101,29 @@ const (
 	// path, its schema grows with every instrumented layer, and the same
 	// bytes feed fdbrepl, fdbload and the --debug-addr HTTP endpoint.
 	FrameStatsResponse byte = 0x1d
+
+	// Failover frames (protocol version 3). Heartbeats carry each node's
+	// view of the cluster's epochs and applied sequences; SubAck lets a
+	// log subscriber acknowledge applied records (the primary's
+	// replication ack gate); LogRecordE is a LogRecord stamped with the
+	// serving epoch so a stream from a deposed primary is detectable.
+
+	// FrameHeartbeat carries one node's failover view (epoch, owner,
+	// applied-seq and promotion-base vectors) to a peer. Answered by
+	// FrameHeartbeatAck; either direction refreshes the peer's lease.
+	FrameHeartbeat byte = 0x1e
+	// FrameHeartbeatAck answers FrameHeartbeat with the receiver's own
+	// view — the same payload encoding.
+	FrameHeartbeatAck byte = 0x1f
+	// FrameSubAck flows from a log subscriber back to the serving node:
+	// the highest record sequence the subscriber has applied. It is the
+	// only frame a subscriber sends after Subscribe, and the primary's
+	// write-ack gate waits on it.
+	FrameSubAck byte = 0x20
+	// FrameLogRecordE is FrameLogRecord prefixed with the serving node's
+	// epoch for the streamed slot: a subscriber that knows a higher epoch
+	// drops the stream instead of applying a deposed primary's records.
+	FrameLogRecordE byte = 0x21
 )
 
 // Forward flag bits.
@@ -114,6 +137,11 @@ const (
 	// local replica, stamping Response.Version with the replica's applied
 	// version so the client observes its staleness bound.
 	FwdReadLocal byte = 1 << 1
+	// FwdEpoch marks a Forward payload that carries a trailing epoch
+	// varint (protocol version 3): the sender's belief about the slot's
+	// serving epoch. A receiver with a higher epoch rejects the frame —
+	// the fence that stops a deposed primary's gateway traffic.
+	FwdEpoch byte = 1 << 2
 )
 
 const (
@@ -123,8 +151,12 @@ const (
 	// Version is the protocol revision; Hello/Welcome carry it. Version 2
 	// added the Hello/Welcome database-name field (one listener, many
 	// stores) and the cluster frames; version-1 peers are still accepted
-	// and default to database "main".
-	Version = 2
+	// and default to database "main". Version 3 adds the failover frames
+	// (Heartbeat, SubAck, LogRecordE), the FwdEpoch flag, the optional
+	// Redirect epoch, and the extended Subscribe (slot + subscriber id) —
+	// all additive, so version-2 peers interoperate for non-failover
+	// traffic.
+	Version = 3
 	// MaxFrameLen caps a frame's payload: large enough for any realistic
 	// batch or scan response, small enough to bound what a corrupt
 	// length field can make a peer allocate.
