@@ -51,6 +51,7 @@ type Client struct {
 	database string
 	lanes    int
 	durable  bool
+	version  byte // server's protocol revision, from Welcome
 }
 
 // fail records the first transport failure; every later call reports it.
@@ -82,6 +83,9 @@ type arrived struct {
 	rel      string // FrameRedirect: the relation being placed
 	rdEpoch  uint64 // FrameRedirect: the owner's epoch (0 = unstamped)
 	stats    []byte // FrameStatsResponse: the metrics JSON document
+	stmtID   uint64 // FramePrepared: the dense statement id
+	nparams  int    // FramePrepared: the statement's '?' count
+	prepared bool   // FramePrepared arrived
 }
 
 // Option configures Dial.
@@ -139,7 +143,7 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("client: %w", err)
 	}
-	c.origin, c.lanes, c.durable, c.database = w.Origin, w.Lanes, w.Durable, w.Database
+	c.origin, c.lanes, c.durable, c.database, c.version = w.Origin, w.Lanes, w.Durable, w.Database, w.Version
 	return c, nil
 }
 
@@ -264,6 +268,12 @@ func (c *Client) recv(id uint64) (arrived, error) {
 				return arrived{}, c.fail(derr)
 			}
 			c.got[rid] = arrived{redirect: addr, rel: rel, rdEpoch: epoch, index: -1}
+		case wire.FramePrepared:
+			rid, stmtID, nparams, derr := wire.DecodePrepared(payload)
+			if derr != nil {
+				return arrived{}, c.fail(derr)
+			}
+			c.got[rid] = arrived{stmtID: stmtID, nparams: nparams, prepared: true, index: -1}
 		case wire.FrameStatsResponse:
 			rid, doc, derr := wire.DecodeStatsResponse(payload)
 			if derr != nil {

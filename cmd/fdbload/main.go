@@ -38,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -74,6 +75,7 @@ type loadConfig struct {
 	ZipfS      float64       `json:"zipf_s"`
 	Relations  []string      `json:"relations"`
 	Seed       int64         `json:"seed"`
+	Prepared   bool          `json:"prepared,omitempty"`
 	Failover   bool          `json:"failover,omitempty"`
 	KillNode   int           `json:"kill_node,omitempty"`
 	KillAfter  time.Duration `json:"-"`
@@ -173,7 +175,9 @@ func run(args []string, stdout io.Writer) error {
 	zipfS := fs.Float64("zipf-s", 1.1, "Zipf skew (>1; larger = hotter head)")
 	relations := fs.String("relations", "R,S,T", "comma-separated relations to spread keys over")
 	seed := fs.Int64("seed", 1, "workload seed")
+	prepared := fs.Bool("prepared", false, "drive prepared statements (text ships once per owner; executions are id/hash + args, parse-free on both sides)")
 	out := fs.String("out", "", "also write the report as JSON to this path")
+	memprofile := fs.String("memprofile", "", "write an allocation profile of the run to this path")
 	baseline := fs.String("baseline", "", "prior report JSON to print a before/after delta against")
 	overhead := fs.Bool("engine-overhead", false, "append the lane-commit instrumentation microbenchmark")
 	failover := fs.Bool("failover", false, "with --spawn: boot the cluster with failover enabled (leases, promotion, epoch fencing)")
@@ -186,7 +190,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg := loadConfig{
 		Spawn: *spawn, Duration: *duration, DurationS: duration.Seconds(),
 		Conns: *conns, Rate: *rate, ReadPct: *readPct, Keys: *keys,
-		ZipfS: *zipfS, Seed: *seed,
+		ZipfS: *zipfS, Seed: *seed, Prepared: *prepared,
 		Failover: *failover || *killNode >= 0,
 		KillNode: *killNode, KillAfter: *killAfter,
 	}
@@ -248,9 +252,26 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *memprofile != "" {
+		runtime.MemProfileRate = 16 * 1024 // finer grain: the run is short and alloc sites matter
+	}
 	rep, err := drive(cfg, nodes, stdout)
 	if err != nil {
 		return err
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "allocation profile written to %s\n", *memprofile)
 	}
 	if *overhead {
 		od := engineOverhead()
@@ -387,6 +408,15 @@ func drive(cfg loadConfig, nodes []*funcdb.ClusterNode, stdout io.Writer) (*repo
 	// connections the dial ramp takes real time, and counting it against
 	// the schedule would charge connection setup to statement latency.
 	clients := make([]*client.ClusterClient, cfg.Conns)
+	// Prepared mode: one find and one insert handle per (connection,
+	// relation), built and parsed during the dial ramp — handle setup is
+	// one-time cost like the dials, not per-statement work, so it happens
+	// before the heap baseline and the timeline start.
+	var findStmts, insStmts []map[string]*client.ClusterStmt
+	if cfg.Prepared {
+		findStmts = make([]map[string]*client.ClusterStmt, cfg.Conns)
+		insStmts = make([]map[string]*client.ClusterStmt, cfg.Conns)
+	}
 	var dialWG sync.WaitGroup
 	dialFailed := make(chan error, cfg.Conns)
 	// With failover on, clients ride through the promotion window: retry
@@ -409,6 +439,22 @@ func drive(cfg loadConfig, nodes []*funcdb.ClusterNode, stdout io.Writer) (*repo
 				return
 			}
 			clients[w] = cl
+			if cfg.Prepared {
+				findStmts[w] = make(map[string]*client.ClusterStmt, len(cfg.Relations))
+				insStmts[w] = make(map[string]*client.ClusterStmt, len(cfg.Relations))
+				for _, rel := range cfg.Relations {
+					f, i := cl.Prepare("find ? in "+rel), cl.Prepare("insert (?, ?) into "+rel)
+					if _, err := f.NumParams(); err != nil { // parse now, not on the timeline
+						dialFailed <- err
+						return
+					}
+					if _, err := i.NumParams(); err != nil {
+						dialFailed <- err
+						return
+					}
+					findStmts[w][rel], insStmts[w][rel] = f, i
+				}
+			}
 		}(w)
 	}
 	dialWG.Wait()
@@ -465,6 +511,15 @@ func drive(cfg loadConfig, nodes []*funcdb.ClusterNode, stdout io.Writer) (*repo
 			defer cl.Close()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+			// Prepared mode: the handles were built and parsed during the
+			// dial ramp; the write value is a precomputed per-worker tag —
+			// the hot loop formats no strings and parses nothing.
+			var findStmt, insStmt map[string]*client.ClusterStmt
+			var wTag funcdb.Item
+			if cfg.Prepared {
+				findStmt, insStmt = findStmts[w], insStmts[w]
+				wTag = value.Str(fmt.Sprintf("w%d", w))
+			}
 			for {
 				var next time.Time
 				if interval > 0 {
@@ -485,14 +540,20 @@ func drive(cfg loadConfig, nodes []*funcdb.ClusterNode, stdout io.Writer) (*repo
 				}
 				key := int(zipf.Uint64())
 				rel := cfg.Relations[key%len(cfg.Relations)]
-				var q string
 				isRead := rng.Intn(100) < cfg.ReadPct
-				if isRead {
-					q = fmt.Sprintf("find %d in %s", key, rel)
+				var resp funcdb.Response
+				var err error
+				if cfg.Prepared {
+					if isRead {
+						resp, err = findStmt[rel].Exec(value.Int(int64(key)))
+					} else {
+						resp, err = insStmt[rel].Exec(value.Int(int64(key)), wTag)
+					}
+				} else if isRead {
+					resp, err = cl.Exec(fmt.Sprintf("find %d in %s", key, rel))
 				} else {
-					q = fmt.Sprintf("insert (%d, \"w%d\") into %s", key, w, rel)
+					resp, err = cl.Exec(fmt.Sprintf("insert (%d, \"w%d\") into %s", key, w, rel))
 				}
-				resp, err := cl.Exec(q)
 				// Latency from the SCHEDULED arrival: queueing counts.
 				d := time.Since(next)
 				if err != nil || resp.Err != nil {

@@ -23,7 +23,16 @@
 //	.at <version> <query> run a read-only query against an old version
 //	.batch q1; q2; ...    submit several queries as one batch
 //	.remote <addr>        execute against a fdbserver; .local to return
+//	.prepare <name> <q>   prepare a '?'-templated query on the remote server
+//	.execp <name> args    execute a prepared statement with positional args
 //	.quit                 exit
+//
+// .prepare / .execp drive the wire's server-side prepared statements: the
+// template text crosses the wire once (Prepare), the server parses it into
+// its statement cache and answers with a dense id, and every .execp ships
+// just that id plus the arguments — no text, no re-parse. Arguments are
+// bare integers or "quoted strings". Both commands are remote-only; the
+// local session has no wire to save parses on.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"funcdb/internal/query"
 	"funcdb/internal/session"
 	"funcdb/internal/trace"
+	"funcdb/internal/value"
 )
 
 const helpText = `queries:
@@ -48,7 +58,10 @@ const helpText = `queries:
   create R [using list|avl|2-3|paged]
 commands:
   .help  .stats  .versions  .at <version> <query>  .batch q1; q2; ...
-  .remote <addr>  .local  .quit`
+  .remote <addr>  .local  .quit
+prepared statements (remote only — text ships once, executions ship id+args):
+  .prepare f find ? in R      .execp f 1
+  .prepare i insert (?, ?) into R      .execp i 2 "widget"`
 
 // repl holds the shell's execution state: the local store, and — after
 // .remote — the network client the queries are routed through instead.
@@ -56,6 +69,7 @@ type repl struct {
 	store  *funcdb.Store
 	remote *client.Client
 	addr   string
+	stmts  map[string]*client.Stmt // .prepare handles, bound to the current remote
 }
 
 // exec routes one query to the backing session (local or remote).
@@ -172,6 +186,7 @@ func (r *repl) connect(addr string) (out string, ok bool) {
 		r.remote.Close()
 	}
 	r.remote, r.addr = c, addr
+	r.stmts = nil // handles are per-connection
 	durable := ""
 	if c.Durable() {
 		durable = ", durable"
@@ -200,7 +215,12 @@ func handleLine(r *repl, raw string) (out string, quit bool) {
 		}
 		r.remote.Close()
 		r.remote = nil
+		r.stmts = nil
 		return "local session", false
+	case strings.HasPrefix(line, ".prepare "):
+		return prepareStmt(r, strings.TrimPrefix(line, ".prepare ")), false
+	case strings.HasPrefix(line, ".execp "):
+		return execPrepared(r, strings.TrimPrefix(line, ".execp ")), false
 	case line == ".stats":
 		// The full metrics snapshot, local or remote: same document, same
 		// rendering — remotely it travels as a wire Stats frame.
@@ -280,6 +300,97 @@ func execBatch(r *repl, rest string) string {
 		return "error: " + err.Error()
 	}
 	return session.Render(resps)
+}
+
+// prepareStmt registers a named prepared statement on the remote server:
+// the template parses once server-side and later .execp calls ship only
+// the statement id plus arguments.
+func prepareStmt(r *repl, rest string) string {
+	if r.remote == nil {
+		return "prepared statements are remote-only (.remote <addr> first)"
+	}
+	parts := strings.SplitN(strings.TrimSpace(rest), " ", 2)
+	if len(parts) != 2 {
+		return "usage: .prepare <name> <query with ? placeholders>"
+	}
+	name, text := parts[0], strings.TrimSpace(parts[1])
+	s := r.remote.Prepare(text)
+	n, err := s.NumParams()
+	if err != nil {
+		return "prepare: " + err.Error()
+	}
+	if r.stmts == nil {
+		r.stmts = make(map[string]*client.Stmt)
+	}
+	r.stmts[name] = s
+	return fmt.Sprintf("prepared %s (%d parameters) — .execp %s <args>", name, n, name)
+}
+
+// execPrepared executes a .prepare'd statement with positional arguments:
+// bare integers or "quoted strings".
+func execPrepared(r *repl, rest string) string {
+	if r.remote == nil {
+		return "prepared statements are remote-only (.remote <addr> first)"
+	}
+	fields := splitArgs(strings.TrimSpace(rest))
+	if len(fields) == 0 {
+		return "usage: .execp <name> [args...]"
+	}
+	s, ok := r.stmts[fields[0]]
+	if !ok {
+		return fmt.Sprintf("no prepared statement %q (.prepare %s <query> first)", fields[0], fields[0])
+	}
+	args := make([]funcdb.Item, 0, len(fields)-1)
+	for _, f := range fields[1:] {
+		args = append(args, parseArg(f))
+	}
+	resp, err := s.Exec(args...)
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	return resp.String()
+}
+
+// splitArgs splits on spaces but keeps "quoted strings" (with embedded
+// spaces) as one field, quotes retained for parseArg.
+func splitArgs(s string) []string {
+	var out []string
+	for i := 0; i < len(s); {
+		for i < len(s) && s[i] == ' ' {
+			i++
+		}
+		if i == len(s) {
+			break
+		}
+		start := i
+		if s[i] == '"' {
+			i++
+			for i < len(s) && s[i] != '"' {
+				i++
+			}
+			if i < len(s) {
+				i++ // closing quote
+			}
+		} else {
+			for i < len(s) && s[i] != ' ' {
+				i++
+			}
+		}
+		out = append(out, s[start:i])
+	}
+	return out
+}
+
+// parseArg turns one .execp field into a typed argument: a bare integer
+// becomes an int item, anything else (quoted or not) a string item.
+func parseArg(f string) funcdb.Item {
+	if len(f) >= 2 && f[0] == '"' && f[len(f)-1] == '"' {
+		return value.Str(f[1 : len(f)-1])
+	}
+	if n, err := strconv.ParseInt(f, 10, 64); err == nil {
+		return value.Int(n)
+	}
+	return value.Str(f)
 }
 
 // runScript executes a query file as a single batch through the backing

@@ -206,6 +206,15 @@ func (p *peer) close() {
 // With hasEpoch the frame is additionally stamped with the slot's epoch
 // (FwdEpoch), so a receiver that has seen a newer promotion fences it.
 func (p *peer) forwardTagged(txs []core.Transaction, epoch uint64, hasEpoch bool) []*session.Future {
+	for _, tx := range txs {
+		if tx.PrepHash != 0 {
+			// At least one transaction was bound from a prepared template:
+			// its Query is the '?' template, which the owner cannot re-bind
+			// from text, so the whole run ships as a ForwardPrepared frame
+			// (hash + args, text included for first-contact registration).
+			return p.forwardPrepared(txs, epoch, hasEpoch)
+		}
+	}
 	out := make([]*session.Future, len(txs))
 	stmts := make([]wire.ForwardStmt, len(txs))
 	for i, tx := range txs {
@@ -242,6 +251,90 @@ func (p *peer) forwardTagged(txs []core.Transaction, epoch uint64, hasEpoch bool
 		})
 	}
 	return out
+}
+
+// forwardPrepared is forwardTagged for runs carrying prepared-bound
+// transactions: one FrameForwardPrepared frame whose statements resolve
+// at the owner by text hash against its node-wide cache. The template
+// text rides along (HasText) so first contact — or the owner's cache
+// having evicted the plan — registers it instead of failing; plain text
+// statements sharing the run ship as hash-0 text statements.
+func (p *peer) forwardPrepared(txs []core.Transaction, epoch uint64, hasEpoch bool) []*session.Future {
+	out := make([]*session.Future, len(txs))
+	stmts := make([]wire.PreparedFwdStmt, len(txs))
+	for i, tx := range txs {
+		if tx.Query == "" {
+			for j := range txs {
+				txj := txs[j]
+				out[j] = lenient.Ready(core.Response{
+					Origin: txj.Origin, Seq: txj.Seq, Kind: txj.Kind,
+					Err: errors.New("cluster: transaction has no symbolic form to forward"),
+				})
+			}
+			return out
+		}
+		stmts[i] = wire.PreparedFwdStmt{
+			Origin: tx.Origin, Seq: tx.Seq,
+			Hash: tx.PrepHash, Text: tx.Query, HasText: true,
+			Args: tx.PrepArgs,
+		}
+	}
+
+	flags := byte(wire.FwdNoForward)
+	if hasEpoch {
+		flags |= wire.FwdEpoch
+	}
+	call := &fwdCall{n: len(txs), done: make(chan struct{})}
+	if err := p.sendForwardPrepared(call, flags, epoch, stmts); err != nil {
+		call.err, call.errIndex = err, -1
+		close(call.done)
+	}
+	for i := range txs {
+		i, tx := i, txs[i]
+		out[i] = lenient.Lazy(func() core.Response {
+			<-call.done
+			return call.response(i, tx)
+		})
+	}
+	return out
+}
+
+// sendForwardPrepared writes one ForwardPrepared frame and registers its
+// call — sendForward with the prepared statement encoding.
+func (p *peer) sendForwardPrepared(call *fwdCall, flags byte, epoch uint64, stmts []wire.PreparedFwdStmt) error {
+	p.mu.Lock()
+	pc, err := p.ensureLocked()
+	if err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	id := p.nextID
+	p.nextID++
+	var mark int
+	p.enc, mark = wire.BeginFrame(p.enc[:0], wire.FrameForwardPrepared)
+	if p.enc, err = wire.AppendForwardPrepared(p.enc, id, flags, epoch, stmts); err == nil {
+		p.enc, err = wire.EndFrame(p.enc, mark)
+	}
+	if err != nil {
+		p.mu.Unlock()
+		return err
+	}
+	pc.pending[id] = call
+	if _, err = pc.bw.Write(p.enc); err == nil {
+		err = pc.bw.Flush()
+	}
+	if cap(p.enc) > maxPeerEncodeBuf {
+		p.enc = nil
+	}
+	if err == nil {
+		p.frames.Inc()
+		p.mu.Unlock()
+		return nil
+	}
+	delete(pc.pending, id)
+	p.mu.Unlock()
+	p.fail(pc, fmt.Errorf("cluster: connection to %s lost: %w", p.addr, err))
+	return fmt.Errorf("cluster: forward to %s: %w", p.addr, err)
 }
 
 // sendForward writes one Forward frame and registers its call.

@@ -55,8 +55,9 @@ type Engine struct {
 	laneSingle []laneSet                // precomputed singletons, one per lane
 	snap       atomic.Pointer[snapshot] // latest admitted version, lock-free readable
 
-	stats *eval.Stats
-	wg    sync.WaitGroup
+	stats   *eval.Stats
+	evalCtx *eval.Ctx // shared transaction-body context (nil when untraced)
+	wg      sync.WaitGroup
 
 	// metrics, when non-nil, observes the admission path: commit latency,
 	// CAS retries, cross-lane acquisitions, batch run lengths, per-lane
@@ -108,6 +109,9 @@ func NewEngine(initial *database.Database, opts ...EngineOption) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.stats != nil {
+		e.evalCtx = &eval.Ctx{Stats: e.stats}
+	}
 	e.initLanes()
 	e.metrics.SizeLanes(e.nlanes)
 	names := initial.RelationNames()
@@ -126,18 +130,20 @@ func NewEngine(initial *database.Database, opts ...EngineOption) *Engine {
 }
 
 // ctx returns the eval context used inside transaction bodies (no tracing;
-// optional stats).
+// optional stats). The context is immutable — its counters are atomic — so
+// one instance serves every transaction.
 func (e *Engine) ctx() *eval.Ctx {
-	if e.stats == nil {
-		return nil
-	}
-	return &eval.Ctx{Stats: e.stats}
+	return e.evalCtx
 }
 
-// txnOut is what one transaction future produces.
+// txnOut is what one transaction future produces. Built-ins write at most
+// one relation and report it in the scalar pair (no map); customs fill
+// newRels.
 type txnOut struct {
-	resp    Response
-	newRels map[string]relation.Relation
+	resp      Response
+	newRel    relation.Relation
+	hasNewRel bool
+	newRels   map[string]relation.Relation
 }
 
 // Plan resolves tx's access set against the engine's latest published
@@ -248,13 +254,6 @@ func (e *Engine) admitLocked(p Plan) *lenient.Cell[Response] {
 		return resp
 	}
 
-	var out *lenient.Cell[txnOut]
-	if p.tx.Kind == KindCustom {
-		out = e.spawnCustom(p)
-	} else {
-		out = e.spawnBuiltin(p)
-	}
-
 	// Replace the written cells: later transactions on these relations
 	// chain on this future; every other relation's cell is shared
 	// untouched in the successor snapshot. The output cells and their
@@ -263,6 +262,31 @@ func (e *Engine) admitLocked(p Plan) *lenient.Cell[Response] {
 	// positions are append-stable) — and are built once, outside the CAS
 	// loop, so rebasing onto a concurrently advanced snapshot is just
 	// re-copying the other lanes' cells.
+
+	if p.writeOne {
+		// Built-in single-relation write: no index/cell slices, no map
+		// lookup in the output projection.
+		out := e.spawnBuiltin(p)
+		i, _ := s.dir.Index(p.tx.Rel)
+		in := s.cells[i]
+		wcell := lenient.Map(out, func(o txnOut) relation.Relation {
+			if o.hasNewRel {
+				return o.newRel
+			}
+			return in.Force() // miss (e.g. delete of absent key): old value
+		})
+		resp := lenient.Map(out, func(o txnOut) Response { return o.resp })
+		ns := e.publish(func(cur *snapshot) *snapshot {
+			cells := make([]*lenient.Cell[relation.Relation], len(cur.cells))
+			copy(cells, cur.cells)
+			cells[i] = wcell
+			return &snapshot{dir: cur.dir, cells: cells, version: cur.version + 1}
+		})
+		e.notifyCommit(p.tx, resp, ns)
+		return resp
+	}
+
+	out := e.spawnCustom(p)
 	widx := make([]int, len(p.writes))
 	wcells := make([]*lenient.Cell[relation.Relation], len(p.writes))
 	for j, w := range p.writes {
@@ -320,7 +344,7 @@ func (e *Engine) launchRead(p Plan) *lenient.Cell[Response] {
 		return lenient.Map(out, func(o txnOut) Response { return o.resp })
 	}
 	if p.tx.Kind == KindFind {
-		if rel, ok := p.ins[0].Poll(); ok {
+		if rel, ok := p.in.Poll(); ok {
 			return lenient.Ready(applyToRelation(e.ctx(), p.tx, rel).resp)
 		}
 	}
@@ -331,7 +355,7 @@ func (e *Engine) launchRead(p Plan) *lenient.Cell[Response] {
 // spawnBuiltin starts the future for a single-relation built-in body.
 func (e *Engine) spawnBuiltin(p Plan) *lenient.Cell[txnOut] {
 	ctx := e.ctx()
-	in, tx := p.ins[0], p.tx
+	in, tx := p.in, p.tx
 	e.wg.Add(1)
 	return lenient.Spawn(func() txnOut {
 		defer e.wg.Done()
@@ -347,14 +371,14 @@ func applyToRelation(ctx *eval.Ctx, tx Transaction, rel relation.Relation) txnOu
 	case KindInsert:
 		nr, _ := rel.Insert(ctx, tx.Tuple, trace.None)
 		resp.Tuple = tx.Tuple
-		return txnOut{resp: resp, newRels: map[string]relation.Relation{tx.Rel: nr}}
+		return txnOut{resp: resp, newRel: nr, hasNewRel: true}
 	case KindDelete:
 		nr, found, _ := rel.Delete(ctx, tx.Key, trace.None)
 		resp.Found = found
 		if !found {
 			return txnOut{resp: resp}
 		}
-		return txnOut{resp: resp, newRels: map[string]relation.Relation{tx.Rel: nr}}
+		return txnOut{resp: resp, newRel: nr, hasNewRel: true}
 	case KindFind:
 		tu, found, _ := rel.Find(ctx, tx.Key, trace.None)
 		resp.Found, resp.Tuple = found, tu

@@ -51,6 +51,12 @@ type Plan struct {
 	snap *snapshot
 	err  error // validation/resolution failure -> immediate error response
 
+	// Built-in transactions touch exactly one relation; their access set is
+	// held in these two scalars so planning the hot path allocates nothing.
+	in       *lenient.Cell[relation.Relation] // the single input cell
+	writeOne bool                             // admission replaces tx.Rel's cell
+
+	// Customs (and creates) use the general slice form.
 	touched []string // input relation names (sorted union for customs)
 	ins     []*lenient.Cell[relation.Relation]
 	writes  []string // names whose cells admission replaces
@@ -63,11 +69,16 @@ func (p Plan) Err() error { return p.err }
 
 // ReadOnly reports whether admission would install nothing: the plan's
 // transaction can run against the planned version without serializing.
-func (p Plan) ReadOnly() bool { return !p.create && len(p.writes) == 0 }
+func (p Plan) ReadOnly() bool { return !p.create && !p.writeOne && len(p.writes) == 0 }
 
 // Touched returns the relation names the plan's body reads (including
 // read-modify-write inputs).
-func (p Plan) Touched() []string { return append([]string(nil), p.touched...) }
+func (p Plan) Touched() []string {
+	if p.in != nil {
+		return []string{p.tx.Rel}
+	}
+	return append([]string(nil), p.touched...)
+}
 
 // Version returns the database version the plan resolved against.
 func (p Plan) Version() int64 { return p.snap.version }
@@ -120,11 +131,8 @@ func planAgainst(s *snapshot, tx Transaction) Plan {
 			p.err = fmt.Errorf("%w: %q", database.ErrNoRelation, tx.Rel)
 			return p
 		}
-		p.touched = []string{tx.Rel}
-		p.ins = []*lenient.Cell[relation.Relation]{in}
-		if !tx.IsReadOnly() {
-			p.writes = []string{tx.Rel}
-		}
+		p.in = in
+		p.writeOne = !tx.IsReadOnly()
 		return p
 	}
 }

@@ -104,6 +104,15 @@ type Transaction struct {
 	Writes []string // custom: relations written
 
 	Query string // source text, for reports and figures
+
+	// Prepared-statement provenance, set on transactions bound from a
+	// prepared template. When such a transaction must be forwarded to
+	// another node, Query holds the '?' template (unbindable as text), so
+	// the cluster ships PrepHash + PrepArgs instead and the owner rebinds
+	// against its own statement cache. Routing hints only: the engines
+	// ignore both, and neither is persisted or part of the tag.
+	PrepHash uint64
+	PrepArgs []value.Item
 }
 
 // Tag returns the origin tag rendered as "origin#seq".

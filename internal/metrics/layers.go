@@ -237,6 +237,9 @@ type Server struct {
 	Forwards       Counter
 	Subscribes     Counter
 	StatsReqs      Counter
+	Prepares       Counter // FramePrepare registrations
+	PreparedExecs  Counter // statements arriving by id/hash (ExecPrepared, BatchPrepared, ForwardPrepared)
+	UnknownStmts   Counter // stale statement ids answered with ErrUnknownStmt
 	ReqPerConn     Histogram // requests served per connection, at close
 	LatencyExec    Histogram // FrameExec response latency, ns
 	LatencyBatch   Histogram // FrameBatch response latency, ns
@@ -252,6 +255,9 @@ type ServerSnapshot struct {
 	Forwards       int64             `json:"forwards"`
 	Subscribes     int64             `json:"subscribes"`
 	StatsReqs      int64             `json:"stats_reqs"`
+	Prepares       int64             `json:"prepares"`
+	PreparedExecs  int64             `json:"prepared_execs"`
+	UnknownStmts   int64             `json:"unknown_stmts"`
 	ReqPerConn     HistogramSnapshot `json:"req_per_conn"`
 	LatencyExec    HistogramSnapshot `json:"latency_exec_ns"`
 	LatencyBatch   HistogramSnapshot `json:"latency_batch_ns"`
@@ -271,6 +277,9 @@ func (m *Server) Snapshot() ServerSnapshot {
 	s.Forwards = m.Forwards.Load()
 	s.Subscribes = m.Subscribes.Load()
 	s.StatsReqs = m.StatsReqs.Load()
+	s.Prepares = m.Prepares.Load()
+	s.PreparedExecs = m.PreparedExecs.Load()
+	s.UnknownStmts = m.UnknownStmts.Load()
 	s.ReqPerConn = m.ReqPerConn.Snapshot()
 	s.LatencyExec = m.LatencyExec.Snapshot()
 	s.LatencyBatch = m.LatencyBatch.Snapshot()
@@ -469,6 +478,10 @@ func (s Snapshot) Format() string {
 	if sv := s.Server; sv != nil {
 		fmt.Fprintf(&b, "server: conns=%d/%d execs=%d batches=%d forwards=%d subs=%d stats=%d\n",
 			sv.Conns, sv.ConnsTotal, sv.Execs, sv.Batches, sv.Forwards, sv.Subscribes, sv.StatsReqs)
+		if sv.Prepares > 0 || sv.PreparedExecs > 0 || sv.UnknownStmts > 0 {
+			fmt.Fprintf(&b, "  prepared: registered=%d execs=%d unknown_stmts=%d\n",
+				sv.Prepares, sv.PreparedExecs, sv.UnknownStmts)
+		}
 		if sv.LatencyExec.Count > 0 {
 			fmt.Fprintf(&b, "  exec latency:    %s\n", fmtLatency(sv.LatencyExec))
 		}

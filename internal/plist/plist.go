@@ -29,6 +29,35 @@ type cell struct {
 	task  trace.TaskID // constructor task; None for pre-existing data
 }
 
+// cellArena hands out cells from chunked allocations: a copied spine of n
+// cells costs O(n/chunkSize) mallocs instead of n. Handed-out pointers are
+// stable — a full chunk is replaced, never grown. Chunks start small (most
+// updates under a skewed key distribution copy only a short prefix) and the
+// cap bounds how much dead prefix a still-shared cell can pin: every cell
+// in a chunk was built for one version, so at worst chunkMax-1 superseded
+// neighbors stay reachable alongside a live one.
+type cellArena struct{ chunk []cell }
+
+const (
+	chunkMin = 4
+	chunkMax = 64
+)
+
+func (a *cellArena) take() *cell {
+	if len(a.chunk) == cap(a.chunk) {
+		n := cap(a.chunk) * 2
+		if n < chunkMin {
+			n = chunkMin
+		}
+		if n > chunkMax {
+			n = chunkMax
+		}
+		a.chunk = make([]cell, 0, n)
+	}
+	a.chunk = a.chunk[:len(a.chunk)+1]
+	return &a.chunk[len(a.chunk)-1]
+}
+
 // List is a persistent sorted list of tuples keyed by Tuple.Key. The zero
 // List is empty and ready to use.
 type List struct {
@@ -98,6 +127,7 @@ func (l List) Find(ctx *eval.Ctx, key value.Item, after trace.TaskID) (value.Tup
 func (l List) Insert(ctx *eval.Ctx, t value.Tuple, after trace.TaskID) (List, trace.Op) {
 	key := t.Key()
 
+	var arena cellArena
 	var newHead, prevNew *cell
 	link := func(n *cell) {
 		if prevNew == nil {
@@ -126,7 +156,9 @@ func (l List) Insert(ctx *eval.Ctx, t value.Tuple, after trace.TaskID) (List, tr
 		if headTask == trace.None {
 			headTask = step
 		}
-		link(&cell{tuple: c.tuple, task: step})
+		n := arena.take()
+		n.tuple, n.task = c.tuple, step
+		link(n)
 		ctx.Created(1)
 		c = c.next
 	}
@@ -145,7 +177,9 @@ func (l List) Insert(ctx *eval.Ctx, t value.Tuple, after trace.TaskID) (List, tr
 	if headTask == trace.None {
 		headTask = step
 	}
-	link(&cell{tuple: t, next: suffix, task: step})
+	n := arena.take()
+	n.tuple, n.next, n.task = t, suffix, step
+	link(n)
 	ctx.Created(1)
 
 	size := l.size + 1
@@ -160,6 +194,7 @@ func (l List) Insert(ctx *eval.Ctx, t value.Tuple, after trace.TaskID) (List, tr
 // is returned (no reconstruction for a no-op, mirroring read-only
 // transactions).
 func (l List) Delete(ctx *eval.Ctx, key value.Item, after trace.TaskID) (List, bool, trace.Op) {
+	var arena cellArena
 	var newHead, prevNew *cell
 	link := func(n *cell) {
 		if prevNew == nil {
@@ -189,7 +224,9 @@ func (l List) Delete(ctx *eval.Ctx, key value.Item, after trace.TaskID) (List, b
 		if headTask == trace.None {
 			headTask = step
 		}
-		link(&cell{tuple: c.tuple, task: step})
+		n := arena.take()
+		n.tuple, n.task = c.tuple, step
+		link(n)
 		ctx.Created(1)
 		c = c.next
 	}

@@ -2,8 +2,17 @@ package query
 
 import (
 	"container/list"
+	"errors"
 	"sync"
 )
+
+// ErrUnknownStmt reports a statement-id (or text-hash) lookup that found
+// no live cache entry: the id was never registered here, or its entry has
+// since been evicted or invalidated. Over the wire the server answers a
+// stale ExecPrepared with this error's text, and clients detect it by
+// substring and transparently re-prepare — a stale id must never resolve
+// to a stale plan.
+var ErrUnknownStmt = errors.New("query: unknown prepared statement")
 
 // StmtCache is a bounded, concurrency-safe LRU cache of prepared
 // statements keyed by source text: the per-session (and store-wide)
@@ -25,6 +34,15 @@ type StmtCache struct {
 	m     map[string]*list.Element
 	order *list.List // front = most recently used
 
+	// Prepared-statement indexes: dense ids handed to wire clients by
+	// Register, and FNV-1a text hashes for forwarded statements that ship
+	// a hash instead of text. Both point at live LRU elements and are
+	// unlinked on eviction/invalidation, so a stale id or hash resolves to
+	// "unknown", never to a stale plan.
+	nextID uint64
+	ids    map[uint64]*list.Element
+	hashes map[uint64]*list.Element
+
 	hits   int64
 	misses int64
 }
@@ -33,6 +51,8 @@ type StmtCache struct {
 type cacheEntry struct {
 	src  string
 	prep *Prepared
+	id   uint64 // dense statement id (0 until Register assigns one)
+	hash uint64 // FNV-1a of src
 }
 
 // DefaultStmtCacheSize bounds a statement cache when no explicit capacity
@@ -48,10 +68,40 @@ func NewStmtCache(capacity int) *StmtCache {
 		capacity = DefaultStmtCacheSize
 	}
 	return &StmtCache{
-		cap:   capacity,
-		m:     make(map[string]*list.Element),
-		order: list.New(),
+		cap:    capacity,
+		m:      make(map[string]*list.Element),
+		ids:    make(map[uint64]*list.Element),
+		hashes: make(map[uint64]*list.Element),
+		order:  list.New(),
 	}
+}
+
+// removeLocked unlinks el from the LRU order and every index. The hash
+// index entry is only deleted when it still points at el: a (vanishingly
+// unlikely) 64-bit collision lets a newer statement own the hash slot.
+func (c *StmtCache) removeLocked(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.order.Remove(el)
+	delete(c.m, e.src)
+	if e.id != 0 {
+		delete(c.ids, e.id)
+	}
+	if c.hashes[e.hash] == el {
+		delete(c.hashes, e.hash)
+	}
+}
+
+// insertLocked adds a fresh entry for src at the front of the LRU and
+// evicts past capacity. Callers hold c.mu.
+func (c *StmtCache) insertLocked(src string, prep *Prepared) *list.Element {
+	e := &cacheEntry{src: src, prep: prep, hash: HashText(src)}
+	el := c.order.PushFront(e)
+	c.m[src] = el
+	c.hashes[e.hash] = el
+	for c.order.Len() > c.cap {
+		c.removeLocked(c.order.Back())
+	}
+	return el
 }
 
 // Get returns the prepared form of src, preparing and caching it on a
@@ -83,13 +133,85 @@ func (c *StmtCache) Get(src string) (*Prepared, error) {
 		c.order.MoveToFront(el)
 		return el.Value.(*cacheEntry).prep, nil
 	}
-	c.m[src] = c.order.PushFront(&cacheEntry{src: src, prep: prep})
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).src)
-	}
+	c.insertLocked(src, prep)
 	return prep, nil
+}
+
+// Register is Get plus a dense statement id: the wire server calls it on a
+// Prepare frame and hands the id to the client, whose later ExecPrepared
+// frames resolve through ByID without touching the string map. Registering
+// the same text again returns the existing id; a re-register after
+// eviction or invalidation mints a fresh id, so ids held across an
+// eviction fail with ErrUnknownStmt instead of resolving stale.
+func (c *StmtCache) Register(src string) (uint64, *Prepared, error) {
+	c.mu.Lock()
+	if el, ok := c.m[src]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		e := el.Value.(*cacheEntry)
+		if e.id == 0 {
+			c.nextID++
+			e.id = c.nextID
+			c.ids[e.id] = el
+		}
+		id, prep := e.id, e.prep
+		c.mu.Unlock()
+		return id, prep, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	prep, err := Prepare(src) // parse outside the lock, as in Get
+	if err != nil {
+		return 0, nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[src]
+	if !ok {
+		el = c.insertLocked(src, prep)
+	} else {
+		c.order.MoveToFront(el)
+	}
+	e := el.Value.(*cacheEntry)
+	if e.id == 0 {
+		c.nextID++
+		e.id = c.nextID
+		c.ids[e.id] = el
+	}
+	return e.id, e.prep, nil
+}
+
+// ByID resolves a dense statement id from Register, touching the entry's
+// LRU position. ok is false when the id was never issued here or its entry
+// has been evicted or invalidated since — callers translate that into
+// ErrUnknownStmt, never into a reparse under the stale id.
+func (c *StmtCache) ByID(id uint64) (*Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.ids[id]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).prep, true
+}
+
+// ByHash resolves a statement by the FNV-1a hash of its source text —
+// the lookup forwarded prepared statements use when they ship a hash in
+// place of the text. ok is false when no live entry carries the hash.
+func (c *StmtCache) ByHash(h uint64) (*Prepared, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.hashes[h]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).prep, true
 }
 
 // InvalidateRel drops every cached statement whose access set touches
@@ -104,8 +226,7 @@ func (c *StmtCache) InvalidateRel(rel string) {
 		next = el.Next()
 		e := el.Value.(*cacheEntry)
 		if e.prep.Rel() == rel {
-			c.order.Remove(el)
-			delete(c.m, e.src)
+			c.removeLocked(el)
 		}
 	}
 }

@@ -100,3 +100,91 @@ func TestStmtCacheConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestStmtCacheRegisterStableID(t *testing.T) {
+	c := NewStmtCache(8)
+	id, prep, err := c.Register("find ? in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("Register issued the reserved id 0")
+	}
+	id2, prep2, err := c.Register("find ? in R")
+	if err != nil || id2 != id || prep2 != prep {
+		t.Fatalf("re-register diverged: id %d vs %d, err %v", id2, id, err)
+	}
+	if got, ok := c.ByID(id); !ok || got != prep {
+		t.Fatal("ByID did not resolve a live registration")
+	}
+	if got, ok := c.ByHash(HashText("find ? in R")); !ok || got != prep {
+		t.Fatal("ByHash did not resolve a live registration")
+	}
+	if prep.Hash() != HashText("find ? in R") {
+		t.Fatal("Prepared.Hash diverged from HashText")
+	}
+	// A plain Get on registered text shares the entry (and its id).
+	if got, err := c.Get("find ? in R"); err != nil || got != prep {
+		t.Fatalf("Get after Register re-prepared: %v", err)
+	}
+}
+
+func TestStmtCacheEvictionForgetsID(t *testing.T) {
+	c := NewStmtCache(2)
+	id, _, err := c.Register("find ? in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two younger statements push the registration out of the LRU.
+	c.Get("count R")
+	c.Get("count S")
+	if _, ok := c.ByID(id); ok {
+		t.Fatal("evicted id still resolves — a stale id must be unknown, never a stale plan")
+	}
+	if _, ok := c.ByHash(HashText("find ? in R")); ok {
+		t.Fatal("evicted hash still resolves")
+	}
+	// Re-registering mints a FRESH id: the old one stays dead forever.
+	id2, _, err := c.Register("find ? in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("re-register after eviction reused id %d", id)
+	}
+	if _, ok := c.ByID(id); ok {
+		t.Fatal("dead id resurrected by re-registration")
+	}
+	if _, ok := c.ByID(id2); !ok {
+		t.Fatal("fresh id does not resolve")
+	}
+}
+
+func TestStmtCacheInvalidateRelForgetsID(t *testing.T) {
+	c := NewStmtCache(8)
+	id, _, err := c.Register("find ? in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _, err := c.Register("count S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.InvalidateRel("R")
+	if _, ok := c.ByID(id); ok {
+		t.Fatal("invalidated id still resolves")
+	}
+	if _, ok := c.ByHash(HashText("find ? in R")); ok {
+		t.Fatal("invalidated hash still resolves")
+	}
+	if _, ok := c.ByID(other); !ok {
+		t.Fatal("invalidation of R dropped a statement on S")
+	}
+	id2, _, err := c.Register("find ? in R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("re-register after invalidation reused id %d", id)
+	}
+}

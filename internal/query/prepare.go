@@ -35,16 +35,33 @@ type paramSlot struct {
 // concurrent Bind calls.
 type Prepared struct {
 	src   string
+	hash  uint64           // FNV-1a of src, the statement's wire identity
 	tx    core.Transaction // template; slot positions hold zero items
 	items []value.Item     // insert tuple template (nil for other verbs)
 	slots []paramSlot
+}
+
+// HashText returns the FNV-1a 64-bit hash of a statement's source text:
+// the identity a forwarded prepared statement ships on the wire so the
+// owning node can resolve it against its own cache without the text.
+func HashText(src string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(src); i++ {
+		h ^= uint64(src[i])
+		h *= prime64
+	}
+	return h
 }
 
 // Prepare parses src once into a bindable statement. Queries with no
 // placeholders prepare fine (NumParams reports 0) — Bind with no arguments
 // then returns the plain translation.
 func Prepare(src string) (*Prepared, error) {
-	prep := &Prepared{src: src}
+	prep := &Prepared{src: src, hash: HashText(src)}
 	tx, err := translate(src, prep)
 	if err != nil {
 		return nil, err
@@ -55,6 +72,9 @@ func Prepare(src string) (*Prepared, error) {
 
 // Src returns the prepared query text.
 func (p *Prepared) Src() string { return p.src }
+
+// Hash returns HashText(Src()): the statement's wire identity.
+func (p *Prepared) Hash() uint64 { return p.hash }
 
 // Rel returns the relation the statement touches ("" for statements with
 // no relation). Relation names are fixed at prepare time — placeholders

@@ -46,7 +46,9 @@ import (
 
 	"funcdb/internal/core"
 	"funcdb/internal/metrics"
+	"funcdb/internal/query"
 	"funcdb/internal/session"
+	"funcdb/internal/value"
 	"funcdb/internal/wire"
 )
 
@@ -359,7 +361,35 @@ func (s *Server) handle(conn net.Conn) {
 		// respScratch is reused across batch replies; AppendResponses
 		// copies everything it encodes, so overwriting next flush is safe.
 		respScratch []core.Response
+		// Prepared-statement decode scratch, reused frame to frame: args
+		// decode into argScratch with zero amortized allocation, and the
+		// bind copies every value out before the next frame overwrites it.
+		argScratch  []value.Item
+		callScratch []wire.PreparedCall
+		fwdpScratch []wire.PreparedFwdStmt
+		txScratch   []core.Transaction
 	)
+
+	// bindPrepared binds one resolved statement and stamps its forwarding
+	// provenance: transactions bound here carry their template's hash, and
+	// — only when this host would have to forward them to another owner —
+	// a private copy of the args, because a bound transaction has no
+	// rebindable text form to ship.
+	bindPrepared := func(prep *query.Prepared, args []value.Item, onward bool) (core.Transaction, error) {
+		tx, err := prep.Bind(args...)
+		if err != nil {
+			return tx, err
+		}
+		tx.PrepHash = prep.Hash()
+		if onward {
+			if placer, ok := host.(Placer); ok {
+				if _, self := placer.Owner(tx.Rel); !self {
+					tx.PrepArgs = append([]value.Item(nil), args...)
+				}
+			}
+		}
+		return tx, nil
+	}
 
 	// flush admits every queued statement in one batch and writes the
 	// replies in request order. Responses are forced in order — the
@@ -424,11 +454,11 @@ func (s *Server) handle(conn net.Conn) {
 			// response-written: what the client experiences minus the
 			// network, queue wait under adaptive batching included.
 			switch rp.reqType {
-			case wire.FrameExec:
+			case wire.FrameExec, wire.FrameExecPrepared:
 				s.m.LatencyExec.Since(rp.start)
-			case wire.FrameBatch:
+			case wire.FrameBatch, wire.FrameBatchPrepared:
 				s.m.LatencyBatch.Since(rp.start)
-			case wire.FrameForward:
+			case wire.FrameForward, wire.FrameForwardPrepared:
 				s.m.LatencyForward.Since(rp.start)
 			}
 		}
@@ -503,6 +533,103 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			s.m.Forwards.Inc()
 			rp := s.handleForward(host, sess, id, flags, epoch, stmts)
+			rp.reqType, rp.start = typ, start
+			pending = append(pending, rp)
+
+		case wire.FramePrepare:
+			id, text, derr := wire.DecodePrepare(payload)
+			if derr != nil {
+				flush()
+				return
+			}
+			s.m.Prepares.Inc()
+			rp := reply{id: id, index: -1, reqType: typ, start: start}
+			if stmtID, prep, perr := sess.Register(text); perr != nil {
+				rp.qerr = perr
+			} else {
+				rp.raw = wire.AppendPrepared(nil, id, stmtID, prep.NumParams())
+				rp.rawType = wire.FramePrepared
+			}
+			pending = append(pending, rp)
+
+		case wire.FrameExecPrepared:
+			var id, stmtID uint64
+			var derr error
+			id, stmtID, argScratch, derr = wire.DecodeExecPreparedInto(payload, argScratch[:0])
+			if derr != nil {
+				flush()
+				return
+			}
+			s.m.PreparedExecs.Inc()
+			rp := reply{id: id, index: -1, reqType: typ, start: start}
+			if prep, ok := sess.PreparedByID(stmtID); ok {
+				tx, berr := bindPrepared(prep, argScratch, true)
+				if berr != nil {
+					rp.qerr = berr
+				} else {
+					rp.fut = sess.QueueTx(tx)
+				}
+			} else {
+				s.m.UnknownStmts.Inc()
+				rp.qerr = query.ErrUnknownStmt
+			}
+			pending = append(pending, rp)
+
+		case wire.FrameBatchPrepared:
+			var id uint64
+			var derr error
+			id, callScratch, argScratch, derr = wire.DecodeBatchPreparedInto(payload, callScratch[:0], argScratch[:0])
+			if derr != nil {
+				flush()
+				return
+			}
+			s.m.Batches.Inc()
+			s.m.PreparedExecs.Inc()
+			// All-or-nothing, like FrameBatch: resolve and bind the whole
+			// frame before queueing anything.
+			rp := reply{id: id, index: -1, reqType: typ, start: start}
+			if cap(txScratch) < len(callScratch) {
+				txScratch = make([]core.Transaction, len(callScratch))
+			}
+			txs := txScratch[:len(callScratch)]
+			for i, c := range callScratch {
+				prep, ok := sess.PreparedByID(c.Stmt)
+				if !ok {
+					s.m.UnknownStmts.Inc()
+					rp.qerr = &session.BatchError{Index: i, Err: query.ErrUnknownStmt}
+					rp.index = i
+					break
+				}
+				tx, berr := bindPrepared(prep, c.Args, true)
+				if berr != nil {
+					rp.qerr = &session.BatchError{Index: i, Query: prep.Src(), Err: berr}
+					rp.index = i
+					break
+				}
+				txs[i] = tx
+			}
+			if rp.qerr == nil {
+				futs := make([]*session.Future, len(txs))
+				for i := range txs {
+					futs[i] = sess.QueueTx(txs[i])
+				}
+				rp.futs = futs
+			}
+			pending = append(pending, rp)
+
+		case wire.FrameForwardPrepared:
+			var id, epoch uint64
+			var flags byte
+			var derr error
+			id, flags, epoch, fwdpScratch, argScratch, derr = wire.DecodeForwardPreparedInto(payload, fwdpScratch[:0], argScratch[:0])
+			if derr != nil {
+				flush()
+				return
+			}
+			s.m.Forwards.Inc()
+			s.m.PreparedExecs.Inc()
+			var rp reply
+			rp, txScratch = s.handleForwardPrepared(host, sess, id, flags, epoch, fwdpScratch, txScratch)
 			rp.reqType, rp.start = typ, start
 			pending = append(pending, rp)
 
@@ -626,7 +753,14 @@ func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flag
 		tx.Origin, tx.Seq = st.Origin, st.Seq
 		txs[i] = tx
 	}
+	return s.routeForward(host, sess, rp, flags, epoch, txs)
+}
 
+// routeForward is the shared tail of handleForward and
+// handleForwardPrepared: placement check, replica reads, fencing, then
+// tagged admission. txs is only read during the call — callers may reuse
+// the slice (the session copies each transaction it queues).
+func (s *Server) routeForward(host Host, sess *session.Session, rp reply, flags byte, epoch uint64, txs []core.Transaction) reply {
 	var remoteAddr string
 	if placer, ok := host.(Placer); ok {
 		addr0, self0 := placer.Owner(txs[0].Rel)
@@ -674,11 +808,83 @@ func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flag
 		}
 	}
 
+	if len(txs) == 1 {
+		// The single-statement forward is the cluster client's hot path:
+		// skip the future-slice allocation entirely.
+		rp.fut = sess.QueueTagged(txs[0])
+		return rp
+	}
 	futs := make([]*session.Future, len(txs))
 	for i, tx := range txs {
 		futs[i] = sess.QueueTagged(tx)
 	}
 	return finishForward(rp, futs)
+}
+
+// handleForwardPrepared is handleForward for FrameForwardPrepared: each
+// statement resolves against the session's (node- or store-wide) cache —
+// dense id first, then text hash, then the text itself when the sender
+// included one, registering it so the next hash-only call hits. A
+// statement that resolves nowhere answers query.ErrUnknownStmt: the
+// sender re-sends with text, and a stale id never resolves to a stale
+// plan. txScratch is the connection's reused bind target; the returned
+// slice keeps its growth.
+func (s *Server) handleForwardPrepared(host Host, sess *session.Session, id uint64, flags byte, epoch uint64, stmts []wire.PreparedFwdStmt, txScratch []core.Transaction) (reply, []core.Transaction) {
+	rp := reply{id: id, index: -1}
+	if len(stmts) == 0 {
+		rp.qerr = errors.New("server: empty forward frame")
+		return rp, txScratch
+	}
+	if cap(txScratch) < len(stmts) {
+		txScratch = make([]core.Transaction, len(stmts))
+	}
+	txs := txScratch[:len(stmts)]
+	placer, placed := host.(Placer)
+	for i, st := range stmts {
+		var prep *query.Prepared
+		var ok bool
+		if st.Stmt != 0 {
+			prep, ok = sess.PreparedByID(st.Stmt)
+		}
+		if !ok && st.Hash != 0 {
+			prep, ok = sess.PreparedByHash(st.Hash)
+		}
+		var tx core.Transaction
+		var terr error
+		switch {
+		case ok:
+			tx, terr = prep.Bind(st.Args...)
+		case st.HasText && st.Hash != 0:
+			if _, prep, terr = sess.Register(st.Text); terr == nil {
+				tx, terr = prep.Bind(st.Args...)
+			}
+		case st.HasText:
+			// A plain text statement riding a mixed prepared run.
+			tx, terr = sess.Translate(st.Text)
+		default:
+			s.m.UnknownStmts.Inc()
+			rp.qerr, rp.index = query.ErrUnknownStmt, i
+			return rp, txScratch
+		}
+		if terr != nil {
+			rp.qerr, rp.index = terr, i
+			return rp, txScratch
+		}
+		tx.Origin, tx.Seq = st.Origin, st.Seq
+		if prep != nil {
+			tx.PrepHash = prep.Hash()
+			if placed && flags&wire.FwdNoForward == 0 {
+				if _, self := placer.Owner(tx.Rel); !self {
+					// This gateway forwards onward: the bound transaction has
+					// no rebindable text form, so carry a private copy of the
+					// args (st.Args aliases the connection's decode scratch).
+					tx.PrepArgs = append([]value.Item(nil), st.Args...)
+				}
+			}
+		}
+		txs[i] = tx
+	}
+	return s.routeForward(host, sess, rp, flags, epoch, txs), txScratch
 }
 
 // finishForward shapes the reply: one statement answers as a single
@@ -831,6 +1037,7 @@ type recQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	recs   [][]byte
+	spare  [][]byte // the previously drained buffer, reused for the next fill
 	closed bool
 }
 
@@ -852,7 +1059,10 @@ func (q *recQueue) closeQueue() {
 }
 
 // pop blocks until records are queued or the queue closes, returning the
-// drained batch and whether the queue is still open.
+// drained batch and whether the queue is still open. The returned slice is
+// valid until the caller's next pop: the queue holds two buffers and swaps
+// them, so the single stream-writer consumer drives a steady state with no
+// per-drain allocation.
 func (q *recQueue) pop() ([][]byte, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -860,7 +1070,8 @@ func (q *recQueue) pop() ([][]byte, bool) {
 		q.cond.Wait()
 	}
 	recs := q.recs
-	q.recs = nil
+	q.recs = q.spare[:0]
+	q.spare = recs
 	return recs, !q.closed
 }
 

@@ -163,6 +163,29 @@ func (s *Session) Prepare(src string) (*query.Prepared, error) {
 	return s.cache.Get(src)
 }
 
+// Register prepares src and returns its dense statement id alongside the
+// plan — the wire server's Prepare-frame entry point. Ids are issued by
+// the session's cache (store- or node-wide), so they stay valid across
+// connections to the same store until the entry is evicted or
+// invalidated.
+func (s *Session) Register(src string) (uint64, *query.Prepared, error) {
+	return s.cache.Register(src)
+}
+
+// PreparedByID resolves a dense statement id from Register without
+// touching the text-keyed map — the ExecPrepared hot path. ok is false
+// once the entry has been evicted or invalidated; callers must answer
+// with query.ErrUnknownStmt, never a reparse.
+func (s *Session) PreparedByID(id uint64) (*query.Prepared, bool) {
+	return s.cache.ByID(id)
+}
+
+// PreparedByHash resolves a statement by the FNV-1a hash of its text —
+// the lookup a forwarded prepared statement uses when it ships no text.
+func (s *Session) PreparedByHash(h uint64) (*query.Prepared, bool) {
+	return s.cache.ByHash(h)
+}
+
 // Translate turns a symbolic query into an untagged transaction through
 // the statement cache: parse once per distinct text, bind zero
 // parameters. A query with '?' placeholders cannot execute directly and

@@ -1,0 +1,393 @@
+// Protocol version 4 codecs: the prepared-statement frames
+// (Prepare/Prepared/ExecPrepared/BatchPrepared/ForwardPrepared) must
+// survive arbitrary bytes without panicking, their scratch-reusing Into
+// decoders must agree with the naive reference decoders on every input,
+// and — the cross-version contract — every version-3 encoding must be
+// byte-identical to what a v3 node produces, so un-prepared traffic
+// between mixed-version nodes never changes on the wire.
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"funcdb/internal/value"
+)
+
+// samplePreparedArgs is a representative positional-argument vector.
+func samplePreparedArgs() []value.Item {
+	return []value.Item{value.Int(42), value.Str("x"), value.Int(-7)}
+}
+
+// TestWireV3V4Equivalence pins the cross-version contract: version 4 is
+// purely additive (five new frame types), so every frame a v3 node can
+// emit must still encode byte-for-byte identically, and the v4 scratch
+// decoders must agree with the naive ones field-for-field.
+func TestWireV3V4Equivalence(t *testing.T) {
+	if Version != 4 {
+		t.Fatalf("wire.Version = %d, expected 4", Version)
+	}
+
+	// The v3 encodings are pinned byte-for-byte: golden frames captured
+	// from the version-3 encoders. If any of these change, a v3 peer can
+	// no longer parse this node's un-prepared traffic.
+	golden := []struct {
+		name string
+		got  []byte
+		want []byte
+	}{
+		{"exec", AppendExec(nil, 7, "count R"),
+			[]byte("\x07\x07count R")},
+		{"forward", AppendForward(nil, 9, FwdNoForward, []ForwardStmt{{Origin: "c0", Seq: 3, Query: "count R"}}),
+			[]byte("\x09\x01\x01\x02c0\x06\x07count R")},
+		{"forwardE", AppendForwardE(nil, 9, FwdNoForward|FwdEpoch, 5, []ForwardStmt{{Origin: "c0", Seq: 3, Query: "count R"}}),
+			[]byte("\x09\x05\x01\x02c0\x06\x07count R\x05"),
+		},
+		{"redirectE", AppendRedirectE(nil, 5, "h:1", "R", 2),
+			[]byte("\x05\x03h:1\x01R\x02")},
+	}
+	for _, g := range golden {
+		if !bytes.Equal(g.got, g.want) {
+			t.Fatalf("v3 %s encoding changed:\n got %x\nwant %x", g.name, g.got, g.want)
+		}
+	}
+
+	// Hello/Welcome: a v3 hello decodes under v4 (version auto-fills to
+	// the node's own revision at encode time, and older is accepted).
+	hello := AppendHello(nil, Hello{Version: 3, Origin: "c9", Database: "main"})
+	h, err := DecodeHello(hello)
+	if err != nil || h.Version != 3 || h.Origin != "c9" || h.Database != "main" {
+		t.Fatalf("v3 hello through v4 decoder: %+v err=%v", h, err)
+	}
+	w, err := DecodeWelcome(AppendWelcome(nil, Welcome{Version: 3, Origin: "conn1", Lanes: 4, Database: "main"}))
+	if err != nil || w.Version != 3 || w.Lanes != 4 {
+		t.Fatalf("v3 welcome through v4 decoder: %+v err=%v", w, err)
+	}
+
+	// Prepare/Prepared round-trip.
+	id, text, err := DecodePrepare(AppendPrepare(nil, 3, "find ? in R"))
+	if err != nil || id != 3 || text != "find ? in R" {
+		t.Fatalf("prepare round-trip: id=%d text=%q err=%v", id, text, err)
+	}
+	rid, stmt, np, err := DecodePrepared(AppendPrepared(nil, 3, 17, 1))
+	if err != nil || rid != 3 || stmt != 17 || np != 1 {
+		t.Fatalf("prepared round-trip: %d %d %d %v", rid, stmt, np, err)
+	}
+
+	// ExecPrepared: the naive decoder and the scratch decoder agree, and
+	// scratch reuse across decodes never bleeds earlier arguments in.
+	args := samplePreparedArgs()
+	ep, err := AppendExecPrepared(nil, 11, 17, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nid, nstmt, nargs, err := DecodeExecPrepared(ep)
+	if err != nil || nid != 11 || nstmt != 17 || len(nargs) != len(args) {
+		t.Fatalf("naive exec-prepared decode: %d %d %d %v", nid, nstmt, len(nargs), err)
+	}
+	scratch := make([]value.Item, 0, 8)
+	for round := 0; round < 3; round++ {
+		sid, sstmt, sargs, err := DecodeExecPreparedInto(ep, scratch[:0])
+		if err != nil || sid != nid || sstmt != nstmt || len(sargs) != len(nargs) {
+			t.Fatalf("scratch decode diverged round %d: %v", round, err)
+		}
+		for i := range nargs {
+			if sargs[i] != nargs[i] {
+				t.Fatalf("arg %d diverged: %+v vs %+v", i, sargs[i], nargs[i])
+			}
+		}
+		scratch = sargs
+	}
+
+	// BatchPrepared: Args views must remain valid and correct even when
+	// the shared item scratch grows (append-realloc safety).
+	calls := []PreparedCall{
+		{Stmt: 1, Args: args},
+		{Stmt: 2, Args: nil},
+		{Stmt: 1, Args: []value.Item{value.Str("long-enough-to-force-item-growth"), value.Int(1), value.Int(2), value.Int(3)}},
+	}
+	bp, err := AppendBatchPrepared(nil, 13, calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid, ncalls, err := DecodeBatchPrepared(bp)
+	if err != nil || bid != 13 || len(ncalls) != len(calls) {
+		t.Fatalf("naive batch-prepared decode: %d %d %v", bid, len(ncalls), err)
+	}
+	sbid, scalls, _, err := DecodeBatchPreparedInto(bp, nil, make([]value.Item, 0, 1))
+	if err != nil || sbid != bid || len(scalls) != len(ncalls) {
+		t.Fatalf("scratch batch-prepared decode: %v", err)
+	}
+	for i := range ncalls {
+		if scalls[i].Stmt != ncalls[i].Stmt || len(scalls[i].Args) != len(ncalls[i].Args) {
+			t.Fatalf("call %d diverged: %+v vs %+v", i, scalls[i], ncalls[i])
+		}
+		for j := range ncalls[i].Args {
+			if scalls[i].Args[j] != ncalls[i].Args[j] {
+				t.Fatalf("call %d arg %d diverged", i, j)
+			}
+		}
+	}
+
+	// ForwardPrepared: the epoch-suffix discipline matches ForwardE, and
+	// hash/text resolution fields survive both decoders.
+	stmts := []PreparedFwdStmt{
+		{Origin: "c0", Seq: 3, Hash: 0xdeadbeefcafe, Text: "find ? in R", HasText: true, Args: args[:1]},
+		{Origin: "c0", Seq: 4, Stmt: 9, Hash: 0xdeadbeefcafe, Args: args[1:]},
+	}
+	plain, err := AppendForwardPrepared(nil, 21, FwdNoForward, 0, stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamped, err := AppendForwardPrepared(nil, 21, FwdNoForward|FwdEpoch, 77, stmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stamped frame is the plain frame with the FwdEpoch bit set (the
+	// flags byte sits right after the 1-byte id varint) plus the epoch
+	// varint suffix — nothing in between moves.
+	patched := append([]byte(nil), plain...)
+	patched[1] |= FwdEpoch
+	patched = append(patched, 77)
+	if !bytes.Equal(patched, stamped) {
+		t.Fatalf("epoch suffix disturbed the preceding forward-prepared bytes:\n got %x\nwant %x", stamped, patched)
+	}
+	fid, fflags, fepoch, fstmts, err := DecodeForwardPrepared(stamped)
+	if err != nil || fid != 21 || fflags != FwdNoForward|FwdEpoch || fepoch != 77 || len(fstmts) != 2 {
+		t.Fatalf("forward-prepared decode: id=%d flags=%x epoch=%d n=%d err=%v", fid, fflags, fepoch, len(fstmts), err)
+	}
+	_, _, _, sstmts, _, err := DecodeForwardPreparedInto(stamped, nil, nil)
+	if err != nil || len(sstmts) != len(fstmts) {
+		t.Fatalf("scratch forward-prepared decode: %v", err)
+	}
+	for i := range fstmts {
+		a, b := fstmts[i], sstmts[i]
+		if a.Origin != b.Origin || a.Seq != b.Seq || a.Stmt != b.Stmt || a.Hash != b.Hash ||
+			a.Text != b.Text || a.HasText != b.HasText || len(a.Args) != len(b.Args) {
+			t.Fatalf("forward-prepared stmt %d diverged:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if fstmts[0].Hash != 0xdeadbeefcafe || !fstmts[0].HasText || fstmts[1].Stmt != 9 || fstmts[1].HasText {
+		t.Fatalf("resolution fields did not survive: %+v", fstmts)
+	}
+}
+
+// FuzzDecodePrepare: prepare payloads cross the trust boundary from any
+// client; the decoder must never panic and every accepted payload must
+// round-trip.
+func FuzzDecodePrepare(f *testing.F) {
+	f.Add(AppendPrepare(nil, 1, "find ? in R"))
+	f.Add(AppendPrepare(nil, 0, ""))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, text, err := DecodePrepare(data)
+		if err != nil {
+			return
+		}
+		id2, text2, err := DecodePrepare(AppendPrepare(nil, id, text))
+		if err != nil || id2 != id || text2 != text {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeExecPrepared: the hot-path decoder and its scratch variant
+// must agree on every input, accepted or refused, and accepted payloads
+// must round-trip through the encoder.
+func FuzzDecodeExecPrepared(f *testing.F) {
+	seed, _ := AppendExecPrepared(nil, 1, 2, samplePreparedArgs())
+	f.Add(seed)
+	empty, _ := AppendExecPrepared(nil, 0, 0, nil)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, stmt, args, err := DecodeExecPrepared(data)
+		sid, sstmt, sargs, serr := DecodeExecPreparedInto(data, make([]value.Item, 0, 4))
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree on acceptance: %v vs %v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if sid != id || sstmt != stmt || len(sargs) != len(args) {
+			t.Fatal("scratch decode diverged from naive decode")
+		}
+		for i := range args {
+			if sargs[i] != args[i] {
+				t.Fatalf("arg %d diverged", i)
+			}
+		}
+		again, aerr := AppendExecPrepared(nil, id, stmt, args)
+		if aerr != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", aerr)
+		}
+		id2, stmt2, args2, err := DecodeExecPrepared(again)
+		if err != nil || id2 != id || stmt2 != stmt || len(args2) != len(args) {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeBatchPrepared: hostile call counts must not over-allocate,
+// and the scratch decoder's aliased Args views must match the naive
+// decoder's fresh slices exactly.
+func FuzzDecodeBatchPrepared(f *testing.F) {
+	seed, _ := AppendBatchPrepared(nil, 1, []PreparedCall{
+		{Stmt: 1, Args: samplePreparedArgs()},
+		{Stmt: 2},
+	})
+	f.Add(seed)
+	empty, _ := AppendBatchPrepared(nil, 0, nil)
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, calls, err := DecodeBatchPrepared(data)
+		sid, scalls, _, serr := DecodeBatchPreparedInto(data, nil, nil)
+		if (err == nil) != (serr == nil) {
+			t.Fatalf("decoders disagree on acceptance: %v vs %v", err, serr)
+		}
+		if err != nil {
+			return
+		}
+		if sid != id || len(scalls) != len(calls) {
+			t.Fatal("scratch decode diverged from naive decode")
+		}
+		for i := range calls {
+			if scalls[i].Stmt != calls[i].Stmt || len(scalls[i].Args) != len(calls[i].Args) {
+				t.Fatalf("call %d diverged", i)
+			}
+			for j := range calls[i].Args {
+				if scalls[i].Args[j] != calls[i].Args[j] {
+					t.Fatalf("call %d arg %d diverged", i, j)
+				}
+			}
+		}
+		again, aerr := AppendBatchPrepared(nil, id, calls)
+		if aerr != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", aerr)
+		}
+		id2, calls2, err := DecodeBatchPrepared(again)
+		if err != nil || id2 != id || len(calls2) != len(calls) {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeForwardPrepared: node-to-node prepared forwards carry the
+// epoch suffix, the hash/text resolution fields, and attacker-reachable
+// counts; the decoder must hold all three invariants on arbitrary bytes.
+func FuzzDecodeForwardPrepared(f *testing.F) {
+	seed, _ := AppendForwardPrepared(nil, 1, FwdNoForward, 0, []PreparedFwdStmt{
+		{Origin: "c0", Seq: 0, Hash: 7, Text: "count R", HasText: true},
+	})
+	f.Add(seed)
+	stamped, _ := AppendForwardPrepared(nil, 2, FwdNoForward|FwdEpoch, 1<<40, []PreparedFwdStmt{
+		{Origin: "c1", Seq: 4, Stmt: 3, Hash: 9, Args: samplePreparedArgs()},
+	})
+	f.Add(stamped)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, flags, epoch, stmts, err := DecodeForwardPrepared(data)
+		if err != nil {
+			return
+		}
+		if flags&FwdEpoch == 0 && epoch != 0 {
+			t.Fatalf("epoch %d without FwdEpoch", epoch)
+		}
+		for i := range stmts {
+			if !stmts[i].HasText && stmts[i].Text != "" {
+				t.Fatalf("stmt %d carries text without HasText", i)
+			}
+		}
+		again, aerr := AppendForwardPrepared(nil, id, flags, epoch, stmts)
+		if aerr != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", aerr)
+		}
+		id2, flags2, epoch2, stmts2, err := DecodeForwardPrepared(again)
+		if err != nil || id2 != id || flags2 != flags || epoch2 != epoch || len(stmts2) != len(stmts) {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+		for i := range stmts {
+			a, b := stmts[i], stmts2[i]
+			if a.Origin != b.Origin || a.Seq != b.Seq || a.Stmt != b.Stmt || a.Hash != b.Hash ||
+				a.Text != b.Text || a.HasText != b.HasText || len(a.Args) != len(b.Args) {
+				t.Fatalf("stmt %d diverged after re-encode", i)
+			}
+		}
+	})
+}
+
+// TestExecPreparedDecodeAllocGate is the regression gate CI's bench-smoke
+// job runs: decoding a prepared execution into warm per-connection
+// scratch allocates NOTHING, amortized — the property that lets the
+// server's hot path run parse-free and allocation-free.
+func TestExecPreparedDecodeAllocGate(t *testing.T) {
+	payload, err := AppendExecPrepared(nil, 11, 17, samplePreparedArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := make([]value.Item, 0, 8)
+	for i := 0; i < 16; i++ { // warm the scratch to the payload's width
+		if _, _, scratch, err = DecodeExecPreparedInto(payload, scratch[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		var derr error
+		if _, _, scratch, derr = DecodeExecPreparedInto(payload, scratch[:0]); derr != nil {
+			t.Fatal(derr)
+		}
+	})
+	if avg >= 0.5 {
+		t.Fatalf("steady-state exec-prepared decode allocates %.2f/frame, want 0 amortized", avg)
+	}
+}
+
+// TestExecPreparedEncodeAllocGate: assembling a prepared execution into a
+// pre-grown request buffer allocates at most one object per frame (and in
+// practice zero) — the client-side half of the parse-free hot path.
+func TestExecPreparedEncodeAllocGate(t *testing.T) {
+	args := samplePreparedArgs()
+	buf := make([]byte, 0, 256)
+	avg := testing.AllocsPerRun(200, func() {
+		b, mark := BeginFrame(buf[:0], FrameExecPrepared)
+		var err error
+		if b, err = AppendExecPrepared(b, 11, 17, args); err != nil {
+			t.Fatal(err)
+		}
+		if _, err = EndFrame(b, mark); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 1.0 {
+		t.Fatalf("steady-state exec-prepared encode allocates %.2f/frame, want <= 1", avg)
+	}
+}
+
+// TestBatchPreparedDecodeNoAlloc: the batch decoder reuses both scratches
+// with zero steady-state allocation, Args views included.
+func TestBatchPreparedDecodeNoAlloc(t *testing.T) {
+	payload, err := AppendBatchPrepared(nil, 5, []PreparedCall{
+		{Stmt: 1, Args: samplePreparedArgs()},
+		{Stmt: 1, Args: samplePreparedArgs()[:1]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls []PreparedCall
+	var items []value.Item
+	for i := 0; i < 16; i++ {
+		if _, calls, items, err = DecodeBatchPreparedInto(payload, calls[:0], items[:0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		var derr error
+		if _, calls, items, derr = DecodeBatchPreparedInto(payload, calls[:0], items[:0]); derr != nil {
+			t.Fatal(derr)
+		}
+	})
+	if avg >= 0.5 {
+		t.Fatalf("steady-state batch-prepared decode allocates %.2f/frame, want 0 amortized", avg)
+	}
+}

@@ -124,6 +124,39 @@ const (
 	// epoch for the streamed slot: a subscriber that knows a higher epoch
 	// drops the stream instead of applying a deposed primary's records.
 	FrameLogRecordE byte = 0x21
+
+	// Prepared-statement frames (protocol version 4). A client ships query
+	// text once (Prepare), the server plans it into its statement cache and
+	// answers with a dense statement id (Prepared), and every later call
+	// ships id + positional args only (ExecPrepared/BatchPrepared) — no
+	// text on the wire, no lexer or parser on the server's hot path.
+	// ForwardPrepared is the pre-tagged cluster form: statements resolve by
+	// the FNV-1a hash of their text (optionally carrying the text for
+	// first-contact registration) so the owning node can resolve the plan
+	// or demand a re-prepare with ErrUnknownStmt.
+
+	// FramePrepare registers query text (client → server): request id,
+	// query text. Answered by FramePrepared or FrameError.
+	FramePrepare byte = 0x22
+	// FramePrepared answers FramePrepare: request id, dense statement id,
+	// parameter count.
+	FramePrepared byte = 0x23
+	// FrameExecPrepared submits one prepared statement: request id,
+	// statement id, positional args. A statement id the server no longer
+	// holds (eviction, create-invalidation, restart) is answered with a
+	// FrameError carrying query.ErrUnknownStmt's text — never a stale
+	// plan — and the client transparently re-prepares.
+	FrameExecPrepared byte = 0x24
+	// FrameBatchPrepared submits n prepared statements as one admission
+	// batch: request id, count, then (statement id, args) per statement.
+	FrameBatchPrepared byte = 0x25
+	// FrameForwardPrepared is FrameForward for prepared statements:
+	// request id, flags (same bits, FwdEpoch trailing epoch included),
+	// count, then per statement (origin, seq, statement id, text hash,
+	// optional text, args). The receiver resolves statement id → hash →
+	// text against its node-wide cache; a statement that resolves nowhere
+	// fails with ErrUnknownStmt so the sender can re-send with text.
+	FrameForwardPrepared byte = 0x26
 )
 
 // Forward flag bits.
@@ -155,8 +188,12 @@ const (
 	// (Heartbeat, SubAck, LogRecordE), the FwdEpoch flag, the optional
 	// Redirect epoch, and the extended Subscribe (slot + subscriber id) —
 	// all additive, so version-2 peers interoperate for non-failover
-	// traffic.
-	Version = 3
+	// traffic. Version 4 adds the prepared-statement frames
+	// (Prepare/Prepared/ExecPrepared/BatchPrepared/ForwardPrepared);
+	// every version-3 encoding is byte-identical under version 4 (the new
+	// frames are purely additive), so version-3 peers interoperate for
+	// text traffic and clients gate prepared use on the Welcome version.
+	Version = 4
 	// MaxFrameLen caps a frame's payload: large enough for any realistic
 	// batch or scan response, small enough to bound what a corrupt
 	// length field can make a peer allocate.
