@@ -17,10 +17,13 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"sync"
+	"sync/atomic"
 
 	"funcdb"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/session"
 	"funcdb/internal/wire"
 )
@@ -52,6 +55,15 @@ type Client struct {
 	lanes    int
 	durable  bool
 	version  byte // server's protocol revision, from Welcome
+
+	// Client-side tracing (WithTracing): the recorder holds this
+	// connection's published traces; sampled requests stamp the v5
+	// trace-context suffix so server-side spans share their trace id.
+	traceCfg     *funcdb.TracingConfig
+	rec          *reqtrace.Recorder
+	dialNS       int64 // unix ns Dial began
+	dialDurNS    int64 // dial + handshake duration
+	dialAttached atomic.Bool
 }
 
 // fail records the first transport failure; every later call reports it.
@@ -83,6 +95,7 @@ type arrived struct {
 	rel      string // FrameRedirect: the relation being placed
 	rdEpoch  uint64 // FrameRedirect: the owner's epoch (0 = unstamped)
 	stats    []byte // FrameStatsResponse: the metrics JSON document
+	traces   []byte // FrameTracesResponse: the traces JSON document
 	stmtID   uint64 // FramePrepared: the dense statement id
 	nparams  int    // FramePrepared: the statement's '?' count
 	prepared bool   // FramePrepared arrived
@@ -103,8 +116,18 @@ func WithDatabase(db string) Option {
 	return func(c *Client) { c.database = db }
 }
 
+// WithTracing records client-side span timelines for this connection's
+// requests (dial + handshake, request-sent → response-decoded) and —
+// against a version-5 server — stamps sampled requests with the wire
+// trace context, so the server's spans land under the same trace id and
+// LocalTraces/Traces stitch into one end-to-end timeline.
+func WithTracing(cfg funcdb.TracingConfig) Option {
+	return func(c *Client) { c.traceCfg = &cfg }
+}
+
 // Dial connects and performs the protocol handshake.
 func Dial(addr string, opts ...Option) (*Client, error) {
+	dialStart := time.Now()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
@@ -144,7 +167,53 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		return nil, fmt.Errorf("client: %w", err)
 	}
 	c.origin, c.lanes, c.durable, c.database, c.version = w.Origin, w.Lanes, w.Durable, w.Database, w.Version
+	if c.traceCfg != nil {
+		c.rec = reqtrace.New("client:"+c.origin, *c.traceCfg)
+		c.dialNS = dialStart.UnixNano()
+		c.dialDurNS = time.Since(dialStart).Nanoseconds()
+	}
 	return c, nil
+}
+
+// startTrace opens a trace for one request when client tracing is on.
+// The first sampled trace additionally carries the connection's dial +
+// handshake span — dialing happens once, so it is attributed once.
+// Returns the handle and the client-send span's start instant.
+func (c *Client) startTrace() (*reqtrace.T, int64) {
+	if c.rec == nil {
+		return nil, 0
+	}
+	t := c.rec.Start()
+	if t.Sampled() && !c.dialAttached.Swap(true) {
+		t.SpanNS(reqtrace.StageClientDial, c.dialNS, c.dialDurNS)
+	}
+	return t, time.Now().UnixNano()
+}
+
+// finishTrace closes a request's client-send span and runs admission.
+func (c *Client) finishTrace(t *reqtrace.T, sentNS int64) {
+	if t == nil {
+		return
+	}
+	t.SpanNS(reqtrace.StageClientSend, sentNS, time.Now().UnixNano()-sentNS)
+	c.rec.Finish(t)
+}
+
+// traceSuffix decides whether a request frame carries the v5 trace
+// suffix: only sampled traces, and only toward a version-5 server.
+func traceSuffix(t *reqtrace.T, serverVer byte) (wire.TraceCtx, bool) {
+	if t == nil || serverVer < 5 || !t.Sampled() {
+		return wire.TraceCtx{}, false
+	}
+	ctx := t.Ctx()
+	return wire.TraceCtx{ID: ctx.ID, Hop: ctx.Hop, Sampled: true}, true
+}
+
+// LocalTraces returns the traces published by this connection's own
+// recorder (nil without WithTracing) — the client-side fragments; the
+// server-side fragments come from Traces and stitch by id.
+func (c *Client) LocalTraces() []funcdb.RequestTrace {
+	return c.rec.Traces()
 }
 
 // Origin returns the connection's origin tag (server-assigned when Dial
@@ -162,15 +231,19 @@ func (c *Client) Durable() bool { return c.durable }
 
 // Pending is one in-flight request: a response future over the wire.
 type Pending struct {
-	c  *Client
-	id uint64
+	c      *Client
+	id     uint64
+	t      *reqtrace.T // client-side trace (nil untraced)
+	sentNS int64
 }
 
 // Force blocks until the request's response arrives (reading the
 // connection as needed) and returns it. Safe to call from any goroutine
 // and in any order relative to other Pending handles.
 func (p *Pending) Force() (funcdb.Response, error) {
-	return p.c.await(p.id)
+	resp, err := p.c.await(p.id)
+	p.c.finishTrace(p.t, p.sentNS)
+	return resp, err
 }
 
 // send frames one request under the write lock and returns its request
@@ -281,6 +354,12 @@ func (c *Client) recv(id uint64) (arrived, error) {
 			}
 			// doc aliases the frame's read buffer: copy before it is reused.
 			c.got[rid] = arrived{stats: append([]byte(nil), doc...), index: -1}
+		case wire.FrameTracesResponse:
+			rid, doc, derr := wire.DecodeTracesResponse(payload)
+			if derr != nil {
+				return arrived{}, c.fail(derr)
+			}
+			c.got[rid] = arrived{traces: append([]byte(nil), doc...), index: -1}
 		default:
 			return arrived{}, c.fail(fmt.Errorf("client: unexpected frame %#x", typ))
 		}
@@ -298,15 +377,33 @@ func (c *Client) forward(flags byte, stmts []wire.ForwardStmt) (uint64, error) {
 	})
 }
 
+// forwardTraced is forward with a trace-context suffix: the receiving
+// node's spans land under tc.ID. Client Forward frames never carry an
+// epoch, so only FwdTrace rides in the flags.
+func (c *Client) forwardTraced(flags byte, stmts []wire.ForwardStmt, tc wire.TraceCtx) (uint64, error) {
+	return c.send(wire.FrameForward, func(dst []byte, id uint64) []byte {
+		return wire.AppendForwardT(dst, id, flags|wire.FwdTrace, 0, tc, stmts)
+	})
+}
+
 // ExecAsync submits one statement without waiting: pipelined execution.
 func (c *Client) ExecAsync(q string) (*Pending, error) {
-	id, err := c.send(wire.FrameExec, func(dst []byte, id uint64) []byte {
-		return wire.AppendExec(dst, id, q)
-	})
+	t, sentNS := c.startTrace()
+	var id uint64
+	var err error
+	if tc, ok := traceSuffix(t, c.version); ok {
+		id, err = c.send(wire.FrameExec, func(dst []byte, id uint64) []byte {
+			return wire.AppendExecT(dst, id, q, tc)
+		})
+	} else {
+		id, err = c.send(wire.FrameExec, func(dst []byte, id uint64) []byte {
+			return wire.AppendExec(dst, id, q)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &Pending{c: c, id: id}, nil
+	return &Pending{c: c, id: id, t: t, sentNS: sentNS}, nil
 }
 
 // Exec submits one statement and waits for its response. A translation
@@ -326,13 +423,23 @@ func (c *Client) Exec(q string) (funcdb.Response, error) {
 // all-or-nothing; a failure reports a *funcdb.BatchError with the failing
 // statement's index, like the in-process ExecBatch.
 func (c *Client) ExecBatch(queries []string) ([]funcdb.Response, error) {
-	id, err := c.send(wire.FrameBatch, func(dst []byte, id uint64) []byte {
-		return wire.AppendBatch(dst, id, queries)
-	})
+	t, sentNS := c.startTrace()
+	var id uint64
+	var err error
+	if tc, ok := traceSuffix(t, c.version); ok {
+		id, err = c.send(wire.FrameBatch, func(dst []byte, id uint64) []byte {
+			return wire.AppendBatchT(dst, id, queries, tc)
+		})
+	} else {
+		id, err = c.send(wire.FrameBatch, func(dst []byte, id uint64) []byte {
+			return wire.AppendBatch(dst, id, queries)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
 	a, aerr := c.recv(id)
+	c.finishTrace(t, sentNS)
 	if aerr != nil {
 		return nil, aerr
 	}
@@ -375,6 +482,37 @@ func (c *Client) Stats() (funcdb.MetricsSnapshot, error) {
 		return snap, fmt.Errorf("client: bad stats document: %w", err)
 	}
 	return snap, nil
+}
+
+// Traces asks the server for its published request traces (newest
+// first): the server-side fragments of sampled and slow requests, which
+// Render/Stitch merge with client-side LocalTraces by trace id. Needs a
+// version-5 server; the request pipelines like any other frame.
+func (c *Client) Traces() ([]funcdb.RequestTrace, error) {
+	if c.version < 5 {
+		return nil, fmt.Errorf("client: server speaks protocol %d; traces need 5", c.version)
+	}
+	id, err := c.send(wire.FrameTraces, func(dst []byte, id uint64) []byte {
+		return wire.AppendTraces(dst, id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	a, err := c.recv(id)
+	if err != nil {
+		return nil, err
+	}
+	if a.isErr {
+		return nil, errors.New(a.errMsg)
+	}
+	if a.traces == nil {
+		return nil, fmt.Errorf("client: request %d is not a traces request", id)
+	}
+	var out []funcdb.RequestTrace
+	if err := json.Unmarshal(a.traces, &out); err != nil {
+		return nil, fmt.Errorf("client: bad traces document: %w", err)
+	}
+	return out, nil
 }
 
 // Per-connection buffer sizing: explicit rather than bufio's 4 KiB

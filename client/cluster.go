@@ -14,6 +14,7 @@ import (
 	"funcdb"
 	"funcdb/internal/core"
 	"funcdb/internal/query"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/session"
 	"funcdb/internal/wire"
 )
@@ -29,6 +30,12 @@ type ClusterClient struct {
 	origin string
 	addrs  []string      // the addresses given to DialCluster, seed order
 	retry  time.Duration // failover retry budget (0 = off)
+
+	// Client-side tracing (WithClusterTracing): one recorder for the whole
+	// cluster client; sampled requests stamp the trace context onto their
+	// Forward frames so every node's spans share the trace id.
+	traceCfg *funcdb.TracingConfig
+	rec      *reqtrace.Recorder
 
 	mu        sync.Mutex
 	seq       int
@@ -60,6 +67,14 @@ func WithFailoverRetry(budget time.Duration) ClusterOption {
 	return func(c *ClusterClient) { c.retry = budget }
 }
 
+// WithClusterTracing records client-side span timelines (lazy dials,
+// request-sent → response-decoded) under one recorder and stamps sampled
+// requests' Forward frames with the v5 trace context, so server-side
+// spans across the whole cluster land under the same trace id.
+func WithClusterTracing(cfg funcdb.TracingConfig) ClusterOption {
+	return func(c *ClusterClient) { c.traceCfg = &cfg }
+}
+
 // DialCluster prepares a cluster client over the given node addresses.
 // Connections are dialed lazily, per node, on first use.
 //
@@ -84,42 +99,70 @@ func DialCluster(addrs []string, opts ...ClusterOption) (*ClusterClient, error) 
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.traceCfg != nil {
+		c.rec = reqtrace.New("client:"+c.origin, *c.traceCfg)
+	}
 	return c, nil
 }
 
 // Origin returns the client's tag.
 func (c *ClusterClient) Origin() string { return c.origin }
 
+// startTrace opens a trace for one routed request when tracing is on,
+// returning the handle and the client-send span's start instant.
+func (c *ClusterClient) startTrace() (*reqtrace.T, int64) {
+	if c.rec == nil {
+		return nil, 0
+	}
+	return c.rec.Start(), time.Now().UnixNano()
+}
+
+// finishTrace closes a request's client-send span and runs admission.
+func (c *ClusterClient) finishTrace(t *reqtrace.T, sentNS int64) {
+	if t == nil {
+		return
+	}
+	t.SpanNS(reqtrace.StageClientSend, sentNS, time.Now().UnixNano()-sentNS)
+	c.rec.Finish(t)
+}
+
+// LocalTraces returns the traces published by the cluster client's own
+// recorder (nil without WithClusterTracing): the client-side fragments,
+// stitched with TracesAll's server fragments by id.
+func (c *ClusterClient) LocalTraces() []funcdb.RequestTrace {
+	return c.rec.Traces()
+}
+
 // conn returns (dialing if needed) the connection to addr.
-func (c *ClusterClient) conn(addr string) (*Client, error) {
+func (c *ClusterClient) conn(addr string) (*Client, bool, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, errors.New("client: cluster client closed")
+		return nil, false, errors.New("client: cluster client closed")
 	}
 	if cl, ok := c.conns[addr]; ok {
 		c.mu.Unlock()
-		return cl, nil
+		return cl, false, nil
 	}
 	c.mu.Unlock()
 	// Dial outside the lock; a racing dial to the same addr keeps the
 	// first registered connection.
 	cl, err := Dial(addr, WithOrigin(c.origin))
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		cl.Close()
-		return nil, errors.New("client: cluster client closed")
+		return nil, false, errors.New("client: cluster client closed")
 	}
 	if have, ok := c.conns[addr]; ok {
 		cl.Close()
-		return have, nil
+		return have, false, nil
 	}
 	c.conns[addr] = cl
-	return cl, nil
+	return cl, true, nil
 }
 
 // dropConn forgets a connection whose transport failed, so the next
@@ -204,8 +247,8 @@ func (c *ClusterClient) nextSeqs(n int) int {
 // one, failures that look like a promotion in flight — a dead
 // connection, an exhausted redirect chase, a fencing rejection — are
 // retried against re-resolved placement until the budget elapses.
-func (c *ClusterClient) sendRun(rel, addr string, flags byte, stmts []wire.ForwardStmt, learn bool) (arrived, string, error) {
-	a, served, err := c.sendRunOnce(rel, addr, flags, stmts, learn)
+func (c *ClusterClient) sendRun(rel, addr string, flags byte, stmts []wire.ForwardStmt, learn bool, t *reqtrace.T) (arrived, string, error) {
+	a, served, err := c.sendRunOnce(rel, addr, flags, stmts, learn, t)
 	if c.retry <= 0 {
 		return a, served, err
 	}
@@ -227,7 +270,7 @@ func (c *ClusterClient) sendRun(rel, addr string, flags byte, stmts []wire.Forwa
 		c.forget(rel)
 		time.Sleep(failoverRetryPause)
 		next := c.addrs[(core.LaneOf(rel, len(c.addrs))+attempt)%len(c.addrs)]
-		a, served, err = c.sendRunOnce(rel, next, flags, stmts, learn)
+		a, served, err = c.sendRunOnce(rel, next, flags, stmts, learn, t)
 	}
 }
 
@@ -261,14 +304,24 @@ func fencedReply(a arrived) bool {
 // reconnect must not spend the redirect budget) and one REDIRECT chase
 // (the placement correction). learn=false suppresses placement learning
 // (replica reads are deliberately served off-owner).
-func (c *ClusterClient) sendRunOnce(rel, addr string, flags byte, stmts []wire.ForwardStmt, learn bool) (arrived, string, error) {
+func (c *ClusterClient) sendRunOnce(rel, addr string, flags byte, stmts []wire.ForwardStmt, learn bool, t *reqtrace.T) (arrived, string, error) {
 	redialed, redirected := false, false
 	for {
-		cl, err := c.conn(addr)
+		dialNS := time.Now().UnixNano()
+		cl, dialed, err := c.conn(addr)
 		if err != nil {
 			return arrived{}, "", err
 		}
-		id, err := cl.forward(flags, stmts)
+		if dialed && t != nil {
+			// This request paid for the dial + handshake: attribute it.
+			t.SpanNS(reqtrace.StageClientDial, dialNS, time.Now().UnixNano()-dialNS)
+		}
+		var id uint64
+		if tc, ok := traceSuffix(t, cl.version); ok {
+			id, err = cl.forwardTraced(flags, stmts, tc)
+		} else {
+			id, err = cl.forward(flags, stmts)
+		}
 		if err != nil {
 			if !redialed {
 				c.dropConn(addr, cl)
@@ -320,11 +373,13 @@ func (c *ClusterClient) ExecReplica(q string) (funcdb.Response, error) {
 	}
 	seq := c.nextSeqs(1)
 	stmt := wire.ForwardStmt{Origin: c.origin, Seq: seq, Query: q}
+	t, sentNS := c.startTrace()
 	// The near node serves the read itself (replica or primary); redirect
 	// only fires when it has no replica of the relation (replication
 	// disabled), in which case the owner answers.
 	a, _, err := c.sendRun(tx.Rel, c.addrs[0], wire.FwdNoForward|wire.FwdReadLocal,
-		[]wire.ForwardStmt{stmt}, false)
+		[]wire.ForwardStmt{stmt}, false, t)
+	c.finishTrace(t, sentNS)
 	if err != nil {
 		return funcdb.Response{}, err
 	}
@@ -342,7 +397,9 @@ func (c *ClusterClient) exec(q string, flags byte) (funcdb.Response, error) {
 	seq := c.nextSeqs(1)
 	stmt := wire.ForwardStmt{Origin: c.origin, Seq: seq, Query: q}
 	addr, _ := c.guess(tx.Rel)
-	a, _, err := c.sendRun(tx.Rel, addr, flags, []wire.ForwardStmt{stmt}, true)
+	t, sentNS := c.startTrace()
+	a, _, err := c.sendRun(tx.Rel, addr, flags, []wire.ForwardStmt{stmt}, true, t)
+	c.finishTrace(t, sentNS)
 	if err != nil {
 		return funcdb.Response{}, err
 	}
@@ -371,6 +428,12 @@ func (c *ClusterClient) ExecBatch(queries []string) ([]funcdb.Response, error) {
 	}
 	first := c.nextSeqs(len(queries))
 
+	// One trace covers the whole batch: every run's Forward frame is
+	// stamped with the same context, so all owners' spans stitch under
+	// one id, and one client-send span brackets the full reassembly.
+	t, sentNS := c.startTrace()
+	defer func() { c.finishTrace(t, sentNS) }()
+
 	out := make([]funcdb.Response, len(queries))
 	for i := 0; i < len(queries); {
 		rel := txs[i].Rel
@@ -391,7 +454,7 @@ func (c *ClusterClient) ExecBatch(queries []string) ([]funcdb.Response, error) {
 		for k := i; k < j; k++ {
 			stmts[k-i] = wire.ForwardStmt{Origin: c.origin, Seq: first + k, Query: queries[k]}
 		}
-		a, _, err := c.sendRun(rel, addr, wire.FwdNoForward, stmts, true)
+		a, _, err := c.sendRun(rel, addr, wire.FwdNoForward, stmts, true, t)
 		if err != nil {
 			return nil, err
 		}
@@ -426,7 +489,7 @@ func (c *ClusterClient) ExecBatch(queries []string) ([]funcdb.Response, error) {
 
 // Stats returns one node's metrics snapshot (dialing it if needed).
 func (c *ClusterClient) Stats(addr string) (funcdb.MetricsSnapshot, error) {
-	cl, err := c.conn(addr)
+	cl, _, err := c.conn(addr)
 	if err != nil {
 		return funcdb.MetricsSnapshot{}, err
 	}
@@ -450,6 +513,34 @@ func (c *ClusterClient) StatsAll() (snaps map[string]funcdb.MetricsSnapshot, err
 		snaps[addr] = snap
 	}
 	return snaps, errs
+}
+
+// Traces returns one node's published request traces (dialing it if
+// needed). Needs version-5 nodes.
+func (c *ClusterClient) Traces(addr string) ([]funcdb.RequestTrace, error) {
+	cl, _, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return cl.Traces()
+}
+
+// TracesAll gathers every dialed-list node's published traces into one
+// list. The fragments of one distributed request share a trace id, so
+// reqtrace.Stitch/Render over the merged list draws the full hop tree —
+// gateway, owning primary, and mirror apply. Unreachable nodes are
+// reported in errs and contribute nothing.
+func (c *ClusterClient) TracesAll() (traces []funcdb.RequestTrace, errs map[string]error) {
+	errs = make(map[string]error)
+	for _, addr := range c.addrs {
+		ts, err := c.Traces(addr)
+		if err != nil {
+			errs[addr] = err
+			continue
+		}
+		traces = append(traces, ts...)
+	}
+	return traces, errs
 }
 
 // invalidateOnCreate drops cached statements touching a relation the

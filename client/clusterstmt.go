@@ -9,6 +9,7 @@ import (
 	"funcdb"
 	"funcdb/internal/core"
 	"funcdb/internal/query"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/wire"
 )
 
@@ -111,7 +112,9 @@ func (s *ClusterStmt) Exec(args ...funcdb.Item) (funcdb.Response, error) {
 	// send loop.
 	stmts := []wire.PreparedFwdStmt{{Origin: s.c.origin, Seq: seq, Hash: s.hash, Text: s.text, Args: args}}
 	addr, _ := s.c.guess(rel)
-	a, _, err := s.c.sendPreparedRun(s, rel, addr, wire.FwdNoForward, stmts)
+	t, sentNS := s.c.startTrace()
+	a, _, err := s.c.sendPreparedRun(s, rel, addr, wire.FwdNoForward, stmts, t)
+	s.c.finishTrace(t, sentNS)
 	if err != nil {
 		return funcdb.Response{}, err
 	}
@@ -129,8 +132,8 @@ func (s *ClusterStmt) Exec(args ...funcdb.Item) (funcdb.Response, error) {
 // placement under the retry budget), plus statement re-registration —
 // rotating away from an address also forgets that the address held the
 // statement, so the retry re-prepares wherever it lands.
-func (c *ClusterClient) sendPreparedRun(s *ClusterStmt, rel, addr string, flags byte, stmts []wire.PreparedFwdStmt) (arrived, string, error) {
-	a, served, err := c.sendPreparedOnce(s, rel, addr, flags, stmts)
+func (c *ClusterClient) sendPreparedRun(s *ClusterStmt, rel, addr string, flags byte, stmts []wire.PreparedFwdStmt, t *reqtrace.T) (arrived, string, error) {
+	a, served, err := c.sendPreparedOnce(s, rel, addr, flags, stmts, t)
 	if c.retry <= 0 {
 		return a, served, err
 	}
@@ -154,7 +157,7 @@ func (c *ClusterClient) sendPreparedRun(s *ClusterStmt, rel, addr string, flags 
 		time.Sleep(failoverRetryPause)
 		next := c.addrs[(core.LaneOf(rel, len(c.addrs))+attempt)%len(c.addrs)]
 		addr = next
-		a, served, err = c.sendPreparedOnce(s, rel, next, flags, stmts)
+		a, served, err = c.sendPreparedOnce(s, rel, next, flags, stmts, t)
 	}
 }
 
@@ -162,18 +165,27 @@ func (c *ClusterClient) sendPreparedRun(s *ClusterStmt, rel, addr string, flags 
 // redirect chase, and one re-send-with-text when a hash-only frame is
 // refused as an unknown statement (the owner evicted or never had it —
 // nothing was admitted, so re-sending is safe).
-func (c *ClusterClient) sendPreparedOnce(s *ClusterStmt, rel, addr string, flags byte, stmts []wire.PreparedFwdStmt) (arrived, string, error) {
+func (c *ClusterClient) sendPreparedOnce(s *ClusterStmt, rel, addr string, flags byte, stmts []wire.PreparedFwdStmt, t *reqtrace.T) (arrived, string, error) {
 	redialed, redirected, reprepared := false, false, false
 	for {
-		cl, err := c.conn(addr)
+		dialNS := time.Now().UnixNano()
+		cl, dialed, err := c.conn(addr)
 		if err != nil {
 			return arrived{}, "", err
+		}
+		if dialed && t != nil {
+			t.SpanNS(reqtrace.StageClientDial, dialNS, time.Now().UnixNano()-dialNS)
 		}
 		hasText := !s.isConfirmed(addr)
 		for i := range stmts {
 			stmts[i].HasText = hasText
 		}
-		id, err := cl.forwardPrepared(flags, stmts)
+		var id uint64
+		if tc, ok := traceSuffix(t, cl.version); ok {
+			id, err = cl.forwardPreparedTraced(flags, stmts, tc)
+		} else {
+			id, err = cl.forwardPrepared(flags, stmts)
+		}
 		if err != nil {
 			if !redialed {
 				c.dropConn(addr, cl)
@@ -216,6 +228,14 @@ func (c *ClusterClient) sendPreparedOnce(s *ClusterStmt, rel, addr string, flags
 func (c *Client) forwardPrepared(flags byte, stmts []wire.PreparedFwdStmt) (uint64, error) {
 	return c.send(wire.FrameForwardPrepared, func(dst []byte, id uint64) []byte {
 		dst, _ = wire.AppendForwardPrepared(dst, id, flags, 0, stmts) // args pre-validated
+		return dst
+	})
+}
+
+// forwardPreparedTraced is forwardPrepared with a trace-context suffix.
+func (c *Client) forwardPreparedTraced(flags byte, stmts []wire.PreparedFwdStmt, tc wire.TraceCtx) (uint64, error) {
+	return c.send(wire.FrameForwardPrepared, func(dst []byte, id uint64) []byte {
+		dst, _ = wire.AppendForwardPreparedT(dst, id, flags|wire.FwdTrace, 0, tc, stmts) // args pre-validated
 		return dst
 	})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"funcdb"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/session"
 	"funcdb/internal/wire"
 )
@@ -130,6 +131,8 @@ type StmtPending struct {
 	id     uint64 // request id awaiting a reply
 	stmtID uint64 // statement id the request was sent under
 	args   []funcdb.Item
+	t      *reqtrace.T // client-side trace (nil untraced)
+	sentNS int64
 }
 
 // ExecAsync ships one prepared execution without waiting, auto-preparing
@@ -142,14 +145,21 @@ func (s *Stmt) ExecAsync(args ...funcdb.Item) (*StmtPending, error) {
 	if err != nil {
 		return nil, err
 	}
-	rid, err := s.sendExec(stmtID, args)
+	t, sentNS := s.c.startTrace()
+	rid, err := s.sendExec(stmtID, args, t)
 	if err != nil {
 		return nil, err
 	}
-	return &StmtPending{s: s, id: rid, stmtID: stmtID, args: args}, nil
+	return &StmtPending{s: s, id: rid, stmtID: stmtID, args: args, t: t, sentNS: sentNS}, nil
 }
 
-func (s *Stmt) sendExec(stmtID uint64, args []funcdb.Item) (uint64, error) {
+func (s *Stmt) sendExec(stmtID uint64, args []funcdb.Item, t *reqtrace.T) (uint64, error) {
+	if tc, ok := traceSuffix(t, s.c.version); ok {
+		return s.c.send(wire.FrameExecPrepared, func(dst []byte, id uint64) []byte {
+			dst, _ = wire.AppendExecPreparedT(dst, id, stmtID, args, tc) // args pre-validated
+			return dst
+		})
+	}
 	return s.c.send(wire.FrameExecPrepared, func(dst []byte, id uint64) []byte {
 		dst, _ = wire.AppendExecPrepared(dst, id, stmtID, args) // args pre-validated
 		return dst
@@ -161,6 +171,7 @@ func (s *Stmt) sendExec(stmtID uint64, args []funcdb.Item) (uint64, error) {
 // never admitted.
 func (p *StmtPending) Force() (funcdb.Response, error) {
 	a, err := p.s.c.recv(p.id)
+	p.s.c.finishTrace(p.t, p.sentNS)
 	if err != nil {
 		return funcdb.Response{}, err
 	}
@@ -170,7 +181,7 @@ func (p *StmtPending) Force() (funcdb.Response, error) {
 		if err != nil {
 			return funcdb.Response{}, err
 		}
-		rid, err := p.s.sendExec(stmtID, p.args)
+		rid, err := p.s.sendExec(stmtID, p.args, nil)
 		if err != nil {
 			return funcdb.Response{}, err
 		}
@@ -213,6 +224,7 @@ func (s *Stmt) ExecBatch(argSets ...[]funcdb.Item) ([]funcdb.Response, error) {
 		return nil, nil
 	}
 	calls := make([]wire.PreparedCall, len(argSets))
+	t, sentNS := s.c.startTrace()
 	for attempt := 0; ; attempt++ {
 		stmtID, err := s.ensure()
 		if err != nil {
@@ -221,14 +233,28 @@ func (s *Stmt) ExecBatch(argSets ...[]funcdb.Item) ([]funcdb.Response, error) {
 		for i, args := range argSets {
 			calls[i] = wire.PreparedCall{Stmt: stmtID, Args: args}
 		}
-		rid, err := s.c.send(wire.FrameBatchPrepared, func(dst []byte, id uint64) []byte {
-			dst, _ = wire.AppendBatchPrepared(dst, id, calls) // args pre-validated
-			return dst
-		})
+		var rid uint64
+		if tc, ok := traceSuffix(t, s.c.version); ok {
+			rid, err = s.c.send(wire.FrameBatchPrepared, func(dst []byte, id uint64) []byte {
+				dst, _ = wire.AppendBatchPreparedT(dst, id, calls, tc) // args pre-validated
+				return dst
+			})
+		} else {
+			rid, err = s.c.send(wire.FrameBatchPrepared, func(dst []byte, id uint64) []byte {
+				dst, _ = wire.AppendBatchPrepared(dst, id, calls) // args pre-validated
+				return dst
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
 		a, err := s.c.recv(rid)
+		if t != nil {
+			// One client-send span for the whole operation (the rare
+			// re-prepare retry extends nothing: the trace is finished).
+			s.c.finishTrace(t, sentNS)
+			t = nil
+		}
 		if err != nil {
 			return nil, err
 		}

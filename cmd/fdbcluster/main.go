@@ -72,16 +72,23 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 	failover := fs.Bool("failover", false, "real-network mode: enable leases, promotion, and epoch fencing (needs replication; enable on every node)")
 	heartbeat := fs.Duration("heartbeat", 0, "real-network mode: heartbeat interval with --failover (0 = default)")
 	lease := fs.Duration("lease", 0, "real-network mode: peer lease with --failover (0 = 4x heartbeat)")
+	traceOn := fs.Bool("trace", false, "real-network mode: record per-request span timelines; sampled contexts propagate on forwards and the replication stream")
+	traceSample := fs.Int("trace-sample", 0, "with --trace, head-sample 1 in n requests (0 = default 1024)")
+	traceSlow := fs.Duration("trace-slow", 0, "with --trace, always keep requests at or over this duration (0 = default 10ms, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *listen != "" {
-		return runNode(nodeFlags{
+		nf := nodeFlags{
 			listen: *listen, join: *join, id: *id, dataDir: *dataDir,
 			relations: *relations, lanes: *lanes, noReplicate: *noReplicate,
 			debugAddr: *debugAddr,
 			failover:  *failover, heartbeat: *heartbeat, lease: *lease,
-		}, stdout, sig, onReady)
+		}
+		if *traceOn {
+			nf.tracing = &funcdb.TracingConfig{SampleEvery: *traceSample, SlowThreshold: *traceSlow}
+		}
+		return runNode(nf, stdout, sig, onReady)
 	}
 	return runDemo(*model, *dim, *clients, *ops, *seed, stdout)
 }
@@ -94,6 +101,7 @@ type nodeFlags struct {
 	debugAddr                        string
 	failover                         bool
 	heartbeat, lease                 time.Duration
+	tracing                          *funcdb.TracingConfig
 }
 
 // runNode serves one real-network cluster node until a signal drains it.
@@ -125,6 +133,7 @@ func runNode(nf nodeFlags, stdout io.Writer, sig <-chan os.Signal, onReady func(
 		Lanes:              nf.lanes,
 		DisableReplication: nf.noReplicate,
 		Durability:         []funcdb.DurabilityOption{funcdb.GroupCommit(2 * time.Millisecond)},
+		Tracing:            nf.tracing,
 	}
 	if nf.failover {
 		if nf.noReplicate {
@@ -152,7 +161,10 @@ func runNode(nf nodeFlags, stdout io.Writer, sig <-chan os.Signal, onReady func(
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		defer ln.Close()
-		go http.Serve(ln, server.NewDebugMux(func() any { return node.MetricsSnapshot() }))
+		go http.Serve(ln, server.NewDebugMux(
+			func() any { return node.MetricsSnapshot() },
+			func() []funcdb.RequestTrace { return node.Traces() },
+		))
 		fmt.Fprintf(stdout, "fdbcluster: debug endpoints on http://%s/debug/\n", ln.Addr())
 	}
 	if onReady != nil {

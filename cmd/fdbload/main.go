@@ -25,6 +25,17 @@
 // repository's BENCH_0006.json is such a file). --engine-overhead
 // appends an in-process microbenchmark comparing the instrumented
 // admission hot path against the uninstrumented one.
+//
+// --trace samples request traces on the driver's cluster clients (one
+// connection in --trace-sample is traced with every request sampled —
+// connection-level sampling holds the ~1/n fraction even when thousands
+// of connections each issue only a handful of requests — and each
+// sampled request carries a trace context across the wire, so
+// every node's spans stitch under one id), prints exemplar trace ids
+// next to the latency histogram buckets plus the slowest stitched
+// timelines, and adds a trace section to the report. --trace-check
+// additionally fails the run when a stitched trace is missing stages or
+// has them out of causal order — the CI smoke for the tracing path.
 package main
 
 import (
@@ -33,12 +44,14 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -51,6 +64,7 @@ import (
 	"funcdb/internal/database"
 	"funcdb/internal/metrics"
 	"funcdb/internal/relation"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/value"
 )
 
@@ -75,11 +89,14 @@ type loadConfig struct {
 	ZipfS      float64       `json:"zipf_s"`
 	Relations  []string      `json:"relations"`
 	Seed       int64         `json:"seed"`
-	Prepared   bool          `json:"prepared,omitempty"`
-	Failover   bool          `json:"failover,omitempty"`
-	KillNode   int           `json:"kill_node,omitempty"`
-	KillAfter  time.Duration `json:"-"`
-	KillAfterS float64       `json:"kill_after_s,omitempty"`
+	Prepared    bool          `json:"prepared,omitempty"`
+	Failover    bool          `json:"failover,omitempty"`
+	KillNode    int           `json:"kill_node,omitempty"`
+	KillAfter   time.Duration `json:"-"`
+	KillAfterS  float64       `json:"kill_after_s,omitempty"`
+	Trace       bool          `json:"trace,omitempty"`
+	TraceSample int           `json:"trace_sample,omitempty"`
+	TraceCheck  bool          `json:"-"`
 }
 
 // latencyDoc is one histogram rendered for the report, in microseconds.
@@ -141,6 +158,27 @@ type overheadDoc struct {
 	OverheadPct      float64 `json:"overhead_pct"`
 }
 
+// traceDoc is the report's request-tracing section (--trace): how many
+// traces each side published, how many stitched across nodes, and the
+// slowest stitched requests by client-observed total.
+type traceDoc struct {
+	ClientSampled   int            `json:"client_sampled"`
+	ServerPublished int            `json:"server_published"`
+	Groups          int            `json:"groups"`
+	MultiNodeGroups int            `json:"multi_node_groups"`
+	StageOrderOK    bool           `json:"stage_order_ok"`
+	Problems        []string       `json:"problems,omitempty"`
+	Slowest         []traceSummary `json:"slowest,omitempty"`
+}
+
+// traceSummary is one stitched trace's headline numbers.
+type traceSummary struct {
+	ID      string  `json:"id"`
+	TotalUs float64 `json:"total_us"`
+	Nodes   int     `json:"nodes"`
+	Spans   int     `json:"spans"`
+}
+
 // report is the JSON document --out writes.
 type report struct {
 	Bench             string       `json:"bench"`
@@ -161,6 +199,7 @@ type report struct {
 	Heap              *heapDoc     `json:"heap,omitempty"`
 	Baseline          *baselineDoc `json:"baseline,omitempty"`
 	EngineOverhead    *overheadDoc `json:"engine_overhead,omitempty"`
+	Trace             *traceDoc    `json:"trace,omitempty"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -180,6 +219,9 @@ func run(args []string, stdout io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write an allocation profile of the run to this path")
 	baseline := fs.String("baseline", "", "prior report JSON to print a before/after delta against")
 	overhead := fs.Bool("engine-overhead", false, "append the lane-commit instrumentation microbenchmark")
+	trace := fs.Bool("trace", false, "sample request traces across the cluster and report stitched span timelines")
+	traceSample := fs.Int("trace-sample", 64, "with --trace: trace one connection in n (all its requests sampled)")
+	traceCheck := fs.Bool("trace-check", false, "with --trace: fail the run when stitched traces have missing or out-of-order stages")
 	failover := fs.Bool("failover", false, "with --spawn: boot the cluster with failover enabled (leases, promotion, epoch fencing)")
 	killNode := fs.Int("kill-node", -1, "with --spawn: crash this node index mid-run (implies --failover); acked writes are audited against the survivors")
 	killAfter := fs.Duration("kill-after", 0, "when to crash --kill-node after load starts (0 = duration/3)")
@@ -193,6 +235,13 @@ func run(args []string, stdout io.Writer) error {
 		ZipfS: *zipfS, Seed: *seed, Prepared: *prepared,
 		Failover: *failover || *killNode >= 0,
 		KillNode: *killNode, KillAfter: *killAfter,
+		Trace: *trace || *traceCheck, TraceCheck: *traceCheck,
+	}
+	if cfg.Trace {
+		cfg.TraceSample = *traceSample
+		if cfg.TraceSample <= 0 {
+			return fmt.Errorf("--trace-sample must be >= 1 (got %d)", cfg.TraceSample)
+		}
 	}
 	if cfg.KillNode >= 0 {
 		if cfg.KillAfter <= 0 {
@@ -231,7 +280,11 @@ func run(args []string, stdout io.Writer) error {
 		if cfg.Failover && *spawn < 2 {
 			return fmt.Errorf("--failover needs --spawn >= 2 (a mirror must exist to promote)")
 		}
-		addrs, spawned, shutdown, err := spawnCluster(*spawn, cfg.Relations, cfg.Failover)
+		var tracing *funcdb.TracingConfig
+		if cfg.Trace {
+			tracing = &funcdb.TracingConfig{SampleEvery: cfg.TraceSample}
+		}
+		addrs, spawned, shutdown, err := spawnCluster(*spawn, cfg.Relations, cfg.Failover, tracing)
 		if err != nil {
 			return err
 		}
@@ -308,6 +361,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if rep.LostAcked > 0 {
 		return fmt.Errorf("kill smoke: %d of %d acked keys lost after crashing node %d", rep.LostAcked, rep.AckedKeys, cfg.KillNode)
+	}
+	if cfg.TraceCheck {
+		switch {
+		case rep.Trace == nil || rep.Trace.MultiNodeGroups == 0:
+			return fmt.Errorf("trace smoke: no trace stitched across nodes (lower --trace-sample or raise --duration)")
+		case !rep.Trace.StageOrderOK:
+			return fmt.Errorf("trace smoke: %d stage problems, first: %s", len(rep.Trace.Problems), rep.Trace.Problems[0])
+		}
 	}
 	return nil
 }
@@ -422,9 +483,16 @@ func drive(cfg loadConfig, nodes []*funcdb.ClusterNode, stdout io.Writer) (*repo
 	// With failover on, clients ride through the promotion window: retry
 	// with re-resolved placement for up to half the run rather than
 	// surfacing the first fenced/dead-connection error.
-	retryOpt := func(opts []client.ClusterOption) []client.ClusterOption {
+	retryOpt := func(w int, opts []client.ClusterOption) []client.ClusterOption {
 		if cfg.Failover {
 			opts = append(opts, client.WithFailoverRetry(cfg.Duration/2+time.Second))
+		}
+		// Connection-level sampling: trace one connection in
+		// --trace-sample, every request on it sampled. Per-request
+		// counters would never fire at high conn counts where each
+		// connection issues only a handful of requests.
+		if cfg.Trace && w%cfg.TraceSample == 0 {
+			opts = append(opts, client.WithClusterTracing(funcdb.TracingConfig{SampleEvery: 1}))
 		}
 		return opts
 	}
@@ -433,7 +501,7 @@ func drive(cfg loadConfig, nodes []*funcdb.ClusterNode, stdout io.Writer) (*repo
 		go func(w int) {
 			defer dialWG.Done()
 			cl, err := client.DialCluster(cfg.Addrs,
-				retryOpt([]client.ClusterOption{client.WithClusterOrigin(fmt.Sprintf("load%d", w))})...)
+				retryOpt(w, []client.ClusterOption{client.WithClusterOrigin(fmt.Sprintf("load%d", w))})...)
 			if err != nil {
 				dialFailed <- err
 				return
@@ -674,7 +742,269 @@ func drive(cfg loadConfig, nodes []*funcdb.ClusterNode, stdout io.Writer) (*repo
 	if rep.ReplicationLagMax > 0 || len(rep.Nodes) > 1 {
 		fmt.Fprintf(stdout, "replication lag (max): %d commits\n", rep.ReplicationLagMax)
 	}
+	if cfg.Trace {
+		rep.Trace = collectTraces(cfg, clients, stdout)
+	}
 	return rep, nil
+}
+
+// collectTraces gathers the run's traces from both sides — the driver's
+// own cluster-client recorders and every node's published ring (over the
+// wire Traces frame) — stitches them by id, prints exemplar ids next to
+// the histogram's latency buckets and the slowest stitched timelines,
+// and verifies stage completeness and causal order.
+func collectTraces(cfg loadConfig, clients []*client.ClusterClient, stdout io.Writer) *traceDoc {
+	var all []funcdb.RequestTrace
+	doc := &traceDoc{}
+	for _, cl := range clients {
+		if cl == nil {
+			continue
+		}
+		ts := cl.LocalTraces()
+		doc.ClientSampled += len(ts)
+		all = append(all, ts...)
+	}
+	if tcl, err := client.DialCluster(cfg.Addrs, client.WithClusterOrigin("load-trace")); err == nil {
+		ts, errs := tcl.TracesAll()
+		for addr, err := range errs {
+			fmt.Fprintf(stdout, "trace sweep: %s: %v\n", addr, err)
+		}
+		doc.ServerPublished = len(ts)
+		all = append(all, ts...)
+		tcl.Close()
+	} else {
+		fmt.Fprintf(stdout, "trace sweep could not dial: %v\n", err)
+	}
+
+	groups := reqtrace.Stitch(all)
+	doc.Groups = len(groups)
+	for _, g := range groups {
+		if countNodes(g) > 1 {
+			doc.MultiNodeGroups++
+		}
+	}
+	doc.Problems = checkStageOrder(groups)
+	doc.StageOrderOK = len(doc.Problems) == 0
+
+	// Only multi-node groups are worth a timeline: a client fragment whose
+	// server half was evicted from a node's ring tells no story.
+	stitched := groups[:0:0]
+	for _, g := range groups {
+		if countNodes(g) > 1 {
+			stitched = append(stitched, g)
+		}
+	}
+	sort.SliceStable(stitched, func(i, j int) bool {
+		return groupTotal(stitched[i]) > groupTotal(stitched[j])
+	})
+
+	fmt.Fprintf(stdout, "traces: %d sampled client-side, %d published by nodes, %d stitched across nodes\n",
+		doc.ClientSampled, doc.ServerPublished, doc.MultiNodeGroups)
+	printTraceExemplars(stdout, stitched)
+	const slowest = 3
+	for i, g := range stitched {
+		if i >= slowest {
+			break
+		}
+		doc.Slowest = append(doc.Slowest, traceSummary{
+			ID:      g[0].ID,
+			TotalUs: float64(groupTotal(g)) / 1e3,
+			Nodes:   countNodes(g),
+			Spans:   countSpans(g),
+		})
+		if i == 0 {
+			fmt.Fprintf(stdout, "slowest stitched traces:\n")
+		}
+		var b strings.Builder
+		reqtrace.RenderGroup(&b, g)
+		fmt.Fprint(stdout, b.String())
+	}
+	if !doc.StageOrderOK {
+		fmt.Fprintf(stdout, "trace stage check: %d problems, first: %s\n", len(doc.Problems), doc.Problems[0])
+	} else if doc.MultiNodeGroups > 0 {
+		fmt.Fprintf(stdout, "trace stage check: ok (%d stitched traces, stages present and in causal order)\n", doc.MultiNodeGroups)
+	}
+	return doc
+}
+
+// countNodes returns the number of distinct nodes in a stitched group.
+func countNodes(g []funcdb.RequestTrace) int {
+	seen := map[string]bool{}
+	for _, t := range g {
+		seen[t.Node] = true
+	}
+	return len(seen)
+}
+
+func countSpans(g []funcdb.RequestTrace) (n int) {
+	for _, t := range g {
+		n += len(t.Spans)
+	}
+	return n
+}
+
+// groupTotal is the group's client-observed total: the hop-0 fragment's
+// wall time, or the longest fragment when the client half is missing.
+func groupTotal(g []funcdb.RequestTrace) int64 {
+	var max int64
+	for _, t := range g {
+		if t.Hop == 0 {
+			return t.Total
+		}
+		if t.Total > max {
+			max = t.Total
+		}
+	}
+	return max
+}
+
+// printTraceExemplars prints one trace id next to each latency bucket of
+// the histogram above it — the slowest stitched trace whose total falls
+// in that bucket — so a bucket's tail has a concrete request to open.
+func printTraceExemplars(w io.Writer, stitched [][]funcdb.RequestTrace) {
+	// Same bucketing as metrics.Histogram: bucket b >= 1 holds
+	// [2^(b-1), 2^b - 1] nanoseconds.
+	type exemplar struct {
+		id    string
+		total int64
+	}
+	byBucket := map[int]exemplar{}
+	for _, g := range stitched {
+		total := groupTotal(g)
+		if total <= 0 {
+			continue
+		}
+		b := bits.Len64(uint64(total))
+		if total > byBucket[b].total {
+			byBucket[b] = exemplar{id: g[0].ID, total: total}
+		}
+	}
+	if len(byBucket) == 0 {
+		return
+	}
+	buckets := make([]int, 0, len(byBucket))
+	for b := range byBucket {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	fmt.Fprintf(w, "trace exemplars by latency bucket:\n")
+	for _, b := range buckets {
+		ex := byBucket[b]
+		lo := time.Duration(int64(1) << uint(b-1))
+		fmt.Fprintf(w, "  %10v  trace %s (%v)\n", lo, ex.id, time.Duration(ex.total).Round(time.Microsecond))
+	}
+}
+
+// requestBackbone is the span sequence every request-path server
+// fragment records, in causal order.
+var requestBackbone = []string{"conn-read", "decode", "encode", "flush"}
+
+// checkStageOrder verifies the stitched groups against the tracing
+// pipeline's invariants — the substance behind --trace-check. A hop
+// missing from a group is NOT a problem (both sides keep bounded rings,
+// so one side's fragment can outlive the other's); what is checked is
+// every fragment that IS present:
+//
+//   - no span runs backwards (negative duration);
+//   - a driver fragment (node "client:*") carries client-send;
+//   - a request-path server fragment carries conn-read and decode, and
+//     whatever backbone stages it has appear in causal order;
+//   - fragments of consecutive hops present in one group start in hop
+//     order (wall clocks — meaningful on the one-process --spawn smoke);
+//   - at least one group stitches a driver fragment to a server fragment
+//     with the full conn-read → decode → encode → flush backbone, and at
+//     least one trace reaches replica-apply: the full pipeline, observed
+//     end to end at least once per run.
+func checkStageOrder(groups [][]funcdb.RequestTrace) (problems []string) {
+	addProblem := func(format string, args ...any) {
+		if len(problems) < 16 { // enough to diagnose, bounded in the report
+			problems = append(problems, fmt.Sprintf(format, args...))
+		}
+	}
+	spanStart := func(t funcdb.RequestTrace, stage string) (int64, bool) {
+		for _, s := range t.Spans {
+			if s.Stage == stage {
+				return s.Start, true
+			}
+		}
+		return 0, false
+	}
+	fullPath, applySeen := false, false
+	for _, g := range groups {
+		id := g[0].ID
+		hasDriver, hasFullServer := false, false
+		for _, t := range g {
+			for _, s := range t.Spans {
+				if s.Dur < 0 {
+					addProblem("trace %s: %s span on %s has negative duration", id, s.Stage, t.Node)
+				}
+			}
+			if strings.HasPrefix(t.Node, "client:") {
+				hasDriver = true
+				if _, ok := spanStart(t, "client-send"); !ok {
+					addProblem("trace %s: driver fragment (%s) missing client-send", id, t.Node)
+				}
+				continue
+			}
+			if _, apply := spanStart(t, "replica-apply"); apply {
+				applySeen = true
+				continue
+			}
+			// A request-path server fragment: conn-read and decode are
+			// recorded the instant the frame is read, so their absence is an
+			// instrumentation regression; later backbone stages may be
+			// legitimately absent (a redirect reply), but the ones present
+			// must be causally ordered.
+			last, complete := int64(0), true
+			for _, stage := range requestBackbone {
+				start, ok := spanStart(t, stage)
+				if !ok {
+					complete = false
+					if stage == "conn-read" || stage == "decode" {
+						addProblem("trace %s: hop %d (%s) missing %s", id, t.Hop, t.Node, stage)
+					}
+					continue
+				}
+				if start < last {
+					addProblem("trace %s: hop %d (%s) has %s before its predecessor", id, t.Hop, t.Node, stage)
+				}
+				last = start
+			}
+			if complete {
+				hasFullServer = true
+			}
+		}
+		if hasDriver && hasFullServer {
+			fullPath = true
+		}
+		// Causality across the hops present: a later hop cannot start
+		// before the earliest span of the hop that caused it. conn-read is
+		// excluded — it is a WAITING span that begins when the server blocks
+		// on the socket, before the previous hop has sent anything.
+		earliest := map[int]int64{}
+		for _, t := range g {
+			for _, s := range t.Spans {
+				if s.Stage == "conn-read" {
+					continue
+				}
+				if cur, ok := earliest[t.Hop]; !ok || s.Start < cur {
+					earliest[t.Hop] = s.Start
+				}
+			}
+		}
+		for h := range earliest {
+			if prev, ok := earliest[h-1]; ok && earliest[h] < prev {
+				addProblem("trace %s: hop %d starts before hop %d", id, h, h-1)
+			}
+		}
+	}
+	if !fullPath {
+		addProblem("no stitched trace carries the full client → server backbone")
+	}
+	if !applySeen {
+		addProblem("no trace reaches replica-apply")
+	}
+	return problems
 }
 
 // auditAcked re-reads every acknowledged write against the survivors:
@@ -745,7 +1075,7 @@ func printHistogram(w io.Writer, h metrics.HistogramSnapshot) {
 // With failover the nodes heartbeat at 100ms (lease 400ms) and the boot
 // probation is waited out, so the first statement already has a settled
 // ownership view.
-func spawnCluster(n int, rels []string, failover bool) (addrs []string, nodes []*funcdb.ClusterNode, shutdown func(), err error) {
+func spawnCluster(n int, rels []string, failover bool, tracing *funcdb.TracingConfig) (addrs []string, nodes []*funcdb.ClusterNode, shutdown func(), err error) {
 	dir, err := os.MkdirTemp("", "fdbload")
 	if err != nil {
 		return nil, nil, nil, err
@@ -777,6 +1107,7 @@ func spawnCluster(n int, rels []string, failover bool) (addrs []string, nodes []
 			Durability: []funcdb.DurabilityOption{
 				funcdb.GroupCommit(2 * time.Millisecond),
 			},
+			Tracing: tracing,
 		}
 		if failover {
 			ncfg.Failover = &cluster.FailoverConfig{Heartbeat: 100 * time.Millisecond}

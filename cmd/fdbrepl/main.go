@@ -19,6 +19,7 @@
 //
 //	.help                 this text
 //	.stats                metrics snapshot (works remotely: a wire Stats frame)
+//	.trace [n]            newest published request traces (remote: a wire Traces frame)
 //	.versions             retained version stream
 //	.at <version> <query> run a read-only query against an old version
 //	.batch q1; q2; ...    submit several queries as one batch
@@ -46,6 +47,7 @@ import (
 	"funcdb"
 	"funcdb/client"
 	"funcdb/internal/query"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/session"
 	"funcdb/internal/trace"
 	"funcdb/internal/value"
@@ -57,8 +59,12 @@ const helpText = `queries:
   count R                             range 1 9 in R
   create R [using list|avl|2-3|paged]
 commands:
-  .help  .stats  .versions  .at <version> <query>  .batch q1; q2; ...
+  .help  .versions  .at <version> <query>  .batch q1; q2; ...
   .remote <addr>  .local  .quit
+observability (work remotely too — wire Stats/Traces frames):
+  .stats                metrics snapshot: every layer's counters and histograms
+  .trace [n]            newest n published request traces as span timelines
+                        (needs tracing enabled, e.g. fdbserver --trace)
 prepared statements (remote only — text ships once, executions ship id+args):
   .prepare f find ? in R      .execp f 1
   .prepare i insert (?, ?) into R      .execp i 2 "widget"`
@@ -94,9 +100,13 @@ func main() {
 	execFile := flag.String("exec", "", "script mode: run the file's queries as one batch and exit")
 	lanes := flag.Int("lanes", 0, "admission lanes the engine shards its merge point into (0 = auto from GOMAXPROCS)")
 	remote := flag.String("remote", "", "start connected to a fdbserver instead of the local store")
+	traceOn := flag.Bool("trace", false, "trace every local request for .trace (interactive volume: no sampling)")
 	flag.Parse()
 
 	opts := []funcdb.Option{funcdb.WithHistory(0), funcdb.WithOrigin("repl")}
+	if *traceOn {
+		opts = append(opts, funcdb.WithTracing(funcdb.TracingConfig{SampleEvery: 1}))
+	}
 	if *dataDir != "" {
 		opts = append(opts, funcdb.WithDurability(*dataDir, funcdb.SnapshotEvery(*snapEvery)))
 	}
@@ -232,6 +242,8 @@ func handleLine(r *repl, raw string) (out string, quit bool) {
 			return strings.TrimRight(snap.Format(), "\n"), false
 		}
 		return strings.TrimRight(r.store.MetricsSnapshot().Format(), "\n"), false
+	case line == ".trace" || strings.HasPrefix(line, ".trace "):
+		return traceListing(r, strings.TrimSpace(strings.TrimPrefix(line, ".trace"))), false
 	case line == ".versions":
 		if r.remote != nil {
 			return "version listing is local-only (use .local)", false
@@ -253,6 +265,46 @@ func handleLine(r *repl, raw string) (out string, quit bool) {
 		}
 		return resp.String(), false
 	}
+}
+
+// traceListing renders the newest published request traces as span
+// timelines — the store's recorder locally, a wire Traces frame
+// remotely. The optional argument caps how many stitched traces print
+// (default 5).
+func traceListing(r *repl, arg string) string {
+	n := 5
+	if arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v <= 0 {
+			return "usage: .trace [n]"
+		}
+		n = v
+	}
+	var traces []funcdb.RequestTrace
+	if r.remote != nil {
+		ts, err := r.remote.Traces()
+		if err != nil {
+			return "trace: " + err.Error()
+		}
+		traces = ts
+	} else {
+		traces = r.store.Traces()
+	}
+	if len(traces) == 0 {
+		return "no traces published (enable tracing: fdbserver --trace, or funcdb.WithTracing)"
+	}
+	groups := reqtrace.Stitch(traces)
+	if len(groups) > n {
+		groups = groups[:n]
+	}
+	var b strings.Builder
+	for i, g := range groups {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		reqtrace.RenderGroup(&b, g)
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // versionsListing renders the retained version stream: the durable

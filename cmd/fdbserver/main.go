@@ -18,7 +18,14 @@
 //
 // With --debug-addr, a second HTTP listener serves live introspection:
 // /debug/stats (the metrics snapshot of every hosted database, indented
-// JSON), /debug/vars (the same, compact), and /debug/pprof/.
+// JSON), /debug/vars (the same, compact), /debug/trace (published
+// request traces when --trace is on; ?format=text for the timeline),
+// and /debug/pprof/.
+//
+// With --trace, every request records a span timeline; 1 in
+// --trace-sample requests is published to the ring, and anything at or
+// over --trace-slow is always kept. Traces surface on /debug/trace, the
+// wire Traces frame (fdbrepl .trace) and the store API.
 //
 // SIGTERM or SIGINT drains gracefully: stop accepting, answer everything
 // fully read, flush the group-commit buffer, close the store. Every
@@ -64,7 +71,10 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 	lanes := fs.Int("lanes", 0, "admission lanes (0 = auto from GOMAXPROCS)")
 	relations := fs.String("relations", "", "comma-separated relations to create in a fresh store")
 	databases := fs.String("databases", "", "comma-separated database names to host on one listener (\"main\" is always hosted)")
-	debugAddr := fs.String("debug-addr", "", "optional HTTP address for /debug/stats, /debug/vars and /debug/pprof")
+	debugAddr := fs.String("debug-addr", "", "optional HTTP address for /debug/stats, /debug/vars, /debug/trace and /debug/pprof")
+	traceOn := fs.Bool("trace", false, "record per-request span timelines (.trace, Traces frame, /debug/trace)")
+	traceSample := fs.Int("trace-sample", 0, "with --trace, head-sample 1 in n requests (0 = default 1024)")
+	traceSlow := fs.Duration("trace-slow", 0, "with --trace, always keep requests at or over this duration (0 = default 10ms, negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +103,12 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 		}
 		if *relations != "" {
 			opts = append(opts, funcdb.WithRelations(splitComma(*relations)...))
+		}
+		if *traceOn {
+			opts = append(opts, funcdb.WithTracing(funcdb.TracingConfig{
+				SampleEvery:   *traceSample,
+				SlowThreshold: *traceSlow,
+			}))
 		}
 		return funcdb.Open(opts...)
 	}
@@ -145,7 +161,16 @@ func run(args []string, stdout io.Writer, sig <-chan os.Signal, onReady func(net
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		debugLn = ln
-		go http.Serve(ln, server.NewDebugMux(snapshot))
+		// /debug/trace merges every hosted database's published traces
+		// into one newest-first list; Stitch/Render group them by id.
+		traces := func() []funcdb.RequestTrace {
+			var out []funcdb.RequestTrace
+			for _, st := range stores {
+				out = append(out, st.Traces()...)
+			}
+			return out
+		}
+		go http.Serve(ln, server.NewDebugMux(snapshot, traces))
 		fmt.Fprintf(stdout, "fdbserver debug endpoints on http://%s/debug/\n", ln.Addr())
 	}
 	defer func() {

@@ -40,6 +40,7 @@ import (
 	"funcdb/internal/primarysite"
 	"funcdb/internal/query"
 	"funcdb/internal/relation"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/server"
 	"funcdb/internal/session"
 	"funcdb/internal/topo"
@@ -81,6 +82,16 @@ type (
 	// the document the wire Stats frame, the --debug-addr endpoints, and
 	// fdbrepl's .stats all render.
 	MetricsSnapshot = metrics.Snapshot
+	// TracingConfig tunes request tracing: sampling rate, slow-request
+	// threshold, and buffer sizes (see WithTracing).
+	TracingConfig = reqtrace.Config
+	// RequestTrace is one published request trace — the span timeline
+	// Store.Traces returns, the wire Traces frame ships, and /debug/trace
+	// serves.
+	RequestTrace = reqtrace.Trace
+	// TraceCtx is the trace context that crosses the wire: id, hop and
+	// the sampled bit. The zero value means "not traced".
+	TraceCtx = reqtrace.Ctx
 )
 
 // Relation representations.
@@ -114,7 +125,8 @@ type config struct {
 	initial  *database.Database
 	dir      string // "" = no durability
 	archOpts []archive.Option
-	lanes    int // 0 = default (from GOMAXPROCS)
+	lanes    int              // 0 = default (from GOMAXPROCS)
+	tracing  *reqtrace.Config // nil = tracing off
 }
 
 // Option configures Open.
@@ -207,6 +219,21 @@ func WithDurability(dir string, opts ...DurabilityOption) Option {
 	}
 }
 
+// WithTracing enables per-request span tracing: every request gets a
+// trace handle the pipeline brackets its stages onto (conn-read through
+// group-commit-fsync), and completed traces are published to a
+// fixed-size ring by head sampling (default 1 in 1024) plus an
+// always-keep slow-request reservoir (default 10ms). Read them with
+// Traces, the wire Traces frame, or /debug/trace. The zero TracingConfig
+// selects every default; tracing off (the default) costs zero
+// allocations and zero clock reads on the request path.
+func WithTracing(cfg TracingConfig) Option {
+	return func(_ *cfgError, c *config) {
+		tc := cfg
+		c.tracing = &tc
+	}
+}
+
 // SnapshotEvery snapshots the full version every n logged writes, bounding
 // recovery replay time (and enabling compaction past old segments).
 func SnapshotEvery(n int) DurabilityOption { return archive.SnapshotEvery(n) }
@@ -236,6 +263,7 @@ type Store struct {
 	archive *archive.Archive
 	origin  string
 	session *session.Session
+	tracer  *reqtrace.Recorder // nil = tracing off
 
 	// Per-layer metric sinks, always allocated: recording is a handful of
 	// atomic adds, and the snapshot API must work on every store. All
@@ -264,6 +292,9 @@ func Open(opts ...Option) (*Store, error) {
 		engineM:  &metrics.Engine{},
 		archiveM: &metrics.Archive{},
 		sessionM: &metrics.Session{},
+	}
+	if c.tracing != nil {
+		s.tracer = reqtrace.New(c.origin, *c.tracing)
 	}
 	engineOpts := []core.EngineOption{
 		core.WithStats(s.stats),
@@ -634,6 +665,26 @@ func (s *Store) SubscribeLog(after int64, fn func(seq int64, record []byte)) (ca
 	return s.archive.SubscribeTxns(after, fn)
 }
 
+// TraceRecorder returns the store's request-trace recorder, nil when
+// tracing is off: the server layer's TraceSource capability. The
+// recorder is nil-safe — callers may use the result unconditionally.
+func (s *Store) TraceRecorder() *reqtrace.Recorder { return s.tracer }
+
+// Traces snapshots the store's published request traces, newest first:
+// the head-sampled ring plus the always-keep slow reservoir (entries
+// flagged Slow). Nil when tracing is off (see WithTracing).
+func (s *Store) Traces() []RequestTrace { return s.tracer.Traces() }
+
+// LogTraceCtxOf reports the trace context recorded for a committed
+// sequence (zero when untraced): the server layer's LogTraceSource
+// capability, backing trace propagation onto the replication stream.
+func (s *Store) LogTraceCtxOf(seq int64) TraceCtx {
+	if s.archive == nil || s.tracer == nil {
+		return TraceCtx{}
+	}
+	return s.archive.TraceCtxOf(seq)
+}
+
 // SharingStats reports the structure-sharing counters of Section 2.2.
 type SharingStats struct {
 	Created int64
@@ -679,6 +730,15 @@ func (s *Store) MetricsSnapshot() MetricsSnapshot {
 		a := s.archiveM.Snapshot()
 		snap.Archive = &a
 	}
+	if s.tracer != nil {
+		ts := s.tracer.Stats()
+		snap.Trace = &metrics.TraceSnapshot{
+			Started:    ts.Started,
+			Sampled:    ts.Sampled,
+			Slow:       ts.Slow,
+			Propagated: ts.Propagated,
+		}
+	}
 	rt := metrics.ReadRuntime()
 	snap.Runtime = &rt
 	return snap
@@ -718,6 +778,11 @@ type ClusterNodeConfig struct {
 	// Durability tunes the node's archive (group commit, fsync, snapshot
 	// cadence).
 	Durability []DurabilityOption
+	// Tracing enables request tracing on the node's store (see
+	// WithTracing): the node records its own spans for every request it
+	// serves and propagates sampled trace contexts on forwards and the
+	// replication stream, so one trace id stitches across the cluster.
+	Tracing *TracingConfig
 	// Failover enables lease-based failure detection, promotion of the
 	// most-caught-up mirror when a primary dies, and epoch fencing.
 	// Requires replication; every node of the cluster should enable it
@@ -760,6 +825,9 @@ func OpenClusterNode(cfg ClusterNodeConfig) (*ClusterNode, error) {
 	}
 	if cfg.Lanes > 0 {
 		opts = append(opts, WithLanes(cfg.Lanes))
+	}
+	if cfg.Tracing != nil {
+		opts = append(opts, WithTracing(*cfg.Tracing))
 	}
 	store, err := Open(opts...)
 	if err != nil {
@@ -838,6 +906,12 @@ func (cn *ClusterNode) Owner(rel string) (addr string, self bool) { return cn.no
 // ReplicaVersion reports how far this node's replica of a peer has
 // caught up (the newest applied primary sequence), or -1 without one.
 func (cn *ClusterNode) ReplicaVersion(peer int) int64 { return cn.node.ReplicaVersion(peer) }
+
+// Traces snapshots this node's published request traces, newest first —
+// the node's own spans only; fetch each node's and stitch by trace id
+// (reqtrace.Stitch) for the cluster-wide timeline. Nil when the node was
+// opened without Tracing.
+func (cn *ClusterNode) Traces() []RequestTrace { return cn.store.Traces() }
 
 // MetricsSnapshot reads the node's full metric state: the store's layers
 // plus cluster routing (forwards, redirects), per-peer link counters,

@@ -11,6 +11,7 @@ import (
 	"funcdb/internal/core"
 	"funcdb/internal/database"
 	"funcdb/internal/metrics"
+	"funcdb/internal/reqtrace"
 )
 
 // ErrNoArchive reports a directory with no archive in it.
@@ -94,10 +95,68 @@ type Archive struct {
 	tails     map[uint64]TailFunc
 	nextSubID uint64
 
+	// Traced commits awaiting the group flush: each entry turns into a
+	// group-commit-fsync span when flushLocked lands the batch. Empty
+	// whenever tracing is off — appending costs nothing untraced.
+	pendingTr []pendingTrace
+
+	// Bounded seq → trace-context map for log-stream propagation: the
+	// server's tail handler runs off the commit path (outside a.mu), so it
+	// looks the context up by sequence here. Guarded by its own mutex —
+	// TailFuncs must never reacquire a.mu. Allocated on first traced
+	// commit; a slot holds the newest commit hashing to it.
+	trMu   sync.Mutex
+	trCtxs []traceCtxSlot
+
 	// Group-commit flusher goroutine lifecycle.
 	flushStop chan struct{}
 	flushDone chan struct{}
 	stopOnce  sync.Once
+}
+
+// pendingTrace is one traced commit buffered for group commit: the trace
+// handle and the buffering instant the fsync span starts at.
+type pendingTrace struct {
+	t  *reqtrace.T
+	at int64 // unix nanoseconds
+}
+
+// traceCtxSlot is one entry of the seq → trace-context ring.
+type traceCtxSlot struct {
+	seq int64
+	ctx reqtrace.Ctx
+}
+
+// traceCtxSlots sizes the seq → trace-context ring: enough to outlive the
+// window between a commit and the tail handler's writer goroutine picking
+// the record up, tiny enough to never matter.
+const traceCtxSlots = 1024
+
+// putTraceCtx remembers the trace context of a sampled traced commit so
+// the log-shipping path can stamp it onto the stream record for
+// version-5 subscribers.
+func (a *Archive) putTraceCtx(seq int64, ctx reqtrace.Ctx) {
+	a.trMu.Lock()
+	if a.trCtxs == nil {
+		a.trCtxs = make([]traceCtxSlot, traceCtxSlots)
+	}
+	a.trCtxs[seq%traceCtxSlots] = traceCtxSlot{seq: seq, ctx: ctx}
+	a.trMu.Unlock()
+}
+
+// TraceCtxOf returns the trace context recorded for a committed sequence,
+// or the zero (untraced) context. Safe to call from a TailFunc: it takes
+// only the context ring's own mutex, never a.mu.
+func (a *Archive) TraceCtxOf(seq int64) reqtrace.Ctx {
+	a.trMu.Lock()
+	defer a.trMu.Unlock()
+	if a.trCtxs == nil {
+		return reqtrace.Ctx{}
+	}
+	if s := a.trCtxs[seq%traceCtxSlots]; s.seq == seq {
+		return s.ctx
+	}
+	return reqtrace.Ctx{}
 }
 
 // startFlusher launches the group-commit window timer. Called once at
@@ -295,6 +354,12 @@ func (a *Archive) append(c core.Commit) error {
 	if err := checkRecordLen(payload); err != nil {
 		return err
 	}
+	tr := c.Tx.Trace
+	if tr != nil {
+		if ctx := tr.Ctx(); ctx.Sampled {
+			a.putTraceCtx(c.Seq, ctx)
+		}
+	}
 	if a.cfg.group > 0 {
 		// Group commit: frame into the batch buffer; the window timer, a
 		// full hinted batch (ExpectBatch), or an explicit Flush/Sync/Close
@@ -302,7 +367,14 @@ func (a *Archive) append(c core.Commit) error {
 		a.buf = appendRecord(a.buf, recTxn, payload)
 		a.bufRecs++
 		a.cfg.metrics.Buffered()
+		if tr != nil {
+			a.pendingTr = append(a.pendingTr, pendingTrace{t: tr, at: time.Now().UnixNano()})
+		}
 	} else {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		rec := appendRecord(nil, recTxn, payload)
 		if _, err := a.log.Write(rec); err != nil {
 			return fmt.Errorf("archive: append: %w", err)
@@ -311,6 +383,11 @@ func (a *Archive) append(c core.Commit) error {
 			if err := a.syncLog(); err != nil {
 				return fmt.Errorf("archive: fsync: %w", err)
 			}
+		}
+		if tr != nil {
+			// No group commit: the "group" is this one record, and its
+			// durability interval is the write (+fsync) just issued.
+			tr.Span(reqtrace.StageGroupCommitFsync, t0, time.Now())
 		}
 		a.cfg.metrics.Appended(len(rec))
 	}
@@ -357,6 +434,17 @@ func (a *Archive) flushLocked() error {
 			a.failed = fmt.Errorf("archive: fsync: %w", err)
 			return a.failed
 		}
+	}
+	// The batch is durable: close the group-commit-fsync span of every
+	// traced commit it carried. Recording after the response has already
+	// left the node is fine — the trace handle outlives the request and
+	// the recorder snapshots under its lock.
+	if len(a.pendingTr) > 0 {
+		end := time.Now().UnixNano()
+		for _, p := range a.pendingTr {
+			p.t.SpanNS(reqtrace.StageGroupCommitFsync, p.at, end-p.at)
+		}
+		a.pendingTr = a.pendingTr[:0]
 	}
 	return nil
 }

@@ -36,13 +36,32 @@ func AppendTxnRecord(dst []byte, seq int64, tx core.Transaction) ([]byte, error)
 
 // DecodeTxnRecord decodes a recTxn payload back into the engine sequence
 // it committed as and the replayable transaction: the receiving end of
-// the log-shipping stream.
+// the log-shipping stream. Trailing bytes beyond the record are corrupt;
+// a subscriber that negotiated protocol version 5 — where the primary may
+// stamp a trace-context suffix onto stream records — must use
+// DecodeTxnRecordTail instead.
 func DecodeTxnRecord(payload []byte) (seq int64, tx core.Transaction, err error) {
-	lt, err := decodeTxn(payload)
+	lt, rest, err := decodeTxnTail(payload)
 	if err != nil {
 		return 0, core.Transaction{}, err
 	}
+	if len(rest) != 0 {
+		return 0, core.Transaction{}, fmt.Errorf("%w: transaction record: trailing bytes", ErrCorrupt)
+	}
 	return lt.Seq, lt.Tx, nil
+}
+
+// DecodeTxnRecordTail decodes a recTxn payload and returns any unconsumed
+// trailing bytes instead of rejecting them. The log records on disk never
+// have a tail; records on a version-5 replication stream may carry the
+// 10-byte wire trace-context suffix, which the subscriber splits off here
+// and interprets with wire.DecodeTraceCtx.
+func DecodeTxnRecordTail(payload []byte) (seq int64, tx core.Transaction, rest []byte, err error) {
+	lt, rest, err := decodeTxnTail(payload)
+	if err != nil {
+		return 0, core.Transaction{}, nil, err
+	}
+	return lt.Seq, lt.Tx, rest, nil
 }
 
 // Encodable reports whether a committed transaction has a log-record wire
@@ -91,10 +110,25 @@ func appendTxn(dst []byte, seq int64, tx core.Transaction) ([]byte, error) {
 	}
 }
 
-// decodeTxn decodes one transaction payload.
+// decodeTxn decodes one transaction payload, rejecting trailing bytes.
 func decodeTxn(payload []byte) (loggedTxn, error) {
-	fail := func(what string) (loggedTxn, error) {
-		return loggedTxn{}, fmt.Errorf("%w: transaction record: bad %s", ErrCorrupt, what)
+	lt, rest, err := decodeTxnTail(payload)
+	if err != nil {
+		return loggedTxn{}, err
+	}
+	if len(rest) != 0 {
+		return loggedTxn{}, fmt.Errorf("%w: transaction record: trailing bytes", ErrCorrupt)
+	}
+	return lt, nil
+}
+
+// decodeTxnTail decodes one transaction payload and returns the
+// unconsumed tail: the shared core of the strict decoder (log files, where
+// a tail is corruption) and the suffix-tolerant stream decoder (where the
+// tail is a trace context).
+func decodeTxnTail(payload []byte) (loggedTxn, []byte, error) {
+	fail := func(what string) (loggedTxn, []byte, error) {
+		return loggedTxn{}, nil, fmt.Errorf("%w: transaction record: bad %s", ErrCorrupt, what)
 	}
 	seq, n := binary.Varint(payload)
 	if n <= 0 {
@@ -128,18 +162,20 @@ func decodeTxn(payload []byte) (loggedTxn, error) {
 	switch kind {
 	case core.KindInsert:
 		tu, rest, err := value.DecodeTuple(payload)
-		if err != nil || len(rest) != 0 {
+		if err != nil {
 			return fail("tuple")
 		}
 		tx.Tuple = tu
+		payload = rest
 	case core.KindDelete:
 		key, rest, err := value.DecodeItem(payload)
-		if err != nil || len(rest) != 0 {
+		if err != nil {
 			return fail("key")
 		}
 		tx.Key = key
+		payload = rest
 	case core.KindCreate:
-		if len(payload) != 1 {
+		if len(payload) == 0 {
 			return fail("representation")
 		}
 		rep := relation.Rep(payload[0])
@@ -149,6 +185,7 @@ func decodeTxn(payload []byte) (loggedTxn, error) {
 		default:
 			return fail("representation")
 		}
+		payload = payload[1:]
 	default:
 		return fail("kind")
 	}
@@ -162,5 +199,5 @@ func decodeTxn(payload []byte) (loggedTxn, error) {
 		}
 	}
 	tx.Origin, tx.Seq, tx.Query = origin, int(oseq), src
-	return loggedTxn{Seq: seq, Tx: tx}, nil
+	return loggedTxn{Seq: seq, Tx: tx}, payload, nil
 }

@@ -46,6 +46,7 @@ import (
 	"funcdb/internal/lenient"
 	"funcdb/internal/metrics"
 	"funcdb/internal/query"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/session"
 )
 
@@ -299,6 +300,27 @@ func (n *Node) SubscribeLog(after int64, fn func(seq int64, record []byte)) (fun
 // Store returns the node's primary store.
 func (n *Node) Store() LocalStore { return n.store }
 
+// TraceRecorder implements server.TraceSource by delegating to the local
+// store when it traces (funcdb.Store with tracing configured; test stubs
+// and untraced stores yield nil, the disabled recorder).
+func (n *Node) TraceRecorder() *reqtrace.Recorder {
+	if ts, ok := n.store.(interface{ TraceRecorder() *reqtrace.Recorder }); ok {
+		return ts.TraceRecorder()
+	}
+	return nil
+}
+
+// LogTraceCtxOf implements server.LogTraceSource: the trace context a
+// committed sequence carried, so the replication stream re-stamps it
+// toward version-5 subscribers and the mirror's apply span joins the
+// same trace.
+func (n *Node) LogTraceCtxOf(seq int64) reqtrace.Ctx {
+	if ls, ok := n.store.(interface{ LogTraceCtxOf(int64) reqtrace.Ctx }); ok {
+		return ls.LogTraceCtxOf(seq)
+	}
+	return reqtrace.Ctx{}
+}
+
 // MetricsSnapshot implements server.StatsProvider: the local store's
 // snapshot (when it can produce one — funcdb.Store can; test stubs need
 // not) extended with this node's routing section and one row per peer.
@@ -397,7 +419,17 @@ func (n *Node) SubmitTagged(txs []core.Transaction) []*session.Future {
 		default:
 			n.m.Forwarded(len(run))
 			epoch, hasEpoch := n.slotEpoch(slot)
-			copy(out[i:j], n.peers[eff].forwardTagged(run, epoch, hasEpoch))
+			// The run's trace handle (the gateway server attaches one handle
+			// to every transaction of a traced request) rides to the peer so
+			// the owner's spans stitch under the gateway's trace id.
+			var tr *reqtrace.T
+			for k := range run {
+				if run[k].Trace != nil {
+					tr = run[k].Trace
+					break
+				}
+			}
+			copy(out[i:j], n.peers[eff].forwardTagged(run, epoch, hasEpoch, tr))
 		}
 		i = j
 	}

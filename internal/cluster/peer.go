@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"funcdb/internal/core"
 	"funcdb/internal/lenient"
 	"funcdb/internal/metrics"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/session"
 	"funcdb/internal/wire"
 )
@@ -41,6 +43,7 @@ type peer struct {
 type peerConn struct {
 	conn    net.Conn
 	bw      *bufio.Writer
+	ver     byte // peer's negotiated protocol version, from its Welcome
 	pending map[uint64]*fwdCall
 }
 
@@ -52,6 +55,9 @@ type fwdCall struct {
 	err      error  // transport failure or remote FrameError
 	errIndex int    // remote FrameError: failing index within the frame
 	redirect string // remote FrameRedirect: placement disagreement
+
+	tr     *reqtrace.T // gateway trace the frame belongs to (nil untraced)
+	sentNS int64       // unix ns the frame hit the socket, for the hop span
 }
 
 func newPeer(origin, addr string, cm *metrics.Cluster, dial DialFunc) *peer {
@@ -90,11 +96,12 @@ func (p *peer) ensureLocked() (*peerConn, error) {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: handshake with %s failed: %v", p.addr, err)
 	}
-	if _, err := wire.DecodeWelcome(payload); err != nil {
+	w, err := wire.DecodeWelcome(payload)
+	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("cluster: handshake with %s: %w", p.addr, err)
 	}
-	pc := &peerConn{conn: conn, bw: bw, pending: make(map[uint64]*fwdCall)}
+	pc := &peerConn{conn: conn, bw: bw, ver: w.Version, pending: make(map[uint64]*fwdCall)}
 	p.pc = pc
 	p.dials.Inc()
 	go p.readLoop(pc, rd)
@@ -149,6 +156,11 @@ func (p *peer) readLoop(pc *peerConn, rd *wire.Reader) {
 			break
 		}
 		if call != nil {
+			if call.tr != nil {
+				// The hop span closes when the peer's reply lands, before
+				// the waiting futures wake: send → reply, wire time included.
+				call.tr.SpanNS(reqtrace.StageForwardHop, call.sentNS, time.Now().UnixNano()-call.sentNS)
+			}
 			close(call.done)
 		}
 	}
@@ -205,14 +217,17 @@ func (p *peer) close() {
 // resolves with the error; forwarding never chains past one hop.
 // With hasEpoch the frame is additionally stamped with the slot's epoch
 // (FwdEpoch), so a receiver that has seen a newer promotion fences it.
-func (p *peer) forwardTagged(txs []core.Transaction, epoch uint64, hasEpoch bool) []*session.Future {
+// A non-nil sampled trace rides the frame as a v5 trace-context suffix
+// (FwdTrace) so the owner's spans share the gateway's trace id, and the
+// gateway records the whole round trip as one forward-hop span.
+func (p *peer) forwardTagged(txs []core.Transaction, epoch uint64, hasEpoch bool, tr *reqtrace.T) []*session.Future {
 	for _, tx := range txs {
 		if tx.PrepHash != 0 {
 			// At least one transaction was bound from a prepared template:
 			// its Query is the '?' template, which the owner cannot re-bind
 			// from text, so the whole run ships as a ForwardPrepared frame
 			// (hash + args, text included for first-contact registration).
-			return p.forwardPrepared(txs, epoch, hasEpoch)
+			return p.forwardPrepared(txs, epoch, hasEpoch, tr)
 		}
 	}
 	out := make([]*session.Future, len(txs))
@@ -238,7 +253,7 @@ func (p *peer) forwardTagged(txs []core.Transaction, epoch uint64, hasEpoch bool
 	if hasEpoch {
 		flags |= wire.FwdEpoch
 	}
-	call := &fwdCall{n: len(txs), done: make(chan struct{})}
+	call := &fwdCall{n: len(txs), done: make(chan struct{}), tr: tr}
 	if err := p.sendForward(call, flags, epoch, stmts); err != nil {
 		call.err, call.errIndex = err, -1
 		close(call.done)
@@ -259,7 +274,7 @@ func (p *peer) forwardTagged(txs []core.Transaction, epoch uint64, hasEpoch bool
 // text rides along (HasText) so first contact — or the owner's cache
 // having evicted the plan — registers it instead of failing; plain text
 // statements sharing the run ship as hash-0 text statements.
-func (p *peer) forwardPrepared(txs []core.Transaction, epoch uint64, hasEpoch bool) []*session.Future {
+func (p *peer) forwardPrepared(txs []core.Transaction, epoch uint64, hasEpoch bool, tr *reqtrace.T) []*session.Future {
 	out := make([]*session.Future, len(txs))
 	stmts := make([]wire.PreparedFwdStmt, len(txs))
 	for i, tx := range txs {
@@ -284,7 +299,7 @@ func (p *peer) forwardPrepared(txs []core.Transaction, epoch uint64, hasEpoch bo
 	if hasEpoch {
 		flags |= wire.FwdEpoch
 	}
-	call := &fwdCall{n: len(txs), done: make(chan struct{})}
+	call := &fwdCall{n: len(txs), done: make(chan struct{}), tr: tr}
 	if err := p.sendForwardPrepared(call, flags, epoch, stmts); err != nil {
 		call.err, call.errIndex = err, -1
 		close(call.done)
@@ -312,7 +327,12 @@ func (p *peer) sendForwardPrepared(call *fwdCall, flags byte, epoch uint64, stmt
 	p.nextID++
 	var mark int
 	p.enc, mark = wire.BeginFrame(p.enc[:0], wire.FrameForwardPrepared)
-	if p.enc, err = wire.AppendForwardPrepared(p.enc, id, flags, epoch, stmts); err == nil {
+	if tc := forwardTraceCtx(call.tr, pc.ver); tc.Sampled {
+		p.enc, err = wire.AppendForwardPreparedT(p.enc, id, flags|wire.FwdTrace, epoch, tc, stmts)
+	} else {
+		p.enc, err = wire.AppendForwardPrepared(p.enc, id, flags, epoch, stmts)
+	}
+	if err == nil {
 		p.enc, err = wire.EndFrame(p.enc, mark)
 	}
 	if err != nil {
@@ -320,6 +340,9 @@ func (p *peer) sendForwardPrepared(call *fwdCall, flags byte, epoch uint64, stmt
 		return err
 	}
 	pc.pending[id] = call
+	if call.tr != nil {
+		call.sentNS = time.Now().UnixNano()
+	}
 	if _, err = pc.bw.Write(p.enc); err == nil {
 		err = pc.bw.Flush()
 	}
@@ -352,13 +375,20 @@ func (p *peer) sendForward(call *fwdCall, flags byte, epoch uint64, stmts []wire
 	// allocation per forwarded frame.
 	var mark int
 	p.enc, mark = wire.BeginFrame(p.enc[:0], wire.FrameForward)
-	p.enc = wire.AppendForwardE(p.enc, id, flags, epoch, stmts)
+	if tc := forwardTraceCtx(call.tr, pc.ver); tc.Sampled {
+		p.enc = wire.AppendForwardT(p.enc, id, flags|wire.FwdTrace, epoch, tc, stmts)
+	} else {
+		p.enc = wire.AppendForwardE(p.enc, id, flags, epoch, stmts)
+	}
 	p.enc, err = wire.EndFrame(p.enc, mark)
 	if err != nil {
 		p.mu.Unlock()
 		return err
 	}
 	pc.pending[id] = call
+	if call.tr != nil {
+		call.sentNS = time.Now().UnixNano()
+	}
 	if _, err = pc.bw.Write(p.enc); err == nil {
 		err = pc.bw.Flush()
 	}
@@ -378,6 +408,21 @@ func (p *peer) sendForward(call *fwdCall, flags byte, epoch uint64, stmts []wire
 	p.mu.Unlock()
 	p.fail(pc, fmt.Errorf("cluster: connection to %s lost: %w", p.addr, err))
 	return fmt.Errorf("cluster: forward to %s: %w", p.addr, err)
+}
+
+// forwardTraceCtx decides whether a forward frame carries the trace
+// suffix: only sampled traces propagate, and only toward peers that
+// negotiated protocol version 5 — older receivers would read the suffix
+// as corruption. The zero context means "stamp nothing".
+func forwardTraceCtx(tr *reqtrace.T, peerVer byte) wire.TraceCtx {
+	if tr == nil || peerVer < 5 {
+		return wire.TraceCtx{}
+	}
+	c := tr.Ctx()
+	if !c.Sampled || c.ID == 0 {
+		return wire.TraceCtx{}
+	}
+	return wire.TraceCtx{ID: c.ID, Hop: c.Hop, Sampled: true}
 }
 
 // response shapes statement i's answer out of the frame's shared reply.

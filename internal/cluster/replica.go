@@ -13,6 +13,7 @@ import (
 	"funcdb/internal/eval"
 	"funcdb/internal/metrics"
 	"funcdb/internal/relation"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/session"
 	"funcdb/internal/trace"
 	"funcdb/internal/wire"
@@ -243,8 +244,9 @@ func (n *Node) streamFrom(peerIdx int, m *mirror) error {
 		return err
 	}
 	m.connects.Inc()
+	trRec := n.TraceRecorder()
 	// The LogRecord loop reuses the Reader's body buffer across records:
-	// DecodeTxnRecord copies everything it extracts, so the payload's
+	// DecodeTxnRecordTail copies everything it extracts, so the payload's
 	// next-read invalidation never escapes this loop.
 	for {
 		typ, payload, err := rd.Next()
@@ -288,12 +290,33 @@ func (n *Node) streamFrom(peerIdx int, m *mirror) error {
 		default:
 			return fmt.Errorf("cluster: unexpected frame %#x in replication stream", typ)
 		}
-		seq, tx, err := archive.DecodeTxnRecord(record)
+		seq, tx, rest, err := archive.DecodeTxnRecordTail(record)
 		if err != nil {
 			return err
 		}
+		// A version-5 primary stamps the trace-context suffix onto stream
+		// records of sampled requests: open the mirror's leg of the trace
+		// here, and keep the RETAINED record bytes suffix-free so a
+		// post-promotion tail replay never re-ships a stale context.
+		var rt *reqtrace.T
+		var applyStart time.Time
+		if len(rest) > 0 {
+			tc, tcErr := wire.DecodeTraceCtx(rest)
+			if tcErr != nil {
+				return tcErr
+			}
+			record = record[:len(record)-len(rest)]
+			if trRec != nil && tc.Sampled {
+				rt = trRec.StartCtx(reqtrace.Ctx{ID: tc.ID, Hop: tc.Hop, Sampled: tc.Sampled})
+				applyStart = time.Now()
+			}
+		}
 		if err := m.apply(seq, tx, record); err != nil {
 			return errReplicationGap
+		}
+		if rt != nil {
+			rt.Span(reqtrace.StageReplicaApply, applyStart, time.Now())
+			trRec.Finish(rt)
 		}
 		if tx.Kind == core.KindCreate {
 			// A relation born on the peer: cached statements touching

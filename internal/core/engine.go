@@ -11,6 +11,7 @@ import (
 	"funcdb/internal/lenient"
 	"funcdb/internal/metrics"
 	"funcdb/internal/relation"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/trace"
 	"funcdb/internal/value"
 )
@@ -164,19 +165,44 @@ func (e *Engine) Plan(tx Transaction) Plan {
 func (e *Engine) Submit(tx Transaction) *lenient.Cell[Response] {
 	if !e.serializedReads && tx.IsReadOnly() {
 		e.metrics.Read()
+		if tx.Trace != nil {
+			// Reads skip the merge, so planning is the only engine stage
+			// a read's timeline gets.
+			t0 := time.Now()
+			p := planAgainst(e.snap.Load(), tx)
+			tx.Trace.Span(reqtrace.StagePlan, t0, time.Now())
+			return e.launchRead(p)
+		}
 		return e.launchRead(planAgainst(e.snap.Load(), tx))
 	}
 	ls := e.laneSetOf(tx)
 	var start time.Time
-	if e.metrics != nil {
+	if e.metrics != nil || tx.Trace != nil {
 		start = time.Now()
-		if len(ls) > 1 {
+		if e.metrics != nil && len(ls) > 1 {
 			e.metrics.CrossLaneAcq()
 		}
 	}
 	e.lockLanes(ls)
-	out := e.admitLocked(planAgainst(e.snap.Load(), tx))
+	// Clock reads for the trace brackets happen inside the locked region,
+	// but the span *records* (a mutex'd array write on the handle) wait
+	// until the lanes are released.
+	var locked, planned time.Time
+	if tx.Trace != nil {
+		locked = time.Now()
+	}
+	p := planAgainst(e.snap.Load(), tx)
+	if tx.Trace != nil {
+		planned = time.Now()
+	}
+	out := e.admitLocked(p)
 	e.unlockLanes(ls)
+	if tx.Trace != nil {
+		end := time.Now()
+		tx.Trace.Span(reqtrace.StageLaneWait, start, locked)
+		tx.Trace.Span(reqtrace.StagePlan, locked, planned)
+		tx.Trace.Span(reqtrace.StageLaneCommit, planned, end)
+	}
 	if e.metrics != nil {
 		e.metrics.Admit(ls, 1, time.Since(start))
 	}
@@ -201,18 +227,40 @@ func (e *Engine) SubmitBatch(txs []Transaction) []*lenient.Cell[Response] {
 		for j < len(txs) && sets[j].subsetOf(ls) {
 			j++
 		}
+		// A batch is one request, so its transactions share one trace
+		// handle; the run's lane stages go to the first handle found (a
+		// run mixing distinct traces attributes to the earliest, which
+		// only a hand-built batch can produce).
+		var tr *reqtrace.T
+		for k := i; k < j; k++ {
+			if txs[k].Trace != nil {
+				tr = txs[k].Trace
+				break
+			}
+		}
 		var start time.Time
-		if e.metrics != nil {
+		if e.metrics != nil || tr != nil {
 			start = time.Now()
-			if len(ls) > 1 {
+			if e.metrics != nil && len(ls) > 1 {
 				e.metrics.CrossLaneAcq()
 			}
 		}
 		e.lockLanes(ls)
+		var locked time.Time
+		if tr != nil {
+			locked = time.Now()
+		}
 		for k := i; k < j; k++ {
 			out[k] = e.admitLocked(planAgainst(e.snap.Load(), txs[k]))
 		}
 		e.unlockLanes(ls)
+		if tr != nil {
+			// Planning happens per transaction inside the run, so the run's
+			// lane-commit span covers plan+admit for the whole run.
+			end := time.Now()
+			tr.Span(reqtrace.StageLaneWait, start, locked)
+			tr.Span(reqtrace.StageLaneCommit, locked, end)
+		}
 		if e.metrics != nil {
 			e.metrics.Run(j - i)
 			e.metrics.Admit(ls, j-i, time.Since(start))

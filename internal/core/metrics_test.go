@@ -8,6 +8,7 @@ import (
 	"funcdb/internal/database"
 	"funcdb/internal/metrics"
 	"funcdb/internal/relation"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/value"
 	"funcdb/internal/workload"
 )
@@ -99,5 +100,32 @@ func BenchmarkLaneCommit(b *testing.B) {
 	b.Run("instrumented", func(b *testing.B) {
 		var m metrics.Engine
 		run(b, core.WithEngineMetrics(&m))
+	})
+}
+
+// BenchmarkLaneCommitTraced measures the same single-lane admission hot
+// path with request tracing attached: "off" submits with a nil trace
+// handle (tracing compiled in but disabled — the production default),
+// "sampled" threads a live handle through every transaction so the
+// engine records its lane-wait/plan/lane-commit spans. The gap between
+// "off" and BenchmarkLaneCommit's uninstrumented baseline is the cost
+// of the nil checks; the gap to "sampled" is the full recording cost.
+func BenchmarkLaneCommitTraced(b *testing.B) {
+	run := func(b *testing.B, rec *reqtrace.Recorder) {
+		e := core.NewEngine(database.New(relation.RepAVL, "R"))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tx := core.Insert("R", value.NewTuple(value.Int(int64(i)), value.Str("v")))
+			tx.Origin, tx.Seq = "bench", i
+			tr := rec.Start() // nil recorder → nil handle, the disabled path
+			tx.Trace = tr
+			e.Submit(tx)
+			rec.Finish(tr)
+		}
+		e.Barrier()
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("sampled", func(b *testing.B) {
+		run(b, reqtrace.New("bench", reqtrace.Config{SampleEvery: 1, SlowThreshold: -1}))
 	})
 }

@@ -30,6 +30,7 @@ import (
 	"funcdb/internal/database"
 	"funcdb/internal/eval"
 	"funcdb/internal/relation"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/trace"
 	"funcdb/internal/value"
 )
@@ -113,6 +114,13 @@ type Transaction struct {
 	// ignore both, and neither is persisted or part of the tag.
 	PrepHash uint64
 	PrepArgs []value.Item
+
+	// Trace, when non-nil, is the request's live trace handle: the engine
+	// brackets its lane-wait/plan/lane-commit stages onto it and the
+	// archive's commit observer attaches the group-commit fsync span.
+	// Baggage like PrepHash: the engines' semantics ignore it, it is never
+	// persisted, and a nil handle costs one pointer comparison.
+	Trace *reqtrace.T
 }
 
 // Tag returns the origin tag rendered as "origin#seq".

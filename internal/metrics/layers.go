@@ -401,7 +401,19 @@ type Snapshot struct {
 	Server  *ServerSnapshot  `json:"server,omitempty"`
 	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
 	Peers   []PeerSnapshot   `json:"peers,omitempty"`
+	Trace   *TraceSnapshot   `json:"trace,omitempty"`
 	Runtime *RuntimeSnapshot `json:"runtime,omitempty"`
+}
+
+// TraceSnapshot is the request-trace recorder's own accounting, present
+// when tracing is enabled: how many traces were opened, how many the
+// head sampler admitted to the ring, how many the slow reservoir kept,
+// and how many arrived as a propagated wire context from another node.
+type TraceSnapshot struct {
+	Started    int64 `json:"started"`
+	Sampled    int64 `json:"sampled"`
+	Slow       int64 `json:"slow"`
+	Propagated int64 `json:"propagated"`
 }
 
 // fmtDur renders a nanosecond metric as a rounded duration.
@@ -510,6 +522,10 @@ func (s Snapshot) Format() string {
 			fmt.Fprintf(&b, " hb_age=%.0fms lag=%d", p.HeartbeatAgeMs, p.AppliedLag)
 		}
 		fmt.Fprintf(&b, "\n")
+	}
+	if t := s.Trace; t != nil {
+		fmt.Fprintf(&b, "trace: started=%d sampled=%d slow=%d propagated=%d\n",
+			t.Started, t.Sampled, t.Slow, t.Propagated)
 	}
 	if rt := s.Runtime; rt != nil {
 		fmt.Fprintf(&b, "runtime: heap=%d goroutines=%d gc=%d pause=%s mallocs=%d\n",

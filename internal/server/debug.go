@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+
+	"funcdb/internal/reqtrace"
 )
 
 // NewDebugMux builds the --debug-addr HTTP handler: the metrics snapshot
@@ -12,12 +14,17 @@ import (
 //
 //	/debug/stats  — snapshot() marshaled with indentation
 //	/debug/vars   — the same document, expvar-style (flat, compact)
+//	/debug/trace  — published request traces: JSON by default,
+//	                ?format=text for the human timeline, ?id=<16-hex>
+//	                to select one trace
 //	/debug/pprof/ — net/http/pprof's index, profile, trace, …
 //
 // snapshot is called per request; it should return a metrics.Snapshot
 // (or any JSON-encodable aggregate — fdbserver composes one document
-// across its hosted databases).
-func NewDebugMux(snapshot func() any) *http.ServeMux {
+// across its hosted databases). traces is called per /debug/trace
+// request; nil means tracing is not wired and the endpoint serves an
+// empty list.
+func NewDebugMux(snapshot func() any, traces func() []reqtrace.Trace) *http.ServeMux {
 	mux := http.NewServeMux()
 	serve := func(indent bool) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -33,10 +40,46 @@ func NewDebugMux(snapshot func() any) *http.ServeMux {
 	}
 	mux.HandleFunc("/debug/stats", serve(true))
 	mux.HandleFunc("/debug/vars", serve(false))
+	mux.HandleFunc("/debug/trace", serveTraces(traces))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// serveTraces answers /debug/trace: the recorder's published traces,
+// newest first, optionally narrowed to one id and optionally rendered
+// as the human hop-tree timeline instead of JSON.
+func serveTraces(traces func() []reqtrace.Trace) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var ts []reqtrace.Trace
+		if traces != nil {
+			ts = traces()
+		}
+		if ts == nil {
+			ts = []reqtrace.Trace{}
+		}
+		if want := r.URL.Query().Get("id"); want != "" {
+			kept := ts[:0]
+			for _, tr := range ts {
+				if tr.ID == want {
+					kept = append(kept, tr)
+				}
+			}
+			ts = kept
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(reqtrace.Render(ts)))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ts); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
 }

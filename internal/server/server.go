@@ -47,6 +47,7 @@ import (
 	"funcdb/internal/core"
 	"funcdb/internal/metrics"
 	"funcdb/internal/query"
+	"funcdb/internal/reqtrace"
 	"funcdb/internal/session"
 	"funcdb/internal/value"
 	"funcdb/internal/wire"
@@ -98,6 +99,24 @@ type LogSource interface {
 // without it still answers — with the server's own section only.
 type StatsProvider interface {
 	MetricsSnapshot() metrics.Snapshot
+}
+
+// TraceSource is implemented by hosts with request tracing enabled: the
+// handler opens a trace per request (continuing a version-5 wire context
+// when the client propagated one), brackets the conn-read, decode,
+// encode and flush stages onto it, and a Traces frame answers with the
+// recorder's published traces. A host without it serves every request
+// untraced at zero cost.
+type TraceSource interface {
+	TraceRecorder() *reqtrace.Recorder
+}
+
+// LogTraceSource is implemented by hosts that remember the trace context
+// of recent commits (funcdb.Store over its archive's ring): the
+// log-shipping stream stamps that context onto the records it sends a
+// version-5 subscriber, so a replica's apply spans join the trace.
+type LogTraceSource interface {
+	LogTraceCtxOf(seq int64) reqtrace.Ctx
 }
 
 // HeartbeatSink is implemented by hosts that participate in failover: a
@@ -284,10 +303,12 @@ type reply struct {
 	rel      string            // FrameRedirect: the relation being placed
 	rdEpoch  uint64            // FrameRedirect: owner epoch (v3 conns, failover hosts)
 	stats    []byte            // FrameStatsResponse: the snapshot document
+	traces   []byte            // FrameTracesResponse: the trace document
 	raw      []byte            // pre-encoded payload (heartbeat acks)
 	rawType  byte              // frame type for raw
 	reqType  byte              // request frame type, keys the latency histogram
 	start    time.Time         // request read off the socket (latency epoch)
+	tr       *reqtrace.T       // live trace (nil untraced): encode/flush spans, Finish
 }
 
 // handle drives one connection: handshake, then a read loop that queues
@@ -351,8 +372,17 @@ func (s *Server) handle(conn net.Conn) {
 	}()
 
 	sess := host.Session(origin)
+	// rec is the host's trace recorder; nil means tracing off, and every
+	// instrumentation site below is one pointer comparison.
+	var rec *reqtrace.Recorder
+	if ts, ok := host.(TraceSource); ok {
+		rec = ts.TraceRecorder()
+	}
 	var (
 		pending []reply
+		// trs collects the live traces of one flush so their flush span and
+		// Finish run after the batch leaves the socket.
+		trs []*reqtrace.T
 		// out is the connection's reused response buffer: every reply of a
 		// flush is framed in place (BeginFrame + payload appenders +
 		// EndFrame) and the whole batch leaves in ONE bw.Write — no
@@ -400,10 +430,15 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		sess.Flush()
 		out = out[:0]
+		trs = trs[:0]
 		for i := range pending {
 			rp := &pending[i]
 			var mark int
 			var err error
+			var encStart time.Time
+			if rp.tr != nil {
+				encStart = time.Now()
+			}
 			switch {
 			case rp.qerr != nil:
 				// A batch error ships the underlying message plus the
@@ -429,6 +464,9 @@ func (s *Server) handle(conn net.Conn) {
 			case rp.stats != nil:
 				out, mark = wire.BeginFrame(out, wire.FrameStatsResponse)
 				out = wire.AppendStatsResponse(out, rp.id, rp.stats)
+			case rp.traces != nil:
+				out, mark = wire.BeginFrame(out, wire.FrameTracesResponse)
+				out = wire.AppendTracesResponse(out, rp.id, rp.traces)
 			case rp.futs != nil:
 				if cap(respScratch) < len(rp.futs) {
 					respScratch = make([]core.Response, len(rp.futs))
@@ -450,6 +488,12 @@ func (s *Server) handle(conn net.Conn) {
 			if out, err = wire.EndFrame(out, mark); err != nil {
 				return false
 			}
+			if rp.tr != nil {
+				// Encode covers forcing the futures too: the wait for the
+				// engine's response is part of what the client experiences.
+				rp.tr.Span(reqtrace.StageEncode, encStart, time.Now())
+				trs = append(trs, rp.tr)
+			}
 			// Response latency by request frame type, socket-read to
 			// response-written: what the client experiences minus the
 			// network, queue wait under adaptive batching included.
@@ -463,6 +507,10 @@ func (s *Server) handle(conn net.Conn) {
 			}
 		}
 		pending = pending[:0]
+		var flushStart time.Time
+		if len(trs) > 0 {
+			flushStart = time.Now()
+		}
 		if _, err := bw.Write(out); err != nil {
 			return false
 		}
@@ -471,10 +519,46 @@ func (s *Server) handle(conn net.Conn) {
 			// for the connection's lifetime.
 			out = nil
 		}
-		return bw.Flush() == nil
+		ok := bw.Flush() == nil
+		// The batch is on the wire: close each trace's flush span and run
+		// admission. A group-commit fsync span may still arrive later — the
+		// recorder holds the live handle, so it attaches.
+		if len(trs) > 0 {
+			end := time.Now()
+			for _, t := range trs {
+				t.Span(reqtrace.StageFlush, flushStart, end)
+				rec.Finish(t)
+			}
+			trs = trs[:0]
+		}
+		return ok
+	}
+
+	// startTrace opens the per-request trace once the frame is decoded:
+	// continuing the client's propagated wire context when it carried one,
+	// fresh otherwise. The conn-read and decode stages already happened —
+	// readStart brackets the blocking read, start the decode; decode ends
+	// here. Untraced hosts return nil and never read a clock.
+	var readStart time.Time
+	startTrace := func(tc wire.TraceCtx, start time.Time) *reqtrace.T {
+		if rec == nil {
+			return nil
+		}
+		var t *reqtrace.T
+		if tc.ID != 0 {
+			t = rec.StartCtx(reqtrace.Ctx{ID: tc.ID, Hop: tc.Hop, Sampled: tc.Sampled})
+		} else {
+			t = rec.Start()
+		}
+		t.Span(reqtrace.StageConnRead, readStart, start)
+		t.Span(reqtrace.StageDecode, start, time.Now())
+		return t
 	}
 
 	for {
+		if rec != nil {
+			readStart = time.Now()
+		}
 		typ, payload, err := rd.Next()
 		if err != nil {
 			// EOF, a drain deadline, or a broken peer: answer everything
@@ -487,25 +571,53 @@ func (s *Server) handle(conn net.Conn) {
 		start := time.Now()
 		switch typ {
 		case wire.FrameExec:
-			id, q, derr := wire.DecodeExec(payload)
+			var id uint64
+			var q string
+			var tc wire.TraceCtx
+			var derr error
+			if connVer >= 5 {
+				id, q, tc, derr = wire.DecodeExecT(payload)
+			} else {
+				id, q, derr = wire.DecodeExec(payload)
+			}
 			if derr != nil {
 				flush()
 				return
 			}
 			s.m.Execs.Inc()
-			fut, qerr := sess.Queue(q)
-			pending = append(pending, reply{id: id, fut: fut, qerr: qerr, index: -1, reqType: typ, start: start})
+			tr := startTrace(tc, start)
+			var fut *session.Future
+			var qerr error
+			if tr == nil {
+				fut, qerr = sess.Queue(q)
+			} else {
+				var tx core.Transaction
+				if tx, qerr = sess.Translate(q); qerr == nil {
+					tx.Trace = tr
+					fut = sess.QueueTx(tx)
+				}
+			}
+			pending = append(pending, reply{id: id, fut: fut, qerr: qerr, index: -1, reqType: typ, start: start, tr: tr})
 
 		case wire.FrameBatch:
-			id, qs, derr := wire.DecodeBatch(payload)
+			var id uint64
+			var qs []string
+			var tc wire.TraceCtx
+			var derr error
+			if connVer >= 5 {
+				id, qs, tc, derr = wire.DecodeBatchT(payload)
+			} else {
+				id, qs, derr = wire.DecodeBatch(payload)
+			}
 			if derr != nil {
 				flush()
 				return
 			}
 			s.m.Batches.Inc()
+			tr := startTrace(tc, start)
 			// All-or-nothing: translate the whole batch before queueing
 			// anything, so a failure admits none of it.
-			rp := reply{id: id, index: -1, reqType: typ, start: start}
+			rp := reply{id: id, index: -1, reqType: typ, start: start, tr: tr}
 			txs := make([]core.Transaction, len(qs))
 			for i, q := range qs {
 				tx, terr := sess.Translate(q)
@@ -514,6 +626,7 @@ func (s *Server) handle(conn net.Conn) {
 					rp.index = i
 					break
 				}
+				tx.Trace = tr
 				txs[i] = tx
 			}
 			if rp.qerr == nil {
@@ -526,14 +639,24 @@ func (s *Server) handle(conn net.Conn) {
 			pending = append(pending, rp)
 
 		case wire.FrameForward:
-			id, flags, epoch, stmts, derr := wire.DecodeForwardE(payload)
+			var id, epoch uint64
+			var flags byte
+			var tc wire.TraceCtx
+			var stmts []wire.ForwardStmt
+			var derr error
+			if connVer >= 5 {
+				id, flags, epoch, tc, stmts, derr = wire.DecodeForwardT(payload)
+			} else {
+				id, flags, epoch, stmts, derr = wire.DecodeForwardE(payload)
+			}
 			if derr != nil {
 				flush()
 				return
 			}
 			s.m.Forwards.Inc()
-			rp := s.handleForward(host, sess, id, flags, epoch, stmts)
-			rp.reqType, rp.start = typ, start
+			tr := startTrace(tc, start)
+			rp := s.handleForward(host, sess, id, flags, epoch, stmts, tr)
+			rp.reqType, rp.start, rp.tr = typ, start, tr
 			pending = append(pending, rp)
 
 		case wire.FramePrepare:
@@ -554,19 +677,26 @@ func (s *Server) handle(conn net.Conn) {
 
 		case wire.FrameExecPrepared:
 			var id, stmtID uint64
+			var tc wire.TraceCtx
 			var derr error
-			id, stmtID, argScratch, derr = wire.DecodeExecPreparedInto(payload, argScratch[:0])
+			if connVer >= 5 {
+				id, stmtID, argScratch, tc, derr = wire.DecodeExecPreparedIntoT(payload, argScratch[:0])
+			} else {
+				id, stmtID, argScratch, derr = wire.DecodeExecPreparedInto(payload, argScratch[:0])
+			}
 			if derr != nil {
 				flush()
 				return
 			}
 			s.m.PreparedExecs.Inc()
-			rp := reply{id: id, index: -1, reqType: typ, start: start}
+			tr := startTrace(tc, start)
+			rp := reply{id: id, index: -1, reqType: typ, start: start, tr: tr}
 			if prep, ok := sess.PreparedByID(stmtID); ok {
 				tx, berr := bindPrepared(prep, argScratch, true)
 				if berr != nil {
 					rp.qerr = berr
 				} else {
+					tx.Trace = tr
 					rp.fut = sess.QueueTx(tx)
 				}
 			} else {
@@ -577,17 +707,23 @@ func (s *Server) handle(conn net.Conn) {
 
 		case wire.FrameBatchPrepared:
 			var id uint64
+			var tc wire.TraceCtx
 			var derr error
-			id, callScratch, argScratch, derr = wire.DecodeBatchPreparedInto(payload, callScratch[:0], argScratch[:0])
+			if connVer >= 5 {
+				id, callScratch, argScratch, tc, derr = wire.DecodeBatchPreparedIntoT(payload, callScratch[:0], argScratch[:0])
+			} else {
+				id, callScratch, argScratch, derr = wire.DecodeBatchPreparedInto(payload, callScratch[:0], argScratch[:0])
+			}
 			if derr != nil {
 				flush()
 				return
 			}
 			s.m.Batches.Inc()
 			s.m.PreparedExecs.Inc()
+			tr := startTrace(tc, start)
 			// All-or-nothing, like FrameBatch: resolve and bind the whole
 			// frame before queueing anything.
-			rp := reply{id: id, index: -1, reqType: typ, start: start}
+			rp := reply{id: id, index: -1, reqType: typ, start: start, tr: tr}
 			if cap(txScratch) < len(callScratch) {
 				txScratch = make([]core.Transaction, len(callScratch))
 			}
@@ -606,6 +742,7 @@ func (s *Server) handle(conn net.Conn) {
 					rp.index = i
 					break
 				}
+				tx.Trace = tr
 				txs[i] = tx
 			}
 			if rp.qerr == nil {
@@ -620,17 +757,23 @@ func (s *Server) handle(conn net.Conn) {
 		case wire.FrameForwardPrepared:
 			var id, epoch uint64
 			var flags byte
+			var tc wire.TraceCtx
 			var derr error
-			id, flags, epoch, fwdpScratch, argScratch, derr = wire.DecodeForwardPreparedInto(payload, fwdpScratch[:0], argScratch[:0])
+			if connVer >= 5 {
+				id, flags, epoch, tc, fwdpScratch, argScratch, derr = wire.DecodeForwardPreparedIntoT(payload, fwdpScratch[:0], argScratch[:0])
+			} else {
+				id, flags, epoch, fwdpScratch, argScratch, derr = wire.DecodeForwardPreparedInto(payload, fwdpScratch[:0], argScratch[:0])
+			}
 			if derr != nil {
 				flush()
 				return
 			}
 			s.m.Forwards.Inc()
 			s.m.PreparedExecs.Inc()
+			tr := startTrace(tc, start)
 			var rp reply
-			rp, txScratch = s.handleForwardPrepared(host, sess, id, flags, epoch, fwdpScratch, txScratch)
-			rp.reqType, rp.start = typ, start
+			rp, txScratch = s.handleForwardPrepared(host, sess, id, flags, epoch, fwdpScratch, txScratch, tr)
+			rp.reqType, rp.start, rp.tr = typ, start, tr
 			pending = append(pending, rp)
 
 		case wire.FrameHeartbeat:
@@ -660,6 +803,14 @@ func (s *Server) handle(conn net.Conn) {
 			s.m.StatsReqs.Inc()
 			pending = append(pending, reply{id: id, stats: s.statsJSON(host), reqType: typ, start: start})
 
+		case wire.FrameTraces:
+			id, derr := wire.DecodeTraces(payload)
+			if derr != nil {
+				flush()
+				return
+			}
+			pending = append(pending, reply{id: id, traces: s.tracesJSON(host), reqType: typ, start: start})
+
 		case wire.FrameSubscribe:
 			after, slot, sub, derr := wire.DecodeSubscribeEx(payload)
 			if derr != nil || !flush() {
@@ -668,11 +819,11 @@ func (s *Server) handle(conn net.Conn) {
 			s.m.Subscribes.Inc()
 			if slot >= 0 {
 				if src, ok := host.(SlotLogSource); ok {
-					s.streamSlotLog(rd, bw, src, slot, sub, after)
+					s.streamSlotLog(rd, bw, src, slot, sub, after, connVer)
 					return
 				}
 			}
-			s.streamLog(conn, rd, bw, host, after)
+			s.streamLog(conn, rd, bw, host, after, connVer)
 			return
 
 		case wire.FrameQuit:
@@ -717,6 +868,25 @@ func (s *Server) statsJSON(host Host) []byte {
 	return doc
 }
 
+// tracesJSON builds the FrameTracesResponse document: the host
+// recorder's published traces as a JSON array. Always non-nil — a host
+// without tracing answers an empty array, not an error, so clients can
+// probe without knowing the server's configuration.
+func (s *Server) tracesJSON(host Host) []byte {
+	var traces []reqtrace.Trace
+	if ts, ok := host.(TraceSource); ok {
+		traces = ts.TraceRecorder().Traces()
+	}
+	if len(traces) == 0 {
+		return []byte("[]")
+	}
+	doc, err := json.Marshal(traces)
+	if err != nil {
+		return []byte("[]")
+	}
+	return doc
+}
+
 // handleForward queues one FrameForward: pre-tagged statements executed
 // without retagging. Read-only statements with FwdReadLocal are served
 // from the host's replica layer first, whoever owns them: a non-owner
@@ -733,7 +903,7 @@ func (s *Server) statsJSON(host Host) []byte {
 // belief): a stale sender is refused, not served, and the error crosses
 // back as text — the sender re-resolves placement. Replica reads skip
 // the fence; they are stamped with their version and legal anywhere.
-func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flags byte, epoch uint64, stmts []wire.ForwardStmt) reply {
+func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flags byte, epoch uint64, stmts []wire.ForwardStmt, tr *reqtrace.T) reply {
 	rp := reply{id: id, index: -1}
 	if len(stmts) == 0 {
 		rp.qerr = errors.New("server: empty forward frame")
@@ -753,14 +923,19 @@ func (s *Server) handleForward(host Host, sess *session.Session, id uint64, flag
 		tx.Origin, tx.Seq = st.Origin, st.Seq
 		txs[i] = tx
 	}
-	return s.routeForward(host, sess, rp, flags, epoch, txs)
+	return s.routeForward(host, sess, rp, flags, epoch, txs, tr)
 }
 
 // routeForward is the shared tail of handleForward and
 // handleForwardPrepared: placement check, replica reads, fencing, then
 // tagged admission. txs is only read during the call — callers may reuse
 // the slice (the session copies each transaction it queues).
-func (s *Server) routeForward(host Host, sess *session.Session, rp reply, flags byte, epoch uint64, txs []core.Transaction) reply {
+func (s *Server) routeForward(host Host, sess *session.Session, rp reply, flags byte, epoch uint64, txs []core.Transaction, tr *reqtrace.T) reply {
+	if tr != nil {
+		for i := range txs {
+			txs[i].Trace = tr
+		}
+	}
 	var remoteAddr string
 	if placer, ok := host.(Placer); ok {
 		addr0, self0 := placer.Owner(txs[0].Rel)
@@ -829,7 +1004,7 @@ func (s *Server) routeForward(host Host, sess *session.Session, rp reply, flags 
 // sender re-sends with text, and a stale id never resolves to a stale
 // plan. txScratch is the connection's reused bind target; the returned
 // slice keeps its growth.
-func (s *Server) handleForwardPrepared(host Host, sess *session.Session, id uint64, flags byte, epoch uint64, stmts []wire.PreparedFwdStmt, txScratch []core.Transaction) (reply, []core.Transaction) {
+func (s *Server) handleForwardPrepared(host Host, sess *session.Session, id uint64, flags byte, epoch uint64, stmts []wire.PreparedFwdStmt, txScratch []core.Transaction, tr *reqtrace.T) (reply, []core.Transaction) {
 	rp := reply{id: id, index: -1}
 	if len(stmts) == 0 {
 		rp.qerr = errors.New("server: empty forward frame")
@@ -884,7 +1059,7 @@ func (s *Server) handleForwardPrepared(host Host, sess *session.Session, id uint
 		}
 		txs[i] = tx
 	}
-	return s.routeForward(host, sess, rp, flags, epoch, txs), txScratch
+	return s.routeForward(host, sess, rp, flags, epoch, txs, tr), txScratch
 }
 
 // finishForward shapes the reply: one statement answers as a single
@@ -930,7 +1105,7 @@ func allReadOnly(txs []core.Transaction) bool {
 // log mutex) and written from this handler goroutine; a watcher goroutine
 // consumes the read side so a peer close — or the drain deadline — ends
 // the stream.
-func (s *Server) streamLog(conn net.Conn, rd *wire.Reader, bw *bufio.Writer, host Host, after int64) {
+func (s *Server) streamLog(conn net.Conn, rd *wire.Reader, bw *bufio.Writer, host Host, after int64, connVer byte) {
 	src, ok := host.(LogSource)
 	if !ok {
 		msg := wire.AppendErrorMsg(nil, 0, -1, "server: host has no subscribable log (no durability)")
@@ -939,10 +1114,23 @@ func (s *Server) streamLog(conn net.Conn, rd *wire.Reader, bw *bufio.Writer, hos
 		}
 		return
 	}
+	// Version-5 subscribers get sampled commits' trace contexts stamped as
+	// record suffixes, so replica-apply spans join the originating trace.
+	// Pre-v5 peers get the record bytes verbatim.
+	var lts LogTraceSource
+	if connVer >= 5 {
+		lts, _ = host.(LogTraceSource)
+	}
 	q := &recQueue{}
 	q.cond = sync.NewCond(&q.mu)
 	cancel, err := src.SubscribeLog(after, func(seq int64, record []byte) {
-		q.push(append([]byte(nil), record...))
+		rec := append([]byte(nil), record...)
+		if lts != nil {
+			if c := lts.LogTraceCtxOf(seq); c.Valid() && c.Sampled {
+				rec = wire.AppendTraceCtx(rec, wire.TraceCtx{ID: c.ID, Hop: c.Hop, Sampled: true})
+			}
+		}
+		q.push(rec)
 	})
 	if err != nil {
 		msg := wire.AppendErrorMsg(nil, 0, -1, err.Error())
@@ -985,10 +1173,23 @@ func (s *Server) streamLog(conn net.Conn, rd *wire.Reader, bw *bufio.Writer, hos
 // applied record with FrameSubAck — the watcher goroutine feeds those
 // acks back to the host, where they gate the primary's write
 // acknowledgements (semi-synchronous replication).
-func (s *Server) streamSlotLog(rd *wire.Reader, bw *bufio.Writer, src SlotLogSource, slot, sub int, after int64) {
+func (s *Server) streamSlotLog(rd *wire.Reader, bw *bufio.Writer, src SlotLogSource, slot, sub int, after int64, connVer byte) {
+	// Same trace-context stamping as streamLog: the suffix rides the inner
+	// record, inside the epoch-stamped LogRecordE envelope.
+	var lts LogTraceSource
+	if connVer >= 5 {
+		lts, _ = src.(LogTraceSource)
+	}
 	q := &recQueue{}
 	q.cond = sync.NewCond(&q.mu)
 	cancel, err := src.SubscribeSlotLog(slot, sub, after, func(seq int64, epoch uint64, record []byte) {
+		if lts != nil {
+			if c := lts.LogTraceCtxOf(seq); c.Valid() && c.Sampled {
+				rec := wire.AppendTraceCtx(append([]byte(nil), record...), wire.TraceCtx{ID: c.ID, Hop: c.Hop, Sampled: true})
+				q.push(wire.AppendLogRecordE(nil, epoch, rec))
+				return
+			}
+		}
 		q.push(wire.AppendLogRecordE(nil, epoch, record))
 	})
 	if err != nil {

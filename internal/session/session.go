@@ -26,11 +26,13 @@ package session
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"funcdb/internal/core"
 	"funcdb/internal/lenient"
 	"funcdb/internal/metrics"
 	"funcdb/internal/query"
+	"funcdb/internal/reqtrace"
 )
 
 // Future is an unresolved response, as the engine returns it.
@@ -109,6 +111,10 @@ type pendingStmt struct {
 	tx     core.Transaction
 	fut    *Future
 	tagged bool
+	// at is the enqueue instant, read only when the transaction carries a
+	// trace handle (an untraced statement never touches the clock here):
+	// the flush turns it into the session-queue span.
+	at time.Time
 }
 
 // Session is one client's execution context. Safe for concurrent use;
@@ -236,6 +242,9 @@ func (s *Session) QueueTagged(tx core.Transaction) *Future {
 // that flushes the pipeline on demand. Must hold s.mu.
 func (s *Session) queueLocked(tx core.Transaction, tagged bool) *Future {
 	ps := &pendingStmt{tx: tx, tagged: tagged}
+	if tx.Trace != nil {
+		ps.at = time.Now()
+	}
 	s.pending = append(s.pending, ps)
 	return lenient.Lazy(func() core.Response {
 		s.mu.Lock()
@@ -272,6 +281,20 @@ func (s *Session) flushLocked() {
 		return
 	}
 	s.metrics.Flush(len(s.pending))
+	// Session-queue spans: how long each traced statement sat in the
+	// pipeline before this flush. One request's statements share a trace
+	// handle, so consecutive duplicates record once.
+	var lastTr *reqtrace.T
+	var flushAt time.Time
+	for _, ps := range s.pending {
+		if tr := ps.tx.Trace; tr != nil && tr != lastTr && !ps.at.IsZero() {
+			if flushAt.IsZero() {
+				flushAt = time.Now()
+			}
+			tr.Span(reqtrace.StageSessionQueue, ps.at, flushAt)
+			lastTr = tr
+		}
+	}
 	if cap(s.txScratch) < len(s.pending) {
 		s.txScratch = make([]core.Transaction, len(s.pending))
 	}
@@ -325,6 +348,9 @@ func (s *Session) ExecAsync(q string) (*Future, error) {
 	}
 	s.mu.Lock()
 	ps := &pendingStmt{tx: tx}
+	if tx.Trace != nil {
+		ps.at = time.Now()
+	}
 	s.pending = append(s.pending, ps)
 	s.flushLocked()
 	s.mu.Unlock()
@@ -357,6 +383,9 @@ func (s *Session) ExecBatch(queries []string) ([]core.Response, error) {
 	stmts := make([]*pendingStmt, len(txs))
 	for i, tx := range txs {
 		ps := &pendingStmt{tx: tx}
+		if tx.Trace != nil {
+			ps.at = time.Now()
+		}
 		s.pending = append(s.pending, ps)
 		stmts[i] = ps
 	}

@@ -164,15 +164,25 @@ func AppendExec(dst []byte, id uint64, query string) []byte {
 
 // DecodeExec decodes a FrameExec payload.
 func DecodeExec(buf []byte) (id uint64, query string, err error) {
-	id, n := binary.Uvarint(buf)
-	if n <= 0 {
-		return 0, "", fmt.Errorf("%w: bad request id", ErrCorrupt)
-	}
-	query, rest, err := value.DecodeString(buf[n:])
-	if err != nil || len(rest) != 0 {
+	id, query, rest, err := decodeExecTail(buf)
+	if err == nil && len(rest) != 0 {
 		return 0, "", fmt.Errorf("%w: bad exec query", ErrCorrupt)
 	}
-	return id, query, nil
+	return id, query, err
+}
+
+// decodeExecTail decodes the exec fields and returns the unconsumed
+// tail: the shared core under DecodeExec (which requires an empty tail)
+// and DecodeExecT (which accepts a version-5 trace-context suffix).
+func decodeExecTail(buf []byte) (id uint64, query string, rest []byte, err error) {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, "", nil, fmt.Errorf("%w: bad request id", ErrCorrupt)
+	}
+	if query, rest, err = value.DecodeString(buf[n:]); err != nil {
+		return 0, "", nil, fmt.Errorf("%w: bad exec query", ErrCorrupt)
+	}
+	return id, query, rest, nil
 }
 
 // AppendBatch encodes a FrameBatch payload: request id + count + queries.
@@ -187,28 +197,35 @@ func AppendBatch(dst []byte, id uint64, queries []string) []byte {
 
 // DecodeBatch decodes a FrameBatch payload.
 func DecodeBatch(buf []byte) (id uint64, queries []string, err error) {
+	id, queries, rest, err := decodeBatchTail(buf)
+	if err == nil && len(rest) != 0 {
+		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return id, queries, err
+}
+
+// decodeBatchTail decodes the batch fields and returns the unconsumed
+// tail (see decodeExecTail).
+func decodeBatchTail(buf []byte) (id uint64, queries []string, rest []byte, err error) {
 	id, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return 0, nil, fmt.Errorf("%w: bad request id", ErrCorrupt)
+		return 0, nil, nil, fmt.Errorf("%w: bad request id", ErrCorrupt)
 	}
 	buf = buf[n:]
 	count, n := binary.Uvarint(buf)
 	if n <= 0 || count > uint64(len(buf)) {
-		return 0, nil, fmt.Errorf("%w: bad batch count", ErrCorrupt)
+		return 0, nil, nil, fmt.Errorf("%w: bad batch count", ErrCorrupt)
 	}
 	buf = buf[n:]
 	queries = make([]string, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var q string
 		if q, buf, err = value.DecodeString(buf); err != nil {
-			return 0, nil, fmt.Errorf("%w: bad batch query", ErrCorrupt)
+			return 0, nil, nil, fmt.Errorf("%w: bad batch query", ErrCorrupt)
 		}
 		queries = append(queries, q)
 	}
-	if len(buf) != 0 {
-		return 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
-	}
-	return id, queries, nil
+	return id, queries, buf, nil
 }
 
 // AppendErrorMsg encodes a FrameError payload: request id, failing
@@ -435,13 +452,14 @@ type ForwardStmt struct {
 //	       (origin:string seq:varint query:string)*
 //	       [epoch:uvarint]                         (iff flags&FwdEpoch)
 func AppendForward(dst []byte, id uint64, flags byte, stmts []ForwardStmt) []byte {
-	return AppendForwardE(dst, id, flags&^FwdEpoch, 0, stmts)
+	return AppendForwardE(dst, id, flags&^(FwdEpoch|FwdTrace), 0, stmts)
 }
 
 // AppendForwardE encodes a FrameForward payload carrying the sender's
 // epoch for the statements' slot (protocol version 3): the epoch varint
 // trails the statements and is announced by FwdEpoch, so a version-2
-// frame's byte layout is untouched.
+// frame's byte layout is untouched. A FwdTrace sender must use
+// AppendForwardT, which also writes the trace suffix.
 func AppendForwardE(dst []byte, id uint64, flags byte, epoch uint64, stmts []ForwardStmt) []byte {
 	dst = binary.AppendUvarint(dst, id)
 	dst = append(dst, flags)
@@ -467,11 +485,24 @@ func DecodeForward(buf []byte) (id uint64, flags byte, stmts []ForwardStmt, err 
 
 // DecodeForwardE decodes a FrameForward payload together with its epoch
 // suffix. epoch is meaningful only when flags&FwdEpoch is set (a
-// version-2 sender never sets it).
+// version-2 sender never sets it). A FwdTrace-flagged payload fails here
+// (its trace suffix reads as trailing bytes) — a version-5 receiver uses
+// DecodeForwardT.
 func DecodeForwardE(buf []byte) (id uint64, flags byte, epoch uint64, stmts []ForwardStmt, err error) {
+	id, flags, epoch, stmts, rest, err := decodeForwardTail(buf)
+	if err == nil && len(rest) != 0 {
+		return 0, 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return id, flags, epoch, stmts, err
+}
+
+// decodeForwardTail decodes the forward fields — including the FwdEpoch
+// suffix when flagged — and returns the unconsumed tail (see
+// decodeExecTail).
+func decodeForwardTail(buf []byte) (id uint64, flags byte, epoch uint64, stmts []ForwardStmt, rest []byte, err error) {
 	id, n := binary.Uvarint(buf)
 	if n <= 0 || len(buf[n:]) < 1 {
-		return 0, 0, 0, nil, fmt.Errorf("%w: bad forward id", ErrCorrupt)
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward id", ErrCorrupt)
 	}
 	flags = buf[n]
 	buf = buf[n+1:]
@@ -480,23 +511,23 @@ func DecodeForwardE(buf []byte) (id uint64, flags byte, epoch uint64, stmts []Fo
 	// a count beyond that is corrupt, and the check bounds the allocation
 	// a hostile count field can force before per-statement validation.
 	if n <= 0 || count > uint64(len(buf))/3+1 {
-		return 0, 0, 0, nil, fmt.Errorf("%w: bad forward count", ErrCorrupt)
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward count", ErrCorrupt)
 	}
 	buf = buf[n:]
 	stmts = make([]ForwardStmt, 0, count)
 	for i := uint64(0); i < count; i++ {
 		var st ForwardStmt
 		if st.Origin, buf, err = value.DecodeString(buf); err != nil {
-			return 0, 0, 0, nil, fmt.Errorf("%w: bad forward origin", ErrCorrupt)
+			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward origin", ErrCorrupt)
 		}
 		seq, n := binary.Varint(buf)
 		if n <= 0 {
-			return 0, 0, 0, nil, fmt.Errorf("%w: bad forward seq", ErrCorrupt)
+			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward seq", ErrCorrupt)
 		}
 		st.Seq = int(seq)
 		buf = buf[n:]
 		if st.Query, buf, err = value.DecodeString(buf); err != nil {
-			return 0, 0, 0, nil, fmt.Errorf("%w: bad forward query", ErrCorrupt)
+			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward query", ErrCorrupt)
 		}
 		stmts = append(stmts, st)
 	}
@@ -504,14 +535,11 @@ func DecodeForwardE(buf []byte) (id uint64, flags byte, epoch uint64, stmts []Fo
 		var n int
 		epoch, n = binary.Uvarint(buf)
 		if n <= 0 {
-			return 0, 0, 0, nil, fmt.Errorf("%w: bad forward epoch", ErrCorrupt)
+			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward epoch", ErrCorrupt)
 		}
 		buf = buf[n:]
 	}
-	if len(buf) != 0 {
-		return 0, 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
-	}
-	return id, flags, epoch, stmts, nil
+	return id, flags, epoch, stmts, buf, nil
 }
 
 // AppendRedirect encodes a FrameRedirect payload: request id, the owning

@@ -125,22 +125,31 @@ func DecodeExecPrepared(buf []byte) (id, stmt uint64, args []value.Item, err err
 // slice makes the steady-state decode allocation-free (string arguments
 // still copy their text, as every decoder here does).
 func DecodeExecPreparedInto(buf []byte, scratch []value.Item) (id, stmt uint64, args []value.Item, err error) {
+	id, stmt, args, rest, err := decodeExecPreparedTail(buf, scratch)
+	if err == nil && len(rest) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return id, stmt, args, err
+}
+
+// decodeExecPreparedTail decodes the exec-prepared fields and returns
+// the unconsumed tail: the shared core under DecodeExecPreparedInto
+// (which requires an empty tail) and DecodeExecPreparedIntoT (which
+// accepts a version-5 trace-context suffix).
+func decodeExecPreparedTail(buf []byte, scratch []value.Item) (id, stmt uint64, args []value.Item, rest []byte, err error) {
 	id, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return 0, 0, nil, fmt.Errorf("%w: bad exec-prepared id", ErrCorrupt)
+		return 0, 0, nil, nil, fmt.Errorf("%w: bad exec-prepared id", ErrCorrupt)
 	}
 	buf = buf[n:]
 	stmt, n = binary.Uvarint(buf)
 	if n <= 0 {
-		return 0, 0, nil, fmt.Errorf("%w: bad exec-prepared stmt", ErrCorrupt)
+		return 0, 0, nil, nil, fmt.Errorf("%w: bad exec-prepared stmt", ErrCorrupt)
 	}
 	if args, buf, err = decodeItemsInto(buf[n:], scratch); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, nil, nil, err
 	}
-	if len(buf) != 0 {
-		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
-	}
-	return id, stmt, args, nil
+	return id, stmt, args, buf, nil
 }
 
 // PreparedCall is one (statement id, args) pair inside a
@@ -180,31 +189,38 @@ func DecodeBatchPrepared(buf []byte) (id uint64, calls []PreparedCall, err error
 // returned item slice — they are loans valid until the caller's next
 // decode into the same scratch, exactly like the frame reader's payloads.
 func DecodeBatchPreparedInto(buf []byte, calls []PreparedCall, items []value.Item) (id uint64, outCalls []PreparedCall, outItems []value.Item, err error) {
+	id, outCalls, outItems, rest, err := decodeBatchPreparedTail(buf, calls, items)
+	if err == nil && len(rest) != 0 {
+		return 0, nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return id, outCalls, outItems, err
+}
+
+// decodeBatchPreparedTail decodes the batch-prepared fields and returns
+// the unconsumed tail (see decodeExecPreparedTail).
+func decodeBatchPreparedTail(buf []byte, calls []PreparedCall, items []value.Item) (id uint64, outCalls []PreparedCall, outItems []value.Item, rest []byte, err error) {
 	id, n := binary.Uvarint(buf)
 	if n <= 0 {
-		return 0, nil, nil, fmt.Errorf("%w: bad batch-prepared id", ErrCorrupt)
+		return 0, nil, nil, nil, fmt.Errorf("%w: bad batch-prepared id", ErrCorrupt)
 	}
 	buf = buf[n:]
 	count, n := binary.Uvarint(buf)
 	// A call is at least 2 bytes (stmt varint + zero-arg count).
 	if n <= 0 || count > uint64(len(buf))/2+1 {
-		return 0, nil, nil, fmt.Errorf("%w: bad batch-prepared count", ErrCorrupt)
+		return 0, nil, nil, nil, fmt.Errorf("%w: bad batch-prepared count", ErrCorrupt)
 	}
 	buf = buf[n:]
 	calls, items = calls[:0], items[:0]
 	for i := uint64(0); i < count; i++ {
 		stmt, n := binary.Uvarint(buf)
 		if n <= 0 {
-			return 0, nil, nil, fmt.Errorf("%w: bad batch-prepared stmt", ErrCorrupt)
+			return 0, nil, nil, nil, fmt.Errorf("%w: bad batch-prepared stmt", ErrCorrupt)
 		}
 		start := len(items)
 		if items, buf, err = decodeItemsInto(buf[n:], items); err != nil {
-			return 0, nil, nil, err
+			return 0, nil, nil, nil, err
 		}
 		calls = append(calls, PreparedCall{Stmt: stmt, argStart: start, argEnd: len(items)})
-	}
-	if len(buf) != 0 {
-		return 0, nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
 	}
 	// Slice the Args views only now: items has stopped growing, so the
 	// backing array is final and the views cannot be invalidated by a
@@ -212,7 +228,7 @@ func DecodeBatchPreparedInto(buf []byte, calls []PreparedCall, items []value.Ite
 	for i := range calls {
 		calls[i].Args = items[calls[i].argStart:calls[i].argEnd]
 	}
-	return id, calls, items, nil
+	return id, calls, items, buf, nil
 }
 
 // PreparedFwdStmt is one pre-tagged statement inside a
@@ -278,9 +294,20 @@ func DecodeForwardPrepared(buf []byte) (id uint64, flags byte, epoch uint64, stm
 // returned item slice under the same loan contract as
 // DecodeBatchPreparedInto.
 func DecodeForwardPreparedInto(buf []byte, stmts []PreparedFwdStmt, items []value.Item) (id uint64, flags byte, epoch uint64, outStmts []PreparedFwdStmt, outItems []value.Item, err error) {
+	id, flags, epoch, outStmts, outItems, rest, err := decodeForwardPreparedTail(buf, stmts, items)
+	if err == nil && len(rest) != 0 {
+		return 0, 0, 0, nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return id, flags, epoch, outStmts, outItems, err
+}
+
+// decodeForwardPreparedTail decodes the forward-prepared fields —
+// including the FwdEpoch suffix when flagged — and returns the
+// unconsumed tail (see decodeExecPreparedTail).
+func decodeForwardPreparedTail(buf []byte, stmts []PreparedFwdStmt, items []value.Item) (id uint64, flags byte, epoch uint64, outStmts []PreparedFwdStmt, outItems []value.Item, rest []byte, err error) {
 	id, n := binary.Uvarint(buf)
 	if n <= 0 || len(buf[n:]) < 1 {
-		return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward-prepared id", ErrCorrupt)
+		return 0, 0, 0, nil, nil, nil, fmt.Errorf("%w: bad forward-prepared id", ErrCorrupt)
 	}
 	flags = buf[n]
 	buf = buf[n+1:]
@@ -289,24 +316,24 @@ func DecodeForwardPreparedInto(buf []byte, stmts []PreparedFwdStmt, items []valu
 	// 8-byte hash, text flag, zero-arg count); the guard bounds hostile
 	// counts as in DecodeForwardE.
 	if n <= 0 || count > uint64(len(buf))/13+1 {
-		return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward-prepared count", ErrCorrupt)
+		return 0, 0, 0, nil, nil, nil, fmt.Errorf("%w: bad forward-prepared count", ErrCorrupt)
 	}
 	buf = buf[n:]
 	stmts, items = stmts[:0], items[:0]
 	for i := uint64(0); i < count; i++ {
 		var st PreparedFwdStmt
 		if st.Origin, buf, err = value.DecodeString(buf); err != nil {
-			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward-prepared origin", ErrCorrupt)
+			return 0, 0, 0, nil, nil, nil, fmt.Errorf("%w: bad forward-prepared origin", ErrCorrupt)
 		}
 		seq, n := binary.Varint(buf)
 		if n <= 0 {
-			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward-prepared seq", ErrCorrupt)
+			return 0, 0, 0, nil, nil, nil, fmt.Errorf("%w: bad forward-prepared seq", ErrCorrupt)
 		}
 		st.Seq = int(seq)
 		buf = buf[n:]
 		st.Stmt, n = binary.Uvarint(buf)
 		if n <= 0 || len(buf[n:]) < 9 {
-			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward-prepared stmt", ErrCorrupt)
+			return 0, 0, 0, nil, nil, nil, fmt.Errorf("%w: bad forward-prepared stmt", ErrCorrupt)
 		}
 		buf = buf[n:]
 		st.Hash = binary.LittleEndian.Uint64(buf)
@@ -316,14 +343,14 @@ func DecodeForwardPreparedInto(buf []byte, stmts []PreparedFwdStmt, items []valu
 		case 1:
 			st.HasText = true
 			if st.Text, buf, err = value.DecodeString(buf[9:]); err != nil {
-				return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward-prepared text", ErrCorrupt)
+				return 0, 0, 0, nil, nil, nil, fmt.Errorf("%w: bad forward-prepared text", ErrCorrupt)
 			}
 		default:
-			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward-prepared text flag", ErrCorrupt)
+			return 0, 0, 0, nil, nil, nil, fmt.Errorf("%w: bad forward-prepared text flag", ErrCorrupt)
 		}
 		st.argStart = len(items)
 		if items, buf, err = decodeItemsInto(buf, items); err != nil {
-			return 0, 0, 0, nil, nil, err
+			return 0, 0, 0, nil, nil, nil, err
 		}
 		st.argEnd = len(items)
 		stmts = append(stmts, st)
@@ -332,15 +359,12 @@ func DecodeForwardPreparedInto(buf []byte, stmts []PreparedFwdStmt, items []valu
 		var n int
 		epoch, n = binary.Uvarint(buf)
 		if n <= 0 {
-			return 0, 0, 0, nil, nil, fmt.Errorf("%w: bad forward-prepared epoch", ErrCorrupt)
+			return 0, 0, 0, nil, nil, nil, fmt.Errorf("%w: bad forward-prepared epoch", ErrCorrupt)
 		}
 		buf = buf[n:]
-	}
-	if len(buf) != 0 {
-		return 0, 0, 0, nil, nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(buf))
 	}
 	for i := range stmts {
 		stmts[i].Args = items[stmts[i].argStart:stmts[i].argEnd]
 	}
-	return id, flags, epoch, stmts, items, nil
+	return id, flags, epoch, stmts, items, buf, nil
 }

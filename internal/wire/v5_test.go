@@ -1,0 +1,435 @@
+// Protocol version 5 codecs: the trace-context suffix on the execution
+// frames and the Traces introspection frames. The cross-version
+// contract mirrors the v3→v4 transition: every version-4 encoding must
+// stay byte-identical (an un-traced frame from a v5 node is exactly the
+// frame a v4 node would send), the suffix-tolerant T decoders must agree
+// with the strict v4 decoders on every suffix-free input, and a traced
+// frame must be its un-traced encoding plus exactly ten bytes.
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"funcdb/internal/value"
+)
+
+// sampleTraceCtx is a representative propagated context: a non-trivial
+// id, one forward hop behind it, sampled at the origin.
+func sampleTraceCtx() TraceCtx {
+	return TraceCtx{ID: 0x1122334455667788, Hop: 1, Sampled: true}
+}
+
+// TestWireV4V5Equivalence pins the cross-version contract for the trace
+// suffix the way TestWireV3V4Equivalence pins the epoch suffix.
+func TestWireV4V5Equivalence(t *testing.T) {
+	if Version != 5 {
+		t.Fatalf("wire.Version = %d, expected 5", Version)
+	}
+	tc := sampleTraceCtx()
+
+	// The suffix itself is fixed-width little-endian: id, hop, flags.
+	if got, want := AppendTraceCtx(nil, tc), []byte("\x88\x77\x66\x55\x44\x33\x22\x11\x01\x01"); !bytes.Equal(got, want) {
+		t.Fatalf("trace-context encoding changed:\n got %x\nwant %x", got, want)
+	}
+	back, err := DecodeTraceCtx(AppendTraceCtx(nil, tc))
+	if err != nil || back != tc {
+		t.Fatalf("trace-context round-trip: %+v err=%v", back, err)
+	}
+
+	// Traced encodings are the v4 golden bytes plus exactly the suffix —
+	// nothing before the suffix moves.
+	execPlain := AppendExec(nil, 7, "count R")
+	if want := []byte("\x07\x07count R"); !bytes.Equal(execPlain, want) {
+		t.Fatalf("v4 exec encoding changed:\n got %x\nwant %x", execPlain, want)
+	}
+	batchPlain := AppendBatch(nil, 7, []string{"count R", "insert 1 into R"})
+	epPlain, err := AppendExecPrepared(nil, 11, 17, samplePreparedArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpPlain, err := AppendBatchPrepared(nil, 13, []PreparedCall{{Stmt: 1, Args: samplePreparedArgs()}, {Stmt: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epT, err := AppendExecPreparedT(nil, 11, 17, samplePreparedArgs(), tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bpT, err := AppendBatchPreparedT(nil, 13, []PreparedCall{{Stmt: 1, Args: samplePreparedArgs()}, {Stmt: 2}}, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffixed := []struct {
+		name  string
+		plain []byte
+		got   []byte
+	}{
+		{"exec", execPlain, AppendExecT(nil, 7, "count R", tc)},
+		{"batch", batchPlain, AppendBatchT(nil, 7, []string{"count R", "insert 1 into R"}, tc)},
+		{"exec-prepared", epPlain, epT},
+		{"batch-prepared", bpPlain, bpT},
+	}
+	for _, s := range suffixed {
+		want := AppendTraceCtx(append([]byte(nil), s.plain...), tc)
+		if !bytes.Equal(s.got, want) {
+			t.Fatalf("traced %s is not plain+suffix:\n got %x\nwant %x", s.name, s.got, want)
+		}
+	}
+
+	// The T decoders accept every suffix-free v4 encoding, agree with the
+	// strict decoders, and report an invalid context.
+	id, q, dtc, err := DecodeExecT(execPlain)
+	if err != nil || id != 7 || q != "count R" || dtc.Valid() {
+		t.Fatalf("v4 exec through T decoder: id=%d q=%q tc=%+v err=%v", id, q, dtc, err)
+	}
+	id, qs, dtc, err := DecodeBatchT(batchPlain)
+	if err != nil || id != 7 || len(qs) != 2 || dtc.Valid() {
+		t.Fatalf("v4 batch through T decoder: %v", err)
+	}
+	// ...and the traced encodings surface the context unchanged.
+	id, q, dtc, err = DecodeExecT(AppendExecT(nil, 7, "count R", tc))
+	if err != nil || id != 7 || q != "count R" || dtc != tc {
+		t.Fatalf("traced exec decode: tc=%+v err=%v", dtc, err)
+	}
+	eid, stmt, args, dtc, err := DecodeExecPreparedIntoT(epT, nil)
+	if err != nil || eid != 11 || stmt != 17 || len(args) != 3 || dtc != tc {
+		t.Fatalf("traced exec-prepared decode: tc=%+v err=%v", dtc, err)
+	}
+	bid, calls, _, dtc, err := DecodeBatchPreparedIntoT(bpT, nil, nil)
+	if err != nil || bid != 13 || len(calls) != 2 || dtc != tc {
+		t.Fatalf("traced batch-prepared decode: tc=%+v err=%v", dtc, err)
+	}
+
+	// The strict v4 decoders refuse the traced frames (a v4 node never
+	// sees one: senders gate on the negotiated version).
+	if _, _, err := DecodeExec(AppendExecT(nil, 7, "count R", tc)); err == nil {
+		t.Fatal("v4 exec decoder accepted a traced payload")
+	}
+	if _, _, _, err := DecodeExecPrepared(epT); err == nil {
+		t.Fatal("v4 exec-prepared decoder accepted a traced payload")
+	}
+
+	// Forward: the trace suffix is flag-announced and sits after the
+	// epoch suffix, so a FwdEpoch|FwdTrace frame is the FwdEpoch frame
+	// with the FwdTrace bit set plus the ten suffix bytes.
+	stmts := []ForwardStmt{{Origin: "c0", Seq: 3, Query: "count R"}}
+	fwdE := AppendForwardE(nil, 9, FwdNoForward|FwdEpoch, 5, stmts)
+	fwdT := AppendForwardT(nil, 9, FwdNoForward|FwdEpoch|FwdTrace, 5, tc, stmts)
+	patched := append([]byte(nil), fwdE...)
+	patched[1] |= FwdTrace
+	patched = AppendTraceCtx(patched, tc)
+	if !bytes.Equal(fwdT, patched) {
+		t.Fatalf("trace suffix disturbed the preceding forward bytes:\n got %x\nwant %x", fwdT, patched)
+	}
+	fid, fflags, fepoch, ftc, fstmts, err := DecodeForwardT(fwdT)
+	if err != nil || fid != 9 || fflags != FwdNoForward|FwdEpoch|FwdTrace || fepoch != 5 || ftc != tc || len(fstmts) != 1 {
+		t.Fatalf("forward-T decode: id=%d flags=%x epoch=%d tc=%+v err=%v", fid, fflags, fepoch, ftc, err)
+	}
+	// Un-flagged forwards decode identically through both decoders.
+	fid, fflags, fepoch, ftc, fstmts, err = DecodeForwardT(fwdE)
+	if err != nil || fid != 9 || fepoch != 5 || ftc.Valid() || len(fstmts) != 1 {
+		t.Fatalf("v4 forward through T decoder: %v", err)
+	}
+	// A flag without its suffix — or a suffix without its flag — is
+	// corrupt, exactly like the epoch discipline.
+	bare := append([]byte(nil), fwdE...)
+	bare[1] |= FwdTrace
+	if _, _, _, _, _, err := DecodeForwardT(bare); err == nil {
+		t.Fatal("FwdTrace without a suffix accepted")
+	}
+	if _, _, _, _, _, err := DecodeForwardT(AppendTraceCtx(append([]byte(nil), fwdE...), tc)); err == nil {
+		t.Fatal("suffix without FwdTrace accepted")
+	}
+
+	// ForwardPrepared: same discipline through the prepared form.
+	pstmts := []PreparedFwdStmt{{Origin: "c0", Seq: 3, Hash: 7, Text: "count R", HasText: true}}
+	fpE, err := AppendForwardPrepared(nil, 21, FwdNoForward|FwdEpoch, 77, pstmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpT, err := AppendForwardPreparedT(nil, 21, FwdNoForward|FwdEpoch|FwdTrace, 77, tc, pstmts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	patched = append([]byte(nil), fpE...)
+	patched[1] |= FwdTrace
+	patched = AppendTraceCtx(patched, tc)
+	if !bytes.Equal(fpT, patched) {
+		t.Fatalf("trace suffix disturbed the preceding forward-prepared bytes:\n got %x\nwant %x", fpT, patched)
+	}
+	pid, pflags, pepoch, ptc, ps, _, err := DecodeForwardPreparedIntoT(fpT, nil, nil)
+	if err != nil || pid != 21 || pflags != FwdNoForward|FwdEpoch|FwdTrace || pepoch != 77 || ptc != tc || len(ps) != 1 {
+		t.Fatalf("forward-prepared-T decode: tc=%+v err=%v", ptc, err)
+	}
+
+	// Suffix validation: a reserved flag bit or a wrong width is corrupt.
+	bad := AppendTraceCtx(append([]byte(nil), execPlain...), tc)
+	bad[len(bad)-1] |= 0x80
+	if _, _, _, err := DecodeExecT(bad); err == nil {
+		t.Fatal("reserved trace flag bit accepted")
+	}
+	if _, _, _, err := DecodeExecT(append(append([]byte(nil), execPlain...), 1, 2, 3)); err == nil {
+		t.Fatal("three trailing bytes accepted as a suffix")
+	}
+
+	// Hello/Welcome: a v4 peer decodes under v5 unchanged.
+	h, err := DecodeHello(AppendHello(nil, Hello{Version: 4, Origin: "c9", Database: "main"}))
+	if err != nil || h.Version != 4 || h.Origin != "c9" || h.Database != "main" {
+		t.Fatalf("v4 hello through v5 decoder: %+v err=%v", h, err)
+	}
+	w, err := DecodeWelcome(AppendWelcome(nil, Welcome{Version: 4, Origin: "conn1", Lanes: 4, Database: "main"}))
+	if err != nil || w.Version != 4 || w.Lanes != 4 {
+		t.Fatalf("v4 welcome through v5 decoder: %+v err=%v", w, err)
+	}
+
+	// Traces request/response round-trip, mirroring Stats.
+	tid, err := DecodeTraces(AppendTraces(nil, 42))
+	if err != nil || tid != 42 {
+		t.Fatalf("traces round-trip: %d %v", tid, err)
+	}
+	doc := []byte(`[{"id":"0011223344556677"}]`)
+	tid, got, err := DecodeTracesResponse(AppendTracesResponse(nil, 42, doc))
+	if err != nil || tid != 42 || !bytes.Equal(got, doc) {
+		t.Fatalf("traces-response round-trip: %v", err)
+	}
+}
+
+// FuzzDecodeTraceCtx: the suffix decoder sees attacker-chosen trailing
+// bytes on every traced frame; it must accept exactly the 10-byte
+// encodings AppendTraceCtx produces and nothing else.
+func FuzzDecodeTraceCtx(f *testing.F) {
+	f.Add(AppendTraceCtx(nil, sampleTraceCtx()))
+	f.Add(AppendTraceCtx(nil, TraceCtx{}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tc, err := DecodeTraceCtx(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(AppendTraceCtx(nil, tc), data) {
+			t.Fatalf("accepted suffix does not re-encode to itself: %x", data)
+		}
+	})
+}
+
+// FuzzDecodeExecT: the suffix-tolerant decoder must agree with the
+// strict v4 decoder on every suffix-free input and round-trip every
+// accepted payload, traced or not.
+func FuzzDecodeExecT(f *testing.F) {
+	f.Add(AppendExec(nil, 7, "count R"))
+	f.Add(AppendExecT(nil, 7, "count R", sampleTraceCtx()))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, q, tc, err := DecodeExecT(data)
+		pid, pq, perr := DecodeExec(data)
+		if perr == nil && (err != nil || id != pid || q != pq || tc.Valid()) {
+			t.Fatalf("T decoder diverged from v4 decoder on a suffix-free payload: %v", err)
+		}
+		if err != nil {
+			return
+		}
+		id2, q2, tc2, err := DecodeExecT(AppendExecT(nil, id, q, tc))
+		if err != nil || id2 != id || q2 != q || tc2 != tc {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeBatchT: same contract for batch payloads.
+func FuzzDecodeBatchT(f *testing.F) {
+	f.Add(AppendBatch(nil, 7, []string{"count R", ""}))
+	f.Add(AppendBatchT(nil, 7, []string{"count R"}, sampleTraceCtx()))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, qs, tc, err := DecodeBatchT(data)
+		pid, pqs, perr := DecodeBatch(data)
+		if perr == nil && (err != nil || id != pid || len(qs) != len(pqs) || tc.Valid()) {
+			t.Fatalf("T decoder diverged from v4 decoder on a suffix-free payload: %v", err)
+		}
+		if err != nil {
+			return
+		}
+		id2, qs2, tc2, err := DecodeBatchT(AppendBatchT(nil, id, qs, tc))
+		if err != nil || id2 != id || len(qs2) != len(qs) || tc2 != tc {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeExecPreparedT: the traced hot-path decoder against the
+// strict scratch decoder, plus the scratch contract under a suffix.
+func FuzzDecodeExecPreparedT(f *testing.F) {
+	seed, _ := AppendExecPrepared(nil, 1, 2, samplePreparedArgs())
+	f.Add(seed)
+	traced, _ := AppendExecPreparedT(nil, 1, 2, samplePreparedArgs(), sampleTraceCtx())
+	f.Add(traced)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, stmt, args, tc, err := DecodeExecPreparedIntoT(data, make([]value.Item, 0, 4))
+		pid, pstmt, pargs, perr := DecodeExecPrepared(data)
+		if perr == nil && (err != nil || id != pid || stmt != pstmt || len(args) != len(pargs) || tc.Valid()) {
+			t.Fatalf("T decoder diverged from v4 decoder on a suffix-free payload: %v", err)
+		}
+		if err != nil {
+			return
+		}
+		again, aerr := AppendExecPreparedT(nil, id, stmt, args, tc)
+		if aerr != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", aerr)
+		}
+		id2, stmt2, args2, tc2, err := DecodeExecPreparedIntoT(again, nil)
+		if err != nil || id2 != id || stmt2 != stmt || len(args2) != len(args) || tc2 != tc {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeBatchPreparedT: same contract for prepared batches.
+func FuzzDecodeBatchPreparedT(f *testing.F) {
+	seed, _ := AppendBatchPrepared(nil, 1, []PreparedCall{{Stmt: 1, Args: samplePreparedArgs()}, {Stmt: 2}})
+	f.Add(seed)
+	traced, _ := AppendBatchPreparedT(nil, 1, []PreparedCall{{Stmt: 1}}, sampleTraceCtx())
+	f.Add(traced)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, calls, _, tc, err := DecodeBatchPreparedIntoT(data, nil, nil)
+		pid, pcalls, perr := DecodeBatchPrepared(data)
+		if perr == nil && (err != nil || id != pid || len(calls) != len(pcalls) || tc.Valid()) {
+			t.Fatalf("T decoder diverged from v4 decoder on a suffix-free payload: %v", err)
+		}
+		if err != nil {
+			return
+		}
+		again, aerr := AppendBatchPreparedT(nil, id, calls, tc)
+		if aerr != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", aerr)
+		}
+		id2, calls2, _, tc2, err := DecodeBatchPreparedIntoT(again, nil, nil)
+		if err != nil || id2 != id || len(calls2) != len(calls) || tc2 != tc {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeForwardT: the flag-announced suffix on text forwards. The
+// invariants: no context without FwdTrace, agreement with the strict
+// decoder on FwdTrace-free payloads, exact re-encoding.
+func FuzzDecodeForwardT(f *testing.F) {
+	f.Add(AppendForwardE(nil, 9, FwdNoForward|FwdEpoch, 5, []ForwardStmt{{Origin: "c0", Seq: 3, Query: "count R"}}))
+	f.Add(AppendForwardT(nil, 9, FwdNoForward|FwdEpoch|FwdTrace, 5, sampleTraceCtx(), []ForwardStmt{{Origin: "c0", Seq: 3, Query: "count R"}}))
+	f.Add(AppendForwardT(nil, 1, FwdTrace, 0, sampleTraceCtx(), nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, flags, epoch, tc, stmts, err := DecodeForwardT(data)
+		pid, pflags, pepoch, pstmts, perr := DecodeForwardE(data)
+		// The v4 decoder ignores flag bits it does not know, so a payload
+		// that (vacuously) sets FwdTrace without a suffix passes v4 but is
+		// corrupt under v5 — agreement holds only for FwdTrace-free flags.
+		if perr == nil && pflags&FwdTrace == 0 && (err != nil || id != pid || flags != pflags || epoch != pepoch || len(stmts) != len(pstmts) || tc.Valid()) {
+			t.Fatalf("T decoder diverged from v4 decoder on a suffix-free payload: %v", err)
+		}
+		if err != nil {
+			return
+		}
+		if flags&FwdTrace == 0 && tc != (TraceCtx{}) {
+			t.Fatalf("context %+v without FwdTrace", tc)
+		}
+		again := AppendForwardT(nil, id, flags, epoch, tc, stmts)
+		id2, flags2, epoch2, tc2, stmts2, err := DecodeForwardT(again)
+		if err != nil || id2 != id || flags2 != flags || epoch2 != epoch || tc2 != tc || len(stmts2) != len(stmts) {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeForwardPreparedT: same contract through the prepared form.
+func FuzzDecodeForwardPreparedT(f *testing.F) {
+	seed, _ := AppendForwardPrepared(nil, 1, FwdNoForward, 0, []PreparedFwdStmt{
+		{Origin: "c0", Seq: 0, Hash: 7, Text: "count R", HasText: true},
+	})
+	f.Add(seed)
+	traced, _ := AppendForwardPreparedT(nil, 2, FwdNoForward|FwdEpoch|FwdTrace, 1<<40, sampleTraceCtx(), []PreparedFwdStmt{
+		{Origin: "c1", Seq: 4, Stmt: 3, Hash: 9, Args: samplePreparedArgs()},
+	})
+	f.Add(traced)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, flags, epoch, tc, stmts, _, err := DecodeForwardPreparedIntoT(data, nil, nil)
+		pid, pflags, pepoch, pstmts, perr := DecodeForwardPrepared(data)
+		// See FuzzDecodeForwardT: agreement holds only for FwdTrace-free
+		// flags, the bit the v4 decoder cannot interpret.
+		if perr == nil && pflags&FwdTrace == 0 && (err != nil || id != pid || flags != pflags || epoch != pepoch || len(stmts) != len(pstmts) || tc.Valid()) {
+			t.Fatalf("T decoder diverged from v4 decoder on a suffix-free payload: %v", err)
+		}
+		if err != nil {
+			return
+		}
+		if flags&FwdTrace == 0 && tc != (TraceCtx{}) {
+			t.Fatalf("context %+v without FwdTrace", tc)
+		}
+		again, aerr := AppendForwardPreparedT(nil, id, flags, epoch, tc, stmts)
+		if aerr != nil {
+			t.Fatalf("accepted payload failed to re-encode: %v", aerr)
+		}
+		id2, flags2, epoch2, tc2, stmts2, _, err := DecodeForwardPreparedIntoT(again, nil, nil)
+		if err != nil || id2 != id || flags2 != flags || epoch2 != epoch || tc2 != tc || len(stmts2) != len(stmts) {
+			t.Fatalf("re-decode diverged: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeTraces: the introspection request/response pair, mirroring
+// FuzzDecodeStats.
+func FuzzDecodeTraces(f *testing.F) {
+	f.Add(AppendTraces(nil, 0))
+	f.Add(AppendTraces(nil, 7))
+	f.Add(AppendTracesResponse(nil, 9, []byte(`[]`)))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if id, err := DecodeTraces(data); err == nil {
+			if id2, err := DecodeTraces(AppendTraces(nil, id)); err != nil || id2 != id {
+				t.Fatalf("traces re-decode diverged: %v", err)
+			}
+		}
+		id, doc, err := DecodeTracesResponse(data)
+		if err != nil {
+			return
+		}
+		id2, doc2, err := DecodeTracesResponse(AppendTracesResponse(nil, id, doc))
+		if err != nil || id2 != id || !bytes.Equal(doc2, doc) {
+			t.Fatalf("traces-response re-decode diverged: %v", err)
+		}
+	})
+}
+
+// TestExecPreparedDecodeTAllocGate: the suffix-tolerant decode into warm
+// scratch stays allocation-free — tracing must not cost the wire path
+// its zero-allocation property, traced or not.
+func TestExecPreparedDecodeTAllocGate(t *testing.T) {
+	traced, err := AppendExecPreparedT(nil, 11, 17, samplePreparedArgs(), sampleTraceCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AppendExecPrepared(nil, 11, 17, samplePreparedArgs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, payload := range [][]byte{traced, plain} {
+		scratch := make([]value.Item, 0, 8)
+		for i := 0; i < 16; i++ {
+			if _, _, scratch, _, err = DecodeExecPreparedIntoT(payload, scratch[:0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			var derr error
+			if _, _, scratch, _, derr = DecodeExecPreparedIntoT(payload, scratch[:0]); derr != nil {
+				t.Fatal(derr)
+			}
+		})
+		if avg >= 0.5 {
+			t.Fatalf("steady-state traced decode allocates %.2f/frame, want 0 amortized", avg)
+		}
+	}
+}

@@ -157,6 +157,23 @@ const (
 	// text against its node-wide cache; a statement that resolves nowhere
 	// fails with ErrUnknownStmt so the sender can re-send with text.
 	FrameForwardPrepared byte = 0x26
+
+	// Request-tracing frames (protocol version 5). Traced requests carry a
+	// fixed 10-byte trace-context suffix (trace id, hop, flags) on the
+	// execution frames — detected by exact trailing length on the
+	// client-facing frames, announced by FwdTrace on forwards — so one
+	// trace id stitches client → gateway → owner → mirror. The Traces
+	// frame fetches a node's published trace buffers, mirroring Stats.
+
+	// FrameTraces asks the server for its recorded request traces:
+	// request id. Answered by FrameTracesResponse (or FrameError when the
+	// node records none).
+	FrameTraces byte = 0x27
+	// FrameTracesResponse answers FrameTraces: request id, then the
+	// node's traces as a JSON array (internal/reqtrace.Trace). JSON for
+	// the same reason as Stats: introspection, not a hot path, and the
+	// same bytes feed fdbrepl, fdbload and /debug/trace.
+	FrameTracesResponse byte = 0x28
 )
 
 // Forward flag bits.
@@ -175,6 +192,12 @@ const (
 	// serving epoch. A receiver with a higher epoch rejects the frame —
 	// the fence that stops a deposed primary's gateway traffic.
 	FwdEpoch byte = 1 << 2
+	// FwdTrace marks a Forward payload that carries a trailing 10-byte
+	// trace-context suffix (protocol version 5), placed AFTER the FwdEpoch
+	// suffix when both are present: the gateway's trace id rides to the
+	// owner so the owner's spans join the same timeline. Never set toward
+	// a pre-v5 peer.
+	FwdTrace byte = 1 << 3
 )
 
 const (
@@ -193,7 +216,15 @@ const (
 	// every version-3 encoding is byte-identical under version 4 (the new
 	// frames are purely additive), so version-3 peers interoperate for
 	// text traffic and clients gate prepared use on the Welcome version.
-	Version = 4
+	// Version 5 adds request tracing: the Traces frames and an optional
+	// 10-byte trace-context suffix on Exec/Batch/ExecPrepared/
+	// BatchPrepared (detected by exact trailing length — every v4 payload
+	// is self-delimiting) and on Forward/ForwardPrepared (announced by the
+	// FwdTrace flag, after the FwdEpoch suffix). Un-traced encodings stay
+	// byte-identical to version 4, and senders stamp the suffix only
+	// toward peers that negotiated version 5 — version-4 peers
+	// interoperate untraced.
+	Version = 5
 	// MaxFrameLen caps a frame's payload: large enough for any realistic
 	// batch or scan response, small enough to bound what a corrupt
 	// length field can make a peer allocate.
